@@ -1,0 +1,15 @@
+"""A1 — ablation: BFL tie-breaking rules."""
+
+from conftest import single_round
+
+from repro.experiments import a1_tiebreak
+
+
+def test_a1_tiebreak(benchmark, show):
+    table = single_round(benchmark, lambda: a1_tiebreak.run(trials=10))
+    show("A1: per-line selection rule ablation", table)
+    by_rule = {}
+    for row in table.rows:
+        by_rule.setdefault(row["rule"], []).append(row["min_ratio"])
+    # the paper's rule must keep its guarantee on every family
+    assert all(r >= 0.5 for r in by_rule["nearest_dest"])

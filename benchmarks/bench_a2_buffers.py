@@ -1,0 +1,20 @@
+"""A2 — ablation: finite buffer capacities."""
+
+from conftest import single_round
+
+from repro.experiments import a2_buffers
+
+
+def test_a2_buffers(benchmark, show):
+    table = single_round(benchmark, lambda: a2_buffers.run(trials=6))
+    show("A2: throughput vs per-node buffer capacity (inf == paper's model)", table)
+    by_family = {}
+    for row in table.rows:
+        by_family.setdefault(row["family"], []).append(row)
+    for rows in by_family.values():
+        # throughput is monotone in capacity, and overflow drops vanish at inf
+        caps = [r for r in rows]
+        assert caps[-1]["capacity"] == "inf"
+        assert caps[-1]["overflow_drops"] == 0
+        dbfl_vals = [r["dbfl"] for r in caps]
+        assert dbfl_vals == sorted(dbfl_vals)

@@ -1,0 +1,16 @@
+"""E10 — BFL runtime scaling and simulator throughput."""
+
+from conftest import single_round
+
+from repro.experiments import e10_scaling
+
+
+def test_e10_scaling(benchmark, show):
+    table = single_round(benchmark, lambda: e10_scaling.run(repeats=2))
+    show("E10: BFL runtime vs |I| (polynomial, slack-independent)", table)
+    rows = table.rows
+    assert all(row["bfl_ms"] > 0 for row in rows)
+    # growth sanity: 30x more messages should not cost more than ~quadratic
+    small, large = rows[0], rows[-1]
+    factor = large["messages"] / small["messages"]
+    assert large["bfl_ms"] / small["bfl_ms"] <= factor**2 * 10

@@ -1,0 +1,14 @@
+"""E11 — the ring extension keeps the factor-2 guarantee."""
+
+from conftest import single_round
+
+from repro.experiments import e11_ring
+
+
+def test_e11_ring(benchmark, show):
+    table = single_round(benchmark, lambda: e11_ring.run(trials=12))
+    show("E11: ring BFL / exact ratio (bound: >= 0.5, with wrapping traffic)", table)
+    for row in table.rows:
+        assert row["bound_ok"]
+        assert row["min_ratio"] >= 0.5
+        assert row["wrapping_frac"] > 0  # the workloads genuinely wrap

@@ -1,0 +1,15 @@
+"""E12 — delivery-ratio vs offered-load saturation curve."""
+
+from conftest import single_round
+
+from repro.experiments import e12_load_sweep
+
+
+def test_e12_load_sweep(benchmark, show):
+    table = single_round(benchmark, lambda: e12_load_sweep.run(trials=5))
+    show("E12: delivery ratio vs offered load", table)
+    bfl_curve = [r["bfl"] for r in table.rows]
+    assert bfl_curve[0] > 0.9  # light load: (almost) everything delivered
+    assert bfl_curve[-1] < bfl_curve[0]  # saturation bites
+    for row in table.rows:
+        assert row["bfl"] <= row["upper_bound"] + 1e-9

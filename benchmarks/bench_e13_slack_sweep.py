@@ -1,0 +1,14 @@
+"""E13 — delivery-ratio vs slack-budget curve."""
+
+from conftest import single_round
+
+from repro.experiments import e13_slack_sweep
+
+
+def test_e13_slack_sweep(benchmark, show):
+    table = single_round(benchmark, lambda: e13_slack_sweep.run(trials=5))
+    show("E13: delivery ratio vs slack budget", table)
+    curve = [r["bfl"] for r in table.rows]
+    assert curve[-1] >= curve[0]  # looser deadlines help
+    for row in table.rows:
+        assert row["dbfl"] == row["bfl"]  # Theorem 5.2, again

@@ -1,0 +1,19 @@
+"""E14 — dimension-order mesh routing over line schedulers."""
+
+from conftest import single_round
+
+from repro.experiments import e14_mesh
+
+
+def test_e14_mesh(benchmark, show):
+    table = single_round(benchmark, lambda: e14_mesh.run(trials=4))
+    show("E14: mesh XY routing (delivery fraction; conversion cost)", table)
+    by_key = {(r["family"], r["conversion"]): r for r in table.rows}
+    for family in ("random", "transpose", "hotspot"):
+        free = by_key[(family, 0)]
+        costly = by_key[(family, 2)]
+        # a positive conversion delay can only reduce delivered fraction
+        assert costly["bfl"] <= free["bfl"] + 1e-9
+        # everything is a fraction
+        for col in ("bfl", "edf", "first_fit"):
+            assert 0.0 <= free[col] <= 1.0

@@ -1,0 +1,23 @@
+"""E1 — Figure 1 / Section 2 table regeneration."""
+
+from conftest import single_round
+
+from repro.experiments import e1_figure1
+
+
+def test_e1_figure1(benchmark, show):
+    table = single_round(benchmark, e1_figure1.run)
+    show("E1: Figure 1 / §2 table (paper: all six messages deliverable)", table)
+    # the example is schedulable in full, bufferlessly
+    summary = {r["metric"]: r["value"] for r in table.summary.rows}
+    assert summary["BFL throughput"] == 6
+    assert summary["D-BFL throughput"] == 6
+    assert summary["exact OPT_BL"] == 6
+    assert summary["exact OPT_B"] == 6
+
+
+def test_e1_render(benchmark):
+    art = single_round(benchmark, e1_figure1.render)
+    print()
+    print(art)
+    assert "22-node line" in art

@@ -1,0 +1,13 @@
+"""E2 — Theorem 3.2: BFL is a 2-approximation of OPT_BL."""
+
+from conftest import single_round
+
+from repro.experiments import e2_bfl_ratio
+
+
+def test_e2_bfl_ratio(benchmark, show):
+    table = single_round(benchmark, lambda: e2_bfl_ratio.run(trials=25))
+    show("E2: BFL / OPT_BL ratio (paper bound: >= 0.5)", table)
+    for row in table.rows:
+        assert row["bound_ok"]
+        assert row["min_ratio"] >= 0.5

@@ -1,0 +1,14 @@
+"""E3 — Theorem 4.1: OPT_B <= 3 OPT_BL under uniform slack."""
+
+from conftest import single_round
+
+from repro.experiments import e3_uniform_slack
+
+
+def test_e3_uniform_slack(benchmark, show):
+    table = single_round(benchmark, lambda: e3_uniform_slack.run(trials=8))
+    show("E3: uniform slack (paper bound: ratio <= 3, credit <= 2)", table)
+    for row in table.rows:
+        assert row["bound_ok"]
+        assert row["max_ratio"] <= 3.0 + 1e-9
+        assert row["max_credit"] <= 2.0 + 1e-9

@@ -1,0 +1,14 @@
+"""E4 — Theorem 4.2: OPT_B <= 2 OPT_BL under uniform span."""
+
+from conftest import single_round
+
+from repro.experiments import e4_uniform_span
+
+
+def test_e4_uniform_span(benchmark, show):
+    table = single_round(benchmark, lambda: e4_uniform_span.run(trials=8))
+    show("E4: uniform span (paper bound: ratio <= 2, conversion keeps >= 1/2)", table)
+    for row in table.rows:
+        assert row["bound_ok"]
+        assert row["min_converted_frac"] >= 0.5 - 1e-9
+        assert row["conversion_drops"] == 0

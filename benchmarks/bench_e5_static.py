@@ -1,0 +1,13 @@
+"""E5 — Theorem 4.3: OPT_B <= 2 OPT_BL for static instances."""
+
+from conftest import single_round
+
+from repro.experiments import e5_static
+
+
+def test_e5_static(benchmark, show):
+    table = single_round(benchmark, lambda: e5_static.run(trials=10))
+    show("E5: static release (paper bound: ratio <= 2)", table)
+    for row in table.rows:
+        assert row["bound_ok"]
+        assert row["max_ratio"] <= 2.0 + 1e-9

@@ -1,0 +1,25 @@
+"""E6 — Theorems 4.4/4.5 / Figure 2: the logarithmic separation family."""
+
+from conftest import single_round
+
+from repro.experiments import e6_lower_bound
+
+
+def test_e6_lower_bound(benchmark, show):
+    table = single_round(benchmark, lambda: e6_lower_bound.run(max_k=8))
+    show(
+        "E6: I_k family (paper: ratio between (1/2)log2 Λ and 4(log2 Λ + 1))",
+        table,
+    )
+    prev = 0.0
+    for row in table.rows:
+        assert row["bounds_ok"]
+        assert row["ratio"] >= row["half_log_lambda"] - 1e-9
+        assert row["ratio"] <= row["upper_bound"] + 1e-9
+        # the separation grows without bound, as Theorem 4.5 requires
+        assert row["ratio"] >= prev
+        prev = row["ratio"]
+        # the online D-BFL sandwiches OPT_BL: together with the paper's
+        # 2^k cap this pins OPT_BL(I_k) exactly
+        assert row["dbfl"] <= row["opt_bl"] <= 2 * row["dbfl"]
+    assert table.rows[-1]["ratio"] >= 4.0

@@ -1,0 +1,14 @@
+"""E7 — Theorem 5.2: D-BFL == BFL (delivered sets and delivery lines)."""
+
+from conftest import single_round
+
+from repro.experiments import e7_dbfl
+
+
+def test_e7_dbfl(benchmark, show):
+    table = single_round(benchmark, lambda: e7_dbfl.run(trials=15))
+    show("E7: D-BFL vs BFL (paper: identical output)", table)
+    for row in table.rows:
+        t = row["trials"]
+        assert row["set_equal"] == f"{t}/{t}"
+        assert row["lines_equal"] == f"{t}/{t}"

@@ -1,0 +1,13 @@
+"""E8 — Theorems 3.1/5.1 / Figure 3: the 3-SAT reduction, end to end."""
+
+from conftest import single_round
+
+from repro.experiments import e8_hardness
+
+
+def test_e8_hardness(benchmark, show):
+    table = single_round(benchmark, lambda: e8_hardness.run(trials=5))
+    show("E8: OPT(I(Φ)) = N - v iff SAT (DPLL as ground truth)", table)
+    for row in table.rows:
+        t = row["trials"]
+        assert row["agree"] == f"{t}/{t}"

@@ -1,0 +1,19 @@
+"""E9 — practical throughput comparison against classical baselines."""
+
+from conftest import single_round
+
+from repro.experiments import e9_baselines
+
+
+def test_e9_baselines(benchmark, show):
+    table = single_round(benchmark, lambda: e9_baselines.run(trials=6))
+    show("E9: mean throughput per scheduler per workload family", table)
+    for row in table.rows:
+        # nothing may beat the cut upper bound
+        for s in e9_baselines.SCHEDULERS:
+            assert row[s] <= row["upper_bound"] + 1e-9
+        # D-BFL mimics BFL exactly (Theorem 5.2)
+        assert row["dbfl"] == row["bfl"]
+        # random assignment should not dominate the informed bufferless rules
+        best_informed = max(row["bfl"], row["edf_bufferless"], row["min_laxity"])
+        assert row["random"] <= best_informed + 1e-9

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark drives one experiment module from ``repro.experiments``
+(the same code the CLI runs) under pytest-benchmark, then prints the
+resulting table so the harness output contains the reproduced rows.
+Heavy experiments run a single round — the interesting output is the
+table, the timing is a bonus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print an experiment table under the benchmark header."""
+
+    def _show(name: str, table) -> None:
+        print()
+        print(f"==== {name} ====")
+        print(table.render())
+        summary = getattr(table, "summary", None)
+        if summary is not None:
+            print(summary.render())
+
+    return _show
+
+
+def single_round(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark clock and return it."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Watching D-BFL make distributed decisions, event by event.
+
+Theorem 5.2 says the distributed online D-BFL reproduces the centralized
+offline BFL exactly.  This example wraps D-BFL in the event tracer, runs a
+contended instance, and prints the per-step log — releases, forwards,
+idles, the L-value control traffic, deliveries and drops — so you can see
+local decisions composing into the global schedule.
+
+Run:  python examples/distributed_control.py
+"""
+
+from repro import bfl, make_instance
+from repro.core.dbfl import DBFLPolicy
+from repro.network import simulate
+from repro.network.trace import TracingPolicy
+from repro.viz.gantt import link_gantt
+
+
+def main() -> None:
+    # three messages contending for the middle links
+    inst = make_instance(
+        8,
+        [
+            (0, 5, 0, 8),  # long, relaxed
+            (2, 6, 1, 7),  # crosses the same middle links
+            (1, 4, 0, 4),  # tight: zero slack beyond one line
+            (3, 7, 2, 9),
+        ],
+    )
+    tracer = TracingPolicy(DBFLPolicy())
+    result = simulate(inst, tracer)
+    central = bfl(inst)
+
+    print(f"D-BFL delivered {sorted(result.delivered_ids)}; "
+          f"BFL delivered {sorted(central.delivered_ids)}; "
+          f"equal = {result.delivered_ids == central.delivered_ids}")
+    print()
+    print("event log (control values are the per-line L cursors):")
+    print(tracer.render())
+    print()
+    print("link occupancy (rows: links, columns: time, glyphs: message id):")
+    print(link_gantt(inst, result.schedule))
+    print()
+    total_control = len(tracer.of_kind("control"))
+    print(f"{total_control} control values exchanged — each an integer in "
+          f"[-1, {inst.n - 1}], i.e. the paper's log n bits per link per step.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Measurement and reporting helpers for the experiment harness."""
+
+from .guarantees import Guarantee, bfl_buffered_guarantee
+from .metrics import instance_summary, schedule_summary
+from .ratios import (
+    lemma41_bound,
+    lemma42_bound,
+    lemma43_bound,
+    theorem44_lower,
+    theorem44_upper,
+    throughput_ratio,
+)
+from .sweeps import sweep
+from .tables import Table
+
+__all__ = [
+    "instance_summary",
+    "schedule_summary",
+    "throughput_ratio",
+    "theorem44_upper",
+    "theorem44_lower",
+    "lemma41_bound",
+    "lemma42_bound",
+    "lemma43_bound",
+    "Table",
+    "sweep",
+    "Guarantee",
+    "bfl_buffered_guarantee",
+]

@@ -1,0 +1,62 @@
+"""Composed approximation guarantees for BFL against the *buffered* optimum.
+
+The paper's results chain: BFL is within factor 2 of ``OPT_BL``
+(Theorem 3.2), and ``OPT_B`` is within a structure-dependent factor of
+``OPT_BL`` (Theorems 4.1–4.4).  Multiplying gives an a-priori guarantee for
+the bufferless BFL — and, via Theorem 5.2, for the distributed online
+D-BFL — against the best *buffered* schedule:
+
+=========================  =====================  =====================
+instance structure         OPT_B / OPT_BL bound   BFL vs OPT_B factor
+=========================  =====================  =====================
+uniform slack              3            (Thm 4.1)  6
+uniform span               2            (Thm 4.2)  4
+static (release 0)         2            (Thm 4.3)  4
+general                    4(log₂Λ + 1) (Thm 4.4)  8(log₂Λ + 1)
+=========================  =====================  =====================
+
+:func:`bfl_buffered_guarantee` inspects an instance and returns the best
+factor the theorems certify for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.instance import Instance
+from .ratios import theorem44_upper
+
+__all__ = ["Guarantee", "bfl_buffered_guarantee"]
+
+_BFL_FACTOR = 2.0  # Theorem 3.2
+
+
+@dataclass(frozen=True)
+class Guarantee:
+    """An a-priori bound ``OPT_B <= factor * |BFL(I)|`` with its provenance."""
+
+    factor: float
+    separation: float  # the OPT_B / OPT_BL bound used
+    theorem: str
+
+    def __str__(self) -> str:
+        return f"OPT_B <= {self.factor:g} * BFL  (via {self.theorem})"
+
+
+def bfl_buffered_guarantee(instance: Instance) -> Guarantee:
+    """Best certified ``BFL vs OPT_B`` factor for this instance's structure.
+
+    Checks the three special-case premises (uniform slack, uniform span,
+    static) and falls back to the general logarithmic bound, returning
+    whichever factor is smallest.
+    """
+    candidates: list[Guarantee] = []
+    if instance.uniform_slack:
+        candidates.append(Guarantee(_BFL_FACTOR * 3.0, 3.0, "Thm 4.1 (uniform slack)"))
+    if instance.uniform_span:
+        candidates.append(Guarantee(_BFL_FACTOR * 2.0, 2.0, "Thm 4.2 (uniform span)"))
+    if instance.static:
+        candidates.append(Guarantee(_BFL_FACTOR * 2.0, 2.0, "Thm 4.3 (static)"))
+    general = theorem44_upper(instance)
+    candidates.append(Guarantee(_BFL_FACTOR * general, general, "Thm 4.4 (general)"))
+    return min(candidates, key=lambda g: g.factor)

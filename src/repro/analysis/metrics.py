@@ -1,0 +1,69 @@
+"""Descriptive statistics over instances and schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+
+__all__ = ["instance_summary", "schedule_summary"]
+
+
+def instance_summary(instance: Instance) -> dict[str, float | int]:
+    """Aggregate statistics of an instance (all int/float scalars)."""
+    cols = instance.as_arrays()
+    k = len(instance)
+    if k == 0:
+        return {
+            "messages": 0,
+            "nodes": instance.n,
+            "feasible": 0,
+            "max_slack": 0,
+            "max_span": 0,
+            "lambda": 0,
+            "mean_slack": 0.0,
+            "mean_span": 0.0,
+            "horizon": instance.horizon,
+            "mean_link_load": 0.0,
+        }
+    spans = cols["span"]
+    slacks = cols["slack"]
+    return {
+        "messages": k,
+        "nodes": instance.n,
+        "feasible": int((slacks >= 0).sum()),
+        "max_slack": int(slacks.max()),
+        "max_span": int(spans.max()),
+        "lambda": instance.lam,
+        "mean_slack": float(slacks.mean()),
+        "mean_span": float(spans.mean()),
+        "horizon": instance.horizon,
+        # total hop demand over total link-step capacity
+        "mean_link_load": float(
+            spans.sum() / ((instance.n - 1) * max(instance.horizon, 1))
+        ),
+    }
+
+
+def schedule_summary(instance: Instance, schedule: Schedule) -> dict[str, float | int]:
+    """Delivery statistics of a schedule against its instance."""
+    k = len(instance)
+    delivered = schedule.throughput
+    latencies = []
+    slack_used = []
+    for traj in schedule:
+        m = instance[traj.message_id]
+        latencies.append(traj.arrive - m.release)
+        slack_used.append(traj.arrive - m.earliest_arrival)
+    return {
+        "messages": k,
+        "delivered": delivered,
+        "dropped": k - delivered,
+        "delivery_ratio": delivered / k if k else 1.0,
+        "bufferless": schedule.bufferless,
+        "total_wait": schedule.total_wait,
+        "mean_latency": float(np.mean(latencies)) if latencies else 0.0,
+        "mean_slack_used": float(np.mean(slack_used)) if slack_used else 0.0,
+        "peak_buffer": max(schedule.max_buffer_occupancy().values(), default=0),
+    }

@@ -1,0 +1,60 @@
+"""The paper's Section-4 bound formulas, as callable functions.
+
+These express Theorem 4.4 and Lemmas 4.1-4.3 numerically, so experiment
+E3-E6 output can print *bound vs measured* side by side.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+
+__all__ = [
+    "throughput_ratio",
+    "theorem44_upper",
+    "theorem44_lower",
+    "lemma41_bound",
+    "lemma42_bound",
+    "lemma43_bound",
+]
+
+
+def throughput_ratio(buffered: Schedule | int, bufferless: Schedule | int) -> float:
+    """``|buffered| / |bufferless|`` (inf when only the bufferless side is 0)."""
+    b = buffered if isinstance(buffered, int) else buffered.throughput
+    bl = bufferless if isinstance(bufferless, int) else bufferless.throughput
+    if bl == 0:
+        return math.inf if b > 0 else 1.0
+    return b / bl
+
+
+def theorem44_upper(instance: Instance) -> float:
+    """``4 (log2 Λ(I) + 1)`` — the general upper bound on OPT_B / OPT_BL."""
+    lam = max(instance.lam, 1)
+    return 4.0 * (math.log2(lam) + 1.0)
+
+
+def theorem44_lower(instance: Instance) -> float:
+    """``(1/2) log2 Λ(I)`` — the separation the bad family achieves."""
+    lam = max(instance.lam, 1)
+    return 0.5 * math.log2(lam)
+
+
+def lemma41_bound(instance: Instance) -> float:
+    """``2 (ln(σ(I) + 1) + 1)`` with σ the maximum slack."""
+    return 2.0 * (math.log(instance.max_slack + 1) + 1.0)
+
+
+def lemma42_bound(instance: Instance) -> float:
+    """``2 (ln(|I| / 2) + 1)`` (for ``|I| >= 2``; 1.0 below that)."""
+    if len(instance) < 2:
+        return 1.0
+    return 2.0 * (math.log(len(instance) / 2.0) + 1.0)
+
+
+def lemma43_bound(instance: Instance) -> float:
+    """``4 (floor(log2 δ(I)) + 1)`` with δ the maximum span."""
+    span = max(instance.max_span, 1)
+    return 4.0 * (math.floor(math.log2(span)) + 1.0)

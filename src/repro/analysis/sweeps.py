@@ -1,0 +1,71 @@
+"""Parameter-sweep scaffolding for curve-style experiments.
+
+A *sweep* varies one parameter, generates seeded instances at each value,
+runs a set of schedulers on every instance, and aggregates mean delivered
+counts (plus an upper bound) into a :class:`~repro.analysis.tables.Table`
+— one row per parameter value, one column per scheduler.  E12 (offered
+load) and E13 (slack tightness) are thin wrappers over this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..exact import cut_upper_bound
+from .tables import Table
+
+__all__ = ["sweep"]
+
+# scheduler: instance -> delivered-message count
+Scheduler = Callable[[Instance], int]
+# generator: (rng, parameter value) -> instance
+Generator = Callable[[np.random.Generator, Any], Instance]
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[Any],
+    generator: Generator,
+    schedulers: Mapping[str, Scheduler],
+    *,
+    seed: int = 2024,
+    trials: int = 10,
+    relative: bool = True,
+) -> Table:
+    """Run the sweep and return its table.
+
+    With ``relative=True`` scheduler columns report mean *delivery ratio*
+    (delivered / messages); otherwise mean absolute counts.  The
+    ``upper_bound`` column always uses the same normalisation, so no
+    scheduler column may exceed it.
+    """
+    if not values:
+        raise ValueError("sweep needs at least one parameter value")
+    if not schedulers:
+        raise ValueError("sweep needs at least one scheduler")
+    table = Table([parameter, "messages", "upper_bound", *schedulers])
+    rng = np.random.default_rng(seed)
+    for value in values:
+        sums = {name: 0.0 for name in schedulers}
+        bound_sum = 0.0
+        msg_sum = 0.0
+        for _ in range(trials):
+            inst = generator(rng, value)
+            k = max(len(inst), 1)
+            norm = k if relative else 1
+            msg_sum += len(inst)
+            bound_sum += cut_upper_bound(inst) / norm
+            for name, run in schedulers.items():
+                sums[name] += run(inst) / norm
+        table.add(
+            **{
+                parameter: value,
+                "messages": msg_sum / trials,
+                "upper_bound": bound_sum / trials,
+                **{name: sums[name] / trials for name in schedulers},
+            }
+        )
+    return table

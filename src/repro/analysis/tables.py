@@ -1,0 +1,60 @@
+"""Dependency-free text tables for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """Accumulate rows, render aligned monospace output.
+
+    >>> t = Table(["k", "ratio"])
+    >>> t.add(k=1, ratio=1.5)
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    k | ratio
+    --+------
+    1 | 1.500
+    """
+
+    def __init__(self, columns: Sequence[str], *, floatfmt: str = ".3f") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.floatfmt = floatfmt
+        self.rows: list[dict[str, Any]] = []
+
+    def add(self, **values: Any) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}")
+        self.rows.append(values)
+
+    def extend(self, rows: Iterable[dict[str, Any]]) -> None:
+        for row in rows:
+            self.add(**row)
+
+    def _fmt(self, value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return format(value, self.floatfmt)
+        return str(value)
+
+    def render(self, *, title: str | None = None) -> str:
+        cells = [[self._fmt(r.get(c)) for c in self.columns] for r in self.rows]
+        widths = [
+            max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        body = [" | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in cells]
+        lines = ([title] if title else []) + [header, sep] + body
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,70 @@
+"""Buffered greedy policies for the network simulator.
+
+All are *local-control* policies in the paper's sense: each node decides
+from its own buffer only.  They are the classical per-link heuristics the
+real-time literature uses, and serve as buffered baselines against D-BFL.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..network.packet import Packet
+from ..network.policy import NodeView, Policy
+from ..network.simulator import SimulationResult, simulate
+
+__all__ = [
+    "EDFPolicy",
+    "MinLaxityPolicy",
+    "FCFSPolicy",
+    "NearestDestPolicy",
+    "run_policy",
+]
+
+
+class EDFPolicy(Policy):
+    """Earliest deadline first — the classic hard-real-time rule."""
+
+    def select(self, view: NodeView) -> Packet | None:
+        if not view.candidates:
+            return None
+        return min(view.candidates, key=lambda p: (p.deadline, p.id))
+
+
+class MinLaxityPolicy(Policy):
+    """Least laxity first: forward the packet that can least afford to wait."""
+
+    def select(self, view: NodeView) -> Packet | None:
+        if not view.candidates:
+            return None
+        return min(view.candidates, key=lambda p: (p.laxity(view.time), p.deadline, p.id))
+
+
+class FCFSPolicy(Policy):
+    """Oldest release first (first-come-first-served)."""
+
+    def select(self, view: NodeView) -> Packet | None:
+        if not view.candidates:
+            return None
+        return min(view.candidates, key=lambda p: (p.message.release, p.id))
+
+
+class NearestDestPolicy(Policy):
+    """BFL's nearest-destination tie-break, without the scan-line L filter.
+
+    The gap between this and D-BFL measures exactly what the ``L``-value
+    propagation buys (ablation A1).
+    """
+
+    def select(self, view: NodeView) -> Packet | None:
+        if not view.candidates:
+            return None
+        return min(
+            view.candidates, key=lambda p: (p.dest, -p.message.source, p.id)
+        )
+
+
+def run_policy(
+    instance: Instance, policy: Policy, *, buffer_capacity: int | None = None
+) -> SimulationResult:
+    """Convenience wrapper mirroring :func:`repro.core.dbfl.dbfl`."""
+    return simulate(instance, policy, buffer_capacity=buffer_capacity)

@@ -1,0 +1,99 @@
+"""Bufferless baseline schedulers: order the messages, first-fit the lines.
+
+Each baseline fixes a *message* order (arrival, deadline, laxity, random)
+and then assigns every message the earliest scan line in its window on
+which its segment fits, given everything placed so far.  This is how a
+practitioner without the scan-line sweep insight would schedule; comparing
+against BFL isolates the value of the paper's per-line greedy (E9/A1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.message import Direction, Message
+from ..core.schedule import Schedule
+from ..core.trajectory import bufferless_trajectory
+
+__all__ = ["first_fit", "edf_bufferless", "min_laxity_first", "random_assignment"]
+
+
+def _first_fit_in_order(instance: Instance, order: Sequence[Message]) -> Schedule:
+    for m in instance:
+        if m.direction != Direction.LEFT_TO_RIGHT:
+            raise ValueError(
+                f"message {m.id} travels right-to-left; split directions first"
+            )
+    occupancy: dict[int, list[tuple[int, int]]] = {}
+
+    def fits(alpha: int, left: int, right: int) -> bool:
+        occ = occupancy.get(alpha, [])
+        i = bisect.bisect_left(occ, (left, left))
+        if i < len(occ) and occ[i][0] < right:
+            return False
+        if i > 0 and occ[i - 1][1] > left:
+            return False
+        return True
+
+    out = []
+    for m in order:
+        if not m.feasible:
+            continue
+        # earliest departure first == largest ao-parameter first
+        for alpha in range(m.alpha_max, m.alpha_min - 1, -1):
+            if fits(alpha, m.source, m.dest):
+                bisect.insort(occupancy.setdefault(alpha, []), (m.source, m.dest))
+                out.append(bufferless_trajectory(m, alpha))
+                break
+    return Schedule(tuple(out))
+
+
+def first_fit(instance: Instance) -> Schedule:
+    """Messages in release order (ties: id), earliest line that fits."""
+    order = sorted(instance, key=lambda m: (m.release, m.id))
+    return _first_fit_in_order(instance, order)
+
+
+def edf_bufferless(instance: Instance) -> Schedule:
+    """Messages in deadline order, earliest line that fits."""
+    order = sorted(instance, key=lambda m: (m.deadline, m.id))
+    return _first_fit_in_order(instance, order)
+
+
+def min_laxity_first(instance: Instance) -> Schedule:
+    """Messages in slack order (most constrained first), earliest fitting line."""
+    order = sorted(instance, key=lambda m: (m.slack, m.deadline, m.id))
+    return _first_fit_in_order(instance, order)
+
+
+def random_assignment(instance: Instance, rng: np.random.Generator) -> Schedule:
+    """Random message order, random feasible line — the sanity floor."""
+    for m in instance:
+        if m.direction != Direction.LEFT_TO_RIGHT:
+            raise ValueError(
+                f"message {m.id} travels right-to-left; split directions first"
+            )
+    order = list(instance)
+    rng.shuffle(order)
+    occupancy: dict[int, list[tuple[int, int]]] = {}
+    out = []
+    for m in order:
+        if not m.feasible:
+            continue
+        alphas = list(range(m.alpha_min, m.alpha_max + 1))
+        rng.shuffle(alphas)
+        for alpha in alphas:
+            occ = occupancy.get(alpha, [])
+            i = bisect.bisect_left(occ, (m.source, m.source))
+            bad = (i < len(occ) and occ[i][0] < m.dest) or (
+                i > 0 and occ[i - 1][1] > m.source
+            )
+            if not bad:
+                bisect.insort(occupancy.setdefault(alpha, []), (m.source, m.dest))
+                out.append(bufferless_trajectory(m, alpha))
+                break
+    return Schedule(tuple(out))

@@ -1,0 +1,39 @@
+"""The Lui–Zaks closest-deadline-first greedy for static message sets.
+
+Related work [30] (Lui & Zaks, *Scheduling in synchronous networks and the
+greedy algorithm*) shows that for a *static* set of messages with deadlines
+on a linear network, if any schedule delivers every message, then the
+closest-deadline-first greedy does too.  "Closest" must be measured
+relative to each packet's remaining distance — i.e. least laxity first:
+plain absolute-deadline EDF provably fails (a packet with deadline 3 and
+laxity 1 must *not* pre-empt a packet with deadline 5 and laxity 0; see
+``tests/test_baselines.py::TestLuiZaks``).  We realise the greedy as a
+least-laxity pass over the simulator and report either the complete
+schedule or ``None``.
+
+This gives the library a no-drop *feasibility* primitive complementing the
+paper's throughput-maximisation view, and serves as a cross-check: whenever
+the exact solver says all messages fit, the greedy must find a schedule.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from .buffered_greedy import MinLaxityPolicy, run_policy
+
+__all__ = ["lui_zaks_feasible"]
+
+
+def lui_zaks_feasible(instance: Instance) -> Schedule | None:
+    """Schedule delivering *all* messages of a static set, or ``None``.
+
+    Raises ``ValueError`` for non-static instances — the Lui–Zaks guarantee
+    only covers simultaneous release.
+    """
+    if not instance.static:
+        raise ValueError("lui_zaks_feasible requires a static instance")
+    result = run_policy(instance, MinLaxityPolicy())
+    if result.throughput == len(instance):
+        return result.schedule
+    return None

@@ -1,0 +1,224 @@
+"""Command-line entry point: ``repro <command>``.
+
+Commands:
+
+* ``repro list`` — available experiments with one-line descriptions;
+* ``repro run e2 [e7 ...]`` — run experiments, print their tables;
+* ``repro run all`` — everything (E8 involves MILPs; expect ~a minute);
+* ``repro figure 1|2|3`` — print a paper figure as ASCII art;
+* ``repro demo`` — the quickstart: schedule a random instance, show it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Time-constrained message scheduling in linear networks "
+        "(Adler-Rosenberg-Sitaraman-Unger, SPAA 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run experiments and print their tables")
+    run_p.add_argument("experiments", nargs="+", help="experiment ids (e1..e11, a1, a2) or 'all'")
+    run_p.add_argument("--seed", type=int, default=2024)
+
+    fig_p = sub.add_parser("figure", help="print a paper figure as ASCII art")
+    fig_p.add_argument("number", type=int, choices=(1, 2, 3))
+    fig_p.add_argument("--k", type=int, default=3, help="k for Figure 2's I_k")
+
+    demo_p = sub.add_parser("demo", help="schedule a random instance and draw it")
+    demo_p.add_argument("--seed", type=int, default=0)
+    demo_p.add_argument("--n", type=int, default=16)
+    demo_p.add_argument("--messages", type=int, default=10)
+
+    solve_p = sub.add_parser("solve", help="schedule an instance JSON file")
+    solve_p.add_argument("instance", help="path to a repro-instance JSON file")
+    solve_p.add_argument(
+        "--algorithm",
+        choices=("bfl", "dbfl", "edf", "exact"),
+        default="bfl",
+        help="scheduler (exact = MILP OPT_BL; NP-hard, small instances only)",
+    )
+    solve_p.add_argument("--out", help="write the schedule as JSON here")
+    solve_p.add_argument("--gantt", action="store_true", help="print link occupancy")
+
+    report_p = sub.add_parser("report", help="run experiments, emit a markdown report")
+    report_p.add_argument("experiments", nargs="*", help="subset of ids (default: all)")
+    report_p.add_argument("--seed", type=int, default=None)
+
+    ds_p = sub.add_parser("dataset", help="canonical named instances")
+    ds_sub = ds_p.add_subparsers(dest="ds_command", required=True)
+    ds_sub.add_parser("list", help="list canonical instances")
+    ds_show = ds_sub.add_parser("show", help="draw one canonical instance")
+    ds_show.add_argument("name")
+    ds_show.add_argument("--out", help="write the instance as JSON here")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _list()
+    if args.command == "run":
+        return _run(args.experiments, args.seed)
+    if args.command == "figure":
+        return _figure(args.number, args.k)
+    if args.command == "demo":
+        return _demo(args.seed, args.n, args.messages)
+    if args.command == "solve":
+        return _solve(args.instance, args.algorithm, args.out, args.gantt)
+    if args.command == "dataset":
+        return _dataset(args)
+    if args.command == "report":
+        from .experiments.report import build_report
+
+        try:
+            print(build_report(only=args.experiments or None, seed=args.seed))
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        return 0
+    return 2  # unreachable given required=True
+
+
+def _list() -> int:
+    from .experiments import ALL
+
+    for name, mod in ALL.items():
+        print(f"{name:>4}  {getattr(mod, 'DESCRIPTION', mod.__name__)}")
+    return 0
+
+
+def _run(names: list[str], seed: int) -> int:
+    from .experiments import ALL
+
+    if names == ["all"]:
+        names = list(ALL)
+    unknown = [n for n in names if n not in ALL]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL)}", file=sys.stderr)
+        return 2
+    for name in names:
+        mod = ALL[name]
+        t0 = time.perf_counter()
+        accepts_seed = "seed" in (mod.run.__kwdefaults__ or {})
+        table = mod.run(seed=seed) if accepts_seed else mod.run()
+        elapsed = time.perf_counter() - t0
+        print(f"== {name}: {getattr(mod, 'DESCRIPTION', '')} ({elapsed:.1f}s) ==")
+        print(table.render())
+        summary = getattr(table, "summary", None)
+        if summary is not None:
+            print()
+            print(summary.render())
+        print()
+    return 0
+
+
+def _figure(number: int, k: int) -> int:
+    from .viz import figure1, figure2, figure3
+
+    if number == 1:
+        print(figure1())
+    elif number == 2:
+        print(figure2(k))
+    else:
+        print(figure3())
+    return 0
+
+
+def _demo(seed: int, n: int, k: int) -> int:
+    from .core.bfl import bfl
+    from .core.dbfl import dbfl
+    from .viz.lattice import render_schedule
+    from .workloads import general_instance
+
+    rng = np.random.default_rng(seed)
+    inst = general_instance(rng, n=n, k=k, max_release=n // 2, max_slack=4)
+    schedule = bfl(inst)
+    distributed = dbfl(inst)
+    print(
+        f"{len(inst)} messages on {n} nodes: BFL delivers {schedule.throughput}, "
+        f"D-BFL delivers {distributed.throughput} "
+        f"(sets equal: {schedule.delivered_ids == distributed.delivered_ids})"
+    )
+    print()
+    print(render_schedule(inst, schedule))
+    return 0
+
+
+def _solve(instance_path: str, algorithm: str, out: str | None, gantt: bool) -> int:
+    from .analysis import schedule_summary
+    from .core.bfl import bfl
+    from .core.dbfl import dbfl
+    from .baselines import edf_bufferless
+    from .exact import opt_bufferless
+    from .io import load_instance, save_schedule
+
+    inst = load_instance(instance_path)
+    if algorithm == "bfl":
+        schedule = bfl(inst)
+    elif algorithm == "dbfl":
+        schedule = dbfl(inst).schedule
+    elif algorithm == "edf":
+        schedule = edf_bufferless(inst)
+    else:
+        schedule = opt_bufferless(inst).schedule
+    summary = schedule_summary(inst, schedule)
+    print(
+        f"{algorithm}: delivered {summary['delivered']}/{summary['messages']} "
+        f"(ratio {summary['delivery_ratio']:.3f}), "
+        f"mean latency {summary['mean_latency']:.2f}, "
+        f"buffered wait {summary['total_wait']}"
+    )
+    if gantt:
+        from .viz.gantt import link_gantt
+
+        print(link_gantt(inst, schedule))
+    if out:
+        save_schedule(schedule, out)
+        print(f"schedule written to {out}")
+    return 0
+
+
+def _dataset(args) -> int:
+    from .datasets import available, describe, load
+
+    if args.ds_command == "list":
+        for name in available():
+            print(f"{name:<22} {describe(name)}")
+        return 0
+    try:
+        inst = load(args.name)
+    except KeyError as exc:
+        print(str(exc), file=__import__("sys").stderr)
+        return 2
+    from .analysis import instance_summary
+    from .viz.lattice import render_instance
+
+    print(f"{args.name}: {describe(args.name)}")
+    summary = instance_summary(inst)
+    print(
+        f"{summary['messages']} messages on {summary['nodes']} nodes; "
+        f"Λ = {summary['lambda']}, max slack {summary['max_slack']}, "
+        f"max span {summary['max_span']}"
+    )
+    print()
+    print(render_instance(inst))
+    if args.out:
+        from .io import save_instance
+
+        save_instance(inst, args.out)
+        print(f"instance written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Constructive machinery behind the paper's Section 4 theorems.
+
+* :mod:`repro.constructions.lower_bound` — the recursive family ``I_k``
+  (Theorem 4.5 / Fig. 2) separating buffered from bufferless throughput by
+  a logarithmic factor, together with its explicit all-messages buffered
+  schedule.
+* :mod:`repro.constructions.span_conversion` — the Theorem 4.2 column-
+  partition turning any buffered schedule of a uniform-span instance into a
+  bufferless one of at least half the throughput.
+* :mod:`repro.constructions.static_conversion` — the Theorem 4.3 Claim-1
+  scan-line filter for static (release-0) instances.
+* :mod:`repro.constructions.single_conflict` — the Theorem 4.3 Claim-2
+  rewriting: any static buffered schedule becomes single-conflict without
+  losing a message; composed with Claim 1 this is the constructive proof
+  of ``OPT_B <= 2 · OPT_BL`` for static instances.
+* :mod:`repro.constructions.credit` — the credit-distribution audit behind
+  Theorem 4.1 and Lemma 4.1, executable on concrete instances.
+"""
+
+from .credit import CreditAudit, credit_audit
+from .log_span_conversion import log_span_conversion
+from .single_conflict import is_single_conflict, make_single_conflict
+from .lower_bound import (
+    lower_bound_buffered_schedule,
+    lower_bound_instance,
+    lower_bound_optbl_cap,
+)
+from .span_conversion import span_partition_conversion
+from .static_conversion import delivery_line_filter, single_conflict_counts
+
+__all__ = [
+    "lower_bound_instance",
+    "lower_bound_buffered_schedule",
+    "lower_bound_optbl_cap",
+    "span_partition_conversion",
+    "log_span_conversion",
+    "delivery_line_filter",
+    "single_conflict_counts",
+    "make_single_conflict",
+    "is_single_conflict",
+    "credit_audit",
+    "CreditAudit",
+]

@@ -1,0 +1,101 @@
+"""Lemma 4.3: the log-span partition behind Theorem 4.4's upper bound.
+
+For arbitrary instances the paper bounds ``OPT_B <= 4(⌊log₂ δ(I)⌋ + 1) ·
+OPT_BL`` constructively:
+
+1. bucket the buffered schedule's messages by ``⌊log₂ span⌋`` and keep the
+   largest bucket ``R`` — all its spans lie in ``[δ, 2δ)`` for ``δ = 2^i``;
+2. within ``R``, anchor each message to a column whose index is a multiple
+   of ``δ + 1`` inside its node interval (an interval of ``span + 1 ≥
+   δ + 1`` nodes contains one or two such multiples), classify anchors by
+   their multiple index mod 4, and keep the largest of the four classes;
+3. route every kept message on a straight line at its anchor column.
+   Same-class columns are ``4(δ+1)`` apart, out of reach of segments of
+   length ``< 2δ``, so only same-column messages interact — resolved by
+   the same exact per-column line assignment as the uniform-span
+   conversion (Theorem 4.2), with the same seed lines from the buffered
+   trajectory's column-touch times.
+
+The result is a valid bufferless schedule of size at least
+``|buffered| / (4 (⌊log₂ δ(I)⌋ + 1))``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..core.trajectory import Trajectory, bufferless_trajectory
+from .span_conversion import ConversionReport, _assign_lines, _seed_line
+
+__all__ = ["log_span_conversion"]
+
+
+def log_span_conversion(
+    instance: Instance, buffered: Schedule, *, full_report: bool = False
+) -> Schedule | ConversionReport:
+    """Convert any buffered schedule to bufferless, Lemma-4.3 style.
+
+    Returns the schedule (or a :class:`ConversionReport` with
+    ``full_report=True``; its ``class_sizes`` holds ``(kept bucket+class
+    size, everything else)``).
+    """
+    if buffered.throughput == 0:
+        report = ConversionReport(Schedule(), 0, (0, 0), 0)
+        return report if full_report else report.schedule
+
+    # 1. largest log-span bucket
+    buckets: dict[int, list[Trajectory]] = defaultdict(list)
+    for traj in buffered:
+        buckets[int(math.floor(math.log2(traj.span)))].append(traj)
+    level, bucket = max(buckets.items(), key=lambda kv: (len(kv[1]), -kv[0]))
+    delta = 1 << level
+
+    # 2. anchor multiples of (delta + 1); classify mod 4; keep the largest
+    spacing = delta + 1
+    classes: dict[int, dict[int, list[Trajectory]]] = {
+        j: defaultdict(list) for j in range(4)
+    }
+    for traj in bucket:
+        first = -(-traj.source // spacing)  # ceil-div: first multiple index
+        anchors = [
+            idx for idx in (first, first + 1) if idx * spacing <= traj.dest
+        ]
+        if not anchors:
+            raise AssertionError(
+                f"interval [{traj.source}, {traj.dest}] misses every multiple "
+                f"of {spacing} — span bucketing is broken"
+            )
+        for idx in anchors:
+            classes[idx % 4][idx * spacing].append(traj)
+
+    sizes = {
+        j: sum(len(v) for v in per_col.values()) for j, per_col in classes.items()
+    }
+    kept_class = max(sizes, key=lambda j: (sizes[j], -j))
+
+    # a message with two anchors may appear in two classes; within the kept
+    # class each message appears at most once (consecutive multiples land in
+    # different classes), so no dedup is needed.
+
+    out: list[Trajectory] = []
+    dropped = 0
+    for column, trajs in classes[kept_class].items():
+        msgs = [instance[t.message_id] for t in trajs]
+        seeds = {t.message_id: _seed_line(t, column) for t in trajs}
+        assignment = _assign_lines(column, msgs, seeds)
+        for m in msgs:
+            alpha = assignment.get(m.id)
+            if alpha is None:
+                dropped += 1
+            else:
+                out.append(bufferless_trajectory(m, alpha=alpha))
+    report = ConversionReport(
+        Schedule(tuple(out)),
+        kept_class,
+        (sizes[kept_class], buffered.throughput - sizes[kept_class]),
+        dropped,
+    )
+    return report if full_report else report.schedule

@@ -1,0 +1,116 @@
+"""The Theorem 4.5 lower-bound family ``I_k`` (paper Fig. 2).
+
+Construction (verbatim from the paper):
+
+* ``I_0`` is a single unit message: ``0 -> 1``, release 0, deadline 1.
+* ``I_k = S_k  ∪  I_{k-1}^{(1)}  ∪  I_{k-1}^{(2)}`` where ``S_k`` is
+  ``2^{k-1}`` identical messages ``0 -> 2^k`` with release 0 and deadline
+  ``2^{k+1} - 1``, and the two sub-instances are copies of ``I_{k-1}``
+  translated to origins ``(node 0, time 2^{k-1})`` and
+  ``(node 2^{k-1}, time 2^{k-1})``.
+
+Properties reproduced here:
+
+* ``|I_k| = (k + 2) * 2^{k-1}`` and **all** of it is routable with buffers —
+  :func:`lower_bound_buffered_schedule` builds the explicit schedule (the
+  ``S_k`` messages run to the *midpoint* node ``2^{k-1}``, wait ``2^{k-1}``
+  steps, then finish; the paper's text says node ``2^k``, which is the
+  destination itself — the geometry forces the midpoint, see DESIGN.md);
+* no bufferless schedule delivers more than ``2^k`` messages
+  (:func:`lower_bound_optbl_cap` returns that cap; the tests confirm it
+  with the exact solver for small ``k``);
+* hence ``OPT_B / OPT_BL >= (k + 2)/2 >= (1/2) log Λ(I_k)``.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..core.message import Message
+from ..core.schedule import Schedule
+from ..core.trajectory import Trajectory
+
+__all__ = [
+    "lower_bound_instance",
+    "lower_bound_buffered_schedule",
+    "lower_bound_optbl_cap",
+    "lower_bound_size",
+]
+
+
+def lower_bound_size(k: int) -> int:
+    """``|I_k| = (k + 2) * 2^{k-1}`` (``1`` for ``k = 0``)."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k == 0:
+        return 1
+    return (k + 2) * (1 << (k - 1))
+
+
+def lower_bound_optbl_cap(k: int) -> int:
+    """The paper's upper bound ``OPT_BL(I_k) <= 2^k``."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return 1 << k
+
+
+def _messages(k: int, dnode: int, dtime: int, next_id: list[int]) -> list[Message]:
+    """Recursive generator; ``next_id`` is a single-cell id counter."""
+    if k == 0:
+        i = next_id[0]
+        next_id[0] += 1
+        return [Message(i, dnode, dnode + 1, dtime, dtime + 1)]
+    half = 1 << (k - 1)
+    out: list[Message] = []
+    for _ in range(half):  # S_k
+        i = next_id[0]
+        next_id[0] += 1
+        out.append(
+            Message(i, dnode, dnode + (1 << k), dtime, dtime + (1 << (k + 1)) - 1)
+        )
+    out += _messages(k - 1, dnode, dtime + half, next_id)
+    out += _messages(k - 1, dnode + half, dtime + half, next_id)
+    return out
+
+
+def lower_bound_instance(k: int) -> Instance:
+    """Build ``I_k`` on its natural ``2^k + 1``-node line."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    msgs = _messages(k, 0, 0, [0])
+    return Instance((1 << k) + 1, tuple(msgs))
+
+
+def _schedule(k: int, dnode: int, dtime: int, next_id: list[int]) -> list[Trajectory]:
+    """Buffered trajectories delivering *every* message of ``I_k``.
+
+    Mirrors ``_messages`` so ids line up.  The ``S_k`` message with index
+    ``j`` (``0 <= j < 2^{k-1}``) departs at time ``j``, runs bufferlessly to
+    the midpoint node ``2^{k-1}``, waits there ``2^{k-1}`` steps, and runs
+    bufferlessly to ``2^k``, arriving at ``j + 3 * 2^{k-1} <= 2^{k+1} - 1``.
+    """
+    if k == 0:
+        i = next_id[0]
+        next_id[0] += 1
+        return [Trajectory(i, dnode, (dtime,))]
+    half = 1 << (k - 1)
+    out: list[Trajectory] = []
+    for j in range(half):
+        i = next_id[0]
+        next_id[0] += 1
+        leg1 = [dtime + j + h for h in range(half)]
+        leg2 = [dtime + j + (1 << k) + h for h in range(half)]
+        out.append(Trajectory(i, dnode, tuple(leg1 + leg2)))
+    out += _schedule(k - 1, dnode, dtime + half, next_id)
+    out += _schedule(k - 1, dnode + half, dtime + half, next_id)
+    return out
+
+
+def lower_bound_buffered_schedule(k: int) -> Schedule:
+    """The explicit buffered schedule delivering all of ``I_k``.
+
+    ``Schedule`` construction re-verifies edge-disjointness, so a bug in
+    the recursion cannot silently produce an invalid certificate.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return Schedule(tuple(_schedule(k, 0, 0, [0])))

@@ -1,0 +1,239 @@
+"""Theorem 4.3, Claim 2: rewriting a static buffered schedule to single-conflict.
+
+Given any buffered schedule of a *static* (release-0) instance, this module
+produces a schedule delivering the **same message set** in which every
+message has at most one conflict — where ``m'`` conflicts with ``m`` iff
+both reach their destinations on the same scan line ``ℓ`` and
+``s_{m'} < d_m < d_{m'}``.  Claim 1's greedy
+(:func:`repro.constructions.static_conversion.delivery_line_filter`) then
+keeps at least half of it bufferlessly, completing the constructive proof
+of ``OPT_B <= 2 · OPT_BL`` for static instances.
+
+The rewriting follows the paper's two steps, processing delivery lines
+left to right (increasing ao-parameter).  For a message ``m`` with
+conflicts ``m_1, ..., m_k`` (by destination) on line ``ℓ``:
+
+* **Step 1** — reroute ``m_k``: unchanged until node ``d_m``, then straight
+  along ``ℓ`` to ``d_{m_k}``.  Always timing-feasible: hop lines along a
+  staircase are non-increasing, so ``m_k`` passed ``d_m`` no later than
+  ``ℓ`` does.
+* **Step 2** — for each node ``v`` in ``[d_m, d_{m_k} - q)`` (``q`` =
+  ``m_k``'s old final run length), evict whoever crossed ``(v, v+1)`` on
+  ``ℓ`` to an *earlier* line: its own arrival line if that is left of the
+  line ``m_k`` just vacated at ``v``, else the vacated line itself —
+  cascading through occupants, each eviction target strictly closer to the
+  vacated line (two messages cannot arrive at ``v`` on the same line, by
+  link capacity).  Evictions only ever move crossings earlier, which a
+  release-0 instance always permits — this is exactly where staticness is
+  used.
+
+Every intermediate schedule is kept in an explicit slot map, and the final
+result is re-validated both structurally (``Schedule`` construction) and
+against the instance, so an invariant violation raises instead of
+returning a wrong certificate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..core.trajectory import Trajectory
+from ..core.validate import validate_schedule
+from .static_conversion import single_conflict_counts
+
+__all__ = ["make_single_conflict", "is_single_conflict"]
+
+
+def is_single_conflict(schedule: Schedule) -> bool:
+    """Whether every delivered message has at most one conflict."""
+    counts = single_conflict_counts(schedule)
+    return max(counts.values(), default=0) <= 1
+
+
+def make_single_conflict(instance: Instance, schedule: Schedule) -> Schedule:
+    """Rewrite ``schedule`` into a single-conflict schedule (same deliveries).
+
+    Requires a static instance; raises ``ValueError`` otherwise, and
+    ``RuntimeError`` if an internal invariant fails (which would indicate a
+    bug, not a property of the input).
+    """
+    if not instance.static:
+        raise ValueError("make_single_conflict requires a static instance")
+    rewriter = _Rewriter(instance, schedule)
+    rewriter.run()
+    result = rewriter.to_schedule()
+    validate_schedule(instance, result)
+    if result.delivered_ids != schedule.delivered_ids:
+        raise RuntimeError("rewriting changed the delivered set")
+    if not is_single_conflict(result):
+        raise RuntimeError("rewriting failed to reach single-conflict")
+    return result
+
+
+class _Rewriter:
+    """Mutable slot-level view of a schedule, supporting the two steps."""
+
+    def __init__(self, instance: Instance, schedule: Schedule) -> None:
+        self.instance = instance
+        # crossing times per message, indexed by hop offset
+        self.cross: dict[int, list[int]] = {
+            t.message_id: list(t.crossings) for t in schedule
+        }
+        self.source: dict[int, int] = {t.message_id: t.source for t in schedule}
+        self.dest: dict[int, int] = {t.message_id: t.dest for t in schedule}
+        # (node, time) -> message id for every diagonal slot in use
+        self.occ: dict[tuple[int, int], int] = {}
+        for mid, times in self.cross.items():
+            s = self.source[mid]
+            for j, t in enumerate(times):
+                self.occ[(s + j, t)] = mid
+
+    # ------------------------------------------------------------------ #
+    # slot helpers (lines are ao-parameters: line = node - time)
+    # ------------------------------------------------------------------ #
+
+    def hop_time(self, mid: int, v: int) -> int:
+        return self.cross[mid][v - self.source[mid]]
+
+    def hop_line(self, mid: int, v: int) -> int:
+        return v - self.hop_time(mid, v)
+
+    def delivery_line(self, mid: int) -> int:
+        return self.hop_line(mid, self.dest[mid] - 1)
+
+    def set_hop(self, mid: int, v: int, time: int) -> None:
+        old = self.hop_time(mid, v)
+        del self.occ[(v, old)]
+        if (v, time) in self.occ:
+            raise RuntimeError(
+                f"slot ({v}, {time}) already owned by {self.occ[(v, time)]}"
+            )
+        self.occ[(v, time)] = mid
+        self.cross[mid][v - self.source[mid]] = time
+
+    # ------------------------------------------------------------------ #
+    # the sweep
+    # ------------------------------------------------------------------ #
+
+    def conflicts_of(self, mid: int) -> list[int]:
+        """Messages conflicting with ``mid`` (paper definition), by dest."""
+        line = self.delivery_line(mid)
+        d_m = self.dest[mid]
+        out = [
+            other
+            for other in self.cross
+            if other != mid
+            and self.delivery_line(other) == line
+            and self.source[other] < d_m < self.dest[other]
+        ]
+        out.sort(key=lambda o: self.dest[o])
+        return out
+
+    def run(self) -> None:
+        while True:
+            # leftmost line carrying a multi-conflict message (ties: the
+            # message with the nearest destination, then id — any total
+            # order works; this one is deterministic)
+            best: tuple[int, int, int] | None = None  # (line, dest, mid)
+            for mid in self.cross:
+                if len(self.conflicts_of(mid)) >= 2:
+                    key = (self.delivery_line(mid), self.dest[mid], mid)
+                    if best is None or key < best:
+                        best = key
+            if best is None:
+                return
+            self.fix(best[2])
+
+    def fix(self, mid: int) -> None:
+        """One iteration of the paper's rerouting for message ``mid``."""
+        conflicts = self.conflicts_of(mid)
+        if len(conflicts) < 2:
+            return
+        line = self.delivery_line(mid)
+        d_m = self.dest[mid]
+        mk = conflicts[-1]
+        d_k = self.dest[mk]
+
+        # q = length of mk's (maximal) final straight run on `line`
+        q = 1
+        while (
+            d_k - 1 - q >= self.source[mk]
+            and self.hop_line(mk, d_k - 1 - q) == line
+        ):
+            q += 1
+        run_start = d_k - q  # first node of the final run
+        if run_start < d_m:
+            raise RuntimeError("final run crosses the pivot's destination")
+
+        # Step 1 + 2 interleaved, node by node, left to right.
+        for v in range(d_m, run_start):
+            freed_line = self.hop_line(mk, v)
+            if freed_line <= line:
+                raise RuntimeError("vacated line not strictly right of ℓ")
+            # vacate mk's old slot at this node
+            old_t = self.hop_time(mk, v)
+            del self.occ[(v, old_t)]
+            # evict the current occupant of ℓ's slot, if any
+            target_t = v - line
+            occupant = self.occ.get((v, target_t))
+            if occupant is not None:
+                self._evict(occupant, v, freed_line)
+            # claim ℓ's slot for mk
+            if (v, target_t) in self.occ:
+                raise RuntimeError("eviction failed to free the ℓ slot")
+            self.occ[(v, target_t)] = mk
+            self.cross[mk][v - self.source[mk]] = target_t
+
+    def _evict(self, mid: int, v: int, free_line: int) -> None:
+        """Move ``mid``'s crossing of ``(v, v+1)`` to an earlier line,
+        cascading through occupants until the freed line (or a gap)."""
+        s = self.source[mid]
+        if v == s:
+            target = free_line  # static: any earlier departure is legal
+        else:
+            incoming = self.hop_line(mid, v - 1)
+            cur = self.hop_line(mid, v)
+            if incoming <= cur:
+                raise RuntimeError("arrival line not strictly right of hop line")
+            target = free_line if incoming >= free_line else incoming
+        new_t = v - target
+        occupant = self.occ.get((v, new_t))
+        if occupant == mid:
+            raise RuntimeError("eviction cycled onto itself")
+        # detach the occupant (it becomes temporarily slotless), move in
+        old_t = self.hop_time(mid, v)
+        del self.occ[(v, old_t)]
+        if occupant is not None:
+            del self.occ[(v, new_t)]
+        self.occ[(v, new_t)] = mid
+        self.cross[mid][v - s] = new_t
+        if occupant is not None:
+            self._reattach(occupant, v, free_line)
+
+    def _reattach(self, mid: int, v: int, free_line: int) -> None:
+        """Re-place a slotless message's crossing of ``(v, v+1)``."""
+        s = self.source[mid]
+        if v == s:
+            target = free_line
+        else:
+            incoming = self.hop_line(mid, v - 1)
+            target = free_line if incoming >= free_line else incoming
+        new_t = v - target
+        occupant = self.occ.get((v, new_t))
+        self.occ[(v, new_t)] = mid
+        # note: cross still holds the old (now reassigned) time; fix it
+        self.cross[mid][v - s] = new_t
+        if occupant is not None:
+            self._reattach(occupant, v, free_line)
+
+    # ------------------------------------------------------------------ #
+
+    def to_schedule(self) -> Schedule:
+        return Schedule(
+            tuple(
+                Trajectory(mid, self.source[mid], tuple(times))
+                for mid, times in self.cross.items()
+            )
+        )

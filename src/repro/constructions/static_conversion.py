@@ -1,0 +1,83 @@
+"""Theorem 4.3 machinery: static (release-0) instances.
+
+The paper's proof has two parts:
+
+* **Claim 1** — in any *single-conflict* buffered schedule, a sw-ne greedy
+  over each delivery scan line keeps at least half the messages and routes
+  them bufferlessly: :func:`delivery_line_filter` implements that greedy
+  for an arbitrary buffered schedule of a static instance.
+* **Claim 2** — every static instance admits an *optimal* buffered schedule
+  that is single-conflict, via a left-to-right rerouting pass — implemented
+  in :mod:`repro.constructions.single_conflict`;
+  :func:`single_conflict_counts` measures how far a given schedule is from
+  single-conflict (Claim 1's precondition).
+
+Definitions (paper, Section 4.1.3): ``m'`` *conflicts with* ``m`` iff they
+reach their destinations on the same scan line and
+``s_{m'} < d_m < d_{m'}`` — i.e. ``m'``'s final run overlaps ``m``'s
+destination from the left and continues past it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..core.trajectory import Trajectory, bufferless_trajectory
+
+__all__ = ["delivery_line_filter", "single_conflict_counts"]
+
+
+def delivery_line_filter(instance: Instance, buffered: Schedule) -> Schedule:
+    """Claim-1 greedy: keep a bufferless subset along delivery scan lines.
+
+    Each delivered message is pinned to the scan line of its *final* hop;
+    a sw-ne (nearest-destination-first) traversal of every line keeps each
+    message iff its full straight-line segment does not overlap a segment
+    already kept on that line.  For a static instance every kept line is
+    legal (departure ``arrive - span >= 0 = release``).
+
+    For single-conflict inputs the paper guarantees the result keeps at
+    least half the messages; for arbitrary inputs it is simply a valid
+    bufferless schedule (measured, not bounded).
+    """
+    if not instance.static:
+        raise ValueError("delivery_line_filter requires a static instance")
+    by_line: dict[int, list[Trajectory]] = defaultdict(list)
+    for traj in buffered:
+        by_line[traj.final_alpha].append(traj)
+
+    out = []
+    for alpha, trajs in by_line.items():
+        # sw-ne traversal == increasing destination; nearest first
+        trajs.sort(key=lambda t: (t.dest, -t.source, t.message_id))
+        frontier = None  # rightmost kept destination on this line
+        for traj in trajs:
+            if frontier is None or traj.source >= frontier:
+                m = instance[traj.message_id]
+                out.append(bufferless_trajectory(m, alpha=alpha))
+                frontier = traj.dest
+    return Schedule(tuple(out))
+
+
+def single_conflict_counts(schedule: Schedule) -> dict[int, int]:
+    """Per-message conflict counts under the paper's definition.
+
+    Returns ``{message_id: number of other messages conflicting with it}``.
+    A schedule is *single-conflict* iff every value is at most 1 — the
+    precondition of Claim 1.
+    """
+    by_line: dict[int, list[Trajectory]] = defaultdict(list)
+    for traj in schedule:
+        by_line[traj.final_alpha].append(traj)
+    counts = {traj.message_id: 0 for traj in schedule}
+    for trajs in by_line.values():
+        for m in trajs:
+            for other in trajs:
+                if other.message_id == m.message_id:
+                    continue
+                # the paper's condition: s_{m'} < d_m < d_{m'}
+                if other.source < m.dest < other.dest:
+                    counts[m.message_id] += 1
+    return counts

@@ -1,0 +1,192 @@
+"""Algorithm BFL — the paper's 2-approximate bufferless scheduler (Thm 3.2).
+
+BFL sweeps scan lines in *decreasing* ao-parameter order — which is forward
+in time (at any node, the line ``x - y = α`` passes at time ``node - α``, so
+larger ``α`` is earlier).  On each line it runs the classic
+earliest-right-endpoint interval-scheduling greedy over the segments of the
+still-unscheduled messages whose parallelograms the line crosses, schedules
+the selected maximal independent set bufferlessly along the line, and
+removes those messages from further consideration.
+
+Guarantee (paper, Theorem 3.2): the throughput of the returned schedule is
+at least half of ``OPT_BL``.  The charging argument maps every optimally-
+scheduled-but-missed message to the right endpoint of a distinct scheduled
+segment.
+
+Tie-breaking matters: D-BFL (``repro.core.dbfl``) reproduces BFL's output
+exactly (Theorem 5.2) only because both use the same deterministic rule —
+nearest destination, then the *contained* segment (larger source), then
+message id.  Alternative rules are exposed for the tie-break ablation (A1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .geometry import Segment
+from .instance import Instance
+from .message import Direction, Message
+from .schedule import Schedule
+from .trajectory import Trajectory, bufferless_trajectory
+
+__all__ = ["bfl", "bfl_line_order", "TieBreak", "NEAREST_DEST", "EDF", "LONGEST_FIRST"]
+
+# A tie-break maps (segment, message) to a sort key; lower keys are
+# preferred by the per-line greedy.
+TieBreak = Callable[[Segment, Message], tuple]
+
+
+def NEAREST_DEST(seg: Segment, m: Message) -> tuple:
+    """The paper's rule: earliest right endpoint, contained-first, stable id."""
+    return (seg.right, -seg.left, seg.message_id)
+
+
+def EDF(seg: Segment, m: Message) -> tuple:
+    """Earliest-deadline-first ablation: classic real-time heuristic."""
+    return (m.deadline, seg.right, -seg.left, seg.message_id)
+
+
+def LONGEST_FIRST(seg: Segment, m: Message) -> tuple:
+    """Adversarial ablation: prefer long segments (greedy by span, desc)."""
+    return (-(seg.right - seg.left), seg.right, seg.message_id)
+
+
+def bfl(
+    instance: Instance,
+    *,
+    tie_break: TieBreak = NEAREST_DEST,
+    clip_slack: bool = False,
+) -> Schedule:
+    """Run Algorithm BFL on a left-to-right instance.
+
+    Parameters
+    ----------
+    instance:
+        Must contain only left-to-right messages (mirror/split first —
+        see ``Instance.split_directions``).  Infeasible messages are ignored.
+    tie_break:
+        Per-line segment preference; the default is the paper's rule and the
+        only one with the factor-2 guarantee.
+    clip_slack:
+        Apply the throughput-preserving slack clip to ``|I| - 1`` before
+        scheduling (paper's polynomial-time bound).  Off by default so the
+        output is hop-for-hop comparable with the online D-BFL, which cannot
+        clip (it does not know ``|I|`` in advance).
+
+    Returns
+    -------
+    Schedule
+        A valid bufferless schedule with throughput ``>= OPT_BL / 2`` when
+        using the default tie-break.
+    """
+    for m in instance:
+        if m.direction != Direction.LEFT_TO_RIGHT:
+            raise ValueError(
+                f"message {m.id} travels right-to-left; split directions before calling bfl"
+            )
+    work = instance.drop_infeasible()
+    if clip_slack:
+        work = work.clipped_slack()
+    pending: dict[int, Message] = {m.id: m for m in work}
+    original = {m.id: instance[m.id] for m in work}
+
+    trajectories: list[Trajectory] = []
+    alpha = None  # current sweep position; None == before the first line
+    while pending:
+        alpha = _next_line(pending.values(), alpha)
+        if alpha is None:
+            break
+        chosen = _greedy_on_line(pending, alpha, tie_break)
+        for seg in chosen:
+            # Trajectories are built against the *original* message so that a
+            # slack-clipped run still validates against the caller's instance.
+            trajectories.append(bufferless_trajectory(original[seg.message_id], alpha))
+            del pending[seg.message_id]
+    return Schedule(tuple(trajectories))
+
+
+def bfl_line_order(instance: Instance) -> list[int]:
+    """The sequence of scan lines BFL would process (diagnostics/teaching).
+
+    Replays the sweep-position logic without scheduling anything, so it
+    lists every line on which *some* message is relevant, right to left.
+    """
+    msgs = [m for m in instance.drop_infeasible()]
+    out: list[int] = []
+    alpha: int | None = None
+    remaining = list(msgs)
+    while remaining:
+        alpha = _next_line(remaining, alpha)
+        if alpha is None:
+            break
+        out.append(alpha)
+        # Without scheduling, every message relevant at `alpha` would loop
+        # forever; for the diagnostic we advance past each message's window
+        # once it has been listed at its last relevant line.
+        remaining = [m for m in remaining if m.alpha_min < alpha]
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Internals
+# ---------------------------------------------------------------------- #
+
+
+def _next_line(messages, alpha: int | None) -> int | None:
+    """Rightmost scan line strictly left of ``alpha`` relevant to any message.
+
+    ``alpha=None`` means the sweep has not started (no left-of constraint).
+    Returns ``None`` when no message has a relevant line remaining.
+    """
+    best: int | None = None
+    for m in messages:
+        hi = m.alpha_max if alpha is None else min(m.alpha_max, alpha - 1)
+        if hi < m.alpha_min:
+            continue  # this message's window is exhausted
+        if best is None or hi > best:
+            best = hi
+    return best
+
+
+def _greedy_on_line(
+    pending: dict[int, Message], alpha: int, tie_break: TieBreak
+) -> list[Segment]:
+    """Select a maximal independent set of segments on scan line ``alpha``.
+
+    With the default (earliest-right-endpoint) tie-break this is the classic
+    optimal interval-scheduling greedy; with other keys it is a maximal —
+    not necessarily maximum — set, selected best-key-first.
+    """
+    segs: list[tuple[tuple, Segment]] = []
+    for m in pending.values():
+        if m.relevant_to(alpha):
+            seg = Segment(left=m.source, right=m.dest, message_id=m.id, alpha=alpha)
+            segs.append((tie_break(seg, m), seg))
+    segs.sort(key=lambda p: p[0])
+
+    chosen: list[Segment] = []
+    # Occupied node-intervals on this line, kept sorted by left endpoint.
+    occupied: list[tuple[int, int]] = []
+    for _, seg in segs:
+        if _fits(occupied, seg.left, seg.right):
+            chosen.append(seg)
+            _insert(occupied, seg.left, seg.right)
+    return chosen
+
+
+def _fits(occupied: list[tuple[int, int]], left: int, right: int) -> bool:
+    """Whether ``[left, right]`` shares no diagonal edge with any chosen interval."""
+    import bisect
+
+    i = bisect.bisect_left(occupied, (left, left))
+    if i < len(occupied) and occupied[i][0] < right:
+        return False
+    if i > 0 and occupied[i - 1][1] > left:
+        return False
+    return True
+
+
+def _insert(occupied: list[tuple[int, int]], left: int, right: int) -> None:
+    import bisect
+
+    bisect.insort(occupied, (left, right))

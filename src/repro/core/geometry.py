@@ -1,0 +1,206 @@
+"""The paper's geometric view: parallelograms and scan lines in the lattice.
+
+Every left-to-right message ``m`` is a *parallelogram* in the two-dimensional
+lattice ``M_n`` whose x-axis indexes nodes and whose y-axis indexes time:
+
+* the left vertical side sits in column ``source`` between rows ``release``
+  and ``deadline - span`` (the window of legal departures);
+* the right vertical side sits in column ``dest`` between rows
+  ``release + span`` and ``deadline`` (the window of legal arrivals);
+* top and bottom run at 45 degrees southwest-to-northeast.
+
+A *scan line* is a maximal 45-degree sw-ne lattice line.  Points on it share
+the *ao-parameter* ``α = x - y`` (abscissa minus ordinate, i.e. node minus
+time).  A bufferless trajectory is exactly the portion of one scan line
+between the message's source and destination columns; the scan line with
+parameter ``α`` carries message ``m`` iff
+
+    ``dest - deadline  <=  α  <=  source - release``
+
+in which case the message departs at ``source - α`` and arrives at
+``dest - α``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .instance import Instance
+from .message import Message
+
+__all__ = [
+    "Parallelogram",
+    "Segment",
+    "segment_on_line",
+    "segments_on_line",
+    "relevant_alphas",
+    "alpha_range",
+    "relevance_matrix",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Parallelogram:
+    """The lattice region of legal bufferless trajectories of one message.
+
+    Attributes mirror the paper's description; ``alpha_min``/``alpha_max``
+    bound the scan lines crossing the region.
+    """
+
+    message_id: int
+    source: int
+    dest: int
+    release: int
+    deadline: int
+
+    @classmethod
+    def of(cls, m: Message) -> "Parallelogram":
+        if m.source >= m.dest:
+            raise ValueError(f"message {m.id} is not left-to-right")
+        return cls(m.id, m.source, m.dest, m.release, m.deadline)
+
+    @property
+    def span(self) -> int:
+        return self.dest - self.source
+
+    @property
+    def slack(self) -> int:
+        return self.deadline - self.release - self.span
+
+    @property
+    def alpha_min(self) -> int:
+        return self.dest - self.deadline
+
+    @property
+    def alpha_max(self) -> int:
+        return self.source - self.release
+
+    def contains_point(self, node: int, time: int) -> bool:
+        """Whether lattice point ``(node, time)`` lies inside the parallelogram."""
+        if not (self.source <= node <= self.dest):
+            return False
+        alpha = node - time
+        return self.alpha_min <= alpha <= self.alpha_max
+
+    def corners(self) -> tuple[tuple[int, int], tuple[int, int], tuple[int, int], tuple[int, int]]:
+        """The four ``(node, time)`` corners: (bottom-left, top-left, bottom-right, top-right)."""
+        return (
+            (self.source, self.release),
+            (self.source, self.deadline - self.span),
+            (self.dest, self.release + self.span),
+            (self.dest, self.deadline),
+        )
+
+    def scan_lines(self) -> range:
+        """All ao-parameters whose scan line crosses this parallelogram."""
+        return range(self.alpha_min, self.alpha_max + 1)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Segment:
+    """The intersection of one message's parallelogram with one scan line.
+
+    ``left``/``right`` are node indices; the segment occupies the diagonal
+    lattice edges ``left -> left+1 -> ... -> right`` on scan line ``alpha``.
+    Algorithmic ordering always goes through :attr:`sort_key`; the dataclass
+    field order is only used for stable de-duplication.
+    """
+
+    left: int
+    right: int
+    message_id: int
+    alpha: int
+
+    def __post_init__(self) -> None:
+        if self.left >= self.right:
+            raise ValueError(f"degenerate segment [{self.left}, {self.right}]")
+
+    @property
+    def depart(self) -> int:
+        """Departure time of the corresponding bufferless trajectory."""
+        return self.left - self.alpha
+
+    @property
+    def arrive(self) -> int:
+        """Arrival time of the corresponding bufferless trajectory."""
+        return self.right - self.alpha
+
+    def overlaps(self, other: "Segment") -> bool:
+        """Whether the two segments share a diagonal lattice edge.
+
+        Segments meeting only at an endpoint do *not* overlap (the paper
+        allows distinct trajectories to share endpoints).
+        """
+        return max(self.left, other.left) < min(self.right, other.right)
+
+    def contains(self, other: "Segment") -> bool:
+        """Whether ``other``'s node interval lies within ours (possibly equal)."""
+        return self.left <= other.left and other.right <= self.right
+
+    def properly_contains(self, other: "Segment") -> bool:
+        """Strict containment — the condition Algorithm BFL must never schedule."""
+        return self.contains(other) and (self.left, self.right) != (other.left, other.right)
+
+    @property
+    def sort_key(self) -> tuple[int, int, int]:
+        """Greedy scan order: nearest right endpoint, then contained-first
+        (larger left endpoint), then stable id — the tie-breaking rule shared
+        by BFL and D-BFL (DESIGN.md, §5.2)."""
+        return (self.right, -self.left, self.message_id)
+
+
+def segment_on_line(m: Message, alpha: int) -> Segment | None:
+    """``m``'s segment on scan line ``alpha``, or ``None`` if not relevant."""
+    if not m.relevant_to(alpha):
+        return None
+    return Segment(left=m.source, right=m.dest, message_id=m.id, alpha=alpha)
+
+
+def segments_on_line(messages: Sequence[Message], alpha: int) -> list[Segment]:
+    """All segments of ``messages`` on scan line ``alpha``, in greedy scan order."""
+    segs = [s for m in messages if (s := segment_on_line(m, alpha)) is not None]
+    segs.sort(key=lambda s: s.sort_key)
+    return segs
+
+
+def relevant_alphas(messages: Sequence[Message]) -> Iterator[int]:
+    """All ao-parameters relevant to at least one message, in *decreasing*
+    order — the temporal sweep order of Algorithm BFL (earliest departures
+    first; at any node, larger ``α`` means earlier time)."""
+    alphas: set[int] = set()
+    for m in messages:
+        alphas.update(range(m.alpha_min, m.alpha_max + 1))
+    return iter(sorted(alphas, reverse=True))
+
+
+def alpha_range(messages: Sequence[Message]) -> tuple[int, int]:
+    """``(min, max)`` ao-parameter over all messages' parallelograms.
+
+    Raises ``ValueError`` on an empty collection.
+    """
+    if not messages:
+        raise ValueError("no messages")
+    lo = min(m.alpha_min for m in messages)
+    hi = max(m.alpha_max for m in messages)
+    return lo, hi
+
+
+def relevance_matrix(instance: Instance) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised relevance table.
+
+    Returns ``(alphas, ids, rel)`` where ``rel[i, j]`` is True iff scan line
+    ``alphas[j]`` crosses the parallelogram of message ``ids[i]``.  ``alphas``
+    is in decreasing (sweep) order.  Used by analysis and visualisation code;
+    the solvers use the scalar predicates directly.
+    """
+    cols = instance.as_arrays()
+    if len(instance) == 0:
+        return np.empty(0, dtype=np.int64), cols["id"], np.empty((0, 0), dtype=bool)
+    amin = cols["dest"] - cols["deadline"]
+    amax = cols["source"] - cols["release"]
+    alphas = np.arange(int(amax.max()), int(amin.min()) - 1, -1, dtype=np.int64)
+    rel = (amin[:, None] <= alphas[None, :]) & (alphas[None, :] <= amax[:, None])
+    return alphas, cols["id"], rel

@@ -1,0 +1,249 @@
+"""Problem instances: sets of time-constrained messages on one linear network.
+
+An :class:`Instance` bundles the network size ``n`` with a tuple of
+:class:`~repro.core.message.Message` objects.  The paper observes that with
+full-duplex links and dual-ported nodes, the left-to-right and right-to-left
+traffic never contend, so :meth:`Instance.split_directions` decomposes an
+instance into two one-directional sub-instances whose optimal schedules
+simply superpose.
+
+Instances are immutable; all transformations return new objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .message import Direction, Message
+
+__all__ = ["Instance", "make_instance"]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An immutable set of messages to schedule on an ``n``-node line.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; nodes are ``0..n-1``.
+    messages:
+        The messages.  Ids must be unique; endpoints must lie inside the
+        network.  Messages with negative slack are permitted (they model
+        traffic that must be dropped) unless ``require_feasible`` was set by
+        the constructor helper.
+    """
+
+    n: int
+    messages: tuple[Message, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"a linear network needs at least 2 nodes, got n={self.n}")
+        seen: set[int] = set()
+        for m in self.messages:
+            if m.id in seen:
+                raise ValueError(f"duplicate message id {m.id}")
+            seen.add(m.id)
+            if not (0 <= m.source < self.n and 0 <= m.dest < self.n):
+                raise ValueError(
+                    f"message {m.id}: endpoints ({m.source}, {m.dest}) outside 0..{self.n - 1}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self.messages)
+
+    def __getitem__(self, message_id: int) -> Message:
+        """Look up a message by *id* (not positional index)."""
+        try:
+            return self._by_id[message_id]
+        except KeyError:
+            raise KeyError(f"no message with id {message_id}") from None
+
+    def __contains__(self, message_id: int) -> bool:
+        return message_id in self._by_id
+
+    @property
+    def _by_id(self) -> dict[int, Message]:
+        # Cached lazily on the (frozen) instance; object.__setattr__ is the
+        # sanctioned escape hatch for frozen-dataclass memoisation.
+        cache = self.__dict__.get("_by_id_cache")
+        if cache is None:
+            cache = {m.id: m for m in self.messages}
+            object.__setattr__(self, "_by_id_cache", cache)
+        return cache
+
+    @property
+    def ids(self) -> tuple[int, ...]:
+        return tuple(m.id for m in self.messages)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics (paper, Section 4.2)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def max_slack(self) -> int:
+        """``σ(I) = max_m slack`` (0 for an empty instance)."""
+        return max((m.slack for m in self.messages), default=0)
+
+    @property
+    def max_span(self) -> int:
+        """``δ(I) = max_m span`` (0 for an empty instance)."""
+        return max((m.span for m in self.messages), default=0)
+
+    @property
+    def lam(self) -> int:
+        """``Λ(I) = min(σ(I), δ(I), |I|)`` — the paper's separation parameter."""
+        return min(self.max_slack, self.max_span, len(self.messages))
+
+    @property
+    def horizon(self) -> int:
+        """One past the largest deadline: all activity happens in ``[0, horizon)``."""
+        return max((m.deadline for m in self.messages), default=0) + 1
+
+    @property
+    def uniform_slack(self) -> bool:
+        """Whether every message has the same slack (Theorem 4.1's premise)."""
+        slacks = {m.slack for m in self.messages}
+        return len(slacks) <= 1
+
+    @property
+    def uniform_span(self) -> bool:
+        """Whether every message has the same span (Theorem 4.2's premise)."""
+        spans = {m.span for m in self.messages}
+        return len(spans) <= 1
+
+    @property
+    def static(self) -> bool:
+        """Whether every message is released at time zero (Theorem 4.3's premise)."""
+        return all(m.release == 0 for m in self.messages)
+
+    # ------------------------------------------------------------------ #
+    # Direction handling
+    # ------------------------------------------------------------------ #
+
+    @property
+    def all_left_to_right(self) -> bool:
+        return all(m.direction == Direction.LEFT_TO_RIGHT for m in self.messages)
+
+    def split_directions(self) -> tuple["Instance", "Instance"]:
+        """Split into the (LR, RL) sub-instances.
+
+        Full-duplex links make the two directions independent; optimal
+        schedules for the halves superpose into an optimal schedule for the
+        whole (paper, Section 1.1).
+        """
+        lr = tuple(m for m in self.messages if m.direction == Direction.LEFT_TO_RIGHT)
+        rl = tuple(m for m in self.messages if m.direction == Direction.RIGHT_TO_LEFT)
+        return Instance(self.n, lr), Instance(self.n, rl)
+
+    def mirrored(self) -> "Instance":
+        """Reflect every message across the network's centre (RL <-> LR)."""
+        return Instance(self.n, tuple(m.mirrored(self.n) for m in self.messages))
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+
+    def restrict(self, ids: Iterable[int]) -> "Instance":
+        """Keep only the messages whose id is in ``ids``."""
+        keep = set(ids)
+        return Instance(self.n, tuple(m for m in self.messages if m.id in keep))
+
+    def filter(self, predicate: Callable[[Message], bool]) -> "Instance":
+        """Keep only the messages satisfying ``predicate``."""
+        return Instance(self.n, tuple(m for m in self.messages if predicate(m)))
+
+    def drop_infeasible(self) -> "Instance":
+        """Remove messages with negative slack (never deliverable)."""
+        return self.filter(lambda m: m.feasible)
+
+    def clipped_slack(self, max_slack: int | None = None) -> "Instance":
+        """Clip every slack to ``max_slack`` (default ``|I| - 1``).
+
+        Throughput-preserving preprocessing used by Algorithm BFL's
+        polynomial-time bound (paper, Theorem 3.2): at most ``|I|`` messages
+        can ever be scheduled, so at most ``|I|`` distinct scan lines per
+        message matter.
+        """
+        if max_slack is None:
+            max_slack = max(len(self.messages) - 1, 0)
+        return Instance(self.n, tuple(m.clipped_slack(max_slack) for m in self.messages))
+
+    def translated(self, dnode: int = 0, dtime: int = 0, *, n: int | None = None) -> "Instance":
+        """Shift all messages; optionally re-home onto an ``n``-node network."""
+        return Instance(
+            n if n is not None else self.n,
+            tuple(m.translated(dnode, dtime) for m in self.messages),
+        )
+
+    def merged_with(self, other: "Instance", *, n: int | None = None) -> "Instance":
+        """Disjoint union, renumbering ``other``'s ids after ours."""
+        base = max(self.ids, default=-1) + 1
+        renumbered = tuple(m.with_id(base + i) for i, m in enumerate(other.messages))
+        return Instance(n if n is not None else max(self.n, other.n), self.messages + renumbered)
+
+    # ------------------------------------------------------------------ #
+    # Array views (vectorised consumers: exact solvers, generators)
+    # ------------------------------------------------------------------ #
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Columnar view of the instance as int64 arrays.
+
+        Returns a dict with keys ``id, source, dest, release, deadline,
+        span, slack`` — the representation the vectorised solvers and
+        statistics code consume (no per-message Python attribute access in
+        hot loops).
+        """
+        if not self.messages:
+            empty = np.empty(0, dtype=np.int64)
+            return {
+                k: empty.copy()
+                for k in ("id", "source", "dest", "release", "deadline", "span", "slack")
+            }
+        arr = np.array(
+            [(m.id, m.source, m.dest, m.release, m.deadline) for m in self.messages],
+            dtype=np.int64,
+        )
+        out = {
+            "id": arr[:, 0],
+            "source": arr[:, 1],
+            "dest": arr[:, 2],
+            "release": arr[:, 3],
+            "deadline": arr[:, 4],
+        }
+        out["span"] = np.abs(out["dest"] - out["source"])
+        out["slack"] = out["deadline"] - out["release"] - out["span"]
+        return out
+
+
+def make_instance(
+    n: int,
+    rows: Sequence[tuple[int, int, int, int]],
+    *,
+    require_feasible: bool = False,
+) -> Instance:
+    """Build an :class:`Instance` from ``(source, dest, release, deadline)`` rows.
+
+    Ids are assigned positionally.  With ``require_feasible=True`` a message
+    whose deadline cannot be met even in isolation raises ``ValueError``.
+    """
+    messages = tuple(
+        Message(id=i, source=s, dest=d, release=r, deadline=dl)
+        for i, (s, d, r, dl) in enumerate(rows)
+    )
+    if require_feasible:
+        for m in messages:
+            if not m.feasible:
+                raise ValueError(f"message {m.id} has negative slack {m.slack}")
+    return Instance(n, messages)

@@ -1,0 +1,199 @@
+"""Time-constrained messages on a linear network.
+
+A *message* is a single packet with a source node, a destination node, a
+release time (earliest departure) and a deadline (latest useful arrival).
+This module defines the immutable :class:`Message` value type together with
+the derived quantities the paper works with: *span* (source-destination
+distance), *slack* (scheduling freedom), and the geometric *parallelogram*
+the message occupies in the (node, time) lattice.
+
+Conventions
+-----------
+* Nodes are integers ``0..n-1``; time is a non-negative integer.
+* A left-to-right (LR) message has ``source < dest``; a right-to-left (RL)
+  message has ``source > dest``.  ``source == dest`` is rejected — such a
+  "message" needs no link and the paper's model excludes it.
+* A message *departing* node ``v`` at time ``t`` occupies the directed link
+  ``(v, v+1)`` during the unit interval ``[t, t+1]`` and arrives at ``v+1``
+  at time ``t+1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Message", "Direction"]
+
+
+class Direction:
+    """Direction tags for monotone routing on the line."""
+
+    LEFT_TO_RIGHT = "LR"
+    RIGHT_TO_LEFT = "RL"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Message:
+    """A single time-constrained packet.
+
+    Parameters
+    ----------
+    id:
+        Stable integer identity, unique within an :class:`~repro.core.instance.Instance`.
+        Used for deterministic tie-breaking, so two messages with identical
+        endpoints and timing are still distinguishable.
+    source, dest:
+        End nodes.  ``source != dest``.
+    release:
+        Earliest time the message may leave ``source``.
+    deadline:
+        Latest time the message may arrive at ``dest``.  A message that
+        cannot arrive by its deadline is *dropped* (the paper's model gives
+        late delivery zero utility).
+    """
+
+    # Field order defines the (rarely used) dataclass ordering; tie-breaking
+    # in the algorithms is always explicit and never relies on it.
+    id: int
+    source: int
+    dest: int
+    release: int
+    deadline: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.dest:
+            raise ValueError(f"message {self.id}: source == dest == {self.source}")
+        if self.source < 0 or self.dest < 0:
+            raise ValueError(f"message {self.id}: negative node index")
+        if self.release < 0:
+            raise ValueError(f"message {self.id}: negative release time {self.release}")
+        if self.deadline < self.release:
+            raise ValueError(
+                f"message {self.id}: deadline {self.deadline} precedes release {self.release}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities (paper, Section 2)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def direction(self) -> str:
+        """``"LR"`` if the message travels rightward, else ``"RL"``."""
+        return Direction.LEFT_TO_RIGHT if self.source < self.dest else Direction.RIGHT_TO_LEFT
+
+    @property
+    def span(self) -> int:
+        """Distance ``δ_m = |dest - source|`` — the number of hops required."""
+        return abs(self.dest - self.source)
+
+    @property
+    def slack(self) -> int:
+        """Scheduling freedom ``σ_m = deadline - release - span``.
+
+        The message admits ``slack + 1`` distinct bufferless departure times;
+        it is *infeasible* (can never be delivered) iff ``slack < 0``.
+        """
+        return self.deadline - self.release - self.span
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the message can be delivered at all (``slack >= 0``)."""
+        return self.slack >= 0
+
+    @property
+    def latest_departure(self) -> int:
+        """Last time the message may leave its source and still arrive in time."""
+        return self.deadline - self.span
+
+    @property
+    def earliest_arrival(self) -> int:
+        """Earliest possible arrival time, ``release + span``."""
+        return self.release + self.span
+
+    # ------------------------------------------------------------------ #
+    # Scan-line (ao-parameter) geometry for LR messages
+    # ------------------------------------------------------------------ #
+
+    @property
+    def alpha_min(self) -> int:
+        """Smallest relevant ao-parameter ``dest - deadline`` (latest departure).
+
+        Only meaningful for LR messages; the scan line ``x - y = α`` carries
+        this message iff ``alpha_min <= α <= alpha_max``.
+        """
+        return self.dest - self.deadline
+
+    @property
+    def alpha_max(self) -> int:
+        """Largest relevant ao-parameter ``source - release`` (earliest departure)."""
+        return self.source - self.release
+
+    def alpha_for_departure(self, depart: int) -> int:
+        """ao-parameter of the scan line a bufferless departure at ``depart`` uses."""
+        return self.source - depart
+
+    def departure_for_alpha(self, alpha: int) -> int:
+        """Departure time implied by travelling bufferlessly on scan line ``alpha``."""
+        return self.source - alpha
+
+    def relevant_to(self, alpha: int) -> bool:
+        """Whether scan line ``alpha`` intersects this message's parallelogram."""
+        return self.alpha_min <= alpha <= self.alpha_max
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+
+    def mirrored(self, n: int) -> "Message":
+        """Reflect the message across the centre of an ``n``-node line.
+
+        Maps node ``v`` to ``n - 1 - v``; an RL message becomes LR with
+        identical timing.  Applying twice is the identity.
+        """
+        return Message(
+            id=self.id,
+            source=n - 1 - self.source,
+            dest=n - 1 - self.dest,
+            release=self.release,
+            deadline=self.deadline,
+        )
+
+    def translated(self, dnode: int = 0, dtime: int = 0) -> "Message":
+        """Shift the message by ``dnode`` nodes and ``dtime`` time units."""
+        return Message(
+            id=self.id,
+            source=self.source + dnode,
+            dest=self.dest + dnode,
+            release=self.release + dtime,
+            deadline=self.deadline + dtime,
+        )
+
+    def with_id(self, new_id: int) -> "Message":
+        """Copy with a different identity (used when merging instances)."""
+        return Message(
+            id=new_id,
+            source=self.source,
+            dest=self.dest,
+            release=self.release,
+            deadline=self.deadline,
+        )
+
+    def clipped_slack(self, max_slack: int) -> "Message":
+        """Tighten the deadline so ``slack <= max_slack``.
+
+        Algorithm BFL's polynomial bound uses the observation that clipping
+        every slack to ``|I| - 1`` never changes achievable throughput
+        (paper, proof of Theorem 3.2).
+        """
+        if max_slack < 0:
+            raise ValueError("max_slack must be non-negative")
+        excess = self.slack - max_slack
+        if excess <= 0:
+            return self
+        return Message(
+            id=self.id,
+            source=self.source,
+            dest=self.dest,
+            release=self.release,
+            deadline=self.deadline - excess,
+        )

@@ -1,0 +1,188 @@
+"""Trajectories: the space-time paths messages take through the line.
+
+In the paper's lattice picture a delivered message traces a path from its
+source column to its destination column:
+
+* a **bufferless** trajectory is a straight 45-degree segment — one hop per
+  time step, fully determined by its scan line;
+* a **buffered** trajectory is a *staircase*: diagonal unit moves (hops)
+  interleaved with vertical "risers" (steps spent waiting in a node buffer).
+
+The canonical encoding used throughout the library is the tuple of
+*crossing times*: ``crossings[j]`` is the time at which the message departs
+node ``source + j``, i.e. occupies the directed link
+``(source + j, source + j + 1)`` during ``[crossings[j], crossings[j] + 1]``.
+A trajectory is **bufferless** iff the crossing times are consecutive.
+
+Only left-to-right trajectories are represented; right-to-left traffic is
+handled by mirroring the instance (see ``Instance.mirrored``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .message import Message
+
+__all__ = ["Trajectory", "bufferless_trajectory", "buffered_trajectory", "DiagEdge"]
+
+# A diagonal lattice edge: (node v, time t) == link (v, v+1) used during [t, t+1].
+DiagEdge = tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Trajectory:
+    """The space-time path of one delivered message.
+
+    Parameters
+    ----------
+    message_id:
+        Which message this trajectory delivers.
+    source:
+        The message's source node (kept so the trajectory is self-contained).
+    crossings:
+        ``crossings[j]`` = departure time from node ``source + j``.  Must be
+        strictly increasing; consecutive values mean an unbuffered run.
+    """
+
+    message_id: int
+    source: int
+    crossings: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.crossings:
+            raise ValueError(f"trajectory for message {self.message_id} crosses no link")
+        prev = None
+        for t in self.crossings:
+            if prev is not None and t <= prev:
+                raise ValueError(
+                    f"trajectory for message {self.message_id}: crossing times "
+                    f"{self.crossings} not strictly increasing"
+                )
+            prev = t
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dest(self) -> int:
+        return self.source + len(self.crossings)
+
+    @property
+    def depart(self) -> int:
+        """Time the message leaves its source node."""
+        return self.crossings[0]
+
+    @property
+    def arrive(self) -> int:
+        """Time the message reaches its destination node."""
+        return self.crossings[-1] + 1
+
+    @property
+    def span(self) -> int:
+        return len(self.crossings)
+
+    @property
+    def bufferless(self) -> bool:
+        """True iff the message never waits after departing (45-degree line)."""
+        return self.crossings[-1] - self.crossings[0] == len(self.crossings) - 1
+
+    @property
+    def total_wait(self) -> int:
+        """Total steps spent in buffers after departure (0 iff bufferless)."""
+        return (self.arrive - self.depart) - self.span
+
+    @property
+    def alpha(self) -> int:
+        """ao-parameter of the scan line of the *first* hop."""
+        return self.source - self.crossings[0]
+
+    @property
+    def final_alpha(self) -> int:
+        """ao-parameter of the scan line of the *final* hop (the delivery line).
+
+        Theorem 5.2's equivalence between BFL and D-BFL is stated in terms of
+        delivery scan lines, so this is the quantity the equivalence tests
+        compare.
+        """
+        return (self.dest - 1) - self.crossings[-1]
+
+    # ------------------------------------------------------------------ #
+
+    def diagonal_edges(self) -> Iterator[DiagEdge]:
+        """The capacity-1 lattice edges this trajectory occupies."""
+        for j, t in enumerate(self.crossings):
+            yield (self.source + j, t)
+
+    def node_at(self, time: int) -> int | None:
+        """Node occupied at integer ``time``, or ``None`` outside [depart, arrive].
+
+        During a hop the message is considered to be at the upstream node at
+        the hop's start time and at the downstream node at its end time.
+        """
+        if time < self.depart or time > self.arrive:
+            return None
+        # Count hops completed strictly before `time`.
+        done = sum(1 for t in self.crossings if t + 1 <= time)
+        return self.source + done
+
+    def waits(self) -> list[tuple[int, int, int]]:
+        """Buffer occupancy as ``(node, start, end)`` half-open intervals."""
+        out: list[tuple[int, int, int]] = []
+        for j in range(1, len(self.crossings)):
+            gap = self.crossings[j] - (self.crossings[j - 1] + 1)
+            if gap > 0:
+                out.append((self.source + j, self.crossings[j - 1] + 1, self.crossings[j]))
+        return out
+
+    def satisfies(self, m: Message) -> bool:
+        """Whether this trajectory legally delivers message ``m``."""
+        return (
+            m.id == self.message_id
+            and m.source == self.source
+            and m.dest == self.dest
+            and self.depart >= m.release
+            and self.arrive <= m.deadline
+        )
+
+    def translated(self, dnode: int = 0, dtime: int = 0) -> "Trajectory":
+        """Shift the trajectory in space and/or time."""
+        return Trajectory(
+            message_id=self.message_id,
+            source=self.source + dnode,
+            crossings=tuple(t + dtime for t in self.crossings),
+        )
+
+    def with_id(self, new_id: int) -> "Trajectory":
+        return Trajectory(new_id, self.source, self.crossings)
+
+
+def bufferless_trajectory(m: Message, alpha: int | None = None, *, depart: int | None = None) -> Trajectory:
+    """Build the straight-line trajectory of ``m`` on scan line ``alpha``.
+
+    Exactly one of ``alpha``/``depart`` must be given.  Raises ``ValueError``
+    if the scan line does not cross ``m``'s parallelogram.
+    """
+    if (alpha is None) == (depart is None):
+        raise ValueError("specify exactly one of alpha / depart")
+    if alpha is None:
+        assert depart is not None
+        alpha = m.alpha_for_departure(depart)
+    if not m.relevant_to(alpha):
+        raise ValueError(
+            f"scan line {alpha} outside message {m.id}'s window "
+            f"[{m.alpha_min}, {m.alpha_max}]"
+        )
+    t0 = m.departure_for_alpha(alpha)
+    return Trajectory(m.id, m.source, tuple(range(t0, t0 + m.span)))
+
+
+def buffered_trajectory(m: Message, crossings: Sequence[int]) -> Trajectory:
+    """Build a (possibly buffered) trajectory and check it against ``m``."""
+    traj = Trajectory(m.id, m.source, tuple(crossings))
+    if not traj.satisfies(m):
+        raise ValueError(
+            f"crossings {tuple(crossings)} do not legally deliver message {m.id} "
+            f"(window [{m.release}, {m.deadline}], span {m.span})"
+        )
+    return traj

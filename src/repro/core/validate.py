@@ -1,0 +1,117 @@
+"""Full schedule validation against a problem instance.
+
+:class:`~repro.core.schedule.Schedule` construction already guarantees
+*internal* consistency (no shared diagonal edge, no duplicate message).
+This module adds the checks that need the instance:
+
+* every scheduled message exists in the instance;
+* every trajectory starts at its message's source, ends at its destination,
+  departs no earlier than the release time and arrives no later than the
+  deadline;
+* trajectories stay inside the network (``0 <= node < n``);
+* optionally, that the schedule is bufferless;
+* optionally, that per-node buffer occupancy stays within a capacity.
+
+Validators either raise :class:`ScheduleError` (``validate_schedule``) or
+return a list of human-readable problem strings (``schedule_problems``) so
+tests can assert on specific failures.
+"""
+
+from __future__ import annotations
+
+from .instance import Instance
+from .schedule import Schedule
+
+__all__ = ["ScheduleError", "schedule_problems", "validate_schedule", "assert_valid"]
+
+
+class ScheduleError(ValueError):
+    """A schedule violates its instance's constraints."""
+
+
+def schedule_problems(
+    instance: Instance,
+    schedule: Schedule,
+    *,
+    require_bufferless: bool = False,
+    buffer_capacity: int | None = None,
+) -> list[str]:
+    """Return every constraint violation (empty list == valid).
+
+    Parameters
+    ----------
+    require_bufferless:
+        Also flag any trajectory that waits after departing (``OPT_BL``
+        regime).
+    buffer_capacity:
+        If given, flag nodes whose peak simultaneous buffer occupancy
+        exceeds this many messages (the paper's algorithms assume unbounded
+        buffers; the simulator ablation A2 uses finite ones).
+    """
+    problems: list[str] = []
+    for traj in schedule:
+        mid = traj.message_id
+        if mid not in instance:
+            problems.append(f"message {mid}: not in instance")
+            continue
+        m = instance[mid]
+        if m.source >= m.dest:
+            problems.append(f"message {mid}: not left-to-right (mirror the instance first)")
+            continue
+        if traj.source != m.source or traj.dest != m.dest:
+            problems.append(
+                f"message {mid}: trajectory runs {traj.source}->{traj.dest}, "
+                f"message needs {m.source}->{m.dest}"
+            )
+        if traj.depart < m.release:
+            problems.append(
+                f"message {mid}: departs at {traj.depart} before release {m.release}"
+            )
+        if traj.arrive > m.deadline:
+            problems.append(
+                f"message {mid}: arrives at {traj.arrive} after deadline {m.deadline}"
+            )
+        if traj.source < 0 or traj.dest > instance.n - 1:
+            problems.append(f"message {mid}: trajectory leaves the network")
+        if traj.depart < 0:
+            problems.append(f"message {mid}: departs before time 0")
+        if require_bufferless and not traj.bufferless:
+            problems.append(
+                f"message {mid}: waits {traj.total_wait} step(s) in a bufferless schedule"
+            )
+    if buffer_capacity is not None:
+        for node, peak in sorted(schedule.max_buffer_occupancy().items()):
+            if peak > buffer_capacity:
+                problems.append(
+                    f"node {node}: peak buffer occupancy {peak} exceeds capacity {buffer_capacity}"
+                )
+    return problems
+
+
+def validate_schedule(
+    instance: Instance,
+    schedule: Schedule,
+    *,
+    require_bufferless: bool = False,
+    buffer_capacity: int | None = None,
+) -> None:
+    """Raise :class:`ScheduleError` listing all violations, if any."""
+    problems = schedule_problems(
+        instance,
+        schedule,
+        require_bufferless=require_bufferless,
+        buffer_capacity=buffer_capacity,
+    )
+    if problems:
+        raise ScheduleError("; ".join(problems))
+
+
+def assert_valid(
+    instance: Instance,
+    schedule: Schedule,
+    *,
+    require_bufferless: bool = False,
+) -> Schedule:
+    """Validate and pass the schedule through (handy in pipelines/tests)."""
+    validate_schedule(instance, schedule, require_bufferless=require_bufferless)
+    return schedule

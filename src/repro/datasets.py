@@ -1,0 +1,102 @@
+"""Named canonical instances, for documentation, tests, and exploration.
+
+Every entry is deterministic (no RNG) and small enough to solve exactly,
+so the registry doubles as a regression corpus: docstrings and papers can
+refer to instances by name, and ``python -m repro.cli demo`` users can
+reproduce discussions precisely.
+
+>>> from repro.datasets import load, available
+>>> inst = load("paper-figure1")
+>>> len(inst), inst.n
+(6, 22)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .constructions.lower_bound import lower_bound_instance
+from .core.instance import Instance, make_instance
+from .viz.figures import figure1_instance
+
+__all__ = ["available", "load", "describe"]
+
+
+def _two_conflicting() -> Instance:
+    """Two zero-slack messages over one shared link: OPT = 1."""
+    return make_instance(8, [(0, 4, 0, 4), (2, 6, 2, 6)])
+
+
+def _bfl_half_case() -> Instance:
+    """BFL delivers 1, the optimum delivers 2 — the factor 2 is tight here.
+
+    Both messages are relevant to the earliest line; the greedy prefers
+    the contained, nearer-destination message 1, which blocks zero-slack
+    message 0 there.  The optimum instead sends message 0 on that line and
+    message 1 one line later.
+    """
+    return make_instance(7, [(0, 4, 1, 5), (1, 3, 2, 5)])
+
+
+def _span_conversion_counterexample() -> Instance:
+    """The Theorem 4.2 literal-rule counterexample (DESIGN.md fidelity
+    note 1): X = 2->4 waiting at column 3 vs A = 3->5."""
+    return make_instance(8, [(2, 4, 4, 7), (3, 5, 5, 7)])
+
+
+def _staircase_demo() -> Instance:
+    """A message that must buffer to survive: the k=1 lower-bound gadget."""
+    return make_instance(3, [(0, 2, 0, 3), (0, 1, 1, 2), (1, 2, 1, 2)])
+
+
+_REGISTRY: dict[str, tuple[str, Callable[[], Instance]]] = {
+    "paper-figure1": (
+        "the six-message, 22-node example from the paper's Section 2 table",
+        figure1_instance,
+    ),
+    "two-conflicting": (
+        "two zero-slack messages sharing a link: exactly one deliverable",
+        _two_conflicting,
+    ),
+    "bfl-half": (
+        "an instance where greedy BFL achieves half the bufferless optimum",
+        _bfl_half_case,
+    ),
+    "span-counterexample": (
+        "Theorem 4.2's literal line rule self-conflicts here (repaired in our conversion)",
+        _span_conversion_counterexample,
+    ),
+    "buffering-helps": (
+        "the I_1 gadget: bufferless delivers 2 of 3, buffered delivers all 3",
+        _staircase_demo,
+    ),
+    "lower-bound-k2": (
+        "the recursive family I_2: OPT_B = 8, OPT_BL = 4",
+        lambda: lower_bound_instance(2),
+    ),
+    "lower-bound-k3": (
+        "the recursive family I_3: OPT_B = 20, OPT_BL = 8",
+        lambda: lower_bound_instance(3),
+    ),
+}
+
+
+def available() -> list[str]:
+    """Names of all canonical instances."""
+    return sorted(_REGISTRY)
+
+
+def describe(name: str) -> str:
+    """One-line description of a canonical instance."""
+    try:
+        return _REGISTRY[name][0]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {available()}") from None
+
+
+def load(name: str) -> Instance:
+    """Build a canonical instance by name."""
+    try:
+        return _REGISTRY[name][1]()
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {available()}") from None

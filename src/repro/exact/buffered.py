@@ -1,0 +1,241 @@
+"""Exact optimal buffered scheduling (``OPT_B``).
+
+Buffered trajectories are monotone staircases in the (node, time) lattice:
+each delivered message crosses every link of its span exactly once, at
+strictly increasing times, within its release/deadline window; each link
+carries at most one message per step.  Buffers are unbounded (paper,
+Section 5: "making no attempt to limit the number of buffers").
+
+* :func:`opt_buffered` — time-indexed 0/1 MILP.  Variable ``y[m, v, t]``
+  says message ``m`` crosses link ``(v, v+1)`` during ``[t, t+1]``.
+* :func:`opt_buffered_bruteforce` — subset enumeration plus a backtracking
+  per-link feasibility check; exponential, tiny instances only, used to
+  cross-validate the MILP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from ..core.instance import Instance
+from ..core.message import Direction, Message
+from ..core.schedule import Schedule
+from ..core.trajectory import Trajectory
+
+__all__ = ["opt_buffered", "opt_buffered_bruteforce", "BufferedResult"]
+
+
+@dataclass(frozen=True)
+class BufferedResult:
+    """Outcome of an exact buffered solve."""
+
+    schedule: Schedule
+    optimal: bool
+
+    @property
+    def throughput(self) -> int:
+        return self.schedule.throughput
+
+
+def _lr_feasible(instance: Instance) -> list[Message]:
+    for m in instance:
+        if m.direction != Direction.LEFT_TO_RIGHT:
+            raise ValueError(
+                f"message {m.id} travels right-to-left; split directions first"
+            )
+    return [m for m in instance if m.feasible]
+
+
+def _crossing_window(m: Message, v: int) -> range:
+    """Legal times for ``m`` to cross link ``(v, v+1)``.
+
+    Lower bound: the message cannot be past node ``v`` sooner than
+    ``release + (v - source)`` steps.  Upper bound: after crossing at ``t``
+    it still needs ``dest - v - 1`` further hops, so ``t + (dest - v) <=
+    deadline``.
+    """
+    return range(m.release + (v - m.source), m.deadline - (m.dest - v) + 1)
+
+
+def opt_buffered(
+    instance: Instance,
+    *,
+    time_limit: float | None = None,
+    weights: dict[int, float] | None = None,
+) -> BufferedResult:
+    """Maximum-throughput buffered schedule via time-indexed MILP.
+
+    Constraint groups:
+
+    * **conservation** — for every message, each link of its span is crossed
+      the same number of times (0 or 1) as its first link;
+    * **precedence** — cumulative formulation: by any time ``t``, the number
+      of crossings of link ``v+1`` never exceeds the crossings of link ``v``
+      up to ``t - 1`` (a message must cross ``v`` strictly before ``v+1``);
+    * **capacity** — each (link, step) pair carries at most one message.
+
+    The objective maximises the number of first-link crossings, i.e.
+    delivered messages — or their total ``weights`` (message id -> positive
+    value, default 1) when given.
+    """
+    if weights is not None:
+        for mid, w in weights.items():
+            if w <= 0:
+                raise ValueError(f"weight of message {mid} must be positive, got {w}")
+    msgs = _lr_feasible(instance)
+    if not msgs:
+        return BufferedResult(Schedule(), True)
+
+    # Variable table: y[(mi, v, t)] -> column index.
+    index: dict[tuple[int, int, int], int] = {}
+    for mi, m in enumerate(msgs):
+        for v in range(m.source, m.dest):
+            for t in _crossing_window(m, v):
+                index[(mi, v, t)] = len(index)
+    nvar = len(index)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    lb: list[float] = []
+    ub: list[float] = []
+    nrow = 0
+
+    def add_row(entries: list[tuple[int, float]], lo: float, hi: float) -> None:
+        nonlocal nrow
+        for col, val in entries:
+            rows.append(nrow)
+            cols.append(col)
+            vals.append(val)
+        lb.append(lo)
+        ub.append(hi)
+        nrow += 1
+
+    obj = np.zeros(nvar)
+
+    for mi, m in enumerate(msgs):
+        first = [index[(mi, m.source, t)] for t in _crossing_window(m, m.source)]
+        value = 1.0 if weights is None else weights.get(m.id, 1.0)
+        for j in first:
+            obj[j] = -value  # milp minimises; we want max (weighted) deliveries
+        # at most one crossing of the first link
+        add_row([(j, 1.0) for j in first], -np.inf, 1.0)
+        # conservation: each later link crossed exactly as often as the first
+        for v in range(m.source + 1, m.dest):
+            entries = [(index[(mi, v, t)], 1.0) for t in _crossing_window(m, v)]
+            entries += [(j, -1.0) for j in first]
+            add_row(entries, 0.0, 0.0)
+        # precedence: cum(v+1, <=t) <= cum(v, <=t-1)
+        for v in range(m.source, m.dest - 1):
+            for t in _crossing_window(m, v + 1):
+                entries = [
+                    (index[(mi, v + 1, tt)], 1.0)
+                    for tt in _crossing_window(m, v + 1)
+                    if tt <= t
+                ]
+                entries += [
+                    (index[(mi, v, tt)], -1.0)
+                    for tt in _crossing_window(m, v)
+                    if tt <= t - 1
+                ]
+                add_row(entries, -np.inf, 0.0)
+
+    # capacity: one message per (link, step)
+    by_edge: dict[tuple[int, int], list[int]] = {}
+    for (mi, v, t), j in index.items():
+        by_edge.setdefault((v, t), []).append(j)
+    for js in by_edge.values():
+        if len(js) >= 2:
+            add_row([(j, 1.0) for j in js], -np.inf, 1.0)
+
+    a = sp.csr_matrix((vals, (rows, cols)), shape=(nrow, nvar))
+    options: dict = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    res = milp(
+        c=obj,
+        constraints=[LinearConstraint(a, np.asarray(lb), np.asarray(ub))],
+        integrality=np.ones(nvar),
+        bounds=Bounds(0, 1),
+        options=options,
+    )
+    if res.x is None:
+        raise RuntimeError(f"HiGHS failed on buffered MILP: {res.message}")
+
+    crossings: dict[int, dict[int, int]] = {}
+    for (mi, v, t), j in index.items():
+        if res.x[j] > 0.5:
+            crossings.setdefault(mi, {})[v] = t
+    trajectories = []
+    for mi, per_link in crossings.items():
+        m = msgs[mi]
+        times = tuple(per_link[v] for v in range(m.source, m.dest))
+        trajectories.append(Trajectory(m.id, m.source, times))
+    return BufferedResult(Schedule(tuple(trajectories)), bool(res.status == 0))
+
+
+def opt_buffered_bruteforce(instance: Instance, *, max_messages: int = 10) -> BufferedResult:
+    """Reference ``OPT_B`` by subset enumeration (tiny instances only).
+
+    Iterates over candidate subsets from largest to smallest and returns the
+    first feasible one, where feasibility is decided by
+    :func:`buffered_feasible`.  Complexity is unapologetically exponential.
+    """
+    msgs = _lr_feasible(instance)
+    if len(msgs) > max_messages:
+        raise ValueError(
+            f"{len(msgs)} messages exceeds brute-force cap {max_messages}; "
+            "use opt_buffered instead"
+        )
+    for size in range(len(msgs), -1, -1):
+        for subset in combinations(msgs, size):
+            schedule = buffered_feasible(list(subset))
+            if schedule is not None:
+                return BufferedResult(schedule, True)
+    return BufferedResult(Schedule(), True)
+
+
+def buffered_feasible(msgs: list[Message]) -> Schedule | None:
+    """Find a buffered schedule delivering *all* of ``msgs``, or ``None``.
+
+    Backtracking over messages in deadline order; for each message we
+    enumerate staircase crossing-time vectors depth-first (earliest first),
+    respecting the link occupancy chosen so far.
+    """
+    msgs = sorted(msgs, key=lambda m: (m.deadline, m.dest, m.id))
+    occupied: set[tuple[int, int]] = set()
+
+    def route(mi: int) -> list[Trajectory] | None:
+        if mi == len(msgs):
+            return []
+        m = msgs[mi]
+
+        def extend(v: int, t_min: int, acc: list[int]) -> list[Trajectory] | None:
+            if v == m.dest:
+                rest = route(mi + 1)
+                if rest is None:
+                    return None
+                return [Trajectory(m.id, m.source, tuple(acc))] + rest
+            for t in range(t_min, m.deadline - (m.dest - v) + 1):
+                if (v, t) in occupied:
+                    continue
+                occupied.add((v, t))
+                acc.append(t)
+                found = extend(v + 1, t + 1, acc)
+                if found is not None:
+                    return found
+                acc.pop()
+                occupied.discard((v, t))
+            return None
+
+        return extend(m.source, m.release, [])
+
+    result = route(0)
+    if result is None:
+        return None
+    return Schedule(tuple(result))

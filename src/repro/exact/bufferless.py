@@ -1,0 +1,226 @@
+"""Exact optimal bufferless scheduling (``OPT_BL``).
+
+The bufferless problem assigns each delivered message one scan line from its
+window and requires the chosen segments on each line to be edge-disjoint.
+We solve it two independent ways:
+
+* :func:`opt_bufferless` — a 0/1 MILP (variable per message/line pair)
+  handed to SciPy's HiGHS.  Scales to a few hundred variables comfortably.
+* :func:`opt_bufferless_bnb` — a pure-Python branch-and-bound over messages
+  ordered by window end.  No dependencies beyond the core model; used to
+  cross-validate the MILP on small instances and as a fallback.
+
+Both apply the paper's throughput-preserving slack clip to ``|I| - 1`` so
+the variable count is polynomial in ``n + |I|`` regardless of how loose the
+deadlines are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from ..core.instance import Instance
+from ..core.message import Direction, Message
+from ..core.schedule import Schedule
+from ..core.trajectory import bufferless_trajectory
+
+__all__ = ["opt_bufferless", "opt_bufferless_bnb", "BufferlessResult"]
+
+
+@dataclass(frozen=True)
+class BufferlessResult:
+    """Outcome of an exact bufferless solve."""
+
+    schedule: Schedule
+    optimal: bool
+
+    @property
+    def throughput(self) -> int:
+        return self.schedule.throughput
+
+
+def _prepare(instance: Instance) -> tuple[Instance, list[Message]]:
+    """Validate direction, drop infeasible messages, clip slacks."""
+    for m in instance:
+        if m.direction != Direction.LEFT_TO_RIGHT:
+            raise ValueError(
+                f"message {m.id} travels right-to-left; split directions first"
+            )
+    work = instance.drop_infeasible().clipped_slack()
+    return work, list(work)
+
+
+def opt_bufferless(
+    instance: Instance,
+    *,
+    time_limit: float | None = None,
+    weights: dict[int, float] | None = None,
+) -> BufferlessResult:
+    """Maximum-throughput bufferless schedule via 0/1 MILP.
+
+    Variables ``x[m, α]`` = message ``m`` travels on scan line ``α``.
+    Constraints: (a) each message uses at most one line; (b) on each line,
+    each diagonal edge carries at most one chosen segment.  Segment overlap
+    on a line is an interval property, so constraint (b) is generated only
+    at *segment left endpoints*, which is sufficient: any two overlapping
+    intervals already overlap at the larger of their left endpoints.
+
+    ``weights`` (message id -> positive value, default 1) switches the
+    objective to maximum *weighted* throughput — e.g. pricing audio packets
+    above bulk ones.  Note the slack clip's throughput-preservation
+    argument is weight-oblivious, so it remains valid.
+
+    Returns the schedule built from the incumbent; ``optimal`` is False only
+    if HiGHS hit the time limit before proving optimality.
+    """
+    if weights is not None:
+        for mid, w in weights.items():
+            if w <= 0:
+                raise ValueError(f"weight of message {mid} must be positive, got {w}")
+    work, msgs = _prepare(instance)
+    if not msgs:
+        return BufferlessResult(Schedule(), True)
+
+    # Variable table: (message index, alpha) pairs.
+    var_msg: list[int] = []
+    var_alpha: list[int] = []
+    for i, m in enumerate(msgs):
+        for alpha in range(m.alpha_min, m.alpha_max + 1):
+            var_msg.append(i)
+            var_alpha.append(alpha)
+    nvar = len(var_msg)
+    var_msg_arr = np.asarray(var_msg)
+    var_alpha_arr = np.asarray(var_alpha)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    nrow = 0
+
+    # (a) one line per message
+    for i in range(len(msgs)):
+        (idx,) = np.nonzero(var_msg_arr == i)
+        rows.extend([nrow] * len(idx))
+        cols.extend(idx.tolist())
+        nrow += 1
+
+    # (b) per (line, left-endpoint) edge-disjointness
+    by_alpha: dict[int, list[int]] = {}
+    for j in range(nvar):
+        by_alpha.setdefault(int(var_alpha_arr[j]), []).append(j)
+    for alpha, js in by_alpha.items():
+        lefts = sorted({msgs[var_msg_arr[j]].source for j in js})
+        for v in lefts:
+            # variables whose segment covers diagonal edge (v, v+1) on `alpha`
+            covering = [
+                j for j in js if msgs[var_msg_arr[j]].source <= v < msgs[var_msg_arr[j]].dest
+            ]
+            if len(covering) >= 2:
+                rows.extend([nrow] * len(covering))
+                cols.extend(covering)
+                nrow += 1
+
+    a = sp.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(nrow, nvar)
+    )
+    constraint = LinearConstraint(a, -np.inf, np.ones(nrow))
+    options: dict = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    objective = -np.ones(nvar)
+    if weights is not None:
+        for j in range(nvar):
+            objective[j] = -weights.get(msgs[var_msg[j]].id, 1.0)
+    res = milp(
+        c=objective,
+        constraints=[constraint],
+        integrality=np.ones(nvar),
+        bounds=Bounds(0, 1),
+        options=options,
+    )
+    if res.x is None:
+        raise RuntimeError(f"HiGHS failed on bufferless MILP: {res.message}")
+    chosen = np.nonzero(res.x > 0.5)[0]
+    trajectories = []
+    used: set[int] = set()
+    for j in chosen:
+        i = int(var_msg_arr[j])
+        if i in used:  # numerical duplicates cannot happen, but stay safe
+            continue
+        used.add(i)
+        # Build against the caller's message so clipped deadlines do not leak.
+        trajectories.append(
+            bufferless_trajectory(instance[msgs[i].id], int(var_alpha_arr[j]))
+        )
+    return BufferlessResult(Schedule(tuple(trajectories)), bool(res.status == 0))
+
+
+def opt_bufferless_bnb(instance: Instance, *, node_limit: int = 2_000_000) -> BufferlessResult:
+    """Branch-and-bound reference solver (no SciPy).
+
+    Messages are branched in order of window end; each branch either drops
+    the message or places it on one of its feasible lines given the lines'
+    current occupancy.  The bound is the trivial ``scheduled + remaining``.
+
+    ``node_limit`` caps the search; exceeding it raises ``RuntimeError`` —
+    this solver is for cross-checks on small instances, not production use.
+    """
+    work, msgs = _prepare(instance)
+    if not msgs:
+        return BufferlessResult(Schedule(), True)
+    msgs = sorted(msgs, key=lambda m: (m.alpha_min, m.alpha_max, m.id))
+
+    best_count = -1
+    best_assign: dict[int, int] = {}
+    # occupancy per line: sorted list of (left, right) node intervals
+    occupancy: dict[int, list[tuple[int, int]]] = {}
+    nodes_visited = 0
+
+    def fits(alpha: int, left: int, right: int) -> bool:
+        import bisect
+
+        occ = occupancy.get(alpha, [])
+        i = bisect.bisect_left(occ, (left, left))
+        if i < len(occ) and occ[i][0] < right:
+            return False
+        if i > 0 and occ[i - 1][1] > left:
+            return False
+        return True
+
+    def place(alpha: int, left: int, right: int) -> None:
+        import bisect
+
+        bisect.insort(occupancy.setdefault(alpha, []), (left, right))
+
+    def unplace(alpha: int, left: int, right: int) -> None:
+        occupancy[alpha].remove((left, right))
+
+    def dfs(i: int, count: int, assign: dict[int, int]) -> None:
+        nonlocal best_count, best_assign, nodes_visited
+        nodes_visited += 1
+        if nodes_visited > node_limit:
+            raise RuntimeError(f"branch-and-bound exceeded {node_limit} nodes")
+        if count + (len(msgs) - i) <= best_count:
+            return
+        if i == len(msgs):
+            best_count = count
+            best_assign = dict(assign)
+            return
+        m = msgs[i]
+        for alpha in range(m.alpha_max, m.alpha_min - 1, -1):
+            if fits(alpha, m.source, m.dest):
+                place(alpha, m.source, m.dest)
+                assign[m.id] = alpha
+                dfs(i + 1, count + 1, assign)
+                del assign[m.id]
+                unplace(alpha, m.source, m.dest)
+        dfs(i + 1, count, assign)  # drop m
+
+    dfs(0, 0, {})
+    trajectories = tuple(
+        bufferless_trajectory(instance[mid], alpha) for mid, alpha in best_assign.items()
+    )
+    return BufferlessResult(Schedule(trajectories), True)

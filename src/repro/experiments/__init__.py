@@ -1,0 +1,66 @@
+"""The experiment harness: one module per row of DESIGN.md's index.
+
+Each experiment exposes ``run(...) -> Table`` (deterministic given its
+seed) so that the pytest-benchmark targets under ``benchmarks/`` and the
+``repro`` CLI share one implementation, and EXPERIMENTS.md quotes exactly
+what either prints.
+
+=====  ============================================================
+E1     Figure 1 / Section 2 table — the geometric view
+E2     Theorem 3.2 — BFL approximation ratio vs exact OPT_BL
+E3     Theorem 4.1 — uniform slack: OPT_B <= 3 OPT_BL
+E4     Theorem 4.2 — uniform span: OPT_B <= 2 OPT_BL + conversion
+E5     Theorem 4.3 — static release: OPT_B <= 2 OPT_BL + filter
+E6     Theorems 4.4/4.5, Figure 2 — the logarithmic separation family
+E7     Theorem 5.2 — D-BFL == BFL, plus overhead accounting
+E8     Theorems 3.1/5.1, Figure 3 — the 3-SAT reduction
+E9     practical comparison — BFL vs classical baselines
+E10    scaling — BFL runtime, simulator step rate
+E11    ring extension — validity and ratio on rings
+E12    delivery ratio vs offered load (saturation curve)
+E13    delivery ratio vs slack budget (deadline-tightness curve)
+E14    mesh extension — dimension-order routing over line schedulers
+A1     ablation — tie-breaking rules
+A2     ablation — finite buffer capacities
+=====  ============================================================
+"""
+
+from . import (
+    e1_figure1,
+    e2_bfl_ratio,
+    e3_uniform_slack,
+    e4_uniform_span,
+    e5_static,
+    e6_lower_bound,
+    e7_dbfl,
+    e8_hardness,
+    e9_baselines,
+    e10_scaling,
+    e11_ring,
+    e12_load_sweep,
+    e13_slack_sweep,
+    e14_mesh,
+    a1_tiebreak,
+    a2_buffers,
+)
+
+ALL = {
+    "e1": e1_figure1,
+    "e2": e2_bfl_ratio,
+    "e3": e3_uniform_slack,
+    "e4": e4_uniform_span,
+    "e5": e5_static,
+    "e6": e6_lower_bound,
+    "e7": e7_dbfl,
+    "e8": e8_hardness,
+    "e9": e9_baselines,
+    "e10": e10_scaling,
+    "e11": e11_ring,
+    "e12": e12_load_sweep,
+    "e13": e13_slack_sweep,
+    "e14": e14_mesh,
+    "a1": a1_tiebreak,
+    "a2": a2_buffers,
+}
+
+__all__ = ["ALL"] + list(ALL)

@@ -1,0 +1,55 @@
+"""E10 — scaling: BFL's polynomial running time, simulator step rate.
+
+Theorem 3.2's claim is qualitative ("polynomial in n + |I|, independent of
+the message slacks"); this experiment makes it quantitative on this
+implementation, and measures the simulator's packet-hop rate.  Timings use
+``time.perf_counter`` — they are environment-dependent by nature and are
+reported for shape (growth with |I|), not absolute value.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..analysis.tables import Table
+from ..core.bfl import bfl
+from ..core.bfl_fast import bfl_fast
+from ..core.dbfl import dbfl
+from ..workloads import general_instance
+
+__all__ = ["run"]
+
+DESCRIPTION = "BFL runtime scaling in |I|; vectorised speedup; D-BFL step rate"
+
+
+def run(*, seed: int = 2024, repeats: int = 3) -> Table:
+    rng = np.random.default_rng(seed)
+    table = Table(
+        ["messages", "n", "bfl_ms", "bfl_fast_ms", "speedup", "dbfl_ms", "hops_per_sec"]
+    )
+    for n, k in ((32, 100), (64, 300), (64, 1000), (128, 3000)):
+        inst = general_instance(rng, n=n, k=k, max_release=3 * k // n, max_slack=10)
+        best_bfl = min(_time(lambda: bfl(inst)) for _ in range(repeats))
+        best_fast = min(_time(lambda: bfl_fast(inst)) for _ in range(repeats))
+        t0 = time.perf_counter()
+        result = dbfl(inst)
+        dbfl_s = time.perf_counter() - t0
+        hops = sum(t.span for t in result.schedule)
+        table.add(
+            messages=k,
+            n=n,
+            bfl_ms=best_bfl * 1e3,
+            bfl_fast_ms=best_fast * 1e3,
+            speedup=best_bfl / best_fast if best_fast > 0 else float("inf"),
+            dbfl_ms=dbfl_s * 1e3,
+            hops_per_sec=hops / dbfl_s if dbfl_s > 0 else float("inf"),
+        )
+    return table
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

@@ -1,0 +1,83 @@
+"""E11 — the ring extension: BFL's guarantee survives wraparound.
+
+Random ring workloads (including wrapping messages) comparing the helix
+greedy against the exact ring optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import Table
+from ..core.ring_bfl import ring_bfl
+from ..exact.ring import opt_ring_bufferless
+from ..exact.ring_buffered import opt_ring_buffered
+from ..network.ring import RingInstance, RingMessage, validate_ring_schedule
+
+__all__ = ["run", "random_ring_instance"]
+
+DESCRIPTION = "Ring networks: helix-greedy BFL vs exact OPT_BL"
+
+
+def random_ring_instance(
+    rng: np.random.Generator,
+    *,
+    n: int = 12,
+    k: int = 15,
+    max_release: int = 10,
+    max_slack: int = 6,
+) -> RingInstance:
+    msgs = []
+    for i in range(k):
+        s = int(rng.integers(0, n))
+        span = int(rng.integers(1, n))
+        r = int(rng.integers(0, max_release + 1))
+        sl = int(rng.integers(0, max_slack + 1))
+        msgs.append(RingMessage(i, s, (s + span) % n, r, r + span + sl, n))
+    return RingInstance(n, tuple(msgs))
+
+
+def run(*, seed: int = 2024, trials: int = 20) -> Table:
+    rng = np.random.default_rng(seed)
+    table = Table(
+        [
+            "n",
+            "messages",
+            "trials",
+            "min_ratio",
+            "mean_ratio",
+            "wrapping_frac",
+            "max_b_over_bl",
+            "bound_ok",
+        ]
+    )
+    for n, k in ((8, 10), (12, 15), (16, 20)):
+        ratios = []
+        wrapping = 0
+        total = 0
+        b_over_bl = 0.0
+        for i in range(trials):
+            inst = random_ring_instance(rng, n=n, k=k)
+            wrapping += sum(1 for m in inst if m.source + m.span >= n)
+            total += len(inst)
+            greedy = ring_bfl(inst)
+            validate_ring_schedule(inst, greedy)
+            exact = opt_ring_bufferless(inst)
+            ratios.append(
+                greedy.throughput / exact.throughput if exact.throughput else 1.0
+            )
+            # the buffered MILP is costly; sample it on the smallest rings
+            if n == 8 and i < trials // 2 and exact.throughput:
+                buffered = opt_ring_buffered(inst)
+                b_over_bl = max(b_over_bl, buffered.throughput / exact.throughput)
+        table.add(
+            n=n,
+            messages=k,
+            trials=trials,
+            min_ratio=float(np.min(ratios)),
+            mean_ratio=float(np.mean(ratios)),
+            wrapping_frac=wrapping / total,
+            max_b_over_bl=b_over_bl if b_over_bl else None,
+            bound_ok=bool(np.min(ratios) >= 0.5),
+        )
+    return table

@@ -1,0 +1,40 @@
+"""E12 — delivery-ratio vs offered-load curve.
+
+The classic evaluation curve for any admission/scheduling policy: sweep
+the offered load past saturation and watch delivery ratios separate.  At
+light load every policy delivers ~everything; past ``load = 1`` the
+informed policies degrade gracefully toward the cut upper bound while
+uninformed ones fall away faster.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweeps import sweep
+from ..analysis.tables import Table
+from ..baselines import EDFPolicy, MinLaxityPolicy, first_fit, run_policy
+from ..core.bfl import bfl
+from ..core.dbfl import dbfl
+from ..workloads import saturated_instance
+
+__all__ = ["run"]
+
+DESCRIPTION = "Delivery ratio vs offered load (the saturation curve)"
+
+LOADS = (0.25, 0.5, 1.0, 1.5, 2.0, 3.0)
+
+
+def run(*, seed: int = 2024, trials: int = 8) -> Table:
+    return sweep(
+        "load",
+        LOADS,
+        lambda rng, load: saturated_instance(rng, n=16, load=load, horizon=25),
+        {
+            "bfl": lambda i: bfl(i).throughput,
+            "dbfl": lambda i: dbfl(i).throughput,
+            "first_fit": lambda i: first_fit(i).throughput,
+            "edf_buffered": lambda i: run_policy(i, EDFPolicy()).throughput,
+            "llf_buffered": lambda i: run_policy(i, MinLaxityPolicy()).throughput,
+        },
+        seed=seed,
+        trials=trials,
+    )

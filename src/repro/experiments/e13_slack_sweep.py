@@ -1,0 +1,39 @@
+"""E13 — delivery-ratio vs deadline tightness.
+
+Sweeps the slack budget (how much later than the minimum a packet may
+arrive) at fixed load: the multimedia QoS question.  With zero slack every
+contention costs a message; a handful of slack steps recovers most of the
+loss — quantifying how much deadline looseness buys on a line.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweeps import sweep
+from ..analysis.tables import Table
+from ..baselines import EDFPolicy, run_policy
+from ..core.bfl import bfl
+from ..core.dbfl import dbfl
+from ..workloads import general_instance
+
+__all__ = ["run"]
+
+DESCRIPTION = "Delivery ratio vs slack budget (deadline-tightness curve)"
+
+SLACKS = (0, 1, 2, 4, 8, 16)
+
+
+def run(*, seed: int = 2024, trials: int = 8) -> Table:
+    return sweep(
+        "max_slack",
+        SLACKS,
+        lambda rng, slack: general_instance(
+            rng, n=16, k=40, max_release=15, max_slack=slack
+        ),
+        {
+            "bfl": lambda i: bfl(i).throughput,
+            "dbfl": lambda i: dbfl(i).throughput,
+            "edf_buffered": lambda i: run_policy(i, EDFPolicy()).throughput,
+        },
+        seed=seed,
+        trials=trials,
+    )

@@ -1,0 +1,82 @@
+"""E14 — dimension-order mesh scheduling (the intro's motivating system).
+
+Runs XY routing with different per-line schedulers (BFL vs EDF vs
+first-fit) on mesh workloads and sweeps the conversion delay, reporting
+delivered fractions.  No paper counterpart beyond the introduction's
+sketch; the shape to expect: the line scheduler's quality carries over to
+the mesh, and conversion delay costs throughput only for turning traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import Table
+from ..baselines import edf_bufferless, first_fit
+from ..core.bfl import bfl
+from ..exact.mesh import opt_mesh_xy
+from ..mesh import xy_schedule
+from ..mesh.validate import validate_mesh_schedule
+from ..workloads.meshes import mesh_hotspot, random_mesh_instance, transpose_mesh
+
+__all__ = ["run"]
+
+DESCRIPTION = "Mesh XY routing: per-line scheduler comparison + conversion cost"
+
+_SCHEDULERS = {"bfl": bfl, "edf": edf_bufferless, "first_fit": first_fit}
+
+
+def run(*, seed: int = 2024, trials: int = 8) -> Table:
+    rng = np.random.default_rng(seed)
+    # (family, generator, small variant for the exact reference)
+    families = {
+        "random": (
+            lambda: random_mesh_instance(rng, rows=6, cols=6, k=40),
+            lambda: random_mesh_instance(rng, rows=4, cols=4, k=10, max_release=6, max_slack=3),
+        ),
+        "transpose": (
+            lambda: transpose_mesh(rng, n=6),
+            lambda: transpose_mesh(rng, n=4, max_release=4, slack=3),
+        ),
+        "hotspot": (
+            lambda: mesh_hotspot(rng, rows=6, cols=6, k=35),
+            lambda: mesh_hotspot(rng, rows=4, cols=4, k=10, max_release=6, max_slack=3),
+        ),
+    }
+    table = Table(
+        ["family", "conversion", "messages", "bfl", "edf", "first_fit",
+         "turn_wait", "greedy_vs_exact"]
+    )
+    for family, (make, make_small) in families.items():
+        for conv in (0, 2):
+            sums = {name: 0.0 for name in _SCHEDULERS}
+            waits = 0.0
+            msgs = 0.0
+            for _ in range(trials):
+                inst = make()
+                msgs += len(inst)
+                for name, line in _SCHEDULERS.items():
+                    sched = xy_schedule(inst, line_scheduler=line, conversion_delay=conv)
+                    validate_mesh_schedule(inst, sched, conversion_delay=conv)
+                    sums[name] += sched.throughput / len(inst)
+                    if name == "bfl":
+                        waits += sched.total_turn_wait
+            # how much the blind phase split costs, on exact-solvable sizes
+            gap_num = gap_den = 0
+            for _ in range(max(trials // 2, 2)):
+                small = make_small()
+                exact = opt_mesh_xy(small, conversion_delay=conv).throughput
+                greedy = xy_schedule(small, conversion_delay=conv).throughput
+                gap_num += greedy
+                gap_den += exact
+            table.add(
+                family=family,
+                conversion=conv,
+                messages=msgs / trials,
+                bfl=sums["bfl"] / trials,
+                edf=sums["edf"] / trials,
+                first_fit=sums["first_fit"] / trials,
+                turn_wait=waits / trials,
+                greedy_vs_exact=gap_num / gap_den if gap_den else 1.0,
+            )
+    return table

@@ -1,0 +1,42 @@
+"""E2 — Theorem 3.2: BFL throughput is within a factor 2 of OPT_BL.
+
+Sweeps random general instances across sizes and records the empirical
+``BFL / OPT_BL`` ratio distribution.  The paper proves the ratio is never
+below 1/2; the sweep reports how close to 1 it typically sits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import Table
+from ..core.bfl import bfl
+from ..exact import opt_bufferless
+from ..workloads import general_instance
+
+__all__ = ["run"]
+
+DESCRIPTION = "Theorem 3.2: BFL vs exact OPT_BL ratio across random instances"
+
+
+def run(*, seed: int = 2024, trials: int = 40) -> Table:
+    table = Table(["n", "messages", "trials", "min_ratio", "mean_ratio", "bound_ok"])
+    rng = np.random.default_rng(seed)
+    for n, k in ((8, 6), (12, 10), (16, 12), (24, 14)):
+        ratios = []
+        for _ in range(trials):
+            inst = general_instance(
+                rng, n=n, k=k, max_release=8, max_slack=5, max_span=n - 1
+            )
+            approx = bfl(inst).throughput
+            exact = opt_bufferless(inst).throughput
+            ratios.append(approx / exact if exact else 1.0)
+        table.add(
+            n=n,
+            messages=k,
+            trials=trials,
+            min_ratio=float(np.min(ratios)),
+            mean_ratio=float(np.mean(ratios)),
+            bound_ok=bool(np.min(ratios) >= 0.5),
+        )
+    return table

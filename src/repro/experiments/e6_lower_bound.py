@@ -1,0 +1,81 @@
+"""E6 — Theorems 4.4/4.5 and Figure 2: the logarithmic separation family.
+
+For each ``k``, builds ``I_k``, certifies that the explicit buffered
+schedule delivers everything, takes ``OPT_BL`` exactly (small ``k``) or via
+the paper's ``2^k`` cap, and compares the achieved ratio against both sides
+of Theorem 4.4:
+
+    ``(1/2) log2 Λ  <=  OPT_B / OPT_BL  <=  4 (log2 Λ + 1)``.
+"""
+
+from __future__ import annotations
+
+from ..analysis.ratios import theorem44_lower, theorem44_upper
+from ..analysis.tables import Table
+from ..constructions import (
+    lower_bound_buffered_schedule,
+    lower_bound_instance,
+    lower_bound_optbl_cap,
+)
+from ..core.dbfl import dbfl
+from ..core.validate import validate_schedule
+from ..exact import opt_bufferless
+
+__all__ = ["run"]
+
+DESCRIPTION = "Thm 4.5 / Fig. 2: the I_k family's growing OPT_B / OPT_BL ratio"
+
+# exact OPT_BL becomes slow beyond this k; above it we use the proven cap
+_EXACT_K = 3
+
+
+def run(*, max_k: int = 8) -> Table:
+    table = Table(
+        [
+            "k",
+            "messages",
+            "opt_b",
+            "opt_bl",
+            "optbl_source",
+            "dbfl",
+            "ratio",
+            "half_log_lambda",
+            "upper_bound",
+            "bounds_ok",
+        ]
+    )
+    for k in range(1, max_k + 1):
+        inst = lower_bound_instance(k)
+        schedule = lower_bound_buffered_schedule(k)
+        validate_schedule(inst, schedule)  # certificate that OPT_B == |I_k|
+        opt_b = schedule.throughput
+        if k <= _EXACT_K:
+            opt_bl = opt_bufferless(inst).throughput
+            source = "exact"
+        else:
+            opt_bl = lower_bound_optbl_cap(k)
+            source = "paper cap"
+        # the distributed online algorithm on its own worst-case family:
+        # D-BFL == BFL >= OPT_BL/2, so its throughput must land in
+        # [opt_bl/2, opt_bl] — the family separates it from OPT_B by Θ(log Λ)
+        online = dbfl(inst).throughput
+        ratio = opt_b / opt_bl
+        lower = theorem44_lower(inst)
+        upper = theorem44_upper(inst)
+        table.add(
+            k=k,
+            messages=len(inst),
+            opt_b=opt_b,
+            opt_bl=opt_bl,
+            optbl_source=source,
+            dbfl=online,
+            ratio=ratio,
+            half_log_lambda=lower,
+            upper_bound=upper,
+            bounds_ok=bool(
+                lower - 1e-9 <= ratio <= upper + 1e-9
+                and 2 * online >= opt_bl
+                and online <= opt_bl
+            ),
+        )
+    return table

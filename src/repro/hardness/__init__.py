@@ -1,0 +1,27 @@
+"""NP-hardness machinery (paper Theorems 3.1 & 5.1, Appendix A, Fig. 3).
+
+The paper reduces 3-SAT to time-constrained message scheduling.  This
+package contains every piece needed to *run* that reduction:
+
+* :mod:`repro.hardness.cnf` — CNF formulas and seeded random 3-SAT;
+* :mod:`repro.hardness.dpll` — a complete DPLL satisfiability solver
+  (unit propagation + pure-literal elimination), the ground truth;
+* :mod:`repro.hardness.reduction` — the Appendix-A construction
+  ``Φ -> I(Φ)`` with ``OPT_B(I(Φ)) = OPT_BL(I(Φ)) = n - v  ⟺  Φ ∈ SAT``,
+  plus a witness extractor mapping schedules back to assignments.
+"""
+
+from .cnf import CNF, Clause, random_3sat
+from .dpll import dpll_sat, dpll_solve
+from .reduction import ReductionResult, reduce_3sat, satisfying_assignment_from_schedule
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "random_3sat",
+    "dpll_sat",
+    "dpll_solve",
+    "reduce_3sat",
+    "ReductionResult",
+    "satisfying_assignment_from_schedule",
+]

@@ -1,0 +1,107 @@
+"""CNF formulas over integer variables, and random 3-SAT generation.
+
+Literals use the DIMACS convention: variable ``x`` (1-based) appears as
+``+x`` (positive) or ``-x`` (negated).  The reduction requires each clause
+to mention three *distinct* variables (strict 3-SAT), which
+:class:`Clause` enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Clause", "CNF", "random_3sat"]
+
+
+@dataclass(frozen=True, slots=True)
+class Clause:
+    """A disjunction of exactly three literals over distinct variables."""
+
+    literals: tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        if len(self.literals) != 3:
+            raise ValueError(f"need exactly 3 literals, got {self.literals}")
+        if any(lit == 0 for lit in self.literals):
+            raise ValueError("literal 0 is not allowed (DIMACS convention)")
+        vars_ = {abs(lit) for lit in self.literals}
+        if len(vars_) != 3:
+            raise ValueError(
+                f"clause {self.literals} repeats a variable; the reduction "
+                "requires three distinct variables per clause"
+            )
+
+    @property
+    def variables(self) -> frozenset[int]:
+        return frozenset(abs(lit) for lit in self.literals)
+
+    def satisfied_by(self, assignment: Mapping[int, bool]) -> bool:
+        """Whether the (total) assignment satisfies this clause."""
+        return any(
+            assignment[abs(lit)] == (lit > 0) for lit in self.literals
+        )
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A 3-CNF formula."""
+
+    num_vars: int
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        if self.num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        for cl in self.clauses:
+            for lit in cl.literals:
+                if abs(lit) > self.num_vars:
+                    raise ValueError(
+                        f"literal {lit} exceeds num_vars={self.num_vars}"
+                    )
+
+    @classmethod
+    def of(cls, num_vars: int, rows: Sequence[Sequence[int]]) -> "CNF":
+        """Build from literal triples, e.g. ``CNF.of(3, [(1, -2, 3)])``."""
+        return cls(num_vars, tuple(Clause(tuple(r)) for r in rows))
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def satisfied_by(self, assignment: Mapping[int, bool]) -> bool:
+        return all(cl.satisfied_by(assignment) for cl in self.clauses)
+
+    def literal_occurrences(self) -> dict[int, list[int]]:
+        """Map each literal to the (sorted) clause indices containing it."""
+        occ: dict[int, list[int]] = {}
+        for j, cl in enumerate(self.clauses):
+            for lit in cl.literals:
+                occ.setdefault(lit, []).append(j)
+        return occ
+
+
+def random_3sat(
+    num_vars: int,
+    num_clauses: int,
+    rng: np.random.Generator,
+) -> CNF:
+    """Uniform random strict 3-SAT: each clause picks 3 distinct variables
+    and independent random polarities.
+
+    ``num_vars >= 3`` is required.  The classic satisfiability phase
+    transition sits near ``num_clauses / num_vars ≈ 4.27``; the hardness
+    experiments sample both sides of it.
+    """
+    if num_vars < 3:
+        raise ValueError("need at least 3 variables for strict 3-SAT")
+    clauses = []
+    for _ in range(num_clauses):
+        vars_ = rng.choice(np.arange(1, num_vars + 1), size=3, replace=False)
+        signs = rng.integers(0, 2, size=3) * 2 - 1
+        clauses.append(Clause(tuple(int(v * s) for v, s in zip(vars_, signs))))
+    return CNF(num_vars, tuple(clauses))

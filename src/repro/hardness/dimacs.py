@@ -1,0 +1,87 @@
+"""DIMACS CNF interchange: read and write standard ``.cnf`` files.
+
+The DIMACS format is the lingua franca of SAT tooling, so the reduction
+pipeline can consume instances produced by any generator and hand our
+formulas to any external solver:
+
+```
+c a comment
+p cnf 3 2
+1 -2 3 0
+-1 2 -3 0
+```
+
+Only strict 3-SAT clauses (three distinct variables) survive
+:func:`parse_dimacs` since that is what the reduction requires; anything
+else raises with a line number.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .cnf import CNF, Clause
+
+__all__ = ["parse_dimacs", "to_dimacs", "load_dimacs", "save_dimacs"]
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse DIMACS CNF text into a :class:`CNF` (strict 3-SAT only)."""
+    num_vars: int | None = None
+    declared_clauses: int | None = None
+    clauses: list[Clause] = []
+    pending: list[int] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"line {lineno}: malformed problem line {line!r}")
+            num_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        if num_vars is None:
+            raise ValueError(f"line {lineno}: clause before 'p cnf' header")
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                if len(pending) != 3:
+                    raise ValueError(
+                        f"line {lineno}: clause {pending} has {len(pending)} "
+                        "literals; the reduction requires strict 3-SAT"
+                    )
+                clauses.append(Clause(tuple(pending)))
+                pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        raise ValueError(f"unterminated clause {pending} (missing trailing 0)")
+    if num_vars is None:
+        raise ValueError("missing 'p cnf' header")
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        raise ValueError(
+            f"header declares {declared_clauses} clauses, found {len(clauses)}"
+        )
+    return CNF(num_vars, tuple(clauses))
+
+
+def to_dimacs(formula: CNF, *, comment: str | None = None) -> str:
+    """Serialise a formula as DIMACS CNF text."""
+    lines = []
+    if comment:
+        lines.extend(f"c {c}" for c in comment.splitlines())
+    lines.append(f"p cnf {formula.num_vars} {len(formula.clauses)}")
+    for clause in formula.clauses:
+        lines.append(" ".join(str(l) for l in clause.literals) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def load_dimacs(path: str | Path) -> CNF:
+    return parse_dimacs(Path(path).read_text())
+
+
+def save_dimacs(formula: CNF, path: str | Path, *, comment: str | None = None) -> None:
+    Path(path).write_text(to_dimacs(formula, comment=comment))

@@ -1,0 +1,87 @@
+"""A complete DPLL satisfiability solver.
+
+Classic Davis–Putnam–Logemann–Loveland search with unit propagation and
+pure-literal elimination.  It is the independent ground truth the reduction
+experiments compare the scheduling optima against — deliberately simple and
+easy to audit rather than fast (the reduction instances stay tiny anyway).
+"""
+
+from __future__ import annotations
+
+from .cnf import CNF
+
+__all__ = ["dpll_solve", "dpll_sat"]
+
+
+def dpll_solve(formula: CNF) -> dict[int, bool] | None:
+    """Return a satisfying (total) assignment, or ``None`` if unsatisfiable."""
+    clauses = [list(cl.literals) for cl in formula.clauses]
+    assignment = _search(clauses, {})
+    if assignment is None:
+        return None
+    # total-ise: unconstrained variables default to False
+    return {v: assignment.get(v, False) for v in range(1, formula.num_vars + 1)}
+
+
+def dpll_sat(formula: CNF) -> bool:
+    """Satisfiability decision."""
+    return dpll_solve(formula) is not None
+
+
+# --------------------------------------------------------------------- #
+
+
+def _simplify(clauses: list[list[int]], lit: int) -> list[list[int]] | None:
+    """Assign ``lit`` true; drop satisfied clauses, shrink the rest.
+
+    Returns ``None`` on an empty (falsified) clause.
+    """
+    out: list[list[int]] = []
+    for cl in clauses:
+        if lit in cl:
+            continue
+        reduced = [x for x in cl if x != -lit]
+        if not reduced:
+            return None
+        out.append(reduced)
+    return out
+
+
+def _search(clauses: list[list[int]], assignment: dict[int, bool]) -> dict[int, bool] | None:
+    # unit propagation
+    while True:
+        unit = next((cl[0] for cl in clauses if len(cl) == 1), None)
+        if unit is None:
+            break
+        clauses = _simplify(clauses, unit)
+        if clauses is None:
+            return None
+        assignment = {**assignment, abs(unit): unit > 0}
+
+    # pure-literal elimination
+    while True:
+        lits = {x for cl in clauses for x in cl}
+        pure = next((x for x in lits if -x not in lits), None)
+        if pure is None:
+            break
+        simplified = _simplify(clauses, pure)
+        assert simplified is not None  # assigning a pure literal never falsifies
+        clauses = simplified
+        assignment = {**assignment, abs(pure): pure > 0}
+
+    if not clauses:
+        return assignment
+
+    # branch on the most frequent variable (helps a little, stays simple)
+    counts: dict[int, int] = {}
+    for cl in clauses:
+        for x in cl:
+            counts[abs(x)] = counts.get(abs(x), 0) + 1
+    var = max(counts, key=lambda v: (counts[v], -v))
+    for lit in (var, -var):
+        reduced = _simplify(clauses, lit)
+        if reduced is not None:
+            found = _search(reduced, {**assignment, var: lit > 0})
+            if found is not None:
+                return found
+    return None

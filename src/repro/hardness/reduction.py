@@ -1,0 +1,227 @@
+"""The Appendix-A reduction: 3-SAT -> time-constrained message scheduling.
+
+Construction (following the paper's prose; coordinates reconstructed — the
+published figure under-determines them — and validated empirically against
+DPLL + the exact solvers):
+
+**Geometry.**  Scan lines are indexed here by a *level* ``ν``; larger ``ν``
+is earlier in time.  Level ``ν`` is realised as ao-parameter
+``α = ν - V`` with the global offset ``V = 6c + 6`` chosen so every
+departure time is non-negative.  Node 0 is a staging node; variable ``x``
+(1-based) owns four nodes starting at ``base(x) = 1 + 4(x-1)``.
+
+**Variable gadget** (level 0, the *latest* line, for every variable): two
+slack-0 span-2 messages ``m_{+x} = base -> base+2`` and
+``m_{-x} = base+1 -> base+3`` overlapping on the middle edge, so at most
+one can be routed.  Dropping ``m_{+x}`` encodes ``x = true``.  The
+non-shared edges are the literals' *critical edges*:
+``e(+x) = (base, base+1)`` and ``e(-x) = (base+2, base+3)``.
+
+**Clause block** ``j`` (0-based) owns the six levels ``6j+1 .. 6j+6``
+(``ℓ1 = 6j+6`` earliest ... ``ℓ6 = 6j+1`` latest).  With the clause's
+literals ordered ``A, B, C`` by critical-edge position:
+
+=====  ==========================  ===============  =====
+msg    span                        levels            slack
+=====  ==========================  ===============  =====
+p_A    ``0 -> right(e_A)``         ``6j+1 .. 6j+6``   5
+p_B    ``0 -> right(e_B)``         ``6j+2 .. 6j+5``   3
+p_C    ``0 -> right(e_C)``         ``6j+3 .. 6j+4``   1
+p_X    ``0 -> left(e_A)``          ``6j+4 .. 6j+6``   2
+p_1    ``e_B`` (span 1)            ``6j+3 .. 6j+4``   1
+p_2    ``e_A`` (span 1)            ``6j+2 .. 6j+5``   3
+p_3    ``e_A`` (span 1)            ``6j+3 .. 6j+4``   1
+=====  ==========================  ===============  =====
+
+**Chains.**  For a literal ``L`` occurring in clauses ``j_1 < ... < j_r``
+(position-dependent signal level ``λ_i`` = ``6j_i + 1/2/3`` for A/B/C and
+window-top ``w_i`` = ``6j_i + 6/5/4``), build one chain *segment* per range
+``[0, λ_1], [w_1, λ_2], ..., [w_{r-1}, λ_r]`` on the critical edge of
+``L``: a range of ``S`` levels crossed by ``T`` clause messages gets
+``S - T - 1`` identical span-1 messages whose window is exactly the range.
+The ``-1`` leaves room for exactly one of {the variable message /
+the forced clause message} at the range's boundary; a full chain propagates
+"literal false" pressure upward, clause by clause, exactly as the paper's
+chain-extension argument describes.
+
+**Outcome.**  With ``N`` total messages and ``v`` variables,
+``OPT_BL(I(Φ)) = OPT_B(I(Φ)) = N - v`` iff ``Φ`` is satisfiable (at most
+one message per variable pair can ever be routed, so ``N - v`` is an
+unconditional upper bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.instance import Instance
+from ..core.message import Message
+from ..core.schedule import Schedule
+from .cnf import CNF
+
+__all__ = ["ReductionResult", "reduce_3sat", "satisfying_assignment_from_schedule"]
+
+
+@dataclass(frozen=True)
+class _Edge:
+    left: int
+
+    @property
+    def right(self) -> int:
+        return self.left + 1
+
+    def covered_by(self, source: int, dest: int) -> bool:
+        return source <= self.left and dest >= self.right
+
+
+@dataclass(frozen=True)
+class ReductionResult:
+    """The reduced instance plus the bookkeeping the experiments need."""
+
+    instance: Instance
+    formula: CNF
+    target: int  # N - v: the throughput achieved iff the formula is SAT
+    variable_message_ids: dict[int, tuple[int, int]]  # var -> (id of m_{+x}, id of m_{-x})
+    kinds: dict[int, str] = field(repr=False)  # message id -> gadget role
+
+    @property
+    def num_messages(self) -> int:
+        return len(self.instance)
+
+
+# Position-dependent level offsets within a clause block: signal level λ
+# (where the chain's bottom sits) and window top w (the message's earliest
+# level), for the A/B/C literal slots.
+_LAMBDA_OFFSET = {"A": 1, "B": 2, "C": 3}
+_TOP_OFFSET = {"A": 6, "B": 5, "C": 4}
+
+
+def reduce_3sat(formula: CNF) -> ReductionResult:
+    """Build the scheduling instance ``I(Φ)`` for a strict 3-CNF formula."""
+    v = formula.num_vars
+    c = len(formula.clauses)
+    if v < 1:
+        raise ValueError("formula has no variables")
+    offset = 6 * c + 6  # level -> ao-parameter shift keeping time >= 0
+    n = 4 * v + 2
+
+    def base(var: int) -> int:
+        return 1 + 4 * (var - 1)
+
+    def critical_edge(lit: int) -> _Edge:
+        b = base(abs(lit))
+        return _Edge(b) if lit > 0 else _Edge(b + 2)
+
+    msgs: list[Message] = []
+    kinds: dict[int, str] = {}
+
+    def add(source: int, dest: int, lo: int, hi: int, kind: str) -> int:
+        """Message whose bufferless level window is exactly [lo, hi]."""
+        mid = len(msgs)
+        release = source - (hi - offset)
+        deadline = dest - (lo - offset)
+        msgs.append(Message(mid, source, dest, release, deadline))
+        kinds[mid] = kind
+        assert msgs[-1].slack == hi - lo
+        return mid
+
+    # ---------------- variable gadgets (level 0) ----------------------- #
+    variable_ids: dict[int, tuple[int, int]] = {}
+    for x in range(1, v + 1):
+        b = base(x)
+        pos = add(b, b + 2, 0, 0, f"var+{x}")
+        neg = add(b + 1, b + 3, 0, 0, f"var-{x}")
+        variable_ids[x] = (pos, neg)
+
+    # ---------------- clause blocks ------------------------------------ #
+    # clause j -> list of (literal, position) ordered by critical edge
+    positions: dict[int, list[tuple[int, str]]] = {}
+    for j, clause in enumerate(formula.clauses):
+        ordered = sorted(clause.literals, key=lambda lit: critical_edge(lit).left)
+        positions[j] = list(zip(ordered, ("A", "B", "C")))
+        lit_a, lit_b, _lit_c = ordered
+        e_a, e_b, e_c = (critical_edge(lit) for lit in ordered)
+        lv = 6 * j
+        add(0, e_a.right, lv + 1, lv + 6, f"pA@{j}")
+        add(0, e_b.right, lv + 2, lv + 5, f"pB@{j}")
+        add(0, e_c.right, lv + 3, lv + 4, f"pC@{j}")
+        add(0, e_a.left, lv + 4, lv + 6, f"pX@{j}")
+        add(e_b.left, e_b.right, lv + 3, lv + 4, f"p1@{j}")
+        add(e_a.left, e_a.right, lv + 2, lv + 5, f"p2@{j}")
+        add(e_a.left, e_a.right, lv + 3, lv + 4, f"p3@{j}")
+
+    # snapshot of clause messages for through-traffic counting
+    clause_msgs = [(m.source, m.dest, m) for m in msgs if kinds[m.id].startswith("p")]
+
+    def through_count(edge: _Edge, lo: int, hi: int) -> int:
+        """Clause messages crossing ``edge`` whose level window fits in
+        ``[lo, hi]`` (their windows never straddle a range boundary — the
+        assertion below guards that invariant)."""
+        t = 0
+        for source, dest, m in clause_msgs:
+            if not edge.covered_by(source, dest):
+                continue
+            m_lo = offset + m.dest - m.deadline  # level of latest line
+            m_hi = offset + m.source - m.release  # level of earliest line
+            if lo <= m_lo and m_hi <= hi:
+                t += 1
+            else:
+                assert m_hi < lo or m_lo > hi or m_lo == hi or m_hi == lo, (
+                    f"clause message {m.id} straddles chain range [{lo}, {hi}]"
+                )
+        return t
+
+    # ---------------- chains -------------------------------------------- #
+    occurrences = formula.literal_occurrences()
+    for lit in sorted(occurrences, key=lambda l: (abs(l), l < 0)):
+        edge = critical_edge(lit)
+        events: list[tuple[int, int]] = []  # (λ_i, w_i) per containing clause
+        for j in sorted(occurrences[lit]):
+            pos = next(p for l, p in positions[j] if l == lit)
+            events.append((6 * j + _LAMBDA_OFFSET[pos], 6 * j + _TOP_OFFSET[pos]))
+        ranges = [(0, events[0][0])]
+        for (_lam_prev, w_prev), (lam, _w) in zip(events, events[1:]):
+            ranges.append((w_prev, lam))
+        for lo, hi in ranges:
+            count = (hi - lo + 1) - through_count(edge, lo, hi) - 1
+            assert count >= 0, f"negative chain size for literal {lit} range [{lo}, {hi}]"
+            for _ in range(count):
+                add(edge.left, edge.right, lo, hi, f"chain{lit}@{lo}-{hi}")
+
+    instance = Instance(n, tuple(msgs))
+    return ReductionResult(
+        instance=instance,
+        formula=formula,
+        target=len(msgs) - v,
+        variable_message_ids=variable_ids,
+        kinds=kinds,
+    )
+
+
+def satisfying_assignment_from_schedule(
+    result: ReductionResult, schedule: Schedule
+) -> dict[int, bool] | None:
+    """Extract the truth assignment a target-throughput schedule encodes.
+
+    A variable is true iff its *positive* message was dropped (paper: "the
+    message corresponding to the literal that is true is the message that
+    is dropped").  Returns ``None`` if the schedule misses the target or
+    drops anything other than one message per variable pair — in which case
+    it encodes no assignment.
+    """
+    if schedule.throughput != result.target:
+        return None
+    delivered = schedule.delivered_ids
+    assignment: dict[int, bool] = {}
+    expected_drops = set()
+    for x, (pos, neg) in result.variable_message_ids.items():
+        pos_in = pos in delivered
+        neg_in = neg in delivered
+        if pos_in == neg_in:
+            return None  # both or neither routed: not a gadget-respecting optimum
+        assignment[x] = not pos_in
+        expected_drops.add(neg if pos_in else pos)
+    all_ids = set(result.instance.ids)
+    if all_ids - delivered != expected_drops:
+        return None
+    return assignment

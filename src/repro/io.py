@@ -1,0 +1,139 @@
+"""JSON (de)serialization for instances and schedules.
+
+The format is deliberately plain so traces can be generated, archived and
+diffed outside Python:
+
+```json
+{
+  "format": "repro-instance",
+  "version": 1,
+  "n": 12,
+  "messages": [{"id": 0, "source": 0, "dest": 6, "release": 0, "deadline": 8}]
+}
+```
+
+Schedules store crossing times per message, which round-trips buffered and
+bufferless trajectories alike.  ``load_*`` functions validate structure and
+re-run the model validators, so a hand-edited file cannot smuggle in an
+inconsistent object.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .core.instance import Instance
+from .core.message import Message
+from .core.schedule import Schedule
+from .core.trajectory import Trajectory
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]
+
+_INSTANCE_FORMAT = "repro-instance"
+_SCHEDULE_FORMAT = "repro-schedule"
+_VERSION = 1
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    return {
+        "format": _INSTANCE_FORMAT,
+        "version": _VERSION,
+        "n": instance.n,
+        "messages": [
+            {
+                "id": m.id,
+                "source": m.source,
+                "dest": m.dest,
+                "release": m.release,
+                "deadline": m.deadline,
+            }
+            for m in instance
+        ],
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> Instance:
+    _check_header(data, _INSTANCE_FORMAT)
+    try:
+        messages = tuple(
+            Message(
+                id=int(row["id"]),
+                source=int(row["source"]),
+                dest=int(row["dest"]),
+                release=int(row["release"]),
+                deadline=int(row["deadline"]),
+            )
+            for row in data["messages"]
+        )
+        return Instance(int(data["n"]), messages)
+    except KeyError as exc:
+        raise ValueError(f"missing field {exc} in instance data") from exc
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    return {
+        "format": _SCHEDULE_FORMAT,
+        "version": _VERSION,
+        "trajectories": [
+            {
+                "message_id": t.message_id,
+                "source": t.source,
+                "crossings": list(t.crossings),
+            }
+            for t in schedule
+        ],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    _check_header(data, _SCHEDULE_FORMAT)
+    try:
+        trajectories = tuple(
+            Trajectory(
+                message_id=int(row["message_id"]),
+                source=int(row["source"]),
+                crossings=tuple(int(t) for t in row["crossings"]),
+            )
+            for row in data["trajectories"]
+        )
+    except KeyError as exc:
+        raise ValueError(f"missing field {exc} in schedule data") from exc
+    return Schedule(trajectories)  # re-validates edge-disjointness
+
+
+def save_instance(instance: Instance, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+
+
+def load_instance(path: str | Path) -> Instance:
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    return schedule_from_dict(json.loads(Path(path).read_text()))
+
+
+def _check_header(data: dict[str, Any], expected: str) -> None:
+    if not isinstance(data, dict):
+        raise ValueError("expected a JSON object")
+    fmt = data.get("format")
+    if fmt != expected:
+        raise ValueError(f"expected format {expected!r}, got {fmt!r}")
+    version = data.get("version")
+    if version != _VERSION:
+        raise ValueError(f"unsupported version {version!r} (supported: {_VERSION})")

@@ -1,0 +1,36 @@
+"""Two-dimensional mesh scheduling via dimension-order (XY) routing.
+
+The paper's introduction motivates the linear-network focus with exactly
+this construction: *"In a mesh, for instance, one might employ a
+dimension-order routing strategy which uses our near-optimal bufferless
+routing along rows and along columns but that performs a single
+optical-electric conversion to change dimensions."*
+
+This package builds that system:
+
+* :mod:`repro.mesh.model` — mesh instances (messages with 2-D endpoints)
+  and two-phase XY trajectories;
+* :mod:`repro.mesh.xy` — the scheduler: phase 1 runs a line scheduler
+  (BFL by default) independently on every row and direction with deadlines
+  tightened by the remaining column distance; phase 2 re-releases the
+  survivors at their turning nodes (plus a configurable conversion delay)
+  and runs the line scheduler on every column;
+* experiment E14 (`repro.experiments.e14_mesh`) measures the resulting
+  throughput against per-phase baselines.
+
+Within each phase travel is bufferless (the optical regime); the single
+buffered stop is the turning node, matching the one conversion the paper
+allows.
+"""
+
+from .model import MeshInstance, MeshMessage, MeshSchedule, MeshTrajectory, make_mesh_instance
+from .xy import xy_schedule
+
+__all__ = [
+    "MeshMessage",
+    "MeshInstance",
+    "MeshTrajectory",
+    "MeshSchedule",
+    "make_mesh_instance",
+    "xy_schedule",
+]

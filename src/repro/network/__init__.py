@@ -1,0 +1,34 @@
+"""Discrete-time linear-network simulator.
+
+The paper analyses algorithms on an abstract synchronous line; this package
+is the executable substrate.  It models:
+
+* ``n`` nodes joined by full-duplex unit-capacity links (the two directions
+  never contend, so the simulator runs one direction and full instances are
+  handled by mirroring);
+* dual-ported nodes: in one step a node may receive one packet from its
+  left neighbour and send one packet to its right neighbour;
+* unbounded (default) or capacity-limited per-node buffers;
+* *local-control* scheduling policies: a policy sees only one node's buffer
+  plus whatever control information was piggybacked to that node over links
+  (one hop per step), which is exactly the paper's distributed model.
+
+The D-BFL algorithm (:mod:`repro.core.dbfl`) and the buffered heuristics
+(:mod:`repro.baselines.buffered_greedy`) are policies for this simulator.
+"""
+
+from .packet import Packet, PacketStatus
+from .policy import NodeView, Policy
+from .simulator import LinearNetworkSimulator, SimulationResult, simulate
+from .stats import SimulationStats
+
+__all__ = [
+    "Packet",
+    "PacketStatus",
+    "Policy",
+    "NodeView",
+    "LinearNetworkSimulator",
+    "SimulationResult",
+    "SimulationStats",
+    "simulate",
+]

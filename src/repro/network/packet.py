@@ -1,0 +1,84 @@
+"""Runtime packet state inside the simulator.
+
+A :class:`Packet` wraps one :class:`~repro.core.message.Message` and tracks
+its journey: current node, link-crossing times so far, and final status.
+Packets are mutable — they are simulator internals; the immutable record of
+a run is the :class:`~repro.core.schedule.Schedule` assembled afterwards.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..core.message import Message
+from ..core.trajectory import Trajectory
+
+__all__ = ["Packet", "PacketStatus"]
+
+
+class PacketStatus(enum.Enum):
+    """Lifecycle of a packet inside a simulation run."""
+
+    PENDING = "pending"  # not yet released
+    IN_NETWORK = "in_network"  # buffered at a node or crossing a link
+    DELIVERED = "delivered"  # reached its destination by its deadline
+    DROPPED = "dropped"  # can no longer meet its deadline
+
+
+@dataclass
+class Packet:
+    """One message's mutable runtime state."""
+
+    message: Message
+    node: int = field(init=False)
+    status: PacketStatus = field(init=False, default=PacketStatus.PENDING)
+    crossings: list[int] = field(init=False, default_factory=list)
+    dropped_at: int | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.node = self.message.source
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def id(self) -> int:
+        return self.message.id
+
+    @property
+    def dest(self) -> int:
+        return self.message.dest
+
+    @property
+    def deadline(self) -> int:
+        return self.message.deadline
+
+    def remaining_hops(self) -> int:
+        return self.dest - self.node
+
+    def can_meet_deadline(self, time: int) -> bool:
+        """Whether full-speed travel from here still beats the deadline."""
+        return time + self.remaining_hops() <= self.deadline
+
+    def laxity(self, time: int) -> int:
+        """Steps of waiting the packet can still afford (0 == must move now)."""
+        return self.deadline - time - self.remaining_hops()
+
+    # ------------------------------------------------------------------ #
+
+    def record_hop(self, time: int) -> None:
+        """Advance one node, crossing the link during ``[time, time + 1]``."""
+        self.crossings.append(time)
+        self.node += 1
+        if self.node == self.dest:
+            self.status = PacketStatus.DELIVERED
+
+    def mark_dropped(self, time: int) -> None:
+        self.status = PacketStatus.DROPPED
+        self.dropped_at = time
+
+    def trajectory(self) -> Trajectory:
+        """The completed trajectory (only valid once delivered)."""
+        if self.status is not PacketStatus.DELIVERED:
+            raise ValueError(f"packet {self.id} not delivered (status {self.status.value})")
+        return Trajectory(self.id, self.message.source, tuple(self.crossings))

@@ -1,0 +1,82 @@
+"""The local-control policy interface.
+
+A policy decides, independently at every node and step, which (if any)
+buffered packet to forward rightward.  The simulator enforces the paper's
+distributed information model:
+
+* a policy sees one node at a time through a :class:`NodeView`;
+* the only cross-node channel is :meth:`Policy.emit_control` /
+  :meth:`Policy.receive_control`: whatever a node emits at step ``t``
+  reaches its right neighbour at step ``t + 1`` — control information
+  travels no faster than packets (paper, Section 5.2);
+* packet metadata (source, dest, release, deadline) rides with the packet,
+  as the paper allows (an ``O(log n)``-bit header).
+
+Centralised heuristics that "cheat" (e.g. global-knowledge baselines) can
+of course keep their own state; the D-BFL implementation deliberately
+restricts itself to the control channel so that Theorem 5.2's locality
+claim is demonstrated, not just asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from .packet import Packet
+
+__all__ = ["NodeView", "Policy"]
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """What one node can see when making a forwarding decision.
+
+    ``candidates`` holds the packets buffered at the node that can still
+    meet their deadlines (hopeless ones are dropped before selection).
+    The view is ephemeral — valid only during the ``select`` call.
+    """
+
+    node: int
+    time: int
+    candidates: tuple[Packet, ...]
+
+
+class Policy:
+    """Base class; subclasses override :meth:`select` (and optionally the
+    control-channel hooks)."""
+
+    def reset(self, n: int) -> None:
+        """Called once before the run starts, with the network size."""
+
+    def select(self, view: NodeView) -> Packet | None:
+        """Choose the packet node ``view.node`` forwards at ``view.time``.
+
+        Return ``None`` to keep the link idle this step.  Must return one
+        of ``view.candidates``.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Control channel (one value per node per step, moving one hop right)
+    # ------------------------------------------------------------------ #
+
+    def emit_control(self, node: int, time: int) -> Hashable | None:
+        """Value to piggyback from ``node`` to ``node + 1`` this step."""
+        return None
+
+    def receive_control(self, node: int, time: int, value: Hashable) -> None:
+        """Deliver the value ``node - 1`` emitted at ``time - 1``."""
+
+    # ------------------------------------------------------------------ #
+    # Informational hooks
+    # ------------------------------------------------------------------ #
+
+    def on_release(self, packet: Packet, time: int) -> None:
+        """A packet just became available at its source node."""
+
+    def on_deliver(self, packet: Packet, time: int) -> None:
+        """A packet just arrived at its destination."""
+
+    def on_drop(self, packet: Packet, time: int) -> None:
+        """A packet just became hopeless and was discarded."""

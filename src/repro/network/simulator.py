@@ -1,0 +1,215 @@
+"""The discrete-time linear-network simulator.
+
+One step of the synchronous network, at time ``t``:
+
+1. **Arrivals** — packets that crossed a link during ``[t-1, t]`` join the
+   downstream node's buffer (or are delivered if that node is their
+   destination).  With a finite ``buffer_capacity``, a packet arriving at a
+   full intermediate buffer is dropped (ablation A2).
+2. **Control delivery** — control values emitted at ``t-1`` reach the next
+   node (policy hook).
+3. **Releases** — messages with ``release == t`` materialise at their
+   sources.
+4. **Drops** — packets that can no longer meet their deadline even moving
+   at full speed are discarded (the paper's model drops a message as soon
+   as it becomes hopeless).
+5. **Selection** — every node independently asks the policy for at most one
+   packet to forward right; chosen packets are in flight until step 1 of
+   time ``t + 1``.
+
+The simulator handles left-to-right traffic; run a mirrored instance for
+the other direction (:func:`simulate` does not do this implicitly to keep
+schedules directly comparable with the LR-only algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..core.instance import Instance
+from ..core.message import Direction
+from ..core.schedule import Schedule
+from ..core.validate import validate_schedule
+from .packet import Packet, PacketStatus
+from .policy import NodeView, Policy
+from .stats import SimulationStats
+
+__all__ = ["LinearNetworkSimulator", "SimulationResult", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a run produced."""
+
+    schedule: Schedule
+    delivered_ids: frozenset[int]
+    dropped_ids: frozenset[int]
+    stats: SimulationStats
+
+    @property
+    def throughput(self) -> int:
+        return len(self.delivered_ids)
+
+
+class LinearNetworkSimulator:
+    """Synchronous, dual-ported, full-duplex line (one direction).
+
+    Parameters
+    ----------
+    instance:
+        Left-to-right messages only (infeasible ones count as dropped at
+        their release time).
+    policy:
+        The forwarding policy (see :mod:`repro.network.policy`).
+    buffer_capacity:
+        Max packets buffered per *intermediate* node; ``None`` (the paper's
+        setting) means unbounded.  Source buffers are always unbounded — a
+        node can hold its own outgoing traffic.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        policy: Policy,
+        *,
+        buffer_capacity: int | None = None,
+    ) -> None:
+        for m in instance:
+            if m.direction != Direction.LEFT_TO_RIGHT:
+                raise ValueError(
+                    f"message {m.id} travels right-to-left; split directions first"
+                )
+        if buffer_capacity is not None and buffer_capacity < 0:
+            raise ValueError("buffer_capacity must be non-negative or None")
+        self.instance = instance
+        self.policy = policy
+        self.buffer_capacity = buffer_capacity
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SimulationResult:
+        inst = self.instance
+        policy = self.policy
+        n = inst.n
+        policy.reset(n)
+        stats = SimulationStats()
+
+        packets = [Packet(m) for m in inst]
+        releases: dict[int, list[Packet]] = {}
+        for p in packets:
+            releases.setdefault(p.message.release, []).append(p)
+
+        buffers: list[list[Packet]] = [[] for _ in range(n)]
+        in_flight: list[tuple[Packet, int]] = []  # (packet, origin node)
+        control_in_flight: list[tuple[int, Hashable]] = []  # (origin node, value)
+        delivered: list[Packet] = []
+        dropped: list[Packet] = []
+
+        horizon = inst.horizon
+        t = 0
+        live = len(packets)
+        while t < horizon and (live > 0 or in_flight):
+            # 1. arrivals
+            for p, origin in in_flight:
+                node = origin + 1
+                if p.status is PacketStatus.DELIVERED:
+                    delivered.append(p)
+                    stats.delivered += 1
+                    stats.total_latency += (p.crossings[-1] + 1) - p.message.release
+                    policy.on_deliver(p, t)
+                    live -= 1
+                elif (
+                    self.buffer_capacity is not None
+                    and len(buffers[node]) >= self.buffer_capacity
+                ):
+                    p.mark_dropped(t)
+                    dropped.append(p)
+                    stats.dropped += 1
+                    stats.buffer_overflow_drops += 1
+                    policy.on_drop(p, t)
+                    live -= 1
+                else:
+                    buffers[node].append(p)
+            in_flight = []
+
+            # 2. control delivery
+            for origin, value in control_in_flight:
+                if origin + 1 < n:
+                    policy.receive_control(origin + 1, t, value)
+            control_in_flight = []
+
+            # 3. releases
+            for p in releases.pop(t, ()):
+                p.status = PacketStatus.IN_NETWORK
+                stats.released += 1
+                buffers[p.message.source].append(p)
+                policy.on_release(p, t)
+
+            # 4. drops (hopeless packets)
+            for node in range(n):
+                keep: list[Packet] = []
+                for p in buffers[node]:
+                    if p.can_meet_deadline(t):
+                        keep.append(p)
+                    else:
+                        p.mark_dropped(t)
+                        dropped.append(p)
+                        stats.dropped += 1
+                        policy.on_drop(p, t)
+                        live -= 1
+                buffers[node] = keep
+                stats.record_buffer(node, len(keep))
+
+            # 5. selection + control emission
+            for node in range(n - 1):
+                view = NodeView(node=node, time=t, candidates=tuple(buffers[node]))
+                chosen = policy.select(view)
+                if chosen is not None:
+                    if chosen not in buffers[node]:
+                        raise RuntimeError(
+                            f"policy returned a packet not buffered at node {node}"
+                        )
+                    buffers[node].remove(chosen)
+                    wait = t - (
+                        chosen.crossings[-1] + 1 if chosen.crossings else chosen.message.release
+                    )
+                    if chosen.crossings:
+                        stats.total_wait_steps += wait
+                    chosen.record_hop(t)
+                    stats.record_hop(node)
+                    in_flight.append((chosen, node))
+                value = policy.emit_control(node, t)
+                if value is not None:
+                    control_in_flight.append((node, value))
+
+            t += 1
+            stats.steps = t
+
+        # anything still pending/buffered after the horizon is undeliverable
+        for p in packets:
+            if p.status in (PacketStatus.PENDING, PacketStatus.IN_NETWORK):
+                p.mark_dropped(t)
+                dropped.append(p)
+                stats.dropped += 1
+
+        schedule = Schedule(tuple(p.trajectory() for p in delivered))
+        validate_schedule(inst, schedule)
+        return SimulationResult(
+            schedule=schedule,
+            delivered_ids=frozenset(p.id for p in delivered),
+            dropped_ids=frozenset(p.id for p in dropped),
+            stats=stats,
+        )
+
+
+def simulate(
+    instance: Instance,
+    policy: Policy,
+    *,
+    buffer_capacity: int | None = None,
+) -> SimulationResult:
+    """Convenience wrapper: build and run a simulator in one call."""
+    return LinearNetworkSimulator(
+        instance, policy, buffer_capacity=buffer_capacity
+    ).run()

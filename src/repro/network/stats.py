@@ -1,0 +1,53 @@
+"""Aggregate statistics collected by a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimulationStats"]
+
+
+@dataclass
+class SimulationStats:
+    """Counters and per-node/per-link aggregates for one run.
+
+    All values are filled in by the simulator; user code should treat the
+    object as read-only.
+    """
+
+    steps: int = 0
+    released: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    link_busy_steps: dict[int, int] = field(default_factory=dict)
+    peak_buffer: dict[int, int] = field(default_factory=dict)
+    total_wait_steps: int = 0
+    total_latency: int = 0
+    buffer_overflow_drops: int = 0
+
+    # ------------------------------------------------------------------ #
+
+    def record_hop(self, link: int) -> None:
+        self.link_busy_steps[link] = self.link_busy_steps.get(link, 0) + 1
+
+    def record_buffer(self, node: int, occupancy: int) -> None:
+        if occupancy > self.peak_buffer.get(node, 0):
+            self.peak_buffer[node] = occupancy
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / released (1.0 for an empty run)."""
+        return self.delivered / self.released if self.released else 1.0
+
+    def link_utilization(self, n: int) -> dict[int, float]:
+        """Busy fraction per link over the whole run."""
+        if self.steps == 0:
+            return {v: 0.0 for v in range(n - 1)}
+        return {v: self.link_busy_steps.get(v, 0) / self.steps for v in range(n - 1)}
+
+    @property
+    def mean_latency(self) -> float:
+        """Average release-to-arrival time over delivered packets."""
+        return self.total_latency / self.delivered if self.delivered else 0.0

@@ -1,0 +1,121 @@
+"""Lightweight measurement utilities, per the profile-before-optimising rule.
+
+The optimisation guides this project follows insist on measuring before
+(and after) touching hot code.  These helpers keep that cheap inside the
+library and its experiments — no external profiler needed for the common
+"how long does this take, and what dominates?" questions.
+
+>>> from repro.perf import Timer, time_call
+>>> with Timer() as t:
+...     _ = sum(range(1000))
+>>> t.elapsed > 0
+True
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Timer", "time_call", "best_of", "profile_call", "StageClock"]
+
+
+class Timer:
+    """Context-manager stopwatch (``perf_counter`` based)."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_call(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """``(seconds, result)`` of one call."""
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def best_of(fn: Callable[[], Any], *, repeats: int = 3) -> float:
+    """Minimum wall time over ``repeats`` calls — the standard way to damp
+    scheduler noise when comparing implementations."""
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    return min(time_call(fn)[0] for _ in range(repeats))
+
+
+def profile_call(fn: Callable[[], Any], *, top: int = 15) -> str:
+    """Run ``fn`` under cProfile and return the top functions by cumulative
+    time as text (for quick interactive inspection, not CI)."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()
+
+
+@dataclass
+class StageClock:
+    """Accumulate wall time per named stage of a pipeline.
+
+    >>> clock = StageClock()
+    >>> with clock.stage("generate"):
+    ...     pass
+    >>> with clock.stage("solve"):
+    ...     pass
+    >>> set(clock.totals) == {"generate", "solve"}
+    True
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def stage(self, name: str) -> "_Stage":
+        return _Stage(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def report(self) -> str:
+        if not self.totals:
+            return "(no stages recorded)"
+        width = max(len(n) for n in self.totals)
+        total = sum(self.totals.values())
+        lines = []
+        for name, secs in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            share = secs / total if total else 0.0
+            lines.append(
+                f"{name.ljust(width)}  {secs * 1e3:9.2f} ms  "
+                f"{share:6.1%}  ({self.counts[name]} call(s))"
+            )
+        return "\n".join(lines)
+
+
+class _Stage:
+    def __init__(self, clock: StageClock, name: str) -> None:
+        self.clock = clock
+        self.name = name
+
+    def __enter__(self) -> "_Stage":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.clock.record(self.name, time.perf_counter() - self._start)

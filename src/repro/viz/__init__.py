@@ -1,0 +1,26 @@
+"""ASCII rendering of the (node, time) lattice.
+
+The paper's figures are lattice diagrams; with a text-only toolchain we
+regenerate them as monospace art: parallelograms for message windows,
+``/`` runs for bufferless trajectories, ``|`` risers for buffering.
+
+* :mod:`repro.viz.lattice` — the canvas and drawing primitives;
+* :mod:`repro.viz.figures` — Figure 1 (the six-message example), Figure 2
+  (the lower-bound family ``I_k``), Figure 3 (a clause gadget).
+"""
+
+from .figures import figure1, figure2, figure3
+from .gantt import link_gantt
+from .lattice import LatticeCanvas, render_instance, render_schedule
+from .ring_view import ring_gantt
+
+__all__ = [
+    "LatticeCanvas",
+    "render_instance",
+    "render_schedule",
+    "link_gantt",
+    "ring_gantt",
+    "figure1",
+    "figure2",
+    "figure3",
+]

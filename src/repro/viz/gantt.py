@@ -1,0 +1,50 @@
+"""Per-link occupancy charts ("Gantt view" of a schedule).
+
+Complementary to the lattice view: one row per directed link, one column
+per time step, showing which message crosses the link when.  Useful for
+eyeballing contention and link utilisation.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+
+__all__ = ["link_gantt"]
+
+_IDLE = "."
+
+
+def link_gantt(
+    instance: Instance,
+    schedule: Schedule,
+    *,
+    start: int = 0,
+    end: int | None = None,
+) -> str:
+    """Render ``link x time`` occupancy; cells show ``message_id % 36`` in
+    base-36 so up to 36 messages stay distinguishable at one glyph each."""
+    if end is None:
+        end = instance.horizon
+    if end <= start:
+        raise ValueError(f"empty time window [{start}, {end})")
+    width = end - start
+    rows: list[str] = []
+    occupancy: dict[tuple[int, int], int] = {}
+    for traj in schedule:
+        for node, t in traj.diagonal_edges():
+            occupancy[(node, t)] = traj.message_id
+
+    digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+    header = "link \\ t " + "".join(str((start + i) % 10) for i in range(width))
+    rows.append(header)
+    for link in range(instance.n - 1):
+        cells = []
+        for t in range(start, end):
+            mid = occupancy.get((link, t))
+            cells.append(_IDLE if mid is None else digits[mid % 36])
+        rows.append(f"{link:>2}->{link + 1:<3} " + "".join(cells))
+    busy = len(occupancy)
+    cap = (instance.n - 1) * width
+    rows.append(f"utilisation: {busy}/{cap} link-steps ({busy / cap:.1%})")
+    return "\n".join(rows)

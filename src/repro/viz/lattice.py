@@ -1,0 +1,110 @@
+"""An ASCII canvas over the (node, time) lattice.
+
+Layout: node ``v`` maps to text column ``2v`` (odd columns carry the
+diagonal hop glyphs), time ``t`` maps to a row, and — matching the paper's
+figures — time increases *upward*, so row 0 is printed last.
+
+Glyphs: ``|`` vertical parallelogram sides and buffer risers, ``/``
+diagonal movement (one hop per step), ``.`` lattice points of parallelogram
+corners, digits/letters label messages at their sources.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..core.trajectory import Trajectory
+
+__all__ = ["LatticeCanvas", "render_instance", "render_schedule"]
+
+
+class LatticeCanvas:
+    """A character grid addressed in lattice coordinates."""
+
+    def __init__(self, n: int, horizon: int) -> None:
+        if n < 2 or horizon < 1:
+            raise ValueError("canvas needs n >= 2 and horizon >= 1")
+        self.n = n
+        self.horizon = horizon
+        self.width = 2 * (n - 1) + 1
+        self.grid = [[" "] * self.width for _ in range(horizon)]
+
+    # ------------------------------------------------------------------ #
+
+    def put(self, node: int, time: int, char: str, *, half: bool = False) -> None:
+        """Write ``char`` at lattice point (node, time); ``half=True``
+        targets the midpoint column between ``node`` and ``node + 1``."""
+        col = 2 * node + (1 if half else 0)
+        if 0 <= time < self.horizon and 0 <= col < self.width:
+            self.grid[time][col] = char
+
+    def vertical(self, node: int, t0: int, t1: int, char: str = "|") -> None:
+        for t in range(t0, t1 + 1):
+            self.put(node, t, char)
+
+    def diagonal(self, node: int, time: int, length: int, char: str = "/") -> None:
+        """``length`` hops starting at (node, time): glyphs on half columns."""
+        for i in range(length):
+            self.put(node + i, time + i, char, half=True)
+
+    def parallelogram(self, source: int, dest: int, release: int, deadline: int) -> None:
+        """Outline a message window (paper Section 2 shape)."""
+        span = dest - source
+        self.vertical(source, release, deadline - span)
+        self.vertical(dest, release + span, deadline)
+        self.diagonal(source, release, span)  # bottom edge
+        self.diagonal(source, deadline - span, span)  # top edge
+        for node, time in (
+            (source, release),
+            (source, deadline - span),
+            (dest, release + span),
+            (dest, deadline),
+        ):
+            self.put(node, time, ".")
+
+    def trajectory(self, traj: Trajectory, label: str | None = None) -> None:
+        """Draw a (possibly buffered) trajectory: hops ``/``, waits ``|``."""
+        for j, t in enumerate(traj.crossings):
+            self.put(traj.source + j, t, "/", half=True)
+            if j + 1 < len(traj.crossings):
+                for wait_t in range(t + 1, traj.crossings[j + 1]):
+                    self.put(traj.source + j + 1, wait_t, "|")
+        if label:
+            self.put(traj.source, traj.depart, label[0])
+
+    # ------------------------------------------------------------------ #
+
+    def render(self, *, axis: bool = True) -> str:
+        """Time increases upward; optionally add node/time axes."""
+        lines = []
+        for t in range(self.horizon - 1, -1, -1):
+            row = "".join(self.grid[t]).rstrip()
+            lines.append(f"{t:>3} {row}" if axis else row)
+        if axis:
+            ticks = [" "] * self.width
+            for v in range(self.n):
+                mark = str(v % 10)
+                ticks[2 * v] = mark
+            lines.append("    " + "".join(ticks).rstrip())
+        return "\n".join(lines)
+
+
+def render_instance(instance: Instance, *, axis: bool = True) -> str:
+    """All message parallelograms of a (left-to-right) instance."""
+    canvas = LatticeCanvas(instance.n, instance.horizon)
+    for m in instance:
+        canvas.parallelogram(m.source, m.dest, m.release, m.deadline)
+    return canvas.render(axis=axis)
+
+
+def render_schedule(
+    instance: Instance, schedule: Schedule, *, windows: bool = True, axis: bool = True
+) -> str:
+    """Trajectories over (optionally) their message windows."""
+    canvas = LatticeCanvas(instance.n, instance.horizon)
+    if windows:
+        for m in instance:
+            canvas.parallelogram(m.source, m.dest, m.release, m.deadline)
+    for traj in schedule:
+        canvas.trajectory(traj, label=str(traj.message_id % 10))
+    return canvas.render(axis=axis)

@@ -1,0 +1,43 @@
+"""Occupancy view for ring schedules: clockwise link x time."""
+
+from __future__ import annotations
+
+from ..network.ring import RingInstance, RingSchedule
+
+__all__ = ["ring_gantt"]
+
+_IDLE = "."
+_DIGITS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def ring_gantt(
+    instance: RingInstance,
+    schedule: RingSchedule,
+    *,
+    start: int = 0,
+    end: int | None = None,
+) -> str:
+    """One row per clockwise link ``v -> (v+1) mod n``; glyphs show which
+    message crosses when (id mod 36, base-36)."""
+    if end is None:
+        end = max((m.deadline for m in instance), default=0) + 1
+    if end <= start:
+        raise ValueError(f"empty time window [{start}, {end})")
+    width = end - start
+    occupancy: dict[tuple[int, int], int] = {}
+    for traj in schedule.trajectories:
+        for link, t in traj.edges():
+            occupancy[(link, t)] = traj.message_id
+
+    lines = ["link \\ t " + "".join(str((start + i) % 10) for i in range(width))]
+    for link in range(instance.n):
+        cells = []
+        for t in range(start, end):
+            mid = occupancy.get((link, t))
+            cells.append(_IDLE if mid is None else _DIGITS[mid % 36])
+        nxt = (link + 1) % instance.n
+        lines.append(f"{link:>2}->{nxt:<3} " + "".join(cells))
+    busy = len(occupancy)
+    cap = instance.n * width
+    lines.append(f"utilisation: {busy}/{cap} link-steps ({busy / cap:.1%})")
+    return "\n".join(lines)

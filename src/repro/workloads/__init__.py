@@ -1,0 +1,39 @@
+"""Seeded workload generators.
+
+Every generator takes an explicit ``numpy.random.Generator`` so experiments
+are exactly reproducible.  Families:
+
+* :mod:`repro.workloads.random_uniform` — the general random instances the
+  approximation-ratio sweeps use;
+* :mod:`repro.workloads.special` — the restricted families of Section 4.1
+  (uniform slack, uniform span, static / zero release);
+* :mod:`repro.workloads.sessions` — periodic per-session traffic in the
+  style of the related-work "session model";
+* :mod:`repro.workloads.multimedia` — the intro's motivating mix: audio /
+  video / bulk traffic classes with distinct deadline behaviour, plus a
+  hotspot pattern.
+"""
+
+from .meshes import mesh_hotspot, random_mesh_instance, transpose_mesh
+from .random_uniform import general_instance, saturated_instance
+from .rings import all_to_all_ring, random_ring_instance, ring_hotspot
+from .sessions import session_instance
+from .special import static_instance, uniform_slack_instance, uniform_span_instance
+from .multimedia import hotspot_instance, multimedia_instance
+
+__all__ = [
+    "general_instance",
+    "saturated_instance",
+    "uniform_slack_instance",
+    "uniform_span_instance",
+    "static_instance",
+    "session_instance",
+    "multimedia_instance",
+    "hotspot_instance",
+    "random_ring_instance",
+    "all_to_all_ring",
+    "ring_hotspot",
+    "random_mesh_instance",
+    "transpose_mesh",
+    "mesh_hotspot",
+]

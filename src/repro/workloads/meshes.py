@@ -1,0 +1,86 @@
+"""Seeded mesh workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.model import MeshInstance, MeshMessage
+
+__all__ = ["random_mesh_instance", "transpose_mesh", "mesh_hotspot"]
+
+
+def random_mesh_instance(
+    rng: np.random.Generator,
+    *,
+    rows: int = 6,
+    cols: int = 6,
+    k: int = 30,
+    max_release: int = 15,
+    max_slack: int = 6,
+    conversion_delay: int = 0,
+) -> MeshInstance:
+    """Uniform random endpoints; every message individually feasible
+    (deadline covers XY distance + the conversion, if it turns)."""
+    msgs = []
+    for i in range(k):
+        while True:
+            s = (int(rng.integers(0, rows)), int(rng.integers(0, cols)))
+            d = (int(rng.integers(0, rows)), int(rng.integers(0, cols)))
+            if s != d:
+                break
+        span = abs(s[0] - d[0]) + abs(s[1] - d[1])
+        turns = conversion_delay if (s[0] != d[0] and s[1] != d[1]) else 0
+        r = int(rng.integers(0, max_release + 1))
+        sl = int(rng.integers(0, max_slack + 1))
+        msgs.append(MeshMessage(i, s, d, r, r + span + turns + sl))
+    return MeshInstance(rows, cols, tuple(msgs))
+
+
+def transpose_mesh(
+    rng: np.random.Generator,
+    *,
+    n: int = 6,
+    max_release: int = 8,
+    slack: int = 6,
+) -> MeshInstance:
+    """The classic matrix-transpose permutation: ``(r, c) -> (c, r)`` for
+    every off-diagonal node — a worst-ish case for XY routing because all
+    traffic turns and the turning nodes cluster on the diagonal."""
+    msgs = []
+    for r in range(n):
+        for c in range(n):
+            if r == c:
+                continue
+            rel = int(rng.integers(0, max_release + 1))
+            span = abs(r - c) * 2
+            msgs.append(MeshMessage(len(msgs), (r, c), (c, r), rel, rel + span + slack))
+    return MeshInstance(n, n, tuple(msgs))
+
+
+def mesh_hotspot(
+    rng: np.random.Generator,
+    *,
+    rows: int = 6,
+    cols: int = 6,
+    k: int = 30,
+    hotspot: tuple[int, int] | None = None,
+    max_release: int = 12,
+    max_slack: int = 5,
+) -> MeshInstance:
+    """All messages destined for one node — the column into the hotspot is
+    the bottleneck, so phase-2 scheduling dominates throughput."""
+    if hotspot is None:
+        hotspot = (rows // 2, cols // 2)
+    if not (0 <= hotspot[0] < rows and 0 <= hotspot[1] < cols):
+        raise ValueError("hotspot must lie on the mesh")
+    msgs = []
+    for i in range(k):
+        while True:
+            s = (int(rng.integers(0, rows)), int(rng.integers(0, cols)))
+            if s != hotspot:
+                break
+        span = abs(s[0] - hotspot[0]) + abs(s[1] - hotspot[1])
+        r = int(rng.integers(0, max_release + 1))
+        sl = int(rng.integers(0, max_slack + 1))
+        msgs.append(MeshMessage(i, s, hotspot, r, r + span + sl))
+    return MeshInstance(rows, cols, tuple(msgs))

@@ -1,0 +1,91 @@
+"""Multimedia-style traffic mixes — the paper's motivating scenario.
+
+The introduction motivates time-constrained routing with continuous-media
+traffic: real-time audio with hard small deadlines, video with moderate
+ones, and best-effort bulk data modelled (as the paper suggests) with an
+effectively infinite deadline.  :func:`multimedia_instance` generates that
+three-class mix; :func:`hotspot_instance` adds the classic stress pattern
+where many flows converge on one region of the line.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.message import Message
+
+__all__ = ["multimedia_instance", "hotspot_instance", "TRAFFIC_CLASSES"]
+
+# class name -> (share of messages, slack range); bulk's huge slack plays
+# the role of the paper's "deadline = infinity" best-effort traffic.
+TRAFFIC_CLASSES: dict[str, tuple[float, tuple[int, int]]] = {
+    "audio": (0.3, (0, 2)),
+    "video": (0.5, (2, 8)),
+    "bulk": (0.2, (50, 200)),
+}
+
+
+def multimedia_instance(
+    rng: np.random.Generator,
+    *,
+    n: int = 32,
+    k: int = 60,
+    horizon: int = 50,
+    classes: dict[str, tuple[float, tuple[int, int]]] | None = None,
+) -> tuple[Instance, dict[int, str]]:
+    """A mixed-class workload; returns ``(instance, id -> class name)``.
+
+    Shares are normalised; each message draws its slack uniformly from its
+    class's range.  The class map lets experiments report per-class
+    delivery ratios (audio packets being droppable but urgent, bulk being
+    patient).
+    """
+    classes = classes or TRAFFIC_CLASSES
+    names = list(classes)
+    shares = np.array([classes[c][0] for c in names], dtype=float)
+    shares = shares / shares.sum()
+    labels = rng.choice(len(names), size=k, p=shares)
+
+    msgs = []
+    class_of: dict[int, str] = {}
+    for i in range(k):
+        name = names[int(labels[i])]
+        lo, hi = classes[name][1]
+        span = int(rng.integers(1, n))
+        s = int(rng.integers(0, n - span))
+        r = int(rng.integers(0, horizon))
+        slack = int(rng.integers(lo, hi + 1))
+        msgs.append(Message(i, s, s + span, r, r + span + slack))
+        class_of[i] = name
+    return Instance(n, tuple(msgs)), class_of
+
+
+def hotspot_instance(
+    rng: np.random.Generator,
+    *,
+    n: int = 32,
+    k: int = 40,
+    hotspot: int | None = None,
+    width: int = 2,
+    horizon: int = 30,
+    max_slack: int = 5,
+) -> Instance:
+    """Messages whose destinations cluster around one ``hotspot`` node.
+
+    This concentrates contention on the links just left of the hotspot —
+    the adversarial shape for bufferless scheduling, since every message
+    fights for the same few (edge, step) slots.
+    """
+    if hotspot is None:
+        hotspot = 3 * n // 4
+    if not (1 <= hotspot <= n - 1):
+        raise ValueError("hotspot must be an interior node")
+    msgs = []
+    for i in range(k):
+        d = int(np.clip(hotspot + rng.integers(-width, width + 1), 1, n - 1))
+        s = int(rng.integers(0, d))
+        r = int(rng.integers(0, horizon))
+        slack = int(rng.integers(0, max_slack + 1))
+        msgs.append(Message(i, s, d, r, r + (d - s) + slack))
+    return Instance(n, tuple(msgs))

@@ -1,0 +1,75 @@
+"""General random instances (vectorised generation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.message import Message
+
+__all__ = ["general_instance", "saturated_instance"]
+
+
+def _build(n: int, s: np.ndarray, d: np.ndarray, r: np.ndarray, dl: np.ndarray) -> Instance:
+    msgs = tuple(
+        Message(i, int(s[i]), int(d[i]), int(r[i]), int(dl[i])) for i in range(len(s))
+    )
+    return Instance(n, msgs)
+
+
+def general_instance(
+    rng: np.random.Generator,
+    *,
+    n: int = 32,
+    k: int = 40,
+    max_release: int = 30,
+    max_slack: int = 10,
+    min_span: int = 1,
+    max_span: int | None = None,
+) -> Instance:
+    """``k`` independent left-to-right messages, all quantities uniform.
+
+    Sources, spans, release times and slacks are drawn uniformly (subject to
+    fitting in the network); every message is individually feasible.
+    """
+    if max_span is None:
+        max_span = n - 1
+    max_span = min(max_span, n - 1)
+    if not (1 <= min_span <= max_span):
+        raise ValueError(f"invalid span range [{min_span}, {max_span}] for n={n}")
+    span = rng.integers(min_span, max_span + 1, size=k)
+    source = rng.integers(0, n - span)  # vectorised upper bound per message
+    release = rng.integers(0, max_release + 1, size=k)
+    slack = rng.integers(0, max_slack + 1, size=k)
+    return _build(n, source, source + span, release, release + span + slack)
+
+
+def saturated_instance(
+    rng: np.random.Generator,
+    *,
+    n: int = 32,
+    load: float = 2.0,
+    horizon: int = 40,
+    max_slack: int = 6,
+) -> Instance:
+    """An overloaded instance: expected link demand ``load`` (>1 ⇒ drops).
+
+    The generator keeps adding random messages until the total hop demand
+    reaches ``load * (n - 1) * horizon`` — well past what the network can
+    carry when ``load > 1``, which is the regime where scheduling policy
+    differences show (experiment E9).
+    """
+    if load <= 0:
+        raise ValueError("load must be positive")
+    budget = load * (n - 1) * horizon
+    rows: list[tuple[int, int, int, int]] = []
+    demand = 0.0
+    while demand < budget:
+        span = int(rng.integers(1, n))
+        s = int(rng.integers(0, n - span))
+        r = int(rng.integers(0, horizon))
+        slack = int(rng.integers(0, max_slack + 1))
+        rows.append((s, s + span, r, r + span + slack))
+        demand += span
+    msgs = tuple(Message(i, *row) for i, row in enumerate(rows))
+    return Instance(n, msgs)

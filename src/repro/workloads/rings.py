@@ -1,0 +1,72 @@
+"""Seeded ring-network workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..network.ring import RingInstance, RingMessage
+
+__all__ = ["random_ring_instance", "all_to_all_ring", "ring_hotspot"]
+
+
+def random_ring_instance(
+    rng: np.random.Generator,
+    *,
+    n: int = 12,
+    k: int = 15,
+    max_release: int = 10,
+    max_slack: int = 6,
+) -> RingInstance:
+    """``k`` clockwise messages with uniform endpoints, releases and slacks."""
+    msgs = []
+    for i in range(k):
+        s = int(rng.integers(0, n))
+        span = int(rng.integers(1, n))
+        r = int(rng.integers(0, max_release + 1))
+        sl = int(rng.integers(0, max_slack + 1))
+        msgs.append(RingMessage(i, s, (s + span) % n, r, r + span + sl, n))
+    return RingInstance(n, tuple(msgs))
+
+
+def all_to_all_ring(
+    rng: np.random.Generator,
+    *,
+    n: int = 10,
+    per_pair_slack: int = 4,
+    max_release: int = 8,
+) -> RingInstance:
+    """One clockwise message per ordered node pair (all-to-all personalized
+    communication — the classic collective on a ring)."""
+    msgs = []
+    for s in range(n):
+        for span in range(1, n):
+            r = int(rng.integers(0, max_release + 1))
+            msgs.append(
+                RingMessage(len(msgs), s, (s + span) % n, r, r + span + per_pair_slack, n)
+            )
+    return RingInstance(n, tuple(msgs))
+
+
+def ring_hotspot(
+    rng: np.random.Generator,
+    *,
+    n: int = 12,
+    k: int = 20,
+    hotspot: int = 0,
+    max_release: int = 10,
+    max_slack: int = 5,
+) -> RingInstance:
+    """All messages destined for one node — maximal contention on the links
+    feeding it (and, on a ring, plenty of wraparound)."""
+    if not (0 <= hotspot < n):
+        raise ValueError("hotspot must be a ring node")
+    msgs = []
+    for i in range(k):
+        s = int(rng.integers(0, n))
+        while s == hotspot:
+            s = int(rng.integers(0, n))
+        span = (hotspot - s) % n
+        r = int(rng.integers(0, max_release + 1))
+        sl = int(rng.integers(0, max_slack + 1))
+        msgs.append(RingMessage(i, s, hotspot, r, r + span + sl, n))
+    return RingInstance(n, tuple(msgs))

@@ -1,0 +1,68 @@
+"""The restricted instance families of Section 4.1."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.message import Message
+
+__all__ = ["uniform_slack_instance", "uniform_span_instance", "static_instance"]
+
+
+def uniform_slack_instance(
+    rng: np.random.Generator,
+    *,
+    n: int = 24,
+    k: int = 20,
+    slack: int = 3,
+    max_release: int = 20,
+) -> Instance:
+    """Every message has exactly the given slack (Theorem 4.1's premise)."""
+    if slack < 0:
+        raise ValueError("slack must be non-negative")
+    msgs = []
+    for i in range(k):
+        span = int(rng.integers(1, n))
+        s = int(rng.integers(0, n - span))
+        r = int(rng.integers(0, max_release + 1))
+        msgs.append(Message(i, s, s + span, r, r + span + slack))
+    return Instance(n, tuple(msgs))
+
+
+def uniform_span_instance(
+    rng: np.random.Generator,
+    *,
+    n: int = 24,
+    k: int = 20,
+    span: int = 4,
+    max_release: int = 20,
+    max_slack: int = 6,
+) -> Instance:
+    """Every message travels exactly ``span`` hops (Theorem 4.2's premise)."""
+    if not (1 <= span <= n - 1):
+        raise ValueError(f"span {span} does not fit an {n}-node line")
+    msgs = []
+    for i in range(k):
+        s = int(rng.integers(0, n - span))
+        r = int(rng.integers(0, max_release + 1))
+        sl = int(rng.integers(0, max_slack + 1))
+        msgs.append(Message(i, s, s + span, r, r + span + sl))
+    return Instance(n, tuple(msgs))
+
+
+def static_instance(
+    rng: np.random.Generator,
+    *,
+    n: int = 24,
+    k: int = 20,
+    max_slack: int = 6,
+) -> Instance:
+    """Every message is released at time zero (Theorem 4.3's premise)."""
+    msgs = []
+    for i in range(k):
+        span = int(rng.integers(1, n))
+        s = int(rng.integers(0, n - span))
+        sl = int(rng.integers(0, max_slack + 1))
+        msgs.append(Message(i, s, s + span, 0, span + sl))
+    return Instance(n, tuple(msgs))

@@ -1,0 +1,81 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.instance import Instance
+from repro.core.message import Message
+
+# --------------------------------------------------------------------- #
+# Deterministic example instances
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def paper_example() -> Instance:
+    """The six-message, 22-node example from the paper's Section 2 table."""
+    rows = [
+        (2, 9, 2, 13),
+        (2, 12, 5, 23),
+        (2, 7, 16, 24),
+        (5, 14, 13, 23),
+        (10, 18, 0, 15),
+        (11, 13, 3, 9),
+    ]
+    return Instance(
+        22,
+        tuple(Message(i + 1, s, d, r, dl) for i, (s, d, r, dl) in enumerate(rows)),
+    )
+
+
+def random_lr_instance(
+    rng: np.random.Generator,
+    *,
+    n_lo: int = 4,
+    n_hi: int = 12,
+    k_lo: int = 1,
+    k_hi: int = 10,
+    max_release: int = 8,
+    max_slack: int = 6,
+) -> Instance:
+    """Small random left-to-right instance for cross-checks."""
+    n = int(rng.integers(n_lo, n_hi + 1))
+    k = int(rng.integers(k_lo, k_hi + 1))
+    msgs = []
+    for i in range(k):
+        s = int(rng.integers(0, n - 1))
+        d = int(rng.integers(s + 1, n))
+        r = int(rng.integers(0, max_release + 1))
+        slack = int(rng.integers(0, max_slack + 1))
+        msgs.append(Message(i, s, d, r, r + (d - s) + slack))
+    return Instance(n, tuple(msgs))
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis strategies
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def lr_messages(draw, *, n: int = 12, max_release: int = 10, max_slack: int = 8):
+    """A single feasible left-to-right message on an ``n``-node line."""
+    s = draw(st.integers(0, n - 2))
+    d = draw(st.integers(s + 1, n - 1))
+    r = draw(st.integers(0, max_release))
+    slack = draw(st.integers(0, max_slack))
+    ident = draw(st.integers(0, 10_000))
+    return Message(ident, s, d, r, r + (d - s) + slack)
+
+
+@st.composite
+def lr_instances(draw, *, n: int = 12, max_messages: int = 8, max_release: int = 10, max_slack: int = 8):
+    """A small left-to-right instance with unique message ids."""
+    k = draw(st.integers(0, max_messages))
+    msgs = []
+    for i in range(k):
+        m = draw(lr_messages(n=n, max_release=max_release, max_slack=max_slack))
+        msgs.append(m.with_id(i))
+    return Instance(n, tuple(msgs))

@@ -1,0 +1,121 @@
+"""Tests for metrics, ratio formulas, and table rendering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Table,
+    instance_summary,
+    lemma41_bound,
+    lemma42_bound,
+    lemma43_bound,
+    schedule_summary,
+    theorem44_lower,
+    theorem44_upper,
+    throughput_ratio,
+)
+from repro.core.bfl import bfl
+from repro.core.instance import Instance, make_instance
+from repro.core.schedule import Schedule
+from repro.exact import opt_buffered, opt_bufferless
+
+from .conftest import random_lr_instance
+
+
+class TestInstanceSummary:
+    def test_empty(self):
+        s = instance_summary(Instance(6, ()))
+        assert s["messages"] == 0 and s["lambda"] == 0
+
+    def test_paper_example(self, paper_example):
+        s = instance_summary(paper_example)
+        assert s["messages"] == 6
+        assert s["max_slack"] == 8
+        assert s["max_span"] == 10
+        assert s["lambda"] == 6
+        assert s["feasible"] == 6
+
+    def test_link_load(self):
+        inst = make_instance(3, [(0, 2, 0, 2)])  # 2 hops over 2 links x 3 steps
+        s = instance_summary(inst)
+        assert s["mean_link_load"] == pytest.approx(2 / (2 * 3))
+
+
+class TestScheduleSummary:
+    def test_empty_schedule(self):
+        inst = make_instance(6, [(0, 3, 0, 9)])
+        s = schedule_summary(inst, Schedule())
+        assert s["delivered"] == 0 and s["dropped"] == 1
+
+    def test_full_delivery(self):
+        inst = make_instance(6, [(1, 4, 2, 9)])
+        sched = bfl(inst)
+        s = schedule_summary(inst, sched)
+        assert s["delivered"] == 1
+        assert s["delivery_ratio"] == 1.0
+        assert s["bufferless"] is True
+        assert s["mean_latency"] == 3.0
+        assert s["mean_slack_used"] == 0.0
+
+
+class TestRatioFormulas:
+    def test_throughput_ratio(self):
+        assert throughput_ratio(6, 3) == 2.0
+        assert throughput_ratio(0, 0) == 1.0
+        assert math.isinf(throughput_ratio(3, 0))
+
+    def test_bounds_monotone_in_lambda(self):
+        small = make_instance(8, [(0, 1, 0, 1)])
+        # fabricate a larger-lambda instance
+        big = make_instance(32, [(0, 16, 0, 32)] * 20)
+        assert theorem44_upper(big) >= theorem44_upper(small)
+        assert theorem44_lower(big) >= theorem44_lower(small)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_theorem44_upper_holds_empirically(self, seed):
+        rng = np.random.default_rng(9700 + seed)
+        inst = random_lr_instance(rng, k_hi=6, max_slack=4)
+        opt_b = opt_buffered(inst).throughput
+        opt_bl = opt_bufferless(inst).throughput
+        assert opt_b <= theorem44_upper(inst) * max(opt_bl, 1) + 1e-9
+        # the three lemma bounds as well
+        for bound in (lemma41_bound, lemma42_bound, lemma43_bound):
+            assert opt_b <= bound(inst) * max(opt_bl, 1) + 1e-9
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_unknown_column_rejected(self):
+        t = Table(["a"])
+        with pytest.raises(KeyError):
+            t.add(b=1)
+
+    def test_render_alignment(self):
+        t = Table(["name", "value"])
+        t.add(name="x", value=1)
+        t.add(name="long-name", value=2.5)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(l) >= len("name | value") for l in lines[:2])
+        assert "2.500" in out
+
+    def test_formatting_rules(self):
+        t = Table(["v"])
+        t.add(v=None)
+        t.add(v=True)
+        t.add(v=False)
+        out = t.render()
+        assert "-" in out and "yes" in out and "no" in out
+
+    def test_title_and_extend(self):
+        t = Table(["a"])
+        t.extend([{"a": 1}, {"a": 2}])
+        out = t.render(title="T")
+        assert out.splitlines()[0] == "T"
+        assert len(t.rows) == 2

@@ -1,0 +1,155 @@
+"""Tests for the baseline schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EDFPolicy,
+    FCFSPolicy,
+    MinLaxityPolicy,
+    NearestDestPolicy,
+    edf_bufferless,
+    first_fit,
+    lui_zaks_feasible,
+    min_laxity_first,
+    random_assignment,
+    run_policy,
+)
+from repro.core.bfl import bfl
+from repro.core.instance import Instance, make_instance
+from repro.core.message import Message
+from repro.core.validate import validate_schedule
+from repro.exact import opt_buffered, opt_bufferless
+
+from .conftest import random_lr_instance
+
+
+ALL_BUFFERLESS = [first_fit, edf_bufferless, min_laxity_first]
+ALL_POLICIES = [EDFPolicy, FCFSPolicy, MinLaxityPolicy, NearestDestPolicy]
+
+
+class TestBufferlessBaselines:
+    @pytest.mark.parametrize("baseline", ALL_BUFFERLESS)
+    def test_valid_schedules(self, baseline):
+        rng = np.random.default_rng(10)
+        for _ in range(10):
+            inst = random_lr_instance(rng)
+            validate_schedule(inst, baseline(inst), require_bufferless=True)
+
+    @pytest.mark.parametrize("baseline", ALL_BUFFERLESS)
+    def test_rejects_rl(self, baseline):
+        inst = Instance(6, (Message(0, 4, 1, 0, 9),))
+        with pytest.raises(ValueError, match="right-to-left"):
+            baseline(inst)
+
+    def test_random_assignment_valid_and_seeded(self):
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        inst = random_lr_instance(np.random.default_rng(4), k_hi=8)
+        a = random_assignment(inst, rng_a)
+        b = random_assignment(inst, rng_b)
+        validate_schedule(inst, a, require_bufferless=True)
+        assert a.delivered_ids == b.delivered_ids
+
+    @pytest.mark.parametrize("baseline", ALL_BUFFERLESS)
+    def test_never_exceeds_optimum(self, baseline):
+        rng = np.random.default_rng(11)
+        for _ in range(8):
+            inst = random_lr_instance(rng, k_hi=7, max_slack=4)
+            assert baseline(inst).throughput <= opt_bufferless(inst).throughput
+
+    def test_first_fit_can_lose_to_bfl(self):
+        # long-first arrival order hurts first-fit; BFL is order-free
+        inst = make_instance(10, [(0, 8, 0, 8), (0, 4, 1, 5), (4, 8, 1, 9)])
+        assert first_fit(inst).throughput <= bfl(inst).throughput
+
+    def test_skips_infeasible(self):
+        inst = make_instance(8, [(0, 6, 0, 3)])
+        for baseline in ALL_BUFFERLESS:
+            assert baseline(inst).throughput == 0
+
+
+class TestBufferedPolicies:
+    @pytest.mark.parametrize("policy_cls", ALL_POLICIES)
+    def test_valid_buffered_schedules(self, policy_cls):
+        rng = np.random.default_rng(12)
+        for _ in range(8):
+            inst = random_lr_instance(rng)
+            res = run_policy(inst, policy_cls())
+            validate_schedule(inst, res.schedule)
+
+    @pytest.mark.parametrize("policy_cls", ALL_POLICIES)
+    def test_never_exceeds_buffered_optimum(self, policy_cls):
+        rng = np.random.default_rng(13)
+        for _ in range(6):
+            inst = random_lr_instance(rng, k_hi=6, max_slack=4)
+            res = run_policy(inst, policy_cls())
+            assert res.throughput <= opt_buffered(inst).throughput
+
+    def test_edf_delivers_single_message(self):
+        inst = make_instance(6, [(1, 4, 2, 9)])
+        assert run_policy(inst, EDFPolicy()).throughput == 1
+
+    def test_policies_differ_under_contention(self):
+        # EDF favours the urgent packet, FCFS the old one
+        inst = make_instance(
+            6,
+            [
+                (0, 4, 0, 20),  # relaxed, released first
+                (1, 4, 1, 5),  # urgent (slack 1)
+            ],
+        )
+        edf = run_policy(inst, EDFPolicy())
+        assert edf.throughput == 2  # EDF keeps both alive
+
+
+class TestLuiZaks:
+    def test_requires_static(self):
+        inst = make_instance(6, [(0, 2, 1, 5)])
+        with pytest.raises(ValueError, match="static"):
+            lui_zaks_feasible(inst)
+
+    def test_feasible_set_fully_routed(self):
+        inst = make_instance(8, [(0, 3, 0, 6), (2, 6, 0, 7), (1, 5, 0, 9)])
+        schedule = lui_zaks_feasible(inst)
+        assert schedule is not None
+        assert schedule.throughput == 3
+        validate_schedule(inst, schedule)
+
+    def test_infeasible_returns_none(self):
+        # two zero-slack messages needing the same link at the same step
+        inst = make_instance(4, [(0, 3, 0, 3), (0, 3, 0, 3)])
+        assert lui_zaks_feasible(inst) is None
+
+    def test_absolute_deadline_edf_is_not_the_right_greedy(self):
+        """Concrete witness that 'closest deadline' must mean least laxity:
+        message 4 (6->11, deadline 5) has zero laxity and must pre-empt
+        message 2 (6->8, deadline 3) at node 6 even though 2's absolute
+        deadline is earlier."""
+        inst = make_instance(
+            12,
+            [
+                (9, 10, 0, 6),
+                (8, 9, 0, 1),
+                (6, 8, 0, 3),
+                (5, 6, 0, 3),
+                (6, 11, 0, 5),
+                (2, 10, 0, 8),
+            ],
+        )
+        assert opt_buffered(inst).throughput == 6
+        assert run_policy(inst, EDFPolicy()).throughput < 6
+        assert lui_zaks_feasible(inst) is not None
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_greedy_matches_exact_feasibility(self, seed):
+        """Whenever the exact solver routes everything, so must the greedy
+        (the Lui–Zaks theorem for static sets)."""
+        rng = np.random.default_rng(9000 + seed)
+        inst = random_lr_instance(rng, max_release=0, k_hi=6, max_slack=5)
+        all_fit = opt_buffered(inst).throughput == len(inst)
+        greedy = lui_zaks_feasible(inst)
+        if all_fit:
+            assert greedy is not None
+        if greedy is not None:
+            assert all_fit

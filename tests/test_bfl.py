@@ -1,0 +1,134 @@
+"""Unit and behavioural tests for Algorithm BFL (Theorem 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfl import EDF, LONGEST_FIRST, NEAREST_DEST, bfl, bfl_line_order
+from repro.core.instance import Instance, make_instance
+from repro.core.message import Message
+from repro.core.validate import validate_schedule
+from repro.exact import opt_bufferless
+
+from .conftest import random_lr_instance
+
+
+class TestBasics:
+    def test_empty_instance(self):
+        assert bfl(Instance(4, ())).throughput == 0
+
+    def test_single_message_scheduled_earliest(self):
+        inst = make_instance(6, [(1, 4, 2, 9)])
+        s = bfl(inst)
+        assert s.throughput == 1
+        # The sweep starts at the largest relevant alpha = earliest departure.
+        assert s[0].depart == 2
+
+    def test_rejects_rl_messages(self):
+        inst = Instance(6, (Message(0, 4, 1, 0, 9),))
+        with pytest.raises(ValueError, match="right-to-left"):
+            bfl(inst)
+
+    def test_ignores_infeasible(self):
+        inst = make_instance(8, [(0, 6, 0, 3)])
+        assert bfl(inst).throughput == 0
+
+    def test_output_is_valid_bufferless(self, paper_example):
+        lr, _ = paper_example.split_directions()
+        s = bfl(lr)
+        validate_schedule(lr, s, require_bufferless=True)
+
+    def test_paper_example_schedules_all_six(self, paper_example):
+        # The six messages of Fig. 1 are sparse enough to all fit.
+        s = bfl(paper_example)
+        assert s.throughput == 6
+
+
+class TestGreedyBehaviour:
+    def test_two_conflicting_identical_messages(self):
+        # same line forced (slack 0), overlapping spans: only one fits
+        inst = make_instance(6, [(0, 3, 0, 3), (1, 4, 1, 4)])
+        s = bfl(inst)
+        assert s.throughput == 1
+        # nearest destination wins
+        assert 0 in s
+
+    def test_nearest_destination_preferred(self):
+        # both must use line alpha=0; nearest destination should win,
+        # allowing a second disjoint segment to its right
+        inst = make_instance(10, [(0, 8, 0, 8), (0, 3, 0, 3), (3, 8, 3, 8)])
+        s = bfl(inst)
+        assert s.delivered_ids == {1, 2}
+
+    def test_never_schedules_proper_container(self):
+        # container [0,6] and contained [2,6] share their right endpoint;
+        # the contained segment must be preferred (slack 0 on both)
+        inst = make_instance(8, [(0, 6, 0, 6), (2, 6, 2, 6)])
+        s = bfl(inst)
+        assert 1 in s
+
+    def test_blocked_message_caught_on_later_line(self):
+        # message 1 loses line 0 to message 0 (slack 0) but has slack 1
+        # and is scheduled on the next line
+        inst = make_instance(8, [(0, 4, 0, 4), (0, 4, 0, 5)])
+        s = bfl(inst)
+        assert s.throughput == 2
+        departs = sorted((s[0].depart, s[1].depart))
+        assert departs == [0, 1]
+
+    def test_endpoint_sharing_allowed_on_line(self):
+        inst = make_instance(10, [(0, 4, 0, 4), (4, 8, 4, 8)])
+        s = bfl(inst)
+        assert s.throughput == 2
+        assert s[0].alpha == s[1].alpha == 0
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_factor_two_vs_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = random_lr_instance(rng, k_hi=8)
+        approx = bfl(inst).throughput
+        exact = opt_bufferless(inst).throughput
+        assert 2 * approx >= exact
+        assert approx <= exact
+
+    def test_clip_slack_same_throughput(self):
+        rng = np.random.default_rng(123)
+        for _ in range(20):
+            inst = random_lr_instance(rng, max_slack=30)
+            assert bfl(inst, clip_slack=True).throughput == bfl(inst).throughput
+
+    def test_clip_slack_schedule_valid_for_original(self):
+        inst = make_instance(8, [(0, 3, 0, 50), (2, 6, 1, 40)])
+        s = bfl(inst, clip_slack=True)
+        validate_schedule(inst, s, require_bufferless=True)
+
+
+class TestTieBreakAblation:
+    def test_all_rules_produce_valid_schedules(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            inst = random_lr_instance(rng)
+            for rule in (NEAREST_DEST, EDF, LONGEST_FIRST):
+                validate_schedule(inst, bfl(inst, tie_break=rule), require_bufferless=True)
+
+    def test_longest_first_can_be_worse(self):
+        # one long message blocks two short ones when preferred
+        inst = make_instance(10, [(0, 8, 0, 8), (0, 4, 0, 4), (4, 8, 4, 8)])
+        assert bfl(inst).throughput == 2
+        assert bfl(inst, tie_break=LONGEST_FIRST).throughput == 1
+
+
+class TestLineOrder:
+    def test_strictly_decreasing(self, paper_example):
+        order = bfl_line_order(paper_example)
+        assert order == sorted(order, reverse=True)
+        assert len(set(order)) == len(order)
+
+    def test_covers_all_windows(self):
+        inst = make_instance(8, [(0, 3, 0, 5), (2, 6, 1, 8)])
+        order = bfl_line_order(inst)
+        expected = set()
+        for m in inst:
+            expected |= set(range(m.alpha_min, m.alpha_max + 1))
+        assert set(order) == expected

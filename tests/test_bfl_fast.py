@@ -1,0 +1,66 @@
+"""Equivalence tests: vectorised BFL vs the reference implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bfl import bfl
+from repro.core.bfl_fast import bfl_fast
+from repro.core.instance import Instance
+from repro.core.message import Message
+from repro.core.validate import validate_schedule
+from repro.workloads import general_instance
+
+from .conftest import lr_instances, random_lr_instance
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_identical_output_random(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = random_lr_instance(rng, k_hi=12, max_slack=8)
+        ref = bfl(inst)
+        fast = bfl_fast(inst)
+        assert fast.delivered_ids == ref.delivered_ids
+        assert fast.delivery_lines() == ref.delivery_lines()
+
+    @settings(max_examples=60, deadline=None)
+    @given(lr_instances(max_messages=8))
+    def test_identical_output_property(self, inst: Instance):
+        ref = bfl(inst)
+        fast = bfl_fast(inst)
+        assert fast.delivered_ids == ref.delivered_ids
+        assert fast.delivery_lines() == ref.delivery_lines()
+
+    def test_identical_on_paper_example(self, paper_example):
+        assert (
+            bfl_fast(paper_example).delivery_lines()
+            == bfl(paper_example).delivery_lines()
+        )
+
+    def test_clip_slack_path(self):
+        inst = Instance(8, (Message(0, 0, 3, 0, 500), Message(1, 2, 6, 1, 400)))
+        fast = bfl_fast(inst, clip_slack=True)
+        validate_schedule(inst, fast, require_bufferless=True)
+        assert fast.throughput == bfl(inst, clip_slack=True).throughput
+
+
+class TestBasics:
+    def test_empty(self):
+        assert bfl_fast(Instance(4, ())).throughput == 0
+
+    def test_rejects_rl(self):
+        inst = Instance(6, (Message(0, 4, 1, 0, 9),))
+        with pytest.raises(ValueError, match="right-to-left"):
+            bfl_fast(inst)
+
+    def test_infeasible_dropped(self):
+        inst = Instance(8, (Message(0, 0, 6, 0, 3),))
+        assert bfl_fast(inst).throughput == 0
+
+    def test_valid_on_large_instance(self):
+        rng = np.random.default_rng(9)
+        inst = general_instance(rng, n=64, k=500, max_release=40, max_slack=12)
+        fast = bfl_fast(inst)
+        validate_schedule(inst, fast, require_bufferless=True)
+        assert fast.delivered_ids == bfl(inst).delivered_ids

@@ -1,0 +1,70 @@
+"""Tests for the cheap upper bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance, make_instance
+from repro.exact import (
+    bufferless_lp_bound,
+    cut_upper_bound,
+    feasible_count_bound,
+    opt_buffered,
+    opt_bufferless,
+)
+from repro.exact.bounds import _edf_pack
+
+from .conftest import random_lr_instance
+
+
+class TestEdfPack:
+    def test_empty(self):
+        assert _edf_pack([]) == 0
+
+    def test_all_fit(self):
+        assert _edf_pack([(0, 5), (1, 5), (2, 5)]) == 3
+
+    def test_contention(self):
+        # three unit jobs, all must run at exactly time 0
+        assert _edf_pack([(0, 0), (0, 0), (0, 0)]) == 1
+
+    def test_staggered(self):
+        assert _edf_pack([(0, 1), (0, 1), (0, 1)]) == 2
+
+    def test_invalid_window_skipped(self):
+        assert _edf_pack([(5, 3)]) == 0
+
+    def test_gap_between_jobs(self):
+        assert _edf_pack([(0, 0), (10, 10)]) == 2
+
+
+class TestBounds:
+    def test_feasible_count(self):
+        inst = make_instance(8, [(0, 3, 0, 5), (0, 6, 0, 3)])
+        assert feasible_count_bound(inst) == 1
+
+    def test_cut_bound_bottleneck(self):
+        # four zero-slack messages all crossing link (2,3) at time 2
+        rows = [(0, 5, 0, 5)] * 4
+        inst = make_instance(6, rows)
+        assert cut_upper_bound(inst) == 1
+
+    def test_cut_bound_empty(self):
+        assert cut_upper_bound(Instance(4, ())) == 0
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_bounds_dominate_optima(self, seed):
+        rng = np.random.default_rng(4000 + seed)
+        inst = random_lr_instance(rng, k_hi=6, max_slack=4)
+        opt_bl = opt_bufferless(inst).throughput
+        opt_b = opt_buffered(inst).throughput
+        assert opt_b <= feasible_count_bound(inst)
+        assert opt_b <= cut_upper_bound(inst)
+        lp = bufferless_lp_bound(inst)
+        assert opt_bl <= lp + 1e-9
+
+    def test_lp_bound_empty(self):
+        assert bufferless_lp_bound(Instance(4, ())) == 0.0
+
+    def test_lp_tight_on_disjoint(self):
+        inst = make_instance(10, [(0, 3, 0, 3), (4, 7, 0, 7)])
+        assert bufferless_lp_bound(inst) == pytest.approx(2.0)

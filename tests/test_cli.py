@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("e1", "e6", "e11", "a1", "a2"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "e6"]) == 0
+        out = capsys.readouterr().out
+        assert "== e6" in out
+        assert "half_log_lambda" in out
+
+    def test_run_e1_prints_summary(self, capsys):
+        assert main(["run", "e1"]) == 0
+        out = capsys.readouterr().out
+        assert "BFL throughput" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiments" in err
+
+
+class TestFigure:
+    @pytest.mark.parametrize("number,needle", [(1, "22-node"), (2, "I_2"), (3, "clause")])
+    def test_figures_print(self, capsys, number, needle):
+        args = ["figure", str(number)]
+        if number == 2:
+            args += ["--k", "2"]
+        assert main(args) == 0
+        assert needle in capsys.readouterr().out
+
+    def test_figure_validates_number(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "4"])
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--seed", "1", "--n", "10", "--messages", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "BFL delivers" in out
+        assert "sets equal: True" in out
+
+
+class TestSolve:
+    @pytest.fixture
+    def instance_file(self, tmp_path):
+        import numpy as np
+
+        from repro.io import save_instance
+        from repro.workloads import general_instance
+
+        inst = general_instance(np.random.default_rng(0), n=10, k=8)
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        return path
+
+    @pytest.mark.parametrize("algorithm", ["bfl", "dbfl", "edf", "exact"])
+    def test_algorithms(self, capsys, instance_file, algorithm):
+        assert main(["solve", str(instance_file), "--algorithm", algorithm]) == 0
+        assert "delivered" in capsys.readouterr().out
+
+    def test_writes_schedule(self, capsys, tmp_path, instance_file):
+        out = tmp_path / "sched.json"
+        assert main(["solve", str(instance_file), "--out", str(out)]) == 0
+        from repro.io import load_instance, load_schedule
+        from repro.core.validate import validate_schedule
+
+        validate_schedule(load_instance(instance_file), load_schedule(out))
+
+    def test_gantt_flag(self, capsys, instance_file):
+        assert main(["solve", str(instance_file), "--gantt"]) == 0
+        assert "utilisation" in capsys.readouterr().out
+
+
+class TestDataset:
+    def test_list(self, capsys):
+        assert main(["dataset", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-figure1" in out and "bfl-half" in out
+
+    def test_show(self, capsys):
+        assert main(["dataset", "show", "paper-figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "22 nodes" in out
+        assert "|" in out  # the lattice drawing
+
+    def test_show_writes_json(self, capsys, tmp_path):
+        out_path = tmp_path / "fig1.json"
+        assert main(["dataset", "show", "paper-figure1", "--out", str(out_path)]) == 0
+        from repro.io import load_instance
+
+        assert len(load_instance(out_path)) == 6
+
+    def test_unknown_dataset(self, capsys):
+        assert main(["dataset", "show", "nope"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,243 @@
+"""Tests for the Section-4 constructions (lower bound, conversions, credits)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bfl import bfl
+from repro.core.instance import Instance
+from repro.core.message import Message
+from repro.core.schedule import Schedule
+from repro.core.trajectory import Trajectory
+from repro.core.validate import validate_schedule
+from repro.constructions import (
+    credit_audit,
+    delivery_line_filter,
+    lower_bound_buffered_schedule,
+    lower_bound_instance,
+    lower_bound_optbl_cap,
+    span_partition_conversion,
+    single_conflict_counts,
+)
+from repro.constructions.lower_bound import lower_bound_size
+from repro.constructions.span_conversion import ConversionReport, anchor_column
+from repro.exact import opt_buffered, opt_bufferless
+
+from .conftest import random_lr_instance
+
+
+def uniform_span_instance(rng, *, n=12, delta=3, k=6, max_release=5, max_slack=4):
+    msgs = []
+    for i in range(k):
+        s = int(rng.integers(0, n - delta))
+        r = int(rng.integers(0, max_release + 1))
+        sl = int(rng.integers(0, max_slack + 1))
+        msgs.append(Message(i, s, s + delta, r, r + delta + sl))
+    return Instance(n, tuple(msgs))
+
+
+class TestLowerBoundFamily:
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            lower_bound_instance(-1)
+        with pytest.raises(ValueError):
+            lower_bound_buffered_schedule(-1)
+
+    def test_base_case(self):
+        inst = lower_bound_instance(0)
+        assert len(inst) == 1
+        (m,) = inst.messages
+        assert (m.source, m.dest, m.release, m.deadline) == (0, 1, 0, 1)
+
+    @pytest.mark.parametrize("k", range(7))
+    def test_size_recurrence(self, k):
+        assert len(lower_bound_instance(k)) == lower_bound_size(k)
+
+    @pytest.mark.parametrize("k", range(7))
+    def test_buffered_schedule_delivers_everything(self, k):
+        inst = lower_bound_instance(k)
+        sched = lower_bound_buffered_schedule(k)
+        validate_schedule(inst, sched)
+        assert sched.throughput == len(inst)
+
+    @pytest.mark.parametrize("k", range(4))
+    def test_bufferless_cap_is_exact(self, k):
+        inst = lower_bound_instance(k)
+        assert opt_bufferless(inst).throughput == lower_bound_optbl_cap(k)
+
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_lambda_parameter(self, k):
+        inst = lower_bound_instance(k)
+        assert inst.max_slack == (1 << k) - 1
+        assert inst.max_span == 1 << k
+        assert inst.lam == (1 << k) - 1
+
+    @pytest.mark.parametrize("k", range(2, 7))
+    def test_theorem45_separation(self, k):
+        """OPT_B / OPT_BL >= (1/2) log Λ on the family."""
+        inst = lower_bound_instance(k)
+        ratio = lower_bound_size(k) / lower_bound_optbl_cap(k)
+        assert ratio >= 0.5 * math.log2(inst.lam)
+
+    def test_buffering_is_essential(self):
+        # the S_k messages genuinely wait in the explicit schedule
+        sched = lower_bound_buffered_schedule(3)
+        assert sched.total_wait > 0
+
+
+class TestAnchorColumn:
+    def test_unique_multiple(self):
+        t = Trajectory(0, 2, (0, 1, 2))  # span 3, interval [2, 5]
+        assert anchor_column(t, 3) == 4
+
+    def test_endpoint_anchor(self):
+        t = Trajectory(0, 4, (0, 1, 2))  # interval [4, 7]: multiple of 4 is 4
+        assert anchor_column(t, 3) == 4
+
+    def test_wrong_span_rejected(self):
+        t = Trajectory(0, 1, (0,))  # interval [1, 2], span 1
+        with pytest.raises(ValueError):
+            anchor_column(t, 5)
+
+
+class TestSpanConversion:
+    def test_empty_schedule(self):
+        inst = Instance(4, ())
+        assert span_partition_conversion(inst, Schedule()).throughput == 0
+
+    def test_mixed_spans_rejected(self):
+        inst = Instance(
+            8, (Message(0, 0, 2, 0, 9), Message(1, 3, 6, 0, 9))
+        )
+        sched = opt_buffered(inst).schedule
+        with pytest.raises(ValueError, match="multiple spans"):
+            span_partition_conversion(inst, sched)
+
+    def test_paper_rule_counterexample_handled(self):
+        """The literal Thm 4.2 line formula collides on this instance
+        (through-message waits at its anchor column); our repaired
+        assignment still converts both messages (see module docstring)."""
+        inst = Instance(
+            8,
+            (
+                Message(0, 2, 4, 4, 7),  # X: crossings (4, 6) — waits at 3
+                Message(1, 3, 5, 5, 7),  # A: crossings (5, 6)
+            ),
+        )
+        buffered = Schedule(
+            (Trajectory(0, 2, (4, 6)), Trajectory(1, 3, (5, 6)))
+        )
+        validate_schedule(inst, buffered)
+        # both anchored at column 3, paper's lines coincide:
+        assert anchor_column(buffered[0], 2) == anchor_column(buffered[1], 2) == 3
+        conv = span_partition_conversion(inst, buffered, full_report=True)
+        assert isinstance(conv, ConversionReport)
+        validate_schedule(inst, conv.schedule, require_bufferless=True)
+        assert conv.dropped == 0
+        assert conv.throughput == 2
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_factor_two_guarantee(self, seed):
+        rng = np.random.default_rng(6000 + seed)
+        delta = int(rng.integers(1, 5))
+        inst = uniform_span_instance(rng, delta=delta, k=int(rng.integers(2, 8)))
+        buffered = opt_buffered(inst).schedule
+        conv = span_partition_conversion(inst, buffered, full_report=True)
+        validate_schedule(inst, conv.schedule, require_bufferless=True)
+        assert 2 * conv.throughput >= buffered.throughput
+        assert sum(conv.class_sizes) == buffered.throughput
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_theorem42_bound_via_exact(self, seed):
+        rng = np.random.default_rng(6100 + seed)
+        inst = uniform_span_instance(rng, delta=int(rng.integers(1, 4)), k=6)
+        opt_b = opt_buffered(inst).throughput
+        opt_bl = opt_bufferless(inst).throughput
+        assert opt_b <= 2 * opt_bl
+
+
+class TestStaticConversion:
+    def test_requires_static(self):
+        inst = Instance(6, (Message(0, 0, 2, 1, 9),))
+        sched = opt_buffered(inst).schedule
+        with pytest.raises(ValueError, match="static"):
+            delivery_line_filter(inst, sched)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_filter_output_valid(self, seed):
+        rng = np.random.default_rng(6200 + seed)
+        inst = random_lr_instance(rng, max_release=0, k_hi=7, max_slack=4)
+        buffered = opt_buffered(inst).schedule
+        filtered = delivery_line_filter(inst, buffered)
+        validate_schedule(inst, filtered, require_bufferless=True)
+        assert filtered.throughput <= buffered.throughput
+
+    def test_filter_on_single_conflict_keeps_half(self):
+        # a comb: one long message over k short ones, all on one line
+        inst = Instance(
+            10,
+            (
+                Message(0, 0, 9, 0, 9),
+                Message(1, 1, 3, 0, 3),
+                Message(2, 4, 6, 0, 6),
+            ),
+        )
+        buffered = opt_buffered(inst).schedule
+        counts = single_conflict_counts(buffered)
+        if max(counts.values(), default=0) <= 1:
+            filtered = delivery_line_filter(inst, buffered)
+            assert 2 * filtered.throughput >= buffered.throughput
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_theorem43_bound_via_exact(self, seed):
+        rng = np.random.default_rng(6300 + seed)
+        inst = random_lr_instance(rng, max_release=0, k_hi=7, max_slack=4)
+        assert opt_buffered(inst).throughput <= 2 * opt_bufferless(inst).throughput
+
+    def test_single_conflict_counts_definition(self):
+        # m' (0->5) and m (2->4) finish on the same line; s'=0 < d=4 < d'=5
+        a = Trajectory(0, 0, (0, 1, 2, 3, 4))
+        b = Trajectory(1, 2, (4, 5))  # final hop crosses (3,4) at 5: line -2
+        # a's final hop crosses (4,5) at 4: line 0 -> different lines: no conflict
+        assert single_conflict_counts(Schedule((a, b))) == {0: 0, 1: 0}
+
+
+class TestCreditAudit:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_lemma_bounds_hold(self, seed):
+        rng = np.random.default_rng(6400 + seed)
+        inst = random_lr_instance(rng, k_hi=7, max_slack=5)
+        schedule = bfl(inst)
+        buffered = opt_buffered(inst).schedule
+        audit = credit_audit(inst, schedule, buffered)
+        assert audit.max_received <= audit.lemma41_bound(inst) + 1e-9
+        assert audit.max_received <= audit.lemma42_bound(inst) + 1e-9
+        # conservation: donated == received
+        assert audit.donated_total == pytest.approx(sum(audit.received.values()))
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_theorem41_uniform_slack(self, seed):
+        rng = np.random.default_rng(6500 + seed)
+        n = 12
+        slack = int(rng.integers(0, 4))
+        msgs = []
+        for i in range(6):
+            s = int(rng.integers(0, n - 1))
+            d = int(rng.integers(s + 1, n))
+            r = int(rng.integers(0, 5))
+            msgs.append(Message(i, s, d, r, r + (d - s) + slack))
+        inst = Instance(n, tuple(msgs))
+        audit = credit_audit(inst, bfl(inst), opt_buffered(inst).schedule)
+        assert audit.max_received <= audit.theorem41_bound() + 1e-9
+        # the theorem itself
+        assert opt_buffered(inst).throughput <= 3 * opt_bufferless(inst).throughput
+
+    def test_every_missed_line_blocked(self):
+        # if the audit completes without error, BFL's maximality held
+        rng = np.random.default_rng(99)
+        inst = random_lr_instance(rng, k_hi=8, max_slack=3)
+        audit = credit_audit(inst, bfl(inst), opt_buffered(inst).schedule)
+        missed = opt_buffered(inst).schedule.delivered_ids - bfl(inst).delivered_ids
+        expected = sum(1 + inst[mid].slack for mid in missed)
+        assert len(audit.blockers) == expected

@@ -1,0 +1,57 @@
+"""Tests for the canonical instance registry."""
+
+import pytest
+
+from repro.core.bfl import bfl
+from repro.datasets import available, describe, load
+from repro.exact import opt_buffered, opt_bufferless
+
+
+class TestRegistry:
+    def test_available_sorted_and_nonempty(self):
+        names = available()
+        assert names == sorted(names) and len(names) >= 5
+
+    def test_every_entry_loads_and_describes(self):
+        for name in available():
+            inst = load(name)
+            assert len(inst) >= 1
+            assert isinstance(describe(name), str)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load("nope")
+        with pytest.raises(KeyError, match="unknown dataset"):
+            describe("nope")
+
+    def test_deterministic(self):
+        assert load("paper-figure1").messages == load("paper-figure1").messages
+
+
+class TestAdvertisedProperties:
+    """Each dataset's docstring claim, verified."""
+
+    def test_paper_figure1(self, paper_example):
+        assert load("paper-figure1").messages == paper_example.messages
+
+    def test_two_conflicting(self):
+        assert opt_bufferless(load("two-conflicting")).throughput == 1
+
+    def test_bfl_half(self):
+        inst = load("bfl-half")
+        assert bfl(inst).throughput == 1
+        assert opt_bufferless(inst).throughput == 2
+
+    def test_buffering_helps(self):
+        inst = load("buffering-helps")
+        assert opt_bufferless(inst).throughput == 2
+        assert opt_buffered(inst).throughput == 3
+
+    def test_lower_bound_entries(self):
+        k2 = load("lower-bound-k2")
+        assert len(k2) == 8
+        assert opt_bufferless(k2).throughput == 4
+
+    def test_span_counterexample_is_the_tested_one(self):
+        inst = load("span-counterexample")
+        assert [(m.source, m.dest) for m in inst] == [(2, 4), (3, 5)]

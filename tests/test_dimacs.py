@@ -1,0 +1,71 @@
+"""Tests for DIMACS CNF parsing and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.hardness import CNF, dpll_sat, random_3sat
+from repro.hardness.dimacs import load_dimacs, parse_dimacs, save_dimacs, to_dimacs
+
+
+SAMPLE = """\
+c sample formula
+p cnf 3 2
+1 -2 3 0
+-1 2 -3 0
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        f = parse_dimacs(SAMPLE)
+        assert f.num_vars == 3
+        assert [cl.literals for cl in f.clauses] == [(1, -2, 3), (-1, 2, -3)]
+
+    def test_comments_and_blank_lines_ignored(self):
+        f = parse_dimacs("c x\n\np cnf 3 1\nc y\n1 2 3 0\n")
+        assert len(f) == 1
+
+    def test_clause_split_across_lines(self):
+        f = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert f.clauses[0].literals == (1, 2, 3)
+
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="before 'p cnf'"):
+            parse_dimacs("1 2 3 0\n")
+        with pytest.raises(ValueError, match="missing 'p cnf'"):
+            parse_dimacs("c only comments\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError, match="malformed problem line"):
+            parse_dimacs("p sat 3 1\n1 2 3 0\n")
+
+    def test_non_3sat_rejected(self):
+        with pytest.raises(ValueError, match="strict 3-SAT"):
+            parse_dimacs("p cnf 3 1\n1 2 0\n")
+
+    def test_unterminated_clause(self):
+        with pytest.raises(ValueError, match="unterminated"):
+            parse_dimacs("p cnf 3 1\n1 2 3\n")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(ValueError, match="declares 2"):
+            parse_dimacs("p cnf 3 2\n1 2 3 0\n")
+
+
+class TestRoundtrip:
+    def test_text_roundtrip(self):
+        f = CNF.of(4, [(1, -2, 3), (2, 3, -4)])
+        assert parse_dimacs(to_dimacs(f)) == f
+
+    def test_comment_emitted(self):
+        text = to_dimacs(CNF.of(3, [(1, 2, 3)]), comment="hello\nworld")
+        assert text.startswith("c hello\nc world\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        f = random_3sat(5, 10, rng)
+        path = tmp_path / "f.cnf"
+        save_dimacs(f, path, comment="random 3-sat")
+        again = load_dimacs(path)
+        assert again == f
+        assert dpll_sat(again) == dpll_sat(f)

@@ -1,0 +1,155 @@
+"""Edge-case and stress tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfl import bfl
+from repro.core.bfl_fast import bfl_fast
+from repro.core.dbfl import dbfl
+from repro.core.instance import Instance, make_instance
+from repro.core.message import Message
+from repro.core.validate import validate_schedule
+from repro.exact import opt_buffered, opt_bufferless
+
+
+class TestExtremeWindows:
+    def test_huge_slack_without_clipping_is_fine(self):
+        """The sweep jumps gaps, so slack magnitude must not matter."""
+        inst = make_instance(6, [(0, 3, 0, 10_000), (1, 4, 5, 9_000)])
+        schedule = bfl(inst)
+        assert schedule.throughput == 2
+        assert bfl_fast(inst).delivered_ids == schedule.delivered_ids
+
+    def test_huge_release_times(self):
+        inst = make_instance(6, [(0, 3, 100_000, 100_005)])
+        schedule = bfl(inst)
+        assert schedule.throughput == 1
+        assert schedule[0].depart == 100_000
+
+    def test_minimal_network(self):
+        inst = make_instance(2, [(0, 1, 0, 1)])
+        assert bfl(inst).throughput == 1
+        assert opt_buffered(inst).throughput == 1
+        assert dbfl(inst).throughput == 1
+
+    def test_full_span_message(self):
+        n = 30
+        inst = make_instance(n, [(0, n - 1, 0, n - 1)])
+        assert bfl(inst).throughput == 1
+
+    def test_zero_slack_everything(self):
+        """All-zero-slack instances have one line per message; buffering is
+        provably useless (laxity 0 everywhere)."""
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            n = int(rng.integers(4, 10))
+            msgs = []
+            for i in range(int(rng.integers(2, 7))):
+                s = int(rng.integers(0, n - 1))
+                d = int(rng.integers(s + 1, n))
+                r = int(rng.integers(0, 5))
+                msgs.append(Message(i, s, d, r, r + (d - s)))
+            inst = Instance(n, tuple(msgs))
+            assert opt_buffered(inst).throughput == opt_bufferless(inst).throughput
+
+
+class TestManyIdenticalMessages:
+    def test_flood_from_one_source(self):
+        """50 identical single-hop messages with generous slack all fit,
+        one per line."""
+        inst = make_instance(2, [(0, 1, 0, 60)] * 50)
+        assert bfl(inst).throughput == 50
+        assert dbfl(inst).throughput == 50
+
+    def test_flood_with_insufficient_slack(self):
+        # 10 identical messages, only 5 usable lines each
+        inst = make_instance(2, [(0, 1, 0, 5)] * 10)
+        schedule = bfl(inst)
+        assert schedule.throughput == 5
+        assert opt_bufferless(inst).throughput == 5
+        # buffering cannot conjure link capacity
+        assert opt_buffered(inst).throughput == 5
+
+    def test_simulator_flood_matches_bfl(self):
+        inst = make_instance(3, [(0, 2, 0, 12)] * 8)
+        assert dbfl(inst).delivered_ids == bfl(inst).delivered_ids
+
+
+class TestChainsAndPipelines:
+    def test_perfect_pipeline(self):
+        """Back-to-back unit messages hop-synchronised along the line:
+        node i sends to i+1 at time i — all on one scan line."""
+        n = 10
+        rows = [(i, i + 1, i, i + 1) for i in range(n - 1)]
+        inst = make_instance(n, rows)
+        schedule = bfl(inst)
+        assert schedule.throughput == n - 1
+        assert len({t.final_alpha for t in schedule}) == 1  # same line
+
+    def test_counterflow_is_free(self):
+        """Interleaved LR traffic on consecutive lines saturates the link
+        without a single drop."""
+        inst = make_instance(4, [(0, 3, t, t + 3) for t in range(10)])
+        assert bfl(inst).throughput == 10
+
+
+class TestSolverCorners:
+    def test_exact_on_single_edge_saturation(self):
+        # horizon 4 -> at most 4 crossings of the lone link
+        inst = make_instance(2, [(0, 1, 0, 4)] * 9)
+        assert opt_bufferless(inst).throughput == 4
+
+    def test_exact_buffered_all_waiting(self):
+        """Messages forced to queue: 3 sources feeding one column."""
+        inst = make_instance(
+            4,
+            [
+                (0, 3, 0, 9),
+                (1, 3, 0, 9),
+                (2, 3, 0, 9),
+            ],
+        )
+        res = opt_buffered(inst)
+        assert res.throughput == 3
+        validate_schedule(inst, res.schedule)
+
+    def test_bnb_matches_on_pathological_containment(self):
+        """Nested segments sharing a right endpoint (the containment rule's
+        home turf)."""
+        from repro.exact import opt_bufferless_bnb
+
+        rows = [(i, 6, i, 6) for i in range(5)]  # all end at node 6, slack 0
+        inst = make_instance(8, rows)
+        assert (
+            opt_bufferless(inst).throughput
+            == opt_bufferless_bnb(inst).throughput
+            == 1
+        )
+        # BFL picks the innermost (largest source)
+        schedule = bfl(inst)
+        assert schedule.delivered_ids == {4}
+
+
+class TestDbflTiming:
+    def test_release_at_last_possible_moment(self):
+        """A packet released exactly at its only viable departure time."""
+        inst = make_instance(5, [(1, 4, 7, 10)])  # slack 0, departs at 7
+        res = dbfl(inst)
+        assert res.delivered_ids == {0}
+        assert res.schedule[0].depart == 7
+
+    def test_contained_late_release_preempts(self):
+        """Two zero-slack messages share line 0; the nearest-destination
+        rule prefers the contained late-release message even though the
+        long one departs first — and D-BFL, having already launched the
+        long message, still drops it in favour of the contained one."""
+        inst = make_instance(
+            6,
+            [
+                (0, 5, 0, 5),  # would occupy line 0 end to end
+                (2, 4, 2, 4),  # contained segment: wins the line
+            ],
+        )
+        central = bfl(inst)
+        distributed = dbfl(inst)
+        assert central.delivered_ids == distributed.delivered_ids == {1}

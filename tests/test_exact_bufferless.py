@@ -1,0 +1,86 @@
+"""Tests for exact OPT_BL solvers (MILP and branch-and-bound)."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance, make_instance
+from repro.core.message import Message
+from repro.core.validate import validate_schedule
+from repro.exact import opt_bufferless, opt_bufferless_bnb
+
+from .conftest import random_lr_instance
+
+
+class TestSmallCases:
+    def test_empty(self):
+        assert opt_bufferless(Instance(4, ())).throughput == 0
+        assert opt_bufferless_bnb(Instance(4, ())).throughput == 0
+
+    def test_single_message(self):
+        inst = make_instance(6, [(1, 4, 0, 9)])
+        assert opt_bufferless(inst).throughput == 1
+
+    def test_two_compatible(self):
+        inst = make_instance(8, [(0, 3, 0, 3), (3, 7, 3, 7)])
+        assert opt_bufferless(inst).throughput == 2
+
+    def test_forced_conflict(self):
+        # both slack 0, same line, overlapping: exactly one deliverable
+        inst = make_instance(8, [(0, 4, 0, 4), (2, 6, 2, 6)])
+        assert opt_bufferless(inst).throughput == 1
+        assert opt_bufferless_bnb(inst).throughput == 1
+
+    def test_slack_allows_both(self):
+        inst = make_instance(8, [(0, 4, 0, 4), (2, 6, 2, 7)])
+        assert opt_bufferless(inst).throughput == 2
+
+    def test_infeasible_dropped(self):
+        inst = make_instance(8, [(0, 6, 0, 2)])
+        assert opt_bufferless(inst).throughput == 0
+
+    def test_rejects_rl(self):
+        inst = Instance(6, (Message(0, 4, 1, 0, 9),))
+        with pytest.raises(ValueError, match="right-to-left"):
+            opt_bufferless(inst)
+        with pytest.raises(ValueError, match="right-to-left"):
+            opt_bufferless_bnb(inst)
+
+
+class TestThreeWayPileup:
+    def test_k_identical_zero_slack(self):
+        # k identical zero-slack messages over the same edge: one winner
+        rows = [(0, 3, 0, 3)] * 4
+        inst = make_instance(5, rows)
+        assert opt_bufferless(inst).throughput == 1
+
+    def test_k_identical_with_slack(self):
+        # slack k-1 gives each message its own line
+        k = 4
+        rows = [(0, 3, 0, 3 + k - 1)] * k
+        inst = make_instance(5, rows)
+        assert opt_bufferless(inst).throughput == k
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_milp_equals_bnb(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        inst = random_lr_instance(rng, k_hi=7, max_slack=4)
+        a = opt_bufferless(inst)
+        b = opt_bufferless_bnb(inst)
+        assert a.throughput == b.throughput
+        validate_schedule(inst, a.schedule, require_bufferless=True)
+        validate_schedule(inst, b.schedule, require_bufferless=True)
+
+    def test_schedules_valid_against_unclipped_instance(self):
+        # huge slack exercises the clip-then-rebuild path
+        inst = make_instance(6, [(0, 2, 0, 1000), (1, 3, 0, 900)])
+        res = opt_bufferless(inst)
+        assert res.throughput == 2
+        validate_schedule(inst, res.schedule, require_bufferless=True)
+
+    def test_bnb_node_limit(self):
+        rng = np.random.default_rng(5)
+        inst = random_lr_instance(rng, k_lo=6, k_hi=8)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            opt_bufferless_bnb(inst, node_limit=3)

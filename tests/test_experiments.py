@@ -1,0 +1,133 @@
+"""Tests for the experiment harness (fast, reduced-trial runs)."""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.experiments import (
+    ALL,
+    a1_tiebreak,
+    a2_buffers,
+    e1_figure1,
+    e2_bfl_ratio,
+    e3_uniform_slack,
+    e4_uniform_span,
+    e5_static,
+    e6_lower_bound,
+    e7_dbfl,
+    e9_baselines,
+    e10_scaling,
+    e11_ring,
+)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL) == {
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+            "e11", "e12", "e13", "e14", "a1", "a2",
+        }
+
+    def test_every_module_has_description_and_run(self):
+        for mod in ALL.values():
+            assert isinstance(mod.DESCRIPTION, str) and mod.DESCRIPTION
+            assert callable(mod.run)
+
+
+class TestE1:
+    def test_summary_all_six(self):
+        table = e1_figure1.run()
+        assert len(table.rows) == 6
+        summary = {r["metric"]: r["value"] for r in table.summary.rows}
+        assert set(summary.values()) == {6}
+
+    def test_render_is_figure(self):
+        assert "Figure 1" in e1_figure1.render()
+
+
+class TestRatioExperiments:
+    def test_e2_bound_holds(self):
+        table = e2_bfl_ratio.run(seed=1, trials=5)
+        assert all(r["bound_ok"] for r in table.rows)
+
+    def test_e3_bound_holds(self):
+        table = e3_uniform_slack.run(seed=1, trials=3)
+        assert all(r["max_ratio"] <= 3.0 + 1e-9 for r in table.rows)
+        assert all(r["max_credit"] <= 2.0 + 1e-9 for r in table.rows)
+
+    def test_e4_bound_and_conversion(self):
+        table = e4_uniform_span.run(seed=1, trials=3)
+        for r in table.rows:
+            assert r["max_ratio"] <= 2.0 + 1e-9
+            assert r["min_converted_frac"] >= 0.5 - 1e-9
+
+    def test_e5_bound_holds(self):
+        table = e5_static.run(seed=1, trials=3)
+        assert all(r["max_ratio"] <= 2.0 + 1e-9 for r in table.rows)
+
+
+class TestE6:
+    def test_ratio_growth_and_bounds(self):
+        table = e6_lower_bound.run(max_k=5)
+        ratios = [r["ratio"] for r in table.rows]
+        assert ratios == sorted(ratios)
+        assert all(r["bounds_ok"] for r in table.rows)
+
+    def test_exact_rows_marked(self):
+        table = e6_lower_bound.run(max_k=4)
+        sources = {r["k"]: r["optbl_source"] for r in table.rows}
+        assert sources[1] == "exact" and sources[4] == "paper cap"
+
+
+class TestE7:
+    def test_perfect_equality(self):
+        table = e7_dbfl.run(seed=1, trials=4)
+        for r in table.rows:
+            assert r["set_equal"] == "4/4"
+            assert r["lines_equal"] == "4/4"
+
+
+class TestE9E10E11:
+    def test_e9_respects_upper_bound(self):
+        table = e9_baselines.run(seed=1, trials=2)
+        for r in table.rows:
+            for s in e9_baselines.SCHEDULERS:
+                assert r[s] <= r["upper_bound"] + 1e-9
+
+    def test_e10_reports_positive_times(self):
+        table = e10_scaling.run(seed=1, repeats=1)
+        assert all(r["bfl_ms"] > 0 for r in table.rows)
+
+    def test_e11_bound_holds(self):
+        table = e11_ring.run(seed=1, trials=4)
+        assert all(r["bound_ok"] for r in table.rows)
+
+
+class TestE14:
+    def test_mesh_fractions_and_monotonicity(self):
+        from repro.experiments import e14_mesh
+
+        table = e14_mesh.run(seed=1, trials=2)
+        by_key = {(r["family"], r["conversion"]): r for r in table.rows}
+        for family in ("random", "transpose", "hotspot"):
+            assert by_key[(family, 2)]["bfl"] <= by_key[(family, 0)]["bfl"] + 1e-9
+            assert 0.0 <= by_key[(family, 0)]["bfl"] <= 1.0
+
+
+class TestAblations:
+    def test_a1_nearest_dest_guarantee(self):
+        table = a1_tiebreak.run(seed=1, trials=5)
+        nearest = [r for r in table.rows if r["rule"] == "nearest_dest"]
+        assert nearest and all(r["guarantee_held"] for r in nearest)
+
+    def test_a2_monotone_in_capacity(self):
+        table = a2_buffers.run(seed=1, trials=3)
+        by_family: dict[str, list] = {}
+        for r in table.rows:
+            by_family.setdefault(r["family"], []).append(r["dbfl"])
+        for vals in by_family.values():
+            assert vals == sorted(vals)
+
+    def test_tables_render(self):
+        table = a1_tiebreak.run(seed=1, trials=2)
+        out = table.render()
+        assert isinstance(table, Table) and "rule" in out

@@ -1,0 +1,56 @@
+"""Invariant tests for the finite-buffer regime (ablation A2's substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import EDFPolicy, run_policy
+from repro.core.dbfl import dbfl
+from repro.core.instance import Instance
+from repro.workloads import hotspot_instance, saturated_instance
+
+from .conftest import lr_instances
+
+
+class TestCapacityInvariant:
+    @settings(max_examples=40, deadline=None)
+    @given(lr_instances(n=10, max_messages=10), st.integers(0, 3))
+    def test_occupancy_never_exceeds_capacity(self, inst: Instance, cap: int):
+        """The resulting schedule's intermediate-buffer peaks respect the
+        simulated capacity (source buffering excluded, as in the model)."""
+        result = dbfl(inst, buffer_capacity=cap)
+        peaks = result.schedule.max_buffer_occupancy()
+        sources = {m.source for m in inst}
+        for node, peak in peaks.items():
+            # a node may exceed cap only through its *own* source traffic,
+            # which is unbounded; intermediate stays within cap.
+            if node not in sources:
+                assert peak <= cap
+
+    @settings(max_examples=30, deadline=None)
+    @given(lr_instances(n=10, max_messages=10))
+    def test_capacity_monotone(self, inst: Instance):
+        """Throughput is monotone in buffer capacity (0 <= 2 <= inf)."""
+        t0 = dbfl(inst, buffer_capacity=0).throughput
+        t2 = dbfl(inst, buffer_capacity=2).throughput
+        tinf = dbfl(inst).throughput
+        assert t0 <= t2 + 2  # near-monotone: drops at cap 0 can reshuffle...
+        assert t2 <= tinf + 2
+
+    def test_unbounded_equals_large_capacity(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            inst = saturated_instance(rng, n=12, load=1.5, horizon=20)
+            big = dbfl(inst, buffer_capacity=len(inst)).throughput
+            unbounded = dbfl(inst).throughput
+            assert big == unbounded
+
+    def test_capacity_zero_means_bufferless_transit(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            inst = hotspot_instance(rng, n=16, k=20)
+            result = run_policy(inst, EDFPolicy(), buffer_capacity=0)
+            for traj in result.schedule:
+                # any waiting must happen before departure, never en route
+                assert traj.bufferless

@@ -1,0 +1,49 @@
+"""Tests for the per-link Gantt view."""
+
+import pytest
+
+from repro.core.bfl import bfl
+from repro.core.instance import make_instance
+from repro.core.schedule import Schedule
+from repro.core.trajectory import Trajectory
+from repro.viz.gantt import link_gantt
+
+
+class TestLinkGantt:
+    def test_rows_cover_all_links(self):
+        inst = make_instance(5, [(0, 4, 0, 4)])
+        out = link_gantt(inst, bfl(inst))
+        lines = out.splitlines()
+        assert len(lines) == 1 + 4 + 1  # header + 4 links + utilisation
+
+    def test_occupancy_glyphs(self):
+        inst = make_instance(4, [(0, 3, 0, 3)])
+        out = link_gantt(inst, bfl(inst))
+        # message 0 crosses link 0 at t=0, link 1 at t=1, link 2 at t=2
+        rows = {l.split()[0]: l for l in out.splitlines()[1:-1]}
+        # horizon is deadline + 1 == 4 columns
+        assert rows["0->1"].endswith("0...")
+        assert rows["1->2"].endswith(".0..")
+        assert rows["2->3"].endswith("..0.")
+
+    def test_utilisation_line(self):
+        inst = make_instance(4, [(0, 3, 0, 3)])
+        out = link_gantt(inst, bfl(inst))
+        assert "utilisation: 3/" in out
+
+    def test_base36_wraps_ids(self):
+        inst = make_instance(3, [(0, 1, 0, 50)] * 1)
+        sched = Schedule((Trajectory(37, 0, (0,)),))  # 37 % 36 == 1 -> '1'
+        out = link_gantt(inst, sched, end=2)
+        assert "1" in out.splitlines()[1]
+
+    def test_window_validation(self):
+        inst = make_instance(3, [(0, 2, 0, 4)])
+        with pytest.raises(ValueError, match="empty time window"):
+            link_gantt(inst, Schedule(), start=5, end=5)
+
+    def test_custom_window(self):
+        inst = make_instance(4, [(0, 3, 0, 3)])
+        out = link_gantt(inst, bfl(inst), start=1, end=3)
+        header = out.splitlines()[0]
+        assert header.endswith("12")

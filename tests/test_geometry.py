@@ -1,0 +1,144 @@
+"""Unit tests for the parallelogram / scan-line geometry."""
+
+import pytest
+
+from repro.core.geometry import (
+    Parallelogram,
+    Segment,
+    alpha_range,
+    relevance_matrix,
+    relevant_alphas,
+    segment_on_line,
+    segments_on_line,
+)
+from repro.core.message import Message
+
+
+def msg(s=2, d=9, r=2, dl=13, i=1):
+    return Message(i, s, d, r, dl)
+
+
+class TestParallelogram:
+    def test_of_rejects_rl(self):
+        with pytest.raises(ValueError, match="left-to-right"):
+            Parallelogram.of(Message(0, 5, 2, 0, 9))
+
+    def test_corners_paper_message_1(self):
+        # message 1 of the paper: 2 -> 9, release 2, deadline 13, span 7
+        p = Parallelogram.of(msg())
+        bl, tl, br, tr = p.corners()
+        assert bl == (2, 2)  # left side bottom: (source, release)
+        assert tl == (2, 6)  # left side top: (source, deadline - span)
+        assert br == (9, 9)  # right side bottom: (dest, release + span)
+        assert tr == (9, 13)  # right side top: (dest, deadline)
+
+    def test_contains_point_inside(self):
+        p = Parallelogram.of(msg())
+        assert p.contains_point(2, 2)
+        assert p.contains_point(9, 13)
+        assert p.contains_point(5, 7)
+
+    def test_contains_point_outside(self):
+        p = Parallelogram.of(msg())
+        assert not p.contains_point(2, 1)  # before release
+        assert not p.contains_point(2, 7)  # departing too late
+        assert not p.contains_point(1, 2)  # left of source
+        assert not p.contains_point(10, 10)  # right of dest
+
+    def test_scan_lines_count(self):
+        p = Parallelogram.of(msg())
+        assert len(list(p.scan_lines())) == p.slack + 1
+
+    def test_slack_span_match_message(self):
+        m = msg()
+        p = Parallelogram.of(m)
+        assert p.slack == m.slack and p.span == m.span
+
+
+class TestSegment:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            Segment(3, 3, 0, 0)
+
+    def test_depart_arrive(self):
+        s = Segment(left=2, right=9, message_id=1, alpha=0)
+        assert s.depart == 2 and s.arrive == 9
+        s2 = Segment(left=2, right=9, message_id=1, alpha=-4)
+        assert s2.depart == 6 and s2.arrive == 13
+
+    def test_overlap_shares_edge(self):
+        a = Segment(0, 4, 0, 0)
+        b = Segment(3, 6, 1, 0)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_touching_endpoints_not_overlap(self):
+        a = Segment(0, 4, 0, 0)
+        b = Segment(4, 6, 1, 0)
+        assert not a.overlaps(b) and not b.overlaps(a)
+
+    def test_containment(self):
+        outer = Segment(0, 9, 0, 0)
+        inner = Segment(2, 5, 1, 0)
+        assert outer.contains(inner) and outer.properly_contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer) and not outer.properly_contains(outer)
+
+    def test_sort_key_prefers_contained(self):
+        outer = Segment(0, 5, 0, 0)
+        inner = Segment(2, 5, 1, 0)
+        assert inner.sort_key < outer.sort_key
+
+
+class TestLineQueries:
+    def test_segment_on_line_inside(self):
+        m = msg()
+        seg = segment_on_line(m, 0)
+        assert seg is not None
+        assert (seg.left, seg.right) == (2, 9)
+
+    def test_segment_on_line_outside(self):
+        assert segment_on_line(msg(), 5) is None
+
+    def test_segments_on_line_sorted(self):
+        msgs = [
+            Message(0, 0, 9, 0, 9),
+            Message(1, 2, 5, 0, 8),
+            Message(2, 0, 5, 0, 6),
+        ]
+        segs = segments_on_line(msgs, 0)
+        # nearest right endpoint first; contained (larger left) before container
+        assert [s.message_id for s in segs] == [1, 2, 0]
+
+    def test_relevant_alphas_decreasing_and_complete(self):
+        msgs = [msg(s=2, d=9, r=2, dl=13), msg(s=0, d=3, r=0, dl=3, i=2)]
+        alphas = list(relevant_alphas(msgs))
+        assert alphas == sorted(alphas, reverse=True)
+        assert set(alphas) == set(range(-4, 1))  # [-4, 0] window union {0}
+
+    def test_alpha_range(self):
+        msgs = [msg(), msg(s=0, d=3, r=0, dl=3, i=2)]
+        assert alpha_range(msgs) == (-4, 0)
+
+    def test_alpha_range_empty_raises(self):
+        with pytest.raises(ValueError):
+            alpha_range([])
+
+
+class TestRelevanceMatrix:
+    def test_matches_scalar_predicate(self, paper_example):
+        alphas, ids, rel = relevance_matrix(paper_example)
+        for i, mid in enumerate(ids):
+            m = paper_example[int(mid)]
+            for j, alpha in enumerate(alphas):
+                assert rel[i, j] == m.relevant_to(int(alpha))
+
+    def test_row_sums_are_slack_plus_one(self, paper_example):
+        _, ids, rel = relevance_matrix(paper_example)
+        for i, mid in enumerate(ids):
+            assert rel[i].sum() == paper_example[int(mid)].slack + 1
+
+    def test_empty_instance(self):
+        from repro.core.instance import Instance
+
+        alphas, ids, rel = relevance_matrix(Instance(4, ()))
+        assert alphas.size == 0 and ids.size == 0 and rel.size == 0

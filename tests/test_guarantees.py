@@ -1,0 +1,80 @@
+"""Tests for the composed BFL-vs-OPT_B guarantee calculator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.guarantees import Guarantee, bfl_buffered_guarantee
+from repro.core.bfl import bfl
+from repro.core.instance import Instance, make_instance
+from repro.exact import opt_buffered
+from repro.workloads import (
+    general_instance,
+    static_instance,
+    uniform_slack_instance,
+    uniform_span_instance,
+)
+
+
+class TestStructureDetection:
+    def test_uniform_span_gets_factor_four(self):
+        rng = np.random.default_rng(0)
+        inst = uniform_span_instance(rng, span=3, k=8, max_release=5)
+        g = bfl_buffered_guarantee(inst)
+        assert g.factor == 4.0
+        assert "4.2" in g.theorem
+
+    def test_static_gets_factor_four(self):
+        rng = np.random.default_rng(1)
+        inst = static_instance(rng, k=8, max_slack=12)
+        # ensure it is not accidentally uniform-span/slack
+        if inst.uniform_span or inst.uniform_slack:
+            pytest.skip("degenerate draw")
+        g = bfl_buffered_guarantee(inst)
+        assert g.factor == 4.0
+        assert "4.3" in g.theorem
+
+    def test_uniform_slack_gets_factor_six(self):
+        rng = np.random.default_rng(2)
+        inst = uniform_slack_instance(rng, slack=3, k=8, max_release=5)
+        if inst.uniform_span or inst.static:
+            pytest.skip("degenerate draw")
+        g = bfl_buffered_guarantee(inst)
+        assert g.factor == 6.0
+
+    def test_general_uses_log_bound(self):
+        rng = np.random.default_rng(3)
+        inst = general_instance(rng, n=24, k=20, max_release=10, max_slack=10)
+        if inst.uniform_span or inst.uniform_slack or inst.static:
+            pytest.skip("degenerate draw")
+        g = bfl_buffered_guarantee(inst)
+        assert "4.4" in g.theorem
+        assert g.factor == pytest.approx(2.0 * g.separation)
+
+    def test_picks_smallest_applicable(self):
+        # static AND uniform span: factor 4 from either; never the log bound
+        inst = make_instance(10, [(0, 3, 0, 9), (4, 7, 0, 5)])
+        assert inst.static and inst.uniform_span
+        g = bfl_buffered_guarantee(inst)
+        assert g.factor == 4.0
+
+    def test_str(self):
+        g = Guarantee(4.0, 2.0, "Thm 4.2 (uniform span)")
+        assert "OPT_B <= 4" in str(g)
+
+
+class TestGuaranteeHolds:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_certified_factor_is_sound(self, seed):
+        """OPT_B really is within the certified factor of BFL's throughput."""
+        rng = np.random.default_rng(4200 + seed)
+        maker = [
+            lambda: uniform_slack_instance(rng, n=8, k=7, slack=2, max_release=4),
+            lambda: uniform_span_instance(rng, n=8, k=7, span=3, max_release=4, max_slack=3),
+            lambda: static_instance(rng, n=8, k=7, max_slack=3),
+        ][seed % 3]
+        inst = maker()
+        g = bfl_buffered_guarantee(inst)
+        got = bfl(inst).throughput
+        opt_b = opt_buffered(inst).throughput
+        if got:
+            assert opt_b <= g.factor * got + 1e-9

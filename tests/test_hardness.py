@@ -1,0 +1,199 @@
+"""Tests for the 3-SAT substrate and the Appendix-A reduction."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.exact import opt_buffered, opt_bufferless
+from repro.hardness import (
+    CNF,
+    Clause,
+    dpll_sat,
+    dpll_solve,
+    random_3sat,
+    reduce_3sat,
+    satisfying_assignment_from_schedule,
+)
+
+
+def all_patterns_unsat(v: int = 3) -> CNF:
+    """All 2^3 sign patterns over three variables: classically unsatisfiable."""
+    rows = [
+        tuple(s * x for s, x in zip(signs, (1, 2, 3)))
+        for signs in itertools.product((1, -1), repeat=3)
+    ]
+    return CNF.of(v, rows)
+
+
+class TestCNF:
+    def test_clause_requires_three_distinct_vars(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Clause((1, -1, 2))
+        with pytest.raises(ValueError, match="3 literals"):
+            Clause((1, 2))  # type: ignore[arg-type]
+        with pytest.raises(ValueError, match="literal 0"):
+            Clause((0, 1, 2))
+
+    def test_cnf_range_check(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            CNF.of(2, [(1, 2, 3)])
+
+    def test_satisfied_by(self):
+        f = CNF.of(3, [(1, -2, 3)])
+        assert f.satisfied_by({1: True, 2: True, 3: False})
+        assert not f.satisfied_by({1: False, 2: True, 3: False})
+
+    def test_literal_occurrences(self):
+        f = CNF.of(3, [(1, 2, 3), (-1, 2, -3)])
+        occ = f.literal_occurrences()
+        assert occ[1] == [0] and occ[-1] == [1] and occ[2] == [0, 1]
+
+    def test_random_3sat_shape(self):
+        rng = np.random.default_rng(0)
+        f = random_3sat(5, 12, rng)
+        assert f.num_vars == 5 and len(f) == 12
+        for cl in f:
+            assert len(cl.variables) == 3
+
+    def test_random_3sat_needs_three_vars(self):
+        with pytest.raises(ValueError):
+            random_3sat(2, 1, np.random.default_rng(0))
+
+
+class TestDPLL:
+    def test_empty_formula_sat(self):
+        assert dpll_sat(CNF.of(3, []))
+
+    def test_single_clause(self):
+        f = CNF.of(3, [(1, 2, 3)])
+        model = dpll_solve(f)
+        assert model is not None and f.satisfied_by(model)
+
+    def test_all_patterns_unsat(self):
+        assert not dpll_sat(all_patterns_unsat())
+
+    def test_model_is_total(self):
+        f = CNF.of(5, [(1, 2, 3)])
+        model = dpll_solve(f)
+        assert model is not None and set(model) == {1, 2, 3, 4, 5}
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_agrees_with_bruteforce(self, seed):
+        rng = np.random.default_rng(7000 + seed)
+        f = random_3sat(4, int(rng.integers(1, 12)), rng)
+        brute = any(
+            f.satisfied_by(dict(zip(range(1, 5), bits)))
+            for bits in itertools.product((False, True), repeat=4)
+        )
+        assert dpll_sat(f) == brute
+
+    def test_returned_model_satisfies(self):
+        rng = np.random.default_rng(42)
+        for _ in range(20):
+            f = random_3sat(5, int(rng.integers(1, 15)), rng)
+            model = dpll_solve(f)
+            if model is not None:
+                assert f.satisfied_by(model)
+
+
+class TestReductionStructure:
+    def test_message_count_and_kinds(self):
+        f = CNF.of(3, [(1, 2, 3)])
+        red = reduce_3sat(f)
+        kinds = list(red.kinds.values())
+        assert sum(k.startswith("var") for k in kinds) == 6
+        assert sum(k.startswith("p") for k in kinds) == 7
+        assert red.target == red.num_messages - 3
+
+    def test_variable_pair_overlap(self):
+        """The two messages of one variable must collide (slack 0, shared edge)."""
+        red = reduce_3sat(CNF.of(3, [(1, 2, 3)]))
+        for x, (pos, neg) in red.variable_message_ids.items():
+            mp, mn = red.instance[pos], red.instance[neg]
+            assert mp.slack == mn.slack == 0
+            assert mp.alpha_max == mn.alpha_max  # same forced scan line
+            assert max(mp.source, mn.source) < min(mp.dest, mn.dest)  # overlap
+
+    def test_variable_gadget_alone_drops_exactly_v(self):
+        red = reduce_3sat(CNF.of(3, []))
+        assert red.num_messages == 6
+        assert opt_bufferless(red.instance).throughput == 3
+
+    def test_slack_table_matches_paper(self):
+        """p_A..p_3 slacks are 5, 3, 1, 2, 1, 3, 1 as the appendix states."""
+        red = reduce_3sat(CNF.of(3, [(1, 2, 3)]))
+        slack_by_kind = {
+            red.kinds[m.id]: m.slack
+            for m in red.instance
+            if red.kinds[m.id].startswith("p")
+        }
+        assert slack_by_kind == {
+            "pA@0": 5,
+            "pB@0": 3,
+            "pC@0": 1,
+            "pX@0": 2,
+            "p1@0": 1,
+            "p2@0": 3,
+            "p3@0": 1,
+        }
+
+    def test_all_messages_feasible_and_in_network(self):
+        rng = np.random.default_rng(1)
+        f = random_3sat(4, 5, rng)
+        red = reduce_3sat(f)
+        for m in red.instance:
+            assert m.feasible
+            assert m.release >= 0
+            assert m.source < m.dest
+
+
+class TestReductionEquivalence:
+    """OPT(I(Φ)) == N - v  ⟺  Φ satisfiable (Theorems 3.1 / 5.1)."""
+
+    def test_single_satisfiable_clause(self):
+        red = reduce_3sat(CNF.of(3, [(1, -2, 3)]))
+        assert opt_bufferless(red.instance).throughput == red.target
+
+    def test_complete_unsat(self):
+        red = reduce_3sat(all_patterns_unsat())
+        assert opt_bufferless(red.instance).throughput < red.target
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_formulas(self, seed):
+        rng = np.random.default_rng(8000 + seed)
+        f = random_3sat(int(rng.integers(3, 5)), int(rng.integers(1, 6)), rng)
+        red = reduce_3sat(f)
+        opt = opt_bufferless(red.instance)
+        assert (opt.throughput == red.target) == dpll_sat(f)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_buffering_does_not_help(self, seed):
+        """The paper constructs I(Φ) so OPT_B == OPT_BL (Theorem 5.1)."""
+        rng = np.random.default_rng(8100 + seed)
+        f = random_3sat(3, int(rng.integers(1, 4)), rng)
+        red = reduce_3sat(f)
+        assert (
+            opt_buffered(red.instance).throughput
+            == opt_bufferless(red.instance).throughput
+        )
+
+    def test_witness_extraction(self):
+        rng = np.random.default_rng(5)
+        found = 0
+        while found < 5:
+            f = random_3sat(3, int(rng.integers(1, 5)), rng)
+            if not dpll_sat(f):
+                continue
+            found += 1
+            red = reduce_3sat(f)
+            schedule = opt_bufferless(red.instance).schedule
+            assignment = satisfying_assignment_from_schedule(red, schedule)
+            assert assignment is not None
+            assert f.satisfied_by(assignment)
+
+    def test_witness_rejects_short_schedule(self):
+        red = reduce_3sat(CNF.of(3, [(1, 2, 3)]))
+        from repro.core.schedule import Schedule
+
+        assert satisfying_assignment_from_schedule(red, Schedule()) is None

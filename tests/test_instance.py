@@ -1,0 +1,126 @@
+"""Unit tests for Instance."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance, make_instance
+from repro.core.message import Message
+
+
+class TestConstruction:
+    def test_make_instance_assigns_ids(self):
+        inst = make_instance(6, [(0, 3, 0, 5), (1, 4, 0, 6)])
+        assert inst.ids == (0, 1)
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Instance(6, (Message(0, 0, 3, 0, 5), Message(0, 1, 4, 0, 6)))
+
+    def test_rejects_out_of_range_nodes(self):
+        with pytest.raises(ValueError, match="outside"):
+            make_instance(4, [(0, 5, 0, 9)])
+
+    def test_rejects_tiny_network(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            Instance(1, ())
+
+    def test_require_feasible(self):
+        with pytest.raises(ValueError, match="negative slack"):
+            make_instance(8, [(0, 6, 0, 3)], require_feasible=True)
+
+    def test_lookup_by_id(self):
+        inst = make_instance(6, [(0, 3, 0, 5), (1, 4, 0, 6)])
+        assert inst[1].source == 1
+        assert 1 in inst and 7 not in inst
+        with pytest.raises(KeyError):
+            inst[7]
+
+
+class TestAggregates:
+    def test_paper_example_stats(self, paper_example):
+        slacks = sorted(m.slack for m in paper_example)
+        assert slacks == [1, 3, 4, 4, 7, 8]
+        assert paper_example.max_slack == 8
+        assert paper_example.max_span == 10
+        assert paper_example.lam == 6  # min(8, 10, |I|=6)
+
+    def test_empty_instance(self):
+        inst = Instance(4, ())
+        assert len(inst) == 0
+        assert inst.max_slack == 0 and inst.max_span == 0 and inst.lam == 0
+        assert inst.horizon == 1
+
+    def test_horizon(self):
+        inst = make_instance(6, [(0, 3, 0, 5), (1, 4, 2, 11)])
+        assert inst.horizon == 12
+
+    def test_uniform_flags(self):
+        uni = make_instance(8, [(0, 3, 0, 5), (2, 5, 1, 6)])  # both slack 2, span 3
+        assert uni.uniform_slack and uni.uniform_span
+        assert not uni.static
+        static = make_instance(8, [(0, 3, 0, 5), (2, 7, 0, 9)])
+        assert static.static
+
+
+class TestDirections:
+    def test_split_and_mirror_roundtrip(self):
+        inst = Instance(
+            10,
+            (
+                Message(0, 1, 6, 0, 9),
+                Message(1, 8, 2, 1, 12),
+                Message(2, 4, 9, 0, 6),
+            ),
+        )
+        lr, rl = inst.split_directions()
+        assert lr.ids == (0, 2) and rl.ids == (1,)
+        assert rl.mirrored().all_left_to_right
+        # mirroring twice restores the original messages
+        assert rl.mirrored().mirrored().messages == rl.messages
+
+
+class TestTransforms:
+    def test_restrict_and_filter(self):
+        inst = make_instance(8, [(0, 3, 0, 5), (1, 4, 0, 6), (2, 5, 0, 7)])
+        assert inst.restrict([0, 2]).ids == (0, 2)
+        assert inst.filter(lambda m: m.source >= 1).ids == (1, 2)
+
+    def test_drop_infeasible(self):
+        inst = make_instance(8, [(0, 3, 0, 5), (0, 7, 0, 3)])
+        assert inst.drop_infeasible().ids == (0,)
+
+    def test_clipped_slack_default(self):
+        inst = make_instance(8, [(0, 1, 0, 100), (1, 2, 0, 100)])
+        clipped = inst.clipped_slack()
+        assert all(m.slack <= 1 for m in clipped)  # |I| - 1 == 1
+
+    def test_translated_rehomes(self):
+        inst = make_instance(4, [(0, 3, 0, 5)])
+        big = inst.translated(dnode=2, dtime=1, n=8)
+        assert big.n == 8
+        assert big.messages[0].source == 2
+        assert big.messages[0].release == 1
+
+    def test_merged_with_renumbers(self):
+        a = make_instance(6, [(0, 3, 0, 5)])
+        b = make_instance(6, [(1, 4, 0, 6), (2, 5, 0, 7)])
+        merged = a.merged_with(b)
+        assert merged.ids == (0, 1, 2)
+        assert len(merged) == 3
+
+
+class TestArrays:
+    def test_as_arrays_matches_messages(self, paper_example):
+        cols = paper_example.as_arrays()
+        for j, m in enumerate(paper_example):
+            assert cols["id"][j] == m.id
+            assert cols["span"][j] == m.span
+            assert cols["slack"][j] == m.slack
+
+    def test_as_arrays_empty(self):
+        cols = Instance(4, ()).as_arrays()
+        assert all(v.shape == (0,) for v in cols.values())
+
+    def test_as_arrays_dtype(self, paper_example):
+        cols = paper_example.as_arrays()
+        assert all(v.dtype == np.int64 for v in cols.values())

@@ -1,0 +1,136 @@
+"""Integration tests: cross-module pipelines a real user would run."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bfl_buffered_guarantee,
+    instance_summary,
+    schedule_summary,
+    throughput_ratio,
+)
+from repro.baselines import EDFPolicy, run_policy
+from repro.core.bfl import bfl
+from repro.core.bfl_fast import bfl_fast
+from repro.core.dbfl import dbfl
+from repro.core.solve import schedule_bidirectional
+from repro.core.validate import validate_schedule
+from repro.exact import opt_buffered, opt_bufferless
+from repro.hardness import dpll_sat, random_3sat, reduce_3sat
+from repro.hardness.dimacs import parse_dimacs, to_dimacs
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_schedule,
+    save_instance,
+    save_schedule,
+    load_instance,
+)
+from repro.network.trace import TracingPolicy
+from repro.viz.gantt import link_gantt
+from repro.viz.lattice import render_schedule
+from repro.workloads import general_instance, multimedia_instance
+
+
+class TestEndToEndPipeline:
+    def test_generate_schedule_analyse_render(self):
+        """workload -> BFL -> validate -> metrics -> two renderings."""
+        rng = np.random.default_rng(0)
+        inst = general_instance(rng, n=20, k=25, max_release=12, max_slack=6)
+        schedule = bfl(inst)
+        validate_schedule(inst, schedule, require_bufferless=True)
+
+        isum = instance_summary(inst)
+        ssum = schedule_summary(inst, schedule)
+        assert ssum["delivered"] == schedule.throughput
+        assert ssum["delivered"] + ssum["dropped"] == isum["messages"]
+
+        lattice = render_schedule(inst, schedule)
+        gantt = link_gantt(inst, schedule)
+        assert lattice and gantt
+
+    def test_persist_and_reload_preserves_everything(self, tmp_path):
+        """instance/schedule round-trip through disk, revalidate, recompute."""
+        rng = np.random.default_rng(1)
+        inst = general_instance(rng, n=16, k=20)
+        schedule = bfl(inst)
+        save_instance(inst, tmp_path / "i.json")
+        save_schedule(schedule, tmp_path / "s.json")
+        inst2 = load_instance(tmp_path / "i.json")
+        sched2 = load_schedule(tmp_path / "s.json")
+        validate_schedule(inst2, sched2, require_bufferless=True)
+        assert bfl(inst2).delivered_ids == schedule.delivered_ids
+
+    def test_three_implementations_agree(self):
+        """bfl == bfl_fast == dbfl on the same instance (Theorem 5.2 +
+        the vectorisation equivalence), end to end."""
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            inst = general_instance(rng, n=18, k=30, max_release=15, max_slack=7)
+            ref = bfl(inst)
+            assert bfl_fast(inst).delivered_ids == ref.delivered_ids
+            assert dbfl(inst).delivered_ids == ref.delivered_ids
+
+    def test_guarantee_certificate_respected_by_exact(self):
+        """structure detection -> certified factor -> exact check."""
+        rng = np.random.default_rng(3)
+        inst = general_instance(rng, n=8, k=7, max_release=4, max_slack=3)
+        g = bfl_buffered_guarantee(inst)
+        got = bfl(inst).throughput
+        opt_b = opt_buffered(inst).throughput
+        assert opt_b <= g.factor * max(got, 1) + 1e-9
+        assert throughput_ratio(opt_b, got) <= g.factor + 1e-9
+
+    def test_bidirectional_with_traced_simulation(self):
+        """full instance (both directions) + a traced buffered baseline."""
+        rng = np.random.default_rng(4)
+        from repro.core.instance import Instance
+        from repro.core.message import Message
+
+        msgs = []
+        for i in range(14):
+            a, b = rng.choice(16, size=2, replace=False)
+            r = int(rng.integers(0, 8))
+            msgs.append(Message(i, int(a), int(b), r, r + abs(int(b) - int(a)) + 4))
+        inst = Instance(16, tuple(msgs))
+
+        both = schedule_bidirectional(inst)
+        assert both.throughput <= len(inst)
+
+        lr, _ = inst.split_directions()
+        tracer = TracingPolicy(EDFPolicy())
+        result = run_policy(lr, tracer)
+        delivers = {e.message_id for e in tracer.of_kind("deliver")}
+        assert delivers == set(result.delivered_ids)
+
+    def test_sat_pipeline_through_dimacs(self):
+        """DIMACS text -> CNF -> reduction -> exact scheduling -> SAT verdict."""
+        rng = np.random.default_rng(5)
+        formula = random_3sat(3, 3, rng)
+        text = to_dimacs(formula, comment="integration")
+        parsed = parse_dimacs(text)
+        red = reduce_3sat(parsed)
+        opt = opt_bufferless(red.instance)
+        assert (opt.throughput == red.target) == dpll_sat(parsed)
+
+    def test_multimedia_qos_report(self):
+        """mixed traffic -> per-class accounting via the class map."""
+        rng = np.random.default_rng(6)
+        inst, class_of = multimedia_instance(rng, n=24, k=80, horizon=40)
+        delivered = dbfl(inst).delivered_ids
+        by_class: dict[str, list[bool]] = {}
+        for m in inst:
+            by_class.setdefault(class_of[m.id], []).append(m.id in delivered)
+        # bulk traffic (huge slack) should do at least as well as audio
+        bulk = np.mean(by_class["bulk"])
+        audio = np.mean(by_class["audio"])
+        assert bulk >= audio
+
+    def test_instance_dict_is_json_stable(self):
+        """as_dict output survives a JSON round-trip byte-for-byte."""
+        import json
+
+        rng = np.random.default_rng(7)
+        inst = general_instance(rng, n=10, k=8)
+        d = instance_to_dict(inst)
+        assert instance_from_dict(json.loads(json.dumps(d))) == inst

@@ -1,0 +1,99 @@
+"""Tests for JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.bfl import bfl
+from repro.core.schedule import Schedule
+from repro.core.trajectory import Trajectory
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+from .conftest import random_lr_instance
+
+
+class TestInstanceRoundtrip:
+    def test_dict_roundtrip(self, paper_example):
+        assert instance_from_dict(instance_to_dict(paper_example)) == paper_example
+
+    def test_file_roundtrip(self, tmp_path, paper_example):
+        path = tmp_path / "inst.json"
+        save_instance(paper_example, path)
+        assert load_instance(path) == paper_example
+
+    def test_file_is_plain_json(self, tmp_path, paper_example):
+        path = tmp_path / "inst.json"
+        save_instance(paper_example, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-instance"
+        assert data["n"] == 22
+        assert len(data["messages"]) == 6
+
+    def test_random_roundtrips(self, tmp_path):
+        rng = np.random.default_rng(0)
+        for i in range(10):
+            inst = random_lr_instance(rng)
+            path = tmp_path / f"i{i}.json"
+            save_instance(inst, path)
+            assert load_instance(path) == inst
+
+
+class TestScheduleRoundtrip:
+    def test_buffered_roundtrip(self):
+        sched = Schedule((Trajectory(3, 1, (0, 4, 5)), Trajectory(7, 0, (2,))))
+        again = schedule_from_dict(schedule_to_dict(sched))
+        assert again.trajectories == sched.trajectories
+
+    def test_bfl_output_roundtrip(self, tmp_path, paper_example):
+        sched = bfl(paper_example)
+        path = tmp_path / "s.json"
+        save_schedule(sched, path)
+        again = load_schedule(path)
+        assert again.delivered_ids == sched.delivered_ids
+        assert again.delivery_lines() == sched.delivery_lines()
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="expected format"):
+            instance_from_dict({"format": "nope", "version": 1})
+        with pytest.raises(ValueError, match="expected format"):
+            schedule_from_dict({"format": "repro-instance", "version": 1})
+
+    def test_wrong_version_rejected(self, paper_example):
+        data = instance_to_dict(paper_example)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="unsupported version"):
+            instance_from_dict(data)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing field"):
+            instance_from_dict(
+                {"format": "repro-instance", "version": 1, "n": 4, "messages": [{"id": 0}]}
+            )
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            instance_from_dict([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_conflicting_schedule_rejected_on_load(self):
+        data = {
+            "format": "repro-schedule",
+            "version": 1,
+            "trajectories": [
+                {"message_id": 0, "source": 0, "crossings": [0, 1]},
+                {"message_id": 1, "source": 0, "crossings": [0, 1]},
+            ],
+        }
+        with pytest.raises(Exception):  # ConflictError (a ValueError subclass)
+            schedule_from_dict(data)

@@ -1,0 +1,84 @@
+"""Tests for the Lemma 4.3 log-span constructive conversion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constructions.log_span_conversion import log_span_conversion
+from repro.constructions.span_conversion import ConversionReport
+from repro.core.instance import Instance, make_instance
+from repro.core.schedule import Schedule
+from repro.core.validate import validate_schedule
+from repro.exact import opt_buffered
+
+from .conftest import random_lr_instance
+
+
+def lemma43_factor(instance) -> int:
+    return 4 * (math.floor(math.log2(max(instance.max_span, 1))) + 1)
+
+
+class TestBasics:
+    def test_empty_schedule(self):
+        inst = Instance(4, ())
+        assert log_span_conversion(inst, Schedule()).throughput == 0
+
+    def test_single_message(self):
+        inst = make_instance(8, [(1, 5, 0, 9)])
+        sched = opt_buffered(inst).schedule
+        out = log_span_conversion(inst, sched)
+        validate_schedule(inst, out, require_bufferless=True)
+        assert out.throughput == 1
+
+    def test_report_fields(self):
+        inst = make_instance(8, [(0, 2, 0, 5), (3, 7, 0, 9), (1, 3, 0, 6)])
+        sched = opt_buffered(inst).schedule
+        rep = log_span_conversion(inst, sched, full_report=True)
+        assert isinstance(rep, ConversionReport)
+        assert sum(rep.class_sizes) == sched.throughput
+        assert rep.dropped == 0
+
+    def test_mixed_spans_are_fine(self):
+        """Unlike the Theorem 4.2 conversion, spans may vary freely."""
+        inst = make_instance(16, [(0, 1, 0, 4), (2, 10, 0, 12), (11, 15, 0, 18)])
+        sched = opt_buffered(inst).schedule
+        out = log_span_conversion(inst, sched)
+        validate_schedule(inst, out, require_bufferless=True)
+
+
+class TestLemmaBound:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_factor_holds_random(self, seed):
+        rng = np.random.default_rng(4600 + seed)
+        inst = random_lr_instance(rng, n_hi=12, k_hi=9, max_slack=5)
+        buffered = opt_buffered(inst)
+        if buffered.throughput == 0:
+            return
+        rep = log_span_conversion(inst, buffered.schedule, full_report=True)
+        validate_schedule(inst, rep.schedule, require_bufferless=True)
+        assert rep.throughput * lemma43_factor(inst) >= buffered.throughput
+        assert rep.dropped == 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_factor_holds_dense(self, seed):
+        rng = np.random.default_rng(4700 + seed)
+        inst = random_lr_instance(
+            rng, n_lo=6, n_hi=8, k_lo=8, k_hi=12, max_slack=2, max_release=3
+        )
+        buffered = opt_buffered(inst)
+        if buffered.throughput == 0:
+            return
+        rep = log_span_conversion(inst, buffered.schedule, full_report=True)
+        assert rep.throughput * lemma43_factor(inst) >= buffered.throughput
+
+    def test_buckets_respect_powers_of_two(self):
+        """All kept messages share one ⌊log₂ span⌋ level."""
+        inst = make_instance(
+            20,
+            [(0, 2, 0, 9), (3, 5, 0, 12), (6, 14, 0, 20), (15, 19, 0, 25)],
+        )
+        sched = opt_buffered(inst).schedule
+        out = log_span_conversion(inst, sched)
+        levels = {math.floor(math.log2(t.span)) for t in out}
+        assert len(levels) <= 1

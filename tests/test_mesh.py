@@ -1,0 +1,190 @@
+"""Tests for the mesh model, XY scheduler, and validator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import edf_bufferless
+from repro.mesh import MeshInstance, MeshMessage, make_mesh_instance, xy_schedule
+from repro.mesh.model import MeshSchedule, MeshTrajectory
+from repro.mesh.validate import mesh_schedule_problems, validate_mesh_schedule
+from repro.workloads.meshes import mesh_hotspot, random_mesh_instance, transpose_mesh
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestMeshModel:
+    def test_spans_and_turning(self):
+        m = MeshMessage(0, (1, 2), (3, 5), 0, 20)
+        assert m.row_span == 3 and m.col_span == 2 and m.span == 5
+        assert m.turning_node == (1, 5)
+        assert m.slack == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="source == dest"):
+            MeshMessage(0, (1, 1), (1, 1), 0, 5)
+        with pytest.raises(ValueError, match="bad time window"):
+            MeshMessage(0, (0, 0), (1, 1), 5, 3)
+        with pytest.raises(ValueError, match="off the mesh"):
+            MeshInstance(3, 3, (MeshMessage(0, (0, 0), (4, 1), 0, 9),))
+        with pytest.raises(ValueError, match="duplicate"):
+            MeshInstance(
+                3,
+                3,
+                (
+                    MeshMessage(0, (0, 0), (1, 1), 0, 9),
+                    MeshMessage(0, (0, 1), (1, 2), 0, 9),
+                ),
+            )
+
+    def test_make_mesh_instance_ids(self):
+        inst = make_mesh_instance(3, 3, [((0, 0), (2, 2), 0, 9), ((1, 0), (1, 2), 0, 6)])
+        assert inst[0].span == 4 and inst[1].row_span == 2
+
+    def test_trajectory_needs_a_leg(self):
+        with pytest.raises(ValueError, match="at least one leg"):
+            MeshTrajectory(0, None, None, 0)
+
+    def test_schedule_rejects_duplicates(self):
+        from repro.core.trajectory import Trajectory
+
+        leg = Trajectory(0, 0, (0, 1))
+        t = MeshTrajectory(0, leg, None, 0)
+        with pytest.raises(ValueError, match="twice"):
+            MeshSchedule((t, t))
+
+
+class TestXYScheduler:
+    def test_pure_row_message(self):
+        inst = make_mesh_instance(3, 6, [((1, 0), (1, 4), 0, 6)])
+        sched = xy_schedule(inst)
+        assert sched.delivered_ids == {0}
+        traj = sched[0]
+        assert traj.col_leg is None and traj.row_leg is not None
+
+    def test_pure_column_message(self):
+        inst = make_mesh_instance(6, 3, [((0, 1), (4, 1), 2, 8)])
+        sched = xy_schedule(inst)
+        traj = sched[0]
+        assert traj.row_leg is None and traj.col_leg is not None
+        assert traj.depart >= 2
+
+    def test_leftward_and_upward_travel(self):
+        inst = make_mesh_instance(5, 5, [((4, 4), (0, 0), 0, 12)])
+        sched = xy_schedule(inst)
+        validate_mesh_schedule(inst, sched)
+        assert sched.throughput == 1
+
+    def test_conversion_delay_enforced(self):
+        inst = make_mesh_instance(4, 4, [((0, 0), (3, 3), 0, 20)])
+        sched = xy_schedule(inst, conversion_delay=3)
+        validate_mesh_schedule(inst, sched, conversion_delay=3)
+        traj = sched[0]
+        assert traj.col_leg.depart >= traj.row_leg.arrive + 3
+
+    def test_conversion_delay_can_kill_tight_messages(self):
+        # exact-fit deadline: feasible without conversion, not with it
+        inst = make_mesh_instance(4, 4, [((0, 0), (3, 3), 0, 6)])
+        assert xy_schedule(inst).throughput == 1
+        assert xy_schedule(inst, conversion_delay=2).throughput == 0
+
+    def test_negative_conversion_rejected(self):
+        inst = make_mesh_instance(3, 3, [((0, 0), (2, 2), 0, 9)])
+        with pytest.raises(ValueError):
+            xy_schedule(inst, conversion_delay=-1)
+
+    def test_row_contention_respects_capacity(self):
+        # two messages racing along the same row rightward, zero slack
+        inst = make_mesh_instance(
+            2, 5, [((0, 0), (0, 4), 0, 4), ((0, 0), (0, 4), 0, 4)]
+        )
+        sched = xy_schedule(inst)
+        validate_mesh_schedule(inst, sched)
+        assert sched.throughput == 1
+
+    def test_opposite_directions_share_row(self):
+        # full-duplex: rightward and leftward messages never contend
+        inst = make_mesh_instance(
+            2, 5, [((0, 0), (0, 4), 0, 4), ((0, 4), (0, 0), 0, 4)]
+        )
+        assert xy_schedule(inst).throughput == 2
+
+    def test_custom_line_scheduler(self):
+        inst = random_mesh_instance(rng(1), rows=4, cols=4, k=12)
+        sched = xy_schedule(inst, line_scheduler=edf_bufferless)
+        validate_mesh_schedule(inst, sched)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_meshes_validate(self, seed):
+        inst = random_mesh_instance(rng(100 + seed), rows=5, cols=5, k=20)
+        for conv in (0, 1):
+            sched = xy_schedule(inst, conversion_delay=conv)
+            validate_mesh_schedule(inst, sched, conversion_delay=conv)
+
+
+class TestMeshWorkloads:
+    def test_random_feasible(self):
+        inst = random_mesh_instance(rng(), k=25, conversion_delay=2)
+        for m in inst:
+            turns = 2 if (m.row_span and m.col_span) else 0
+            assert m.deadline - m.release >= m.span + turns
+
+    def test_transpose_shape(self):
+        inst = transpose_mesh(rng(), n=4)
+        assert len(inst) == 12
+        assert all(m.source == (m.dest[1], m.dest[0]) for m in inst)
+
+    def test_hotspot_targets(self):
+        inst = mesh_hotspot(rng(), rows=4, cols=4, k=10, hotspot=(1, 2))
+        assert all(m.dest == (1, 2) for m in inst)
+        with pytest.raises(ValueError):
+            mesh_hotspot(rng(), rows=4, cols=4, hotspot=(9, 9))
+
+
+class TestValidatorCatchesCorruption:
+    def test_detects_capacity_violation(self):
+        from repro.core.trajectory import Trajectory
+
+        inst = make_mesh_instance(
+            2, 4, [((0, 0), (0, 3), 0, 9), ((0, 0), (0, 3), 0, 9)]
+        )
+        # both on the identical row leg: same links, same times
+        leg = Trajectory(0, 0, (0, 1, 2))
+        bad = MeshSchedule(
+            (
+                MeshTrajectory(0, leg, None, 0),
+                MeshTrajectory(1, leg.with_id(1), None, 0),
+            )
+        )
+        problems = mesh_schedule_problems(inst, bad)
+        assert any("share H link" in p for p in problems)
+
+    def test_detects_late_arrival(self):
+        from repro.core.trajectory import Trajectory
+
+        inst = make_mesh_instance(2, 4, [((0, 0), (0, 3), 0, 3)])
+        late = MeshSchedule(
+            (MeshTrajectory(0, Trajectory(0, 0, (5, 6, 7)), None, 0),)
+        )
+        assert any("after deadline" in p for p in mesh_schedule_problems(inst, late))
+
+    def test_detects_early_turn(self):
+        from repro.core.trajectory import Trajectory
+
+        inst = make_mesh_instance(3, 3, [((0, 0), (2, 2), 0, 20)])
+        rushed = MeshSchedule(
+            (
+                MeshTrajectory(
+                    0,
+                    Trajectory(0, 0, (0, 1)),  # arrives at turn at t=2
+                    Trajectory(0, 0, (2, 3)),  # departs at t=2: ok with conv 0
+                    0,
+                ),
+            )
+        )
+        assert mesh_schedule_problems(inst, rushed) == []
+        assert any(
+            "before conversion" in p
+            for p in mesh_schedule_problems(inst, rushed, conversion_delay=1)
+        )

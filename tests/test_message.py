@@ -1,0 +1,135 @@
+"""Unit tests for the Message value type."""
+
+import pytest
+
+from repro.core.message import Direction, Message
+
+
+def msg(s=0, d=5, r=0, dl=10, i=0):
+    return Message(id=i, source=s, dest=d, release=r, deadline=dl)
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        m = msg()
+        assert (m.source, m.dest, m.release, m.deadline) == (0, 5, 0, 10)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="source == dest"):
+            Message(0, 3, 3, 0, 5)
+
+    def test_rejects_negative_nodes(self):
+        with pytest.raises(ValueError, match="negative node"):
+            Message(0, -1, 3, 0, 5)
+
+    def test_rejects_negative_release(self):
+        with pytest.raises(ValueError, match="negative release"):
+            Message(0, 0, 3, -2, 5)
+
+    def test_rejects_deadline_before_release(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Message(0, 0, 3, 7, 5)
+
+    def test_frozen(self):
+        m = msg()
+        with pytest.raises(AttributeError):
+            m.source = 3  # type: ignore[misc]
+
+    def test_hashable_and_equal(self):
+        assert msg() == msg()
+        assert hash(msg()) == hash(msg())
+        assert msg(i=1) != msg(i=2)
+
+
+class TestDerived:
+    def test_direction(self):
+        assert msg(s=1, d=4).direction == Direction.LEFT_TO_RIGHT
+        assert msg(s=4, d=1).direction == Direction.RIGHT_TO_LEFT
+
+    def test_span(self):
+        assert msg(s=2, d=9).span == 7
+        assert msg(s=9, d=2).span == 7
+
+    def test_slack(self):
+        # paper example message 1: 2 -> 9, release 2, deadline 13: slack = 13-2-7 = 4
+        assert msg(s=2, d=9, r=2, dl=13).slack == 4
+
+    def test_zero_slack(self):
+        m = msg(s=0, d=4, r=3, dl=7)
+        assert m.slack == 0
+        assert m.feasible
+
+    def test_negative_slack_infeasible(self):
+        m = msg(s=0, d=6, r=3, dl=7)
+        assert m.slack == -2
+        assert not m.feasible
+
+    def test_departure_arrival_windows(self):
+        m = msg(s=2, d=9, r=2, dl=13)
+        assert m.latest_departure == 6
+        assert m.earliest_arrival == 9
+
+
+class TestScanLineGeometry:
+    def test_alpha_window(self):
+        m = msg(s=2, d=9, r=2, dl=13)
+        assert m.alpha_max == 0  # source - release
+        assert m.alpha_min == -4  # dest - deadline
+        assert m.alpha_max - m.alpha_min == m.slack
+
+    def test_departure_alpha_roundtrip(self):
+        m = msg(s=3, d=8, r=1, dl=12)
+        for depart in range(m.release, m.latest_departure + 1):
+            alpha = m.alpha_for_departure(depart)
+            assert m.relevant_to(alpha)
+            assert m.departure_for_alpha(alpha) == depart
+
+    def test_not_relevant_outside_window(self):
+        m = msg(s=3, d=8, r=1, dl=12)
+        assert not m.relevant_to(m.alpha_max + 1)
+        assert not m.relevant_to(m.alpha_min - 1)
+
+    def test_number_of_lines_is_slack_plus_one(self):
+        m = msg(s=3, d=8, r=1, dl=12)
+        count = sum(1 for a in range(-50, 50) if m.relevant_to(a))
+        assert count == m.slack + 1
+
+
+class TestTransforms:
+    def test_mirror_swaps_direction(self):
+        m = msg(s=2, d=9, r=2, dl=13)
+        mm = m.mirrored(22)
+        assert (mm.source, mm.dest) == (19, 12)
+        assert mm.direction == Direction.RIGHT_TO_LEFT
+        assert mm.slack == m.slack and mm.span == m.span
+
+    def test_mirror_involution(self):
+        m = msg(s=2, d=9, r=2, dl=13)
+        assert m.mirrored(22).mirrored(22) == m
+
+    def test_translate(self):
+        m = msg(s=2, d=9, r=2, dl=13).translated(dnode=3, dtime=5)
+        assert (m.source, m.dest, m.release, m.deadline) == (5, 12, 7, 18)
+
+    def test_translate_preserves_slack_span(self):
+        m = msg(s=2, d=9, r=2, dl=13)
+        t = m.translated(1, 7)
+        assert (t.slack, t.span) == (m.slack, m.span)
+
+    def test_with_id(self):
+        assert msg(i=0).with_id(42).id == 42
+
+    def test_clip_slack_reduces_deadline(self):
+        m = msg(s=0, d=3, r=0, dl=20)  # slack 17
+        c = m.clipped_slack(5)
+        assert c.slack == 5
+        assert c.deadline == 8
+        assert c.release == m.release
+
+    def test_clip_slack_noop_when_small(self):
+        m = msg(s=0, d=3, r=0, dl=5)  # slack 2
+        assert m.clipped_slack(5) is m
+
+    def test_clip_slack_rejects_negative(self):
+        with pytest.raises(ValueError):
+            msg().clipped_slack(-1)

@@ -1,0 +1,78 @@
+"""Tests for the measurement utilities."""
+
+import time
+
+import pytest
+
+from repro.perf import StageClock, Timer, best_of, profile_call, time_call
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_time_call_returns_result(self):
+        secs, result = time_call(lambda: 42)
+        assert result == 42 and secs >= 0
+
+    def test_best_of_minimum(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        best = best_of(fn, repeats=4)
+        assert len(calls) == 4
+        assert best >= 0
+
+    def test_best_of_validates(self):
+        with pytest.raises(ValueError):
+            best_of(lambda: None, repeats=0)
+
+
+class TestProfileCall:
+    def test_returns_stats_text(self):
+        out = profile_call(lambda: sum(range(10_000)), top=5)
+        assert "cumulative" in out
+
+    def test_propagates_and_still_disables(self):
+        with pytest.raises(RuntimeError):
+            profile_call(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+
+
+class TestStageClock:
+    def test_accumulates_per_stage(self):
+        clock = StageClock()
+        for _ in range(3):
+            with clock.stage("a"):
+                pass
+        with clock.stage("b"):
+            pass
+        assert clock.counts == {"a": 3, "b": 1}
+        assert set(clock.totals) == {"a", "b"}
+
+    def test_report_contains_stages(self):
+        clock = StageClock()
+        with clock.stage("generate"):
+            time.sleep(0.002)
+        report = clock.report()
+        assert "generate" in report and "ms" in report
+
+    def test_empty_report(self):
+        assert "no stages" in StageClock().report()
+
+    def test_usable_in_pipeline(self):
+        """Representative use: time the stages of a scheduling run."""
+        import numpy as np
+
+        from repro.core.bfl import bfl
+        from repro.workloads import general_instance
+
+        clock = StageClock()
+        with clock.stage("generate"):
+            inst = general_instance(np.random.default_rng(0), n=16, k=30)
+        with clock.stage("schedule"):
+            bfl(inst)
+        assert clock.counts["schedule"] == 1

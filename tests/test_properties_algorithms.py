@@ -1,0 +1,85 @@
+"""Property-based tests tying the algorithms to each other and to bounds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import edf_bufferless, first_fit, min_laxity_first
+from repro.core.bfl import bfl
+from repro.core.dbfl import dbfl
+from repro.core.instance import Instance
+from repro.core.validate import schedule_problems
+from repro.exact import cut_upper_bound, feasible_count_bound, opt_bufferless
+
+from .conftest import lr_instances
+
+
+class TestTheorem52Property:
+    """D-BFL == BFL, as a hypothesis property over arbitrary instances."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(lr_instances(n=10, max_messages=8, max_release=8, max_slack=6))
+    def test_dbfl_equals_bfl(self, inst: Instance):
+        central = bfl(inst)
+        distributed = dbfl(inst)
+        assert distributed.delivered_ids == central.delivered_ids
+        assert distributed.schedule.delivery_lines() == central.delivery_lines()
+
+    @settings(max_examples=40, deadline=None)
+    @given(lr_instances(n=10, max_messages=8))
+    def test_dbfl_output_valid(self, inst: Instance):
+        result = dbfl(inst)
+        assert schedule_problems(inst, result.schedule) == []
+        assert result.delivered_ids | result.dropped_ids == set(inst.ids)
+
+
+class TestApproximationProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(lr_instances(n=8, max_messages=6, max_slack=4, max_release=5))
+    def test_bfl_within_factor_two(self, inst: Instance):
+        approx = bfl(inst).throughput
+        exact = opt_bufferless(inst).throughput
+        assert approx <= exact
+        assert 2 * approx >= exact
+
+
+class TestBoundsProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(lr_instances(max_messages=8))
+    def test_all_schedulers_respect_upper_bounds(self, inst: Instance):
+        fcount = feasible_count_bound(inst)
+        cut = cut_upper_bound(inst)
+        for scheduler in (bfl, edf_bufferless, first_fit, min_laxity_first):
+            got = scheduler(inst).throughput
+            assert got <= fcount
+            assert got <= cut
+
+    @settings(max_examples=50, deadline=None)
+    @given(lr_instances(max_messages=8))
+    def test_cut_bound_at_most_feasible_count(self, inst: Instance):
+        assert cut_upper_bound(inst) <= feasible_count_bound(inst)
+
+
+class TestMonotonicityProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(lr_instances(n=8, max_messages=5, max_slack=3, max_release=4), st.integers(1, 4))
+    def test_extra_slack_never_hurts_optimum(self, inst: Instance, extra: int):
+        """Relaxing every deadline by `extra` can only increase OPT_BL."""
+        relaxed = Instance(
+            inst.n,
+            tuple(
+                type(m)(m.id, m.source, m.dest, m.release, m.deadline + extra)
+                for m in inst
+            ),
+        )
+        assert opt_bufferless(relaxed).throughput >= opt_bufferless(inst).throughput
+
+    @settings(max_examples=30, deadline=None)
+    @given(lr_instances(n=8, max_messages=6, max_slack=4, max_release=5))
+    def test_removing_a_message_drops_opt_by_at_most_one(self, inst: Instance):
+        if len(inst) == 0:
+            return
+        full = opt_bufferless(inst).throughput
+        first_id = inst.ids[0]
+        reduced = inst.restrict([i for i in inst.ids if i != first_id])
+        sub = opt_bufferless(reduced).throughput
+        assert full - 1 <= sub <= full

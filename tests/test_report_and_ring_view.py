@@ -1,0 +1,71 @@
+"""Tests for the report generator and the ring occupancy view."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.ring_bfl import ring_bfl
+from repro.experiments.report import build_report
+from repro.network.ring import RingInstance, RingMessage
+from repro.viz.ring_view import ring_gantt
+from repro.workloads.rings import random_ring_instance
+
+
+class TestBuildReport:
+    def test_subset(self):
+        out = build_report(only=["e1"])
+        assert "## E1" in out
+        assert "BFL throughput" in out  # summary table included
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown"):
+            build_report(only=["nope"])
+
+    def test_seed_override(self):
+        a = build_report(only=["e2"], seed=7)
+        b = build_report(only=["e2"], seed=7)
+        # strip the timing line, which varies run to run
+        strip = lambda s: "\n".join(
+            l for l in s.splitlines() if not l.startswith("_(")
+        )
+        assert strip(a) == strip(b)
+
+    def test_cli_report(self, capsys):
+        assert main(["report", "e6"]) == 0
+        out = capsys.readouterr().out
+        assert "## E6" in out and "half_log_lambda" in out
+
+    def test_cli_report_unknown(self, capsys):
+        assert main(["report", "bogus"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestRingGantt:
+    def test_rows_cover_all_links_including_wrap(self):
+        inst = RingInstance(5, (RingMessage(0, 3, 1, 0, 10, n=5),))
+        sched = ring_bfl(inst)
+        out = ring_gantt(inst, sched)
+        lines = out.splitlines()
+        assert len(lines) == 1 + 5 + 1
+        assert any(l.startswith(" 4->0") for l in lines)  # wrap link labelled
+
+    def test_wrapping_message_glyphs(self):
+        inst = RingInstance(4, (RingMessage(0, 3, 1, 0, 2, n=4),))
+        sched = ring_bfl(inst)
+        out = ring_gantt(inst, sched)
+        rows = {l.split()[0]: l for l in out.splitlines()[1:-1]}
+        assert rows["3->0"].split()[-1].startswith("0")  # link 3 at t=0
+        assert "0" in rows["0->1"]  # link 0 at t=1
+
+    def test_utilisation_reported(self):
+        rng = np.random.default_rng(0)
+        inst = random_ring_instance(rng, n=6, k=6)
+        out = ring_gantt(inst, ring_bfl(inst))
+        assert "utilisation:" in out
+
+    def test_empty_window_rejected(self):
+        inst = RingInstance(4, ())
+        from repro.network.ring import RingSchedule
+
+        with pytest.raises(ValueError, match="empty time window"):
+            ring_gantt(inst, RingSchedule(), start=3, end=3)

@@ -1,0 +1,142 @@
+"""Tests for the ring-network extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfl import bfl
+from repro.core.instance import Instance
+from repro.core.message import Message
+from repro.core.ring_bfl import ring_bfl
+from repro.exact.ring import opt_ring_bufferless
+from repro.network.ring import (
+    RingInstance,
+    RingMessage,
+    RingSchedule,
+    RingTrajectory,
+    validate_ring_schedule,
+)
+
+
+def random_ring(rng, *, n_lo=3, n_hi=9, k_hi=8, max_release=6, max_slack=5):
+    n = int(rng.integers(n_lo, n_hi + 1))
+    k = int(rng.integers(1, k_hi + 1))
+    msgs = []
+    for i in range(k):
+        s = int(rng.integers(0, n))
+        span = int(rng.integers(1, n))
+        r = int(rng.integers(0, max_release + 1))
+        sl = int(rng.integers(0, max_slack + 1))
+        msgs.append(RingMessage(i, s, (s + span) % n, r, r + span + sl, n))
+    return RingInstance(n, tuple(msgs))
+
+
+class TestRingModel:
+    def test_wraparound_span(self):
+        m = RingMessage(0, 5, 1, 0, 10, n=6)
+        assert m.span == 2
+        assert m.slack == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            RingMessage(0, 0, 1, 0, 5, n=2)
+        with pytest.raises(ValueError, match="source == dest"):
+            RingMessage(0, 2, 2, 0, 5, n=6)
+        with pytest.raises(ValueError, match="time window"):
+            RingMessage(0, 0, 1, 5, 3, n=6)
+
+    def test_helix_is_modular(self):
+        m = RingMessage(0, 1, 3, 0, 30, n=5)
+        # departures n apart land on the same helix
+        assert m.helix(2) == m.helix(7)
+        assert m.helix(2) != m.helix(3)
+
+    def test_trajectory_edges_wrap(self):
+        t = RingTrajectory(message_id=0, source=4, depart=0, span=3, n=6)
+        assert list(t.edges()) == [(4, 0), (5, 1), (0, 2)]
+
+    def test_schedule_conflict_detection(self):
+        a = RingTrajectory(0, 0, 0, 2, 6)
+        b = RingTrajectory(1, 1, 1, 2, 6)  # both cross link 1 at time 1
+        with pytest.raises(ValueError, match="share"):
+            RingSchedule((a, b))
+
+    def test_instance_checks_ring_size(self):
+        with pytest.raises(ValueError, match="built for"):
+            RingInstance(6, (RingMessage(0, 0, 1, 0, 5, n=5),))
+
+
+class TestRingBFL:
+    def test_empty(self):
+        assert ring_bfl(RingInstance(4, ())).throughput == 0
+
+    def test_single_message_wrapping(self):
+        inst = RingInstance(5, (RingMessage(0, 3, 1, 0, 10, n=5),))
+        sched = ring_bfl(inst)
+        assert sched.throughput == 1
+        validate_ring_schedule(inst, sched)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_factor_two_vs_exact(self, seed):
+        rng = np.random.default_rng(9500 + seed)
+        inst = random_ring(rng)
+        greedy = ring_bfl(inst)
+        exact = opt_ring_bufferless(inst)
+        validate_ring_schedule(inst, greedy)
+        validate_ring_schedule(inst, exact.schedule)
+        assert greedy.throughput <= exact.throughput
+        assert 2 * greedy.throughput >= exact.throughput
+
+    def test_matches_line_bfl_on_arc_instances(self):
+        """Traffic confined to an arc never wraps; ring throughput must be
+        at least line-BFL's (both are earliest-completion greedies, but the
+        ring greedy is not segment-blocked by the sweep order)."""
+        rng = np.random.default_rng(77)
+        for _ in range(10):
+            n = 12
+            k = int(rng.integers(2, 8))
+            line_msgs, ring_msgs = [], []
+            for i in range(k):
+                s = int(rng.integers(0, n - 2))
+                d = int(rng.integers(s + 1, n - 1))
+                r = int(rng.integers(0, 5))
+                sl = int(rng.integers(0, 4))
+                line_msgs.append(Message(i, s, d, r, r + (d - s) + sl))
+                ring_msgs.append(RingMessage(i, s, d, r, r + (d - s) + sl, n))
+            line = Instance(n, tuple(line_msgs))
+            ring = RingInstance(n, tuple(ring_msgs))
+            line_opt = len(bfl(line).delivered_ids)
+            ring_got = ring_bfl(ring).throughput
+            # both are 2-approximations of the same optimum
+            from repro.exact import opt_bufferless
+
+            exact = opt_bufferless(line).throughput
+            assert 2 * ring_got >= exact
+            assert 2 * line_opt >= exact
+
+    def test_wrap_contention(self):
+        # two messages whose paths share the wrap link (n-1 -> 0), zero slack
+        n = 4
+        inst = RingInstance(
+            n,
+            (
+                RingMessage(0, 3, 1, 0, 2, n),  # crosses link 3 at 0, link 0 at 1
+                RingMessage(1, 3, 1, 0, 2, n),  # identical: collides
+            ),
+        )
+        assert ring_bfl(inst).throughput == 1
+        assert opt_ring_bufferless(inst).throughput == 1
+
+
+class TestRingExact:
+    def test_empty(self):
+        assert opt_ring_bufferless(RingInstance(4, ())).throughput == 0
+
+    def test_slack_clipping_preserves_validity(self):
+        inst = RingInstance(5, (RingMessage(0, 0, 2, 0, 1000, n=5),))
+        res = opt_ring_bufferless(inst)
+        assert res.throughput == 1
+        validate_ring_schedule(inst, res.schedule)
+
+    def test_infeasible_ignored(self):
+        inst = RingInstance(5, (RingMessage(0, 0, 3, 0, 2, n=5),))
+        assert opt_ring_bufferless(inst).throughput == 0

@@ -1,0 +1,71 @@
+"""Tests for exact buffered scheduling on rings."""
+
+import numpy as np
+import pytest
+
+from repro.exact.ring import opt_ring_bufferless
+from repro.exact.ring_buffered import opt_ring_buffered
+from repro.network.ring import RingInstance, RingMessage
+from repro.workloads.rings import random_ring_instance, ring_hotspot
+
+
+class TestBasics:
+    def test_empty(self):
+        assert opt_ring_buffered(RingInstance(4, ())).throughput == 0
+
+    def test_single_wrapping_message(self):
+        inst = RingInstance(5, (RingMessage(0, 3, 1, 0, 10, n=5),))
+        res = opt_ring_buffered(inst)
+        assert res.throughput == 1
+
+    def test_infeasible_ignored(self):
+        inst = RingInstance(5, (RingMessage(0, 0, 3, 0, 2, n=5),))
+        assert opt_ring_buffered(inst).throughput == 0
+
+    def test_schedule_is_conflict_free(self):
+        rng = np.random.default_rng(0)
+        inst = ring_hotspot(rng, n=6, k=8, max_slack=3)
+        res = opt_ring_buffered(inst)
+        # RingSchedule construction verifies per-(link, step) capacity
+        assert res.throughput <= len(inst)
+
+
+class TestBufferingOnRings:
+    def test_i1_gadget_wrapped(self):
+        """The Theorem 4.5 k=1 gadget, embedded across the wrap point:
+        buffering still beats bufferless on a ring."""
+        n = 5
+        # line gadget (0->2, 0->1, 1->2) shifted so node 0 maps to n-1
+        shift = n - 1
+        inst = RingInstance(
+            n,
+            (
+                RingMessage(0, shift, (shift + 2) % n, 0, 3, n),
+                RingMessage(1, shift, (shift + 1) % n, 1, 2, n),
+                RingMessage(2, (shift + 1) % n, (shift + 2) % n, 1, 2, n),
+            ),
+        )
+        assert opt_ring_bufferless(inst).throughput == 2
+        res = opt_ring_buffered(inst)
+        assert res.throughput == 3
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_dominates_bufferless(self, seed):
+        rng = np.random.default_rng(9800 + seed)
+        inst = random_ring_instance(
+            rng, n=int(rng.integers(4, 7)), k=int(rng.integers(2, 7)), max_slack=3
+        )
+        assert (
+            opt_ring_buffered(inst).throughput
+            >= opt_ring_bufferless(inst).throughput
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_greedy_within_factor_two_of_bufferless(self, seed):
+        from repro.core.ring_bfl import ring_bfl
+
+        rng = np.random.default_rng(9900 + seed)
+        inst = random_ring_instance(rng, n=6, k=6, max_slack=4)
+        greedy = ring_bfl(inst).throughput
+        exact_bl = opt_ring_bufferless(inst).throughput
+        assert 2 * greedy >= exact_bl

@@ -1,0 +1,63 @@
+"""Tests for the ring workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.ring_bfl import ring_bfl
+from repro.network.ring import validate_ring_schedule
+from repro.workloads.rings import all_to_all_ring, random_ring_instance, ring_hotspot
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRandomRing:
+    def test_shape(self):
+        inst = random_ring_instance(rng(), n=10, k=12)
+        assert inst.n == 10 and len(inst) == 12
+        assert all(m.feasible for m in inst)
+
+    def test_deterministic(self):
+        a = random_ring_instance(rng(3), n=8, k=6)
+        b = random_ring_instance(rng(3), n=8, k=6)
+        assert a.messages == b.messages
+
+    def test_schedulable(self):
+        inst = random_ring_instance(rng(1), n=8, k=10)
+        sched = ring_bfl(inst)
+        validate_ring_schedule(inst, sched)
+
+
+class TestAllToAll:
+    def test_complete_pairs(self):
+        inst = all_to_all_ring(rng(), n=6)
+        assert len(inst) == 6 * 5
+        pairs = {(m.source, m.dest) for m in inst}
+        assert len(pairs) == 30
+
+    def test_uniform_slack(self):
+        inst = all_to_all_ring(rng(), n=5, per_pair_slack=3)
+        assert all(m.slack == 3 for m in inst)
+
+
+class TestHotspot:
+    def test_all_target_hotspot(self):
+        inst = ring_hotspot(rng(), n=10, k=15, hotspot=4)
+        assert all(m.dest == 4 for m in inst)
+        assert all(m.source != 4 for m in inst)
+
+    def test_wraparound_traffic_present(self):
+        inst = ring_hotspot(rng(2), n=8, k=30, hotspot=1)
+        assert any(m.source > m.dest for m in inst)  # wraps past node 0
+
+    def test_invalid_hotspot(self):
+        with pytest.raises(ValueError):
+            ring_hotspot(rng(), n=8, hotspot=8)
+
+    def test_contention_forces_drops(self):
+        # many zero-ish-slack messages into one node: ring_bfl must drop some
+        inst = ring_hotspot(rng(4), n=8, k=30, max_release=2, max_slack=1)
+        sched = ring_bfl(inst)
+        validate_ring_schedule(inst, sched)
+        assert sched.throughput < len(inst)

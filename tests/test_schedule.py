@@ -1,0 +1,113 @@
+"""Unit tests for Schedule."""
+
+import pytest
+
+from repro.core.schedule import ConflictError, Schedule
+from repro.core.trajectory import Trajectory
+
+
+def straight(mid, source, depart, span):
+    return Trajectory(mid, source, tuple(range(depart, depart + span)))
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = Schedule()
+        assert s.throughput == 0 and len(s) == 0
+        assert s.bufferless
+
+    def test_detects_edge_conflict(self):
+        a = straight(0, 0, 0, 4)  # edges (0,0),(1,1),(2,2),(3,3)
+        b = straight(1, 2, 2, 3)  # edges (2,2),(3,3),(4,4)
+        with pytest.raises(ConflictError) as exc:
+            Schedule((a, b))
+        assert exc.value.edge == (2, 2)
+
+    def test_allows_shared_endpoint(self):
+        # a arrives at node 3 at time 3; b departs node 3 at time 3
+        a = straight(0, 0, 0, 3)
+        b = straight(1, 3, 3, 2)
+        s = Schedule((a, b))
+        assert s.throughput == 2
+
+    def test_allows_parallel_lines(self):
+        a = straight(0, 0, 0, 4)
+        b = straight(1, 0, 1, 4)
+        assert Schedule((a, b)).throughput == 2
+
+    def test_rejects_duplicate_message(self):
+        with pytest.raises(ValueError, match="twice"):
+            Schedule((straight(0, 0, 0, 2), straight(0, 5, 9, 2)))
+
+    def test_riser_sharing_is_legal(self):
+        # both wait inside node 2's buffer over the same steps
+        a = Trajectory(0, 1, (0, 5))
+        b = Trajectory(1, 1, (1, 6))
+        s = Schedule((a, b))
+        assert s.total_wait == 8
+
+
+class TestAccessors:
+    def test_membership_and_lookup(self):
+        s = Schedule((straight(3, 0, 0, 2),))
+        assert 3 in s and 4 not in s
+        assert s[3].depart == 0
+        with pytest.raises(KeyError):
+            s[4]
+
+    def test_delivered_ids(self):
+        s = Schedule((straight(1, 0, 0, 2), straight(2, 4, 0, 2)))
+        assert s.delivered_ids == frozenset({1, 2})
+
+    def test_edge_owner(self):
+        s = Schedule((straight(1, 0, 5, 2),))
+        assert s.edge_owner() == {(0, 5): 1, (1, 6): 1}
+
+    def test_delivery_lines(self):
+        s = Schedule((straight(1, 0, 0, 3),))  # final hop crosses (2,3) at t=2
+        assert s.delivery_lines() == {1: 0}
+
+    def test_bufferless_flag(self):
+        assert Schedule((straight(0, 0, 0, 3),)).bufferless
+        assert not Schedule((Trajectory(0, 0, (0, 4)),)).bufferless
+
+
+class TestTransforms:
+    def test_extended_with_revalidates(self):
+        s = Schedule((straight(0, 0, 0, 4),))
+        with pytest.raises(ConflictError):
+            s.extended_with(straight(1, 2, 2, 3))
+        s2 = s.extended_with(straight(1, 0, 1, 4))
+        assert s2.throughput == 2
+
+    def test_without(self):
+        s = Schedule((straight(0, 0, 0, 2), straight(1, 4, 0, 2)))
+        assert s.without(0).delivered_ids == frozenset({1})
+
+    def test_merged_with(self):
+        a = Schedule((straight(0, 0, 0, 2),))
+        b = Schedule((straight(1, 4, 0, 2),))
+        assert a.merged_with(b).throughput == 2
+
+    def test_translated(self):
+        s = Schedule((straight(0, 0, 0, 2),)).translated(dnode=2, dtime=3)
+        assert s[0].source == 2 and s[0].depart == 3
+
+
+class TestBufferOccupancy:
+    def test_no_buffering(self):
+        s = Schedule((straight(0, 0, 0, 4),))
+        assert s.max_buffer_occupancy() == {}
+
+    def test_peak_occupancy(self):
+        # three messages all wait in node 1's buffer with overlapping stays
+        a = Trajectory(0, 0, (0, 10))  # in buffer of node 1 during [1, 10)
+        b = Trajectory(1, 0, (1, 11))  # [2, 11)
+        c = Trajectory(2, 0, (2, 12))  # [3, 12)
+        s = Schedule((a, b, c))
+        assert s.max_buffer_occupancy() == {1: 3}
+
+    def test_disjoint_stays_do_not_stack(self):
+        a = Trajectory(0, 0, (0, 3))  # node 1 during [1, 3)
+        b = Trajectory(1, 0, (4, 8))  # node 1 during [5, 8)
+        assert Schedule((a, b)).max_buffer_occupancy() == {1: 1}

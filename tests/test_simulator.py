@@ -1,0 +1,189 @@
+"""Tests for the discrete-time network simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance, make_instance
+from repro.core.message import Message
+from repro.core.validate import validate_schedule
+from repro.network import LinearNetworkSimulator, NodeView, Policy, simulate
+from repro.network.packet import Packet, PacketStatus
+
+from .conftest import random_lr_instance
+
+
+class GreedyFIFO(Policy):
+    """Forward the packet that has been buffered longest (stable by id)."""
+
+    def select(self, view: NodeView):
+        return view.candidates[0] if view.candidates else None
+
+
+class IdlePolicy(Policy):
+    """Never forwards anything — everything must eventually drop."""
+
+    def select(self, view: NodeView):
+        return None
+
+
+class TestPacket:
+    def test_lifecycle(self):
+        p = Packet(Message(0, 1, 3, 2, 6))
+        assert p.status is PacketStatus.PENDING
+        assert p.node == 1
+        p.status = PacketStatus.IN_NETWORK
+        p.record_hop(2)
+        assert p.node == 2 and p.status is PacketStatus.IN_NETWORK
+        p.record_hop(3)
+        assert p.status is PacketStatus.DELIVERED
+        assert p.trajectory().crossings == (2, 3)
+
+    def test_laxity_and_deadline(self):
+        p = Packet(Message(0, 1, 4, 0, 6))
+        assert p.remaining_hops() == 3
+        assert p.can_meet_deadline(3) and not p.can_meet_deadline(4)
+        assert p.laxity(0) == 3 and p.laxity(3) == 0
+
+    def test_trajectory_requires_delivery(self):
+        p = Packet(Message(0, 1, 4, 0, 6))
+        with pytest.raises(ValueError, match="not delivered"):
+            p.trajectory()
+
+
+class TestBasicRuns:
+    def test_empty_instance(self):
+        res = simulate(Instance(4, ()), GreedyFIFO())
+        assert res.throughput == 0
+        assert res.stats.steps == 0 or res.stats.released == 0
+
+    def test_single_message_travels_straight(self):
+        inst = make_instance(6, [(1, 4, 2, 9)])
+        res = simulate(inst, GreedyFIFO())
+        assert res.delivered_ids == {0}
+        traj = res.schedule[0]
+        assert traj.depart == 2 and traj.bufferless
+
+    def test_rejects_rl(self):
+        inst = Instance(6, (Message(0, 4, 1, 0, 9),))
+        with pytest.raises(ValueError, match="right-to-left"):
+            LinearNetworkSimulator(inst, GreedyFIFO())
+
+    def test_idle_policy_drops_everything(self):
+        inst = make_instance(6, [(0, 3, 0, 5), (1, 4, 0, 9)])
+        res = simulate(inst, IdlePolicy())
+        assert res.throughput == 0
+        assert res.dropped_ids == {0, 1}
+
+    def test_infeasible_message_dropped(self):
+        inst = make_instance(8, [(0, 6, 0, 3)])
+        res = simulate(inst, GreedyFIFO())
+        assert res.dropped_ids == {0}
+
+    def test_contention_one_link(self):
+        # two packets from the same source, zero slack: one must drop
+        inst = make_instance(4, [(0, 3, 0, 3), (0, 3, 0, 3)])
+        res = simulate(inst, GreedyFIFO())
+        assert res.throughput == 1
+
+    def test_schedule_validates(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            inst = random_lr_instance(rng)
+            res = simulate(inst, GreedyFIFO())
+            validate_schedule(inst, res.schedule)
+            assert res.delivered_ids | res.dropped_ids == set(inst.ids)
+            assert not (res.delivered_ids & res.dropped_ids)
+
+
+class TestStats:
+    def test_counters_consistent(self):
+        rng = np.random.default_rng(13)
+        inst = random_lr_instance(rng, k_lo=5, k_hi=10)
+        res = simulate(inst, GreedyFIFO())
+        s = res.stats
+        assert s.delivered == res.throughput
+        assert s.delivered + s.dropped == len(inst)
+        assert s.released <= len(inst)
+        assert 0.0 <= s.delivery_ratio <= 1.0
+
+    def test_latency_accounts_release_to_arrival(self):
+        inst = make_instance(6, [(1, 4, 2, 9)])
+        res = simulate(inst, GreedyFIFO())
+        assert res.stats.mean_latency == 3.0  # span 3, departs at release
+
+    def test_link_utilization(self):
+        inst = make_instance(3, [(0, 2, 0, 2)])
+        res = simulate(inst, GreedyFIFO())
+        util = res.stats.link_utilization(3)
+        assert set(util) == {0, 1}
+        assert all(0.0 <= u <= 1.0 for u in util.values())
+
+    def test_peak_buffer_tracked(self):
+        # three packets released together at node 0, each needing 1 hop
+        inst = make_instance(2, [(0, 1, 0, 9)] * 3)
+        res = simulate(inst, GreedyFIFO())
+        assert res.throughput == 3
+        assert res.stats.peak_buffer[0] == 3
+
+
+class TestBufferCapacity:
+    def test_zero_capacity_forces_bufferless_transit(self):
+        # a packet that would need to wait at node 1 is dropped on arrival
+        inst = make_instance(
+            3,
+            [
+                (1, 2, 1, 2),  # zero slack: crosses (1,2) during [1,2]
+                (0, 2, 0, 9),  # arrives at node 1 at t=1, must wait -> overflow
+            ],
+        )
+
+        class Second(Policy):
+            def select(self, view):
+                # prefer the zero-slack packet on link (1,2)
+                cands = sorted(view.candidates, key=lambda p: p.laxity(view.time))
+                return cands[0] if cands else None
+
+        res = simulate(inst, Second(), buffer_capacity=0)
+        assert 0 in res.delivered_ids
+        assert 1 in res.dropped_ids
+        assert res.stats.buffer_overflow_drops == 1
+
+    def test_source_buffers_exempt(self):
+        inst = make_instance(2, [(0, 1, 0, 9)] * 5)
+        res = simulate(inst, GreedyFIFO(), buffer_capacity=0)
+        assert res.throughput == 5  # all wait at their own source legally
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LinearNetworkSimulator(Instance(4, ()), GreedyFIFO(), buffer_capacity=-1)
+
+
+class TestPolicyContract:
+    def test_policy_must_return_candidate(self):
+        class Rogue(Policy):
+            def select(self, view):
+                return Packet(Message(99, 0, 1, 0, 5))
+
+        inst = make_instance(4, [(0, 2, 0, 9)])
+        with pytest.raises(RuntimeError, match="not buffered"):
+            simulate(inst, Rogue())
+
+    def test_control_channel_moves_one_hop_per_step(self):
+        seen: list[tuple[int, int, object]] = []
+
+        class Tracer(Policy):
+            def select(self, view):
+                return view.candidates[0] if view.candidates else None
+
+            def emit_control(self, node, time):
+                return (node, time)
+
+            def receive_control(self, node, time, value):
+                seen.append((node, time, value))
+
+        inst = make_instance(4, [(0, 3, 0, 6)])
+        simulate(inst, Tracer())
+        for node, time, value in seen:
+            origin, emitted_at = value
+            assert node == origin + 1
+            assert time == emitted_at + 1

@@ -1,0 +1,86 @@
+"""Tests for the bidirectional scheduling façade."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import edf_bufferless
+from repro.core.instance import Instance
+from repro.core.message import Message
+from repro.core.solve import BidirectionalSchedule, schedule_bidirectional
+from repro.exact import opt_bufferless
+
+
+def mixed_instance(rng, n=12, k=10):
+    msgs = []
+    for i in range(k):
+        a = int(rng.integers(0, n))
+        b = int(rng.integers(0, n))
+        while b == a:
+            b = int(rng.integers(0, n))
+        r = int(rng.integers(0, 6))
+        sl = int(rng.integers(0, 5))
+        msgs.append(Message(i, a, b, r, r + abs(b - a) + sl))
+    return Instance(n, tuple(msgs))
+
+
+class TestBidirectional:
+    def test_covers_both_directions(self):
+        rng = np.random.default_rng(0)
+        inst = mixed_instance(rng)
+        result = schedule_bidirectional(inst)
+        lr_ids = {m.id for m in inst if m.source < m.dest}
+        rl_ids = set(inst.ids) - lr_ids
+        assert result.lr.delivered_ids <= lr_ids
+        assert result.rl.delivered_ids <= rl_ids
+        assert result.throughput == len(result.delivered_ids)
+
+    def test_directions_do_not_interact(self):
+        """Adding RL traffic never changes the LR half's outcome."""
+        rng = np.random.default_rng(1)
+        lr_only = Instance(
+            10, (Message(0, 0, 5, 0, 7), Message(1, 2, 8, 0, 9))
+        )
+        with_rl = Instance(
+            10,
+            lr_only.messages
+            + (Message(2, 9, 1, 0, 10), Message(3, 7, 0, 1, 12)),
+        )
+        a = schedule_bidirectional(lr_only)
+        b = schedule_bidirectional(with_rl)
+        assert a.lr.delivered_ids == b.lr.delivered_ids
+
+    def test_custom_scheduler(self):
+        rng = np.random.default_rng(2)
+        inst = mixed_instance(rng)
+        result = schedule_bidirectional(inst, scheduler=edf_bufferless)
+        assert isinstance(result, BidirectionalSchedule)
+        assert result.throughput >= 0
+
+    def test_superposition_optimality(self):
+        """Exact per-direction optima superpose to the global optimum:
+        the combined count equals the sum of the halves' optima."""
+        rng = np.random.default_rng(3)
+        inst = mixed_instance(rng, n=8, k=8)
+        result = schedule_bidirectional(
+            inst, scheduler=lambda half: opt_bufferless(half).schedule
+        )
+        lr_half, rl_half = inst.split_directions()
+        expected = (
+            opt_bufferless(lr_half).throughput
+            + opt_bufferless(rl_half.mirrored()).throughput
+        )
+        assert result.throughput == expected
+
+    def test_rl_trajectory_nodes_move_leftward(self):
+        inst = Instance(8, (Message(0, 6, 2, 0, 10),))
+        result = schedule_bidirectional(inst)
+        hops = result.rl_trajectory_nodes(0)
+        nodes = [v for v, _ in hops]
+        assert nodes[0] == 6
+        assert nodes == sorted(nodes, reverse=True)
+
+    def test_rl_lookup_missing_raises(self):
+        inst = Instance(8, (Message(0, 1, 5, 0, 9),))
+        result = schedule_bidirectional(inst)
+        with pytest.raises(KeyError):
+            result.rl_trajectory_nodes(0)  # message 0 is LR, not RL

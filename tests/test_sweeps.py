@@ -1,0 +1,94 @@
+"""Tests for the sweep framework and the curve experiments (E12/E13)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import sweep
+from repro.core.bfl import bfl
+from repro.experiments import e12_load_sweep, e13_slack_sweep
+from repro.workloads import general_instance
+
+
+class TestSweepFramework:
+    def test_requires_values_and_schedulers(self):
+        gen = lambda rng, v: general_instance(rng, n=8, k=4)
+        with pytest.raises(ValueError, match="parameter value"):
+            sweep("x", [], gen, {"bfl": lambda i: bfl(i).throughput})
+        with pytest.raises(ValueError, match="scheduler"):
+            sweep("x", [1], gen, {})
+
+    def test_row_per_value_column_per_scheduler(self):
+        table = sweep(
+            "k",
+            [3, 6],
+            lambda rng, k: general_instance(rng, n=10, k=k),
+            {"bfl": lambda i: bfl(i).throughput},
+            trials=3,
+        )
+        assert len(table.rows) == 2
+        assert set(table.columns) == {"k", "messages", "upper_bound", "bfl"}
+
+    def test_relative_mode_bounded_by_one(self):
+        table = sweep(
+            "k",
+            [5],
+            lambda rng, k: general_instance(rng, n=10, k=k, max_slack=10),
+            {"bfl": lambda i: bfl(i).throughput},
+            trials=4,
+            relative=True,
+        )
+        assert 0.0 <= table.rows[0]["bfl"] <= 1.0
+
+    def test_absolute_mode(self):
+        table = sweep(
+            "k",
+            [5],
+            lambda rng, k: general_instance(rng, n=10, k=k),
+            {"bfl": lambda i: bfl(i).throughput},
+            trials=4,
+            relative=False,
+        )
+        assert table.rows[0]["bfl"] <= 5
+
+    def test_deterministic_given_seed(self):
+        args = (
+            "k",
+            [4],
+            lambda rng, k: general_instance(rng, n=10, k=k),
+            {"bfl": lambda i: bfl(i).throughput},
+        )
+        a = sweep(*args, seed=7, trials=5)
+        b = sweep(*args, seed=7, trials=5)
+        assert a.rows == b.rows
+
+
+class TestE12:
+    def test_ratio_degrades_with_load(self):
+        table = e12_load_sweep.run(seed=1, trials=4)
+        bfl_curve = [r["bfl"] for r in table.rows]
+        # light load delivers (nearly) everything; heavy load cannot
+        assert bfl_curve[0] > 0.9
+        assert bfl_curve[-1] < bfl_curve[0]
+
+    def test_upper_bound_respected(self):
+        table = e12_load_sweep.run(seed=1, trials=3)
+        for row in table.rows:
+            for col in ("bfl", "dbfl", "first_fit", "edf_buffered", "llf_buffered"):
+                assert row[col] <= row["upper_bound"] + 1e-9
+
+    def test_dbfl_tracks_bfl(self):
+        table = e12_load_sweep.run(seed=1, trials=3)
+        for row in table.rows:
+            assert row["dbfl"] == pytest.approx(row["bfl"])
+
+
+class TestE13:
+    def test_more_slack_never_hurts_much(self):
+        table = e13_slack_sweep.run(seed=1, trials=4)
+        curve = [r["bfl"] for r in table.rows]
+        # the curve should trend upward from slack 0 to slack 16
+        assert curve[-1] >= curve[0]
+
+    def test_columns(self):
+        table = e13_slack_sweep.run(seed=1, trials=2)
+        assert "max_slack" in table.columns and "edf_buffered" in table.columns

@@ -1,0 +1,82 @@
+"""Tests for simulator event tracing."""
+
+from repro.baselines import EDFPolicy
+from repro.core.dbfl import DBFLPolicy
+from repro.core.instance import make_instance
+from repro.network import simulate
+from repro.network.trace import TraceEvent, TracingPolicy
+
+
+class TestTracingPolicy:
+    def test_transparent_wrapping(self):
+        """Tracing must not change the run's outcome."""
+        inst = make_instance(8, [(0, 5, 0, 8), (2, 6, 1, 7), (1, 4, 0, 4)])
+        plain = simulate(inst, EDFPolicy())
+        traced = simulate(inst, TracingPolicy(EDFPolicy()))
+        assert traced.delivered_ids == plain.delivered_ids
+
+    def test_records_lifecycle(self):
+        inst = make_instance(6, [(1, 4, 2, 9)])
+        tracer = TracingPolicy(EDFPolicy())
+        simulate(inst, tracer)
+        kinds = [e.kind for e in tracer.for_message(0)]
+        assert kinds[0] == "release"
+        assert kinds.count("forward") == 3
+        assert kinds[-1] == "deliver"
+
+    def test_records_drops(self):
+        inst = make_instance(4, [(0, 3, 0, 3), (0, 3, 0, 3)])
+        tracer = TracingPolicy(EDFPolicy())
+        simulate(inst, tracer)
+        assert len(tracer.of_kind("drop")) == 1
+        assert len(tracer.of_kind("deliver")) == 1
+
+    def test_idle_when_candidates_held(self):
+        class Lazy(EDFPolicy):
+            def select(self, view):
+                # hold everything one step past release
+                if view.time == 0:
+                    return None
+                return super().select(view)
+
+        inst = make_instance(6, [(0, 3, 0, 9)])
+        tracer = TracingPolicy(Lazy())
+        simulate(inst, tracer)
+        idles = tracer.of_kind("idle")
+        assert idles and idles[0].time == 0
+
+    def test_control_events_from_dbfl(self):
+        inst = make_instance(6, [(0, 4, 0, 8), (1, 5, 0, 9)])
+        tracer = TracingPolicy(DBFLPolicy())
+        simulate(inst, tracer)
+        assert tracer.of_kind("control")  # L values flow
+
+    def test_dbfl_unchanged_under_tracing(self):
+        from repro.core.bfl import bfl
+
+        inst = make_instance(8, [(0, 5, 0, 8), (2, 6, 1, 7), (1, 4, 0, 6)])
+        traced = simulate(inst, TracingPolicy(DBFLPolicy()))
+        assert traced.delivered_ids == bfl(inst).delivered_ids
+
+    def test_reset_clears_events(self):
+        inst = make_instance(6, [(0, 3, 0, 9)])
+        tracer = TracingPolicy(EDFPolicy())
+        simulate(inst, tracer)
+        first_count = len(tracer.events)
+        simulate(inst, tracer)  # reset() runs inside
+        assert len(tracer.events) == first_count
+
+    def test_render_format(self):
+        inst = make_instance(6, [(0, 3, 2, 9)])
+        tracer = TracingPolicy(EDFPolicy())
+        simulate(inst, tracer)
+        out = tracer.render(limit=2)
+        assert out.startswith("t=2")
+        assert "release" in out
+
+    def test_events_chronological(self):
+        inst = make_instance(8, [(0, 5, 0, 12), (3, 7, 2, 10)])
+        tracer = TracingPolicy(EDFPolicy())
+        simulate(inst, tracer)
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)

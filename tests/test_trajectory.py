@@ -1,0 +1,124 @@
+"""Unit tests for trajectories."""
+
+import pytest
+
+from repro.core.message import Message
+from repro.core.trajectory import Trajectory, buffered_trajectory, bufferless_trajectory
+
+
+def msg(s=2, d=6, r=1, dl=10, i=7):
+    return Message(i, s, d, r, dl)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="crosses no link"):
+            Trajectory(0, 2, ())
+
+    def test_rejects_nonincreasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Trajectory(0, 2, (3, 3))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Trajectory(0, 2, (3, 2))
+
+    def test_basic_accessors(self):
+        t = Trajectory(0, 2, (1, 2, 5, 6))
+        assert t.dest == 6
+        assert t.depart == 1
+        assert t.arrive == 7
+        assert t.span == 4
+
+
+class TestBufferlessClassification:
+    def test_straight_line_is_bufferless(self):
+        t = Trajectory(0, 2, (3, 4, 5, 6))
+        assert t.bufferless
+        assert t.total_wait == 0
+
+    def test_staircase_is_buffered(self):
+        t = Trajectory(0, 2, (1, 2, 5, 6))
+        assert not t.bufferless
+        assert t.total_wait == 2
+
+    def test_single_hop_always_bufferless(self):
+        assert Trajectory(0, 2, (9,)).bufferless
+
+
+class TestScanLines:
+    def test_alpha_of_straight_line(self):
+        t = bufferless_trajectory(msg(), alpha=1)
+        assert t.alpha == 1 and t.final_alpha == 1
+
+    def test_final_alpha_of_staircase(self):
+        # depart node 2 at t=1, wait 3 steps at node 4, finish at node 6
+        t = Trajectory(0, 2, (1, 2, 6, 7))
+        assert t.alpha == 1  # first hop on line 2 - 1
+        assert t.final_alpha == 5 - 7  # last hop crosses (5,6) at time 7
+
+
+class TestEdges:
+    def test_diagonal_edges(self):
+        t = Trajectory(0, 2, (1, 2, 5, 6))
+        assert list(t.diagonal_edges()) == [(2, 1), (3, 2), (4, 5), (5, 6)]
+
+    def test_waits(self):
+        t = Trajectory(0, 2, (1, 2, 5, 6))
+        assert t.waits() == [(4, 3, 5)]
+
+    def test_node_at(self):
+        t = Trajectory(0, 2, (1, 2, 5, 6))
+        assert t.node_at(0) is None
+        assert t.node_at(1) == 2
+        assert t.node_at(2) == 3
+        assert t.node_at(3) == 4
+        assert t.node_at(4) == 4  # waiting in node 4's buffer
+        assert t.node_at(5) == 4
+        assert t.node_at(6) == 5
+        assert t.node_at(7) == 6
+        assert t.node_at(8) is None
+
+
+class TestFactories:
+    def test_bufferless_by_alpha_and_depart_agree(self):
+        m = msg()
+        assert bufferless_trajectory(m, alpha=0) == bufferless_trajectory(m, depart=2)
+
+    def test_bufferless_requires_exactly_one_selector(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            bufferless_trajectory(msg())
+        with pytest.raises(ValueError, match="exactly one"):
+            bufferless_trajectory(msg(), alpha=0, depart=2)
+
+    def test_bufferless_rejects_line_outside_window(self):
+        with pytest.raises(ValueError, match="outside"):
+            bufferless_trajectory(msg(), alpha=100)
+
+    def test_bufferless_satisfies_message(self):
+        m = msg()
+        for alpha in range(m.alpha_min, m.alpha_max + 1):
+            assert bufferless_trajectory(m, alpha).satisfies(m)
+
+    def test_buffered_factory_validates(self):
+        m = msg()
+        t = buffered_trajectory(m, (1, 3, 5, 9))
+        assert t.satisfies(m)
+        with pytest.raises(ValueError, match="legally deliver"):
+            buffered_trajectory(m, (0, 3, 5, 9))  # departs before release
+        with pytest.raises(ValueError, match="legally deliver"):
+            buffered_trajectory(m, (1, 3, 5, 10))  # arrives past deadline
+        with pytest.raises(ValueError, match="legally deliver"):
+            buffered_trajectory(m, (1, 3, 5))  # wrong span
+
+    def test_satisfies_checks_identity(self):
+        t = bufferless_trajectory(msg(), alpha=0)
+        assert not t.satisfies(msg(i=8))
+
+
+class TestTransforms:
+    def test_translate(self):
+        t = Trajectory(0, 2, (1, 2, 5, 6)).translated(dnode=1, dtime=10)
+        assert t.source == 3
+        assert t.crossings == (11, 12, 15, 16)
+
+    def test_with_id(self):
+        assert Trajectory(0, 2, (1,)).with_id(9).message_id == 9

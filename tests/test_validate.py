@@ -1,0 +1,81 @@
+"""Unit tests for schedule validation against an instance."""
+
+import pytest
+
+from repro.core.instance import make_instance
+from repro.core.schedule import Schedule
+from repro.core.trajectory import Trajectory
+from repro.core.validate import ScheduleError, assert_valid, schedule_problems, validate_schedule
+
+
+@pytest.fixture
+def inst():
+    # message 0: 1 -> 4, window [2, 9]; message 1: 0 -> 2, window [0, 4]
+    return make_instance(6, [(1, 4, 2, 9), (0, 2, 0, 4)])
+
+
+class TestValid:
+    def test_empty_schedule_valid(self, inst):
+        validate_schedule(inst, Schedule())
+
+    def test_straight_line_valid(self, inst):
+        s = Schedule((Trajectory(0, 1, (2, 3, 4)),))
+        validate_schedule(inst, s, require_bufferless=True)
+
+    def test_buffered_valid(self, inst):
+        s = Schedule((Trajectory(0, 1, (2, 4, 6)),))
+        validate_schedule(inst, s)
+
+    def test_assert_valid_passthrough(self, inst):
+        s = Schedule((Trajectory(0, 1, (2, 3, 4)),))
+        assert assert_valid(inst, s) is s
+
+
+class TestViolations:
+    def test_unknown_message(self, inst):
+        s = Schedule((Trajectory(9, 1, (2, 3, 4)),))
+        assert any("not in instance" in p for p in schedule_problems(inst, s))
+
+    def test_wrong_endpoints(self, inst):
+        s = Schedule((Trajectory(0, 0, (2, 3, 4)),))
+        assert any("trajectory runs" in p for p in schedule_problems(inst, s))
+
+    def test_early_departure(self, inst):
+        s = Schedule((Trajectory(0, 1, (1, 3, 4)),))
+        assert any("before release" in p for p in schedule_problems(inst, s))
+
+    def test_late_arrival(self, inst):
+        s = Schedule((Trajectory(0, 1, (2, 8, 9)),))
+        assert any("after deadline" in p for p in schedule_problems(inst, s))
+
+    def test_buffered_flagged_when_bufferless_required(self, inst):
+        s = Schedule((Trajectory(0, 1, (2, 4, 6)),))
+        assert schedule_problems(inst, s) == []
+        probs = schedule_problems(inst, s, require_bufferless=True)
+        assert any("waits" in p for p in probs)
+
+    def test_validate_raises_with_all_problems(self, inst):
+        s = Schedule((Trajectory(0, 1, (1, 8, 10)),))
+        with pytest.raises(ScheduleError) as exc:
+            validate_schedule(inst, s)
+        text = str(exc.value)
+        assert "before release" in text and "after deadline" in text
+
+    def test_rl_message_flagged(self):
+        inst = make_instance(6, [(4, 1, 0, 9)])
+        s = Schedule((Trajectory(0, 1, (0, 1, 2)),))
+        assert any("not left-to-right" in p for p in schedule_problems(inst, s))
+
+    def test_buffer_capacity(self):
+        inst = make_instance(6, [(0, 2, 0, 20), (0, 2, 0, 20), (0, 2, 0, 20)])
+        # messages with ids 0..2 all parked at node 1 simultaneously
+        s = Schedule(
+            (
+                Trajectory(0, 0, (0, 10)),
+                Trajectory(1, 0, (1, 11)),
+                Trajectory(2, 0, (2, 12)),
+            )
+        )
+        assert schedule_problems(inst, s, buffer_capacity=3) == []
+        probs = schedule_problems(inst, s, buffer_capacity=2)
+        assert any("exceeds capacity" in p for p in probs)

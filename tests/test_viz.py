@@ -1,0 +1,86 @@
+"""Tests for the ASCII lattice renderer and figure regeneration."""
+
+import pytest
+
+from repro.core.bfl import bfl
+from repro.core.instance import make_instance
+from repro.core.trajectory import Trajectory
+from repro.viz import LatticeCanvas, figure1, figure2, figure3, render_instance, render_schedule
+from repro.viz.figures import figure1_instance
+
+
+class TestCanvas:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            LatticeCanvas(1, 5)
+        with pytest.raises(ValueError):
+            LatticeCanvas(4, 0)
+
+    def test_put_and_render_orientation(self):
+        c = LatticeCanvas(3, 3)
+        c.put(0, 0, "A")
+        c.put(2, 2, "B")
+        out = c.render(axis=False).splitlines()
+        # time increases upward: B (t=2) on the first line, A (t=0) last
+        assert "B" in out[0]
+        assert "A" in out[-1]
+
+    def test_out_of_range_writes_ignored(self):
+        c = LatticeCanvas(3, 3)
+        c.put(9, 9, "X")  # silently clipped
+        assert "X" not in c.render()
+
+    def test_diagonal_uses_half_columns(self):
+        c = LatticeCanvas(4, 4)
+        c.diagonal(0, 0, 3)
+        rows = c.render(axis=False).splitlines()
+        assert rows[-1][1] == "/"  # between node 0 and 1 at t=0
+
+    def test_axis_labels(self):
+        c = LatticeCanvas(12, 2)
+        out = c.render().splitlines()
+        assert out[-1].strip().startswith("0 1 2")
+
+
+class TestRenderers:
+    def test_render_instance_contains_corners(self):
+        inst = make_instance(8, [(1, 4, 2, 9)])
+        out = render_instance(inst)
+        assert "." in out and "|" in out and "/" in out
+
+    def test_render_schedule_buffered_riser(self):
+        inst = make_instance(6, [(0, 2, 0, 9)])
+        sched_traj = Trajectory(0, 0, (0, 4))  # waits at node 1
+        from repro.core.schedule import Schedule
+
+        out = render_schedule(inst, Schedule((sched_traj,)), windows=False)
+        assert "|" in out  # the riser
+
+    def test_schedule_labels_sources(self):
+        inst = make_instance(8, [(1, 4, 2, 9)])
+        out = render_schedule(inst, bfl(inst), windows=False)
+        assert "0" in out  # message id label at the source
+
+
+class TestFigures:
+    def test_figure1_reports_table_and_throughput(self):
+        out = figure1()
+        assert "22-node" in out
+        assert "schedules all 6" in out
+        # all six table rows present
+        for src, dst in [(2, 9), (2, 12), (2, 7), (5, 14), (10, 18), (11, 13)]:
+            assert f"{src} " in out and f"{dst} " in out
+
+    def test_figure1_instance_matches_paper_table(self, paper_example):
+        assert figure1_instance().messages == paper_example.messages
+
+    def test_figure2_reports_caps(self):
+        out = figure2(2)
+        assert "I_2" in out
+        assert "OPT_B = 8" in out
+        assert "OPT_BL <= 4" in out
+
+    def test_figure3_lists_all_gadget_messages(self):
+        out = figure3()
+        for kind in ("pA@0", "pB@0", "pC@0", "pX@0", "p1@0", "p2@0", "p3@0"):
+            assert kind in out

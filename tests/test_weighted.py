@@ -1,0 +1,83 @@
+"""Tests for weighted-throughput objectives in the exact solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import make_instance
+from repro.core.validate import validate_schedule
+from repro.exact import opt_buffered, opt_bufferless
+
+from .conftest import random_lr_instance
+
+
+@pytest.fixture
+def conflict_pair():
+    """Two zero-slack messages sharing a link: exactly one can win."""
+    return make_instance(8, [(0, 4, 0, 4), (2, 6, 2, 6)])
+
+
+class TestWeightedBufferless:
+    def test_weights_flip_the_winner(self, conflict_pair):
+        light = opt_bufferless(conflict_pair, weights={0: 1.0, 1: 5.0})
+        assert light.schedule.delivered_ids == {1}
+        heavy = opt_bufferless(conflict_pair, weights={0: 5.0, 1: 1.0})
+        assert heavy.schedule.delivered_ids == {0}
+
+    def test_default_weight_is_one(self, conflict_pair):
+        # only message 1 weighted: beats the implicit weight-1 rival
+        res = opt_bufferless(conflict_pair, weights={1: 2.0})
+        assert res.schedule.delivered_ids == {1}
+
+    def test_uniform_weights_match_unweighted(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            inst = random_lr_instance(rng, k_hi=6, max_slack=4)
+            plain = opt_bufferless(inst).throughput
+            weighted = opt_bufferless(
+                inst, weights={m.id: 3.0 for m in inst}
+            ).throughput
+            assert plain == weighted
+
+    def test_rejects_nonpositive_weights(self, conflict_pair):
+        with pytest.raises(ValueError, match="positive"):
+            opt_bufferless(conflict_pair, weights={0: 0.0})
+
+    def test_weighted_schedule_still_valid(self):
+        rng = np.random.default_rng(1)
+        inst = random_lr_instance(rng, k_hi=6, max_slack=4)
+        rng2 = np.random.default_rng(2)
+        weights = {m.id: float(rng2.uniform(0.5, 3.0)) for m in inst}
+        res = opt_bufferless(inst, weights=weights)
+        validate_schedule(inst, res.schedule, require_bufferless=True)
+
+
+class TestWeightedBuffered:
+    def test_weights_flip_the_winner(self, conflict_pair):
+        res = opt_buffered(conflict_pair, weights={0: 1.0, 1: 5.0})
+        assert 1 in res.schedule.delivered_ids
+
+    def test_rejects_nonpositive_weights(self, conflict_pair):
+        with pytest.raises(ValueError, match="positive"):
+            opt_buffered(conflict_pair, weights={1: -1.0})
+
+    def test_weighted_value_dominates_count(self):
+        """One heavy long message beats two light short ones."""
+        inst = make_instance(
+            10,
+            [
+                (0, 8, 0, 8),  # the heavy message
+                (0, 4, 0, 4),
+                (4, 8, 4, 8),
+            ],
+        )
+        unweighted = opt_buffered(inst)
+        assert unweighted.throughput == 2  # count prefers the two shorts
+        weighted = opt_buffered(inst, weights={0: 10.0})
+        assert 0 in weighted.schedule.delivered_ids
+
+    def test_multimedia_priority_scenario(self):
+        """Audio (weight 4) wins its link against bulk (weight 1)."""
+        inst = make_instance(6, [(0, 3, 0, 3), (1, 4, 1, 4)])
+        weights = {0: 4.0, 1: 1.0}  # 0 = audio, 1 = bulk
+        res = opt_buffered(inst, weights=weights)
+        assert 0 in res.schedule.delivered_ids
