@@ -1,0 +1,41 @@
+"""Engine benchmark — kernel speedup and sweep throughput (the perf baseline).
+
+Runs the same measurement as ``repro bench`` (reduced sizes so the suite
+stays quick) and asserts the two headline claims: the scan-line kernel
+beats the readable reference, and the engine's cached path beats the
+seed-era serial sweep.
+"""
+
+from conftest import single_round
+
+from repro.engine.bench import bench_kernel, bench_sweep
+
+
+def test_kernel_speedup(benchmark):
+    result = single_round(
+        benchmark, lambda: bench_kernel(sizes=((32, 200), (64, 1000)), repeats=2)
+    )
+    for case in result["cases"]:
+        print(
+            f"kernel n={case['n']} k={case['messages']}: "
+            f"{case['bfl_seconds'] * 1e3:.2f} ms -> "
+            f"{case['bfl_fast_seconds'] * 1e3:.2f} ms ({case['speedup']:.1f}x)"
+        )
+    # the big case must show a clear win; tiny cases may sit near parity
+    assert result["cases"][-1]["speedup"] > 1.5
+
+
+def test_sweep_engine_throughput(benchmark):
+    result = single_round(
+        benchmark,
+        lambda: bench_sweep(trials=4, jobs=2, sizes=((8, 6), (12, 10))),
+    )
+    print(
+        f"sweep {result['cells']} cells: serial {result['serial_seconds']:.2f}s, "
+        f"cold {result['engine_cold_seconds']:.2f}s, "
+        f"warm {result['engine_warm_seconds']:.2f}s "
+        f"({result['speedup_warm']:.2f}x, {result['engine_warm_cache']['hits']} hits)"
+    )
+    # warm cache must replay the sweep strictly faster than the seed path
+    assert result["engine_warm_cache"]["hits"] == 2 * result["cells"]
+    assert result["speedup_warm"] > 1.0

@@ -5,6 +5,14 @@ runs a set of schedulers on every instance, and aggregates mean delivered
 counts (plus an upper bound) into a :class:`~repro.analysis.tables.Table`
 — one row per parameter value, one column per scheduler.  E12 (offered
 load) and E13 (slack tightness) are thin wrappers over this.
+
+Execution goes through the sweep engine (:mod:`repro.engine`): the sweep
+decomposes into one *cell* per (value, trial) pair, each cell drawing its
+randomness from its own spawned ``SeedSequence`` child.  Cell seeds do
+not depend on execution order, so ``jobs=1`` and ``jobs=N`` produce
+identical tables; with ``jobs > 1`` the generator and scheduler callables
+must be picklable (module-level functions, not lambdas).  Any solver
+cache traffic the cells produce is reported in the table footer.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from ..core.instance import Instance
+from ..engine import run_tasks, spawn_seeds
 from ..exact import cut_upper_bound
 from .tables import Table
 
@@ -25,6 +34,26 @@ Scheduler = Callable[[Instance], int]
 Generator = Callable[[np.random.Generator, Any], Instance]
 
 
+def _cell(
+    generator: Generator,
+    schedulers: Mapping[str, Scheduler],
+    value: Any,
+    seed_seq: np.random.SeedSequence,
+    relative: bool,
+) -> dict[str, float]:
+    """One sweep cell: generate the instance, run every scheduler on it."""
+    rng = np.random.default_rng(seed_seq)
+    inst = generator(rng, value)
+    norm = max(len(inst), 1) if relative else 1
+    out = {
+        "messages": float(len(inst)),
+        "upper_bound": cut_upper_bound(inst) / norm,
+    }
+    for name, run in schedulers.items():
+        out[name] = run(inst) / norm
+    return out
+
+
 def sweep(
     parameter: str,
     values: Sequence[Any],
@@ -34,38 +63,37 @@ def sweep(
     seed: int = 2024,
     trials: int = 10,
     relative: bool = True,
+    jobs: int | None = 1,
 ) -> Table:
     """Run the sweep and return its table.
 
     With ``relative=True`` scheduler columns report mean *delivery ratio*
     (delivered / messages); otherwise mean absolute counts.  The
     ``upper_bound`` column always uses the same normalisation, so no
-    scheduler column may exceed it.
+    scheduler column may exceed it.  ``jobs`` fans the cells out over
+    worker processes (see :func:`repro.engine.run_tasks`); the result is
+    identical at any value.
     """
     if not values:
         raise ValueError("sweep needs at least one parameter value")
     if not schedulers:
         raise ValueError("sweep needs at least one scheduler")
+    seeds = spawn_seeds(seed, len(values) * trials)
+    tasks = [
+        (generator, schedulers, value, seeds[vi * trials + t], relative)
+        for vi, value in enumerate(values)
+        for t in range(trials)
+    ]
+    results, cache_stats = run_tasks(_cell, tasks, jobs=jobs)
+
     table = Table([parameter, "messages", "upper_bound", *schedulers])
-    rng = np.random.default_rng(seed)
-    for value in values:
-        sums = {name: 0.0 for name in schedulers}
-        bound_sum = 0.0
-        msg_sum = 0.0
-        for _ in range(trials):
-            inst = generator(rng, value)
-            k = max(len(inst), 1)
-            norm = k if relative else 1
-            msg_sum += len(inst)
-            bound_sum += cut_upper_bound(inst) / norm
-            for name, run in schedulers.items():
-                sums[name] += run(inst) / norm
-        table.add(
-            **{
-                parameter: value,
-                "messages": msg_sum / trials,
-                "upper_bound": bound_sum / trials,
-                **{name: sums[name] / trials for name in schedulers},
-            }
-        )
+    for vi, value in enumerate(values):
+        cells = results[vi * trials : (vi + 1) * trials]
+        means = {
+            key: sum(c[key] for c in cells) / trials
+            for key in ("messages", "upper_bound", *schedulers)
+        }
+        table.add(**{parameter: value, **means})
+    if cache_stats.total:
+        table.add_footnote(cache_stats.footnote())
     return table

@@ -24,6 +24,11 @@ class Table:
         self.columns = list(columns)
         self.floatfmt = floatfmt
         self.rows: list[dict[str, Any]] = []
+        self.footnotes: list[str] = []
+
+    def add_footnote(self, note: str) -> None:
+        """Attach a footer line rendered below the body (e.g. cache stats)."""
+        self.footnotes.append(note)
 
     def add(self, **values: Any) -> None:
         unknown = set(values) - set(self.columns)
@@ -53,7 +58,8 @@ class Table:
         header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
         sep = "-+-".join("-" * w for w in widths)
         body = [" | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in cells]
-        lines = ([title] if title else []) + [header, sep] + body
+        footer = [f"[{note}]" for note in self.footnotes]
+        lines = ([title] if title else []) + [header, sep] + body + footer
         return "\n".join(lines)
 
     def __str__(self) -> str:

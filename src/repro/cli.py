@@ -5,8 +5,16 @@ Commands:
 * ``repro list`` — available experiments with one-line descriptions;
 * ``repro run e2 [e7 ...]`` — run experiments, print their tables;
 * ``repro run all`` — everything (E8 involves MILPs; expect ~a minute);
+* ``repro run e2 --jobs 4`` — fan experiment sweeps out over worker
+  processes (identical tables at any job count; ``--jobs 0`` = all cores);
+* ``repro bench`` — time the BFL kernel and the sweep engine, write the
+  JSON perf baseline;
 * ``repro figure 1|2|3`` — print a paper figure as ASCII art;
 * ``repro demo`` — the quickstart: schedule a random instance, show it.
+
+Environment knobs: ``REPRO_JOBS`` (default worker count when ``--jobs``
+is omitted), ``REPRO_CACHE_DIR`` (persist solver results on disk),
+``REPRO_CACHE=off`` (disable solver memoization).
 """
 
 from __future__ import annotations
@@ -31,6 +39,23 @@ def main(argv: list[str] | None = None) -> int:
     run_p = sub.add_parser("run", help="run experiments and print their tables")
     run_p.add_argument("experiments", nargs="+", help="experiment ids (e1..e11, a1, a2) or 'all'")
     run_p.add_argument("--seed", type=int, default=2024)
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for engine-backed sweeps (0 = all cores; "
+        "default: REPRO_JOBS or 1)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench", help="time the BFL kernel + sweep engine, write the perf baseline"
+    )
+    bench_p.add_argument("--seed", type=int, default=2024)
+    bench_p.add_argument("--trials", type=int, default=10, help="sweep cells per size")
+    bench_p.add_argument("--jobs", type=int, default=4)
+    bench_p.add_argument(
+        "--out", default="BENCH_PR1.json", help="baseline JSON path ('-' to skip writing)"
+    )
 
     fig_p = sub.add_parser("figure", help="print a paper figure as ASCII art")
     fig_p.add_argument("number", type=int, choices=(1, 2, 3))
@@ -67,7 +92,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _list()
     if args.command == "run":
-        return _run(args.experiments, args.seed)
+        return _run(args.experiments, args.seed, args.jobs)
+    if args.command == "bench":
+        return _bench(args.seed, args.trials, args.jobs, args.out)
     if args.command == "figure":
         return _figure(args.number, args.k)
     if args.command == "demo":
@@ -96,9 +123,12 @@ def _list() -> int:
     return 0
 
 
-def _run(names: list[str], seed: int) -> int:
+def _run(names: list[str], seed: int, jobs: int | None = None) -> int:
     from .experiments import ALL
 
+    if jobs is not None and jobs < 0:
+        print(f"--jobs must be >= 0 (0 = all cores), got {jobs}", file=sys.stderr)
+        return 2
     if names == ["all"]:
         names = list(ALL)
     unknown = [n for n in names if n not in ALL]
@@ -109,8 +139,13 @@ def _run(names: list[str], seed: int) -> int:
     for name in names:
         mod = ALL[name]
         t0 = time.perf_counter()
-        accepts_seed = "seed" in (mod.run.__kwdefaults__ or {})
-        table = mod.run(seed=seed) if accepts_seed else mod.run()
+        accepted = mod.run.__kwdefaults__ or {}
+        kwargs = {}
+        if "seed" in accepted:
+            kwargs["seed"] = seed
+        if "jobs" in accepted and jobs is not None:
+            kwargs["jobs"] = jobs
+        table = mod.run(**kwargs)
         elapsed = time.perf_counter() - t0
         print(f"== {name}: {getattr(mod, 'DESCRIPTION', '')} ({elapsed:.1f}s) ==")
         print(table.render())
@@ -119,6 +154,18 @@ def _run(names: list[str], seed: int) -> int:
             print()
             print(summary.render())
         print()
+    return 0
+
+
+def _bench(seed: int, trials: int, jobs: int, out: str) -> int:
+    from .engine.bench import render_summary, run_benchmarks
+
+    payload = run_benchmarks(
+        seed=seed, trials=trials, jobs=jobs, out=None if out == "-" else out
+    )
+    print(render_summary(payload))
+    if out != "-":
+        print(f"baseline written to {out}")
     return 0
 
 

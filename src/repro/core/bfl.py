@@ -21,6 +21,7 @@ message id.  Alternative rules are exposed for the tie-break ablation (A1).
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from typing import Callable, Sequence
 
 from .geometry import Segment
@@ -176,9 +177,7 @@ def _greedy_on_line(
 
 def _fits(occupied: list[tuple[int, int]], left: int, right: int) -> bool:
     """Whether ``[left, right]`` shares no diagonal edge with any chosen interval."""
-    import bisect
-
-    i = bisect.bisect_left(occupied, (left, left))
+    i = bisect_left(occupied, (left, left))
     if i < len(occupied) and occupied[i][0] < right:
         return False
     if i > 0 and occupied[i - 1][1] > left:
@@ -187,6 +186,4 @@ def _fits(occupied: list[tuple[int, int]], left: int, right: int) -> bool:
 
 
 def _insert(occupied: list[tuple[int, int]], left: int, right: int) -> None:
-    import bisect
-
-    bisect.insort(occupied, (left, right))
+    insort(occupied, (left, right))

@@ -1,38 +1,47 @@
-"""A vectorised implementation of Algorithm BFL.
+"""The scan-line kernel: Algorithm BFL without per-line rescans.
 
 Produces *bit-identical* output to :func:`repro.core.bfl.bfl` with the
-default (paper) tie-break — the equivalence is enforced by tests and by
-the shared greedy semantics — while doing the per-sweep bookkeeping in
-NumPy:
+default (paper) tie-break — trajectory for trajectory, in the same order —
+while replacing the reference implementation's per-line O(k) rescan of
+every pending message with event-driven bookkeeping:
 
-* the next scan line (``max over pending of min(alpha_max, alpha - 1)``)
-  is one masked reduction instead of a Python loop over messages;
-* per-line relevance is one boolean mask;
-* the per-line greedy runs over a pre-sorted candidate order
-  (``lexsort`` by the paper's key) with the classic position cursor.
+* messages are bucketed by ``alpha_max`` once (one O(k log k) sort) and
+  *enter* the sweep exactly when it reaches their first relevant line;
+* an **active set** — the pending messages whose window contains the
+  current line — is kept sorted by the greedy key ``(dest, -source, id)``,
+  so each line's earliest-right-endpoint greedy walks only the segments
+  actually on that line;
+* a max-heap on ``alpha_min`` *expires* messages the moment the sweep
+  passes below their window, and makes the next-line computation O(1)
+  amortised: while anything stays active the next line is ``α - 1``,
+  otherwise the sweep jumps straight to the next entry bucket.
 
-Following the optimisation guides: the algorithmic structure is identical
-to the readable version — only the inner bookkeeping is vectorised, and
-``bfl`` remains the reference the fast path is validated against.
+Total cost is O(k log k) for the sorts and heap traffic plus O(1) per
+*relevant* (line, segment) pair — the sum the greedy must inspect anyway —
+independent of how many pending-but-irrelevant messages exist.  The
+readable ``bfl`` remains the validated reference; the equivalence is
+enforced property-by-property in ``tests/test_bfl_fast.py``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import heapq
+from bisect import insort
 
 from .instance import Instance
 from .message import Direction
 from .schedule import Schedule
-from .trajectory import Trajectory
+from .trajectory import bufferless_trajectory
 
 __all__ = ["bfl_fast"]
 
 
 def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
-    """Vectorised Algorithm BFL (paper tie-break only).
+    """Scan-line-kernel Algorithm BFL (paper tie-break only).
 
     See :func:`repro.core.bfl.bfl` for parameter semantics; this fast path
-    supports only the default nearest-destination rule.
+    supports only the default nearest-destination rule and returns the
+    same schedule, trajectory for trajectory.
     """
     for m in instance:
         if m.direction != Direction.LEFT_TO_RIGHT:
@@ -42,47 +51,80 @@ def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
     work = instance.drop_infeasible()
     if clip_slack:
         work = work.clipped_slack()
-    if len(work) == 0:
+    k = len(work)
+    if k == 0:
         return Schedule()
 
-    cols = work.as_arrays()
-    source = cols["source"]
-    dest = cols["dest"]
-    ids = cols["id"]
-    alpha_min = dest - cols["deadline"]
-    alpha_max = source - cols["release"]
+    # Plain-int columns: the kernel is pointer-chasing, not vector math.
+    src = [0] * k
+    dst = [0] * k
+    mid = [0] * k
+    amin = [0] * k
+    amax = [0] * k
+    for j, m in enumerate(work):
+        src[j] = m.source
+        dst[j] = m.dest
+        mid[j] = m.id
+        amin[j] = m.alpha_min
+        amax[j] = m.alpha_max
 
-    # Pre-sort once by the greedy key (dest asc, source desc, id asc);
-    # every per-line scan walks this order filtered by relevance.
-    order = np.lexsort((ids, -source, dest))
-    k = len(work)
-    pending = np.ones(k, dtype=bool)
-    chosen_alpha = np.full(k, np.iinfo(np.int64).min, dtype=np.int64)
+    # Entry buckets: messages join the sweep at their alpha_max, largest
+    # (earliest in time) first.
+    entry = sorted(range(k), key=lambda j: -amax[j])
+    ei = 0
 
-    alpha: int | None = None
-    while pending.any():
-        hi = alpha_max if alpha is None else np.minimum(alpha_max, alpha - 1)
-        live = pending & (hi >= alpha_min)
-        if not live.any():
-            break
-        alpha = int(hi[live].max())
-
-        relevant = pending & (alpha_min <= alpha) & (alpha <= alpha_max)
-        # classic earliest-right-endpoint greedy along the pre-sorted order
-        pos = None
-        for j in order:
-            if not relevant[j]:
-                continue
-            if pos is None or source[j] >= pos:
-                chosen_alpha[j] = alpha
-                pending[j] = False
-                pos = int(dest[j])
+    # Active set, sorted by the paper's greedy key; `dead` marks members
+    # that were scheduled or expired and await physical removal.
+    active: list[tuple[int, int, int, int]] = []  # (dest, -source, id, j)
+    live_active = 0
+    dead = [False] * k
+    expiry: list[tuple[int, int]] = []  # max-heap on alpha_min: (-alpha_min, j)
 
     trajectories = []
-    for j in range(k):
-        if chosen_alpha[j] != np.iinfo(np.int64).min:
-            # rebuild against the caller's message ids (clip-safe as in bfl)
-            m = instance[int(ids[j])]
-            t0 = m.source - int(chosen_alpha[j])
-            trajectories.append(Trajectory(m.id, m.source, tuple(range(t0, t0 + m.span))))
+    alpha = amax[entry[0]]
+    while True:
+        # Admit every message whose window has begun at this line.
+        while ei < k and amax[entry[ei]] >= alpha:
+            j = entry[ei]
+            ei += 1
+            insort(active, (dst[j], -src[j], mid[j], j))
+            heapq.heappush(expiry, (-amin[j], j))
+            live_active += 1
+
+        # Earliest-right-endpoint greedy over this line's segments.  The
+        # active list is already in key order; `pos` is the right end of
+        # the last chosen segment (rights are non-decreasing along the
+        # walk, so "fits" is exactly `left >= pos`).  Chosen and dead
+        # entries drop out of the list as it is rebuilt.
+        pos = None
+        survivors = []
+        for item in active:
+            j = item[3]
+            if dead[j]:
+                continue
+            if pos is None or src[j] >= pos:
+                trajectories.append(bufferless_trajectory(instance[mid[j]], alpha))
+                dead[j] = True
+                live_active -= 1
+                pos = dst[j]
+            else:
+                survivors.append(item)
+        active = survivors
+
+        # Expire windows the sweep is about to pass below.
+        while expiry and -expiry[0][0] > alpha - 1:
+            j = heapq.heappop(expiry)[1]
+            if not dead[j]:
+                dead[j] = True
+                live_active -= 1
+
+        # Next line: consecutive while anything stays relevant, otherwise
+        # jump to the next entry bucket; done when neither exists.
+        if live_active > 0:
+            alpha -= 1
+        elif ei < k:
+            alpha = amax[entry[ei]]
+        else:
+            break
+
     return Schedule(tuple(trajectories))

@@ -38,6 +38,10 @@ _NO_DELIVERY = -1  # L value of a line on which nothing has completed yet
 class DBFLPolicy(Policy):
     """The D-BFL forwarding rule as a local-control simulator policy."""
 
+    # D-BFL streams L values over the control channel every step, so the
+    # simulator must not fast-forward over idle periods.
+    idle_skippable = False
+
     def __init__(self) -> None:
         self._l_in: list[int] = []
         self._l_out: list[int | None] = []

@@ -12,6 +12,7 @@ Instances are immutable; all transformations return new objects.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -192,6 +193,42 @@ class Instance:
         base = max(self.ids, default=-1) + 1
         renumbered = tuple(m.with_id(base + i) for i, m in enumerate(other.messages))
         return Instance(n if n is not None else max(self.n, other.n), self.messages + renumbered)
+
+    # ------------------------------------------------------------------ #
+    # Content addressing (memoization keys for the sweep engine)
+    # ------------------------------------------------------------------ #
+
+    def canonical_form(self) -> tuple:
+        """Order-independent value representation of the instance.
+
+        Two instances whose message *sets* coincide (ids included) have
+        equal canonical forms regardless of tuple order, so a cache keyed
+        on the form never conflates distinct workloads and never misses a
+        genuine repeat.
+        """
+        return (
+            self.n,
+            tuple(
+                (m.id, m.source, m.dest, m.release, m.deadline)
+                for m in sorted(self.messages, key=lambda m: m.id)
+            ),
+        )
+
+    @property
+    def content_hash(self) -> str:
+        """Stable SHA-256 hex digest of :meth:`canonical_form`.
+
+        This is the instance half of the sweep engine's cache key
+        (``repro.engine.cache``); it is cached on the frozen instance the
+        same way ``_by_id`` is.
+        """
+        cached = self.__dict__.get("_content_hash_cache")
+        if cached is None:
+            n, rows = self.canonical_form()
+            payload = f"n={n};" + ";".join(",".join(map(str, row)) for row in rows)
+            cached = hashlib.sha256(payload.encode("ascii")).hexdigest()
+            object.__setattr__(self, "_content_hash_cache", cached)
+        return cached
 
     # ------------------------------------------------------------------ #
     # Array views (vectorised consumers: exact solvers, generators)

@@ -1,0 +1,43 @@
+"""The sweep engine: parallel experiment execution + solver memoization.
+
+Two pieces, composable but independent:
+
+* :mod:`repro.engine.pool` — seeded task decomposition and chunked
+  process-pool fan-out with deterministic result ordering (``jobs=1`` is
+  an exact serial fallback);
+* :mod:`repro.engine.cache` — content-addressed memoization of the
+  NP-hard exact solvers and the BFL kernel, keyed on
+  ``Instance.content_hash`` so identical instances are never solved
+  twice, within or across runs (``REPRO_CACHE_DIR`` persists results on
+  disk).
+
+``repro.engine.bench`` drives both under the perf counters and writes
+the benchmark baseline consumed by ``repro bench``.
+"""
+
+from .cache import (
+    CacheStats,
+    ResultCache,
+    cached_bfl,
+    cached_call,
+    cached_opt_buffered,
+    cached_opt_bufferless,
+    configure,
+    default_cache,
+)
+from .pool import resolve_jobs, run_tasks, spawn_rngs, spawn_seeds
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "cached_bfl",
+    "cached_call",
+    "cached_opt_buffered",
+    "cached_opt_bufferless",
+    "configure",
+    "default_cache",
+    "resolve_jobs",
+    "run_tasks",
+    "spawn_rngs",
+    "spawn_seeds",
+]

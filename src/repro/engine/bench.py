@@ -1,0 +1,198 @@
+"""The engine benchmark: measure the speedups this subsystem claims.
+
+Two workloads, both on fixed seeds so runs are comparable across commits:
+
+* **kernel** — the scan-line BFL kernel (:func:`repro.core.bfl_fast.bfl_fast`)
+  against the readable reference on growing instances, with an output
+  equality check so a "speedup" can never come from computing the wrong
+  thing;
+* **sweep** — an E2-style (BFL vs exact ``OPT_BL``) sweep three ways:
+  the seed-era serial path (readable BFL, uncached MILPs), the engine
+  cold (``jobs=N`` fan-out, empty cache), and the engine warm (same
+  cells, content-addressed cache hot).  Cell throughput comes from
+  :class:`repro.perf.RateMeter` — measured, not asserted.
+
+``repro bench`` runs :func:`run_benchmarks` and writes the JSON baseline
+(``BENCH_PR1.json``) that future PRs diff their numbers against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.bfl import bfl
+from ..core.bfl_fast import bfl_fast
+from ..exact import opt_bufferless
+from ..perf import RateMeter, best_of
+from ..workloads import general_instance
+from . import cache as cache_mod
+from .cache import cached_bfl, cached_opt_bufferless
+from .pool import resolve_jobs, run_tasks, spawn_seeds
+
+__all__ = ["bench_kernel", "bench_sweep", "run_benchmarks"]
+
+KERNEL_SIZES = ((32, 200), (64, 1000), (128, 3000))
+SWEEP_SIZES = ((8, 6), (12, 10), (16, 12))
+
+
+def bench_kernel(
+    *, seed: int = 9, sizes=KERNEL_SIZES, repeats: int = 3
+) -> dict[str, Any]:
+    """Time reference ``bfl`` vs the scan-line kernel on fixed instances."""
+    cases = []
+    for n, k in sizes:
+        rng = np.random.default_rng(seed)
+        inst = general_instance(rng, n=n, k=k, max_release=n, max_slack=12)
+        ref_schedule = bfl(inst)
+        fast_schedule = bfl_fast(inst)
+        if ref_schedule.delivery_lines() != fast_schedule.delivery_lines():
+            raise AssertionError(f"kernel mismatch on n={n}, k={k}")
+        ref_s = best_of(lambda: bfl(inst), repeats=repeats)
+        fast_s = best_of(lambda: bfl_fast(inst), repeats=repeats)
+        cases.append(
+            {
+                "n": n,
+                "messages": k,
+                "bfl_seconds": ref_s,
+                "bfl_fast_seconds": fast_s,
+                "speedup": ref_s / fast_s if fast_s else float("inf"),
+            }
+        )
+    return {"cases": cases, "min_speedup": min(c["speedup"] for c in cases)}
+
+
+def _serial_trial(seed_seq: np.random.SeedSequence, n: int, k: int) -> float:
+    """Seed-era cell: readable BFL, uncached MILP."""
+    rng = np.random.default_rng(seed_seq)
+    inst = general_instance(rng, n=n, k=k, max_release=8, max_slack=5, max_span=n - 1)
+    approx = bfl(inst).throughput
+    exact = opt_bufferless(inst).throughput
+    return approx / exact if exact else 1.0
+
+
+def _engine_trial(seed_seq: np.random.SeedSequence, n: int, k: int) -> float:
+    """Engine cell: scan-line kernel + memoized MILP."""
+    rng = np.random.default_rng(seed_seq)
+    inst = general_instance(rng, n=n, k=k, max_release=8, max_slack=5, max_span=n - 1)
+    approx = cached_bfl(inst).throughput
+    exact = cached_opt_bufferless(inst).throughput
+    return approx / exact if exact else 1.0
+
+
+def bench_sweep(
+    *,
+    seed: int = 2024,
+    trials: int = 10,
+    jobs: int | None = 4,
+    sizes=SWEEP_SIZES,
+    cache_dir: str | Path | None = None,
+) -> dict[str, Any]:
+    """Time an E2-style sweep: seed serial path vs engine cold vs warm.
+
+    The engine passes share an on-disk cache (a temp directory unless
+    ``cache_dir`` is given) so the warm pass measures genuine
+    content-addressed reuse across processes, not in-process luck.
+    """
+    jobs = resolve_jobs(jobs)
+    seeds = spawn_seeds(seed, len(sizes) * trials)
+    tasks = [
+        (seeds[si * trials + t], n, k)
+        for si, (n, k) in enumerate(sizes)
+        for t in range(trials)
+    ]
+
+    def timed(fn, argslist, *, use_jobs):
+        meter = RateMeter()
+        results, stats = run_tasks(fn, argslist, jobs=use_jobs)
+        meter.add(len(argslist))
+        meter.stop()
+        return results, stats, meter
+
+    previous = cache_mod._default
+    tmp: tempfile.TemporaryDirectory | None = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_dir = tmp.name
+    try:
+        # Seed-era serial path: no cache, no pool, readable kernel.
+        cache_mod.configure(enabled=False)
+        serial_results, _, serial = timed(_serial_trial, tasks, use_jobs=1)
+
+        # Engine, cold cache.
+        cache_mod.configure(directory=cache_dir, enabled=True)
+        cold_results, cold_stats, cold = timed(_engine_trial, tasks, use_jobs=jobs)
+
+        # Engine, warm cache (same cells; disk store survives worker death).
+        cache_mod.configure(directory=cache_dir, enabled=True)
+        warm_results, warm_stats, warm = timed(_engine_trial, tasks, use_jobs=jobs)
+    finally:
+        cache_mod._default = previous
+        if tmp is not None:
+            tmp.cleanup()
+
+    if not (serial_results == cold_results == warm_results):
+        raise AssertionError("engine sweep results diverged from the serial path")
+    return {
+        "cells": len(tasks),
+        "jobs": jobs,
+        "serial_seconds": serial.elapsed,
+        "serial_cells_per_second": serial.rate,
+        "engine_cold_seconds": cold.elapsed,
+        "engine_cold_cells_per_second": cold.rate,
+        "engine_cold_cache": {"hits": cold_stats.hits, "misses": cold_stats.misses},
+        "engine_warm_seconds": warm.elapsed,
+        "engine_warm_cells_per_second": warm.rate,
+        "engine_warm_cache": {"hits": warm_stats.hits, "misses": warm_stats.misses},
+        "speedup_cold": serial.elapsed / cold.elapsed if cold.elapsed else float("inf"),
+        "speedup_warm": serial.elapsed / warm.elapsed if warm.elapsed else float("inf"),
+    }
+
+
+def run_benchmarks(
+    *,
+    seed: int = 2024,
+    trials: int = 10,
+    jobs: int | None = 4,
+    out: str | Path | None = None,
+) -> dict[str, Any]:
+    """Run both benchmarks; optionally write the JSON baseline to ``out``."""
+    payload = {
+        "benchmark": "repro engine baseline",
+        "cpu_count": os.cpu_count(),
+        "jobs": resolve_jobs(jobs),
+        "kernel": bench_kernel(),
+        "sweep": bench_sweep(seed=seed, trials=trials, jobs=jobs),
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def render_summary(payload: dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_benchmarks` payload."""
+    lines = [f"engine bench (cpu_count={payload['cpu_count']}, jobs={payload['jobs']})"]
+    for case in payload["kernel"]["cases"]:
+        lines.append(
+            f"  kernel n={case['n']:<4} k={case['messages']:<5} "
+            f"bfl {case['bfl_seconds'] * 1e3:8.2f} ms   "
+            f"bfl_fast {case['bfl_fast_seconds'] * 1e3:8.2f} ms   "
+            f"speedup {case['speedup']:5.1f}x"
+        )
+    sweep = payload["sweep"]
+    lines.append(
+        f"  sweep  {sweep['cells']} cells: serial {sweep['serial_seconds']:.2f}s "
+        f"({sweep['serial_cells_per_second']:.1f} cells/s)"
+    )
+    lines.append(
+        f"         engine cold {sweep['engine_cold_seconds']:.2f}s "
+        f"({sweep['speedup_cold']:.2f}x), "
+        f"warm {sweep['engine_warm_seconds']:.2f}s ({sweep['speedup_warm']:.2f}x, "
+        f"{sweep['engine_warm_cache']['hits']} cache hits)"
+    )
+    return "\n".join(lines)

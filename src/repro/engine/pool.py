@@ -1,0 +1,110 @@
+"""The parallel sweep engine: seeded decomposition + process-pool fan-out.
+
+Experiment sweeps decompose into independent *cells* — one (parameter
+value, trial) pair, generating its instance from its own spawned seed and
+running every scheduler on it.  :func:`run_tasks` executes cells either
+serially (``jobs=1``, zero overhead, lambdas welcome) or across a chunked
+``ProcessPoolExecutor`` fan-out; results always come back in task order,
+so a table built from them is byte-identical at any ``jobs``.
+
+Determinism is a contract, not an accident: cell seeds come from
+``numpy.random.SeedSequence(seed).spawn(...)`` (:func:`spawn_rngs` /
+:func:`spawn_seeds`), so no cell's randomness depends on execution order
+or worker placement.
+
+Each task additionally reports the solver-cache hit/miss delta it
+produced in its worker process (:mod:`repro.engine.cache`); the engine
+aggregates the deltas so callers can surface exact-solver reuse in table
+footers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from .cache import CacheStats, default_cache
+
+__all__ = ["resolve_jobs", "spawn_seeds", "spawn_rngs", "run_tasks"]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` request to a positive worker count.
+
+    ``None`` falls back to the ``REPRO_JOBS`` environment variable (then
+    1); ``0`` means "all cores".
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(raw) if raw else 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def spawn_seeds(seed: int, count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent child seeds of ``seed``, stable across runs."""
+    return list(np.random.SeedSequence(seed).spawn(count))
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Generators over :func:`spawn_seeds` (serial-path convenience)."""
+    return [np.random.default_rng(ss) for ss in spawn_seeds(seed, count)]
+
+
+def _invoke(payload: tuple[Callable[..., Any], tuple]) -> tuple[Any, CacheStats]:
+    """Run one task and capture the cache delta it produced.
+
+    Module-level so it pickles into pool workers; within a worker, tasks
+    run sequentially, so a before/after snapshot of the process-wide
+    cache counters isolates this task's contribution.
+    """
+    fn, args = payload
+    cache = default_cache()
+    before = cache.stats.snapshot()
+    value = fn(*args)
+    return value, cache.stats.since(before)
+
+
+def run_tasks(
+    fn: Callable[..., Any],
+    argslist: Sequence[tuple] | Iterable[tuple],
+    *,
+    jobs: int | None = 1,
+    chunksize: int | None = None,
+) -> tuple[list[Any], CacheStats]:
+    """Run ``fn(*args)`` for every ``args`` in ``argslist``.
+
+    Returns ``(results, cache_stats)`` with results in input order.  With
+    ``jobs <= 1`` (or a single task) everything runs in-process — the
+    serial fallback, bit-compatible with the parallel path because task
+    seeds are pre-spawned by the caller.  With ``jobs > 1``, tasks fan
+    out over a ``ProcessPoolExecutor``; ``fn`` and the argument tuples
+    must then be picklable (module-level functions, no lambdas).
+
+    ``chunksize`` tunes how many tasks ship to a worker per round trip;
+    the default targets ~4 chunks per worker to balance scheduling
+    overhead against tail latency.
+    """
+    payloads = [(fn, tuple(args)) for args in argslist]
+    jobs = resolve_jobs(jobs)
+    stats = CacheStats()
+    results: list[Any] = []
+    if jobs <= 1 or len(payloads) <= 1:
+        for payload in payloads:
+            value, delta = _invoke(payload)
+            results.append(value)
+            stats.merge(delta)
+        return results, stats
+    if chunksize is None:
+        chunksize = max(1, len(payloads) // (jobs * 4))
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for value, delta in pool.map(_invoke, payloads, chunksize=chunksize):
+            results.append(value)
+            stats.merge(delta)
+    return results, stats

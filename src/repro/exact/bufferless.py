@@ -17,6 +17,7 @@ deadlines are.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 
 import numpy as np
@@ -180,10 +181,8 @@ def opt_bufferless_bnb(instance: Instance, *, node_limit: int = 2_000_000) -> Bu
     nodes_visited = 0
 
     def fits(alpha: int, left: int, right: int) -> bool:
-        import bisect
-
         occ = occupancy.get(alpha, [])
-        i = bisect.bisect_left(occ, (left, left))
+        i = bisect_left(occ, (left, left))
         if i < len(occ) and occ[i][0] < right:
             return False
         if i > 0 and occ[i - 1][1] > left:
@@ -191,9 +190,7 @@ def opt_bufferless_bnb(instance: Instance, *, node_limit: int = 2_000_000) -> Bu
         return True
 
     def place(alpha: int, left: int, right: int) -> None:
-        import bisect
-
-        bisect.insort(occupancy.setdefault(alpha, []), (left, right))
+        insort(occupancy.setdefault(alpha, []), (left, right))
 
     def unplace(alpha: int, left: int, right: int) -> None:
         occupancy[alpha].remove((left, right))

@@ -5,6 +5,9 @@ the offered load past saturation and watch delivery ratios separate.  At
 light load every policy delivers ~everything; past ``load = 1`` the
 informed policies degrade gracefully toward the cut upper bound while
 uninformed ones fall away faster.
+
+Generator and scheduler hooks are module-level functions so the sweep
+engine can ship cells to worker processes (``run(jobs=N)``).
 """
 
 from __future__ import annotations
@@ -12,8 +15,8 @@ from __future__ import annotations
 from ..analysis.sweeps import sweep
 from ..analysis.tables import Table
 from ..baselines import EDFPolicy, MinLaxityPolicy, first_fit, run_policy
-from ..core.bfl import bfl
 from ..core.dbfl import dbfl
+from ..engine import cached_bfl
 from ..workloads import saturated_instance
 
 __all__ = ["run"]
@@ -23,18 +26,46 @@ DESCRIPTION = "Delivery ratio vs offered load (the saturation curve)"
 LOADS = (0.25, 0.5, 1.0, 1.5, 2.0, 3.0)
 
 
-def run(*, seed: int = 2024, trials: int = 8) -> Table:
+def _make(rng, load):
+    return saturated_instance(rng, n=16, load=load, horizon=25)
+
+
+def _bfl(inst):
+    return cached_bfl(inst).throughput
+
+
+def _dbfl(inst):
+    return dbfl(inst).throughput
+
+
+def _first_fit(inst):
+    return first_fit(inst).throughput
+
+
+def _edf_buffered(inst):
+    return run_policy(inst, EDFPolicy()).throughput
+
+
+def _llf_buffered(inst):
+    return run_policy(inst, MinLaxityPolicy()).throughput
+
+
+SCHEDULERS = {
+    "bfl": _bfl,
+    "dbfl": _dbfl,
+    "first_fit": _first_fit,
+    "edf_buffered": _edf_buffered,
+    "llf_buffered": _llf_buffered,
+}
+
+
+def run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1) -> Table:
     return sweep(
         "load",
         LOADS,
-        lambda rng, load: saturated_instance(rng, n=16, load=load, horizon=25),
-        {
-            "bfl": lambda i: bfl(i).throughput,
-            "dbfl": lambda i: dbfl(i).throughput,
-            "first_fit": lambda i: first_fit(i).throughput,
-            "edf_buffered": lambda i: run_policy(i, EDFPolicy()).throughput,
-            "llf_buffered": lambda i: run_policy(i, MinLaxityPolicy()).throughput,
-        },
+        _make,
+        SCHEDULERS,
         seed=seed,
         trials=trials,
+        jobs=jobs,
     )

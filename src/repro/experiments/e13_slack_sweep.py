@@ -4,6 +4,9 @@ Sweeps the slack budget (how much later than the minimum a packet may
 arrive) at fixed load: the multimedia QoS question.  With zero slack every
 contention costs a message; a handful of slack steps recovers most of the
 loss — quantifying how much deadline looseness buys on a line.
+
+Generator and scheduler hooks are module-level functions so the sweep
+engine can ship cells to worker processes (``run(jobs=N)``).
 """
 
 from __future__ import annotations
@@ -11,8 +14,8 @@ from __future__ import annotations
 from ..analysis.sweeps import sweep
 from ..analysis.tables import Table
 from ..baselines import EDFPolicy, run_policy
-from ..core.bfl import bfl
 from ..core.dbfl import dbfl
+from ..engine import cached_bfl
 from ..workloads import general_instance
 
 __all__ = ["run"]
@@ -22,18 +25,36 @@ DESCRIPTION = "Delivery ratio vs slack budget (deadline-tightness curve)"
 SLACKS = (0, 1, 2, 4, 8, 16)
 
 
-def run(*, seed: int = 2024, trials: int = 8) -> Table:
+def _make(rng, slack):
+    return general_instance(rng, n=16, k=40, max_release=15, max_slack=slack)
+
+
+def _bfl(inst):
+    return cached_bfl(inst).throughput
+
+
+def _dbfl(inst):
+    return dbfl(inst).throughput
+
+
+def _edf_buffered(inst):
+    return run_policy(inst, EDFPolicy()).throughput
+
+
+SCHEDULERS = {
+    "bfl": _bfl,
+    "dbfl": _dbfl,
+    "edf_buffered": _edf_buffered,
+}
+
+
+def run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1) -> Table:
     return sweep(
         "max_slack",
         SLACKS,
-        lambda rng, slack: general_instance(
-            rng, n=16, k=40, max_release=15, max_slack=slack
-        ),
-        {
-            "bfl": lambda i: bfl(i).throughput,
-            "dbfl": lambda i: dbfl(i).throughput,
-            "edf_buffered": lambda i: run_policy(i, EDFPolicy()).throughput,
-        },
+        _make,
+        SCHEDULERS,
         seed=seed,
         trials=trials,
+        jobs=jobs,
     )

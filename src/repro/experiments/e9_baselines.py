@@ -4,6 +4,10 @@ Runs every scheduler on the same workloads (general, saturated, hotspot,
 multimedia) and reports mean throughput.  The shape to expect: BFL/D-BFL
 and buffered EDF lead under contention; random assignment trails; on light
 load everyone delivers everything.
+
+Each (family, trial) pair is one seeded engine cell, so ``run(jobs=N)``
+spreads the nine-scheduler workload over worker processes without
+changing any number in the table.
 """
 
 from __future__ import annotations
@@ -21,8 +25,8 @@ from ..baselines import (
     random_assignment,
     run_policy,
 )
-from ..core.bfl import bfl
 from ..core.dbfl import dbfl
+from ..engine import cached_bfl, run_tasks, spawn_seeds
 from ..exact import cut_upper_bound
 from ..workloads import (
     general_instance,
@@ -48,9 +52,33 @@ SCHEDULERS = (
 )
 
 
+def _make_general(rng):
+    return general_instance(rng, n=24, k=40, max_release=20, max_slack=6)
+
+
+def _make_saturated(rng):
+    return saturated_instance(rng, n=16, load=1.5, horizon=25)
+
+
+def _make_hotspot(rng):
+    return hotspot_instance(rng, n=24, k=40, horizon=20)
+
+
+def _make_multimedia(rng):
+    return multimedia_instance(rng, n=24, k=50)[0]
+
+
+FAMILIES = {
+    "general": _make_general,
+    "saturated": _make_saturated,
+    "hotspot": _make_hotspot,
+    "multimedia": _make_multimedia,
+}
+
+
 def _throughputs(inst, rng) -> dict[str, int]:
     return {
-        "bfl": bfl(inst).throughput,
+        "bfl": cached_bfl(inst).throughput,
         "dbfl": dbfl(inst).throughput,
         "edf_bufferless": edf_bufferless(inst).throughput,
         "first_fit": first_fit(inst).throughput,
@@ -62,30 +90,35 @@ def _throughputs(inst, rng) -> dict[str, int]:
     }
 
 
-def run(*, seed: int = 2024, trials: int = 10) -> Table:
-    rng = np.random.default_rng(seed)
-    families = {
-        "general": lambda: general_instance(rng, n=24, k=40, max_release=20, max_slack=6),
-        "saturated": lambda: saturated_instance(rng, n=16, load=1.5, horizon=25),
-        "hotspot": lambda: hotspot_instance(rng, n=24, k=40, horizon=20),
-        "multimedia": lambda: multimedia_instance(rng, n=24, k=50)[0],
+def _family_trial(seed_seq: np.random.SeedSequence, family: str) -> dict[str, float]:
+    """One cell: an instance from ``family`` run through every scheduler."""
+    rng = np.random.default_rng(seed_seq)
+    inst = FAMILIES[family](rng)
+    return {
+        "messages": float(len(inst)),
+        "upper_bound": float(cut_upper_bound(inst)),
+        **{k: float(v) for k, v in _throughputs(inst, rng).items()},
     }
+
+
+def run(*, seed: int = 2024, trials: int = 10, jobs: int | None = 1) -> Table:
+    names = list(FAMILIES)
+    seeds = spawn_seeds(seed, len(names) * trials)
+    tasks = [
+        (seeds[fi * trials + t], family)
+        for fi, family in enumerate(names)
+        for t in range(trials)
+    ]
+    results, cache_stats = run_tasks(_family_trial, tasks, jobs=jobs)
+
     table = Table(["family", "messages", "upper_bound", *SCHEDULERS])
-    for name, make in families.items():
-        sums = {s: 0.0 for s in SCHEDULERS}
-        msgs = 0.0
-        ub = 0.0
-        for _ in range(trials):
-            inst = make()
-            msgs += len(inst)
-            ub += cut_upper_bound(inst)
-            for s, v in _throughputs(inst, rng).items():
-                sums[s] += v
-        row = {s: sums[s] / trials for s in SCHEDULERS}
-        table.add(
-            family=name,
-            messages=msgs / trials,
-            upper_bound=ub / trials,
-            **row,
-        )
+    for fi, family in enumerate(names):
+        cells = results[fi * trials : (fi + 1) * trials]
+        means = {
+            key: sum(c[key] for c in cells) / trials
+            for key in ("messages", "upper_bound", *SCHEDULERS)
+        }
+        table.add(family=family, **means)
+    if cache_stats.total:
+        table.add_footnote(cache_stats.footnote())
     return table

@@ -46,6 +46,13 @@ class Policy:
     """Base class; subclasses override :meth:`select` (and optionally the
     control-channel hooks)."""
 
+    #: Whether the simulator may fast-forward over fully idle steps (all
+    #: buffers empty, nothing in flight) straight to the next release.
+    #: Policies whose behaviour depends on being polled every step — e.g.
+    #: anything driving the control channel, like D-BFL — must set this
+    #: False so no emission opportunity is skipped.
+    idle_skippable: bool = True
+
     def reset(self, n: int) -> None:
         """Called once before the run starts, with the network size."""
 

@@ -39,6 +39,9 @@ class TracingPolicy(Policy):
     def __init__(self, inner: Policy) -> None:
         self.inner = inner
         self.events: list[TraceEvent] = []
+        # Transparent wrapper: fast-forwarding is safe exactly when it is
+        # safe for the wrapped policy (idle steps produce no events).
+        self.idle_skippable = inner.idle_skippable
 
     # ------------------------------------------------------------------ #
 

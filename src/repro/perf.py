@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["Timer", "time_call", "best_of", "profile_call", "StageClock"]
+__all__ = ["Timer", "time_call", "best_of", "profile_call", "StageClock", "RateMeter"]
 
 
 class Timer:
@@ -106,6 +106,54 @@ class StageClock:
                 f"{share:6.1%}  ({self.counts[name]} call(s))"
             )
         return "\n".join(lines)
+
+
+class RateMeter:
+    """Work-item throughput counter (e.g. sweep cells per second).
+
+    Counts items against wall time so speedups are *measured* rather than
+    asserted: the sweep engine and ``repro bench`` feed one of these and
+    report ``rate`` (items/second) alongside raw seconds.
+
+    >>> meter = RateMeter()
+    >>> meter.add(5)
+    >>> meter.count
+    5
+    >>> meter.rate >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._start = time.perf_counter()
+        self._stop: float | None = None
+
+    def add(self, items: int = 1) -> None:
+        """Record ``items`` completed work units."""
+        if items < 0:
+            raise ValueError("items must be non-negative")
+        self.count += items
+
+    def stop(self) -> "RateMeter":
+        """Freeze the clock (rate stops changing); returns self for chaining."""
+        if self._stop is None:
+            self._stop = time.perf_counter()
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since construction (or until :meth:`stop` was called)."""
+        end = self._stop if self._stop is not None else time.perf_counter()
+        return end - self._start
+
+    @property
+    def rate(self) -> float:
+        """Items per second over the measured window."""
+        elapsed = self.elapsed
+        return self.count / elapsed if elapsed > 0 else 0.0
+
+    def report(self, unit: str = "items") -> str:
+        return f"{self.count} {unit} in {self.elapsed:.3f}s ({self.rate:.1f} {unit}/s)"
 
 
 class _Stage:

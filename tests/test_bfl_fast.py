@@ -32,6 +32,24 @@ class TestEquivalence:
         assert fast.delivered_ids == ref.delivered_ids
         assert fast.delivery_lines() == ref.delivery_lines()
 
+    @settings(max_examples=60, deadline=None)
+    @given(lr_instances(max_messages=8, max_slack=10))
+    def test_bit_identical_property(self, inst: Instance):
+        """Same Schedule object — trajectory tuples in the same order."""
+        assert bfl_fast(inst) == bfl(inst)
+
+    @settings(max_examples=40, deadline=None)
+    @given(lr_instances(max_messages=8))
+    def test_bit_identical_clip_slack_property(self, inst: Instance):
+        assert bfl_fast(inst, clip_slack=True) == bfl(inst, clip_slack=True)
+
+    @settings(max_examples=40, deadline=None)
+    @given(lr_instances(max_messages=10, max_release=0, max_slack=0))
+    def test_bit_identical_degenerate_windows(self, inst: Instance):
+        """Zero slack + simultaneous release: every window is exactly tight."""
+        assert bfl_fast(inst) == bfl(inst)
+        assert bfl_fast(inst, clip_slack=True) == bfl(inst, clip_slack=True)
+
     def test_identical_on_paper_example(self, paper_example):
         assert (
             bfl_fast(paper_example).delivery_lines()

@@ -4,7 +4,7 @@ import time
 
 import pytest
 
-from repro.perf import StageClock, Timer, best_of, profile_call, time_call
+from repro.perf import RateMeter, StageClock, Timer, best_of, profile_call, time_call
 
 
 class TestTimer:
@@ -40,6 +40,35 @@ class TestProfileCall:
     def test_propagates_and_still_disables(self):
         with pytest.raises(RuntimeError):
             profile_call(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+
+
+class TestRateMeter:
+    def test_counts_and_rates(self):
+        meter = RateMeter()
+        meter.add(3)
+        meter.add()
+        time.sleep(0.005)
+        meter.stop()
+        assert meter.count == 4
+        assert meter.elapsed >= 0.004
+        assert meter.rate == pytest.approx(4 / meter.elapsed)
+
+    def test_stop_freezes_window(self):
+        meter = RateMeter()
+        meter.add(10)
+        frozen = meter.stop().elapsed
+        time.sleep(0.005)
+        assert meter.elapsed == frozen
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RateMeter().add(-1)
+
+    def test_report_mentions_unit(self):
+        meter = RateMeter()
+        meter.add(7)
+        report = meter.stop().report("cells")
+        assert "7 cells" in report and "cells/s" in report
 
 
 class TestStageClock:

@@ -24,9 +24,12 @@ class TestBuildReport:
     def test_seed_override(self):
         a = build_report(only=["e2"], seed=7)
         b = build_report(only=["e2"], seed=7)
-        # strip the timing line, which varies run to run
+        # strip the timing line and the solver-cache footnote, which vary
+        # run to run (the second run hits the process-wide result cache)
         strip = lambda s: "\n".join(
-            l for l in s.splitlines() if not l.startswith("_(")
+            l
+            for l in s.splitlines()
+            if not l.startswith("_(") and not l.startswith("[solver cache:")
         )
         assert strip(a) == strip(b)
 

@@ -187,3 +187,86 @@ class TestPolicyContract:
             origin, emitted_at = value
             assert node == origin + 1
             assert time == emitted_at + 1
+
+
+class TestIdleFastForward:
+    """The run loop jumps over fully idle gaps (see simulator docstring)."""
+
+    @staticmethod
+    def _sparse_instance(gap=50_000):
+        # two bursts separated by a huge quiet period
+        return make_instance(
+            6,
+            [
+                (0, 3, 0, 6),
+                (1, 4, 1, 8),
+                (0, 5, gap, gap + 9),
+                (2, 5, gap + 2, gap + 10),
+            ],
+        )
+
+    def test_skips_but_delivers_identically(self):
+        inst = self._sparse_instance()
+
+        class CountingFIFO(GreedyFIFO):
+            calls = 0
+
+            def select(self, view):
+                CountingFIFO.calls += 1
+                return super().select(view)
+
+        res = simulate(inst, CountingFIFO())
+        assert res.throughput == 4
+        # without the jump the policy would be polled ~gap * (n-1) times
+        assert CountingFIFO.calls < 1_000
+
+        class NoSkipFIFO(GreedyFIFO):
+            idle_skippable = False
+
+        reference = simulate(inst, NoSkipFIFO())
+        assert res.delivered_ids == reference.delivered_ids
+        assert res.schedule == reference.schedule
+        assert res.stats.steps == reference.stats.steps
+
+    def test_opt_out_policy_is_stepped_through_gap(self):
+        inst = make_instance(4, [(0, 2, 0, 5), (0, 3, 300, 306)])
+
+        class CountingNoSkip(GreedyFIFO):
+            idle_skippable = False
+            calls = 0
+
+            def select(self, view):
+                CountingNoSkip.calls += 1
+                return super().select(view)
+
+        res = simulate(inst, CountingNoSkip())
+        assert res.throughput == 2
+        assert CountingNoSkip.calls > 300  # genuinely polled every step
+
+    def test_tracing_policy_inherits_flag(self):
+        from repro.core.dbfl import DBFLPolicy
+        from repro.network.trace import TracingPolicy
+
+        assert TracingPolicy(GreedyFIFO()).idle_skippable is True
+        assert TracingPolicy(DBFLPolicy()).idle_skippable is False
+
+    def test_dbfl_never_skips_and_stays_correct(self):
+        from repro.core.bfl import bfl
+        from repro.core.dbfl import dbfl
+
+        inst = self._sparse_instance(gap=200)
+        assert dbfl(inst).delivered_ids == bfl(inst).delivered_ids
+
+    def test_random_instances_unchanged_by_skip(self):
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            inst = random_lr_instance(rng, max_release=60)
+
+            class NoSkip(GreedyFIFO):
+                idle_skippable = False
+
+            fast = simulate(inst, GreedyFIFO())
+            slow = simulate(inst, NoSkip())
+            assert fast.schedule == slow.schedule
+            assert fast.stats.steps == slow.stats.steps
+            assert fast.stats.peak_buffer == slow.stats.peak_buffer
