@@ -9,11 +9,15 @@ and the benchmark harness regenerating every figure and theorem bound.
 
 Quickstart
 ----------
->>> from repro import make_instance, bfl
+>>> from repro import make_instance, solve
 >>> inst = make_instance(8, [(0, 4, 0, 6), (1, 5, 0, 5), (2, 6, 1, 8)])
->>> schedule = bfl(inst)
->>> schedule.throughput
+>>> result = solve(inst, regime="bufferless", method="bfl")
+>>> result.delivered
 3
+
+:func:`repro.api.solve` is the facade over every regime × method pair;
+the per-module entrypoints (``bfl``, ``opt_bufferless``, ...) remain the
+implementation layer underneath it.
 """
 
 from .core import (
@@ -37,6 +41,7 @@ from .core import (
     validate_schedule,
 )
 from .core.dbfl import dbfl
+from .api import ScheduleResult, solve, solve_bidirectional
 
 __version__ = "1.0.0"
 
@@ -60,5 +65,8 @@ __all__ = [
     "dbfl",
     "BidirectionalSchedule",
     "schedule_bidirectional",
+    "ScheduleResult",
+    "solve",
+    "solve_bidirectional",
     "__version__",
 ]

@@ -1,0 +1,33 @@
+"""The library's deprecation machinery.
+
+Old call paths superseded by the :mod:`repro.api` facade stay importable as
+thin aliases, but every call emits a :class:`ReproDeprecationWarning` — a
+``DeprecationWarning`` subclass so it stays invisible to end users under the
+default filter while remaining individually targetable: the test suite
+promotes exactly this class to an error (see ``[tool.pytest.ini_options]``
+``filterwarnings`` in ``pyproject.toml``), which keeps the library itself
+honest about never calling its own deprecated surface.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["ReproDeprecationWarning", "warn_deprecated"]
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecated ``repro`` call path was used."""
+
+
+def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation message for ``old``, pointing at ``new``.
+
+    ``stacklevel=3`` attributes the warning to the caller of the deprecated
+    alias (alias body -> this helper is two frames).
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        ReproDeprecationWarning,
+        stacklevel=stacklevel,
+    )

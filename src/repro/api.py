@@ -1,0 +1,334 @@
+"""``repro.api`` — the unified solver facade.
+
+One entry point replaces the scattered per-module solvers::
+
+    from repro import api
+
+    result = api.solve(instance, regime="bufferless", method="exact")
+    result.schedule    # the Schedule (byte-identical to the legacy call)
+    result.delivered   # throughput
+    result.optimal     # True = proven optimum, None = heuristic
+    result.telemetry   # runtime + solver counters for this call
+
+``regime`` selects the machine model (``"bufferless"`` — one scan line
+per message, no waiting — or ``"buffered"`` — store-and-forward with
+unbounded buffers), ``method`` the algorithm family:
+
+=========== =================================== ===============================
+method      bufferless                          buffered
+=========== =================================== ===============================
+``exact``   ``OPT_BL`` MILP (``solver="bnb"``   ``OPT_B`` time-indexed MILP
+            for the branch-and-bound;           (``solver="bruteforce"`` for
+            ``solver="auto"`` falls back to     subset enumeration)
+            BnB if the MILP backend fails)
+``bfl``     Algorithm BFL via the scan-line     Algorithm D-BFL on the network
+            kernel (``tie_break=`` switches     simulator (``buffer_capacity=``
+            to the readable reference)          for the finite-buffer ablation)
+``greedy``  order-then-first-fit baselines      per-link policies on the
+            (``order="edf"|"arrival"|           simulator (``policy="edf"|
+            "laxity"|"random"``)                "fcfs"|"laxity"|"nearest"``
+                                                or any ``Policy`` instance)
+=========== =================================== ===============================
+
+Every combination returns the *same schedule object* the legacy
+entrypoint would (``repro.exact.*``, ``repro.core.bfl*``,
+``repro.baselines.*`` remain the implementation layer), wrapped in one
+:class:`ScheduleResult`.  Mixed-direction instances go through
+:func:`solve_bidirectional`, which performs the paper's split/mirror
+reduction (superseding the deprecated
+``repro.core.solve.schedule_bidirectional``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from . import obs
+from .core.instance import Instance
+from .core.schedule import Schedule
+
+__all__ = ["ScheduleResult", "solve", "solve_bidirectional", "REGIMES", "METHODS"]
+
+REGIMES = ("bufferless", "buffered")
+METHODS = ("exact", "bfl", "greedy")
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """The canonical outcome of one :func:`solve` call.
+
+    ``optimal`` is ``True`` when the method proved optimality, ``False``
+    when an exact solver gave up early (e.g. a MILP time limit), and
+    ``None`` for heuristics that never claim it.  ``telemetry`` holds the
+    wall time of the call plus whatever counters the observability layer
+    collected while it ran (solver nodes, simulator steps, ...).
+    """
+
+    schedule: Schedule
+    regime: str
+    method: str
+    optimal: bool | None
+    telemetry: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def delivered(self) -> int:
+        """Number of messages the schedule delivers."""
+        return self.schedule.throughput
+
+    @property
+    def throughput(self) -> int:
+        return self.schedule.throughput
+
+    @property
+    def delivered_ids(self) -> frozenset[int]:
+        return self.schedule.delivered_ids
+
+
+def _take(opts: dict[str, Any], name: str, default: Any) -> Any:
+    return opts.pop(name, default)
+
+
+def _reject_unknown(opts: dict[str, Any], regime: str, method: str) -> None:
+    if opts:
+        unknown = ", ".join(sorted(opts))
+        raise TypeError(
+            f"solve(regime={regime!r}, method={method!r}) got unexpected "
+            f"option(s): {unknown}"
+        )
+
+
+def _bufferless_exact(instance: Instance, opts: dict[str, Any]) -> tuple[Schedule, bool]:
+    from .exact import opt_bufferless, opt_bufferless_bnb
+
+    solver = _take(opts, "solver", "milp")
+    if solver in ("milp", "auto"):
+        kwargs: dict[str, Any] = {}
+        if "time_limit" in opts:
+            kwargs["time_limit"] = opts.pop("time_limit")
+        if "weights" in opts:
+            kwargs["weights"] = opts.pop("weights")
+        _reject_unknown(opts, "bufferless", "exact")
+        try:
+            result = opt_bufferless(instance, **kwargs)
+        except RuntimeError:
+            if solver != "auto":
+                raise
+            # MILP backend failure: fall back to the dependency-free BnB.
+            obs.tracer().count("exact.fallbacks")
+            result = opt_bufferless_bnb(instance)
+        return result.schedule, result.optimal
+    if solver == "bnb":
+        kwargs = {}
+        if "node_limit" in opts:
+            kwargs["node_limit"] = opts.pop("node_limit")
+        _reject_unknown(opts, "bufferless", "exact")
+        result = opt_bufferless_bnb(instance, **kwargs)
+        return result.schedule, result.optimal
+    raise ValueError(f"unknown exact solver {solver!r}; choose milp, bnb or auto")
+
+
+def _bufferless_bfl(instance: Instance, opts: dict[str, Any]) -> tuple[Schedule, None]:
+    from .core.bfl import EDF, LONGEST_FIRST, NEAREST_DEST, bfl
+    from .core.bfl_fast import bfl_fast
+
+    clip_slack = _take(opts, "clip_slack", False)
+    tie_break = _take(opts, "tie_break", None)
+    _reject_unknown(opts, "bufferless", "bfl")
+    if tie_break is None:
+        return bfl_fast(instance, clip_slack=clip_slack), None
+    # Non-default tie-breaks only exist in the readable reference.
+    if isinstance(tie_break, str):
+        named = {"nearest_dest": NEAREST_DEST, "edf": EDF, "longest_first": LONGEST_FIRST}
+        if tie_break not in named:
+            raise ValueError(
+                f"unknown tie_break {tie_break!r}; choose one of {tuple(named)} "
+                "(or pass a callable)"
+            )
+        tie_break = named[tie_break]
+    return bfl(instance, tie_break=tie_break, clip_slack=clip_slack), None
+
+
+_GREEDY_ORDERS = ("edf", "arrival", "laxity", "random")
+
+
+def _bufferless_greedy(instance: Instance, opts: dict[str, Any]) -> tuple[Schedule, None]:
+    from .baselines.bufferless import (
+        edf_bufferless,
+        first_fit,
+        min_laxity_first,
+        random_assignment,
+    )
+
+    order = _take(opts, "order", "edf")
+    rng = _take(opts, "rng", None)
+    _reject_unknown(opts, "bufferless", "greedy")
+    if order == "edf":
+        return edf_bufferless(instance), None
+    if order == "arrival":
+        return first_fit(instance), None
+    if order == "laxity":
+        return min_laxity_first(instance), None
+    if order == "random":
+        if rng is None:
+            raise TypeError("order='random' requires an rng= option")
+        return random_assignment(instance, rng), None
+    raise ValueError(f"unknown greedy order {order!r}; choose one of {_GREEDY_ORDERS}")
+
+
+def _buffered_exact(instance: Instance, opts: dict[str, Any]) -> tuple[Schedule, bool]:
+    from .exact import opt_buffered, opt_buffered_bruteforce
+
+    solver = _take(opts, "solver", "milp")
+    if solver == "milp":
+        kwargs: dict[str, Any] = {}
+        if "time_limit" in opts:
+            kwargs["time_limit"] = opts.pop("time_limit")
+        if "weights" in opts:
+            kwargs["weights"] = opts.pop("weights")
+        _reject_unknown(opts, "buffered", "exact")
+        result = opt_buffered(instance, **kwargs)
+        return result.schedule, result.optimal
+    if solver == "bruteforce":
+        kwargs = {}
+        if "max_messages" in opts:
+            kwargs["max_messages"] = opts.pop("max_messages")
+        _reject_unknown(opts, "buffered", "exact")
+        result = opt_buffered_bruteforce(instance, **kwargs)
+        return result.schedule, result.optimal
+    raise ValueError(f"unknown exact solver {solver!r}; choose milp or bruteforce")
+
+
+def _buffered_bfl(
+    instance: Instance, opts: dict[str, Any]
+) -> tuple[Schedule, None, dict[str, Any]]:
+    from .core.dbfl import dbfl
+
+    buffer_capacity = _take(opts, "buffer_capacity", None)
+    _reject_unknown(opts, "buffered", "bfl")
+    result = dbfl(instance, buffer_capacity=buffer_capacity)
+    extra = {"steps": result.stats.steps, "dropped": len(result.dropped_ids)}
+    return result.schedule, None, extra
+
+
+_POLICIES: dict[str, str] = {
+    "edf": "EDFPolicy",
+    "fcfs": "FCFSPolicy",
+    "laxity": "MinLaxityPolicy",
+    "nearest": "NearestDestPolicy",
+}
+
+
+def _buffered_greedy(
+    instance: Instance, opts: dict[str, Any]
+) -> tuple[Schedule, None, dict[str, Any]]:
+    from . import baselines
+    from .network.policy import Policy
+    from .network.simulator import simulate
+
+    policy = _take(opts, "policy", "edf")
+    buffer_capacity = _take(opts, "buffer_capacity", None)
+    _reject_unknown(opts, "buffered", "greedy")
+    if isinstance(policy, str):
+        if policy not in _POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose one of {tuple(_POLICIES)} "
+                "or pass a Policy instance"
+            )
+        policy = getattr(baselines, _POLICIES[policy])()
+    elif not isinstance(policy, Policy):
+        raise TypeError(f"policy must be a name or Policy instance, got {policy!r}")
+    result = simulate(instance, policy, buffer_capacity=buffer_capacity)
+    extra = {"steps": result.stats.steps, "dropped": len(result.dropped_ids)}
+    return result.schedule, None, extra
+
+
+def solve(
+    instance: Instance,
+    regime: str = "bufferless",
+    method: str = "exact",
+    **opts: Any,
+) -> ScheduleResult:
+    """Schedule a left-to-right ``instance`` under ``regime`` with ``method``.
+
+    See the module docstring for the regime × method matrix and their
+    options.  The returned schedule is identical to the one the
+    corresponding legacy entrypoint produces.  Mixed-direction instances
+    raise — use :func:`solve_bidirectional` for the split/mirror
+    reduction.
+    """
+    if regime not in REGIMES:
+        raise ValueError(f"unknown regime {regime!r}; choose one of {REGIMES}")
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; choose one of {METHODS}")
+
+    tr = obs.tracer()
+    counters_before = tr.counters_snapshot() if tr.enabled else None
+    t0 = time.perf_counter()
+    extra: dict[str, Any] = {}
+    if regime == "bufferless":
+        if method == "exact":
+            schedule, optimal = _bufferless_exact(instance, opts)
+        elif method == "bfl":
+            schedule, optimal = _bufferless_bfl(instance, opts)
+        else:
+            schedule, optimal = _bufferless_greedy(instance, opts)
+    else:
+        if method == "exact":
+            schedule, optimal = _buffered_exact(instance, opts)
+        elif method == "bfl":
+            schedule, optimal, extra = _buffered_bfl(instance, opts)
+        else:
+            schedule, optimal, extra = _buffered_greedy(instance, opts)
+    elapsed = time.perf_counter() - t0
+
+    telemetry: dict[str, Any] = {"seconds": elapsed, **extra}
+    if counters_before is not None:
+        delta = tr.counters_since(counters_before)
+        if delta:
+            telemetry["counters"] = delta
+        tr.record_span(
+            "api.solve", t0, regime=regime, method=method, delivered=schedule.throughput
+        )
+    return ScheduleResult(
+        schedule=schedule,
+        regime=regime,
+        method=method,
+        optimal=optimal,
+        telemetry=telemetry,
+    )
+
+
+def solve_bidirectional(
+    instance: Instance,
+    scheduler: Callable[[Instance], Schedule] | None = None,
+    *,
+    validate: bool = True,
+):
+    """Split by direction, solve each half, recombine (the paper's reduction).
+
+    The two directions share no resources on a full-duplex, dual-ported
+    line, so superposing per-direction solutions preserves any
+    per-direction guarantee — with exact per-half schedulers the combined
+    throughput is the global optimum.  ``scheduler`` maps a purely
+    left-to-right instance to a :class:`Schedule`; the default is the
+    scan-line BFL kernel.  Returns a
+    :class:`repro.core.solve.BidirectionalSchedule` (the right-to-left
+    half is expressed in mirrored coordinates, exactly as before).
+    """
+    from .core.bfl_fast import bfl_fast
+    from .core.solve import BidirectionalSchedule
+    from .core.validate import validate_schedule
+
+    if scheduler is None:
+        scheduler = bfl_fast
+    lr_half, rl_half = instance.split_directions()
+    mirrored_rl = rl_half.mirrored()
+
+    lr_schedule = scheduler(lr_half)
+    rl_schedule = scheduler(mirrored_rl)
+    if validate:
+        validate_schedule(lr_half, lr_schedule)
+        validate_schedule(mirrored_rl, rl_schedule)
+    return BidirectionalSchedule(instance=instance, lr=lr_schedule, rl=rl_schedule)

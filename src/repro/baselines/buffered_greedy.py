@@ -66,5 +66,14 @@ class NearestDestPolicy(Policy):
 def run_policy(
     instance: Instance, policy: Policy, *, buffer_capacity: int | None = None
 ) -> SimulationResult:
-    """Convenience wrapper mirroring :func:`repro.core.dbfl.dbfl`."""
+    """Deprecated alias of :func:`repro.network.simulator.simulate`.
+
+    Prefer ``repro.api.solve(instance, "buffered", "greedy", policy=...)``
+    for the facade, or call :func:`simulate` directly.
+    """
+    from .._deprecation import warn_deprecated
+
+    warn_deprecated(
+        "repro.baselines.run_policy", "repro.network.simulator.simulate"
+    )
     return simulate(instance, policy, buffer_capacity=buffer_capacity)

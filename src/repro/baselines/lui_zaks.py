@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from ..core.instance import Instance
 from ..core.schedule import Schedule
-from .buffered_greedy import MinLaxityPolicy, run_policy
+from ..network.simulator import simulate
+from .buffered_greedy import MinLaxityPolicy
 
 __all__ = ["lui_zaks_feasible"]
 
@@ -33,7 +34,7 @@ def lui_zaks_feasible(instance: Instance) -> Schedule | None:
     """
     if not instance.static:
         raise ValueError("lui_zaks_feasible requires a static instance")
-    result = run_policy(instance, MinLaxityPolicy())
+    result = simulate(instance, MinLaxityPolicy())
     if result.throughput == len(instance):
         return result.schedule
     return None

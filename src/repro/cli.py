@@ -7,6 +7,10 @@ Commands:
 * ``repro run all`` — everything (E8 involves MILPs; expect ~a minute);
 * ``repro run e2 --jobs 4`` — fan experiment sweeps out over worker
   processes (identical tables at any job count; ``--jobs 0`` = all cores);
+* ``repro run e2 --trace t.jsonl`` — capture a structured observability
+  trace (spans, counters, run manifest) of the run;
+* ``repro obs report t.jsonl`` — summarize a trace: per-phase timings,
+  solver node counts, cache hit rates;
 * ``repro bench`` — time the BFL kernel and the sweep engine, write the
   JSON perf baseline;
 * ``repro figure 1|2|3`` — print a paper figure as ASCII art;
@@ -37,14 +41,23 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list available experiments")
 
     run_p = sub.add_parser("run", help="run experiments and print their tables")
-    run_p.add_argument("experiments", nargs="+", help="experiment ids (e1..e11, a1, a2) or 'all'")
+    run_p.add_argument("experiments", nargs="+", help="experiment ids (e1..e14, a1, a2) or 'all'")
     run_p.add_argument("--seed", type=int, default=2024)
+    run_p.add_argument(
+        "--trials", type=int, default=None, help="override each experiment's trial count"
+    )
     run_p.add_argument(
         "--jobs",
         type=int,
         default=None,
         help="worker processes for engine-backed sweeps (0 = all cores; "
         "default: REPRO_JOBS or 1)",
+    )
+    run_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSONL observability trace of the run here",
     )
 
     bench_p = sub.add_parser(
@@ -81,6 +94,11 @@ def main(argv: list[str] | None = None) -> int:
     report_p.add_argument("experiments", nargs="*", help="subset of ids (default: all)")
     report_p.add_argument("--seed", type=int, default=None)
 
+    obs_p = sub.add_parser("obs", help="observability traces")
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser("report", help="summarize a JSONL trace")
+    obs_report.add_argument("trace", help="path to a trace written by --trace")
+
     ds_p = sub.add_parser("dataset", help="canonical named instances")
     ds_sub = ds_p.add_subparsers(dest="ds_command", required=True)
     ds_sub.add_parser("list", help="list canonical instances")
@@ -92,7 +110,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _list()
     if args.command == "run":
-        return _run(args.experiments, args.seed, args.jobs)
+        return _run(args.experiments, args.seed, args.jobs, args.trials, args.trace)
+    if args.command == "obs":
+        return _obs_report(args.trace)
     if args.command == "bench":
         return _bench(args.seed, args.trials, args.jobs, args.out)
     if args.command == "figure":
@@ -123,8 +143,17 @@ def _list() -> int:
     return 0
 
 
-def _run(names: list[str], seed: int, jobs: int | None = None) -> int:
+def _run(
+    names: list[str],
+    seed: int,
+    jobs: int | None = None,
+    trials: int | None = None,
+    trace: str | None = None,
+) -> int:
+    from . import obs
+    from .engine import Engine
     from .experiments import ALL
+    from .experiments.base import RunConfig
 
     if jobs is not None and jobs < 0:
         print(f"--jobs must be >= 0 (0 = all cores), got {jobs}", file=sys.stderr)
@@ -136,16 +165,22 @@ def _run(names: list[str], seed: int, jobs: int | None = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(ALL)}", file=sys.stderr)
         return 2
+    manifest = None
+    run_start = time.perf_counter()
+    if trace is not None:
+        obs.enable()
+        manifest = obs.RunManifest.collect(
+            f"repro run {' '.join(names)}",
+            config={"seed": seed, "trials": trials, "jobs": jobs},
+            seed=seed,
+        )
+    cfg = RunConfig(seed=seed, trials=trials)
+    engine = Engine(jobs=jobs) if jobs is not None else None
     for name in names:
         mod = ALL[name]
         t0 = time.perf_counter()
-        accepted = mod.run.__kwdefaults__ or {}
-        kwargs = {}
-        if "seed" in accepted:
-            kwargs["seed"] = seed
-        if "jobs" in accepted and jobs is not None:
-            kwargs["jobs"] = jobs
-        table = mod.run(**kwargs)
+        with obs.tracer().span(f"experiment.{name}"):
+            table = mod.run(cfg, engine=engine)
         elapsed = time.perf_counter() - t0
         print(f"== {name}: {getattr(mod, 'DESCRIPTION', '')} ({elapsed:.1f}s) ==")
         print(table.render())
@@ -154,6 +189,22 @@ def _run(names: list[str], seed: int, jobs: int | None = None) -> int:
             print()
             print(summary.render())
         print()
+    if trace is not None:
+        manifest.finish(time.perf_counter() - run_start)
+        obs.write_trace(trace, manifest=manifest)
+        print(f"trace written to {trace}")
+    return 0
+
+
+def _obs_report(trace_path: str) -> int:
+    from .obs import load_trace, render_report
+
+    try:
+        trace = load_trace(trace_path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {trace_path}: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(trace, source=trace_path))
     return 0
 
 

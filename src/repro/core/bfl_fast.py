@@ -26,8 +26,10 @@ enforced property-by-property in ``tests/test_bfl_fast.py``.
 from __future__ import annotations
 
 import heapq
+import time
 from bisect import insort
 
+from .. import obs
 from .instance import Instance
 from .message import Direction
 from .schedule import Schedule
@@ -48,11 +50,16 @@ def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
             raise ValueError(
                 f"message {m.id} travels right-to-left; split directions first"
             )
+    tr = obs.tracer()
+    t0 = time.perf_counter() if tr.enabled else 0.0
     work = instance.drop_infeasible()
     if clip_slack:
         work = work.clipped_slack()
     k = len(work)
     if k == 0:
+        if tr.enabled:
+            tr.count("bfl.launches")
+            tr.record_span("bfl.fast", t0, n=instance.n, k=0, delivered=0)
         return Schedule()
 
     # Plain-int columns: the kernel is pointer-chasing, not vector math.
@@ -81,6 +88,8 @@ def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
     expiry: list[tuple[int, int]] = []  # max-heap on alpha_min: (-alpha_min, j)
 
     trajectories = []
+    lines_swept = 0
+    segments_scanned = 0
     alpha = amax[entry[0]]
     while True:
         # Admit every message whose window has begun at this line.
@@ -96,6 +105,8 @@ def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
         # the last chosen segment (rights are non-decreasing along the
         # walk, so "fits" is exactly `left >= pos`).  Chosen and dead
         # entries drop out of the list as it is rebuilt.
+        lines_swept += 1
+        segments_scanned += len(active)
         pos = None
         survivors = []
         for item in active:
@@ -127,4 +138,12 @@ def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
         else:
             break
 
+    if tr.enabled:
+        tr.count("bfl.launches")
+        tr.count("bfl.lines_swept", lines_swept)
+        tr.count("bfl.segments_scanned", segments_scanned)
+        tr.count("bfl.delivered", len(trajectories))
+        tr.record_span(
+            "bfl.fast", t0, n=instance.n, k=k, delivered=len(trajectories)
+        )
     return Schedule(tuple(trajectories))

@@ -2,10 +2,10 @@
 
 The paper reduces the two-directional problem to two independent
 one-directional ones (full-duplex links, dual-ported nodes: superposing
-optimal solutions of the halves is optimal for the whole).  This module is
-the user-facing façade that performs that reduction: split, mirror the
-right-to-left half, run any left-to-right scheduler on each half, and
-stitch the results back together.
+optimal solutions of the halves is optimal for the whole).
+:class:`BidirectionalSchedule` holds the stitched result; the reduction
+itself now lives in :func:`repro.api.solve_bidirectional`, and the old
+:func:`schedule_bidirectional` here is a deprecated alias for it.
 """
 
 from __future__ import annotations
@@ -16,7 +16,6 @@ from typing import Callable
 from .bfl_fast import bfl_fast
 from .instance import Instance
 from .schedule import Schedule
-from .validate import validate_schedule
 
 __all__ = ["BidirectionalSchedule", "schedule_bidirectional"]
 
@@ -63,23 +62,11 @@ def schedule_bidirectional(
     *,
     validate: bool = True,
 ) -> BidirectionalSchedule:
-    """Split by direction, solve each half with ``scheduler``, recombine.
+    """Deprecated alias of :func:`repro.api.solve_bidirectional`."""
+    from ..api import solve_bidirectional
+    from .._deprecation import warn_deprecated
 
-    Because the directions share no resources, the combined throughput of
-    two per-direction optima is the global optimum; with an approximate
-    scheduler, any per-direction guarantee carries over to the whole.
-
-    The default scheduler is the scan-line kernel ``bfl_fast``, whose
-    output is bit-identical to the readable reference ``repro.core.bfl.bfl``
-    (the reference remains available for ablations and as the validation
-    baseline).
-    """
-    lr_half, rl_half = instance.split_directions()
-    mirrored_rl = rl_half.mirrored()
-
-    lr_schedule = scheduler(lr_half)
-    rl_schedule = scheduler(mirrored_rl)
-    if validate:
-        validate_schedule(lr_half, lr_schedule)
-        validate_schedule(mirrored_rl, rl_schedule)
-    return BidirectionalSchedule(instance=instance, lr=lr_schedule, rl=rl_schedule)
+    warn_deprecated(
+        "repro.core.solve.schedule_bidirectional", "repro.api.solve_bidirectional"
+    )
+    return solve_bidirectional(instance, scheduler, validate=validate)

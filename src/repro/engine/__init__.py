@@ -25,9 +25,10 @@ from .cache import (
     configure,
     default_cache,
 )
-from .pool import resolve_jobs, run_tasks, spawn_rngs, spawn_seeds
+from .pool import Engine, resolve_jobs, run_tasks, spawn_rngs, spawn_seeds
 
 __all__ = [
+    "Engine",
     "CacheStats",
     "ResultCache",
     "cached_bfl",

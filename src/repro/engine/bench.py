@@ -21,21 +21,25 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from .. import obs
+from ..baselines import EDFPolicy
 from ..core.bfl import bfl
 from ..core.bfl_fast import bfl_fast
 from ..exact import opt_bufferless
+from ..network.simulator import simulate
 from ..perf import RateMeter, best_of
 from ..workloads import general_instance
 from . import cache as cache_mod
 from .cache import cached_bfl, cached_opt_bufferless
 from .pool import resolve_jobs, run_tasks, spawn_seeds
 
-__all__ = ["bench_kernel", "bench_sweep", "run_benchmarks"]
+__all__ = ["bench_kernel", "bench_obs", "bench_sweep", "run_benchmarks"]
 
 KERNEL_SIZES = ((32, 200), (64, 1000), (128, 3000))
 SWEEP_SIZES = ((8, 6), (12, 10), (16, 12))
@@ -154,6 +158,107 @@ def bench_sweep(
     }
 
 
+class _CountingTracer(obs.Tracer):
+    """An enabled tracer that counts how often the obs API is invoked."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=True)
+        self.api_calls = 0
+
+    def span(self, name, **attrs):
+        self.api_calls += 1
+        return super().span(name, **attrs)
+
+    def record_span(self, name, start, end=None, **attrs):
+        self.api_calls += 1
+        super().record_span(name, start, end, **attrs)
+
+    def count(self, name, value=1):
+        self.api_calls += 1
+        super().count(name, value)
+
+
+def bench_obs(
+    *,
+    seed: int = 7,
+    n: int = 64,
+    k: int = 1000,
+    repeats: int = 5,
+    max_overhead_pct: float = 2.0,
+) -> dict[str, Any]:
+    """Measure the observability layer's cost and enforce the disabled budget.
+
+    Three numbers:
+
+    * ``disabled_call_ns`` — the per-call cost of the disabled fast path
+      (``tracer()`` lookup + ``enabled`` check + a no-op ``count``), from a
+      tight micro-loop;
+    * ``api_calls_per_run`` — how many obs calls one kernel + simulator
+      workload actually makes (counted with an instrumented tracer);
+    * ``disabled_overhead_pct`` — their product over the measured disabled
+      workload time: the fraction of runtime the disabled tracer costs.
+
+    Raises ``AssertionError`` if the disabled overhead exceeds
+    ``max_overhead_pct`` (the contract ``repro bench`` enforces), and also
+    reports the *enabled* overhead for context.
+    """
+    rng = np.random.default_rng(seed)
+    inst = general_instance(rng, n=n, k=k, max_release=n, max_slack=12)
+
+    def workload() -> None:
+        bfl_fast(inst)
+        simulate(inst, EDFPolicy())
+
+    previous = obs._default
+    try:
+        # Disabled-path timing (the default production configuration).
+        obs.configure(enabled=False, export_env=False)
+        disabled_s = best_of(workload, repeats=repeats)
+
+        # Micro-benchmark the disabled fast path.
+        tr = obs.tracer()
+        loops = 200_000
+        start = time.perf_counter()
+        for _ in range(loops):
+            if tr.enabled:  # pragma: no cover - tracer is disabled here
+                pass
+            tr.count("bench.noop")
+        disabled_call_ns = (time.perf_counter() - start) / loops * 1e9
+
+        # Count the workload's obs API traffic with an instrumented tracer.
+        counting = _CountingTracer()
+        obs._default = counting
+        workload()
+        api_calls = counting.api_calls
+
+        # Enabled end-to-end timing, for context.
+        obs.configure(enabled=True, export_env=False)
+        enabled_s = best_of(workload, repeats=repeats)
+    finally:
+        obs._default = previous
+
+    disabled_overhead_pct = (
+        disabled_call_ns * 1e-9 * api_calls / disabled_s * 100 if disabled_s else 0.0
+    )
+    enabled_overhead_pct = (enabled_s / disabled_s - 1) * 100 if disabled_s else 0.0
+    payload = {
+        "workload": {"n": n, "messages": k},
+        "disabled_seconds": disabled_s,
+        "enabled_seconds": enabled_s,
+        "disabled_call_ns": disabled_call_ns,
+        "api_calls_per_run": api_calls,
+        "disabled_overhead_pct": disabled_overhead_pct,
+        "enabled_overhead_pct": enabled_overhead_pct,
+        "max_overhead_pct": max_overhead_pct,
+    }
+    if disabled_overhead_pct >= max_overhead_pct:
+        raise AssertionError(
+            f"disabled tracer overhead {disabled_overhead_pct:.3f}% exceeds "
+            f"the {max_overhead_pct}% budget"
+        )
+    return payload
+
+
 def run_benchmarks(
     *,
     seed: int = 2024,
@@ -161,14 +266,34 @@ def run_benchmarks(
     jobs: int | None = 4,
     out: str | Path | None = None,
 ) -> dict[str, Any]:
-    """Run both benchmarks; optionally write the JSON baseline to ``out``."""
+    """Run all benchmarks; optionally write the JSON baseline to ``out``.
+
+    The payload carries a ``phases`` breakdown (seconds per benchmark
+    phase); each phase is also recorded as a span on the process-wide
+    tracer, so a ``--trace`` run of the CLI sees the same structure.
+    """
+    tr = obs.tracer()
+    phases: list[dict[str, Any]] = []
+
+    def timed_phase(name: str, fn):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        phases.append({"name": name, "seconds": elapsed})
+        tr.record_span(f"bench.{name}", t0, t0 + elapsed)
+        return result
+
     payload = {
         "benchmark": "repro engine baseline",
         "cpu_count": os.cpu_count(),
         "jobs": resolve_jobs(jobs),
-        "kernel": bench_kernel(),
-        "sweep": bench_sweep(seed=seed, trials=trials, jobs=jobs),
+        "kernel": timed_phase("kernel", bench_kernel),
+        "sweep": timed_phase(
+            "sweep", lambda: bench_sweep(seed=seed, trials=trials, jobs=jobs)
+        ),
+        "obs": timed_phase("obs", bench_obs),
     }
+    payload["phases"] = phases
     if out is not None:
         Path(out).write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -195,4 +320,18 @@ def render_summary(payload: dict[str, Any]) -> str:
         f"warm {sweep['engine_warm_seconds']:.2f}s ({sweep['speedup_warm']:.2f}x, "
         f"{sweep['engine_warm_cache']['hits']} cache hits)"
     )
+    o = payload.get("obs")
+    if o:
+        lines.append(
+            f"  obs    disabled {o['disabled_call_ns']:.0f} ns/call, "
+            f"{o['api_calls_per_run']} calls/run -> "
+            f"{o['disabled_overhead_pct']:.3f}% overhead "
+            f"(budget {o['max_overhead_pct']}%); "
+            f"enabled {o['enabled_overhead_pct']:+.1f}%"
+        )
+    if payload.get("phases"):
+        breakdown = ", ".join(
+            f"{p['name']} {p['seconds']:.2f}s" for p in payload["phases"]
+        )
+        lines.append(f"  phases {breakdown}")
     return "\n".join(lines)

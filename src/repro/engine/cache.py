@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
+from .. import obs
 from ..core.instance import Instance
 
 __all__ = [
@@ -104,20 +105,25 @@ class ResultCache:
 
     def get(self, key: str) -> tuple[bool, Any]:
         """``(found, value)``; checks memory first, then disk."""
+        found, value, _layer = self.lookup(key)
+        return found, value
+
+    def lookup(self, key: str) -> tuple[bool, Any, str | None]:
+        """``(found, value, layer)`` with ``layer`` in ``memory``/``disk``."""
         if not self.enabled:
-            return False, None
+            return False, None, None
         if key in self.memory:
-            return True, self.memory[key]
+            return True, self.memory[key], "memory"
         if self.directory is not None:
             path = self.directory / f"{_fs_name(key)}.pkl"
             try:
                 with path.open("rb") as fh:
                     value = pickle.load(fh)
             except (OSError, pickle.PickleError, EOFError):
-                return False, None
+                return False, None, None
             self.memory[key] = value
-            return True, value
-        return False, None
+            return True, value, "disk"
+        return False, None, None
 
     def put(self, key: str, value: Any) -> None:
         if not self.enabled:
@@ -147,11 +153,16 @@ class ResultCache:
         if not self.enabled:
             return fn(instance, **params)
         key = self.key(instance, solver, params)
-        found, value = self.get(key)
+        tr = obs.tracer()
+        found, value, layer = self.lookup(key)
         if found:
             self.stats.hits += 1
+            if tr.enabled:
+                tr.count(f"cache.hits.{layer}")
             return value
         self.stats.misses += 1
+        if tr.enabled:
+            tr.count("cache.misses")
         value = fn(instance, **params)
         self.put(key, value)
         return value

@@ -21,14 +21,37 @@ footers.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from .cache import CacheStats, default_cache
 
-__all__ = ["resolve_jobs", "spawn_seeds", "spawn_rngs", "run_tasks"]
+__all__ = ["Engine", "resolve_jobs", "spawn_seeds", "spawn_rngs", "run_tasks"]
+
+
+@dataclass(frozen=True)
+class Engine:
+    """A sweep-execution handle: worker count + chunking, ready to ``map``.
+
+    Experiments accept one of these through their uniform
+    ``run(cfg, *, engine=None, obs=None)`` signature
+    (:mod:`repro.experiments.base`), so callers configure parallelism once
+    instead of threading ``jobs=`` keywords through every module.
+    """
+
+    jobs: int | None = 1
+    chunksize: int | None = None
+
+    def map(
+        self, fn: Callable[..., Any], argslist: Sequence[tuple] | Iterable[tuple]
+    ) -> tuple[list[Any], CacheStats]:
+        """Run ``fn(*args)`` per task via :func:`run_tasks` with this config."""
+        return run_tasks(fn, argslist, jobs=self.jobs, chunksize=self.chunksize)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -57,18 +80,33 @@ def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(ss) for ss in spawn_seeds(seed, count)]
 
 
-def _invoke(payload: tuple[Callable[..., Any], tuple]) -> tuple[Any, CacheStats]:
-    """Run one task and capture the cache delta it produced.
+def _invoke(
+    payload: tuple[Callable[..., Any], tuple]
+) -> tuple[Any, CacheStats, dict[str, float] | None]:
+    """Run one task and capture the cache + observability deltas it produced.
 
     Module-level so it pickles into pool workers; within a worker, tasks
     run sequentially, so a before/after snapshot of the process-wide
-    cache counters isolates this task's contribution.
+    cache and tracer counters isolates this task's contribution.  The
+    counter delta is ``None`` when tracing is disabled; worker tracers
+    inherit their enabled flag through the ``REPRO_OBS`` environment
+    variable (see :func:`repro.obs.configure`).
     """
     fn, args = payload
     cache = default_cache()
     before = cache.stats.snapshot()
-    value = fn(*args)
-    return value, cache.stats.since(before)
+    tr = obs.tracer()
+    if tr.enabled:
+        counters_before = tr.counters_snapshot()
+        t0 = time.perf_counter()
+        value = fn(*args)
+        tr.count("engine.tasks")
+        tr.count("engine.task_seconds", time.perf_counter() - t0)
+        obs_delta = tr.counters_since(counters_before)
+    else:
+        value = fn(*args)
+        obs_delta = None
+    return value, cache.stats.since(before), obs_delta
 
 
 def run_tasks(
@@ -93,18 +131,29 @@ def run_tasks(
     """
     payloads = [(fn, tuple(args)) for args in argslist]
     jobs = resolve_jobs(jobs)
+    tr = obs.tracer()
+    t0 = time.perf_counter() if tr.enabled else 0.0
     stats = CacheStats()
     results: list[Any] = []
     if jobs <= 1 or len(payloads) <= 1:
+        # Serial: _invoke increments the parent tracer directly, so its
+        # returned counter delta must NOT be merged again.
         for payload in payloads:
-            value, delta = _invoke(payload)
+            value, delta, _obs_delta = _invoke(payload)
             results.append(value)
             stats.merge(delta)
+        if tr.enabled:
+            tr.record_span("engine.run_tasks", t0, tasks=len(payloads), jobs=1)
         return results, stats
     if chunksize is None:
         chunksize = max(1, len(payloads) // (jobs * 4))
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        for value, delta in pool.map(_invoke, payloads, chunksize=chunksize):
+        for value, delta, obs_delta in pool.map(_invoke, payloads, chunksize=chunksize):
             results.append(value)
             stats.merge(delta)
+            tr.merge_counts(obs_delta)
+    if tr.enabled:
+        tr.record_span(
+            "engine.run_tasks", t0, tasks=len(payloads), jobs=jobs, chunksize=chunksize
+        )
     return results, stats

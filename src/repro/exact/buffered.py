@@ -15,6 +15,7 @@ Section 5: "making no attempt to limit the number of buffers").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from itertools import combinations
 
@@ -22,6 +23,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from .. import obs
 from ..core.instance import Instance
 from ..core.message import Direction, Message
 from ..core.schedule import Schedule
@@ -87,6 +89,8 @@ def opt_buffered(
         for mid, w in weights.items():
             if w <= 0:
                 raise ValueError(f"weight of message {mid} must be positive, got {w}")
+    tr = obs.tracer()
+    t0 = time.perf_counter() if tr.enabled else 0.0
     msgs = _lr_feasible(instance)
     if not msgs:
         return BufferedResult(Schedule(), True)
@@ -176,7 +180,22 @@ def opt_buffered(
         m = msgs[mi]
         times = tuple(per_link[v] for v in range(m.source, m.dest))
         trajectories.append(Trajectory(m.id, m.source, times))
-    return BufferedResult(Schedule(tuple(trajectories)), bool(res.status == 0))
+    optimal = bool(res.status == 0)
+    if tr.enabled:
+        tr.count("exact.milp.solves")
+        tr.count("exact.milp.variables", nvar)
+        tr.count("exact.milp.constraints", nrow)
+        if not optimal:
+            tr.count("exact.milp.timeouts")
+        tr.record_span(
+            "exact.milp.buffered",
+            t0,
+            variables=nvar,
+            constraints=nrow,
+            messages=len(msgs),
+            optimal=optimal,
+        )
+    return BufferedResult(Schedule(tuple(trajectories)), optimal)
 
 
 def opt_buffered_bruteforce(instance: Instance, *, max_messages: int = 10) -> BufferedResult:

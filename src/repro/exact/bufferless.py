@@ -17,6 +17,7 @@ deadlines are.
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_left, insort
 from dataclasses import dataclass
 
@@ -24,6 +25,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from .. import obs
 from ..core.instance import Instance
 from ..core.message import Direction, Message
 from ..core.schedule import Schedule
@@ -82,6 +84,8 @@ def opt_bufferless(
         for mid, w in weights.items():
             if w <= 0:
                 raise ValueError(f"weight of message {mid} must be positive, got {w}")
+    tr = obs.tracer()
+    t0 = time.perf_counter() if tr.enabled else 0.0
     work, msgs = _prepare(instance)
     if not msgs:
         return BufferlessResult(Schedule(), True)
@@ -156,7 +160,22 @@ def opt_bufferless(
         trajectories.append(
             bufferless_trajectory(instance[msgs[i].id], int(var_alpha_arr[j]))
         )
-    return BufferlessResult(Schedule(tuple(trajectories)), bool(res.status == 0))
+    optimal = bool(res.status == 0)
+    if tr.enabled:
+        tr.count("exact.milp.solves")
+        tr.count("exact.milp.variables", nvar)
+        tr.count("exact.milp.constraints", nrow)
+        if not optimal:
+            tr.count("exact.milp.timeouts")
+        tr.record_span(
+            "exact.milp.bufferless",
+            t0,
+            variables=nvar,
+            constraints=nrow,
+            messages=len(msgs),
+            optimal=optimal,
+        )
+    return BufferlessResult(Schedule(tuple(trajectories)), optimal)
 
 
 def opt_bufferless_bnb(instance: Instance, *, node_limit: int = 2_000_000) -> BufferlessResult:
@@ -169,6 +188,8 @@ def opt_bufferless_bnb(instance: Instance, *, node_limit: int = 2_000_000) -> Bu
     ``node_limit`` caps the search; exceeding it raises ``RuntimeError`` —
     this solver is for cross-checks on small instances, not production use.
     """
+    tr = obs.tracer()
+    t0 = time.perf_counter() if tr.enabled else 0.0
     work, msgs = _prepare(instance)
     if not msgs:
         return BufferlessResult(Schedule(), True)
@@ -179,6 +200,7 @@ def opt_bufferless_bnb(instance: Instance, *, node_limit: int = 2_000_000) -> Bu
     # occupancy per line: sorted list of (left, right) node intervals
     occupancy: dict[int, list[tuple[int, int]]] = {}
     nodes_visited = 0
+    prunes = 0
 
     def fits(alpha: int, left: int, right: int) -> bool:
         occ = occupancy.get(alpha, [])
@@ -196,11 +218,12 @@ def opt_bufferless_bnb(instance: Instance, *, node_limit: int = 2_000_000) -> Bu
         occupancy[alpha].remove((left, right))
 
     def dfs(i: int, count: int, assign: dict[int, int]) -> None:
-        nonlocal best_count, best_assign, nodes_visited
+        nonlocal best_count, best_assign, nodes_visited, prunes
         nodes_visited += 1
         if nodes_visited > node_limit:
             raise RuntimeError(f"branch-and-bound exceeded {node_limit} nodes")
         if count + (len(msgs) - i) <= best_count:
+            prunes += 1
             return
         if i == len(msgs):
             best_count = count
@@ -217,6 +240,18 @@ def opt_bufferless_bnb(instance: Instance, *, node_limit: int = 2_000_000) -> Bu
         dfs(i + 1, count, assign)  # drop m
 
     dfs(0, 0, {})
+    if tr.enabled:
+        tr.count("exact.bnb.solves")
+        tr.count("exact.bnb.nodes", nodes_visited)
+        tr.count("exact.bnb.prunes", prunes)
+        tr.record_span(
+            "exact.bnb.bufferless",
+            t0,
+            nodes=nodes_visited,
+            prunes=prunes,
+            messages=len(msgs),
+            best=best_count,
+        )
     trajectories = tuple(
         bufferless_trajectory(instance[mid], alpha) for mid, alpha in best_assign.items()
     )

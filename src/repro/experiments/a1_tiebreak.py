@@ -15,6 +15,8 @@ from ..core.bfl import EDF, LONGEST_FIRST, NEAREST_DEST, bfl
 from ..exact import opt_bufferless
 from ..workloads import general_instance, hotspot_instance
 
+from .base import experiment
+
 __all__ = ["run"]
 
 DESCRIPTION = "Ablation: BFL tie-break rule (nearest-dest vs EDF vs longest-first)"
@@ -26,7 +28,7 @@ RULES = {
 }
 
 
-def run(*, seed: int = 2024, trials: int = 15) -> Table:
+def _run(*, seed: int = 2024, trials: int = 15) -> Table:
     rng = np.random.default_rng(seed)
     table = Table(["family", "rule", "mean_ratio", "min_ratio", "guarantee_held"])
     families = {
@@ -49,3 +51,6 @@ def run(*, seed: int = 2024, trials: int = 15) -> Table:
                 guarantee_held=bool(np.min(ratios) >= 0.5),
             )
     return table
+
+
+run = experiment(_run)

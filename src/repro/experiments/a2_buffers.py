@@ -12,9 +12,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.tables import Table
-from ..baselines import EDFPolicy, run_policy
+from ..baselines import EDFPolicy
+from ..network.simulator import simulate
 from ..core.dbfl import dbfl
 from ..workloads import hotspot_instance, saturated_instance
+
+from .base import experiment
 
 __all__ = ["run"]
 
@@ -23,7 +26,7 @@ DESCRIPTION = "Ablation: throughput vs per-node buffer capacity"
 CAPACITIES = (0, 1, 2, 4, None)  # None == unbounded (the paper's setting)
 
 
-def run(*, seed: int = 2024, trials: int = 10) -> Table:
+def _run(*, seed: int = 2024, trials: int = 10) -> Table:
     rng = np.random.default_rng(seed)
     table = Table(["family", "capacity", "dbfl", "edf_buffered", "overflow_drops"])
     families = {
@@ -36,7 +39,7 @@ def run(*, seed: int = 2024, trials: int = 10) -> Table:
             dbfl_sum = edf_sum = overflow = 0
             for inst in instances:
                 d = dbfl(inst, buffer_capacity=cap)
-                e = run_policy(inst, EDFPolicy(), buffer_capacity=cap)
+                e = simulate(inst, EDFPolicy(), buffer_capacity=cap)
                 dbfl_sum += d.throughput
                 edf_sum += e.throughput
                 overflow += d.stats.buffer_overflow_drops + e.stats.buffer_overflow_drops
@@ -48,3 +51,6 @@ def run(*, seed: int = 2024, trials: int = 10) -> Table:
                 overflow_drops=overflow / trials,
             )
     return table
+
+
+run = experiment(_run)

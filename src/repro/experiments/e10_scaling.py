@@ -19,12 +19,14 @@ from ..core.bfl_fast import bfl_fast
 from ..core.dbfl import dbfl
 from ..workloads import general_instance
 
+from .base import experiment
+
 __all__ = ["run"]
 
 DESCRIPTION = "BFL runtime scaling in |I|; vectorised speedup; D-BFL step rate"
 
 
-def run(*, seed: int = 2024, repeats: int = 3) -> Table:
+def _run(*, seed: int = 2024, repeats: int = 3) -> Table:
     rng = np.random.default_rng(seed)
     table = Table(
         ["messages", "n", "bfl_ms", "bfl_fast_ms", "speedup", "dbfl_ms", "hops_per_sec"]
@@ -53,3 +55,6 @@ def _time(fn) -> float:
     t0 = time.perf_counter()
     fn()
     return time.perf_counter() - t0
+
+
+run = experiment(_run)

@@ -14,6 +14,8 @@ from ..exact.ring import opt_ring_bufferless
 from ..exact.ring_buffered import opt_ring_buffered
 from ..network.ring import RingInstance, RingMessage, validate_ring_schedule
 
+from .base import experiment
+
 __all__ = ["run", "random_ring_instance"]
 
 DESCRIPTION = "Ring networks: helix-greedy BFL vs exact OPT_BL"
@@ -37,7 +39,7 @@ def random_ring_instance(
     return RingInstance(n, tuple(msgs))
 
 
-def run(*, seed: int = 2024, trials: int = 20) -> Table:
+def _run(*, seed: int = 2024, trials: int = 20) -> Table:
     rng = np.random.default_rng(seed)
     table = Table(
         [
@@ -81,3 +83,6 @@ def run(*, seed: int = 2024, trials: int = 20) -> Table:
             bound_ok=bool(np.min(ratios) >= 0.5),
         )
     return table
+
+
+run = experiment(_run)

@@ -14,10 +14,13 @@ from __future__ import annotations
 
 from ..analysis.sweeps import sweep
 from ..analysis.tables import Table
-from ..baselines import EDFPolicy, MinLaxityPolicy, first_fit, run_policy
+from ..baselines import EDFPolicy, MinLaxityPolicy, first_fit
+from ..network.simulator import simulate
 from ..core.dbfl import dbfl
 from ..engine import cached_bfl
 from ..workloads import saturated_instance
+
+from .base import experiment
 
 __all__ = ["run"]
 
@@ -43,11 +46,11 @@ def _first_fit(inst):
 
 
 def _edf_buffered(inst):
-    return run_policy(inst, EDFPolicy()).throughput
+    return simulate(inst, EDFPolicy()).throughput
 
 
 def _llf_buffered(inst):
-    return run_policy(inst, MinLaxityPolicy()).throughput
+    return simulate(inst, MinLaxityPolicy()).throughput
 
 
 SCHEDULERS = {
@@ -59,7 +62,7 @@ SCHEDULERS = {
 }
 
 
-def run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1) -> Table:
+def _run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1) -> Table:
     return sweep(
         "load",
         LOADS,
@@ -69,3 +72,6 @@ def run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1) -> Table:
         trials=trials,
         jobs=jobs,
     )
+
+
+run = experiment(_run)

@@ -13,10 +13,13 @@ from __future__ import annotations
 
 from ..analysis.sweeps import sweep
 from ..analysis.tables import Table
-from ..baselines import EDFPolicy, run_policy
+from ..baselines import EDFPolicy
+from ..network.simulator import simulate
 from ..core.dbfl import dbfl
 from ..engine import cached_bfl
 from ..workloads import general_instance
+
+from .base import experiment
 
 __all__ = ["run"]
 
@@ -38,7 +41,7 @@ def _dbfl(inst):
 
 
 def _edf_buffered(inst):
-    return run_policy(inst, EDFPolicy()).throughput
+    return simulate(inst, EDFPolicy()).throughput
 
 
 SCHEDULERS = {
@@ -48,7 +51,7 @@ SCHEDULERS = {
 }
 
 
-def run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1) -> Table:
+def _run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1) -> Table:
     return sweep(
         "max_slack",
         SLACKS,
@@ -58,3 +61,6 @@ def run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1) -> Table:
         trials=trials,
         jobs=jobs,
     )
+
+
+run = experiment(_run)

@@ -19,6 +19,8 @@ from ..mesh import xy_schedule
 from ..mesh.validate import validate_mesh_schedule
 from ..workloads.meshes import mesh_hotspot, random_mesh_instance, transpose_mesh
 
+from .base import experiment
+
 __all__ = ["run"]
 
 DESCRIPTION = "Mesh XY routing: per-line scheduler comparison + conversion cost"
@@ -26,7 +28,7 @@ DESCRIPTION = "Mesh XY routing: per-line scheduler comparison + conversion cost"
 _SCHEDULERS = {"bfl": bfl, "edf": edf_bufferless, "first_fit": first_fit}
 
 
-def run(*, seed: int = 2024, trials: int = 8) -> Table:
+def _run(*, seed: int = 2024, trials: int = 8) -> Table:
     rng = np.random.default_rng(seed)
     # (family, generator, small variant for the exact reference)
     families = {
@@ -80,3 +82,6 @@ def run(*, seed: int = 2024, trials: int = 8) -> Table:
                 greedy_vs_exact=gap_num / gap_den if gap_den else 1.0,
             )
     return table
+
+
+run = experiment(_run)

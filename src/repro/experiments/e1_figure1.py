@@ -8,12 +8,14 @@ from ..core.dbfl import dbfl
 from ..exact import opt_buffered, opt_bufferless
 from ..viz.figures import figure1, figure1_instance
 
+from .base import experiment
+
 __all__ = ["run", "render"]
 
 DESCRIPTION = "Figure 1 / §2 table: the six-message example on the 22-node line"
 
 
-def run() -> Table:
+def _run() -> Table:
     """Per-message facts plus how each algorithm handles the example."""
     inst = figure1_instance()
     central = bfl(inst)
@@ -47,3 +49,6 @@ def run() -> Table:
 def render() -> str:
     """The full figure as text (table + lattice + BFL schedule)."""
     return figure1()
+
+
+run = experiment(_run)

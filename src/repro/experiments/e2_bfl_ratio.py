@@ -19,6 +19,8 @@ from ..analysis.tables import Table
 from ..engine import cached_bfl, cached_opt_bufferless, run_tasks, spawn_seeds
 from ..workloads import general_instance
 
+from .base import experiment
+
 __all__ = ["run", "SIZES"]
 
 DESCRIPTION = "Theorem 3.2: BFL vs exact OPT_BL ratio across random instances"
@@ -35,7 +37,7 @@ def _trial(seed_seq: np.random.SeedSequence, n: int, k: int) -> float:
     return approx / exact if exact else 1.0
 
 
-def run(*, seed: int = 2024, trials: int = 40, jobs: int | None = 1) -> Table:
+def _run(*, seed: int = 2024, trials: int = 40, jobs: int | None = 1) -> Table:
     seeds = spawn_seeds(seed, len(SIZES) * trials)
     tasks = [
         (seeds[si * trials + t], n, k)
@@ -58,3 +60,6 @@ def run(*, seed: int = 2024, trials: int = 40, jobs: int | None = 1) -> Table:
     if cache_stats.total:
         table.add_footnote(cache_stats.footnote())
     return table
+
+
+run = experiment(_run)

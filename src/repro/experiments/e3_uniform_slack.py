@@ -16,12 +16,14 @@ from ..core.bfl import bfl
 from ..exact import opt_buffered, opt_bufferless
 from ..workloads import uniform_slack_instance
 
+from .base import experiment
+
 __all__ = ["run"]
 
 DESCRIPTION = "Theorem 4.1: OPT_B <= 3 OPT_BL under uniform slack + credit audit"
 
 
-def run(*, seed: int = 2024, trials: int = 12) -> Table:
+def _run(*, seed: int = 2024, trials: int = 12) -> Table:
     table = Table(
         ["slack", "trials", "max_ratio", "bound", "max_credit", "credit_cap", "bound_ok"]
     )
@@ -49,3 +51,6 @@ def run(*, seed: int = 2024, trials: int = 12) -> Table:
             bound_ok=bool(worst_ratio <= 3.0 + 1e-9),
         )
     return table
+
+
+run = experiment(_run)

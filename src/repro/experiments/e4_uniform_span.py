@@ -16,12 +16,14 @@ from ..core.validate import validate_schedule
 from ..exact import opt_buffered, opt_bufferless
 from ..workloads import uniform_span_instance
 
+from .base import experiment
+
 __all__ = ["run"]
 
 DESCRIPTION = "Theorem 4.2: OPT_B <= 2 OPT_BL under uniform span + conversion"
 
 
-def run(*, seed: int = 2024, trials: int = 12) -> Table:
+def _run(*, seed: int = 2024, trials: int = 12) -> Table:
     table = Table(
         [
             "span",
@@ -63,3 +65,6 @@ def run(*, seed: int = 2024, trials: int = 12) -> Table:
             bound_ok=bool(worst_ratio <= 2.0 + 1e-9),
         )
     return table
+
+
+run = experiment(_run)

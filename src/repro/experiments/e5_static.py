@@ -21,12 +21,14 @@ from ..core.validate import validate_schedule
 from ..exact import opt_buffered, opt_bufferless
 from ..workloads import static_instance
 
+from .base import experiment
+
 __all__ = ["run"]
 
 DESCRIPTION = "Theorem 4.3: OPT_B <= 2 OPT_BL for static instances, constructively"
 
 
-def run(*, seed: int = 2024, trials: int = 15) -> Table:
+def _run(*, seed: int = 2024, trials: int = 15) -> Table:
     table = Table(
         [
             "k",
@@ -69,3 +71,6 @@ def run(*, seed: int = 2024, trials: int = 15) -> Table:
             bound_ok=bool(worst_ratio <= 2.0 + 1e-9 and min_frac >= 0.5 - 1e-9),
         )
     return table
+
+
+run = experiment(_run)

@@ -21,6 +21,8 @@ from ..core.dbfl import dbfl
 from ..core.validate import validate_schedule
 from ..exact import opt_bufferless
 
+from .base import experiment
+
 __all__ = ["run"]
 
 DESCRIPTION = "Thm 4.5 / Fig. 2: the I_k family's growing OPT_B / OPT_BL ratio"
@@ -29,7 +31,7 @@ DESCRIPTION = "Thm 4.5 / Fig. 2: the I_k family's growing OPT_B / OPT_BL ratio"
 _EXACT_K = 3
 
 
-def run(*, max_k: int = 8) -> Table:
+def _run(*, max_k: int = 8) -> Table:
     table = Table(
         [
             "k",
@@ -79,3 +81,6 @@ def run(*, max_k: int = 8) -> Table:
             ),
         )
     return table
+
+
+run = experiment(_run)

@@ -20,12 +20,14 @@ from ..workloads import (
     static_instance,
 )
 
+from .base import experiment
+
 __all__ = ["run"]
 
 DESCRIPTION = "Theorem 5.2: D-BFL(I) == BFL(I) across workload families"
 
 
-def run(*, seed: int = 2024, trials: int = 25) -> Table:
+def _run(*, seed: int = 2024, trials: int = 25) -> Table:
     rng = np.random.default_rng(seed)
     families = {
         "general": lambda: general_instance(rng, n=20, k=30, max_release=15, max_slack=8),
@@ -59,3 +61,6 @@ def run(*, seed: int = 2024, trials: int = 25) -> Table:
             mean_wait=float(np.mean(waits)),
         )
     return table
+
+
+run = experiment(_run)

@@ -21,6 +21,8 @@ from ..hardness import (
     satisfying_assignment_from_schedule,
 )
 
+from .base import experiment
+
 __all__ = ["run"]
 
 DESCRIPTION = "Thm 3.1/5.1: OPT(I(Φ)) = N - v iff Φ satisfiable"
@@ -35,7 +37,7 @@ def _complete_unsat() -> CNF:
     return CNF.of(3, rows)
 
 
-def run(*, seed: int = 2024, trials: int = 8) -> Table:
+def _run(*, seed: int = 2024, trials: int = 8) -> Table:
     rng = np.random.default_rng(seed)
     table = Table(
         [
@@ -88,3 +90,6 @@ def run(*, seed: int = 2024, trials: int = 8) -> Table:
         mean_messages=float(red.num_messages),
     )
     return table
+
+
+run = experiment(_run)

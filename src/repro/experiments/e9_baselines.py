@@ -23,10 +23,10 @@ from ..baselines import (
     first_fit,
     min_laxity_first,
     random_assignment,
-    run_policy,
 )
 from ..core.dbfl import dbfl
 from ..engine import cached_bfl, run_tasks, spawn_seeds
+from ..network.simulator import simulate
 from ..exact import cut_upper_bound
 from ..workloads import (
     general_instance,
@@ -34,6 +34,8 @@ from ..workloads import (
     multimedia_instance,
     saturated_instance,
 )
+
+from .base import experiment
 
 __all__ = ["run", "SCHEDULERS"]
 
@@ -84,9 +86,9 @@ def _throughputs(inst, rng) -> dict[str, int]:
         "first_fit": first_fit(inst).throughput,
         "min_laxity": min_laxity_first(inst).throughput,
         "random": random_assignment(inst, rng).throughput,
-        "edf_buffered": run_policy(inst, EDFPolicy()).throughput,
-        "llf_buffered": run_policy(inst, MinLaxityPolicy()).throughput,
-        "fcfs_buffered": run_policy(inst, FCFSPolicy()).throughput,
+        "edf_buffered": simulate(inst, EDFPolicy()).throughput,
+        "llf_buffered": simulate(inst, MinLaxityPolicy()).throughput,
+        "fcfs_buffered": simulate(inst, FCFSPolicy()).throughput,
     }
 
 
@@ -101,7 +103,7 @@ def _family_trial(seed_seq: np.random.SeedSequence, family: str) -> dict[str, fl
     }
 
 
-def run(*, seed: int = 2024, trials: int = 10, jobs: int | None = 1) -> Table:
+def _run(*, seed: int = 2024, trials: int = 10, jobs: int | None = 1) -> Table:
     names = list(FAMILIES)
     seeds = spawn_seeds(seed, len(names) * trials)
     tasks = [
@@ -122,3 +124,6 @@ def run(*, seed: int = 2024, trials: int = 10, jobs: int | None = 1) -> Table:
     if cache_stats.total:
         table.add_footnote(cache_stats.footnote())
     return table
+
+
+run = experiment(_run)

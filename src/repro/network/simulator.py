@@ -30,9 +30,11 @@ time proportional to the activity, not the horizon.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Hashable
 
+from .. import obs
 from ..core.instance import Instance
 from ..core.message import Direction
 from ..core.schedule import Schedule
@@ -95,6 +97,8 @@ class LinearNetworkSimulator:
     # ------------------------------------------------------------------ #
 
     def run(self) -> SimulationResult:
+        tr = obs.tracer()
+        t0 = time.perf_counter() if tr.enabled else 0.0
         inst = self.instance
         policy = self.policy
         n = inst.n
@@ -131,6 +135,7 @@ class LinearNetworkSimulator:
             ):
                 t = min(releases)
                 stats.steps = t
+                stats.idle_fast_forwards += 1
                 continue
 
             # 1. arrivals
@@ -218,6 +223,20 @@ class LinearNetworkSimulator:
 
         schedule = Schedule(tuple(p.trajectory() for p in delivered))
         validate_schedule(inst, schedule)
+        if tr.enabled:
+            tr.count("sim.runs")
+            tr.count("sim.steps", stats.steps)
+            tr.count("sim.idle_fast_forwards", stats.idle_fast_forwards)
+            tr.count("sim.delivered", stats.delivered)
+            tr.count("sim.expired", stats.dropped)
+            tr.record_span(
+                "sim.run",
+                t0,
+                n=n,
+                packets=len(packets),
+                policy=type(policy).__name__,
+                steps=stats.steps,
+            )
         return SimulationResult(
             schedule=schedule,
             delivered_ids=frozenset(p.id for p in delivered),

@@ -19,6 +19,7 @@ class SimulationStats:
     released: int = 0
     delivered: int = 0
     dropped: int = 0
+    idle_fast_forwards: int = 0
     link_busy_steps: dict[int, int] = field(default_factory=dict)
     peak_buffer: dict[int, int] = field(default_factory=dict)
     total_wait_steps: int = 0

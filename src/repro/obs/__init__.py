@@ -1,0 +1,129 @@
+"""``repro.obs`` — structured observability for the scheduling stack.
+
+The subsystem has four pieces:
+
+* :mod:`repro.obs.tracer` — the hierarchical span tracer plus counters,
+  timers, gauges and events (:class:`Tracer`);
+* :mod:`repro.obs.exporters` — JSONL trace files, plain dicts for tests,
+  aggregated console summaries;
+* :mod:`repro.obs.manifest` — :class:`RunManifest` provenance records;
+* :mod:`repro.obs.report` — read a JSONL trace back and summarize it
+  (``repro obs report``).
+
+Process-wide tracer
+-------------------
+Instrumented call sites (exact solvers, the BFL kernel, the simulator,
+the sweep engine) all report to one process-wide tracer, fetched with
+:func:`tracer`.  It starts **disabled** unless the ``REPRO_OBS``
+environment variable is truthy; :func:`enable` / :func:`configure` flip
+it programmatically.  ``enable()`` also exports ``REPRO_OBS=1`` so sweep
+-engine worker processes spawned afterwards inherit the setting and ship
+their counter deltas back to the parent.
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()
+    ... run experiments ...
+    obs.write_trace("t.jsonl", manifest=obs.RunManifest.collect("run"))
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+
+from .exporters import render_summary, to_dict, to_jsonl
+from .manifest import RunManifest, git_revision
+from .report import TraceData, load_trace, render_report
+from .tracer import NULL_SPAN, NullSpan, Span, SpanRecord, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "SpanRecord",
+    "NullSpan",
+    "NULL_SPAN",
+    "RunManifest",
+    "git_revision",
+    "TraceData",
+    "load_trace",
+    "render_report",
+    "render_summary",
+    "to_dict",
+    "to_jsonl",
+    "tracer",
+    "configure",
+    "enable",
+    "disable",
+    "use",
+    "write_trace",
+]
+
+_ENV_FLAG = "REPRO_OBS"
+
+_default: Tracer | None = None
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(_ENV_FLAG, "").lower() in ("1", "true", "on", "yes")
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer, built from the environment on first use."""
+    global _default
+    if _default is None:
+        _default = Tracer(enabled=_env_enabled())
+    return _default
+
+
+def configure(*, enabled: bool, export_env: bool = True) -> Tracer:
+    """Replace the process-wide tracer.
+
+    ``export_env`` keeps ``REPRO_OBS`` in sync so engine worker processes
+    spawned later inherit the flag (they report counter deltas only).
+    """
+    global _default
+    _default = Tracer(enabled=enabled)
+    if export_env:
+        if enabled:
+            os.environ[_ENV_FLAG] = "1"
+        else:
+            os.environ.pop(_ENV_FLAG, None)
+    return _default
+
+
+def enable() -> Tracer:
+    """Enable process-wide tracing (fresh tracer) and return it."""
+    return configure(enabled=True)
+
+
+def disable() -> Tracer:
+    """Disable process-wide tracing (fresh, empty tracer)."""
+    return configure(enabled=False)
+
+
+@contextlib.contextmanager
+def use(tracer_obj: Tracer):
+    """Temporarily install ``tracer_obj`` as the process-wide tracer.
+
+    Lets a caller (e.g. ``run(cfg, obs=my_tracer)``) capture one run's
+    telemetry in isolation without touching the environment flag, so
+    nothing leaks between tests.
+    """
+    global _default
+    previous = _default
+    _default = tracer_obj
+    try:
+        yield tracer_obj
+    finally:
+        _default = previous
+
+
+def write_trace(
+    path: str | Path, *, manifest: RunManifest | None = None
+) -> Path:
+    """Export the process-wide tracer's trace to ``path`` as JSONL."""
+    return to_jsonl(tracer(), path, manifest=manifest)

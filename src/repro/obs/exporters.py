@@ -1,0 +1,87 @@
+"""Trace exporters: JSONL file, plain dict, aggregated console summary.
+
+The JSONL schema is one object per line, discriminated by ``type``:
+
+* ``{"type": "manifest", ...}`` — :class:`repro.obs.manifest.RunManifest`
+  fields; always the first line when a manifest is supplied;
+* ``{"type": "span", "id", "parent", "name", "start", "dur", "pid",
+  "attrs"}`` — ``start`` is wall-clock seconds, ``dur`` is seconds;
+* ``{"type": "counter", "name", "value"}``;
+* ``{"type": "gauge", "name", "value"}``;
+* ``{"type": "event", "name", "time", "attrs"}``.
+
+``repro.obs.report`` consumes exactly this schema; the dedicated schema
+test (``tests/test_obs.py``) pins it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .manifest import RunManifest
+from .tracer import Tracer
+
+__all__ = ["to_dict", "to_jsonl", "render_summary"]
+
+
+def to_dict(tracer: Tracer) -> dict[str, Any]:
+    """Everything the tracer collected, as plain data (for tests)."""
+    return {
+        "spans": [
+            {
+                "id": s.id,
+                "parent": s.parent,
+                "name": s.name,
+                "start": tracer.wall_time(s.start),
+                "dur": s.duration,
+                "pid": s.pid,
+                "attrs": s.attrs,
+            }
+            for s in tracer.spans
+        ],
+        "counters": dict(tracer.counters),
+        "gauges": dict(tracer.gauges),
+        "events": [
+            {"name": e["name"], "time": tracer.wall_time(e["time"]), "attrs": e["attrs"]}
+            for e in tracer.events
+        ],
+    }
+
+
+def to_jsonl(
+    tracer: Tracer, path: str | Path, *, manifest: RunManifest | None = None
+) -> Path:
+    """Write the trace to ``path`` in the JSONL schema; returns the path."""
+    path = Path(path)
+    data = to_dict(tracer)
+    lines: list[str] = []
+    if manifest is not None:
+        lines.append(json.dumps({"type": "manifest", **manifest.to_dict()}))
+    for span in data["spans"]:
+        lines.append(json.dumps({"type": "span", **span}))
+    for name, value in sorted(data["counters"].items()):
+        lines.append(json.dumps({"type": "counter", "name": name, "value": value}))
+    for name, value in sorted(data["gauges"].items()):
+        lines.append(json.dumps({"type": "gauge", "name": name, "value": value}))
+    for event in data["events"]:
+        lines.append(json.dumps({"type": "event", **event}))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def render_summary(tracer: Tracer) -> str:
+    """Aggregated console digest of a live tracer (per-name span totals)."""
+    from .report import aggregate_spans, render_phase_table, render_counters
+
+    data = to_dict(tracer)
+    parts = []
+    if data["spans"]:
+        parts.append(render_phase_table(aggregate_spans(data["spans"])))
+    if data["counters"]:
+        parts.append(render_counters(data["counters"]))
+    if data["gauges"]:
+        parts.append("gauges")
+        parts.extend(f"  {name} = {value:g}" for name, value in sorted(data["gauges"].items()))
+    return "\n".join(parts) if parts else "(trace is empty)"

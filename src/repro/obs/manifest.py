@@ -1,0 +1,82 @@
+"""Per-run provenance: what ran, from which tree, with which knobs.
+
+A :class:`RunManifest` pins down everything needed to reproduce (or
+refuse to compare) a run: the command and its configuration, the seed,
+the git revision of the working tree, interpreter/platform, and wall
+timings.  The CLI writes it as the first line of every ``--trace`` file
+and `repro obs report` prints it as the report header.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["RunManifest", "git_revision"]
+
+
+def git_revision() -> str | None:
+    """The working tree's ``HEAD`` hash, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+@dataclass
+class RunManifest:
+    """Provenance record written alongside every traced run."""
+
+    command: str
+    config: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    git_rev: str | None = None
+    python: str = ""
+    platform: str = ""
+    started_at: str = ""
+    elapsed_seconds: float | None = None
+
+    @classmethod
+    def collect(
+        cls, command: str, *, config: dict[str, Any] | None = None, seed: int | None = None
+    ) -> "RunManifest":
+        """Snapshot the environment at run start."""
+        return cls(
+            command=command,
+            config=dict(config or {}),
+            seed=seed,
+            git_rev=git_revision(),
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+            started_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        )
+
+    def finish(self, elapsed_seconds: float) -> "RunManifest":
+        self.elapsed_seconds = elapsed_seconds
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    def write_json(self, path: str | Path) -> None:
+        """Write the manifest as a standalone JSON document."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunManifest":
+        fields = {k: data[k] for k in cls.__dataclass_fields__ if k in data}
+        return cls(**fields)

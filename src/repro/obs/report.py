@@ -1,0 +1,159 @@
+"""Read a JSONL trace back and summarize it (``repro obs report``).
+
+The report answers the three questions a sweep profiler asks:
+
+* **where did the time go?** — spans aggregated by name: calls, total
+  seconds, mean milliseconds, share of the longest phase;
+* **how hard did the solvers work?** — solver counters (branch-and-bound
+  nodes and prunes, MILP solves/variables, BFL segments scanned,
+  simulator steps and idle fast-forwards);
+* **did the cache earn its keep?** — hit rate derived from the
+  ``cache.*`` counters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .manifest import RunManifest
+
+__all__ = [
+    "TraceData",
+    "load_trace",
+    "aggregate_spans",
+    "render_phase_table",
+    "render_counters",
+    "render_report",
+]
+
+
+@dataclass
+class TraceData:
+    """A parsed JSONL trace file."""
+
+    manifest: RunManifest | None = None
+    spans: list[dict[str, Any]] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+
+def load_trace(path: str | Path) -> TraceData:
+    """Parse a trace written by :func:`repro.obs.exporters.to_jsonl`."""
+    trace = TraceData()
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+        kind = record.get("type")
+        if kind == "manifest":
+            trace.manifest = RunManifest.from_dict(record)
+        elif kind == "span":
+            trace.spans.append(record)
+        elif kind == "counter":
+            trace.counters[record["name"]] = record["value"]
+        elif kind == "gauge":
+            trace.gauges[record["name"]] = record["value"]
+        elif kind == "event":
+            trace.events.append(record)
+        else:
+            raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+    return trace
+
+
+def aggregate_spans(spans: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Per-name aggregates, longest total first."""
+    agg: dict[str, dict[str, float]] = {}
+    for span in spans:
+        a = agg.setdefault(span["name"], {"calls": 0, "total": 0.0})
+        a["calls"] += 1
+        a["total"] += span["dur"]
+    rows = [
+        {
+            "name": name,
+            "calls": int(a["calls"]),
+            "total_s": a["total"],
+            "mean_ms": a["total"] / a["calls"] * 1e3,
+        }
+        for name, a in agg.items()
+    ]
+    rows.sort(key=lambda r: -r["total_s"])
+    top = rows[0]["total_s"] if rows else 0.0
+    for r in rows:
+        r["share"] = r["total_s"] / top if top else 0.0
+    return rows
+
+
+def render_phase_table(rows: list[dict[str, Any]]) -> str:
+    """Fixed-width per-phase timing table."""
+    if not rows:
+        return "phases: (none recorded)"
+    width = max(len("phase"), max(len(r["name"]) for r in rows))
+    lines = [f"{'phase':<{width}}  {'calls':>7}  {'total_s':>9}  {'mean_ms':>10}  {'share':>6}"]
+    for r in rows:
+        lines.append(
+            f"{r['name']:<{width}}  {r['calls']:>7}  {r['total_s']:>9.3f}  "
+            f"{r['mean_ms']:>10.3f}  {r['share']:>5.0%}"
+        )
+    return "\n".join(lines)
+
+
+def render_counters(counters: dict[str, float]) -> str:
+    """Counters section, with the derived cache hit rate up front."""
+    lines = []
+    hits = sum(v for k, v in counters.items() if k.startswith("cache.hits"))
+    misses = counters.get("cache.misses", 0)
+    if hits or misses:
+        total = hits + misses
+        lines.append(
+            f"cache: {hits:g} hits / {misses:g} misses "
+            f"({hits / total:.0%} hit rate)" if total else "cache: idle"
+        )
+    solver = {k: v for k, v in counters.items() if k.startswith(("exact.", "bfl.", "sim."))}
+    if solver:
+        lines.append("solver counters")
+        lines.extend(f"  {name} = {value:g}" for name, value in sorted(solver.items()))
+    rest = {
+        k: v
+        for k, v in counters.items()
+        if not k.startswith(("exact.", "bfl.", "sim.", "cache."))
+    }
+    if rest:
+        lines.append("other counters")
+        lines.extend(f"  {name} = {value:g}" for name, value in sorted(rest.items()))
+    return "\n".join(lines) if lines else "counters: (none recorded)"
+
+
+def render_report(trace: TraceData, *, source: str | None = None) -> str:
+    """The full ``repro obs report`` text for one trace."""
+    parts: list[str] = []
+    if source:
+        parts.append(f"trace: {source}")
+    m = trace.manifest
+    if m is not None:
+        bits = [f"command={m.command}"]
+        if m.seed is not None:
+            bits.append(f"seed={m.seed}")
+        if m.git_rev:
+            bits.append(f"git={m.git_rev[:12]}")
+        if m.elapsed_seconds is not None:
+            bits.append(f"elapsed={m.elapsed_seconds:.2f}s")
+        parts.append("manifest: " + " ".join(bits))
+        if m.config:
+            parts.append("config: " + json.dumps(m.config, sort_keys=True))
+    if parts:
+        parts.append("")
+    parts.append(render_phase_table(aggregate_spans(trace.spans)))
+    parts.append("")
+    parts.append(render_counters(trace.counters))
+    if trace.gauges:
+        parts.append("gauges")
+        parts.extend(f"  {name} = {value:g}" for name, value in sorted(trace.gauges.items()))
+    return "\n".join(parts)

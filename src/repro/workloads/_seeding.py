@@ -1,0 +1,57 @@
+"""One seeding convention for every workload generator.
+
+Generators canonically take a ``numpy.random.Generator`` as their first
+argument.  The :func:`seeded` decorator widens that to anything
+:func:`coerce_rng` understands — a ``Generator``, a ``SeedSequence`` or a
+plain integer seed — so call sites no longer wrap integers in
+``np.random.default_rng`` themselves, and keeps a deprecated ``seed=``
+keyword alive for the transition::
+
+    general_instance(np.random.default_rng(7), n=16)   # canonical
+    general_instance(7, n=16)                          # coerced
+    general_instance(seed=7, n=16)                     # deprecated alias
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+import numpy as np
+
+from .._deprecation import warn_deprecated
+
+__all__ = ["coerce_rng", "seeded"]
+
+RngLike = "np.random.Generator | np.random.SeedSequence | int"
+
+
+def coerce_rng(
+    rng: np.random.Generator | np.random.SeedSequence | int,
+) -> np.random.Generator:
+    """Return a ``Generator`` for any accepted seeding value."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (np.random.SeedSequence, int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(
+        f"rng must be a numpy Generator, SeedSequence or int seed, got {rng!r}"
+    )
+
+
+def seeded(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Accept ``rng`` as Generator/SeedSequence/int, plus deprecated ``seed=``."""
+
+    @functools.wraps(fn)
+    def wrapper(rng=None, *, seed: int | None = None, **kwargs: Any):
+        if seed is not None:
+            if rng is not None:
+                raise TypeError(f"{fn.__name__}() takes rng or seed, not both")
+            warn_deprecated(f"{fn.__name__}(seed=...)", f"{fn.__name__}(rng=...)")
+            rng = seed
+        if rng is None:
+            raise TypeError(f"{fn.__name__}() missing required argument: 'rng'")
+        return fn(coerce_rng(rng), **kwargs)
+
+    wrapper.__wrapped__ = fn
+    return wrapper

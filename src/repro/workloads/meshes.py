@@ -5,10 +5,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..mesh.model import MeshInstance, MeshMessage
+from ._seeding import seeded
 
 __all__ = ["random_mesh_instance", "transpose_mesh", "mesh_hotspot"]
 
 
+@seeded
 def random_mesh_instance(
     rng: np.random.Generator,
     *,
@@ -36,6 +38,7 @@ def random_mesh_instance(
     return MeshInstance(rows, cols, tuple(msgs))
 
 
+@seeded
 def transpose_mesh(
     rng: np.random.Generator,
     *,
@@ -57,6 +60,7 @@ def transpose_mesh(
     return MeshInstance(n, n, tuple(msgs))
 
 
+@seeded
 def mesh_hotspot(
     rng: np.random.Generator,
     *,

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..core.instance import Instance
 from ..core.message import Message
+from ._seeding import seeded
 
 __all__ = ["multimedia_instance", "hotspot_instance", "TRAFFIC_CLASSES"]
 
@@ -26,6 +27,7 @@ TRAFFIC_CLASSES: dict[str, tuple[float, tuple[int, int]]] = {
 }
 
 
+@seeded
 def multimedia_instance(
     rng: np.random.Generator,
     *,
@@ -61,6 +63,7 @@ def multimedia_instance(
     return Instance(n, tuple(msgs)), class_of
 
 
+@seeded
 def hotspot_instance(
     rng: np.random.Generator,
     *,

@@ -6,6 +6,7 @@ import numpy as np
 
 from ..core.instance import Instance
 from ..core.message import Message
+from ._seeding import seeded
 
 __all__ = ["general_instance", "saturated_instance"]
 
@@ -17,6 +18,7 @@ def _build(n: int, s: np.ndarray, d: np.ndarray, r: np.ndarray, dl: np.ndarray) 
     return Instance(n, msgs)
 
 
+@seeded
 def general_instance(
     rng: np.random.Generator,
     *,
@@ -44,6 +46,7 @@ def general_instance(
     return _build(n, source, source + span, release, release + span + slack)
 
 
+@seeded
 def saturated_instance(
     rng: np.random.Generator,
     *,

@@ -5,10 +5,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..network.ring import RingInstance, RingMessage
+from ._seeding import seeded
 
 __all__ = ["random_ring_instance", "all_to_all_ring", "ring_hotspot"]
 
 
+@seeded
 def random_ring_instance(
     rng: np.random.Generator,
     *,
@@ -28,6 +30,7 @@ def random_ring_instance(
     return RingInstance(n, tuple(msgs))
 
 
+@seeded
 def all_to_all_ring(
     rng: np.random.Generator,
     *,
@@ -47,6 +50,7 @@ def all_to_all_ring(
     return RingInstance(n, tuple(msgs))
 
 
+@seeded
 def ring_hotspot(
     rng: np.random.Generator,
     *,

@@ -14,8 +14,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._deprecation import warn_deprecated
 from ..core.instance import Instance
 from ..core.message import Message
+from ._seeding import coerce_rng
 
 __all__ = ["Session", "session_instance"]
 
@@ -42,7 +44,8 @@ class Session:
 def session_instance(
     sessions: list[Session] | None = None,
     *,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator | np.random.SeedSequence | int | None = None,
+    seed: int | None = None,
     n: int = 32,
     num_sessions: int = 6,
     horizon: int = 60,
@@ -53,8 +56,17 @@ def session_instance(
     """Expand sessions into a concrete message set over ``[0, horizon)``.
 
     Either pass explicit ``sessions`` (then only ``n``/``horizon`` apply)
-    or a ``rng`` to draw ``num_sessions`` random ones.
+    or a ``rng`` — a Generator, SeedSequence or int seed — to draw
+    ``num_sessions`` random ones.  ``seed=`` is a deprecated alias for
+    an integer ``rng``.
     """
+    if seed is not None:
+        if rng is not None:
+            raise TypeError("session_instance() takes rng or seed, not both")
+        warn_deprecated("session_instance(seed=...)", "session_instance(rng=...)")
+        rng = seed
+    if rng is not None:
+        rng = coerce_rng(rng)
     if sessions is None:
         if rng is None:
             raise ValueError("pass either explicit sessions or an rng")

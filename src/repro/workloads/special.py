@@ -6,10 +6,12 @@ import numpy as np
 
 from ..core.instance import Instance
 from ..core.message import Message
+from ._seeding import seeded
 
 __all__ = ["uniform_slack_instance", "uniform_span_instance", "static_instance"]
 
 
+@seeded
 def uniform_slack_instance(
     rng: np.random.Generator,
     *,
@@ -30,6 +32,7 @@ def uniform_slack_instance(
     return Instance(n, tuple(msgs))
 
 
+@seeded
 def uniform_span_instance(
     rng: np.random.Generator,
     *,
@@ -51,6 +54,7 @@ def uniform_span_instance(
     return Instance(n, tuple(msgs))
 
 
+@seeded
 def static_instance(
     rng: np.random.Generator,
     *,

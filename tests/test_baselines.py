@@ -13,9 +13,9 @@ from repro.baselines import (
     lui_zaks_feasible,
     min_laxity_first,
     random_assignment,
-    run_policy,
 )
 from repro.core.bfl import bfl
+from repro.network.simulator import simulate
 from repro.core.instance import Instance, make_instance
 from repro.core.message import Message
 from repro.core.validate import validate_schedule
@@ -75,7 +75,7 @@ class TestBufferedPolicies:
         rng = np.random.default_rng(12)
         for _ in range(8):
             inst = random_lr_instance(rng)
-            res = run_policy(inst, policy_cls())
+            res = simulate(inst, policy_cls())
             validate_schedule(inst, res.schedule)
 
     @pytest.mark.parametrize("policy_cls", ALL_POLICIES)
@@ -83,12 +83,12 @@ class TestBufferedPolicies:
         rng = np.random.default_rng(13)
         for _ in range(6):
             inst = random_lr_instance(rng, k_hi=6, max_slack=4)
-            res = run_policy(inst, policy_cls())
+            res = simulate(inst, policy_cls())
             assert res.throughput <= opt_buffered(inst).throughput
 
     def test_edf_delivers_single_message(self):
         inst = make_instance(6, [(1, 4, 2, 9)])
-        assert run_policy(inst, EDFPolicy()).throughput == 1
+        assert simulate(inst, EDFPolicy()).throughput == 1
 
     def test_policies_differ_under_contention(self):
         # EDF favours the urgent packet, FCFS the old one
@@ -99,7 +99,7 @@ class TestBufferedPolicies:
                 (1, 4, 1, 5),  # urgent (slack 1)
             ],
         )
-        edf = run_policy(inst, EDFPolicy())
+        edf = simulate(inst, EDFPolicy())
         assert edf.throughput == 2  # EDF keeps both alive
 
 
@@ -138,7 +138,7 @@ class TestLuiZaks:
             ],
         )
         assert opt_buffered(inst).throughput == 6
-        assert run_policy(inst, EDFPolicy()).throughput < 6
+        assert simulate(inst, EDFPolicy()).throughput < 6
         assert lui_zaks_feasible(inst) is not None
 
     @pytest.mark.parametrize("seed", range(15))

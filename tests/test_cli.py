@@ -30,6 +30,50 @@ class TestRun:
         err = capsys.readouterr().err
         assert "unknown experiments" in err
 
+    def test_run_trials_override(self, capsys):
+        assert main(["run", "e2", "--trials", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "| 2 " in out  # the trials column reflects the override
+
+
+class TestTrace:
+    @pytest.fixture(autouse=True)
+    def _reset_tracer(self):
+        yield
+        from repro import obs
+
+        obs.disable()  # --trace enables the process-wide tracer; undo it
+
+    def test_run_trace_writes_parseable_jsonl(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        assert main(["run", "e2", "--trials", "2", "--trace", str(path)]) == 0
+        assert f"trace written to {path}" in capsys.readouterr().out
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "manifest"
+        assert lines[0]["config"]["trials"] == 2
+        types = {l["type"] for l in lines}
+        assert "span" in types and "counter" in types
+        names = {l["name"] for l in lines if l["type"] == "span"}
+        assert "experiment.e2" in names
+
+    def test_obs_report_summarizes(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        # distinct seed so the process-wide solver cache (warmed by other
+        # tests) doesn't absorb the exact-solver calls this asserts on
+        assert main(["run", "e2", "--trials", "2", "--seed", "777", "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment.e2" in out  # per-phase timings
+        assert "exact.milp.solves" in out  # solver counters
+        assert "hit rate" in out  # cache hit rate
+
+    def test_obs_report_missing_file(self, capsys, tmp_path):
+        assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
 
 class TestFigure:
     @pytest.mark.parametrize("number,needle", [(1, "22-node"), (2, "I_2"), (3, "clause")])

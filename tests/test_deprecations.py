@@ -1,0 +1,72 @@
+"""The deprecated aliases still work but must warn.
+
+Everywhere else in the suite ReproDeprecationWarning is promoted to an
+error (pyproject filterwarnings), so any internal code path still using
+an alias fails loudly; these tests are the one place that opts back in.
+"""
+
+import numpy as np
+import pytest
+
+from repro._deprecation import ReproDeprecationWarning
+from repro.baselines import EDFPolicy, run_policy
+from repro.core.instance import Instance
+from repro.core.message import Message
+from repro.core.solve import schedule_bidirectional
+from repro.network.simulator import simulate
+from repro.workloads import general_instance, session_instance
+
+
+@pytest.fixture
+def inst():
+    return general_instance(np.random.default_rng(0), n=10, k=8)
+
+
+class TestDeprecatedAliases:
+    def test_run_policy_warns_and_matches(self, inst):
+        with pytest.warns(ReproDeprecationWarning, match="run_policy"):
+            legacy = run_policy(inst, EDFPolicy())
+        assert legacy.schedule == simulate(inst, EDFPolicy()).schedule
+
+    def test_run_policy_forwards_buffer_capacity(self, inst):
+        with pytest.warns(ReproDeprecationWarning):
+            legacy = run_policy(inst, EDFPolicy(), buffer_capacity=0)
+        assert legacy.schedule == simulate(inst, EDFPolicy(), buffer_capacity=0).schedule
+
+    def test_schedule_bidirectional_warns_and_matches(self):
+        inst = Instance(
+            10,
+            (
+                Message(0, 0, 5, 0, 7),
+                Message(1, 8, 2, 0, 9),
+                Message(2, 3, 9, 1, 10),
+            ),
+        )
+        from repro.api import solve_bidirectional
+
+        with pytest.warns(ReproDeprecationWarning, match="solve_bidirectional"):
+            legacy = schedule_bidirectional(inst)
+        current = solve_bidirectional(inst)
+        assert legacy.lr == current.lr and legacy.rl == current.rl
+
+    def test_workload_seed_kwarg_warns_and_matches(self):
+        with pytest.warns(ReproDeprecationWarning, match="rng"):
+            via_seed = general_instance(seed=7, n=12, k=8)
+        assert via_seed == general_instance(np.random.default_rng(7), n=12, k=8)
+
+    def test_session_instance_seed_kwarg(self):
+        with pytest.warns(ReproDeprecationWarning):
+            via_seed = session_instance(seed=7)
+        assert via_seed == session_instance(rng=7)
+
+    def test_seed_and_rng_together_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            general_instance(np.random.default_rng(1), seed=1)
+
+    def test_warning_is_a_deprecation_warning(self):
+        assert issubclass(ReproDeprecationWarning, DeprecationWarning)
+
+    def test_suite_escalates_deprecations(self, inst):
+        """Outside pytest.warns, a repro deprecation raises (filterwarnings)."""
+        with pytest.raises(ReproDeprecationWarning):
+            run_policy(inst, EDFPolicy())

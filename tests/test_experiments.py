@@ -131,3 +131,63 @@ class TestAblations:
         table = a1_tiebreak.run(seed=1, trials=2)
         out = table.render()
         assert isinstance(table, Table) and "rule" in out
+
+
+class TestUniformSignature:
+    """All experiments share run(cfg, *, engine=None, obs=None)."""
+
+    def test_runconfig_equals_keyword_style(self):
+        from repro.experiments.base import RunConfig
+
+        a = e3_uniform_slack.run(RunConfig(seed=1, trials=2))
+        b = e3_uniform_slack.run(seed=1, trials=2)
+        assert a.rows == b.rows
+
+    def test_seedless_experiments_ignore_seed(self):
+        from repro.experiments.base import RunConfig
+
+        table = e6_lower_bound.run(RunConfig(seed=123), max_k=4)
+        assert len(table.rows) == 4  # k = 1..4
+
+    def test_params_typo_raises(self):
+        from repro.experiments.base import RunConfig
+
+        with pytest.raises(TypeError, match="trils"):
+            e3_uniform_slack.run(RunConfig(params={"trils": 2}))
+        with pytest.raises(TypeError, match="trils"):
+            e3_uniform_slack.run(trils=2)
+
+    def test_engine_maps_to_jobs(self):
+        from repro.engine import Engine
+        from repro.experiments import e12_load_sweep
+        from repro.experiments.base import RunConfig
+
+        cfg = RunConfig(seed=7, trials=2)
+        serial = e12_load_sweep.run(cfg, engine=Engine(jobs=1))
+        parallel = e12_load_sweep.run(cfg, engine=Engine(jobs=2))
+        assert serial.rows == parallel.rows
+
+    def test_engine_ignored_by_serial_experiments(self):
+        from repro.engine import Engine
+        from repro.experiments.base import RunConfig
+
+        table = e3_uniform_slack.run(RunConfig(seed=1, trials=2), engine=Engine(jobs=4))
+        assert table.rows
+
+    def test_obs_tracer_captures_run(self):
+        from repro.experiments.base import RunConfig
+        from repro.obs.tracer import Tracer
+
+        tr = Tracer(enabled=True)
+        # unique seed: a cached instance would satisfy the sweep without
+        # ever launching the kernel, leaving only cache.hits counters
+        e2_bfl_ratio.run(RunConfig(seed=31337, trials=2), obs=tr)
+        assert tr.counters.get("bfl.launches", 0) > 0
+        assert tr.counters["engine.tasks"] > 0
+
+    def test_all_accept_runconfig(self):
+        from repro.experiments.base import RunConfig
+
+        for name, mod in ALL.items():
+            accepts = mod.run.accepts
+            assert isinstance(accepts, frozenset), name

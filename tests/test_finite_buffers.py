@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines import EDFPolicy, run_policy
+from repro.baselines import EDFPolicy
+from repro.network.simulator import simulate
 from repro.core.dbfl import dbfl
 from repro.core.instance import Instance
 from repro.workloads import hotspot_instance, saturated_instance
@@ -50,7 +51,7 @@ class TestCapacityInvariant:
         rng = np.random.default_rng(1)
         for _ in range(10):
             inst = hotspot_instance(rng, n=16, k=20)
-            result = run_policy(inst, EDFPolicy(), buffer_capacity=0)
+            result = simulate(inst, EDFPolicy(), buffer_capacity=0)
             for traj in result.schedule:
                 # any waiting must happen before departure, never en route
                 assert traj.bufferless

@@ -9,11 +9,12 @@ from repro.analysis import (
     schedule_summary,
     throughput_ratio,
 )
-from repro.baselines import EDFPolicy, run_policy
+from repro.baselines import EDFPolicy
 from repro.core.bfl import bfl
 from repro.core.bfl_fast import bfl_fast
 from repro.core.dbfl import dbfl
-from repro.core.solve import schedule_bidirectional
+from repro.api import solve_bidirectional
+from repro.network.simulator import simulate
 from repro.core.validate import validate_schedule
 from repro.exact import opt_buffered, opt_bufferless
 from repro.hardness import dpll_sat, random_3sat, reduce_3sat
@@ -94,12 +95,12 @@ class TestEndToEndPipeline:
             msgs.append(Message(i, int(a), int(b), r, r + abs(int(b) - int(a)) + 4))
         inst = Instance(16, tuple(msgs))
 
-        both = schedule_bidirectional(inst)
+        both = solve_bidirectional(inst)
         assert both.throughput <= len(inst)
 
         lr, _ = inst.split_directions()
         tracer = TracingPolicy(EDFPolicy())
-        result = run_policy(lr, tracer)
+        result = simulate(lr, tracer)
         delivers = {e.message_id for e in tracer.of_kind("deliver")}
         assert delivers == set(result.delivered_ids)
 

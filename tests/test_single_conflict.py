@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.baselines import MinLaxityPolicy, run_policy
+from repro.baselines import MinLaxityPolicy
+from repro.network.simulator import simulate
 from repro.constructions import delivery_line_filter
 from repro.constructions.single_conflict import is_single_conflict, make_single_conflict
 from repro.constructions.static_conversion import single_conflict_counts
@@ -121,7 +122,7 @@ class TestClaimsCompose:
         inst = static_instance(
             rng, n=int(rng.integers(5, 9)), k=int(rng.integers(6, 12)), max_slack=4
         )
-        sched = run_policy(inst, MinLaxityPolicy()).schedule
+        sched = simulate(inst, MinLaxityPolicy()).schedule
         single = make_single_conflict(inst, sched)
         assert is_single_conflict(single)
         assert single.delivered_ids == sched.delivered_ids

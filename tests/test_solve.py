@@ -6,7 +6,8 @@ import pytest
 from repro.baselines import edf_bufferless
 from repro.core.instance import Instance
 from repro.core.message import Message
-from repro.core.solve import BidirectionalSchedule, schedule_bidirectional
+from repro.api import solve_bidirectional
+from repro.core.solve import BidirectionalSchedule
 from repro.exact import opt_bufferless
 
 
@@ -27,7 +28,7 @@ class TestBidirectional:
     def test_covers_both_directions(self):
         rng = np.random.default_rng(0)
         inst = mixed_instance(rng)
-        result = schedule_bidirectional(inst)
+        result = solve_bidirectional(inst)
         lr_ids = {m.id for m in inst if m.source < m.dest}
         rl_ids = set(inst.ids) - lr_ids
         assert result.lr.delivered_ids <= lr_ids
@@ -45,14 +46,14 @@ class TestBidirectional:
             lr_only.messages
             + (Message(2, 9, 1, 0, 10), Message(3, 7, 0, 1, 12)),
         )
-        a = schedule_bidirectional(lr_only)
-        b = schedule_bidirectional(with_rl)
+        a = solve_bidirectional(lr_only)
+        b = solve_bidirectional(with_rl)
         assert a.lr.delivered_ids == b.lr.delivered_ids
 
     def test_custom_scheduler(self):
         rng = np.random.default_rng(2)
         inst = mixed_instance(rng)
-        result = schedule_bidirectional(inst, scheduler=edf_bufferless)
+        result = solve_bidirectional(inst, scheduler=edf_bufferless)
         assert isinstance(result, BidirectionalSchedule)
         assert result.throughput >= 0
 
@@ -61,7 +62,7 @@ class TestBidirectional:
         the combined count equals the sum of the halves' optima."""
         rng = np.random.default_rng(3)
         inst = mixed_instance(rng, n=8, k=8)
-        result = schedule_bidirectional(
+        result = solve_bidirectional(
             inst, scheduler=lambda half: opt_bufferless(half).schedule
         )
         lr_half, rl_half = inst.split_directions()
@@ -73,7 +74,7 @@ class TestBidirectional:
 
     def test_rl_trajectory_nodes_move_leftward(self):
         inst = Instance(8, (Message(0, 6, 2, 0, 10),))
-        result = schedule_bidirectional(inst)
+        result = solve_bidirectional(inst)
         hops = result.rl_trajectory_nodes(0)
         nodes = [v for v, _ in hops]
         assert nodes[0] == 6
@@ -81,6 +82,6 @@ class TestBidirectional:
 
     def test_rl_lookup_missing_raises(self):
         inst = Instance(8, (Message(0, 1, 5, 0, 9),))
-        result = schedule_bidirectional(inst)
+        result = solve_bidirectional(inst)
         with pytest.raises(KeyError):
             result.rl_trajectory_nodes(0)  # message 0 is LR, not RL
