@@ -42,6 +42,8 @@ from .core import (
 )
 from .core.dbfl import dbfl
 from .api import ScheduleResult, solve, solve_bidirectional
+from .budget import SolverBudget
+from .errors import BudgetExceeded, ReproError, SolverBackendError, TaskTimeoutError
 
 __version__ = "1.0.0"
 
@@ -68,5 +70,10 @@ __all__ = [
     "ScheduleResult",
     "solve",
     "solve_bidirectional",
+    "SolverBudget",
+    "ReproError",
+    "BudgetExceeded",
+    "SolverBackendError",
+    "TaskTimeoutError",
     "__version__",
 ]

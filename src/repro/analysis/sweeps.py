@@ -22,7 +22,7 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from ..core.instance import Instance
-from ..engine import run_tasks, spawn_seeds
+from ..engine import Engine, run_tasks, spawn_seeds
 from ..exact import cut_upper_bound
 from .tables import Table
 
@@ -64,6 +64,7 @@ def sweep(
     trials: int = 10,
     relative: bool = True,
     jobs: int | None = 1,
+    engine: Engine | None = None,
 ) -> Table:
     """Run the sweep and return its table.
 
@@ -72,7 +73,11 @@ def sweep(
     ``upper_bound`` column always uses the same normalisation, so no
     scheduler column may exceed it.  ``jobs`` fans the cells out over
     worker processes (see :func:`repro.engine.run_tasks`); the result is
-    identical at any value.
+    identical at any value.  An explicit ``engine`` supersedes ``jobs``
+    and may additionally carry a resilience configuration (per-task
+    timeouts, retries, pool respawn, checkpoint/resume) — recovery never
+    changes the table, because every cell re-runs from its own
+    pre-spawned seed.
     """
     if not values:
         raise ValueError("sweep needs at least one parameter value")
@@ -84,7 +89,10 @@ def sweep(
         for vi, value in enumerate(values)
         for t in range(trials)
     ]
-    results, cache_stats = run_tasks(_cell, tasks, jobs=jobs)
+    if engine is not None:
+        results, cache_stats = engine.map(_cell, tasks)
+    else:
+        results, cache_stats = run_tasks(_cell, tasks, jobs=jobs)
 
     table = Table([parameter, "messages", "upper_bound", *schedulers])
     for vi, value in enumerate(values):

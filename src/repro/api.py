@@ -64,6 +64,21 @@ class ScheduleResult:
     ``None`` for heuristics that never claim it.  ``telemetry`` holds the
     wall time of the call plus whatever counters the observability layer
     collected while it ran (solver nodes, simulator steps, ...).
+
+    ``status`` summarises what the call *certifies*:
+
+    * ``"optimal"`` — the schedule is a proven optimum;
+    * ``"feasible"`` — a valid schedule with no optimality certificate
+      (heuristics, or an exact solver that hit a plain ``time_limit``);
+    * ``"bounded"`` — a budgeted exact solve degraded
+      (``on_budget="degrade"``): the schedule is the best incumbent and
+      ``lower <= OPT <= upper`` is certified;
+    * ``"infeasible"`` — it is proven that no message can be delivered
+      (certified upper bound 0).
+
+    ``lower`` is always the delivered throughput of the returned schedule
+    (feasible, hence a valid lower bound); ``upper`` is set only when
+    certified (proven optima and degraded budget solves).
     """
 
     schedule: Schedule
@@ -71,6 +86,9 @@ class ScheduleResult:
     method: str
     optimal: bool | None
     telemetry: dict[str, Any] = field(default_factory=dict)
+    status: str = "feasible"
+    lower: float | None = None
+    upper: float | None = None
 
     @property
     def delivered(self) -> int:
@@ -102,27 +120,31 @@ def _reject_unknown(opts: dict[str, Any], regime: str, method: str) -> None:
 def _bufferless_exact(instance: Instance, opts: dict[str, Any]) -> tuple[Schedule, bool]:
     from .exact import opt_bufferless, opt_bufferless_bnb
 
+    from .errors import SolverBackendError
+
     solver = _take(opts, "solver", "milp")
     if solver in ("milp", "auto"):
         kwargs: dict[str, Any] = {}
-        if "time_limit" in opts:
-            kwargs["time_limit"] = opts.pop("time_limit")
-        if "weights" in opts:
-            kwargs["weights"] = opts.pop("weights")
+        for name in ("time_limit", "weights", "budget"):
+            if name in opts:
+                kwargs[name] = opts.pop(name)
         _reject_unknown(opts, "bufferless", "exact")
         try:
             result = opt_bufferless(instance, **kwargs)
-        except RuntimeError:
+        except SolverBackendError:
             if solver != "auto":
                 raise
             # MILP backend failure: fall back to the dependency-free BnB.
+            # BudgetExceeded deliberately propagates instead — the budget
+            # was spent, so restarting a slower search would ignore it.
             obs.tracer().count("exact.fallbacks")
-            result = opt_bufferless_bnb(instance)
+            result = opt_bufferless_bnb(instance, budget=kwargs.get("budget"))
         return result.schedule, result.optimal
     if solver == "bnb":
         kwargs = {}
-        if "node_limit" in opts:
-            kwargs["node_limit"] = opts.pop("node_limit")
+        for name in ("node_limit", "budget"):
+            if name in opts:
+                kwargs[name] = opts.pop(name)
         _reject_unknown(opts, "bufferless", "exact")
         result = opt_bufferless_bnb(instance, **kwargs)
         return result.schedule, result.optimal
@@ -183,10 +205,9 @@ def _buffered_exact(instance: Instance, opts: dict[str, Any]) -> tuple[Schedule,
     solver = _take(opts, "solver", "milp")
     if solver == "milp":
         kwargs: dict[str, Any] = {}
-        if "time_limit" in opts:
-            kwargs["time_limit"] = opts.pop("time_limit")
-        if "weights" in opts:
-            kwargs["weights"] = opts.pop("weights")
+        for name in ("time_limit", "weights", "budget"):
+            if name in opts:
+                kwargs[name] = opts.pop(name)
         _reject_unknown(opts, "buffered", "exact")
         result = opt_buffered(instance, **kwargs)
         return result.schedule, result.optimal
@@ -257,31 +278,78 @@ def solve(
     corresponding legacy entrypoint produces.  Mixed-direction instances
     raise — use :func:`solve_bidirectional` for the split/mirror
     reduction.
+
+    Exact solves accept ``budget=SolverBudget(wall_time=..., nodes=...)``.
+    ``on_budget`` decides what an exhausted budget does: ``"raise"`` (the
+    default) lets the typed :class:`~repro.errors.BudgetExceeded`
+    propagate; ``"degrade"`` converts it into a result whose ``status`` is
+    ``"bounded"`` (or ``"infeasible"``/``"optimal"`` when the certified
+    bounds close the gap), whose schedule is the best incumbent found, and
+    whose ``lower``/``upper`` bracket the true optimum.
     """
     if regime not in REGIMES:
         raise ValueError(f"unknown regime {regime!r}; choose one of {REGIMES}")
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose one of {METHODS}")
+    on_budget = opts.pop("on_budget", "raise")
+    if on_budget not in ("raise", "degrade"):
+        raise ValueError(
+            f"unknown on_budget {on_budget!r}; choose 'raise' or 'degrade'"
+        )
+    if "budget" in opts and method != "exact":
+        raise TypeError(
+            f"budget= only applies to method='exact' solves, not method={method!r}"
+        )
+    from .errors import BudgetExceeded
 
     tr = obs.tracer()
     counters_before = tr.counters_snapshot() if tr.enabled else None
     t0 = time.perf_counter()
     extra: dict[str, Any] = {}
-    if regime == "bufferless":
-        if method == "exact":
-            schedule, optimal = _bufferless_exact(instance, opts)
-        elif method == "bfl":
-            schedule, optimal = _bufferless_bfl(instance, opts)
+    degraded: BudgetExceeded | None = None
+    try:
+        if regime == "bufferless":
+            if method == "exact":
+                schedule, optimal = _bufferless_exact(instance, opts)
+            elif method == "bfl":
+                schedule, optimal = _bufferless_bfl(instance, opts)
+            else:
+                schedule, optimal = _bufferless_greedy(instance, opts)
         else:
-            schedule, optimal = _bufferless_greedy(instance, opts)
-    else:
-        if method == "exact":
-            schedule, optimal = _buffered_exact(instance, opts)
-        elif method == "bfl":
-            schedule, optimal, extra = _buffered_bfl(instance, opts)
-        else:
-            schedule, optimal, extra = _buffered_greedy(instance, opts)
+            if method == "exact":
+                schedule, optimal = _buffered_exact(instance, opts)
+            elif method == "bfl":
+                schedule, optimal, extra = _buffered_bfl(instance, opts)
+            else:
+                schedule, optimal, extra = _buffered_greedy(instance, opts)
+    except BudgetExceeded as exc:
+        if on_budget != "degrade":
+            raise
+        degraded = exc
+        schedule = exc.incumbent if exc.incumbent is not None else Schedule()
+        optimal = False
     elapsed = time.perf_counter() - t0
+
+    if degraded is not None:
+        lower: float | None = degraded.lower
+        upper: float | None = degraded.upper
+        if upper == 0:
+            status = "infeasible"
+        elif upper is not None and lower == upper:
+            status = "optimal"
+            optimal = True
+        else:
+            status = "bounded"
+        extra["budget"] = {"reason": str(degraded), "spent": degraded.spent}
+        tr.count("api.budget_degrades")
+        tr.event("api.budget_degrade", regime=regime, status=status)
+    elif optimal:
+        status = "infeasible" if schedule.throughput == 0 and len(instance) else "optimal"
+        lower = upper = schedule.throughput
+    else:
+        status = "feasible"
+        lower = schedule.throughput
+        upper = None
 
     telemetry: dict[str, Any] = {"seconds": elapsed, **extra}
     if counters_before is not None:
@@ -289,7 +357,12 @@ def solve(
         if delta:
             telemetry["counters"] = delta
         tr.record_span(
-            "api.solve", t0, regime=regime, method=method, delivered=schedule.throughput
+            "api.solve",
+            t0,
+            regime=regime,
+            method=method,
+            delivered=schedule.throughput,
+            status=status,
         )
     return ScheduleResult(
         schedule=schedule,
@@ -297,6 +370,9 @@ def solve(
         method=method,
         optimal=optimal,
         telemetry=telemetry,
+        status=status,
+        lower=lower,
+        upper=upper,
     )
 
 

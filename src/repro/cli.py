@@ -9,6 +9,9 @@ Commands:
   processes (identical tables at any job count; ``--jobs 0`` = all cores);
 * ``repro run e2 --trace t.jsonl`` — capture a structured observability
   trace (spans, counters, run manifest) of the run;
+* ``repro run e12 --jobs 4 --task-timeout 300 --retries 2 --checkpoint
+  c.jsonl`` — armor a long sweep: hung-cell timeouts, retry with backoff,
+  worker-crash respawn, and resume from the checkpoint journal on re-run;
 * ``repro obs report t.jsonl`` — summarize a trace: per-phase timings,
   solver node counts, cache hit rates;
 * ``repro bench`` — time the BFL kernel and the sweep engine, write the
@@ -41,7 +44,7 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list available experiments")
 
     run_p = sub.add_parser("run", help="run experiments and print their tables")
-    run_p.add_argument("experiments", nargs="+", help="experiment ids (e1..e14, a1, a2) or 'all'")
+    run_p.add_argument("experiments", nargs="+", help="experiment ids (e1..e15, a1, a2) or 'all'")
     run_p.add_argument("--seed", type=int, default=2024)
     run_p.add_argument(
         "--trials", type=int, default=None, help="override each experiment's trial count"
@@ -58,6 +61,29 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         default=None,
         help="write a structured JSONL observability trace of the run here",
+    )
+    run_p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any sweep cell running longer than this "
+        "(resilient engine; requires --jobs >= 2)",
+    )
+    run_p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-run a failed sweep cell up to N extra times with "
+        "exponential backoff (resilient engine)",
+    )
+    run_p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="journal completed sweep cells to this JSONL file and resume "
+        "from it on re-run (resilient engine)",
     )
 
     bench_p = sub.add_parser(
@@ -110,7 +136,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _list()
     if args.command == "run":
-        return _run(args.experiments, args.seed, args.jobs, args.trials, args.trace)
+        return _run(
+            args.experiments,
+            args.seed,
+            args.jobs,
+            args.trials,
+            args.trace,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+            checkpoint=args.checkpoint,
+        )
     if args.command == "obs":
         return _obs_report(args.trace)
     if args.command == "bench":
@@ -149,15 +184,32 @@ def _run(
     jobs: int | None = None,
     trials: int | None = None,
     trace: str | None = None,
+    *,
+    task_timeout: float | None = None,
+    retries: int | None = None,
+    checkpoint: str | None = None,
 ) -> int:
     from . import obs
-    from .engine import Engine
+    from .engine import Engine, ResilienceConfig
     from .experiments import ALL
     from .experiments.base import RunConfig
 
     if jobs is not None and jobs < 0:
         print(f"--jobs must be >= 0 (0 = all cores), got {jobs}", file=sys.stderr)
         return 2
+    resilience = None
+    if task_timeout is not None or retries is not None or checkpoint is not None:
+        try:
+            resilience = ResilienceConfig(
+                task_timeout=task_timeout,
+                max_attempts=(retries + 1) if retries is not None else 3,
+                checkpoint=checkpoint,
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if jobs is None:
+            jobs = 1  # resilience flags imply an explicit engine
     if names == ["all"]:
         names = list(ALL)
     unknown = [n for n in names if n not in ALL]
@@ -175,7 +227,9 @@ def _run(
             seed=seed,
         )
     cfg = RunConfig(seed=seed, trials=trials)
-    engine = Engine(jobs=jobs) if jobs is not None else None
+    engine = (
+        Engine(jobs=jobs, resilience=resilience) if jobs is not None else None
+    )
     for name in names:
         mod = ALL[name]
         t0 = time.perf_counter()

@@ -83,12 +83,21 @@ class DBFLPolicy(Policy):
         self._l_in[node] = int(value)  # type: ignore[arg-type]
 
 
-def dbfl(instance: Instance, *, buffer_capacity: int | None = None) -> SimulationResult:
+def dbfl(
+    instance: Instance,
+    *,
+    buffer_capacity: int | None = None,
+    faults=None,
+) -> SimulationResult:
     """Run D-BFL on ``instance`` and return the simulation result.
 
     With unbounded buffers (the paper's setting) the delivered set equals
     ``bfl(instance)``'s, message for message and delivery-line for
     delivery-line (Theorem 5.2).  ``buffer_capacity`` exists for the
-    finite-buffer ablation and voids that guarantee.
+    finite-buffer ablation and ``faults`` (a
+    :class:`~repro.network.faults.FaultPlan`) for the fault-injection
+    experiments; both void that guarantee.
     """
-    return simulate(instance, DBFLPolicy(), buffer_capacity=buffer_capacity)
+    return simulate(
+        instance, DBFLPolicy(), buffer_capacity=buffer_capacity, faults=faults
+    )

@@ -11,6 +11,13 @@ Two pieces, composable but independent:
   twice, within or across runs (``REPRO_CACHE_DIR`` persists results on
   disk).
 
+:mod:`repro.engine.resilience` armors the pool for long sweeps:
+:func:`run_tasks_resilient` adds per-task timeouts, retry with
+exponential backoff, ``BrokenProcessPool`` respawn (re-running only the
+missing cells — exact, thanks to pre-spawned seeds) and JSONL
+checkpoint/resume, configured via :class:`ResilienceConfig` (or
+``Engine(resilience=...)``).
+
 ``repro.engine.bench`` drives both under the perf counters and writes
 the benchmark baseline consumed by ``repro bench``.
 """
@@ -26,9 +33,12 @@ from .cache import (
     default_cache,
 )
 from .pool import Engine, resolve_jobs, run_tasks, spawn_rngs, spawn_seeds
+from .resilience import ResilienceConfig, run_tasks_resilient
 
 __all__ = [
     "Engine",
+    "ResilienceConfig",
+    "run_tasks_resilient",
     "CacheStats",
     "ResultCache",
     "cached_bfl",

@@ -42,15 +42,28 @@ class Engine:
     ``run(cfg, *, engine=None, obs=None)`` signature
     (:mod:`repro.experiments.base`), so callers configure parallelism once
     instead of threading ``jobs=`` keywords through every module.
+
+    ``resilience`` (a :class:`repro.engine.resilience.ResilienceConfig`)
+    routes :meth:`map` through the crash-resilient runner — per-task
+    timeouts, retries, pool respawns and checkpoint/resume — instead of
+    the plain pool.  Results are identical either way; only failure
+    handling differs.
     """
 
     jobs: int | None = 1
     chunksize: int | None = None
+    resilience: Any = None
 
     def map(
         self, fn: Callable[..., Any], argslist: Sequence[tuple] | Iterable[tuple]
     ) -> tuple[list[Any], CacheStats]:
         """Run ``fn(*args)`` per task via :func:`run_tasks` with this config."""
+        if self.resilience is not None:
+            from .resilience import run_tasks_resilient
+
+            return run_tasks_resilient(
+                fn, argslist, jobs=self.jobs, config=self.resilience
+            )
         return run_tasks(fn, argslist, jobs=self.jobs, chunksize=self.chunksize)
 
 
@@ -62,7 +75,16 @@ def resolve_jobs(jobs: int | None) -> int:
     """
     if jobs is None:
         raw = os.environ.get("REPRO_JOBS", "").strip()
-        jobs = int(raw) if raw else 1
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer worker count "
+                    f"(0 = all cores), got {raw!r}"
+                ) from None
+        else:
+            jobs = 1
     if jobs == 0:
         jobs = os.cpu_count() or 1
     if jobs < 0:

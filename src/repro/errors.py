@@ -1,0 +1,85 @@
+"""Typed exceptions for the scheduling stack.
+
+The NP-hard solvers and the resilient sweep engine distinguish three ways
+a call can stop short of a proven answer:
+
+* :class:`BudgetExceeded` — a node/wall-time budget ran out.  Not a dead
+  end: the exception carries *certified* throughput bounds (``lower`` from
+  the best incumbent schedule found, ``upper`` from a relaxation or cut
+  bound, so ``lower <= OPT <= upper`` always holds) plus the incumbent
+  itself, letting callers degrade instead of crash —
+  ``api.solve(..., on_budget="degrade")`` turns it into a
+  ``status="bounded"`` result.
+* :class:`SolverBackendError` — the MILP backend (HiGHS) failed outright;
+  nothing certified is available.  ``solver="auto"`` falls back to the
+  dependency-free branch-and-bound on this one.
+* :class:`TaskTimeoutError` — a sweep-engine task exceeded its per-task
+  wall ceiling more times than the retry policy allows.
+
+All three subclass both :class:`ReproError` (the package-wide base) and
+:class:`RuntimeError`, so pre-existing ``except RuntimeError`` call sites
+keep working.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core.schedule import Schedule
+
+__all__ = [
+    "ReproError",
+    "BudgetExceeded",
+    "SolverBackendError",
+    "TaskTimeoutError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception the package raises deliberately."""
+
+
+class SolverBackendError(ReproError, RuntimeError):
+    """The underlying solver backend (HiGHS) failed to produce a result."""
+
+
+class BudgetExceeded(ReproError, RuntimeError):
+    """A solver budget (wall time or search nodes) was exhausted.
+
+    Attributes
+    ----------
+    lower:
+        Certified lower bound on the optimum — the throughput (or weighted
+        value) of the best *feasible* schedule found before the budget
+        tripped.  ``0`` when no incumbent exists (the empty schedule).
+    upper:
+        Certified upper bound on the optimum, from the MILP dual bound
+        and/or :func:`repro.exact.bounds.cut_upper_bound`.  ``None`` only
+        if the raising site could not compute one.
+    incumbent:
+        The best feasible :class:`~repro.core.schedule.Schedule` found so
+        far (``None`` when none exists; treat as the empty schedule).
+    spent:
+        What was consumed when the budget tripped, e.g.
+        ``{"nodes": 2000000}`` or ``{"wall_time": 1.5}``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        lower: float = 0,
+        upper: float | None = None,
+        incumbent: "Schedule | None" = None,
+        spent: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.lower = lower
+        self.upper = upper
+        self.incumbent = incumbent
+        self.spent = dict(spent) if spent else {}
+
+
+class TaskTimeoutError(ReproError, RuntimeError):
+    """A sweep-engine task exceeded its per-task timeout on every attempt."""

@@ -24,10 +24,13 @@ import scipy.sparse as sp
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from .. import obs
+from ..budget import SolverBudget
 from ..core.instance import Instance
 from ..core.message import Direction, Message
 from ..core.schedule import Schedule
 from ..core.trajectory import Trajectory
+from ..errors import BudgetExceeded, SolverBackendError
+from .bounds import cut_upper_bound
 
 __all__ = ["opt_buffered", "opt_buffered_bruteforce", "BufferedResult"]
 
@@ -69,6 +72,7 @@ def opt_buffered(
     *,
     time_limit: float | None = None,
     weights: dict[int, float] | None = None,
+    budget: SolverBudget | None = None,
 ) -> BufferedResult:
     """Maximum-throughput buffered schedule via time-indexed MILP.
 
@@ -84,6 +88,12 @@ def opt_buffered(
     The objective maximises the number of first-link crossings, i.e.
     delivered messages — or their total ``weights`` (message id -> positive
     value, default 1) when given.
+
+    ``budget`` (a :class:`~repro.budget.SolverBudget`) maps onto the HiGHS
+    ``time_limit``/``node_limit``; if it trips before optimality is proven
+    the call raises :class:`~repro.errors.BudgetExceeded` carrying the
+    incumbent schedule and certified ``lower``/``upper`` bounds.  Backend
+    failures raise :class:`~repro.errors.SolverBackendError`.
     """
     if weights is not None:
         for mid, w in weights.items():
@@ -157,10 +167,10 @@ def opt_buffered(
         if len(js) >= 2:
             add_row([(j, 1.0) for j in js], -np.inf, 1.0)
 
+    from .bufferless import _milp_budget_options, _milp_upper_bound
+
     a = sp.csr_matrix((vals, (rows, cols)), shape=(nrow, nvar))
-    options: dict = {}
-    if time_limit is not None:
-        options["time_limit"] = time_limit
+    options: dict = _milp_budget_options(budget, time_limit)
     res = milp(
         c=obj,
         constraints=[LinearConstraint(a, np.asarray(lb), np.asarray(ub))],
@@ -169,7 +179,15 @@ def opt_buffered(
         options=options,
     )
     if res.x is None:
-        raise RuntimeError(f"HiGHS failed on buffered MILP: {res.message}")
+        if budget is not None and res.status == 1:
+            cut = cut_upper_bound(instance) if weights is None else np.inf
+            raise BudgetExceeded(
+                f"buffered MILP budget exhausted with no incumbent: {res.message}",
+                lower=0,
+                upper=_milp_upper_bound(res, cut, integral=weights is None),
+                incumbent=None,
+            )
+        raise SolverBackendError(f"HiGHS failed on buffered MILP: {res.message}")
 
     crossings: dict[int, dict[int, int]] = {}
     for (mi, v, t), j in index.items():
@@ -195,7 +213,23 @@ def opt_buffered(
             messages=len(msgs),
             optimal=optimal,
         )
-    return BufferedResult(Schedule(tuple(trajectories)), optimal)
+    schedule = Schedule(tuple(trajectories))
+    if budget is not None and not optimal:
+        if weights is None:
+            lower: float = schedule.throughput
+            cut: float = cut_upper_bound(instance)
+        else:
+            lower = sum(weights.get(mid, 1.0) for mid in schedule.delivered_ids)
+            cut = np.inf
+        upper = max(lower, _milp_upper_bound(res, cut, integral=weights is None))
+        raise BudgetExceeded(
+            "buffered MILP budget exhausted before proving optimality "
+            f"(incumbent delivers {schedule.throughput})",
+            lower=lower,
+            upper=upper,
+            incumbent=schedule,
+        )
+    return BufferedResult(schedule, optimal)
 
 
 def opt_buffered_bruteforce(instance: Instance, *, max_messages: int = 10) -> BufferedResult:

@@ -26,10 +26,13 @@ import scipy.sparse as sp
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from .. import obs
+from ..budget import SolverBudget
 from ..core.instance import Instance
 from ..core.message import Direction, Message
 from ..core.schedule import Schedule
 from ..core.trajectory import bufferless_trajectory
+from ..errors import BudgetExceeded, SolverBackendError
+from .bounds import cut_upper_bound
 
 __all__ = ["opt_bufferless", "opt_bufferless_bnb", "BufferlessResult"]
 
@@ -57,11 +60,51 @@ def _prepare(instance: Instance) -> tuple[Instance, list[Message]]:
     return work, list(work)
 
 
+def _milp_budget_options(
+    budget: SolverBudget | None, time_limit: float | None
+) -> dict[str, float]:
+    """Translate ``time_limit`` and a :class:`SolverBudget` to HiGHS options."""
+    options: dict[str, float] = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    if budget is not None:
+        if budget.wall_time is not None:
+            options["time_limit"] = (
+                budget.wall_time
+                if time_limit is None
+                else min(time_limit, budget.wall_time)
+            )
+        if budget.nodes is not None:
+            options["node_limit"] = int(budget.nodes)
+    return options
+
+
+def _milp_upper_bound(res, cut_bound: float, *, integral: bool) -> float:
+    """Certified upper bound on the optimum from a limit-hit MILP result.
+
+    HiGHS's dual bound lower-bounds the minimisation objective, so its
+    negation upper-bounds the (weighted) throughput; with unit weights the
+    optimum is integral and the bound can be floored.  The combinatorial
+    cut bound is valid independently (callers pass ``inf`` when the
+    objective is weighted, where a message-count bound does not apply) —
+    take the tighter of the two.
+    """
+    dual = getattr(res, "mip_dual_bound", None)
+    upper: float = float(cut_bound)
+    if dual is not None and np.isfinite(dual):
+        from_dual = -float(dual)
+        if integral:
+            from_dual = float(np.floor(from_dual + 1e-6))
+        upper = min(upper, from_dual)
+    return upper
+
+
 def opt_bufferless(
     instance: Instance,
     *,
     time_limit: float | None = None,
     weights: dict[int, float] | None = None,
+    budget: SolverBudget | None = None,
 ) -> BufferlessResult:
     """Maximum-throughput bufferless schedule via 0/1 MILP.
 
@@ -79,6 +122,13 @@ def opt_bufferless(
 
     Returns the schedule built from the incumbent; ``optimal`` is False only
     if HiGHS hit the time limit before proving optimality.
+
+    ``budget`` upgrades limit handling from silent degradation to a typed
+    contract: its ``wall_time``/``nodes`` map onto the HiGHS limits, and if
+    either trips before optimality is proven the call raises
+    :class:`~repro.errors.BudgetExceeded` carrying the incumbent schedule
+    and certified ``lower``/``upper`` throughput bounds.  Backend failures
+    raise :class:`~repro.errors.SolverBackendError` either way.
     """
     if weights is not None:
         for mid, w in weights.items():
@@ -132,9 +182,7 @@ def opt_bufferless(
         (np.ones(len(rows)), (rows, cols)), shape=(nrow, nvar)
     )
     constraint = LinearConstraint(a, -np.inf, np.ones(nrow))
-    options: dict = {}
-    if time_limit is not None:
-        options["time_limit"] = time_limit
+    options: dict = _milp_budget_options(budget, time_limit)
     objective = -np.ones(nvar)
     if weights is not None:
         for j in range(nvar):
@@ -146,8 +194,17 @@ def opt_bufferless(
         bounds=Bounds(0, 1),
         options=options,
     )
+    limit_hit = bool(res.status == 1)
     if res.x is None:
-        raise RuntimeError(f"HiGHS failed on bufferless MILP: {res.message}")
+        if budget is not None and limit_hit:
+            cut = cut_upper_bound(work) if weights is None else np.inf
+            raise BudgetExceeded(
+                f"bufferless MILP budget exhausted with no incumbent: {res.message}",
+                lower=0,
+                upper=_milp_upper_bound(res, cut, integral=weights is None),
+                incumbent=None,
+            )
+        raise SolverBackendError(f"HiGHS failed on bufferless MILP: {res.message}")
     chosen = np.nonzero(res.x > 0.5)[0]
     trajectories = []
     used: set[int] = set()
@@ -175,18 +232,43 @@ def opt_bufferless(
             messages=len(msgs),
             optimal=optimal,
         )
-    return BufferlessResult(Schedule(tuple(trajectories)), optimal)
+    schedule = Schedule(tuple(trajectories))
+    if budget is not None and not optimal:
+        if weights is None:
+            lower: float = schedule.throughput
+            cut: float = cut_upper_bound(work)
+        else:
+            lower = sum(weights.get(mid, 1.0) for mid in schedule.delivered_ids)
+            cut = np.inf
+        upper = max(lower, _milp_upper_bound(res, cut, integral=weights is None))
+        raise BudgetExceeded(
+            "bufferless MILP budget exhausted before proving optimality "
+            f"(incumbent delivers {schedule.throughput})",
+            lower=lower,
+            upper=upper,
+            incumbent=schedule,
+        )
+    return BufferlessResult(schedule, optimal)
 
 
-def opt_bufferless_bnb(instance: Instance, *, node_limit: int = 2_000_000) -> BufferlessResult:
+def opt_bufferless_bnb(
+    instance: Instance,
+    *,
+    node_limit: int = 2_000_000,
+    budget: SolverBudget | None = None,
+) -> BufferlessResult:
     """Branch-and-bound reference solver (no SciPy).
 
     Messages are branched in order of window end; each branch either drops
     the message or places it on one of its feasible lines given the lines'
     current occupancy.  The bound is the trivial ``scheduled + remaining``.
 
-    ``node_limit`` caps the search; exceeding it raises ``RuntimeError`` —
-    this solver is for cross-checks on small instances, not production use.
+    ``node_limit`` caps the search; exceeding it raises
+    :class:`~repro.errors.BudgetExceeded` — this solver is for cross-checks
+    on small instances, not production use.  ``budget`` additionally caps
+    wall time and/or tightens the node cap; either way the exception
+    carries the best incumbent found plus certified ``lower``/``upper``
+    throughput bounds, so callers can degrade instead of crash.
     """
     tr = obs.tracer()
     t0 = time.perf_counter() if tr.enabled else 0.0
@@ -195,12 +277,39 @@ def opt_bufferless_bnb(instance: Instance, *, node_limit: int = 2_000_000) -> Bu
         return BufferlessResult(Schedule(), True)
     msgs = sorted(msgs, key=lambda m: (m.alpha_min, m.alpha_max, m.id))
 
+    meter = budget.meter() if budget is not None else None
+    if budget is not None and budget.nodes is not None:
+        node_limit = min(node_limit, budget.nodes)
+
     best_count = -1
     best_assign: dict[int, int] = {}
+    # Best *partial* assignment seen at any search node — never used for
+    # pruning (leaf-only incumbents keep the search identical to before),
+    # only as the certified-feasible incumbent when the budget trips.
+    best_partial_count = 0
+    best_partial: dict[int, int] = {}
     # occupancy per line: sorted list of (left, right) node intervals
     occupancy: dict[int, list[tuple[int, int]]] = {}
     nodes_visited = 0
     prunes = 0
+
+    def exhausted(reason: str) -> BudgetExceeded:
+        incumbent_assign = (
+            best_assign if best_count >= best_partial_count else best_partial
+        )
+        incumbent = Schedule(
+            tuple(
+                bufferless_trajectory(instance[mid], alpha)
+                for mid, alpha in incumbent_assign.items()
+            )
+        )
+        return BudgetExceeded(
+            reason,
+            lower=incumbent.throughput,
+            upper=max(incumbent.throughput, cut_upper_bound(work)),
+            incumbent=incumbent,
+            spent={"nodes": nodes_visited},
+        )
 
     def fits(alpha: int, left: int, right: int) -> bool:
         occ = occupancy.get(alpha, [])
@@ -219,9 +328,18 @@ def opt_bufferless_bnb(instance: Instance, *, node_limit: int = 2_000_000) -> Bu
 
     def dfs(i: int, count: int, assign: dict[int, int]) -> None:
         nonlocal best_count, best_assign, nodes_visited, prunes
+        nonlocal best_partial_count, best_partial
         nodes_visited += 1
         if nodes_visited > node_limit:
-            raise RuntimeError(f"branch-and-bound exceeded {node_limit} nodes")
+            raise exhausted(f"branch-and-bound exceeded {node_limit} nodes")
+        if meter is not None and meter.tick() == "wall_time":
+            raise exhausted(
+                f"branch-and-bound exceeded {budget.wall_time}s wall time "
+                f"after {nodes_visited} nodes"
+            )
+        if count > best_partial_count:
+            best_partial_count = count
+            best_partial = dict(assign)
         if count + (len(msgs) - i) <= best_count:
             prunes += 1
             return

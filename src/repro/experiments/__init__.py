@@ -20,6 +20,7 @@ E11    ring extension — validity and ratio on rings
 E12    delivery ratio vs offered load (saturation curve)
 E13    delivery ratio vs slack budget (deadline-tightness curve)
 E14    mesh extension — dimension-order routing over line schedulers
+E15    fault injection — delivery under drops, dead links, stalls
 A1     ablation — tie-breaking rules
 A2     ablation — finite buffer capacities
 =====  ============================================================
@@ -40,6 +41,7 @@ from . import (
     e12_load_sweep,
     e13_slack_sweep,
     e14_mesh,
+    e15_faults,
     a1_tiebreak,
     a2_buffers,
 )
@@ -59,6 +61,7 @@ ALL = {
     "e12": e12_load_sweep,
     "e13": e13_slack_sweep,
     "e14": e14_mesh,
+    "e15": e15_faults,
     "a1": a1_tiebreak,
     "a2": a2_buffers,
 }

@@ -62,7 +62,7 @@ SCHEDULERS = {
 }
 
 
-def _run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1) -> Table:
+def _run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1, engine=None) -> Table:
     return sweep(
         "load",
         LOADS,
@@ -71,6 +71,7 @@ def _run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1) -> Table:
         seed=seed,
         trials=trials,
         jobs=jobs,
+        engine=engine,
     )
 
 

@@ -51,7 +51,7 @@ SCHEDULERS = {
 }
 
 
-def _run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1) -> Table:
+def _run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1, engine=None) -> Table:
     return sweep(
         "max_slack",
         SLACKS,
@@ -60,6 +60,7 @@ def _run(*, seed: int = 2024, trials: int = 8, jobs: int | None = 1) -> Table:
         seed=seed,
         trials=trials,
         jobs=jobs,
+        engine=engine,
     )
 
 

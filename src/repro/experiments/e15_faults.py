@@ -1,0 +1,94 @@
+"""E15 — throughput degradation under injected network faults.
+
+The paper's guarantees assume a perfect synchronous line.  This experiment
+measures what its schedules are worth when the line misbehaves: every cell
+draws a saturated instance plus a random :class:`~repro.network.faults.FaultPlan`
+(link-failure windows, a node stall, and a swept packet-drop rate) and runs
+the distributed policies through the faulted simulator.
+
+Columns report mean delivery ratios: ``dbfl_clean`` is D-BFL on the
+fault-free network (the reference the faulted columns degrade from), the
+rest run under the same fault plan so the comparison is paired.  At
+``drop_rate = 0`` only the deterministic faults (failed links, stalls)
+bite; the degradation curve past that isolates the stochastic losses.
+
+Cell functions are module-level so the sweep engine can ship them to
+worker processes; each cell's instance *and* fault plan derive from its
+own spawned seed, so tables are identical at any job count and under any
+resilient-engine recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import Table
+from ..baselines import EDFPolicy, MinLaxityPolicy
+from ..core.dbfl import dbfl
+from ..engine import Engine, run_tasks, spawn_seeds
+from ..network import random_fault_plan, simulate
+from ..workloads import saturated_instance
+
+from .base import experiment
+
+__all__ = ["run"]
+
+DESCRIPTION = "Delivery ratio under injected faults (drops, dead links, stalls)"
+
+DROP_RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
+
+COLUMNS = ("dbfl_clean", "dbfl", "edf_buffered", "llf_buffered")
+
+
+def _cell(rate: float, seed_seq: np.random.SeedSequence) -> dict[str, float]:
+    """One trial: paired fault-free vs faulted runs on the same instance."""
+    rng = np.random.default_rng(seed_seq)
+    inst = saturated_instance(rng, n=16, load=1.5, horizon=25)
+    plan = random_fault_plan(
+        rng, inst, drop_rate=rate, link_failures=2, node_stalls=1
+    )
+    norm = max(len(inst), 1)
+    return {
+        "messages": float(len(inst)),
+        "dbfl_clean": dbfl(inst).throughput / norm,
+        "dbfl": dbfl(inst, faults=plan).throughput / norm,
+        "edf_buffered": simulate(inst, EDFPolicy(), faults=plan).throughput / norm,
+        "llf_buffered": simulate(
+            inst, MinLaxityPolicy(), faults=plan
+        ).throughput
+        / norm,
+    }
+
+
+def _run(
+    *,
+    seed: int = 2024,
+    trials: int = 8,
+    jobs: int | None = 1,
+    engine: Engine | None = None,
+) -> Table:
+    seeds = spawn_seeds(seed, len(DROP_RATES) * trials)
+    tasks = [
+        (rate, seeds[ri * trials + t])
+        for ri, rate in enumerate(DROP_RATES)
+        for t in range(trials)
+    ]
+    if engine is not None:
+        results, cache_stats = engine.map(_cell, tasks)
+    else:
+        results, cache_stats = run_tasks(_cell, tasks, jobs=jobs)
+
+    table = Table(["drop_rate", "messages", *COLUMNS])
+    for ri, rate in enumerate(DROP_RATES):
+        cells = results[ri * trials : (ri + 1) * trials]
+        means = {
+            key: sum(c[key] for c in cells) / trials
+            for key in ("messages", *COLUMNS)
+        }
+        table.add(drop_rate=rate, **means)
+    if cache_stats.total:
+        table.add_footnote(cache_stats.footnote())
+    return table
+
+
+run = experiment(_run)

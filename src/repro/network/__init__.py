@@ -15,14 +15,20 @@ is the executable substrate.  It models:
 
 The D-BFL algorithm (:mod:`repro.core.dbfl`) and the buffered heuristics
 (:mod:`repro.baselines.buffered_greedy`) are policies for this simulator.
+:mod:`repro.network.faults` injects deterministic link failures, packet
+drops and node stalls into any run (E15 measures the degradation).
 """
 
+from .faults import FaultPlan, LinkFailure, NodeStall, random_fault_plan
 from .packet import Packet, PacketStatus
 from .policy import NodeView, Policy
 from .simulator import LinearNetworkSimulator, SimulationResult, simulate
 from .stats import SimulationStats
 
 __all__ = [
+    "FaultPlan",
+    "LinkFailure",
+    "NodeStall",
     "Packet",
     "PacketStatus",
     "Policy",
@@ -30,5 +36,6 @@ __all__ = [
     "LinearNetworkSimulator",
     "SimulationResult",
     "SimulationStats",
+    "random_fault_plan",
     "simulate",
 ]

@@ -1,0 +1,149 @@
+"""Network fault injection for the linear-network simulator.
+
+The paper's model is a perfect synchronous line; real interconnects lose
+links, drop packets and stall nodes.  A :class:`FaultPlan` describes an
+adversarial-but-deterministic environment the simulator replays exactly:
+
+* :class:`LinkFailure` — link ``(link, link+1)`` is down for every step
+  ``t`` with ``start <= t < end``: nothing (packets *or* control values)
+  crosses it;
+* :class:`NodeStall` — node ``node`` cannot *forward* packets during its
+  window (think: a busy or rebooting router).  Control traffic still
+  flows, and the node keeps receiving;
+* ``drop_rate`` — each link crossing is lost independently with this
+  probability (the packet is marked dropped on arrival).  Draws come from
+  a dedicated ``numpy`` generator seeded with ``drop_seed``, so a plan
+  replays bit-identically and never perturbs workload randomness.
+
+Plans are immutable and picklable, so faulted cells fan out through the
+sweep engine like any others.  :func:`random_fault_plan` draws a plan
+from an experiment cell's own rng (E15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import Instance
+
+__all__ = ["LinkFailure", "NodeStall", "FaultPlan", "random_fault_plan"]
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """Link ``(link, link+1)`` carries nothing during ``start <= t < end``."""
+
+    link: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.link < 0:
+            raise ValueError(f"link must be >= 0, got {self.link}")
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(
+                f"failure window must satisfy 0 <= start <= end, "
+                f"got [{self.start}, {self.end})"
+            )
+
+
+@dataclass(frozen=True)
+class NodeStall:
+    """Node ``node`` cannot forward packets during ``start <= t < end``."""
+
+    node: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"node must be >= 0, got {self.node}")
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(
+                f"stall window must satisfy 0 <= start <= end, "
+                f"got [{self.start}, {self.end})"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of network faults (see the module docstring)."""
+
+    link_failures: tuple[LinkFailure, ...] = ()
+    node_stalls: tuple[NodeStall, ...] = ()
+    drop_rate: float = 0.0
+    drop_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1], got {self.drop_rate}")
+        object.__setattr__(self, "link_failures", tuple(self.link_failures))
+        object.__setattr__(self, "node_stalls", tuple(self.node_stalls))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan injects anything at all."""
+        return bool(self.link_failures or self.node_stalls or self.drop_rate > 0)
+
+    def link_down(self, link: int, t: int) -> bool:
+        return any(
+            f.link == link and f.start <= t < f.end for f in self.link_failures
+        )
+
+    def node_stalled(self, node: int, t: int) -> bool:
+        return any(
+            s.node == node and s.start <= t < s.end for s in self.node_stalls
+        )
+
+    def sending_blocked(self, node: int, t: int) -> bool:
+        """Whether node ``node`` may not forward over link ``node`` at ``t``."""
+        return self.link_down(node, t) or self.node_stalled(node, t)
+
+    def drop_rng(self) -> np.random.Generator:
+        """A fresh, deterministic generator for the drop coin flips."""
+        return np.random.default_rng(self.drop_seed)
+
+
+def random_fault_plan(
+    rng: np.random.Generator,
+    instance: Instance,
+    *,
+    drop_rate: float = 0.0,
+    link_failures: int = 0,
+    node_stalls: int = 0,
+    max_window: int = 5,
+) -> FaultPlan:
+    """Draw a random plan scaled to ``instance``'s line and horizon.
+
+    Each failure/stall picks a uniform link/node and a window of length
+    ``1..max_window`` starting anywhere in the instance horizon.  The drop
+    seed is drawn from ``rng`` too, so one cell seed determines the whole
+    faulted environment.
+    """
+    n = instance.n
+    horizon = max(int(instance.horizon), 1)
+
+    def window() -> tuple[int, int]:
+        start = int(rng.integers(0, horizon))
+        return start, start + int(rng.integers(1, max_window + 1))
+
+    failures = []
+    for _ in range(link_failures):
+        link = int(rng.integers(0, max(n - 1, 1)))
+        start, end = window()
+        failures.append(LinkFailure(link, start, end))
+    stalls = []
+    for _ in range(node_stalls):
+        node = int(rng.integers(0, max(n - 1, 1)))
+        start, end = window()
+        stalls.append(NodeStall(node, start, end))
+    return FaultPlan(
+        link_failures=tuple(failures),
+        node_stalls=tuple(stalls),
+        drop_rate=drop_rate,
+        drop_seed=int(rng.integers(0, 2**63 - 1)),
+    )

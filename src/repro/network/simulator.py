@@ -39,6 +39,7 @@ from ..core.instance import Instance
 from ..core.message import Direction
 from ..core.schedule import Schedule
 from ..core.validate import validate_schedule
+from .faults import FaultPlan
 from .packet import Packet, PacketStatus
 from .policy import NodeView, Policy
 from .stats import SimulationStats
@@ -74,6 +75,15 @@ class LinearNetworkSimulator:
         Max packets buffered per *intermediate* node; ``None`` (the paper's
         setting) means unbounded.  Source buffers are always unbounded — a
         node can hold its own outgoing traffic.
+    faults:
+        Optional :class:`~repro.network.faults.FaultPlan`.  During a link
+        failure window the link carries nothing — no packet is selected at
+        its tail node and no control value crosses; during a node stall
+        the node cannot forward packets but control still flows; with a
+        positive ``drop_rate`` each link crossing independently loses the
+        packet with that probability (drawn from the plan's own seeded
+        generator, so runs replay exactly).  Fault runs never use the
+        idle fast-forward, keeping step accounting uniform.
     """
 
     def __init__(
@@ -82,6 +92,7 @@ class LinearNetworkSimulator:
         policy: Policy,
         *,
         buffer_capacity: int | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         for m in instance:
             if m.direction != Direction.LEFT_TO_RIGHT:
@@ -90,9 +101,12 @@ class LinearNetworkSimulator:
                 )
         if buffer_capacity is not None and buffer_capacity < 0:
             raise ValueError("buffer_capacity must be non-negative or None")
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise TypeError(f"faults must be a FaultPlan or None, got {faults!r}")
         self.instance = instance
         self.policy = policy
         self.buffer_capacity = buffer_capacity
+        self.faults = faults if faults is not None and faults.active else None
 
     # ------------------------------------------------------------------ #
 
@@ -116,6 +130,11 @@ class LinearNetworkSimulator:
         delivered: list[Packet] = []
         dropped: list[Packet] = []
 
+        faults = self.faults
+        drop_rng = (
+            faults.drop_rng() if faults is not None and faults.drop_rate > 0 else None
+        )
+
         horizon = inst.horizon
         t = 0
         live = len(packets)
@@ -126,7 +145,8 @@ class LinearNetworkSimulator:
             # the policy: D-BFL-style policies drive the control channel each
             # step and must be polled even when idle.
             if (
-                not in_flight
+                faults is None
+                and not in_flight
                 and not control_in_flight
                 and releases
                 and policy.idle_skippable
@@ -141,7 +161,15 @@ class LinearNetworkSimulator:
             # 1. arrivals
             for p, origin in in_flight:
                 node = origin + 1
-                if p.status is PacketStatus.DELIVERED:
+                if drop_rng is not None and drop_rng.random() < faults.drop_rate:
+                    # the crossing happened but the packet was lost on it
+                    p.mark_dropped(t)
+                    dropped.append(p)
+                    stats.dropped += 1
+                    stats.fault_drops += 1
+                    policy.on_drop(p, t)
+                    live -= 1
+                elif p.status is PacketStatus.DELIVERED:
                     delivered.append(p)
                     stats.delivered += 1
                     stats.total_latency += (p.crossings[-1] + 1) - p.message.release
@@ -191,8 +219,17 @@ class LinearNetworkSimulator:
 
             # 5. selection + control emission
             for node in range(n - 1):
-                view = NodeView(node=node, time=t, candidates=tuple(buffers[node]))
-                chosen = policy.select(view)
+                if faults is not None and faults.link_down(node, t):
+                    # a dead link carries neither packets nor control
+                    stats.link_down_blocks += 1
+                    continue
+                stalled = faults is not None and faults.node_stalled(node, t)
+                if stalled:
+                    stats.stall_blocks += 1
+                    chosen = None
+                else:
+                    view = NodeView(node=node, time=t, candidates=tuple(buffers[node]))
+                    chosen = policy.select(view)
                 if chosen is not None:
                     if chosen not in buffers[node]:
                         raise RuntimeError(
@@ -229,6 +266,11 @@ class LinearNetworkSimulator:
             tr.count("sim.idle_fast_forwards", stats.idle_fast_forwards)
             tr.count("sim.delivered", stats.delivered)
             tr.count("sim.expired", stats.dropped)
+            if faults is not None:
+                tr.count("sim.faulted_runs")
+                tr.count("sim.fault_drops", stats.fault_drops)
+                tr.count("sim.link_down_blocks", stats.link_down_blocks)
+                tr.count("sim.stall_blocks", stats.stall_blocks)
             tr.record_span(
                 "sim.run",
                 t0,
@@ -250,8 +292,9 @@ def simulate(
     policy: Policy,
     *,
     buffer_capacity: int | None = None,
+    faults: FaultPlan | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build and run a simulator in one call."""
     return LinearNetworkSimulator(
-        instance, policy, buffer_capacity=buffer_capacity
+        instance, policy, buffer_capacity=buffer_capacity, faults=faults
     ).run()

@@ -25,6 +25,10 @@ class SimulationStats:
     total_wait_steps: int = 0
     total_latency: int = 0
     buffer_overflow_drops: int = 0
+    # fault injection (repro.network.faults); all zero on fault-free runs
+    fault_drops: int = 0
+    link_down_blocks: int = 0
+    stall_blocks: int = 0
 
     # ------------------------------------------------------------------ #
 

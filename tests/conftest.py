@@ -1,6 +1,9 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures, hypothesis strategies, and the test-timeout fallback."""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import numpy as np
 import pytest
@@ -8,6 +11,68 @@ from hypothesis import strategies as st
 
 from repro.core.instance import Instance
 from repro.core.message import Message
+
+# --------------------------------------------------------------------- #
+# Per-test wall-clock ceiling
+#
+# pyproject.toml sets a suite-wide ``timeout`` so a hung test fails fast.
+# When pytest-timeout is installed it owns that ini key and this block is
+# inert; otherwise a minimal SIGALRM-based fallback enforces the same
+# ceiling (main thread + POSIX only — elsewhere tests simply run
+# unguarded, exactly like a missing plugin would behave).
+# --------------------------------------------------------------------- #
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    if not _HAVE_PYTEST_TIMEOUT:
+        parser.addini(
+            "timeout",
+            "per-test wall-clock ceiling in seconds (0 disables); "
+            "vendored fallback for pytest-timeout",
+            default="0",
+        )
+
+
+def _test_ceiling(item: pytest.Item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: pytest.Item):
+    timeout = 0.0 if _HAVE_PYTEST_TIMEOUT else _test_ceiling(item)
+    if (
+        timeout <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        pytest.fail(
+            f"test exceeded the {timeout:g}s wall-clock ceiling", pytrace=False
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 # --------------------------------------------------------------------- #
 # Deterministic example instances

@@ -1,0 +1,120 @@
+"""Structured solver budgets: typed exhaustion with certified bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BudgetExceeded, ReproError, SolverBackendError, SolverBudget, api
+from repro.exact import opt_buffered, opt_bufferless, opt_bufferless_bnb
+
+from .conftest import random_lr_instance
+
+
+@pytest.fixture
+def small():
+    rng = np.random.default_rng(3)
+    return random_lr_instance(rng, n_lo=6, n_hi=6, k_lo=6, k_hi=6, max_slack=3)
+
+
+class TestBudgetTypes:
+    def test_budget_validation(self):
+        with pytest.raises(ValueError, match="wall_time and/or nodes"):
+            SolverBudget()
+        with pytest.raises(ValueError, match="nodes"):
+            SolverBudget(nodes=0)
+        with pytest.raises(ValueError, match="wall_time"):
+            SolverBudget(wall_time=-1.0)
+
+    def test_exception_hierarchy(self):
+        # the legacy node-limit contract caught bare RuntimeError; the typed
+        # exceptions must keep satisfying it
+        assert issubclass(BudgetExceeded, RuntimeError)
+        assert issubclass(BudgetExceeded, ReproError)
+        assert issubclass(SolverBackendError, RuntimeError)
+        assert issubclass(SolverBackendError, ReproError)
+
+    def test_meter_counts_nodes(self):
+        meter = SolverBudget(nodes=3).meter()
+        assert meter.tick() is None
+        assert meter.tick() is None
+        assert meter.tick() is None  # exactly at the limit: still in budget
+        assert meter.tick() == "nodes"
+        assert meter.spent()["nodes"] == 4
+
+
+class TestBnbBudget:
+    def test_raise_carries_certified_bounds(self, small):
+        opt = opt_bufferless_bnb(small).schedule.throughput
+        with pytest.raises(BudgetExceeded, match="exceeded") as excinfo:
+            opt_bufferless_bnb(small, budget=SolverBudget(nodes=3))
+        exc = excinfo.value
+        assert exc.lower <= opt <= exc.upper
+        assert exc.spent["nodes"] >= 3
+        assert exc.incumbent is not None
+        assert exc.incumbent.throughput == exc.lower
+
+    def test_legacy_node_limit_still_budget_typed(self, small):
+        with pytest.raises(BudgetExceeded):
+            opt_bufferless_bnb(small, node_limit=2)
+
+    def test_unbudgeted_solve_unchanged(self, small):
+        budgeted = opt_bufferless_bnb(small, budget=SolverBudget(nodes=10**9))
+        plain = opt_bufferless_bnb(small)
+        assert budgeted.schedule.delivered_ids == plain.schedule.delivered_ids
+        assert budgeted.optimal and plain.optimal
+
+
+class TestApiDegrade:
+    def test_bnb_degrade_brackets_opt(self, small):
+        opt = opt_bufferless_bnb(small).schedule.throughput
+        res = api.solve(
+            small,
+            method="exact",
+            solver="bnb",
+            budget=SolverBudget(nodes=3),
+            on_budget="degrade",
+        )
+        assert res.status in ("bounded", "optimal")
+        assert res.lower <= opt <= res.upper
+        # the returned schedule is the incumbent, hence the lower bound
+        assert res.schedule.throughput == res.lower
+        assert res.optimal is (res.status == "optimal")
+        if res.status == "bounded":
+            assert "budget" in res.telemetry
+
+    def test_milp_wall_budget_degrades_both_regimes(self, small):
+        opt_bl = opt_bufferless(small).schedule.throughput
+        res = api.solve(
+            small, budget=SolverBudget(wall_time=1e-6), on_budget="degrade"
+        )
+        assert res.status in ("bounded", "infeasible", "optimal")
+        upper = res.upper if res.upper is not None else float("inf")
+        assert res.lower <= opt_bl <= upper
+
+        opt_b = opt_buffered(small).schedule.throughput
+        res_b = api.solve(
+            small,
+            regime="buffered",
+            budget=SolverBudget(wall_time=1e-6),
+            on_budget="degrade",
+        )
+        upper_b = res_b.upper if res_b.upper is not None else float("inf")
+        assert res_b.lower <= opt_b <= upper_b
+
+    def test_default_on_budget_raises(self, small):
+        with pytest.raises(BudgetExceeded):
+            api.solve(small, method="exact", solver="bnb", budget=SolverBudget(nodes=2))
+
+    def test_on_budget_value_checked(self, small):
+        with pytest.raises(ValueError, match="on_budget"):
+            api.solve(small, on_budget="ignore")
+
+    def test_budget_rejected_for_heuristics(self, small):
+        with pytest.raises(TypeError, match="budget"):
+            api.solve(small, method="bfl", budget=SolverBudget(nodes=5))
+
+    def test_optimal_solve_reports_tight_bounds(self, small):
+        res = api.solve(small, method="exact")
+        assert res.status == "optimal"
+        assert res.lower == res.upper == res.schedule.throughput

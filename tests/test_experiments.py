@@ -24,7 +24,7 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         assert set(ALL) == {
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-            "e11", "e12", "e13", "e14", "a1", "a2",
+            "e11", "e12", "e13", "e14", "e15", "a1", "a2",
         }
 
     def test_every_module_has_description_and_run(self):
