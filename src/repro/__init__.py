@@ -36,7 +36,6 @@ from .core import (
     buffered_trajectory,
     bufferless_trajectory,
     make_instance,
-    schedule_bidirectional,
     schedule_problems,
     validate_schedule,
 )
@@ -66,7 +65,6 @@ __all__ = [
     "bfl_fast",
     "dbfl",
     "BidirectionalSchedule",
-    "schedule_bidirectional",
     "ScheduleResult",
     "solve",
     "solve_bidirectional",
@@ -77,3 +75,12 @@ __all__ = [
     "TaskTimeoutError",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    if name == "schedule_bidirectional":
+        raise AttributeError(
+            "repro.schedule_bidirectional was removed after its deprecation "
+            "cycle; use repro.api.solve_bidirectional instead"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -7,10 +7,26 @@ default filter while remaining individually targetable: the test suite
 promotes exactly this class to an error (see ``[tool.pytest.ini_options]``
 ``filterwarnings`` in ``pyproject.toml``), which keeps the library itself
 honest about never calling its own deprecated surface.
+
+Escalation works in two independent layers, because pytest's
+``filterwarnings`` only configures the *current* process: setting the
+environment variable ``REPRO_DEPRECATIONS=error`` makes
+:func:`warn_deprecated` *raise* instead of warn, in any process that
+inherits the variable — including ``ProcessPoolExecutor`` workers, whose
+warning filters the parent's pytest configuration cannot reach.  The
+test suite exports it for exactly that reason (see ``tests/conftest.py``).
+
+Removal policy: an alias lives for two full releases of
+``ReproDeprecationWarning``, after which the alias is deleted and the
+name turns into an ``AttributeError``/``TypeError`` that still points at
+the replacement (module ``__getattr__`` hooks keep the messages;
+``schedule_bidirectional`` and the workloads ``seed=`` kwarg completed
+this cycle).
 """
 
 from __future__ import annotations
 
+import os
 import warnings
 
 __all__ = ["ReproDeprecationWarning", "warn_deprecated"]
@@ -24,10 +40,11 @@ def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
     """Emit the standard deprecation message for ``old``, pointing at ``new``.
 
     ``stacklevel=3`` attributes the warning to the caller of the deprecated
-    alias (alias body -> this helper is two frames).
+    alias (alias body -> this helper is two frames).  With
+    ``REPRO_DEPRECATIONS=error`` in the environment the warning is raised
+    as an exception instead — the cross-process escalation hook.
     """
-    warnings.warn(
-        f"{old} is deprecated; use {new} instead",
-        ReproDeprecationWarning,
-        stacklevel=stacklevel,
-    )
+    message = f"{old} is deprecated; use {new} instead"
+    if os.environ.get("REPRO_DEPRECATIONS") == "error":
+        raise ReproDeprecationWarning(message)
+    warnings.warn(message, ReproDeprecationWarning, stacklevel=stacklevel)

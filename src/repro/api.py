@@ -10,33 +10,52 @@ One entry point replaces the scattered per-module solvers::
     result.optimal     # True = proven optimum, None = heuristic
     result.telemetry   # runtime + solver counters for this call
 
-``regime`` selects the machine model (``"bufferless"`` — one scan line
-per message, no waiting — or ``"buffered"`` — store-and-forward with
-unbounded buffers), ``method`` the algorithm family:
+``regime`` selects the machine model, ``method`` the algorithm family.
+Three regimes exist:
 
-=========== =================================== ===============================
-method      bufferless                          buffered
-=========== =================================== ===============================
-``exact``   ``OPT_BL`` MILP (``solver="bnb"``   ``OPT_B`` time-indexed MILP
-            for the branch-and-bound;           (``solver="bruteforce"`` for
-            ``solver="auto"`` falls back to     subset enumeration)
-            BnB if the MILP backend fails)
-``bfl``     Algorithm BFL via the scan-line     Algorithm D-BFL on the network
-            kernel (``tie_break=`` switches     simulator (``buffer_capacity=``
-            to the readable reference)          for the finite-buffer ablation)
-``greedy``  order-then-first-fit baselines      per-link policies on the
-            (``order="edf"|"arrival"|           simulator (``policy="edf"|
-            "laxity"|"random"``)                "fcfs"|"laxity"|"nearest"``
-                                                or any ``Policy`` instance)
-=========== =================================== ===============================
+* ``"bufferless"`` — offline, one scan line per message, no waiting;
+* ``"buffered"`` — offline, store-and-forward with (by default
+  unbounded) per-node buffers;
+* ``"online"`` — messages are revealed at their release times, every
+  admit/launch/drop decision is irrevocable, and the result carries an
+  empirical ``competitive_ratio`` against the offline optimum on the
+  realized instance (see :mod:`repro.online`).
 
-Every combination returns the *same schedule object* the legacy
+=========== ============================= ============================= =============================
+method      bufferless                    buffered                      online
+=========== ============================= ============================= =============================
+``exact``   ``OPT_BL`` MILP               ``OPT_B`` time-indexed MILP   —
+            (``solver="bnb"`` for the     (``solver="bruteforce"``
+            branch-and-bound;             for subset enumeration)
+            ``solver="auto"`` falls
+            back to BnB if the MILP
+            backend fails)
+``bfl``     Algorithm BFL via the         Algorithm D-BFL on the        incremental scan-line
+            scan-line kernel              network simulator             admission (replan at each
+            (``tie_break=`` switches      (``buffer_capacity=`` for     arrival; ``faults=``)
+            to the readable reference)    the finite-buffer ablation)
+``dbfl``    —                             —                             the paper's distributed rule
+                                                                        on the simulator
+                                                                        (``buffer_capacity=``,
+                                                                        ``faults=``)
+``greedy``  order-then-first-fit          per-link policies on the      buffered per-link heuristics
+            baselines (``order="edf"|     simulator (``policy="edf"|    (``policy=``,
+            "arrival"|"laxity"|           "fcfs"|"laxity"|"nearest"``   ``buffer_capacity=``,
+            "random"``)                   or any ``Policy`` instance)   ``faults=``)
+=========== ============================= ============================= =============================
+
+A ``—`` combination raises a ``ValueError`` naming the valid methods
+for the regime.  Online solves accept ``baseline="exact"`` (default;
+the offline optimum of the matching regime), ``"bfl"`` (the offline
+scan-line kernel — cheap) or ``"none"`` to control what
+``competitive_ratio`` is measured against.
+
+Every offline combination returns the *same schedule object* the legacy
 entrypoint would (``repro.exact.*``, ``repro.core.bfl*``,
-``repro.baselines.*`` remain the implementation layer), wrapped in one
-:class:`ScheduleResult`.  Mixed-direction instances go through
-:func:`solve_bidirectional`, which performs the paper's split/mirror
-reduction (superseding the deprecated
-``repro.core.solve.schedule_bidirectional``).
+``repro.baselines.*``, ``repro.online.*`` remain the implementation
+layer), wrapped in one :class:`ScheduleResult`.  Mixed-direction
+instances go through :func:`solve_bidirectional`, which performs the
+paper's split/mirror reduction.
 """
 
 from __future__ import annotations
@@ -49,10 +68,24 @@ from . import obs
 from .core.instance import Instance
 from .core.schedule import Schedule
 
-__all__ = ["ScheduleResult", "solve", "solve_bidirectional", "REGIMES", "METHODS"]
+__all__ = [
+    "ScheduleResult",
+    "solve",
+    "solve_bidirectional",
+    "REGIMES",
+    "METHODS",
+    "DISPATCH",
+]
 
-REGIMES = ("bufferless", "buffered")
-METHODS = ("exact", "bfl", "greedy")
+REGIMES = ("bufferless", "buffered", "online")
+#: Valid methods per regime — the complete dispatch matrix.
+DISPATCH = {
+    "bufferless": ("exact", "bfl", "greedy"),
+    "buffered": ("exact", "bfl", "greedy"),
+    "online": ("bfl", "dbfl", "greedy"),
+}
+#: Union of all method names across regimes.
+METHODS = ("exact", "bfl", "dbfl", "greedy")
 
 
 @dataclass(frozen=True)
@@ -78,7 +111,13 @@ class ScheduleResult:
 
     ``lower`` is always the delivered throughput of the returned schedule
     (feasible, hence a valid lower bound); ``upper`` is set only when
-    certified (proven optima and degraded budget solves).
+    certified (proven optima, degraded budget solves, and online solves
+    against the ``"exact"`` baseline, where the offline optimum bounds
+    any schedule).
+
+    ``competitive_ratio`` is set by online solves only: delivered
+    throughput divided by the baseline's (``1.0`` when the baseline
+    itself delivers nothing).
     """
 
     schedule: Schedule
@@ -89,6 +128,11 @@ class ScheduleResult:
     status: str = "feasible"
     lower: float | None = None
     upper: float | None = None
+    competitive_ratio: float | None = None
+
+    #: Version of the :meth:`to_dict` serialization schema (bump on any
+    #: backwards-incompatible change; documented in ``docs/api.md``).
+    SCHEMA_VERSION = 1
 
     @property
     def delivered(self) -> int:
@@ -102,6 +146,56 @@ class ScheduleResult:
     @property
     def delivered_ids(self) -> frozenset[int]:
         return self.schedule.delivered_ids
+
+    def __iter__(self):
+        """Iterate over the schedule's trajectories."""
+        return iter(self.schedule.trajectories)
+
+    def summary(self) -> dict[str, Any]:
+        """The scalar facts of the solve — no schedule, no telemetry."""
+        out: dict[str, Any] = {
+            "regime": self.regime,
+            "method": self.method,
+            "status": self.status,
+            "delivered": self.delivered,
+            "optimal": self.optimal,
+            "lower": self.lower,
+            "upper": self.upper,
+        }
+        if self.competitive_ratio is not None:
+            out["competitive_ratio"] = self.competitive_ratio
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """The stable JSON form shared by sweeps, checkpoints and exporters.
+
+        Schema (documented in ``docs/api.md``): ``format`` is always
+        ``"repro-schedule-result"``, ``version`` is
+        :data:`SCHEMA_VERSION`; the scalar fields of :meth:`summary` sit
+        at the top level next to the embedded ``schedule`` document
+        (:func:`repro.io.schedule_to_dict`) and the JSON-sanitized
+        ``telemetry``.
+        """
+        from .io import schedule_to_dict
+
+        return {
+            "format": "repro-schedule-result",
+            "version": self.SCHEMA_VERSION,
+            **self.summary(),
+            "schedule": schedule_to_dict(self.schedule),
+            "telemetry": _jsonable(self.telemetry),
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort projection onto the JSON value space."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
 
 
 def _take(opts: dict[str, Any], name: str, default: Any) -> Any:
@@ -265,6 +359,81 @@ def _buffered_greedy(
     return result.schedule, None, extra
 
 
+def _offline_opt(instance: Instance, *, bufferless: bool) -> int:
+    """Offline optimum throughput of the matching regime (MILP, with the
+    dependency-free fallback when the backend is unavailable)."""
+    from .errors import SolverBackendError
+
+    if bufferless:
+        from .exact import opt_bufferless, opt_bufferless_bnb
+
+        try:
+            return opt_bufferless(instance).schedule.throughput
+        except SolverBackendError:
+            obs.tracer().count("exact.fallbacks")
+            return opt_bufferless_bnb(instance).schedule.throughput
+    from .exact import opt_buffered, opt_buffered_bruteforce
+
+    try:
+        return opt_buffered(instance).schedule.throughput
+    except SolverBackendError:
+        obs.tracer().count("exact.fallbacks")
+        return opt_buffered_bruteforce(instance).schedule.throughput
+
+
+_BASELINES = ("exact", "bfl", "none")
+
+
+def _online(
+    instance: Instance, method: str, opts: dict[str, Any]
+) -> tuple[Schedule, dict[str, Any], float | None, int | None]:
+    from .online import online_bfl, online_dbfl, online_greedy
+
+    baseline = _take(opts, "baseline", "exact")
+    if baseline not in _BASELINES:
+        raise ValueError(f"unknown baseline {baseline!r}; choose one of {_BASELINES}")
+    faults = _take(opts, "faults", None)
+    if method == "bfl":
+        _reject_unknown(opts, "online", "bfl")
+        run = online_bfl(instance, faults=faults)
+    elif method == "dbfl":
+        buffer_capacity = _take(opts, "buffer_capacity", None)
+        _reject_unknown(opts, "online", "dbfl")
+        run = online_dbfl(instance, buffer_capacity=buffer_capacity, faults=faults)
+    else:
+        buffer_capacity = _take(opts, "buffer_capacity", None)
+        policy = _take(opts, "policy", "edf")
+        _reject_unknown(opts, "online", "greedy")
+        run = online_greedy(
+            instance, policy=policy, buffer_capacity=buffer_capacity, faults=faults
+        )
+
+    opt_value: int | None = None
+    ratio: float | None = None
+    if baseline == "bfl":
+        from .core.bfl_fast import bfl_fast
+
+        ref = bfl_fast(instance).throughput
+        ratio = 1.0 if ref == 0 else run.throughput / ref
+    elif baseline == "exact":
+        # Compared against the clean offline optimum of the matching
+        # regime, even when faults= is active: the ratio then measures
+        # the policy *and* the environment together.
+        opt_value = _offline_opt(instance, bufferless=(method == "bfl"))
+        ratio = 1.0 if opt_value == 0 else run.throughput / opt_value
+    extra = {
+        "policy": run.policy,
+        "steps": run.steps,
+        "decisions": len(run.decisions),
+        "drops": {
+            "policy": len(run.policy_dropped_ids),
+            "fault": len(run.fault_dropped_ids),
+        },
+        **run.stats,
+    }
+    return run.schedule, extra, ratio, opt_value
+
+
 def solve(
     instance: Instance,
     regime: str = "bufferless",
@@ -289,8 +458,11 @@ def solve(
     """
     if regime not in REGIMES:
         raise ValueError(f"unknown regime {regime!r}; choose one of {REGIMES}")
-    if method not in METHODS:
-        raise ValueError(f"unknown method {method!r}; choose one of {METHODS}")
+    if method not in DISPATCH[regime]:
+        raise ValueError(
+            f"unknown method {method!r} for regime {regime!r}; "
+            f"choose one of {DISPATCH[regime]}"
+        )
     on_budget = opts.pop("on_budget", "raise")
     if on_budget not in ("raise", "degrade"):
         raise ValueError(
@@ -307,6 +479,8 @@ def solve(
     t0 = time.perf_counter()
     extra: dict[str, Any] = {}
     degraded: BudgetExceeded | None = None
+    ratio: float | None = None
+    online_opt: int | None = None
     try:
         if regime == "bufferless":
             if method == "exact":
@@ -315,13 +489,16 @@ def solve(
                 schedule, optimal = _bufferless_bfl(instance, opts)
             else:
                 schedule, optimal = _bufferless_greedy(instance, opts)
-        else:
+        elif regime == "buffered":
             if method == "exact":
                 schedule, optimal = _buffered_exact(instance, opts)
             elif method == "bfl":
                 schedule, optimal, extra = _buffered_bfl(instance, opts)
             else:
                 schedule, optimal, extra = _buffered_greedy(instance, opts)
+        else:
+            schedule, extra, ratio, online_opt = _online(instance, method, opts)
+            optimal = None
     except BudgetExceeded as exc:
         if on_budget != "degrade":
             raise
@@ -349,7 +526,8 @@ def solve(
     else:
         status = "feasible"
         lower = schedule.throughput
-        upper = None
+        # The offline optimum certifies an upper bound on any online run.
+        upper = online_opt
 
     telemetry: dict[str, Any] = {"seconds": elapsed, **extra}
     if counters_before is not None:
@@ -373,6 +551,7 @@ def solve(
         status=status,
         lower=lower,
         upper=upper,
+        competitive_ratio=ratio,
     )
 
 

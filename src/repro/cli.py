@@ -15,7 +15,10 @@ Commands:
 * ``repro obs report t.jsonl`` — summarize a trace: per-phase timings,
   solver node counts, cache hit rates;
 * ``repro bench`` — time the BFL kernel and the sweep engine, write the
-  JSON perf baseline;
+  JSON perf baseline (``repro bench online`` benchmarks the online
+  policies instead, writing ``BENCH_PR4.json``);
+* ``repro online --method bfl|dbfl|greedy`` — stream a random instance
+  through an online policy and report the competitive ratio;
 * ``repro figure 1|2|3`` — print a paper figure as ASCII art;
 * ``repro demo`` — the quickstart: schedule a random instance, show it.
 
@@ -89,11 +92,22 @@ def main(argv: list[str] | None = None) -> int:
     bench_p = sub.add_parser(
         "bench", help="time the BFL kernel + sweep engine, write the perf baseline"
     )
+    bench_p.add_argument(
+        "suite",
+        nargs="?",
+        choices=("all", "online"),
+        default="all",
+        help="'all' (default): kernel + sweep + obs -> BENCH_PR1.json; "
+        "'online': decisions/sec + competitive ratio -> BENCH_PR4.json",
+    )
     bench_p.add_argument("--seed", type=int, default=2024)
     bench_p.add_argument("--trials", type=int, default=10, help="sweep cells per size")
     bench_p.add_argument("--jobs", type=int, default=4)
     bench_p.add_argument(
-        "--out", default="BENCH_PR1.json", help="baseline JSON path ('-' to skip writing)"
+        "--out",
+        default=None,
+        help="baseline JSON path ('-' to skip writing; default: "
+        "BENCH_PR1.json, or BENCH_PR4.json for the online suite)",
     )
 
     fig_p = sub.add_parser("figure", help="print a paper figure as ASCII art")
@@ -104,6 +118,40 @@ def main(argv: list[str] | None = None) -> int:
     demo_p.add_argument("--seed", type=int, default=0)
     demo_p.add_argument("--n", type=int, default=16)
     demo_p.add_argument("--messages", type=int, default=10)
+
+    online_p = sub.add_parser(
+        "online", help="stream a random instance through an online policy"
+    )
+    online_p.add_argument("--seed", type=int, default=0)
+    online_p.add_argument("--n", type=int, default=16)
+    online_p.add_argument("--messages", type=int, default=12)
+    online_p.add_argument(
+        "--method",
+        choices=("bfl", "dbfl", "greedy"),
+        default="bfl",
+        help="online policy (facade method for regime='online')",
+    )
+    online_p.add_argument(
+        "--baseline",
+        choices=("exact", "bfl", "none"),
+        default="exact",
+        help="what the competitive ratio is measured against",
+    )
+    online_p.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.0,
+        help="inject an i.i.d. per-crossing packet-drop rate (FaultPlan)",
+    )
+    online_p.add_argument(
+        "--link-failures",
+        type=int,
+        default=0,
+        help="inject this many random link-failure windows (FaultPlan)",
+    )
+    online_p.add_argument(
+        "--out", help="write the full ScheduleResult as JSON here (to_dict schema)"
+    )
 
     solve_p = sub.add_parser("solve", help="schedule an instance JSON file")
     solve_p.add_argument("instance", help="path to a repro-instance JSON file")
@@ -149,11 +197,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "obs":
         return _obs_report(args.trace)
     if args.command == "bench":
-        return _bench(args.seed, args.trials, args.jobs, args.out)
+        return _bench(args.suite, args.seed, args.trials, args.jobs, args.out)
     if args.command == "figure":
         return _figure(args.number, args.k)
     if args.command == "demo":
         return _demo(args.seed, args.n, args.messages)
+    if args.command == "online":
+        return _online(args)
     if args.command == "solve":
         return _solve(args.instance, args.algorithm, args.out, args.gantt)
     if args.command == "dataset":
@@ -262,15 +312,62 @@ def _obs_report(trace_path: str) -> int:
     return 0
 
 
-def _bench(seed: int, trials: int, jobs: int, out: str) -> int:
-    from .engine.bench import render_summary, run_benchmarks
+def _bench(suite: str, seed: int, trials: int, jobs: int, out: str | None) -> int:
+    if suite == "online":
+        from .engine.bench import render_online_summary, run_online_benchmarks
 
-    payload = run_benchmarks(
-        seed=seed, trials=trials, jobs=jobs, out=None if out == "-" else out
-    )
-    print(render_summary(payload))
+        out = "BENCH_PR4.json" if out is None else out
+        payload = run_online_benchmarks(
+            seed=seed, trials=trials, out=None if out == "-" else out
+        )
+        print(render_online_summary(payload))
+    else:
+        from .engine.bench import render_summary, run_benchmarks
+
+        out = "BENCH_PR1.json" if out is None else out
+        payload = run_benchmarks(
+            seed=seed, trials=trials, jobs=jobs, out=None if out == "-" else out
+        )
+        print(render_summary(payload))
     if out != "-":
         print(f"baseline written to {out}")
+    return 0
+
+
+def _online(args) -> int:
+    import json
+
+    from . import api
+    from .network.faults import random_fault_plan
+    from .workloads import general_instance
+
+    rng = np.random.default_rng(args.seed)
+    inst = general_instance(
+        rng, n=args.n, k=args.messages, max_release=args.n // 2, max_slack=4
+    )
+    faults = None
+    if args.drop_rate > 0 or args.link_failures > 0:
+        faults = random_fault_plan(
+            rng, inst, drop_rate=args.drop_rate, link_failures=args.link_failures
+        )
+    result = api.solve(
+        inst, "online", args.method, baseline=args.baseline, faults=faults
+    )
+    drops = result.telemetry.get("drops", {})
+    line = (
+        f"{args.method}: delivered {result.delivered}/{len(inst)} "
+        f"over {result.telemetry.get('steps', 0)} steps "
+        f"({drops.get('policy', 0)} policy drops, "
+        f"{drops.get('fault', 0)} fault drops)"
+    )
+    if result.competitive_ratio is not None:
+        line += f"; competitive ratio {result.competitive_ratio:.3f}"
+    print(line)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"result written to {args.out}")
     return 0
 
 

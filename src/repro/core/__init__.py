@@ -15,7 +15,7 @@ The primary public surface:
 from .bfl import bfl
 from .bfl_fast import bfl_fast
 from .geometry import Parallelogram, Segment
-from .solve import BidirectionalSchedule, schedule_bidirectional
+from .solve import BidirectionalSchedule
 from .instance import Instance, make_instance
 from .message import Direction, Message
 from .schedule import ConflictError, Schedule
@@ -40,5 +40,13 @@ __all__ = [
     "bfl",
     "bfl_fast",
     "BidirectionalSchedule",
-    "schedule_bidirectional",
 ]
+
+
+def __getattr__(name: str):
+    if name == "schedule_bidirectional":
+        raise AttributeError(
+            "repro.core.schedule_bidirectional was removed after its "
+            "deprecation cycle; use repro.api.solve_bidirectional instead"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -4,8 +4,8 @@ The paper reduces the two-directional problem to two independent
 one-directional ones (full-duplex links, dual-ported nodes: superposing
 optimal solutions of the halves is optimal for the whole).
 :class:`BidirectionalSchedule` holds the stitched result; the reduction
-itself now lives in :func:`repro.api.solve_bidirectional`, and the old
-:func:`schedule_bidirectional` here is a deprecated alias for it.
+itself lives in :func:`repro.api.solve_bidirectional` (the deprecated
+``schedule_bidirectional`` alias completed its removal cycle).
 """
 
 from __future__ import annotations
@@ -13,11 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from .bfl_fast import bfl_fast
 from .instance import Instance
 from .schedule import Schedule
 
-__all__ = ["BidirectionalSchedule", "schedule_bidirectional"]
+__all__ = ["BidirectionalSchedule"]
 
 # A scheduler takes a purely left-to-right instance and returns a schedule.
 Scheduler = Callable[[Instance], Schedule]
@@ -56,17 +55,10 @@ class BidirectionalSchedule:
         return out
 
 
-def schedule_bidirectional(
-    instance: Instance,
-    scheduler: Scheduler = bfl_fast,
-    *,
-    validate: bool = True,
-) -> BidirectionalSchedule:
-    """Deprecated alias of :func:`repro.api.solve_bidirectional`."""
-    from ..api import solve_bidirectional
-    from .._deprecation import warn_deprecated
-
-    warn_deprecated(
-        "repro.core.solve.schedule_bidirectional", "repro.api.solve_bidirectional"
-    )
-    return solve_bidirectional(instance, scheduler, validate=validate)
+def __getattr__(name: str):
+    if name == "schedule_bidirectional":
+        raise AttributeError(
+            "repro.core.solve.schedule_bidirectional was removed after its "
+            "deprecation cycle; use repro.api.solve_bidirectional instead"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

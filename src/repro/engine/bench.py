@@ -39,7 +39,16 @@ from . import cache as cache_mod
 from .cache import cached_bfl, cached_opt_bufferless
 from .pool import resolve_jobs, run_tasks, spawn_seeds
 
-__all__ = ["bench_kernel", "bench_obs", "bench_sweep", "run_benchmarks"]
+__all__ = [
+    "bench_kernel",
+    "bench_obs",
+    "bench_online",
+    "bench_sweep",
+    "render_online_summary",
+    "render_summary",
+    "run_benchmarks",
+    "run_online_benchmarks",
+]
 
 KERNEL_SIZES = ((32, 200), (64, 1000), (128, 3000))
 SWEEP_SIZES = ((8, 6), (12, 10), (16, 12))
@@ -257,6 +266,100 @@ def bench_obs(
             f"the {max_overhead_pct}% budget"
         )
     return payload
+
+
+def bench_online(
+    *,
+    seed: int = 2024,
+    n: int = 64,
+    k: int = 400,
+    ratio_n: int = 10,
+    ratio_k: int = 12,
+    ratio_trials: int = 5,
+    repeats: int = 3,
+) -> dict[str, Any]:
+    """Benchmark the online regime: decision throughput and realized ratio.
+
+    Two measurements per policy (``bfl`` / ``dbfl`` / ``greedy``):
+
+    * **decisions/sec** on one fixed ``n x k`` streamed instance (no
+      baseline solve — pure policy cost, best of ``repeats``);
+    * **empirical competitive ratio** vs exact ``OPT_BL`` averaged over
+      ``ratio_trials`` small seeded instances (the facade path, so the
+      number matches what ``e16`` reports).
+    """
+    from .. import api
+    from ..online import run_online
+
+    rng = np.random.default_rng(seed)
+    big = general_instance(rng, n=n, k=k, max_release=n, max_slack=8)
+    ratio_seeds = spawn_seeds(seed + 1, ratio_trials)
+
+    policies: dict[str, dict[str, Any]] = {}
+    for policy in ("bfl", "dbfl", "greedy"):
+        result = run_online(big, policy)
+        seconds = best_of(lambda: run_online(big, policy), repeats=repeats)
+        decisions = len(result.decisions)
+        ratios = []
+        for s in ratio_seeds:
+            cell_rng = np.random.default_rng(s)
+            inst = general_instance(
+                cell_rng, n=ratio_n, k=ratio_k, max_release=8, max_slack=5
+            )
+            opt = api.solve(inst, "bufferless", "exact", solver="auto").delivered
+            run = api.solve(inst, "online", policy, baseline="none")
+            ratios.append(1.0 if opt == 0 else run.delivered / opt)
+        policies[policy] = {
+            "decisions": decisions,
+            "seconds": seconds,
+            "decisions_per_second": decisions / seconds if seconds else float("inf"),
+            "delivered": result.throughput,
+            "competitive_ratio_mean": sum(ratios) / len(ratios),
+        }
+    return {
+        "stream": {"n": n, "messages": k},
+        "ratio_instances": {"n": ratio_n, "messages": ratio_k, "trials": ratio_trials},
+        "policies": policies,
+    }
+
+
+def run_online_benchmarks(
+    *,
+    seed: int = 2024,
+    trials: int = 5,
+    out: str | Path | None = None,
+) -> dict[str, Any]:
+    """The ``repro bench online`` suite; writes ``BENCH_PR4.json``."""
+    tr = obs.tracer()
+    t0 = time.perf_counter()
+    online = bench_online(seed=seed, ratio_trials=trials)
+    elapsed = time.perf_counter() - t0
+    tr.record_span("bench.online", t0, t0 + elapsed)
+    payload = {
+        "benchmark": "repro online baseline",
+        "cpu_count": os.cpu_count(),
+        "online": online,
+        "phases": [{"name": "online", "seconds": elapsed}],
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def render_online_summary(payload: dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_online_benchmarks` payload."""
+    online = payload["online"]
+    stream = online["stream"]
+    lines = [
+        f"online bench (stream n={stream['n']}, k={stream['messages']})",
+    ]
+    for name, row in online["policies"].items():
+        lines.append(
+            f"  {name:<7} {row['decisions_per_second']:10.0f} decisions/s "
+            f"({row['decisions']} decisions in {row['seconds'] * 1e3:.1f} ms), "
+            f"ratio {row['competitive_ratio_mean']:.3f}"
+        )
+    return "\n".join(lines)
 
 
 def run_benchmarks(

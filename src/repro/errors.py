@@ -19,6 +19,10 @@ a call can stop short of a proven answer:
 All three subclass both :class:`ReproError` (the package-wide base) and
 :class:`RuntimeError`, so pre-existing ``except RuntimeError`` call sites
 keep working.
+
+:class:`ConfigError` is the configuration-side counterpart: a run was
+*described* wrongly (an unknown experiment parameter, a typo'd key).  It
+subclasses :class:`TypeError` for the same compatibility reason.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ReproError",
     "BudgetExceeded",
+    "ConfigError",
     "SolverBackendError",
     "TaskTimeoutError",
 ]
@@ -38,6 +43,10 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for every exception the package raises deliberately."""
+
+
+class ConfigError(ReproError, TypeError):
+    """A run configuration names parameters the target does not accept."""
 
 
 class SolverBackendError(ReproError, RuntimeError):

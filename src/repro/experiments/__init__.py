@@ -21,6 +21,7 @@ E12    delivery ratio vs offered load (saturation curve)
 E13    delivery ratio vs slack budget (deadline-tightness curve)
 E14    mesh extension — dimension-order routing over line schedulers
 E15    fault injection — delivery under drops, dead links, stalls
+E16    online regime — empirical competitive ratio vs load and slack
 A1     ablation — tie-breaking rules
 A2     ablation — finite buffer capacities
 =====  ============================================================
@@ -42,6 +43,7 @@ from . import (
     e13_slack_sweep,
     e14_mesh,
     e15_faults,
+    e16_online,
     a1_tiebreak,
     a2_buffers,
 )
@@ -62,6 +64,7 @@ ALL = {
     "e13": e13_slack_sweep,
     "e14": e14_mesh,
     "e15": e15_faults,
+    "e16": e16_online,
     "a1": a1_tiebreak,
     "a2": a2_buffers,
 }

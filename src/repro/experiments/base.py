@@ -76,9 +76,12 @@ def experiment(fn: Callable[..., Any]) -> Callable[..., Any]:
         bad = [k for k in cfg.params if k not in accepted]
         bad += [k for k in overrides if k not in accepted]
         if bad:
-            raise TypeError(
+            from ..errors import ConfigError
+
+            raise ConfigError(
                 f"{fn.__module__}.run() got unexpected parameter(s): "
-                f"{', '.join(sorted(set(bad)))}"
+                f"{', '.join(sorted(set(bad)))}; accepted parameters are "
+                f"{', '.join(sorted(accepted))}"
             )
         kwargs.update(cfg.params)
         kwargs.update(overrides)

@@ -35,6 +35,7 @@ class Packet:
     status: PacketStatus = field(init=False, default=PacketStatus.PENDING)
     crossings: list[int] = field(init=False, default_factory=list)
     dropped_at: int | None = field(init=False, default=None)
+    drop_reason: str | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         self.node = self.message.source
@@ -73,9 +74,13 @@ class Packet:
         if self.node == self.dest:
             self.status = PacketStatus.DELIVERED
 
-    def mark_dropped(self, time: int) -> None:
+    def mark_dropped(self, time: int, reason: str = "deadline") -> None:
+        """Drop the packet; ``reason`` is ``"deadline"`` (hopeless or past
+        the horizon), ``"overflow"`` (finite buffer full) or ``"fault"``
+        (lost to the fault plan)."""
         self.status = PacketStatus.DROPPED
         self.dropped_at = time
+        self.drop_reason = reason
 
     def trajectory(self) -> Trajectory:
         """The completed trajectory (only valid once delivered)."""

@@ -49,12 +49,19 @@ __all__ = ["LinearNetworkSimulator", "SimulationResult", "simulate"]
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Everything a run produced."""
+    """Everything a run produced.
+
+    ``drop_events`` attributes every drop: ``(message_id, time, reason)``
+    with reason ``"deadline"`` (hopeless / past the horizon),
+    ``"overflow"`` (finite buffer full) or ``"fault"`` (lost to the
+    fault plan), in drop order.
+    """
 
     schedule: Schedule
     delivered_ids: frozenset[int]
     dropped_ids: frozenset[int]
     stats: SimulationStats
+    drop_events: tuple[tuple[int, int, str], ...] = ()
 
     @property
     def throughput(self) -> int:
@@ -163,7 +170,7 @@ class LinearNetworkSimulator:
                 node = origin + 1
                 if drop_rng is not None and drop_rng.random() < faults.drop_rate:
                     # the crossing happened but the packet was lost on it
-                    p.mark_dropped(t)
+                    p.mark_dropped(t, "fault")
                     dropped.append(p)
                     stats.dropped += 1
                     stats.fault_drops += 1
@@ -179,7 +186,7 @@ class LinearNetworkSimulator:
                     self.buffer_capacity is not None
                     and len(buffers[node]) >= self.buffer_capacity
                 ):
-                    p.mark_dropped(t)
+                    p.mark_dropped(t, "overflow")
                     dropped.append(p)
                     stats.dropped += 1
                     stats.buffer_overflow_drops += 1
@@ -284,6 +291,7 @@ class LinearNetworkSimulator:
             delivered_ids=frozenset(p.id for p in delivered),
             dropped_ids=frozenset(p.id for p in dropped),
             stats=stats,
+            drop_events=tuple((p.id, p.dropped_at, p.drop_reason) for p in dropped),
         )
 
 

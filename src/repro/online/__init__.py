@@ -1,0 +1,64 @@
+"""Online streaming scheduling — messages revealed at release time.
+
+The offline layers solve an :class:`~repro.core.instance.Instance` with
+full knowledge.  This package is the *online* regime: the instance is
+consumed as a time-ordered arrival stream (:func:`arrival_stream`), every
+admit / launch / drop decision is irrevocable once taken, and policies
+are measured by empirical competitive ratio against the offline optima
+(computed by the facade, ``repro.api.solve(..., regime="online")``).
+
+Three policies:
+
+* ``"bfl"`` — :func:`online_bfl`: incremental scan-line admission.
+  Replans a BFL sweep over the revealed-but-unlaunched messages at every
+  arrival, honouring the segments already committed; coincides exactly
+  with offline BFL on single-release streams (and hence is ½·OPT_BL
+  there, Theorem 3.2).
+* ``"dbfl"`` — :func:`online_dbfl`: the paper's distributed rule
+  (Section 5), driven through the network simulator.
+* ``"greedy"`` — :func:`online_greedy`: buffered per-link heuristics
+  (EDF / FCFS / least-laxity / nearest-destination).
+
+All three tolerate an active :class:`~repro.network.faults.FaultPlan`
+mid-stream and report fault-attributed drops separately from policy
+drops (:class:`StreamResult.fault_dropped_ids` vs
+``policy_dropped_ids``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.instance import Instance
+from .bfl_online import online_bfl
+from .simulated import GREEDY_POLICIES, online_dbfl, online_greedy
+from .stream import Decision, StreamResult, arrival_stream
+
+__all__ = [
+    "Decision",
+    "StreamResult",
+    "ONLINE_POLICIES",
+    "GREEDY_POLICIES",
+    "arrival_stream",
+    "online_bfl",
+    "online_dbfl",
+    "online_greedy",
+    "run_online",
+]
+
+ONLINE_POLICIES = ("bfl", "dbfl", "greedy")
+
+
+def run_online(instance: Instance, policy: str = "bfl", **opts: Any) -> StreamResult:
+    """Run one online policy by name; the implementation-layer dispatcher.
+
+    (The facade, ``repro.api.solve(instance, "online", method)``, wraps
+    this and adds the competitive-ratio baseline.)
+    """
+    if policy == "bfl":
+        return online_bfl(instance, **opts)
+    if policy == "dbfl":
+        return online_dbfl(instance, **opts)
+    if policy == "greedy":
+        return online_greedy(instance, **opts)
+    raise ValueError(f"unknown online policy {policy!r}; choose one of {ONLINE_POLICIES}")

@@ -1,0 +1,138 @@
+"""Simulator-backed online policies: ``online_dbfl`` and ``online_greedy``.
+
+D-BFL and the buffered per-link heuristics already *are* online
+algorithms — every decision at node ``v``, step ``t`` uses only what has
+physically reached ``v`` by ``t`` (the simulator enforces this; see
+:mod:`repro.network.policy`).  These wrappers run them through
+:class:`~repro.network.simulator.LinearNetworkSimulator` and re-express
+the run in the stream vocabulary: a :class:`~repro.online.stream.Decision`
+log (launch = first link crossing; drop attribution from the simulator's
+``drop_events``) and a :class:`~repro.online.stream.StreamResult`.
+
+Drop attribution: the simulator's ``"fault"`` drops are *fault* drops;
+``"deadline"`` (starved until hopeless, or past the horizon) and
+``"overflow"`` (finite buffer full — a consequence of the policy's
+forwarding choices) are *policy* drops.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .. import obs
+from ..core.instance import Instance
+from ..network.faults import FaultPlan
+from ..network.policy import Policy
+from ..network.simulator import SimulationResult, simulate
+from .stream import Decision, StreamResult
+
+__all__ = ["online_dbfl", "online_greedy"]
+
+GREEDY_POLICIES = ("edf", "fcfs", "laxity", "nearest")
+
+
+def _to_stream_result(
+    name: str, result: SimulationResult, extra_stats: dict | None = None
+) -> StreamResult:
+    launches = [
+        Decision(traj.message_id, "launch", traj.crossings[0])
+        for traj in result.schedule.trajectories
+    ]
+    dropped: dict[int, str] = {}
+    drops = []
+    for mid, at, why in result.drop_events:
+        reason = "fault" if why == "fault" else "policy"
+        dropped[mid] = reason
+        drops.append(Decision(mid, "drop", at, reason=reason))
+    decisions = tuple(sorted(launches + drops, key=lambda d: (d.time, d.message_id)))
+    st = result.stats
+    stats = {
+        "fault_drops": st.fault_drops,
+        "link_down_blocks": st.link_down_blocks,
+        "stall_blocks": st.stall_blocks,
+        "buffer_overflow_drops": st.buffer_overflow_drops,
+        **(extra_stats or {}),
+    }
+    return StreamResult(
+        policy=name,
+        schedule=result.schedule,
+        delivered_ids=result.delivered_ids,
+        dropped=dropped,
+        decisions=decisions,
+        steps=st.steps,
+        stats=stats,
+    )
+
+
+def _traced(name: str, instance: Instance, run) -> StreamResult:
+    tr = obs.tracer()
+    t0 = time.perf_counter() if tr.enabled else 0.0
+    out = _to_stream_result(name, run())
+    if tr.enabled:
+        tr.count("online.runs")
+        tr.count("online.launches", out.throughput + len(out.fault_dropped_ids))
+        tr.count("online.drops.policy", len(out.policy_dropped_ids))
+        tr.count("online.drops.fault", len(out.fault_dropped_ids))
+        tr.count("online.steps", out.steps)
+        tr.record_span(
+            "online.run",
+            t0,
+            policy=name,
+            n=instance.n,
+            k=len(instance),
+            delivered=out.throughput,
+        )
+    return out
+
+
+def online_dbfl(
+    instance: Instance,
+    *,
+    buffer_capacity: int | None = None,
+    faults: FaultPlan | None = None,
+) -> StreamResult:
+    """The paper's distributed online rule, streamed through the simulator."""
+    from ..core.dbfl import DBFLPolicy
+
+    return _traced(
+        "dbfl",
+        instance,
+        lambda: simulate(
+            instance, DBFLPolicy(), buffer_capacity=buffer_capacity, faults=faults
+        ),
+    )
+
+
+def online_greedy(
+    instance: Instance,
+    *,
+    policy: str | Policy = "edf",
+    buffer_capacity: int | None = None,
+    faults: FaultPlan | None = None,
+) -> StreamResult:
+    """A buffered per-link heuristic, streamed through the simulator."""
+    from .. import baselines
+
+    name = policy if isinstance(policy, str) else type(policy).__name__
+    if isinstance(policy, str):
+        named = {
+            "edf": baselines.EDFPolicy,
+            "fcfs": baselines.FCFSPolicy,
+            "laxity": baselines.MinLaxityPolicy,
+            "nearest": baselines.NearestDestPolicy,
+        }
+        if policy not in named:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose one of {GREEDY_POLICIES} "
+                "or pass a Policy instance"
+            )
+        policy = named[policy]()
+    elif not isinstance(policy, Policy):
+        raise TypeError(f"policy must be a name or Policy instance, got {policy!r}")
+    return _traced(
+        f"greedy:{name}",
+        instance,
+        lambda: simulate(
+            instance, policy, buffer_capacity=buffer_capacity, faults=faults
+        ),
+    )

@@ -1,0 +1,123 @@
+"""The stream model for the online scheduling regime.
+
+Offline solvers see an :class:`~repro.core.instance.Instance` all at once;
+an *online* policy sees it as a time-ordered **arrival stream**: message
+``m`` is revealed at its release ``r_m`` and every admit / launch / drop
+decision taken from that point on is irrevocable.  This module holds the
+regime's value types:
+
+* :func:`arrival_stream` — the canonical revelation order (release time
+  ascending, message id as tie-break), shared by every online policy so
+  two policies on the same instance see byte-identical streams;
+* :class:`Decision` — one irrevocable event in a run: a ``"launch"``
+  (the message boards a scan line / starts moving) or a ``"drop"``
+  (attributed to the *policy* — no feasible slot remained — or to a
+  *fault* — the network lost an already-launched message);
+* :class:`StreamResult` — everything one online run produced: the
+  realized :class:`~repro.core.schedule.Schedule`, the decision log, the
+  drop attribution split, and run statistics.
+
+Fault-attributed drops are kept strictly separate from policy drops so
+experiments can distinguish "the policy declined/starved this message"
+from "the network ate it" (see ``repro.network.faults``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from ..core.instance import Instance
+from ..core.message import Message
+from ..core.schedule import Schedule
+
+__all__ = ["Decision", "StreamResult", "arrival_stream"]
+
+# Decision kinds and drop reasons form tiny closed vocabularies; keeping
+# them as plain strings keeps Decision JSON-friendly for the exporters.
+KINDS = ("launch", "drop")
+DROP_REASONS = ("policy", "fault")
+
+
+@dataclass(frozen=True, slots=True)
+class Decision:
+    """One irrevocable event of an online run.
+
+    ``alpha`` is the boarded scan line for launches (``None`` for
+    buffered policies, whose packets may change lines mid-route);
+    ``reason`` is set on drops only: ``"policy"`` (never launched, or
+    knowingly abandoned) vs ``"fault"`` (lost to the fault plan after
+    entering the network).
+    """
+
+    message_id: int
+    kind: str
+    time: int
+    alpha: int | None = None
+    reason: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"decision kind must be one of {KINDS}, got {self.kind!r}")
+        if self.kind == "drop" and self.reason not in DROP_REASONS:
+            raise ValueError(
+                f"drop decisions need a reason in {DROP_REASONS}, got {self.reason!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "message_id": self.message_id,
+            "kind": self.kind,
+            "time": self.time,
+        }
+        if self.alpha is not None:
+            out["alpha"] = self.alpha
+        if self.reason is not None:
+            out["reason"] = self.reason
+        return out
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Everything one online run produced.
+
+    ``dropped`` maps every undelivered message id to its attribution
+    (``"policy"`` or ``"fault"``); ``decisions`` is the full event log in
+    simulation-time order; ``stats`` carries policy-specific counters
+    (replans, admission waits, blocked launches, simulator steps, ...).
+    """
+
+    policy: str
+    schedule: Schedule
+    delivered_ids: frozenset[int]
+    dropped: Mapping[int, str]
+    decisions: tuple[Decision, ...]
+    steps: int
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> int:
+        return len(self.delivered_ids)
+
+    @property
+    def policy_dropped_ids(self) -> frozenset[int]:
+        return frozenset(i for i, why in self.dropped.items() if why == "policy")
+
+    @property
+    def fault_dropped_ids(self) -> frozenset[int]:
+        return frozenset(i for i, why in self.dropped.items() if why == "fault")
+
+
+def arrival_stream(instance: Instance) -> Iterator[tuple[int, tuple[Message, ...]]]:
+    """Yield ``(release_time, messages)`` groups in revelation order.
+
+    Groups are ascending in release time; within a group messages are
+    ordered by id.  This is the one canonical stream every online policy
+    consumes, so different policies (and repeated runs) observe exactly
+    the same revelation sequence.
+    """
+    by_release: dict[int, list[Message]] = {}
+    for m in instance:
+        by_release.setdefault(m.release, []).append(m)
+    for release in sorted(by_release):
+        yield release, tuple(sorted(by_release[release], key=lambda m: m.id))

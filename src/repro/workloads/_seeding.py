@@ -4,12 +4,13 @@ Generators canonically take a ``numpy.random.Generator`` as their first
 argument.  The :func:`seeded` decorator widens that to anything
 :func:`coerce_rng` understands — a ``Generator``, a ``SeedSequence`` or a
 plain integer seed — so call sites no longer wrap integers in
-``np.random.default_rng`` themselves, and keeps a deprecated ``seed=``
-keyword alive for the transition::
+``np.random.default_rng`` themselves::
 
     general_instance(np.random.default_rng(7), n=16)   # canonical
     general_instance(7, n=16)                          # coerced
-    general_instance(seed=7, n=16)                     # deprecated alias
+
+(The ``seed=`` keyword completed its deprecation cycle and was removed;
+it now raises a ``TypeError`` pointing at ``rng=``.)
 """
 
 from __future__ import annotations
@@ -18,8 +19,6 @@ import functools
 from typing import Any, Callable
 
 import numpy as np
-
-from .._deprecation import warn_deprecated
 
 __all__ = ["coerce_rng", "seeded"]
 
@@ -40,15 +39,16 @@ def coerce_rng(
 
 
 def seeded(fn: Callable[..., Any]) -> Callable[..., Any]:
-    """Accept ``rng`` as Generator/SeedSequence/int, plus deprecated ``seed=``."""
+    """Accept ``rng`` as a Generator, SeedSequence or plain int seed."""
 
     @functools.wraps(fn)
     def wrapper(rng=None, *, seed: int | None = None, **kwargs: Any):
         if seed is not None:
-            if rng is not None:
-                raise TypeError(f"{fn.__name__}() takes rng or seed, not both")
-            warn_deprecated(f"{fn.__name__}(seed=...)", f"{fn.__name__}(rng=...)")
-            rng = seed
+            raise TypeError(
+                f"{fn.__name__}() no longer accepts seed= (removed after its "
+                f"deprecation cycle); pass {fn.__name__}(rng={seed!r}) — an "
+                "int seed is accepted directly"
+            )
         if rng is None:
             raise TypeError(f"{fn.__name__}() missing required argument: 'rng'")
         return fn(coerce_rng(rng), **kwargs)

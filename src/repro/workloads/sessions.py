@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._deprecation import warn_deprecated
 from ..core.instance import Instance
 from ..core.message import Message
 from ._seeding import coerce_rng
@@ -57,14 +56,14 @@ def session_instance(
 
     Either pass explicit ``sessions`` (then only ``n``/``horizon`` apply)
     or a ``rng`` — a Generator, SeedSequence or int seed — to draw
-    ``num_sessions`` random ones.  ``seed=`` is a deprecated alias for
-    an integer ``rng``.
+    ``num_sessions`` random ones.
     """
     if seed is not None:
-        if rng is not None:
-            raise TypeError("session_instance() takes rng or seed, not both")
-        warn_deprecated("session_instance(seed=...)", "session_instance(rng=...)")
-        rng = seed
+        raise TypeError(
+            "session_instance() no longer accepts seed= (removed after its "
+            f"deprecation cycle); pass session_instance(rng={seed!r}) — an "
+            "int seed is accepted directly"
+        )
     if rng is not None:
         rng = coerce_rng(rng)
     if sessions is None:

@@ -101,12 +101,118 @@ class TestBufferedRoundTrips:
         assert result.schedule == simulate(inst, EDFPolicy(), buffer_capacity=1).schedule
 
 
+class TestOnlineRegime:
+    """regime="online" dispatches into repro.online and reports a ratio."""
+
+    def test_online_bfl(self, inst):
+        from repro.online import online_bfl
+
+        result = api.solve(inst, "online", "bfl")
+        assert result.schedule == online_bfl(inst).schedule
+        assert result.regime == "online" and result.method == "bfl"
+        assert result.optimal is None
+
+    def test_online_dbfl_and_greedy(self, inst):
+        from repro.online import online_dbfl, online_greedy
+
+        assert api.solve(inst, "online", "dbfl").schedule == online_dbfl(inst).schedule
+        assert (
+            api.solve(inst, "online", "greedy", policy="fcfs").schedule
+            == online_greedy(inst, policy="fcfs").schedule
+        )
+
+    def test_competitive_ratio_against_exact(self, small):
+        result = api.solve(small, "online", "bfl", baseline="exact")
+        opt = result.upper
+        assert result.competitive_ratio == pytest.approx(
+            1.0 if opt == 0 else result.delivered / opt
+        )
+        assert 0.0 <= result.competitive_ratio <= 1.0
+
+    def test_baseline_none_skips_ratio(self, inst):
+        result = api.solve(inst, "online", "bfl", baseline="none")
+        assert result.competitive_ratio is None
+        with pytest.raises(ValueError, match="baseline"):
+            api.solve(inst, "online", "bfl", baseline="oracle")
+
+    def test_offline_results_have_no_ratio(self, inst):
+        assert api.solve(inst, "bufferless", "bfl").competitive_ratio is None
+
+    def test_telemetry_carries_decision_stats(self, inst):
+        result = api.solve(inst, "online", "bfl")
+        assert result.telemetry["decisions"] == len(inst.messages)
+        assert set(result.telemetry["drops"]) == {"policy", "fault"}
+
+    def test_online_with_faults(self, inst):
+        from repro.network.faults import random_fault_plan
+
+        plan = random_fault_plan(
+            np.random.default_rng(3), inst, drop_rate=0.2, link_failures=1
+        )
+        result = api.solve(inst, "online", "bfl", faults=plan)
+        drops = result.telemetry["drops"]
+        assert drops["policy"] + drops["fault"] + result.delivered == len(inst.messages)
+
+
+class TestDispatchMatrix:
+    """Every (regime, method) pair either solves or raises a typed ValueError."""
+
+    @pytest.mark.parametrize("regime", api.REGIMES)
+    @pytest.mark.parametrize("method", api.METHODS)
+    def test_pair_solves_or_names_options(self, small, regime, method):
+        if method in api.DISPATCH[regime]:
+            result = api.solve(small, regime, method)
+            assert isinstance(result, api.ScheduleResult)
+            assert result.regime == regime and result.method == method
+            assert 0 <= result.delivered <= len(small.messages)
+        else:
+            with pytest.raises(ValueError) as err:
+                api.solve(small, regime, method)
+            for valid in api.DISPATCH[regime]:
+                assert valid in str(err.value)
+
+    def test_matrix_is_total(self):
+        assert set(api.DISPATCH) == set(api.REGIMES)
+        assert set(api.METHODS) == {m for ms in api.DISPATCH.values() for m in ms}
+
+
+class TestResultSerialization:
+    def test_iter_yields_trajectories(self, inst):
+        result = api.solve(inst, "bufferless", "bfl")
+        assert list(result) == list(result.schedule.trajectories)
+
+    def test_summary_keys(self, inst):
+        result = api.solve(inst, "bufferless", "bfl")
+        summary = result.summary()
+        assert summary["regime"] == "bufferless"
+        assert summary["delivered"] == result.schedule.throughput
+        assert "competitive_ratio" not in summary
+        online = api.solve(inst, "online", "bfl", baseline="bfl").summary()
+        assert "competitive_ratio" in online
+
+    def test_to_dict_is_json_round_trippable(self, inst):
+        import json
+
+        payload = api.solve(inst, "online", "bfl").to_dict()
+        assert payload["format"] == "repro-schedule-result"
+        assert payload["version"] == api.ScheduleResult.SCHEMA_VERSION == 1
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["delivered"] == payload["delivered"]
+        assert len(decoded["schedule"]["trajectories"]) == payload["delivered"]
+
+
 class TestValidation:
     def test_unknown_regime_method(self, inst):
         with pytest.raises(ValueError, match="regime"):
             api.solve(inst, "quantum")
         with pytest.raises(ValueError, match="method"):
             api.solve(inst, "bufferless", "magic")
+
+    def test_online_rejects_offline_only_methods(self, inst):
+        with pytest.raises(ValueError, match="online"):
+            api.solve(inst, "online", "exact")
+        with pytest.raises(ValueError, match="dbfl"):
+            api.solve(inst, "bufferless", "dbfl")
 
     def test_unknown_option(self, inst):
         with pytest.raises(TypeError, match="frobnicate"):
@@ -165,14 +271,12 @@ class TestSolveBidirectional:
         assert isinstance(result, BidirectionalSchedule)
         assert result.throughput == len(result.delivered_ids)
 
-    def test_matches_deprecated_alias(self):
+    def test_matches_direct_split_solve(self):
         inst = self._mixed(seed=11)
         via_api = api.solve_bidirectional(inst)
-        from repro.core.solve import schedule_bidirectional
-
-        with pytest.warns(DeprecationWarning):
-            legacy = schedule_bidirectional(inst)
-        assert via_api.lr == legacy.lr and via_api.rl == legacy.rl
+        lr_half, rl_half = inst.split_directions()
+        assert via_api.lr == bfl_fast(lr_half)
+        assert via_api.rl == bfl_fast(rl_half.mirrored())
 
     def test_custom_scheduler(self):
         inst = self._mixed(seed=4)

@@ -1,8 +1,15 @@
-"""The deprecated aliases still work but must warn.
+"""Deprecation machinery: live aliases warn/escalate, removed ones point home.
 
 Everywhere else in the suite ReproDeprecationWarning is promoted to an
-error (pyproject filterwarnings), so any internal code path still using
-an alias fails loudly; these tests are the one place that opts back in.
+error (pyproject filterwarnings), and conftest exports
+REPRO_DEPRECATIONS=error so pool *workers* escalate too; these tests are
+the one place that exercises the machinery directly.
+
+``schedule_bidirectional`` and the workloads ``seed=`` kwarg completed
+their two-release deprecation cycle in this revision: the aliases are
+gone and the names must now raise AttributeError/TypeError whose message
+points at the replacement.  Deliberately no module-level import of the
+removed names — that would break collection.
 """
 
 import numpy as np
@@ -10,9 +17,7 @@ import pytest
 
 from repro._deprecation import ReproDeprecationWarning
 from repro.baselines import EDFPolicy, run_policy
-from repro.core.instance import Instance
-from repro.core.message import Message
-from repro.core.solve import schedule_bidirectional
+from repro.engine import run_tasks
 from repro.network.simulator import simulate
 from repro.workloads import general_instance, session_instance
 
@@ -22,51 +27,96 @@ def inst():
     return general_instance(np.random.default_rng(0), n=10, k=8)
 
 
-class TestDeprecatedAliases:
-    def test_run_policy_warns_and_matches(self, inst):
+@pytest.fixture
+def warn_mode(monkeypatch):
+    """Opt out of the env escalation so aliases warn instead of raise."""
+    monkeypatch.delenv("REPRO_DEPRECATIONS", raising=False)
+
+
+class TestLiveAliases:
+    """run_policy is still inside its deprecation window."""
+
+    def test_run_policy_warns_and_matches(self, inst, warn_mode):
         with pytest.warns(ReproDeprecationWarning, match="run_policy"):
             legacy = run_policy(inst, EDFPolicy())
         assert legacy.schedule == simulate(inst, EDFPolicy()).schedule
 
-    def test_run_policy_forwards_buffer_capacity(self, inst):
+    def test_run_policy_forwards_buffer_capacity(self, inst, warn_mode):
         with pytest.warns(ReproDeprecationWarning):
             legacy = run_policy(inst, EDFPolicy(), buffer_capacity=0)
         assert legacy.schedule == simulate(inst, EDFPolicy(), buffer_capacity=0).schedule
 
-    def test_schedule_bidirectional_warns_and_matches(self):
-        inst = Instance(
-            10,
-            (
-                Message(0, 0, 5, 0, 7),
-                Message(1, 8, 2, 0, 9),
-                Message(2, 3, 9, 1, 10),
-            ),
-        )
-        from repro.api import solve_bidirectional
-
-        with pytest.warns(ReproDeprecationWarning, match="solve_bidirectional"):
-            legacy = schedule_bidirectional(inst)
-        current = solve_bidirectional(inst)
-        assert legacy.lr == current.lr and legacy.rl == current.rl
-
-    def test_workload_seed_kwarg_warns_and_matches(self):
-        with pytest.warns(ReproDeprecationWarning, match="rng"):
-            via_seed = general_instance(seed=7, n=12, k=8)
-        assert via_seed == general_instance(np.random.default_rng(7), n=12, k=8)
-
-    def test_session_instance_seed_kwarg(self):
-        with pytest.warns(ReproDeprecationWarning):
-            via_seed = session_instance(seed=7)
-        assert via_seed == session_instance(rng=7)
-
-    def test_seed_and_rng_together_rejected(self):
-        with pytest.raises(TypeError, match="not both"):
-            general_instance(np.random.default_rng(1), seed=1)
-
     def test_warning_is_a_deprecation_warning(self):
         assert issubclass(ReproDeprecationWarning, DeprecationWarning)
 
-    def test_suite_escalates_deprecations(self, inst):
+    def test_suite_escalates_deprecations(self, inst, warn_mode):
         """Outside pytest.warns, a repro deprecation raises (filterwarnings)."""
         with pytest.raises(ReproDeprecationWarning):
             run_policy(inst, EDFPolicy())
+
+
+class TestRemovedAliases:
+    """Names past their removal cycle raise, and the error names the new API."""
+
+    @pytest.mark.parametrize(
+        "module",
+        ["repro", "repro.core", "repro.core.solve"],
+    )
+    def test_schedule_bidirectional_gone(self, module):
+        import importlib
+
+        mod = importlib.import_module(module)
+        with pytest.raises(AttributeError, match="solve_bidirectional"):
+            mod.schedule_bidirectional
+
+    def test_schedule_bidirectional_not_importable(self):
+        with pytest.raises(ImportError):
+            from repro.core.solve import schedule_bidirectional  # noqa: F401
+
+    def test_unrelated_attributes_still_missing_normally(self):
+        import repro
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_thing
+
+    def test_workload_seed_kwarg_gone(self):
+        with pytest.raises(TypeError, match=r"rng=7"):
+            general_instance(seed=7, n=12, k=8)
+
+    def test_session_instance_seed_kwarg_gone(self):
+        with pytest.raises(TypeError, match=r"rng=7"):
+            session_instance(seed=7)
+
+    def test_seed_error_fires_before_rng_validation(self):
+        # seed= is rejected outright, even alongside a valid rng.
+        with pytest.raises(TypeError, match="no longer accepts seed="):
+            general_instance(np.random.default_rng(1), seed=1)
+
+    def test_rng_still_accepts_plain_ints(self):
+        assert general_instance(7, n=12, k=8) == general_instance(
+            np.random.default_rng(7), n=12, k=8
+        )
+
+
+def _deprecated_cell(seed: int):
+    """Module-level so the process pool can pickle it."""
+    inst = general_instance(np.random.default_rng(seed), n=8, k=4)
+    run_policy(inst, EDFPolicy())
+    return seed
+
+
+class TestWorkerEscalation:
+    """REPRO_DEPRECATIONS=error reaches pool workers (pytest filters don't)."""
+
+    def test_env_escalation_raises_in_process(self, inst):
+        # conftest exported the variable; the raise path needs no pytest filter.
+        with pytest.raises(ReproDeprecationWarning, match="run_policy"):
+            run_policy(inst, EDFPolicy())
+
+    def test_deprecation_inside_pool_worker_fails_the_sweep(self):
+        with pytest.raises(ReproDeprecationWarning, match="run_policy"):
+            run_tasks(_deprecated_cell, [(0,), (1,)], jobs=2)
+
+    def test_deprecation_inside_serial_sweep_fails_too(self):
+        with pytest.raises(ReproDeprecationWarning, match="run_policy"):
+            run_tasks(_deprecated_cell, [(0,), (1,)], jobs=1)

@@ -24,7 +24,7 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         assert set(ALL) == {
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-            "e11", "e12", "e13", "e14", "e15", "a1", "a2",
+            "e11", "e12", "e13", "e14", "e15", "e16", "a1", "a2",
         }
 
     def test_every_module_has_description_and_run(self):
@@ -112,6 +112,17 @@ class TestE14:
             assert by_key[(family, 2)]["bfl"] <= by_key[(family, 0)]["bfl"] + 1e-9
             assert 0.0 <= by_key[(family, 0)]["bfl"] <= 1.0
 
+    def test_e16_ratios_well_formed(self):
+        from repro.experiments import e16_online
+
+        table = e16_online.run(seed=3, trials=2)
+        assert table.rows, "e16 produced no cells"
+        for row in table.rows:
+            # The bufferless online policy can never beat bufferless OPT...
+            assert 0.0 <= row["bfl"] <= 1.0 + 1e-9
+            # ...while the buffered policies may exceed 1 but stay finite.
+            assert row["dbfl"] >= 0.0 and row["greedy"] >= 0.0
+
 
 class TestAblations:
     def test_a1_nearest_dest_guarantee(self):
@@ -156,6 +167,18 @@ class TestUniformSignature:
             e3_uniform_slack.run(RunConfig(params={"trils": 2}))
         with pytest.raises(TypeError, match="trils"):
             e3_uniform_slack.run(trils=2)
+
+    def test_params_typo_is_a_typed_config_error(self):
+        from repro.errors import ConfigError, ReproError
+        from repro.experiments.base import RunConfig
+
+        with pytest.raises(ConfigError) as err:
+            e3_uniform_slack.run(RunConfig(params={"trils": 2, "sed": 1}))
+        # The message names every bad key and the accepted set.
+        assert "trils" in str(err.value) and "sed" in str(err.value)
+        assert "trials" in str(err.value) and "seed" in str(err.value)
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(ConfigError, TypeError)
 
     def test_engine_maps_to_jobs(self):
         from repro.engine import Engine

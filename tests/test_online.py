@@ -1,0 +1,193 @@
+"""Tests for the online streaming scheduler subsystem (``repro.online``).
+
+The load-bearing guarantee (ISSUE acceptance criterion): on streams where
+every message shares one release time, ``online_bfl``'s replan-at-arrival
+admission coincides with the offline scan-line BFL kernel, so Theorem 3.2
+applies verbatim and the online throughput is at least half of OPT_BL.
+The property test below checks both facts — exact coincidence with
+``bfl_fast`` and the 1/2 bound against the branch-and-bound optimum —
+over 200+ seeded random instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bfl_fast import bfl_fast
+from repro.exact import opt_bufferless_bnb
+from repro.network.faults import random_fault_plan
+from repro.online import (
+    GREEDY_POLICIES,
+    ONLINE_POLICIES,
+    Decision,
+    StreamResult,
+    arrival_stream,
+    online_bfl,
+    online_dbfl,
+    online_greedy,
+    run_online,
+)
+from repro.workloads import general_instance
+
+
+def _single_release(seed: int):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 13))
+    k = int(rng.integers(1, 10))
+    return general_instance(rng, n=n, k=k, max_release=0, max_slack=6)
+
+
+def _streamed(seed: int, **kw):
+    rng = np.random.default_rng(seed)
+    return general_instance(
+        rng, n=int(rng.integers(6, 14)), k=int(rng.integers(2, 14)), **kw
+    )
+
+
+class TestSingleReleaseCoincidence:
+    """Thm 3.2 transfers: one release time => online admission == offline BFL."""
+
+    @pytest.mark.parametrize("batch", range(8))
+    def test_matches_bfl_and_half_opt(self, batch):
+        for seed in range(batch * 25, (batch + 1) * 25):  # 8 * 25 = 200 instances
+            inst = _single_release(seed)
+            run = online_bfl(inst)
+            offline = bfl_fast(inst)
+            assigned = sorted(
+                (t.message_id, t.final_alpha) for t in run.schedule.trajectories
+            )
+            expected = sorted(
+                (t.message_id, t.final_alpha) for t in offline.trajectories
+            )
+            assert assigned == expected, f"seed {seed}: diverged from offline BFL"
+            opt = opt_bufferless_bnb(inst).optimal
+            assert 2 * run.throughput >= opt, f"seed {seed}: broke the 1/2 bound"
+
+    def test_empty_instance(self):
+        inst = general_instance(np.random.default_rng(0), n=6, k=0)
+        run = online_bfl(inst)
+        assert run.throughput == 0 and not run.decisions
+
+
+class TestStreamSemantics:
+    def test_arrival_stream_is_sorted_and_complete(self):
+        inst = _streamed(7, max_release=9)
+        batches = list(arrival_stream(inst))
+        times = [t for t, _ in batches]
+        assert times == sorted(times) and len(set(times)) == len(times)
+        assert sum(len(b) for _, b in batches) == len(inst.messages)
+
+    def test_every_message_gets_exactly_one_decision(self):
+        for seed in range(30):
+            inst = _streamed(seed, max_release=10)
+            run = online_bfl(inst)
+            decided = sorted(d.message_id for d in run.decisions)
+            assert decided == sorted(m.id for m in inst.messages)
+            assert set(run.delivered_ids) | set(run.dropped) == set(decided)
+            assert not set(run.delivered_ids) & set(run.dropped)
+
+    def test_decisions_are_causal(self):
+        inst = _streamed(3, max_release=12)
+        by_id = {m.id: m for m in inst.messages}
+        for d in online_bfl(inst).decisions:
+            assert d.time >= by_id[d.message_id].release
+            if d.kind == "launch":
+                m = by_id[d.message_id]
+                assert d.time == m.source - d.alpha
+                assert m.dest - d.alpha <= m.deadline
+
+    def test_launch_times_respect_revealed_information_only(self):
+        # A launch decision at time t may only depend on messages released
+        # <= t: rerunning on the truncated instance reproduces the prefix.
+        inst = _streamed(11, max_release=8)
+        full = online_bfl(inst)
+        cut = 4
+        revealed = tuple(m for m in inst.messages if m.release <= cut)
+        truncated = online_bfl(type(inst)(inst.n, revealed))
+        prefix = [d for d in full.decisions if d.time <= cut]
+        assert prefix == [d for d in truncated.decisions if d.time <= cut]
+
+
+class TestFaultedRuns:
+    """Acceptance criterion: FaultPlan runs complete and split drop blame."""
+
+    @pytest.mark.parametrize("policy", ONLINE_POLICIES)
+    def test_completes_and_attributes_drops(self, policy):
+        for seed in range(12):
+            inst = _streamed(seed, max_release=6)
+            plan = random_fault_plan(
+                np.random.default_rng(seed + 100),
+                inst,
+                drop_rate=0.25,
+                link_failures=1,
+                node_stalls=1,
+            )
+            run = run_online(inst, policy, faults=plan)
+            fault = set(run.fault_dropped_ids)
+            policy_drops = set(run.policy_dropped_ids)
+            assert not fault & policy_drops
+            assert fault | policy_drops == set(run.dropped)
+            assert len(run.delivered_ids) + len(run.dropped) == len(inst.messages)
+            for d in run.decisions:
+                if d.kind == "drop":
+                    assert d.reason in ("policy", "fault")
+
+    def test_fault_replay_is_deterministic(self):
+        inst = _streamed(5, max_release=6)
+        plan = random_fault_plan(
+            np.random.default_rng(42), inst, drop_rate=0.3, link_failures=2
+        )
+        assert online_bfl(inst, faults=plan) == online_bfl(inst, faults=plan)
+
+    def test_faultless_run_has_no_fault_drops(self):
+        inst = _streamed(9, max_release=8)
+        run = online_bfl(inst)
+        assert not run.fault_dropped_ids
+        assert run.stats["blocked_launches"] == 0
+
+
+class TestSimulatedPolicies:
+    def test_dbfl_matches_simulator(self):
+        from repro.core.dbfl import dbfl
+
+        inst = _streamed(2, max_release=8)
+        run = online_dbfl(inst)
+        assert run.schedule == dbfl(inst).schedule
+        assert run.policy == "dbfl"
+
+    @pytest.mark.parametrize("name", GREEDY_POLICIES)
+    def test_greedy_policies_are_valid(self, name):
+        inst = _streamed(6, max_release=8)
+        run = online_greedy(inst, policy=name)
+        assert isinstance(run, StreamResult)
+        assert run.policy == f"greedy:{name}"
+        assert len(run.delivered_ids) + len(run.dropped) == len(inst.messages)
+
+    def test_greedy_unknown_policy(self):
+        inst = _streamed(6, max_release=8)
+        with pytest.raises(ValueError, match="policy"):
+            online_greedy(inst, policy="psychic")
+
+    def test_run_online_dispatch(self):
+        inst = _streamed(8, max_release=8)
+        assert run_online(inst).policy == "bfl"
+        assert run_online(inst, "dbfl").policy == "dbfl"
+        with pytest.raises(ValueError, match="bfl"):
+            run_online(inst, "clairvoyant")
+
+
+class TestDecisionRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Decision(1, "teleport", 0)
+        with pytest.raises(ValueError):
+            Decision(1, "drop", 0, reason="gremlins")
+        with pytest.raises(ValueError):
+            Decision(1, "drop", 0)  # drops need a reason
+        d = Decision(1, "launch", 3, alpha=-2)
+        assert d.to_dict() == {"message_id": 1, "kind": "launch", "time": 3, "alpha": -2}
+
+    def test_stream_result_is_frozen(self):
+        inst = _single_release(1)
+        run = online_bfl(inst)
+        with pytest.raises(AttributeError):
+            run.policy = "other"
