@@ -10,10 +10,13 @@ One entry point replaces the scattered per-module solvers::
     result.optimal     # True = proven optimum, None = heuristic
     result.telemetry   # runtime + solver counters for this call
 
-``regime`` selects the machine model, ``method`` the algorithm family.
-Three regimes exist:
+The instance's *topology* (``instance.topology`` — ``"line"`` for
+:class:`~repro.core.instance.Instance`, ``"ring"``/``"mesh"`` for
+``RingInstance``/``MeshInstance``) picks the network shape; ``regime``
+selects the machine model; ``method`` the algorithm family.  Three
+regimes exist:
 
-* ``"bufferless"`` — offline, one scan line per message, no waiting;
+* ``"bufferless"`` — offline, no waiting after departure;
 * ``"buffered"`` — offline, store-and-forward with (by default
   unbounded) per-node buffers;
 * ``"online"`` — messages are revealed at their release times, every
@@ -21,41 +24,48 @@ Three regimes exist:
   empirical ``competitive_ratio`` against the offline optimum on the
   realized instance (see :mod:`repro.online`).
 
-=========== ============================= ============================= =============================
-method      bufferless                    buffered                      online
-=========== ============================= ============================= =============================
-``exact``   ``OPT_BL`` MILP               ``OPT_B`` time-indexed MILP   —
-            (``solver="bnb"`` for the     (``solver="bruteforce"``
-            branch-and-bound;             for subset enumeration)
-            ``solver="auto"`` falls
-            back to BnB if the MILP
-            backend fails)
-``bfl``     Algorithm BFL via the         Algorithm D-BFL on the        incremental scan-line
-            scan-line kernel              network simulator             admission (replan at each
-            (``tie_break=`` switches      (``buffer_capacity=`` for     arrival; ``faults=``)
-            to the readable reference)    the finite-buffer ablation)
-``dbfl``    —                             —                             the paper's distributed rule
-                                                                        on the simulator
-                                                                        (``buffer_capacity=``,
-                                                                        ``faults=``)
-``greedy``  order-then-first-fit          per-link policies on the      buffered per-link heuristics
-            baselines (``order="edf"|     simulator (``policy="edf"|    (``policy=``,
-            "arrival"|"laxity"|           "fcfs"|"laxity"|"nearest"``   ``buffer_capacity=``,
-            "random"``)                   or any ``Policy`` instance)   ``faults=``)
-=========== ============================= ============================= =============================
+:data:`DISPATCH` is the full ``(topology, regime) -> methods`` matrix
+(mirrored in ``docs/api.md``), populated by the solver registry in
+:mod:`repro.topology`:
 
-A ``—`` combination raises a ``ValueError`` naming the valid methods
-for the regime.  Online solves accept ``baseline="exact"`` (default;
-the offline optimum of the matching regime), ``"bfl"`` (the offline
-scan-line kernel — cheap) or ``"none"`` to control what
-``competitive_ratio`` is measured against.
+========  ============  =============================================
+topology  regime        methods
+========  ============  =============================================
+line      bufferless    ``exact`` (``solver="milp"|"bnb"|"auto"``),
+                        ``bfl`` (``tie_break=``, ``clip_slack=``),
+                        ``greedy`` (``order=``, ``rng=``)
+line      buffered      ``exact`` (``solver="milp"|"bruteforce"``),
+                        ``bfl`` (D-BFL; ``buffer_capacity=``),
+                        ``greedy`` (``policy=``, ``buffer_capacity=``)
+line      online        ``bfl``, ``dbfl``, ``greedy`` (``baseline=``,
+                        ``faults=``, ``buffer_capacity=``, ``policy=``)
+ring      bufferless    ``exact`` (candidate-departure MILP,
+                        ``time_limit=``), ``bfl`` (helix JISP greedy)
+ring      buffered      ``exact`` (time-indexed MILP, ``time_limit=``),
+                        ``greedy`` (``policy=``, ``buffer_capacity=``)
+ring      online        ``greedy`` (``baseline=``, ``faults=``,
+                        ``buffer_capacity=``, ``policy=``)
+mesh      bufferless    ``exact`` (two-phase XY MILP,
+                        ``conversion_delay=``, ``time_limit=``),
+                        ``bfl`` (XY + BFL per row/column),
+                        ``greedy`` (``order="edf"|"arrival"``)
+mesh      buffered      ``greedy`` (``policy=``, ``buffer_capacity=``)
+========  ============  =============================================
+
+A missing combination raises a ``ValueError`` naming the registered
+methods and pointing at :func:`repro.topology.register_solver`.  Online
+solves accept ``baseline="exact"`` (default; the offline optimum of the
+matching regime), ``"bfl"`` (the shape's scan-line/helix kernel —
+cheap) or ``"none"`` to control what ``competitive_ratio`` is measured
+against.
 
 Every offline combination returns the *same schedule object* the legacy
 entrypoint would (``repro.exact.*``, ``repro.core.bfl*``,
-``repro.baselines.*``, ``repro.online.*`` remain the implementation
-layer), wrapped in one :class:`ScheduleResult`.  Mixed-direction
-instances go through :func:`solve_bidirectional`, which performs the
-paper's split/mirror reduction.
+``repro.baselines.*``, ``repro.online.*`` and the
+:mod:`repro.topology.ring`/:mod:`repro.topology.mesh` solvers remain the
+implementation layer), wrapped in one :class:`ScheduleResult`.
+Mixed-direction line instances go through :func:`solve_bidirectional`,
+which performs the paper's split/mirror reduction.
 """
 
 from __future__ import annotations
@@ -65,6 +75,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from . import obs
+from . import topology as _topology
 from .core.instance import Instance
 from .core.schedule import Schedule
 
@@ -78,12 +89,12 @@ __all__ = [
 ]
 
 REGIMES = ("bufferless", "buffered", "online")
-#: Valid methods per regime — the complete dispatch matrix.
-DISPATCH = {
-    "bufferless": ("exact", "bfl", "greedy"),
-    "buffered": ("exact", "bfl", "greedy"),
-    "online": ("bfl", "dbfl", "greedy"),
-}
+#: The complete dispatch matrix: ``(topology, regime) -> methods``.
+#: A snapshot of :func:`repro.topology.dispatch_matrix` taken at import;
+#: :func:`solve` always consults the live registry, so late
+#: ``register_solver`` calls take effect even though this constant does
+#: not change.
+DISPATCH = _topology.dispatch_matrix()
 #: Union of all method names across regimes.
 METHODS = ("exact", "bfl", "dbfl", "greedy")
 
@@ -118,9 +129,13 @@ class ScheduleResult:
     ``competitive_ratio`` is set by online solves only: delivered
     throughput divided by the baseline's (``1.0`` when the baseline
     itself delivers nothing).
+
+    ``topology`` names the shape the solve ran on; ``schedule`` is the
+    matching schedule type (``Schedule``, ``RingSchedule`` or
+    ``MeshSchedule`` — all expose ``throughput`` and ``delivered_ids``).
     """
 
-    schedule: Schedule
+    schedule: Any
     regime: str
     method: str
     optimal: bool | None
@@ -129,10 +144,13 @@ class ScheduleResult:
     lower: float | None = None
     upper: float | None = None
     competitive_ratio: float | None = None
+    topology: str = "line"
 
     #: Version of the :meth:`to_dict` serialization schema (bump on any
     #: backwards-incompatible change; documented in ``docs/api.md``).
-    SCHEMA_VERSION = 1
+    #: v2 added the ``topology`` field and per-topology ``schedule``
+    #: documents.
+    SCHEMA_VERSION = 2
 
     @property
     def delivered(self) -> int:
@@ -154,6 +172,7 @@ class ScheduleResult:
     def summary(self) -> dict[str, Any]:
         """The scalar facts of the solve — no schedule, no telemetry."""
         out: dict[str, Any] = {
+            "topology": self.topology,
             "regime": self.regime,
             "method": self.method,
             "status": self.status,
@@ -173,16 +192,17 @@ class ScheduleResult:
         ``"repro-schedule-result"``, ``version`` is
         :data:`SCHEMA_VERSION`; the scalar fields of :meth:`summary` sit
         at the top level next to the embedded ``schedule`` document
-        (:func:`repro.io.schedule_to_dict`) and the JSON-sanitized
-        ``telemetry``.
+        (delegated to the topology — :func:`repro.io.schedule_to_dict`
+        for lines, the ring/mesh documents otherwise) and the
+        JSON-sanitized ``telemetry``.
         """
-        from .io import schedule_to_dict
-
         return {
             "format": "repro-schedule-result",
             "version": self.SCHEMA_VERSION,
             **self.summary(),
-            "schedule": schedule_to_dict(self.schedule),
+            "schedule": _topology.get_topology(self.topology).schedule_to_dict(
+                self.schedule
+            ),
             "telemetry": _jsonable(self.telemetry),
         }
 
@@ -198,270 +218,48 @@ def _jsonable(value: Any) -> Any:
     return str(value)
 
 
-def _take(opts: dict[str, Any], name: str, default: Any) -> Any:
-    return opts.pop(name, default)
-
-
-def _reject_unknown(opts: dict[str, Any], regime: str, method: str) -> None:
-    if opts:
-        unknown = ", ".join(sorted(opts))
-        raise TypeError(
-            f"solve(regime={regime!r}, method={method!r}) got unexpected "
-            f"option(s): {unknown}"
-        )
-
-
-def _bufferless_exact(instance: Instance, opts: dict[str, Any]) -> tuple[Schedule, bool]:
-    from .exact import opt_bufferless, opt_bufferless_bnb
-
-    from .errors import SolverBackendError
-
-    solver = _take(opts, "solver", "milp")
-    if solver in ("milp", "auto"):
-        kwargs: dict[str, Any] = {}
-        for name in ("time_limit", "weights", "budget"):
-            if name in opts:
-                kwargs[name] = opts.pop(name)
-        _reject_unknown(opts, "bufferless", "exact")
-        try:
-            result = opt_bufferless(instance, **kwargs)
-        except SolverBackendError:
-            if solver != "auto":
-                raise
-            # MILP backend failure: fall back to the dependency-free BnB.
-            # BudgetExceeded deliberately propagates instead — the budget
-            # was spent, so restarting a slower search would ignore it.
-            obs.tracer().count("exact.fallbacks")
-            result = opt_bufferless_bnb(instance, budget=kwargs.get("budget"))
-        return result.schedule, result.optimal
-    if solver == "bnb":
-        kwargs = {}
-        for name in ("node_limit", "budget"):
-            if name in opts:
-                kwargs[name] = opts.pop(name)
-        _reject_unknown(opts, "bufferless", "exact")
-        result = opt_bufferless_bnb(instance, **kwargs)
-        return result.schedule, result.optimal
-    raise ValueError(f"unknown exact solver {solver!r}; choose milp, bnb or auto")
-
-
-def _bufferless_bfl(instance: Instance, opts: dict[str, Any]) -> tuple[Schedule, None]:
-    from .core.bfl import EDF, LONGEST_FIRST, NEAREST_DEST, bfl
-    from .core.bfl_fast import bfl_fast
-
-    clip_slack = _take(opts, "clip_slack", False)
-    tie_break = _take(opts, "tie_break", None)
-    _reject_unknown(opts, "bufferless", "bfl")
-    if tie_break is None:
-        return bfl_fast(instance, clip_slack=clip_slack), None
-    # Non-default tie-breaks only exist in the readable reference.
-    if isinstance(tie_break, str):
-        named = {"nearest_dest": NEAREST_DEST, "edf": EDF, "longest_first": LONGEST_FIRST}
-        if tie_break not in named:
-            raise ValueError(
-                f"unknown tie_break {tie_break!r}; choose one of {tuple(named)} "
-                "(or pass a callable)"
-            )
-        tie_break = named[tie_break]
-    return bfl(instance, tie_break=tie_break, clip_slack=clip_slack), None
-
-
-_GREEDY_ORDERS = ("edf", "arrival", "laxity", "random")
-
-
-def _bufferless_greedy(instance: Instance, opts: dict[str, Any]) -> tuple[Schedule, None]:
-    from .baselines.bufferless import (
-        edf_bufferless,
-        first_fit,
-        min_laxity_first,
-        random_assignment,
-    )
-
-    order = _take(opts, "order", "edf")
-    rng = _take(opts, "rng", None)
-    _reject_unknown(opts, "bufferless", "greedy")
-    if order == "edf":
-        return edf_bufferless(instance), None
-    if order == "arrival":
-        return first_fit(instance), None
-    if order == "laxity":
-        return min_laxity_first(instance), None
-    if order == "random":
-        if rng is None:
-            raise TypeError("order='random' requires an rng= option")
-        return random_assignment(instance, rng), None
-    raise ValueError(f"unknown greedy order {order!r}; choose one of {_GREEDY_ORDERS}")
-
-
-def _buffered_exact(instance: Instance, opts: dict[str, Any]) -> tuple[Schedule, bool]:
-    from .exact import opt_buffered, opt_buffered_bruteforce
-
-    solver = _take(opts, "solver", "milp")
-    if solver == "milp":
-        kwargs: dict[str, Any] = {}
-        for name in ("time_limit", "weights", "budget"):
-            if name in opts:
-                kwargs[name] = opts.pop(name)
-        _reject_unknown(opts, "buffered", "exact")
-        result = opt_buffered(instance, **kwargs)
-        return result.schedule, result.optimal
-    if solver == "bruteforce":
-        kwargs = {}
-        if "max_messages" in opts:
-            kwargs["max_messages"] = opts.pop("max_messages")
-        _reject_unknown(opts, "buffered", "exact")
-        result = opt_buffered_bruteforce(instance, **kwargs)
-        return result.schedule, result.optimal
-    raise ValueError(f"unknown exact solver {solver!r}; choose milp or bruteforce")
-
-
-def _buffered_bfl(
-    instance: Instance, opts: dict[str, Any]
-) -> tuple[Schedule, None, dict[str, Any]]:
-    from .core.dbfl import dbfl
-
-    buffer_capacity = _take(opts, "buffer_capacity", None)
-    _reject_unknown(opts, "buffered", "bfl")
-    result = dbfl(instance, buffer_capacity=buffer_capacity)
-    extra = {"steps": result.stats.steps, "dropped": len(result.dropped_ids)}
-    return result.schedule, None, extra
-
-
-_POLICIES: dict[str, str] = {
-    "edf": "EDFPolicy",
-    "fcfs": "FCFSPolicy",
-    "laxity": "MinLaxityPolicy",
-    "nearest": "NearestDestPolicy",
-}
-
-
-def _buffered_greedy(
-    instance: Instance, opts: dict[str, Any]
-) -> tuple[Schedule, None, dict[str, Any]]:
-    from . import baselines
-    from .network.policy import Policy
-    from .network.simulator import simulate
-
-    policy = _take(opts, "policy", "edf")
-    buffer_capacity = _take(opts, "buffer_capacity", None)
-    _reject_unknown(opts, "buffered", "greedy")
-    if isinstance(policy, str):
-        if policy not in _POLICIES:
-            raise ValueError(
-                f"unknown policy {policy!r}; choose one of {tuple(_POLICIES)} "
-                "or pass a Policy instance"
-            )
-        policy = getattr(baselines, _POLICIES[policy])()
-    elif not isinstance(policy, Policy):
-        raise TypeError(f"policy must be a name or Policy instance, got {policy!r}")
-    result = simulate(instance, policy, buffer_capacity=buffer_capacity)
-    extra = {"steps": result.stats.steps, "dropped": len(result.dropped_ids)}
-    return result.schedule, None, extra
-
-
-def _offline_opt(instance: Instance, *, bufferless: bool) -> int:
-    """Offline optimum throughput of the matching regime (MILP, with the
-    dependency-free fallback when the backend is unavailable)."""
-    from .errors import SolverBackendError
-
-    if bufferless:
-        from .exact import opt_bufferless, opt_bufferless_bnb
-
-        try:
-            return opt_bufferless(instance).schedule.throughput
-        except SolverBackendError:
-            obs.tracer().count("exact.fallbacks")
-            return opt_bufferless_bnb(instance).schedule.throughput
-    from .exact import opt_buffered, opt_buffered_bruteforce
-
-    try:
-        return opt_buffered(instance).schedule.throughput
-    except SolverBackendError:
-        obs.tracer().count("exact.fallbacks")
-        return opt_buffered_bruteforce(instance).schedule.throughput
-
-
-_BASELINES = ("exact", "bfl", "none")
-
-
-def _online(
-    instance: Instance, method: str, opts: dict[str, Any]
-) -> tuple[Schedule, dict[str, Any], float | None, int | None]:
-    from .online import online_bfl, online_dbfl, online_greedy
-
-    baseline = _take(opts, "baseline", "exact")
-    if baseline not in _BASELINES:
-        raise ValueError(f"unknown baseline {baseline!r}; choose one of {_BASELINES}")
-    faults = _take(opts, "faults", None)
-    if method == "bfl":
-        _reject_unknown(opts, "online", "bfl")
-        run = online_bfl(instance, faults=faults)
-    elif method == "dbfl":
-        buffer_capacity = _take(opts, "buffer_capacity", None)
-        _reject_unknown(opts, "online", "dbfl")
-        run = online_dbfl(instance, buffer_capacity=buffer_capacity, faults=faults)
-    else:
-        buffer_capacity = _take(opts, "buffer_capacity", None)
-        policy = _take(opts, "policy", "edf")
-        _reject_unknown(opts, "online", "greedy")
-        run = online_greedy(
-            instance, policy=policy, buffer_capacity=buffer_capacity, faults=faults
-        )
-
-    opt_value: int | None = None
-    ratio: float | None = None
-    if baseline == "bfl":
-        from .core.bfl_fast import bfl_fast
-
-        ref = bfl_fast(instance).throughput
-        ratio = 1.0 if ref == 0 else run.throughput / ref
-    elif baseline == "exact":
-        # Compared against the clean offline optimum of the matching
-        # regime, even when faults= is active: the ratio then measures
-        # the policy *and* the environment together.
-        opt_value = _offline_opt(instance, bufferless=(method == "bfl"))
-        ratio = 1.0 if opt_value == 0 else run.throughput / opt_value
-    extra = {
-        "policy": run.policy,
-        "steps": run.steps,
-        "decisions": len(run.decisions),
-        "drops": {
-            "policy": len(run.policy_dropped_ids),
-            "fault": len(run.fault_dropped_ids),
-        },
-        **run.stats,
-    }
-    return run.schedule, extra, ratio, opt_value
-
-
 def solve(
-    instance: Instance,
+    instance: Any,
     regime: str = "bufferless",
     method: str = "exact",
     **opts: Any,
 ) -> ScheduleResult:
-    """Schedule a left-to-right ``instance`` under ``regime`` with ``method``.
+    """Schedule ``instance`` under ``regime`` with ``method``.
 
-    See the module docstring for the regime × method matrix and their
-    options.  The returned schedule is identical to the one the
-    corresponding legacy entrypoint produces.  Mixed-direction instances
-    raise — use :func:`solve_bidirectional` for the split/mirror
-    reduction.
+    The instance's ``topology`` attribute picks the network shape; the
+    solver registry (:func:`repro.topology.register_solver`) supplies the
+    implementation for the ``(topology, regime, method)`` cell.  See the
+    module docstring for the full matrix and each cell's options.  The
+    returned schedule is identical to the one the corresponding legacy
+    entrypoint produces.  Mixed-direction line instances raise — use
+    :func:`solve_bidirectional` for the split/mirror reduction.
 
-    Exact solves accept ``budget=SolverBudget(wall_time=..., nodes=...)``.
-    ``on_budget`` decides what an exhausted budget does: ``"raise"`` (the
-    default) lets the typed :class:`~repro.errors.BudgetExceeded`
-    propagate; ``"degrade"`` converts it into a result whose ``status`` is
-    ``"bounded"`` (or ``"infeasible"``/``"optimal"`` when the certified
-    bounds close the gap), whose schedule is the best incumbent found, and
-    whose ``lower``/``upper`` bracket the true optimum.
+    Exact solves on lines accept ``budget=SolverBudget(wall_time=...,
+    nodes=...)``.  ``on_budget`` decides what an exhausted budget does:
+    ``"raise"`` (the default) lets the typed
+    :class:`~repro.errors.BudgetExceeded` propagate; ``"degrade"``
+    converts it into a result whose ``status`` is ``"bounded"`` (or
+    ``"infeasible"``/``"optimal"`` when the certified bounds close the
+    gap), whose schedule is the best incumbent found, and whose
+    ``lower``/``upper`` bracket the true optimum.
     """
+    topo = _topology.topology_of(instance)
     if regime not in REGIMES:
         raise ValueError(f"unknown regime {regime!r}; choose one of {REGIMES}")
-    if method not in DISPATCH[regime]:
+    matrix = _topology.dispatch_matrix()
+    methods = matrix.get((topo.name, regime))
+    if not methods:
+        regimes = tuple(r for (t, r) in matrix if t == topo.name)
         raise ValueError(
-            f"unknown method {method!r} for regime {regime!r}; "
-            f"choose one of {DISPATCH[regime]}"
+            f"no solver registered for topology {topo.name!r} in regime "
+            f"{regime!r}; regimes with solvers on {topo.name!r}: {regimes} "
+            "(register one with repro.topology.register_solver)"
+        )
+    if method not in methods:
+        raise ValueError(
+            f"unknown method {method!r} for topology {topo.name!r}, regime "
+            f"{regime!r}; choose one of {methods} "
+            "(register new ones with repro.topology.register_solver)"
         )
     on_budget = opts.pop("on_budget", "raise")
     if on_budget not in ("raise", "degrade"):
@@ -474,37 +272,28 @@ def solve(
         )
     from .errors import BudgetExceeded
 
+    fn = _topology.solver_for(topo.name, regime, method)
+
     tr = obs.tracer()
     counters_before = tr.counters_snapshot() if tr.enabled else None
     t0 = time.perf_counter()
-    extra: dict[str, Any] = {}
     degraded: BudgetExceeded | None = None
-    ratio: float | None = None
-    online_opt: int | None = None
     try:
-        if regime == "bufferless":
-            if method == "exact":
-                schedule, optimal = _bufferless_exact(instance, opts)
-            elif method == "bfl":
-                schedule, optimal = _bufferless_bfl(instance, opts)
-            else:
-                schedule, optimal = _bufferless_greedy(instance, opts)
-        elif regime == "buffered":
-            if method == "exact":
-                schedule, optimal = _buffered_exact(instance, opts)
-            elif method == "bfl":
-                schedule, optimal, extra = _buffered_bfl(instance, opts)
-            else:
-                schedule, optimal, extra = _buffered_greedy(instance, opts)
-        else:
-            schedule, extra, ratio, online_opt = _online(instance, method, opts)
-            optimal = None
+        raw = fn(instance, opts)
+        schedule = raw.schedule
+        optimal = raw.optimal
+        extra: dict[str, Any] = dict(raw.extra)
+        ratio = raw.ratio
+        online_opt = raw.upper
     except BudgetExceeded as exc:
         if on_budget != "degrade":
             raise
         degraded = exc
         schedule = exc.incumbent if exc.incumbent is not None else Schedule()
         optimal = False
+        extra = {}
+        ratio = None
+        online_opt = None
     elapsed = time.perf_counter() - t0
 
     if degraded is not None:
@@ -537,6 +326,7 @@ def solve(
         tr.record_span(
             "api.solve",
             t0,
+            topology=topo.name,
             regime=regime,
             method=method,
             delivered=schedule.throughput,
@@ -552,6 +342,7 @@ def solve(
         lower=lower,
         upper=upper,
         competitive_ratio=ratio,
+        topology=topo.name,
     )
 
 
@@ -571,11 +362,21 @@ def solve_bidirectional(
     scan-line BFL kernel.  Returns a
     :class:`repro.core.solve.BidirectionalSchedule` (the right-to-left
     half is expressed in mirrored coordinates, exactly as before).
+
+    Line-only: the reduction *is* the line topology's decomposition.
+    Rings cut-reduce and meshes XY-decompose instead — see
+    ``Topology.decompose``.
     """
     from .core.bfl_fast import bfl_fast
     from .core.solve import BidirectionalSchedule
     from .core.validate import validate_schedule
 
+    if getattr(instance, "topology", "line") != "line":
+        raise ValueError(
+            "solve_bidirectional is line-only (the direction split is the "
+            "line's decomposition); use repro.topology.topology_of(instance)"
+            ".decompose(instance) for the ring/mesh reductions"
+        )
     if scheduler is None:
         scheduler = bfl_fast
     lr_half, rl_half = instance.split_directions()

@@ -47,7 +47,7 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list available experiments")
 
     run_p = sub.add_parser("run", help="run experiments and print their tables")
-    run_p.add_argument("experiments", nargs="+", help="experiment ids (e1..e15, a1, a2) or 'all'")
+    run_p.add_argument("experiments", nargs="+", help="experiment ids (e1..e16, a1, a2) or 'all'")
     run_p.add_argument("--seed", type=int, default=2024)
     run_p.add_argument(
         "--trials", type=int, default=None, help="override each experiment's trial count"
@@ -95,10 +95,12 @@ def main(argv: list[str] | None = None) -> int:
     bench_p.add_argument(
         "suite",
         nargs="?",
-        choices=("all", "online"),
+        choices=("all", "online", "topology"),
         default="all",
         help="'all' (default): kernel + sweep + obs -> BENCH_PR1.json; "
-        "'online': decisions/sec + competitive ratio -> BENCH_PR4.json",
+        "'online': decisions/sec + competitive ratio -> BENCH_PR4.json; "
+        "'topology': unified simulator vs frozen legacy loops -> "
+        "BENCH_PR5.json",
     )
     bench_p.add_argument("--seed", type=int, default=2024)
     bench_p.add_argument("--trials", type=int, default=10, help="sweep cells per size")
@@ -313,7 +315,15 @@ def _obs_report(trace_path: str) -> int:
 
 
 def _bench(suite: str, seed: int, trials: int, jobs: int, out: str | None) -> int:
-    if suite == "online":
+    if suite == "topology":
+        from .engine.bench import render_topology_summary, run_topology_benchmarks
+
+        out = "BENCH_PR5.json" if out is None else out
+        payload = run_topology_benchmarks(
+            seed=seed, out=None if out == "-" else out
+        )
+        print(render_topology_summary(payload))
+    elif suite == "online":
         from .engine.bench import render_online_summary, run_online_benchmarks
 
         out = "BENCH_PR4.json" if out is None else out

@@ -34,12 +34,26 @@ from .message import Message
 __all__ = [
     "Parallelogram",
     "Segment",
+    "scan_parameter",
     "segment_on_line",
     "segments_on_line",
     "relevant_alphas",
     "alpha_range",
     "relevance_matrix",
 ]
+
+
+def scan_parameter(instance, node, time: int) -> int:
+    """The lattice parameter of point ``(node, time)`` on ``instance``'s shape.
+
+    Delegates to the instance's registered topology: the scan line
+    ``alpha = node - time`` on a line, the helix index
+    ``(node - time) mod n`` on a ring.  Shapes without a global lattice
+    parameter (the mesh) raise ``NotImplementedError``.
+    """
+    from .. import topology as topology_pkg
+
+    return topology_pkg.topology_of(instance).alpha_of(instance, node, time)
 
 
 @dataclass(frozen=True, slots=True)

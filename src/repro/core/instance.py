@@ -36,10 +36,18 @@ class Instance:
         network.  Messages with negative slack are permitted (they model
         traffic that must be dropped) unless ``require_feasible`` was set by
         the constructor helper.
+    topology:
+        Name of the registered :class:`~repro.topology.Topology` the
+        instance lives on.  Defaults to ``"line"`` (the paper's model);
+        the dedicated ``RingInstance``/``MeshInstance`` classes carry
+        ``"ring"``/``"mesh"`` instead.  Kept out of
+        :meth:`canonical_form` for the default so existing cache keys,
+        pickles and JSON documents are unchanged.
     """
 
     n: int
     messages: tuple[Message, ...] = field(default_factory=tuple)
+    topology: str = "line"
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -49,10 +57,17 @@ class Instance:
             if m.id in seen:
                 raise ValueError(f"duplicate message id {m.id}")
             seen.add(m.id)
-            if not (0 <= m.source < self.n and 0 <= m.dest < self.n):
-                raise ValueError(
-                    f"message {m.id}: endpoints ({m.source}, {m.dest}) outside 0..{self.n - 1}"
-                )
+        if self.topology == "line":
+            for m in self.messages:
+                if not (0 <= m.source < self.n and 0 <= m.dest < self.n):
+                    raise ValueError(
+                        f"message {m.id}: endpoints ({m.source}, {m.dest}) "
+                        f"outside 0..{self.n - 1}"
+                    )
+        else:
+            from .. import topology as topology_pkg
+
+            topology_pkg.get_topology(self.topology).validate_instance(self)
 
     # ------------------------------------------------------------------ #
     # Container protocol
@@ -146,11 +161,13 @@ class Instance:
         """
         lr = tuple(m for m in self.messages if m.direction == Direction.LEFT_TO_RIGHT)
         rl = tuple(m for m in self.messages if m.direction == Direction.RIGHT_TO_LEFT)
-        return Instance(self.n, lr), Instance(self.n, rl)
+        return Instance(self.n, lr, self.topology), Instance(self.n, rl, self.topology)
 
     def mirrored(self) -> "Instance":
         """Reflect every message across the network's centre (RL <-> LR)."""
-        return Instance(self.n, tuple(m.mirrored(self.n) for m in self.messages))
+        return Instance(
+            self.n, tuple(m.mirrored(self.n) for m in self.messages), self.topology
+        )
 
     # ------------------------------------------------------------------ #
     # Transformations
@@ -159,11 +176,15 @@ class Instance:
     def restrict(self, ids: Iterable[int]) -> "Instance":
         """Keep only the messages whose id is in ``ids``."""
         keep = set(ids)
-        return Instance(self.n, tuple(m for m in self.messages if m.id in keep))
+        return Instance(
+            self.n, tuple(m for m in self.messages if m.id in keep), self.topology
+        )
 
     def filter(self, predicate: Callable[[Message], bool]) -> "Instance":
         """Keep only the messages satisfying ``predicate``."""
-        return Instance(self.n, tuple(m for m in self.messages if predicate(m)))
+        return Instance(
+            self.n, tuple(m for m in self.messages if predicate(m)), self.topology
+        )
 
     def drop_infeasible(self) -> "Instance":
         """Remove messages with negative slack (never deliverable)."""
@@ -179,20 +200,29 @@ class Instance:
         """
         if max_slack is None:
             max_slack = max(len(self.messages) - 1, 0)
-        return Instance(self.n, tuple(m.clipped_slack(max_slack) for m in self.messages))
+        return Instance(
+            self.n,
+            tuple(m.clipped_slack(max_slack) for m in self.messages),
+            self.topology,
+        )
 
     def translated(self, dnode: int = 0, dtime: int = 0, *, n: int | None = None) -> "Instance":
         """Shift all messages; optionally re-home onto an ``n``-node network."""
         return Instance(
             n if n is not None else self.n,
             tuple(m.translated(dnode, dtime) for m in self.messages),
+            self.topology,
         )
 
     def merged_with(self, other: "Instance", *, n: int | None = None) -> "Instance":
         """Disjoint union, renumbering ``other``'s ids after ours."""
         base = max(self.ids, default=-1) + 1
         renumbered = tuple(m.with_id(base + i) for i, m in enumerate(other.messages))
-        return Instance(n if n is not None else max(self.n, other.n), self.messages + renumbered)
+        return Instance(
+            n if n is not None else max(self.n, other.n),
+            self.messages + renumbered,
+            self.topology,
+        )
 
     # ------------------------------------------------------------------ #
     # Content addressing (memoization keys for the sweep engine)
@@ -204,15 +234,19 @@ class Instance:
         Two instances whose message *sets* coincide (ids included) have
         equal canonical forms regardless of tuple order, so a cache keyed
         on the form never conflates distinct workloads and never misses a
-        genuine repeat.
+        genuine repeat.  The topology tag joins the form only when it is
+        not the default ``"line"``, keeping historic cache keys stable.
         """
-        return (
+        form = (
             self.n,
             tuple(
                 (m.id, m.source, m.dest, m.release, m.deadline)
                 for m in sorted(self.messages, key=lambda m: m.id)
             ),
         )
+        if self.topology != "line":
+            form += (self.topology,)
+        return form
 
     @property
     def content_hash(self) -> str:
@@ -224,8 +258,10 @@ class Instance:
         """
         cached = self.__dict__.get("_content_hash_cache")
         if cached is None:
-            n, rows = self.canonical_form()
+            n, rows, *rest = self.canonical_form()
             payload = f"n={n};" + ";".join(",".join(map(str, row)) for row in rows)
+            if rest:
+                payload += f";topology={rest[0]}"
             cached = hashlib.sha256(payload.encode("ascii")).hexdigest()
             object.__setattr__(self, "_content_hash_cache", cached)
         return cached

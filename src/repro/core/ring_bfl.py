@@ -1,59 +1,24 @@
-"""Bufferless scheduling on rings: the BFL sweep generalised to helices.
+"""Deprecated alias — the ring BFL greedy lives in
+:mod:`repro.topology.ring` since the topology unification.
 
-On a ring, the scan lines wrap into helices (see
-:mod:`repro.network.ring`), and a message may have several candidate
-departures on the *same* helix (whenever its slack reaches the ring size).
-The line-by-line sweep therefore generalises to the classic
-earliest-completion greedy over all (message, departure) candidates — the
-Job Interval Selection Problem greedy, which keeps BFL's factor-2
-guarantee: every optimal trajectory not chosen shares a slot with a chosen
-trajectory that finishes no later, and a chosen trajectory can block at
-most two optimal ones this way (one per endpoint side on its helix).
-
-On instances that never wrap (all traffic inside an arc), the greedy
-coincides with Algorithm BFL applied to the corresponding line instance —
-``tests/test_ring.py`` checks that correspondence.
+``repro.api.solve(instance, regime="bufferless", method="bfl")`` on a
+``RingInstance`` dispatches to the same implementation.
 """
 
 from __future__ import annotations
 
-from ..network.ring import RingInstance, RingSchedule, RingTrajectory
+from .._deprecation import warn_deprecated
+from ..topology.ring import RingInstance, RingSchedule
+from ..topology.ring import ring_bfl as _ring_bfl
 
 __all__ = ["ring_bfl"]
 
 
 def ring_bfl(instance: RingInstance) -> RingSchedule:
-    """Earliest-completion greedy over all bufferless candidates.
-
-    Candidates are enumerated per message over its departure window and
-    processed in order of arrival time (ties: nearest destination — i.e.
-    smallest span — then id), scheduling whenever every (link, step) slot
-    on the trajectory is still free.  Throughput is at least half of the
-    bufferless optimum.
-    """
-    candidates: list[tuple[int, int, int, RingTrajectory]] = []
-    for m in instance:
-        if not m.feasible:
-            continue
-        for depart in range(m.release, m.latest_departure + 1):
-            traj = RingTrajectory(
-                message_id=m.id,
-                source=m.source,
-                depart=depart,
-                span=m.span,
-                n=instance.n,
-            )
-            candidates.append((traj.arrive, m.span, m.id, traj))
-    candidates.sort(key=lambda c: (c[0], c[1], c[2], c[3].depart))
-
-    occupied: set[tuple[int, int]] = set()
-    scheduled: dict[int, RingTrajectory] = {}
-    for _, _, mid, traj in candidates:
-        if mid in scheduled:
-            continue
-        slots = list(traj.edges())
-        if any(slot in occupied for slot in slots):
-            continue
-        occupied.update(slots)
-        scheduled[mid] = traj
-    return RingSchedule(tuple(scheduled.values()))
+    """Deprecated alias for :func:`repro.topology.ring.ring_bfl`."""
+    warn_deprecated(
+        "repro.core.ring_bfl.ring_bfl",
+        "repro.topology.ring.ring_bfl (or api.solve(instance, "
+        "regime='bufferless', method='bfl'))",
+    )
+    return _ring_bfl(instance)

@@ -15,9 +15,19 @@ This module adds the checks that need the instance:
 Validators either raise :class:`ScheduleError` (``validate_schedule``) or
 return a list of human-readable problem strings (``schedule_problems``) so
 tests can assert on specific failures.
+
+Since the topology unification, :func:`schedule_problems` is the single
+entry point for *every* shape: instances whose ``topology`` attribute
+names something other than ``"line"`` are delegated to their
+:class:`~repro.topology.Topology`'s own ``schedule_problems`` (ring cut
+checks, mesh XY leg checks).  The historical line checks live on in
+:func:`_line_problems`, which the :class:`~repro.topology.line.Line`
+topology calls back into.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 from .instance import Instance
 from .schedule import Schedule
@@ -30,8 +40,8 @@ class ScheduleError(ValueError):
 
 
 def schedule_problems(
-    instance: Instance,
-    schedule: Schedule,
+    instance: Any,
+    schedule: Any,
     *,
     require_bufferless: bool = False,
     buffer_capacity: int | None = None,
@@ -47,7 +57,36 @@ def schedule_problems(
         If given, flag nodes whose peak simultaneous buffer occupancy
         exceeds this many messages (the paper's algorithms assume unbounded
         buffers; the simulator ablation A2 uses finite ones).
+
+    Non-line instances (``instance.topology != "line"``) delegate to the
+    registered topology, which accepts the same keyword options where they
+    make sense for the shape.
     """
+    if getattr(instance, "topology", "line") != "line":
+        from .. import topology as topology_pkg
+
+        return topology_pkg.topology_of(instance).schedule_problems(
+            instance,
+            schedule,
+            require_bufferless=require_bufferless,
+            buffer_capacity=buffer_capacity,
+        )
+    return _line_problems(
+        instance,
+        schedule,
+        require_bufferless=require_bufferless,
+        buffer_capacity=buffer_capacity,
+    )
+
+
+def _line_problems(
+    instance: Instance,
+    schedule: Schedule,
+    *,
+    require_bufferless: bool = False,
+    buffer_capacity: int | None = None,
+) -> list[str]:
+    """The line-shape checks (the paper's model); see :func:`schedule_problems`."""
     problems: list[str] = []
     for traj in schedule:
         mid = traj.message_id
@@ -89,8 +128,8 @@ def schedule_problems(
 
 
 def validate_schedule(
-    instance: Instance,
-    schedule: Schedule,
+    instance: Any,
+    schedule: Any,
     *,
     require_bufferless: bool = False,
     buffer_capacity: int | None = None,

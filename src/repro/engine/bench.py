@@ -44,10 +44,13 @@ __all__ = [
     "bench_obs",
     "bench_online",
     "bench_sweep",
+    "bench_topology",
     "render_online_summary",
     "render_summary",
+    "render_topology_summary",
     "run_benchmarks",
     "run_online_benchmarks",
+    "run_topology_benchmarks",
 ]
 
 KERNEL_SIZES = ((32, 200), (64, 1000), (128, 3000))
@@ -359,6 +362,356 @@ def render_online_summary(payload: dict[str, Any]) -> str:
             f"({row['decisions']} decisions in {row['seconds'] * 1e3:.1f} ms), "
             f"ratio {row['competitive_ratio_mean']:.3f}"
         )
+    return "\n".join(lines)
+
+
+def _legacy_line_run(inst, policy) -> tuple[frozenset, int]:
+    """Frozen copy of the pre-unification line step loop.
+
+    This is what ``LinearNetworkSimulator.run`` did before the step loop
+    was parameterized by the ``Topology`` protocol: hard-coded successor
+    ``v + 1``, list-indexed buffers, no registry lookups.  Kept verbatim —
+    fault ``None`` checks, the policy-sanity membership check, wait/stats
+    bookkeeping, control machinery and the final validated ``Schedule``
+    all included (only the capacity/fault *bodies* the benchmark never
+    enters are trimmed).  Do not "improve" it, the comparison is the
+    point.
+    """
+    from ..core.message import Direction
+    from ..core.schedule import Schedule
+    from ..core.validate import validate_schedule
+    from ..network.packet import Packet, PacketStatus
+    from ..network.policy import NodeView
+    from ..network.stats import SimulationStats
+
+    for m in inst:  # the pre-refactor __init__ direction check
+        if m.direction != Direction.LEFT_TO_RIGHT:
+            raise ValueError(
+                f"message {m.id} travels right-to-left; split directions first"
+            )
+    n = inst.n
+    policy.reset(n)
+    stats = SimulationStats()
+    packets = [Packet(m) for m in inst]
+    releases: dict[int, list] = {}
+    for p in packets:
+        releases.setdefault(p.message.release, []).append(p)
+    buffers: list[list] = [[] for _ in range(n)]
+    in_flight: list = []
+    control_in_flight: list = []
+    delivered: list = []
+    faults = None
+    drop_rng = None
+    buffer_capacity = None
+    horizon = max((m.deadline for m in inst), default=0) + 1
+    t = 0
+    live = len(packets)
+    while t < horizon and (live > 0 or in_flight):
+        if (
+            faults is None
+            and not in_flight
+            and not control_in_flight
+            and releases
+            and policy.idle_skippable
+            and t not in releases
+            and all(not b for b in buffers)
+        ):
+            t = min(releases)
+            stats.steps = t
+            stats.idle_fast_forwards += 1
+            continue
+        for p in in_flight:
+            if drop_rng is not None and drop_rng.random() < faults.drop_rate:
+                pass  # fault-drop body (never taken: bench runs fault-free)
+            elif p.status is PacketStatus.DELIVERED:
+                delivered.append(p)
+                stats.delivered += 1
+                stats.total_latency += (p.crossings[-1] + 1) - p.message.release
+                policy.on_deliver(p, t)
+                live -= 1
+            elif (
+                buffer_capacity is not None
+                and len(buffers[p.node]) >= buffer_capacity
+            ):
+                pass  # overflow-drop body (never taken: unbounded buffers)
+            else:
+                buffers[p.node].append(p)
+        in_flight = []
+        for origin, value in control_in_flight:
+            if origin + 1 < n:
+                policy.receive_control(origin + 1, t, value)
+        control_in_flight = []
+        for p in releases.pop(t, ()):
+            p.status = PacketStatus.IN_NETWORK
+            stats.released += 1
+            buffers[p.message.source].append(p)
+            policy.on_release(p, t)
+        for v in range(n):
+            keep = []
+            for p in buffers[v]:
+                if p.can_meet_deadline(t):
+                    keep.append(p)
+                else:
+                    p.mark_dropped(t)
+                    stats.dropped += 1
+                    policy.on_drop(p, t)
+                    live -= 1
+            buffers[v] = keep
+            stats.record_buffer(v, len(keep))
+        for v in range(n - 1):
+            if faults is not None and faults.link_down(v, t):
+                stats.link_down_blocks += 1
+                continue
+            if faults is not None and faults.node_stalled(v, t):
+                stats.stall_blocks += 1
+                chosen = None
+            else:
+                view = NodeView(node=v, time=t, candidates=tuple(buffers[v]))
+                chosen = policy.select(view)
+            if chosen is not None:
+                if chosen not in buffers[v]:
+                    raise RuntimeError(
+                        f"policy returned a packet not buffered at node {v}"
+                    )
+                buffers[v].remove(chosen)
+                wait = t - (
+                    chosen.crossings[-1] + 1
+                    if chosen.crossings
+                    else chosen.message.release
+                )
+                if chosen.crossings:
+                    stats.total_wait_steps += wait
+                chosen.record_hop(t)
+                stats.record_hop(v)
+                in_flight.append(chosen)
+            value = policy.emit_control(v, t)
+            if value is not None:
+                control_in_flight.append((v, value))
+        t += 1
+        stats.steps = t
+    schedule = Schedule(tuple(p.trajectory() for p in delivered))
+    validate_schedule(inst, schedule)
+    return frozenset(p.id for p in delivered), stats.steps
+
+
+def _legacy_ring_run(inst, policy) -> tuple[frozenset, int]:
+    """Frozen copy of the pre-unification ring step loop (the deleted
+    ``RingNetworkSimulator.run``): every node forwards clockwise over link
+    ``v`` to ``(v + 1) % n``, with the policy-sanity membership check,
+    control machinery, stats and the final ``RingSchedule`` included.
+    The old ring simulator had **no** idle fast-forward — faithfully
+    absent here too.  Same freeze rationale as :func:`_legacy_line_run`."""
+    from ..network.packet import Packet, PacketStatus
+    from ..network.policy import NodeView
+    from ..network.stats import SimulationStats
+    from ..topology.ring import (
+        BufferedRingTrajectory,
+        RingSchedule,
+        RingTrajectory,
+    )
+
+    n = inst.n
+    policy.reset(n)
+    stats = SimulationStats()
+    packets = [Packet(m) for m in inst]
+    releases: dict[int, list] = {}
+    for p in packets:
+        releases.setdefault(p.message.release, []).append(p)
+    buffers: list[list] = [[] for _ in range(n)]
+    in_flight: list = []
+    control_in_flight: list = []
+    delivered: list = []
+    buffer_capacity = None
+    horizon = max((m.deadline for m in inst), default=0) + 1
+    t = 0
+    live = len(packets)
+    while t < horizon and (live > 0 or in_flight):
+        for p in in_flight:
+            if p.status is PacketStatus.DELIVERED:
+                delivered.append(p)
+                stats.delivered += 1
+                stats.total_latency += t - p.message.release
+                policy.on_deliver(p, t)
+                live -= 1
+            elif (
+                buffer_capacity is not None
+                and len(buffers[p.node]) >= buffer_capacity
+            ):
+                pass  # overflow-drop body (never taken: unbounded buffers)
+            else:
+                buffers[p.node].append(p)
+        in_flight = []
+        for origin, value in control_in_flight:
+            policy.receive_control((origin + 1) % n, t, value)
+        control_in_flight = []
+        for p in releases.pop(t, ()):
+            p.status = PacketStatus.IN_NETWORK
+            stats.released += 1
+            buffers[p.message.source].append(p)
+            policy.on_release(p, t)
+        for v in range(n):
+            keep = []
+            for p in buffers[v]:
+                if p.can_meet_deadline(t):
+                    keep.append(p)
+                else:
+                    p.mark_dropped(t)
+                    stats.dropped += 1
+                    policy.on_drop(p, t)
+                    live -= 1
+            buffers[v] = keep
+            stats.record_buffer(v, len(keep))
+        for v in range(n):
+            view = NodeView(node=v, time=t, candidates=tuple(buffers[v]))
+            chosen = policy.select(view)
+            if chosen is not None:
+                if chosen not in buffers[v]:
+                    raise RuntimeError(
+                        f"policy returned a packet not buffered at node {v}"
+                    )
+                buffers[v].remove(chosen)
+                chosen.record_hop(t, (v + 1) % n)
+                stats.record_hop(v)
+                in_flight.append(chosen)
+            value = policy.emit_control(v, t)
+            if value is not None:
+                control_in_flight.append((v, value))
+        t += 1
+        stats.steps = t
+
+    def traj(p):
+        m = p.message
+        times = tuple(p.crossings)
+        if times[-1] - times[0] == m.span - 1:
+            return RingTrajectory(
+                message_id=m.id, source=m.source, depart=times[0], span=m.span, n=m.n
+            )
+        return BufferedRingTrajectory(
+            message_id=m.id,
+            source=m.source,
+            depart=times[0],
+            span=m.span,
+            n=m.n,
+            hop_times=times,
+        )
+
+    RingSchedule(tuple(traj(p) for p in delivered))
+    return frozenset(p.id for p in delivered), stats.steps
+
+
+def bench_topology(
+    *,
+    seed: int = 2024,
+    repeats: int = 9,
+    max_slowdown_pct: float = 5.0,
+) -> dict[str, Any]:
+    """Prove the unified topology-parameterized simulator costs nothing.
+
+    For each shape with a pre-refactor specialized loop (line, ring), run
+    the same EDF workload through the unified :func:`simulate` and through
+    a frozen inline copy of the legacy loop, and report the slowdown
+    ratio.  The two timings are *interleaved* (unified, legacy, unified,
+    …) and each side keeps its best of ``repeats`` — machine-load drift
+    then hits both sides equally instead of whichever ran second.
+    Delivered sets are asserted identical first, so the timing can never
+    compare different work.  ``within_5pct`` is the acceptance flag the
+    PR gate reads.
+    """
+    from ..workloads.rings import random_ring_instance
+
+    rng = np.random.default_rng(seed)
+    cases: dict[str, dict[str, Any]] = {}
+
+    line_inst = general_instance(rng, n=64, k=400, max_release=64, max_slack=8)
+    ring_inst = random_ring_instance(rng, n=32, k=250, max_release=40, max_slack=10)
+
+    for name, inst, legacy in (
+        ("line", line_inst, _legacy_line_run),
+        ("ring", ring_inst, _legacy_ring_run),
+    ):
+        unified = simulate(inst, EDFPolicy())
+        legacy_ids, legacy_steps = legacy(inst, EDFPolicy())
+        if unified.delivered_ids != legacy_ids:
+            raise AssertionError(
+                f"{name}: unified simulator delivered "
+                f"{sorted(unified.delivered_ids)} but the frozen legacy loop "
+                f"delivered {sorted(legacy_ids)} — not comparable"
+            )
+        inner = 3  # runs per timing sample — averages out scheduler jitter
+        unified_s = legacy_s = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                simulate(inst, EDFPolicy())
+            unified_s = min(unified_s, (time.perf_counter() - t0) / inner)
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                legacy(inst, EDFPolicy())
+            legacy_s = min(legacy_s, (time.perf_counter() - t0) / inner)
+        ratio = unified_s / legacy_s if legacy_s else 1.0
+        cases[name] = {
+            "n": inst.n,
+            "messages": len(inst),
+            "delivered": len(legacy_ids),
+            "steps": unified.stats.steps,
+            "legacy_steps": legacy_steps,
+            "unified_seconds": unified_s,
+            "legacy_seconds": legacy_s,
+            "unified_steps_per_second": (
+                unified.stats.steps / unified_s if unified_s else float("inf")
+            ),
+            "legacy_steps_per_second": (
+                legacy_steps / legacy_s if legacy_s else float("inf")
+            ),
+            "slowdown_ratio": ratio,
+            "within_5pct": ratio <= 1.0 + max_slowdown_pct / 100.0,
+        }
+    return {
+        "max_slowdown_pct": max_slowdown_pct,
+        "cases": cases,
+        "within_5pct": all(c["within_5pct"] for c in cases.values()),
+    }
+
+
+def run_topology_benchmarks(
+    *,
+    seed: int = 2024,
+    repeats: int = 9,
+    out: str | Path | None = None,
+) -> dict[str, Any]:
+    """The ``repro bench topology`` suite; writes ``BENCH_PR5.json``."""
+    tr = obs.tracer()
+    t0 = time.perf_counter()
+    topo = bench_topology(seed=seed, repeats=repeats)
+    elapsed = time.perf_counter() - t0
+    tr.record_span("bench.topology", t0, t0 + elapsed)
+    payload = {
+        "benchmark": "repro topology-unification baseline",
+        "cpu_count": os.cpu_count(),
+        "topology": topo,
+        "phases": [{"name": "topology", "seconds": elapsed}],
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def render_topology_summary(payload: dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_topology_benchmarks` payload."""
+    topo = payload["topology"]
+    lines = [
+        f"topology bench (unified simulator vs frozen legacy loops, "
+        f"budget {topo['max_slowdown_pct']:.0f}%)"
+    ]
+    for name, c in topo["cases"].items():
+        lines.append(
+            f"  {name:<5} n={c['n']:<3} k={c['messages']:<4} "
+            f"unified {c['unified_seconds'] * 1e3:7.2f} ms   "
+            f"legacy {c['legacy_seconds'] * 1e3:7.2f} ms   "
+            f"ratio {c['slowdown_ratio']:.3f} "
+            f"({'ok' if c['within_5pct'] else 'OVER BUDGET'})"
+        )
+    lines.append(f"  overall: {'within budget' if topo['within_5pct'] else 'OVER'}")
     return "\n".join(lines)
 
 

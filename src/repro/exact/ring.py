@@ -1,80 +1,25 @@
-"""Exact optimal bufferless scheduling on rings (MILP reference)."""
+"""Deprecated alias — the ring bufferless MILP lives in
+:mod:`repro.topology.ring_exact` since the topology unification.
+
+``repro.api.solve(instance, regime="bufferless", method="exact")`` on a
+``RingInstance`` dispatches to the same implementation.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-import scipy.sparse as sp
-from scipy.optimize import Bounds, LinearConstraint, milp
-
-from ..network.ring import RingInstance, RingSchedule, RingTrajectory
+from .._deprecation import warn_deprecated
+from ..topology.ring_exact import RingResult
+from ..topology.ring_exact import opt_ring_bufferless as _opt_ring_bufferless
 
 __all__ = ["opt_ring_bufferless", "RingResult"]
 
 
-@dataclass(frozen=True)
-class RingResult:
-    schedule: RingSchedule
-    optimal: bool
-
-    @property
-    def throughput(self) -> int:
-        return self.schedule.throughput
-
-
-def opt_ring_bufferless(
-    instance: RingInstance, *, time_limit: float | None = None
-) -> RingResult:
-    """0/1 MILP over (message, departure) candidates with per-(link, step)
-    capacity constraints.  Slacks are clipped to ``|I| - 1`` — the same
-    throughput-preserving trick as on the line, since at most ``|I|``
-    departures per message can matter."""
-    msgs = [m for m in instance if m.feasible]
-    if not msgs:
-        return RingResult(RingSchedule(), True)
-    cap = len(msgs) - 1
-
-    trajs: list[RingTrajectory] = []
-    owner: list[int] = []
-    for i, m in enumerate(msgs):
-        latest = min(m.latest_departure, m.release + cap)
-        for depart in range(m.release, latest + 1):
-            trajs.append(
-                RingTrajectory(m.id, m.source, depart, m.span, instance.n)
-            )
-            owner.append(i)
-    nvar = len(trajs)
-
-    rows: list[int] = []
-    cols: list[int] = []
-    nrow = 0
-    for i in range(len(msgs)):
-        for j in range(nvar):
-            if owner[j] == i:
-                rows.append(nrow)
-                cols.append(j)
-        nrow += 1
-    by_slot: dict[tuple[int, int], list[int]] = {}
-    for j, traj in enumerate(trajs):
-        for slot in traj.edges():
-            by_slot.setdefault(slot, []).append(j)
-    for js in by_slot.values():
-        if len(js) >= 2:
-            rows.extend([nrow] * len(js))
-            cols.extend(js)
-            nrow += 1
-
-    a = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(nrow, nvar))
-    options = {"time_limit": time_limit} if time_limit is not None else {}
-    res = milp(
-        c=-np.ones(nvar),
-        constraints=[LinearConstraint(a, -np.inf, np.ones(nrow))],
-        integrality=np.ones(nvar),
-        bounds=Bounds(0, 1),
-        options=options,
+def opt_ring_bufferless(instance, *, time_limit: float | None = None) -> RingResult:
+    """Deprecated alias for
+    :func:`repro.topology.ring_exact.opt_ring_bufferless`."""
+    warn_deprecated(
+        "repro.exact.ring.opt_ring_bufferless",
+        "repro.topology.ring_exact.opt_ring_bufferless (or api.solve("
+        "instance, regime='bufferless', method='exact'))",
     )
-    if res.x is None:
-        raise RuntimeError(f"HiGHS failed on ring MILP: {res.message}")
-    chosen = [trajs[j] for j in np.nonzero(res.x > 0.5)[0]]
-    return RingResult(RingSchedule(tuple(chosen)), bool(res.status == 0))
+    return _opt_ring_bufferless(instance, time_limit=time_limit)

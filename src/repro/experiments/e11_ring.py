@@ -9,10 +9,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.tables import Table
-from ..core.ring_bfl import ring_bfl
-from ..exact.ring import opt_ring_bufferless
-from ..exact.ring_buffered import opt_ring_buffered
-from ..network.ring import RingInstance, RingMessage, validate_ring_schedule
+from ..api import solve
+from ..topology.ring import RingInstance, RingMessage, validate_ring_schedule
 
 from .base import experiment
 
@@ -62,15 +60,15 @@ def _run(*, seed: int = 2024, trials: int = 20) -> Table:
             inst = random_ring_instance(rng, n=n, k=k)
             wrapping += sum(1 for m in inst if m.source + m.span >= n)
             total += len(inst)
-            greedy = ring_bfl(inst)
-            validate_ring_schedule(inst, greedy)
-            exact = opt_ring_bufferless(inst)
+            greedy = solve(inst, regime="bufferless", method="bfl")
+            validate_ring_schedule(inst, greedy.schedule)
+            exact = solve(inst, regime="bufferless", method="exact")
             ratios.append(
                 greedy.throughput / exact.throughput if exact.throughput else 1.0
             )
             # the buffered MILP is costly; sample it on the smallest rings
             if n == 8 and i < trials // 2 and exact.throughput:
-                buffered = opt_ring_buffered(inst)
+                buffered = solve(inst, regime="buffered", method="exact")
                 b_over_bl = max(b_over_bl, buffered.throughput / exact.throughput)
         table.add(
             n=n,

@@ -12,11 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.tables import Table
-from ..baselines import edf_bufferless, first_fit
-from ..core.bfl import bfl
-from ..exact.mesh import opt_mesh_xy
-from ..mesh import xy_schedule
-from ..mesh.validate import validate_mesh_schedule
+from ..api import solve
+from ..topology.mesh import validate_mesh_schedule
 from ..workloads.meshes import mesh_hotspot, random_mesh_instance, transpose_mesh
 
 from .base import experiment
@@ -25,7 +22,12 @@ __all__ = ["run"]
 
 DESCRIPTION = "Mesh XY routing: per-line scheduler comparison + conversion cost"
 
-_SCHEDULERS = {"bfl": bfl, "edf": edf_bufferless, "first_fit": first_fit}
+#: Facade (method, options) per line-scheduler family compared by the table.
+_SCHEDULERS = {
+    "bfl": ("bfl", {}),
+    "edf": ("greedy", {"order": "edf"}),
+    "first_fit": ("greedy", {"order": "arrival"}),
+}
 
 
 def _run(*, seed: int = 2024, trials: int = 8) -> Table:
@@ -57,8 +59,15 @@ def _run(*, seed: int = 2024, trials: int = 8) -> Table:
             for _ in range(trials):
                 inst = make()
                 msgs += len(inst)
-                for name, line in _SCHEDULERS.items():
-                    sched = xy_schedule(inst, line_scheduler=line, conversion_delay=conv)
+                for name, (method, extra) in _SCHEDULERS.items():
+                    result = solve(
+                        inst,
+                        regime="bufferless",
+                        method=method,
+                        conversion_delay=conv,
+                        **extra,
+                    )
+                    sched = result.schedule
                     validate_mesh_schedule(inst, sched, conversion_delay=conv)
                     sums[name] += sched.throughput / len(inst)
                     if name == "bfl":
@@ -67,8 +76,12 @@ def _run(*, seed: int = 2024, trials: int = 8) -> Table:
             gap_num = gap_den = 0
             for _ in range(max(trials // 2, 2)):
                 small = make_small()
-                exact = opt_mesh_xy(small, conversion_delay=conv).throughput
-                greedy = xy_schedule(small, conversion_delay=conv).throughput
+                exact = solve(
+                    small, regime="bufferless", method="exact", conversion_delay=conv
+                ).throughput
+                greedy = solve(
+                    small, regime="bufferless", method="bfl", conversion_delay=conv
+                ).throughput
                 gap_num += greedy
                 gap_den += exact
             table.add(

@@ -16,6 +16,12 @@ Cell functions are module-level so the sweep engine can ship them to
 worker processes; each cell's instance *and* fault plan derive from its
 own spawned seed, so tables are identical at any job count and under any
 resilient-engine recovery.
+
+``topology="ring"`` runs the same protocol on ring workloads through the
+unified simulator (fault plans draw links/nodes from the ring's own
+enumeration); D-BFL is line-specific, so the ring table compares the
+buffered per-link policies against their own fault-free reference.
+Unsupported topologies raise :class:`~repro.errors.ConfigError`.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from ..core.dbfl import dbfl
 from ..engine import Engine, run_tasks, spawn_seeds
 from ..network import random_fault_plan, simulate
 from ..workloads import saturated_instance
+from ..workloads.rings import random_ring_instance
 
 from .base import experiment
 
@@ -37,7 +44,10 @@ DESCRIPTION = "Delivery ratio under injected faults (drops, dead links, stalls)"
 
 DROP_RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
 
+TOPOLOGIES = ("line", "ring")
+
 COLUMNS = ("dbfl_clean", "dbfl", "edf_buffered", "llf_buffered")
+RING_COLUMNS = ("edf_clean", "edf_buffered", "llf_buffered")
 
 
 def _cell(rate: float, seed_seq: np.random.SeedSequence) -> dict[str, float]:
@@ -60,13 +70,41 @@ def _cell(rate: float, seed_seq: np.random.SeedSequence) -> dict[str, float]:
     }
 
 
+def _ring_cell(rate: float, seed_seq: np.random.SeedSequence) -> dict[str, float]:
+    """One ring trial: paired fault-free vs faulted runs on one instance."""
+    rng = np.random.default_rng(seed_seq)
+    inst = random_ring_instance(rng, n=12, k=20)
+    plan = random_fault_plan(
+        rng, inst, drop_rate=rate, link_failures=2, node_stalls=1
+    )
+    norm = max(len(inst), 1)
+    return {
+        "messages": float(len(inst)),
+        "edf_clean": simulate(inst, EDFPolicy()).throughput / norm,
+        "edf_buffered": simulate(inst, EDFPolicy(), faults=plan).throughput / norm,
+        "llf_buffered": simulate(
+            inst, MinLaxityPolicy(), faults=plan
+        ).throughput
+        / norm,
+    }
+
+
 def _run(
     *,
     seed: int = 2024,
     trials: int = 8,
     jobs: int | None = 1,
     engine: Engine | None = None,
+    topology: str = "line",
 ) -> Table:
+    if topology not in TOPOLOGIES:
+        from ..errors import ConfigError
+
+        raise ConfigError(
+            f"e15_faults supports topology 'line' or 'ring', got {topology!r}"
+        )
+    cell = _cell if topology == "line" else _ring_cell
+    columns = COLUMNS if topology == "line" else RING_COLUMNS
     seeds = spawn_seeds(seed, len(DROP_RATES) * trials)
     tasks = [
         (rate, seeds[ri * trials + t])
@@ -74,16 +112,16 @@ def _run(
         for t in range(trials)
     ]
     if engine is not None:
-        results, cache_stats = engine.map(_cell, tasks)
+        results, cache_stats = engine.map(cell, tasks)
     else:
-        results, cache_stats = run_tasks(_cell, tasks, jobs=jobs)
+        results, cache_stats = run_tasks(cell, tasks, jobs=jobs)
 
-    table = Table(["drop_rate", "messages", *COLUMNS])
+    table = Table(["drop_rate", "messages", *columns])
     for ri, rate in enumerate(DROP_RATES):
         cells = results[ri * trials : (ri + 1) * trials]
         means = {
             key: sum(c[key] for c in cells) / trials
-            for key in ("messages", *COLUMNS)
+            for key in ("messages", *columns)
         }
         table.add(drop_rate=rate, **means)
     if cache_stats.total:

@@ -19,6 +19,11 @@ Cell functions are module-level so the sweep engine can ship them to
 worker processes; each cell's instance derives from its own spawned
 seed, so tables are identical at any job count and under any
 resilient-engine recovery.
+
+``topology="ring"`` runs the ring's registered online method (buffered
+per-link greedy) against the exact bufferless ring optimum on random
+ring workloads.  Unsupported topologies raise
+:class:`~repro.errors.ConfigError`.
 """
 
 from __future__ import annotations
@@ -45,7 +50,10 @@ CELLS = (
     (2.5, 6),
 )
 
+TOPOLOGIES = ("line", "ring")
+
 POLICIES = ("bfl", "dbfl", "greedy")
+RING_POLICIES = ("greedy",)
 
 
 def _cell(params: tuple[float, int], seed_seq: np.random.SeedSequence) -> dict[str, float]:
@@ -66,30 +74,60 @@ def _cell(params: tuple[float, int], seed_seq: np.random.SeedSequence) -> dict[s
     return out
 
 
+def _ring_cell(
+    params: tuple[float, int], seed_seq: np.random.SeedSequence
+) -> dict[str, float]:
+    """One ring trial: the online greedy against the exact ring OPT_BL."""
+    from .. import api
+    from ..workloads.rings import random_ring_instance
+
+    load, slack = params
+    rng = np.random.default_rng(seed_seq)
+    n = 10
+    inst = random_ring_instance(
+        rng, n=n, k=max(int(round(load * n)), 1), max_release=8, max_slack=slack
+    )
+    opt = api.solve(inst, "bufferless", "exact").delivered
+    out: dict[str, float] = {"messages": float(len(inst))}
+    for policy in RING_POLICIES:
+        r = api.solve(inst, "online", policy, baseline="none")
+        out[policy] = 1.0 if opt == 0 else r.delivered / opt
+    return out
+
+
 def _run(
     *,
     seed: int = 2024,
     trials: int = 6,
     jobs: int | None = 1,
     engine: Engine | None = None,
+    topology: str = "line",
 ) -> Table:
+    if topology not in TOPOLOGIES:
+        from ..errors import ConfigError
+
+        raise ConfigError(
+            f"e16_online supports topology 'line' or 'ring', got {topology!r}"
+        )
+    cell = _cell if topology == "line" else _ring_cell
+    policies = POLICIES if topology == "line" else RING_POLICIES
     seeds = spawn_seeds(seed, len(CELLS) * trials)
     tasks = [
-        (cell, seeds[ci * trials + t])
-        for ci, cell in enumerate(CELLS)
+        (cell_params, seeds[ci * trials + t])
+        for ci, cell_params in enumerate(CELLS)
         for t in range(trials)
     ]
     if engine is not None:
-        results, cache_stats = engine.map(_cell, tasks)
+        results, cache_stats = engine.map(cell, tasks)
     else:
-        results, cache_stats = run_tasks(_cell, tasks, jobs=jobs)
+        results, cache_stats = run_tasks(cell, tasks, jobs=jobs)
 
-    table = Table(["load", "slack", "messages", *POLICIES])
+    table = Table(["load", "slack", "messages", *policies])
     for ci, (load, slack) in enumerate(CELLS):
         cells = results[ci * trials : (ci + 1) * trials]
         means = {
             key: sum(c[key] for c in cells) / trials
-            for key in ("messages", *POLICIES)
+            for key in ("messages", *policies)
         }
         table.add(load=load, slack=slack, **means)
     if cache_stats.total:

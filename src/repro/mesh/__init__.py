@@ -21,10 +21,20 @@ This package builds that system:
 Within each phase travel is bufferless (the optical regime); the single
 buffered stop is the turning node, matching the one conversion the paper
 allows.
+
+Since the topology unification the implementation lives in
+:mod:`repro.topology.mesh`; this package re-exports it for
+compatibility.
 """
 
-from .model import MeshInstance, MeshMessage, MeshSchedule, MeshTrajectory, make_mesh_instance
-from .xy import xy_schedule
+from ..topology.mesh import (
+    MeshInstance,
+    MeshMessage,
+    MeshSchedule,
+    MeshTrajectory,
+    make_mesh_instance,
+    xy_schedule,
+)
 
 __all__ = [
     "MeshMessage",

@@ -1,177 +1,18 @@
-"""Mesh instances and two-phase XY trajectories.
+"""Compatibility re-export — the mesh data model lives in
+:mod:`repro.topology.mesh` since the topology unification.
 
-Nodes are ``(row, col)`` on an ``R x C`` grid with full-duplex horizontal
-and vertical links.  Under dimension-order routing a message travels its
-source *row* first (to its destination column), turns once, then travels
-the destination *column*.  Row links and column links are disjoint
-resources, and within one row the two directions are independent
-(full-duplex), so the whole problem decomposes into ``2R + 2C``
-one-directional *line* sub-problems — which is exactly why the paper's
-linear-network results power mesh scheduling.
+Importing from here keeps working (the classes are the same objects);
+new code should import from :mod:`repro.topology` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator
-
-from ..core.trajectory import Trajectory
+from ..topology.mesh import (
+    MeshInstance,
+    MeshMessage,
+    MeshSchedule,
+    MeshTrajectory,
+    make_mesh_instance,
+)
 
 __all__ = ["MeshMessage", "MeshInstance", "MeshTrajectory", "MeshSchedule", "make_mesh_instance"]
-
-
-@dataclass(frozen=True, slots=True)
-class MeshMessage:
-    """A time-constrained packet on the mesh."""
-
-    id: int
-    source: tuple[int, int]  # (row, col)
-    dest: tuple[int, int]
-    release: int
-    deadline: int
-
-    def __post_init__(self) -> None:
-        if self.source == self.dest:
-            raise ValueError(f"message {self.id}: source == dest")
-        if min(*self.source, *self.dest) < 0:
-            raise ValueError(f"message {self.id}: negative coordinate")
-        if self.release < 0 or self.deadline < self.release:
-            raise ValueError(f"message {self.id}: bad time window")
-
-    @property
-    def row_span(self) -> int:
-        """Horizontal hops (phase 1)."""
-        return abs(self.dest[1] - self.source[1])
-
-    @property
-    def col_span(self) -> int:
-        """Vertical hops (phase 2)."""
-        return abs(self.dest[0] - self.source[0])
-
-    @property
-    def span(self) -> int:
-        """Total XY path length."""
-        return self.row_span + self.col_span
-
-    @property
-    def slack(self) -> int:
-        return self.deadline - self.release - self.span
-
-    @property
-    def feasible(self) -> bool:
-        return self.slack >= 0
-
-    @property
-    def turning_node(self) -> tuple[int, int]:
-        """Where the single dimension change (conversion) happens."""
-        return (self.source[0], self.dest[1])
-
-
-@dataclass(frozen=True)
-class MeshInstance:
-    """A set of messages on one ``rows x cols`` mesh."""
-
-    rows: int
-    cols: int
-    messages: tuple[MeshMessage, ...] = field(default_factory=tuple)
-
-    def __post_init__(self) -> None:
-        if self.rows < 1 or self.cols < 1 or self.rows * self.cols < 2:
-            raise ValueError("mesh needs at least two nodes")
-        seen: set[int] = set()
-        for m in self.messages:
-            if m.id in seen:
-                raise ValueError(f"duplicate message id {m.id}")
-            seen.add(m.id)
-            for r, c in (m.source, m.dest):
-                if not (0 <= r < self.rows and 0 <= c < self.cols):
-                    raise ValueError(f"message {m.id}: node ({r}, {c}) off the mesh")
-
-    def __len__(self) -> int:
-        return len(self.messages)
-
-    def __iter__(self) -> Iterator[MeshMessage]:
-        return iter(self.messages)
-
-    def __getitem__(self, message_id: int) -> MeshMessage:
-        for m in self.messages:
-            if m.id == message_id:
-                return m
-        raise KeyError(message_id)
-
-
-def make_mesh_instance(
-    rows: int,
-    cols: int,
-    entries: list[tuple[tuple[int, int], tuple[int, int], int, int]],
-) -> MeshInstance:
-    """Build from ``(source, dest, release, deadline)`` rows; positional ids."""
-    msgs = tuple(
-        MeshMessage(i, src, dst, rel, dl) for i, (src, dst, rel, dl) in enumerate(entries)
-    )
-    return MeshInstance(rows, cols, msgs)
-
-
-@dataclass(frozen=True)
-class MeshTrajectory:
-    """A delivered message's two-phase path.
-
-    Either leg may be ``None`` when the message needs no movement in that
-    dimension.  Legs are stored as *line* trajectories in their row/column
-    coordinates (already mirrored for leftward/upward travel), plus enough
-    bookkeeping to recover absolute times.
-    """
-
-    message_id: int
-    row_leg: Trajectory | None  # horizontal phase, in (possibly mirrored) col coords
-    col_leg: Trajectory | None  # vertical phase, in (possibly mirrored) row coords
-    turn_wait: int  # steps parked at the turning node (conversion + queueing)
-
-    def __post_init__(self) -> None:
-        if self.row_leg is None and self.col_leg is None:
-            raise ValueError("a trajectory needs at least one leg")
-        if self.turn_wait < 0:
-            raise ValueError("negative turn wait")
-
-    @property
-    def depart(self) -> int:
-        leg = self.row_leg if self.row_leg is not None else self.col_leg
-        assert leg is not None
-        return leg.depart
-
-    @property
-    def arrive(self) -> int:
-        leg = self.col_leg if self.col_leg is not None else self.row_leg
-        assert leg is not None
-        return leg.arrive
-
-
-@dataclass(frozen=True)
-class MeshSchedule:
-    """Delivered trajectories of one XY scheduling run."""
-
-    trajectories: tuple[MeshTrajectory, ...] = field(default_factory=tuple)
-
-    def __post_init__(self) -> None:
-        ids = [t.message_id for t in self.trajectories]
-        if len(ids) != len(set(ids)):
-            raise ValueError("a message is scheduled twice")
-
-    @property
-    def throughput(self) -> int:
-        return len(self.trajectories)
-
-    @property
-    def delivered_ids(self) -> frozenset[int]:
-        return frozenset(t.message_id for t in self.trajectories)
-
-    def __getitem__(self, message_id: int) -> MeshTrajectory:
-        for t in self.trajectories:
-            if t.message_id == message_id:
-                return t
-        raise KeyError(message_id)
-
-    @property
-    def total_turn_wait(self) -> int:
-        """Aggregate steps spent parked at turning nodes."""
-        return sum(t.turn_wait for t in self.trajectories)

@@ -1,127 +1,11 @@
-"""End-to-end validation of mesh XY schedules.
-
-Reconstructs every trajectory's absolute (link, step) usage from its two
-legs — undoing the per-direction mirroring — and checks:
-
-* geometry: each leg actually runs from the message's source to its
-  turning node and onward to its destination;
-* timing: release ≤ row departure, row arrival + conversion ≤ column
-  departure, column arrival ≤ deadline; legs are internally bufferless;
-* capacity: every directed horizontal link ``(r, c)->(r, c±1)`` and
-  vertical link ``(r, c)->(r±1, c)`` carries at most one message per step,
-  across the *whole* schedule (not just within the per-line groups).
+"""Compatibility re-export — mesh schedule validation lives in
+:mod:`repro.topology.mesh` since the topology unification (and
+:func:`repro.core.validate.schedule_problems` now dispatches there for
+mesh instances).
 """
 
 from __future__ import annotations
 
-from .model import MeshInstance, MeshSchedule, MeshTrajectory
+from ..topology.mesh import mesh_schedule_problems, validate_mesh_schedule
 
 __all__ = ["mesh_schedule_problems", "validate_mesh_schedule"]
-
-# a directed link-step slot: ("H"|"V", row, col, direction, time)
-_Slot = tuple[str, int, int, int, int]
-
-
-def _row_slots(
-    instance: MeshInstance, traj: MeshTrajectory, source: tuple[int, int], dest: tuple[int, int]
-) -> list[_Slot]:
-    leg = traj.row_leg
-    assert leg is not None
-    rightward = dest[1] > source[1]
-    row = source[0]
-    slots = []
-    for j, t in enumerate(leg.crossings):
-        c_line = leg.source + j  # column in (possibly mirrored) line coords
-        c = c_line if rightward else instance.cols - 1 - c_line
-        slots.append(("H", row, c, +1 if rightward else -1, t))
-    return slots
-
-
-def _col_slots(
-    instance: MeshInstance, traj: MeshTrajectory, source: tuple[int, int], dest: tuple[int, int]
-) -> list[_Slot]:
-    leg = traj.col_leg
-    assert leg is not None
-    downward = dest[0] > source[0]
-    col = dest[1]
-    slots = []
-    for j, t in enumerate(leg.crossings):
-        r_line = leg.source + j
-        r = r_line if downward else instance.rows - 1 - r_line
-        slots.append(("V", r, col, +1 if downward else -1, t))
-    return slots
-
-
-def mesh_schedule_problems(
-    instance: MeshInstance,
-    schedule: MeshSchedule,
-    *,
-    conversion_delay: int = 0,
-) -> list[str]:
-    """All constraint violations (empty list == valid)."""
-    problems: list[str] = []
-    occupancy: dict[_Slot, int] = {}
-
-    for traj in schedule.trajectories:
-        try:
-            m = instance[traj.message_id]
-        except KeyError:
-            problems.append(f"message {traj.message_id}: not in instance")
-            continue
-
-        # ---- geometry
-        if (traj.row_leg is None) != (m.row_span == 0):
-            problems.append(f"message {m.id}: row leg presence mismatch")
-            continue
-        if (traj.col_leg is None) != (m.col_span == 0):
-            problems.append(f"message {m.id}: column leg presence mismatch")
-            continue
-        if traj.row_leg is not None and traj.row_leg.span != m.row_span:
-            problems.append(f"message {m.id}: row leg has wrong span")
-        if traj.col_leg is not None and traj.col_leg.span != m.col_span:
-            problems.append(f"message {m.id}: column leg has wrong span")
-        for leg, name in ((traj.row_leg, "row"), (traj.col_leg, "col")):
-            if leg is not None and not leg.bufferless:
-                problems.append(f"message {m.id}: {name} leg buffers mid-phase")
-
-        # ---- timing
-        if traj.depart < m.release:
-            problems.append(f"message {m.id}: departs at {traj.depart} before release")
-        if traj.arrive > m.deadline:
-            problems.append(f"message {m.id}: arrives at {traj.arrive} after deadline")
-        if traj.row_leg is not None and traj.col_leg is not None:
-            earliest_turn = traj.row_leg.arrive + conversion_delay
-            if traj.col_leg.depart < earliest_turn:
-                problems.append(
-                    f"message {m.id}: turns at {traj.col_leg.depart} before "
-                    f"conversion completes at {earliest_turn}"
-                )
-
-        # ---- capacity
-        slots: list[_Slot] = []
-        if traj.row_leg is not None:
-            slots += _row_slots(instance, traj, m.source, m.dest)
-        if traj.col_leg is not None:
-            slots += _col_slots(instance, traj, m.source, m.dest)
-        for slot in slots:
-            if slot in occupancy:
-                kind, r, c, d, t = slot
-                problems.append(
-                    f"messages {occupancy[slot]} and {m.id} share {kind} link "
-                    f"at ({r}, {c}) direction {d:+d} during [{t}, {t + 1}]"
-                )
-            occupancy[slot] = m.id
-    return problems
-
-
-def validate_mesh_schedule(
-    instance: MeshInstance,
-    schedule: MeshSchedule,
-    *,
-    conversion_delay: int = 0,
-) -> None:
-    problems = mesh_schedule_problems(
-        instance, schedule, conversion_delay=conversion_delay
-    )
-    if problems:
-        raise ValueError("; ".join(problems))

@@ -1,124 +1,13 @@
-"""The dimension-order (XY) scheduler for meshes.
+"""Compatibility re-export — the XY scheduler lives in
+:mod:`repro.topology.mesh` since the topology unification.
 
-Phase 1 (rows): every message with horizontal distance travels bufferlessly
-along its source row to its destination column.  Each (row, direction)
-pair is an independent linear-network instance — solved with any line
-scheduler (BFL by default) — where the message's phase-1 deadline is its
-real deadline minus the column distance still ahead (and minus the
-conversion delay).
-
-Phase 2 (columns): phase-1 survivors re-release at their turning nodes at
-``row arrival + conversion_delay`` and run down/up their destination
-columns, again one line instance per (column, direction).
-
-Messages that lose either phase are dropped (a phase-1 winner that loses
-phase 2 has consumed row capacity for nothing — the price of the greedy
-phase split; E14 measures how much that costs against upper bounds).
-
-The composition preserves the bufferless character everywhere except the
-single turning-node stop, which is the one optical-electric conversion the
-paper's motivation allows.
+Importing from here keeps working (same function object); new code
+should import from :mod:`repro.topology` directly, or go through
+``api.solve(instance, regime="bufferless", method="bfl")``.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from ..core.bfl import bfl
-from ..core.instance import Instance
-from ..core.message import Message
-from ..core.schedule import Schedule
-from ..core.trajectory import Trajectory
-from .model import MeshInstance, MeshMessage, MeshSchedule, MeshTrajectory
+from ..topology.mesh import xy_schedule
 
 __all__ = ["xy_schedule"]
-
-LineScheduler = Callable[[Instance], Schedule]
-
-
-def xy_schedule(
-    instance: MeshInstance,
-    *,
-    line_scheduler: LineScheduler = bfl,
-    conversion_delay: int = 0,
-) -> MeshSchedule:
-    """Schedule a mesh instance with dimension-order routing.
-
-    Parameters
-    ----------
-    line_scheduler:
-        Any left-to-right line scheduler (``bfl``, a baseline, or an exact
-        solver's ``.schedule``-returning wrapper); it is invoked once per
-        non-empty (row|column, direction).
-    conversion_delay:
-        Extra steps a message must spend at its turning node (the cost of
-        the optical-electric conversion; 0 models a free turn).
-    """
-    if conversion_delay < 0:
-        raise ValueError("conversion_delay must be non-negative")
-
-    feasible = [
-        m for m in instance if m.deadline - m.release >= m.span + (
-            conversion_delay if m.row_span and m.col_span else 0
-        )
-    ]
-
-    # ---------------- phase 1: rows ----------------------------------- #
-    row_groups: dict[tuple[int, bool], list[MeshMessage]] = {}
-    phase2_only: list[MeshMessage] = []
-    for m in feasible:
-        if m.row_span == 0:
-            phase2_only.append(m)
-        else:
-            rightward = m.dest[1] > m.source[1]
-            row_groups.setdefault((m.source[0], rightward), []).append(m)
-
-    row_legs: dict[int, Trajectory] = {}
-    for (row, rightward), msgs in row_groups.items():
-        line_msgs = []
-        for m in msgs:
-            c1, c2 = m.source[1], m.dest[1]
-            if not rightward:
-                c1, c2 = instance.cols - 1 - c1, instance.cols - 1 - c2
-            tail = m.col_span + (conversion_delay if m.col_span else 0)
-            line_msgs.append(Message(m.id, c1, c2, m.release, m.deadline - tail))
-        schedule = line_scheduler(Instance(instance.cols, tuple(line_msgs)))
-        for traj in schedule:
-            row_legs[traj.message_id] = traj
-
-    # ---------------- phase 2: columns -------------------------------- #
-    col_groups: dict[tuple[int, bool], list[tuple[MeshMessage, int]]] = {}
-    single_phase: dict[int, MeshTrajectory] = {}
-    for m in feasible:
-        if m.row_span and m.id not in row_legs:
-            continue  # lost phase 1
-        if m.col_span == 0:
-            if m.id in row_legs:
-                single_phase[m.id] = MeshTrajectory(m.id, row_legs[m.id], None, 0)
-            continue
-        ready = (
-            row_legs[m.id].arrive + conversion_delay if m.row_span else m.release
-        )
-        downward = m.dest[0] > m.source[0]
-        col_groups.setdefault((m.dest[1], downward), []).append((m, ready))
-
-    trajectories: list[MeshTrajectory] = list(single_phase.values())
-    for (col, downward), entries in col_groups.items():
-        line_msgs = []
-        ready_by_id: dict[int, int] = {}
-        for m, ready in entries:
-            r1, r2 = m.source[0], m.dest[0]
-            if not downward:
-                r1, r2 = instance.rows - 1 - r1, instance.rows - 1 - r2
-            if m.deadline - ready < abs(r2 - r1):
-                continue  # arrived too late to ever finish
-            line_msgs.append(Message(m.id, r1, r2, ready, m.deadline))
-            ready_by_id[m.id] = ready
-        schedule = line_scheduler(Instance(instance.rows, tuple(line_msgs)))
-        for traj in schedule:
-            m = instance[traj.message_id]
-            row_leg = row_legs.get(m.id)
-            # wait at the turn = phase-2 departure minus earliest readiness
-            wait = traj.depart - ready_by_id[m.id] + (conversion_delay if row_leg else 0)
-            trajectories.append(MeshTrajectory(m.id, row_leg, traj, wait))
-    return MeshSchedule(tuple(trajectories))

@@ -1,10 +1,13 @@
-"""Network fault injection for the linear-network simulator.
+"""Network fault injection for the network simulator.
 
-The paper's model is a perfect synchronous line; real interconnects lose
-links, drop packets and stall nodes.  A :class:`FaultPlan` describes an
-adversarial-but-deterministic environment the simulator replays exactly:
+The paper's model is a perfect synchronous network; real interconnects
+lose links, drop packets and stall nodes.  A :class:`FaultPlan` describes
+an adversarial-but-deterministic environment the simulator replays
+exactly, on any topology (link and node ids are whatever the instance's
+:class:`~repro.topology.Topology` enumerates — ints on lines and rings,
+tuples on meshes):
 
-* :class:`LinkFailure` — link ``(link, link+1)`` is down for every step
+* :class:`LinkFailure` — link ``link`` is down for every step
   ``t`` with ``start <= t < end``: nothing (packets *or* control values)
   crosses it;
 * :class:`NodeStall` — node ``node`` cannot *forward* packets during its
@@ -23,24 +26,23 @@ from an experiment cell's own rng (E15).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Hashable
 
 import numpy as np
-
-from ..core.instance import Instance
 
 __all__ = ["LinkFailure", "NodeStall", "FaultPlan", "random_fault_plan"]
 
 
 @dataclass(frozen=True)
 class LinkFailure:
-    """Link ``(link, link+1)`` carries nothing during ``start <= t < end``."""
+    """Link ``link`` carries nothing during ``start <= t < end``."""
 
-    link: int
+    link: Hashable
     start: int
     end: int
 
     def __post_init__(self) -> None:
-        if self.link < 0:
+        if isinstance(self.link, int) and self.link < 0:
             raise ValueError(f"link must be >= 0, got {self.link}")
         if self.start < 0 or self.end < self.start:
             raise ValueError(
@@ -53,12 +55,12 @@ class LinkFailure:
 class NodeStall:
     """Node ``node`` cannot forward packets during ``start <= t < end``."""
 
-    node: int
+    node: Hashable
     start: int
     end: int
 
     def __post_init__(self) -> None:
-        if self.node < 0:
+        if isinstance(self.node, int) and self.node < 0:
             raise ValueError(f"node must be >= 0, got {self.node}")
         if self.start < 0 or self.end < self.start:
             raise ValueError(
@@ -89,18 +91,19 @@ class FaultPlan:
         """Whether the plan injects anything at all."""
         return bool(self.link_failures or self.node_stalls or self.drop_rate > 0)
 
-    def link_down(self, link: int, t: int) -> bool:
+    def link_down(self, link: Hashable, t: int) -> bool:
         return any(
             f.link == link and f.start <= t < f.end for f in self.link_failures
         )
 
-    def node_stalled(self, node: int, t: int) -> bool:
+    def node_stalled(self, node: Hashable, t: int) -> bool:
         return any(
             s.node == node and s.start <= t < s.end for s in self.node_stalls
         )
 
     def sending_blocked(self, node: int, t: int) -> bool:
-        """Whether node ``node`` may not forward over link ``node`` at ``t``."""
+        """Whether node ``node`` may not forward over link ``node`` at ``t``
+        (line/ring convenience, where link ``node`` originates at ``node``)."""
         return self.link_down(node, t) or self.node_stalled(node, t)
 
     def drop_rng(self) -> np.random.Generator:
@@ -110,22 +113,28 @@ class FaultPlan:
 
 def random_fault_plan(
     rng: np.random.Generator,
-    instance: Instance,
+    instance: Any,
     *,
     drop_rate: float = 0.0,
     link_failures: int = 0,
     node_stalls: int = 0,
     max_window: int = 5,
 ) -> FaultPlan:
-    """Draw a random plan scaled to ``instance``'s line and horizon.
+    """Draw a random plan scaled to ``instance``'s topology and horizon.
 
-    Each failure/stall picks a uniform link/node and a window of length
-    ``1..max_window`` starting anywhere in the instance horizon.  The drop
-    seed is drawn from ``rng`` too, so one cell seed determines the whole
-    faulted environment.
+    Each failure/stall picks a uniform link (from the topology's link
+    enumeration) / forwarding node and a window of length ``1..max_window``
+    starting anywhere in the instance horizon.  The drop seed is drawn
+    from ``rng`` too, so one cell seed determines the whole faulted
+    environment.  (On lines the draws are bit-identical to the historic
+    ``0..n-2`` link/node ranges, so seeded experiment cells replay.)
     """
-    n = instance.n
-    horizon = max(int(instance.horizon), 1)
+    from .. import topology as topology_pkg
+
+    topo = topology_pkg.topology_of(instance)
+    links = list(topo.links(instance))
+    fwd_nodes = list(topo.out_nodes(instance))
+    horizon = max(int(topo.sim_horizon(instance)), 1)
 
     def window() -> tuple[int, int]:
         start = int(rng.integers(0, horizon))
@@ -133,12 +142,16 @@ def random_fault_plan(
 
     failures = []
     for _ in range(link_failures):
-        link = int(rng.integers(0, max(n - 1, 1)))
+        link = links[int(rng.integers(0, max(len(links), 1)))] if links else 0
         start, end = window()
         failures.append(LinkFailure(link, start, end))
     stalls = []
     for _ in range(node_stalls):
-        node = int(rng.integers(0, max(n - 1, 1)))
+        node = (
+            fwd_nodes[int(rng.integers(0, max(len(fwd_nodes), 1)))]
+            if fwd_nodes
+            else 0
+        )
         start, end = window()
         stalls.append(NodeStall(node, start, end))
     return FaultPlan(

@@ -1,17 +1,24 @@
 """Runtime packet state inside the simulator.
 
-A :class:`Packet` wraps one :class:`~repro.core.message.Message` and tracks
-its journey: current node, link-crossing times so far, and final status.
-Packets are mutable — they are simulator internals; the immutable record of
-a run is the :class:`~repro.core.schedule.Schedule` assembled afterwards.
+A :class:`Packet` wraps one message and tracks its journey: current node,
+link-crossing times so far, and final status.  Packets are mutable — they
+are simulator internals; the immutable record of a run is the schedule
+assembled afterwards.
+
+The packet is topology-agnostic: ``node`` is whatever node id the active
+:class:`~repro.topology.Topology` uses (an ``int`` on lines and rings, a
+``(row, col)`` tuple on meshes), progress is counted in ``hops_done``
+against the message's ``span``, and :meth:`record_hop` accepts the
+explicit next node the topology routed to (defaulting to ``node + 1``,
+the line's successor).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any
 
-from ..core.message import Message
 from ..core.trajectory import Trajectory
 
 __all__ = ["Packet", "PacketStatus"]
@@ -28,11 +35,17 @@ class PacketStatus(enum.Enum):
 
 @dataclass
 class Packet:
-    """One message's mutable runtime state."""
+    """One message's mutable runtime state.
 
-    message: Message
-    node: int = field(init=False)
+    ``message`` is any message type exposing ``id``, ``source``, ``dest``,
+    ``release``, ``deadline`` and ``span`` (``Message``, ``RingMessage``,
+    ``MeshMessage`` all do).
+    """
+
+    message: Any
+    node: Any = field(init=False)
     status: PacketStatus = field(init=False, default=PacketStatus.PENDING)
+    hops_done: int = field(init=False, default=0)
     crossings: list[int] = field(init=False, default_factory=list)
     dropped_at: int | None = field(init=False, default=None)
     drop_reason: str | None = field(init=False, default=None)
@@ -47,7 +60,7 @@ class Packet:
         return self.message.id
 
     @property
-    def dest(self) -> int:
+    def dest(self) -> Any:
         return self.message.dest
 
     @property
@@ -55,7 +68,7 @@ class Packet:
         return self.message.deadline
 
     def remaining_hops(self) -> int:
-        return self.dest - self.node
+        return self.message.span - self.hops_done
 
     def can_meet_deadline(self, time: int) -> bool:
         """Whether full-speed travel from here still beats the deadline."""
@@ -67,11 +80,16 @@ class Packet:
 
     # ------------------------------------------------------------------ #
 
-    def record_hop(self, time: int) -> None:
-        """Advance one node, crossing the link during ``[time, time + 1]``."""
+    def record_hop(self, time: int, next_node: Any = None) -> None:
+        """Advance one node, crossing the link during ``[time, time + 1]``.
+
+        ``next_node`` is where the topology routed the packet; ``None``
+        keeps the line's default successor ``node + 1``.
+        """
         self.crossings.append(time)
-        self.node += 1
-        if self.node == self.dest:
+        self.node = self.node + 1 if next_node is None else next_node
+        self.hops_done += 1
+        if self.hops_done == self.message.span:
             self.status = PacketStatus.DELIVERED
 
     def mark_dropped(self, time: int, reason: str = "deadline") -> None:
@@ -83,7 +101,8 @@ class Packet:
         self.drop_reason = reason
 
     def trajectory(self) -> Trajectory:
-        """The completed trajectory (only valid once delivered)."""
+        """The completed *line* trajectory (only valid once delivered; ring
+        and mesh packets go through their topology's ``sim_trajectory``)."""
         if self.status is not PacketStatus.DELIVERED:
             raise ValueError(f"packet {self.id} not delivered (status {self.status.value})")
         return Trajectory(self.id, self.message.source, tuple(self.crossings))

@@ -1,162 +1,26 @@
-"""Ring-structured networks (paper, Section 1: "most of our results extend
-readily to ring-structured networks").
+"""Compatibility re-export — the ring data model lives in
+:mod:`repro.topology.ring` since the topology unification.
 
-An ``n``-node ring has directed clockwise links ``(v, (v+1) mod n)`` (the
-counter-clockwise direction is independent, exactly like the two directions
-of the line, so we model clockwise only).  A bufferless trajectory that
-departs ``source`` at time ``t`` crosses link ``(source + i) mod n`` at
-time ``t + i``.
-
-Geometrically the scan lines of the line become *helices*: the 45-degree
-lines wrap around the ring, and the helix through ``(v, t)`` is identified
-by ``(v - t) mod n``.  On one helix exactly one link slot exists per time
-step, so two trajectories on the same helix conflict iff their
-``[depart, arrive)`` time intervals overlap — per-helix scheduling is
-interval scheduling on the *time* axis, which is what
-:func:`repro.core.ring_bfl.ring_bfl` exploits.
+Importing from here keeps working (the classes are the same objects);
+new code should import from :mod:`repro.topology` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator
+from ..topology.ring import (
+    RingInstance,
+    RingMessage,
+    RingSchedule,
+    RingTrajectory,
+    ring_schedule_problems,
+    validate_ring_schedule,
+)
 
-__all__ = ["RingMessage", "RingInstance", "RingTrajectory", "RingSchedule"]
-
-
-@dataclass(frozen=True, slots=True)
-class RingMessage:
-    """A clockwise time-constrained packet on a ring."""
-
-    id: int
-    source: int
-    dest: int
-    release: int
-    deadline: int
-    n: int  # ring size (needed for modular spans)
-
-    def __post_init__(self) -> None:
-        if self.n < 3:
-            raise ValueError("a ring needs at least 3 nodes")
-        if not (0 <= self.source < self.n and 0 <= self.dest < self.n):
-            raise ValueError(f"message {self.id}: endpoints outside the ring")
-        if self.source == self.dest:
-            raise ValueError(f"message {self.id}: source == dest")
-        if self.release < 0 or self.deadline < self.release:
-            raise ValueError(f"message {self.id}: bad time window")
-
-    @property
-    def span(self) -> int:
-        """Clockwise hop count, in ``1 .. n-1``."""
-        return (self.dest - self.source) % self.n
-
-    @property
-    def slack(self) -> int:
-        return self.deadline - self.release - self.span
-
-    @property
-    def feasible(self) -> bool:
-        return self.slack >= 0
-
-    @property
-    def latest_departure(self) -> int:
-        return self.deadline - self.span
-
-    def helix(self, depart: int) -> int:
-        """The helix index of a bufferless departure at ``depart``."""
-        return (self.source - depart) % self.n
-
-
-@dataclass(frozen=True)
-class RingInstance:
-    """A set of clockwise messages on one ring."""
-
-    n: int
-    messages: tuple[RingMessage, ...] = field(default_factory=tuple)
-
-    def __post_init__(self) -> None:
-        seen: set[int] = set()
-        for m in self.messages:
-            if m.n != self.n:
-                raise ValueError(f"message {m.id} built for a {m.n}-node ring")
-            if m.id in seen:
-                raise ValueError(f"duplicate message id {m.id}")
-            seen.add(m.id)
-
-    def __len__(self) -> int:
-        return len(self.messages)
-
-    def __iter__(self) -> Iterator[RingMessage]:
-        return iter(self.messages)
-
-    def __getitem__(self, message_id: int) -> RingMessage:
-        for m in self.messages:
-            if m.id == message_id:
-                return m
-        raise KeyError(message_id)
-
-
-@dataclass(frozen=True, slots=True)
-class RingTrajectory:
-    """A bufferless clockwise trajectory: message + departure time."""
-
-    message_id: int
-    source: int
-    depart: int
-    span: int
-    n: int
-
-    @property
-    def arrive(self) -> int:
-        return self.depart + self.span
-
-    @property
-    def helix(self) -> int:
-        return (self.source - self.depart) % self.n
-
-    def edges(self) -> Iterator[tuple[int, int]]:
-        """(link, time) slots occupied; link ``v`` is ``(v, (v+1) mod n)``."""
-        for i in range(self.span):
-            yield ((self.source + i) % self.n, self.depart + i)
-
-
-@dataclass(frozen=True)
-class RingSchedule:
-    """A conflict-free set of ring trajectories."""
-
-    trajectories: tuple[RingTrajectory, ...] = field(default_factory=tuple)
-
-    def __post_init__(self) -> None:
-        owner: dict[tuple[int, int], int] = {}
-        ids: set[int] = set()
-        for traj in self.trajectories:
-            if traj.message_id in ids:
-                raise ValueError(f"message {traj.message_id} scheduled twice")
-            ids.add(traj.message_id)
-            for slot in traj.edges():
-                if slot in owner:
-                    raise ValueError(
-                        f"messages {owner[slot]} and {traj.message_id} share "
-                        f"link {slot[0]} at time {slot[1]}"
-                    )
-                owner[slot] = traj.message_id
-
-    @property
-    def throughput(self) -> int:
-        return len(self.trajectories)
-
-    @property
-    def delivered_ids(self) -> frozenset[int]:
-        return frozenset(t.message_id for t in self.trajectories)
-
-
-def validate_ring_schedule(instance: RingInstance, schedule: RingSchedule) -> None:
-    """Raise ``ValueError`` on any constraint violation."""
-    for traj in schedule.trajectories:
-        m = instance[traj.message_id]
-        if traj.source != m.source or traj.span != m.span or traj.n != instance.n:
-            raise ValueError(f"trajectory of {m.id} does not match its message")
-        if traj.depart < m.release:
-            raise ValueError(f"message {m.id} departs before release")
-        if traj.arrive > m.deadline:
-            raise ValueError(f"message {m.id} arrives after deadline")
+__all__ = [
+    "RingMessage",
+    "RingInstance",
+    "RingTrajectory",
+    "RingSchedule",
+    "ring_schedule_problems",
+    "validate_ring_schedule",
+]

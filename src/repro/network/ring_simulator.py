@@ -1,80 +1,30 @@
-"""Discrete-time simulator for ring networks (clockwise direction).
+"""Compatibility layer — ring simulation now runs on the unified
+:class:`~repro.network.simulator.LinearNetworkSimulator` step loop,
+parameterized by the ``ring`` topology.
 
-The ring analogue of :mod:`repro.network.simulator`: every node has one
-outgoing clockwise link, packets advance ``node -> (node + 1) mod n``, and
-the same :class:`~repro.network.policy.Policy` interface drives forwarding
-decisions (policies that only consult deadlines/laxity — EDF, LLF, FCFS —
-work unchanged via duck typing on :class:`RingPacket`).
-
-The counter-clockwise direction is independent (full-duplex links) and is
-handled, as on the line, by running a mirrored instance.
+:class:`RingNetworkSimulator` and :func:`simulate_ring` remain as thin
+deprecated aliases over the unified simulator (and now support
+``faults=`` like every other run); :class:`BufferedRingTrajectory` moved
+to :mod:`repro.topology.ring` and is re-exported here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable
+from dataclasses import dataclass
 
-from .packet import PacketStatus
-from .policy import NodeView, Policy
-from .ring import RingInstance, RingMessage, RingSchedule, RingTrajectory
+from .._deprecation import warn_deprecated
+from ..topology.ring import BufferedRingTrajectory, RingInstance, RingSchedule
+from .faults import FaultPlan
+from .policy import Policy
+from .simulator import LinearNetworkSimulator, SimulationResult
 from .stats import SimulationStats
 
-__all__ = ["RingPacket", "RingSimulationResult", "RingNetworkSimulator", "simulate_ring"]
-
-
-@dataclass
-class RingPacket:
-    """Mutable runtime state of one clockwise packet."""
-
-    message: RingMessage
-    node: int = field(init=False)
-    status: PacketStatus = field(init=False, default=PacketStatus.PENDING)
-    hops_done: int = field(init=False, default=0)
-    crossings: list[tuple[int, int]] = field(init=False, default_factory=list)
-
-    def __post_init__(self) -> None:
-        self.node = self.message.source
-
-    @property
-    def id(self) -> int:
-        return self.message.id
-
-    @property
-    def dest(self) -> int:
-        return self.message.dest
-
-    @property
-    def deadline(self) -> int:
-        return self.message.deadline
-
-    def remaining_hops(self) -> int:
-        return self.message.span - self.hops_done
-
-    def can_meet_deadline(self, time: int) -> bool:
-        return time + self.remaining_hops() <= self.deadline
-
-    def laxity(self, time: int) -> int:
-        return self.deadline - time - self.remaining_hops()
-
-    def record_hop(self, time: int, n: int) -> None:
-        self.crossings.append((self.node, time))
-        self.node = (self.node + 1) % n
-        self.hops_done += 1
-        if self.hops_done == self.message.span:
-            self.status = PacketStatus.DELIVERED
-
-    def trajectory(self) -> RingTrajectory:
-        if self.status is not PacketStatus.DELIVERED:
-            raise ValueError(f"packet {self.id} not delivered")
-        first_node, depart = self.crossings[0]
-        return RingTrajectory(
-            message_id=self.id,
-            source=self.message.source,
-            depart=depart,
-            span=self.message.span,
-            n=self.message.n,
-        )
+__all__ = [
+    "RingSimulationResult",
+    "RingNetworkSimulator",
+    "simulate_ring",
+    "BufferedRingTrajectory",
+]
 
 
 @dataclass(frozen=True)
@@ -83,19 +33,25 @@ class RingSimulationResult:
     delivered_ids: frozenset[int]
     dropped_ids: frozenset[int]
     stats: SimulationStats
+    drop_events: tuple[tuple[int, int, str], ...] = ()
 
     @property
     def throughput(self) -> int:
         return len(self.delivered_ids)
 
 
-class RingNetworkSimulator:
-    """Synchronous clockwise ring with pluggable local policies.
+def _to_ring_result(result: SimulationResult) -> RingSimulationResult:
+    return RingSimulationResult(
+        schedule=result.schedule,
+        delivered_ids=result.delivered_ids,
+        dropped_ids=result.dropped_ids,
+        stats=result.stats,
+        drop_events=result.drop_events,
+    )
 
-    Forwarded packets must move every step once a policy selects them?  No —
-    exactly as on the line, a packet may be buffered at any node; only the
-    per-(link, step) capacity of 1 is enforced.
-    """
+
+class RingNetworkSimulator:
+    """Deprecated alias: build a unified simulator on the ring topology."""
 
     def __init__(
         self,
@@ -103,151 +59,21 @@ class RingNetworkSimulator:
         policy: Policy,
         *,
         buffer_capacity: int | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
-        if buffer_capacity is not None and buffer_capacity < 0:
-            raise ValueError("buffer_capacity must be non-negative or None")
+        warn_deprecated(
+            "repro.network.ring_simulator.RingNetworkSimulator",
+            "repro.network.simulator.LinearNetworkSimulator (topology-aware)",
+        )
+        self._sim = LinearNetworkSimulator(
+            instance, policy, buffer_capacity=buffer_capacity, faults=faults
+        )
         self.instance = instance
         self.policy = policy
         self.buffer_capacity = buffer_capacity
 
     def run(self) -> RingSimulationResult:
-        inst = self.instance
-        n = inst.n
-        policy = self.policy
-        policy.reset(n)
-        stats = SimulationStats()
-
-        packets = [RingPacket(m) for m in inst]
-        releases: dict[int, list[RingPacket]] = {}
-        for p in packets:
-            releases.setdefault(p.message.release, []).append(p)
-
-        buffers: list[list[RingPacket]] = [[] for _ in range(n)]
-        in_flight: list[RingPacket] = []
-        control_in_flight: list[tuple[int, Hashable]] = []
-        delivered: list[RingPacket] = []
-        dropped: list[RingPacket] = []
-
-        horizon = max((m.deadline for m in inst), default=0) + 1
-        live = len(packets)
-        t = 0
-        while t < horizon and (live > 0 or in_flight):
-            # arrivals (the packet's node was already advanced at selection)
-            for p in in_flight:
-                if p.status is PacketStatus.DELIVERED:
-                    delivered.append(p)
-                    stats.delivered += 1
-                    stats.total_latency += t - p.message.release
-                    policy.on_deliver(p, t)  # type: ignore[arg-type]
-                    live -= 1
-                elif (
-                    self.buffer_capacity is not None
-                    and p.hops_done > 0
-                    and len(buffers[p.node]) >= self.buffer_capacity
-                ):
-                    p.status = PacketStatus.DROPPED
-                    dropped.append(p)
-                    stats.dropped += 1
-                    stats.buffer_overflow_drops += 1
-                    policy.on_drop(p, t)  # type: ignore[arg-type]
-                    live -= 1
-                else:
-                    buffers[p.node].append(p)
-            in_flight = []
-
-            for origin, value in control_in_flight:
-                policy.receive_control((origin + 1) % n, t, value)
-            control_in_flight = []
-
-            for p in releases.pop(t, ()):
-                p.status = PacketStatus.IN_NETWORK
-                stats.released += 1
-                buffers[p.message.source].append(p)
-                policy.on_release(p, t)  # type: ignore[arg-type]
-
-            for node in range(n):
-                keep: list[RingPacket] = []
-                for p in buffers[node]:
-                    if p.can_meet_deadline(t):
-                        keep.append(p)
-                    else:
-                        p.status = PacketStatus.DROPPED
-                        dropped.append(p)
-                        stats.dropped += 1
-                        policy.on_drop(p, t)  # type: ignore[arg-type]
-                        live -= 1
-                buffers[node] = keep
-                stats.record_buffer(node, len(keep))
-
-            for node in range(n):
-                view = NodeView(node=node, time=t, candidates=tuple(buffers[node]))
-                chosen = policy.select(view)
-                if chosen is not None:
-                    if chosen not in buffers[node]:
-                        raise RuntimeError(
-                            f"policy returned a packet not buffered at node {node}"
-                        )
-                    buffers[node].remove(chosen)
-                    chosen.record_hop(t, n)
-                    stats.record_hop(node)
-                    in_flight.append(chosen)
-                value = policy.emit_control(node, t)
-                if value is not None:
-                    control_in_flight.append((node, value))
-
-            t += 1
-            stats.steps = t
-
-        for p in packets:
-            if p.status in (PacketStatus.PENDING, PacketStatus.IN_NETWORK):
-                p.status = PacketStatus.DROPPED
-                dropped.append(p)
-                stats.dropped += 1
-
-        # RingTrajectory is bufferless-shaped; rebuild from actual crossings
-        trajs = []
-        for p in delivered:
-            trajs.append(_to_trajectory(p))
-        schedule = RingSchedule(tuple(trajs))
-        return RingSimulationResult(
-            schedule=schedule,
-            delivered_ids=frozenset(p.id for p in delivered),
-            dropped_ids=frozenset(p.id for p in dropped),
-            stats=stats,
-        )
-
-
-def _to_trajectory(p: RingPacket) -> RingTrajectory:
-    """Delivered packets that buffered en route do not fit the straight
-    ``RingTrajectory`` shape; represent them hop-list-faithfully via the
-    staircase subclass below."""
-    depart = p.crossings[0][1]
-    arrive = p.crossings[-1][1] + 1
-    if arrive - depart == p.message.span:
-        return p.trajectory()
-    return BufferedRingTrajectory(
-        message_id=p.id,
-        source=p.message.source,
-        depart=depart,
-        span=p.message.span,
-        n=p.message.n,
-        hop_times=tuple(t for _, t in p.crossings),
-    )
-
-
-@dataclass(frozen=True)
-class BufferedRingTrajectory(RingTrajectory):
-    """A ring trajectory with explicit (possibly non-consecutive) hop times."""
-
-    hop_times: tuple[int, ...] = ()
-
-    @property
-    def arrive(self) -> int:  # type: ignore[override]
-        return self.hop_times[-1] + 1
-
-    def edges(self):  # type: ignore[override]
-        for i, t in enumerate(self.hop_times):
-            yield ((self.source + i) % self.n, t)
+        return _to_ring_result(self._sim.run())
 
 
 def simulate_ring(
@@ -255,8 +81,15 @@ def simulate_ring(
     policy: Policy,
     *,
     buffer_capacity: int | None = None,
+    faults: FaultPlan | None = None,
 ) -> RingSimulationResult:
-    """Convenience wrapper mirroring :func:`repro.network.simulator.simulate`."""
-    return RingNetworkSimulator(
-        instance, policy, buffer_capacity=buffer_capacity
-    ).run()
+    """Deprecated alias for :func:`repro.network.simulator.simulate` on a
+    :class:`RingInstance`."""
+    warn_deprecated(
+        "repro.network.ring_simulator.simulate_ring",
+        "repro.network.simulator.simulate",
+    )
+    sim = LinearNetworkSimulator(
+        instance, policy, buffer_capacity=buffer_capacity, faults=faults
+    )
+    return _to_ring_result(sim.run())

@@ -69,10 +69,19 @@ def load_trace(path: str | Path) -> TraceData:
 
 
 def aggregate_spans(spans: list[dict[str, Any]]) -> list[dict[str, Any]]:
-    """Per-name aggregates, longest total first."""
+    """Per-name aggregates, longest total first.
+
+    Solver and simulator spans carry a ``topology`` attribute since the
+    topology unification; those aggregate per ``name[topology]`` row so
+    a report over a mixed sweep shows where each shape's time went.
+    """
     agg: dict[str, dict[str, float]] = {}
     for span in spans:
-        a = agg.setdefault(span["name"], {"calls": 0, "total": 0.0})
+        name = span["name"]
+        topo = (span.get("attrs") or {}).get("topology")
+        if topo is not None:
+            name = f"{name}[{topo}]"
+        a = agg.setdefault(name, {"calls": 0, "total": 0.0})
         a["calls"] += 1
         a["total"] += span["dur"]
     rows = [

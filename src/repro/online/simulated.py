@@ -35,7 +35,8 @@ def _to_stream_result(
     name: str, result: SimulationResult, extra_stats: dict | None = None
 ) -> StreamResult:
     launches = [
-        Decision(traj.message_id, "launch", traj.crossings[0])
+        # depart == first link crossing on every topology's trajectory type
+        Decision(traj.message_id, "launch", traj.depart)
         for traj in result.schedule.trajectories
     ]
     dropped: dict[int, str] = {}
@@ -78,7 +79,7 @@ def _traced(name: str, instance: Instance, run) -> StreamResult:
             "online.run",
             t0,
             policy=name,
-            n=instance.n,
+            n=getattr(instance, "n", None),
             k=len(instance),
             delivered=out.throughput,
         )

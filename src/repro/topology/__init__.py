@@ -1,0 +1,110 @@
+"""``repro.topology`` — one abstraction for every network shape.
+
+The :class:`Topology` protocol answers the structural questions the rest
+of the library needs (node/link enumeration, routing, validation, lattice
+geometry, decomposition, simulation adapters, serialization); ``Line``,
+``Ring`` and ``Mesh`` implement it and self-register by name.  The solver
+registry maps ``(topology, regime, method)`` cells to facade adapters —
+``repro.api.DISPATCH`` is a snapshot of :func:`dispatch_matrix`.
+
+Importing this package registers all three topologies and every dispatch
+cell.  Solvers are registered as lazy ``"module:attr"`` strings so the
+heavy backends (scipy MILPs) stay unimported until first use.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    RawResult,
+    Topology,
+    dispatch_matrix,
+    get_topology,
+    register_solver,
+    register_topology,
+    solver_for,
+    unregister_solver,
+    topology_names,
+    topology_of,
+)
+from .line import Line
+from .mesh import (
+    Mesh,
+    MeshInstance,
+    MeshMessage,
+    MeshSchedule,
+    MeshTrajectory,
+    make_mesh_instance,
+    mesh_schedule_problems,
+    validate_mesh_schedule,
+    xy_schedule,
+)
+from .ring import (
+    BufferedRingTrajectory,
+    Ring,
+    RingInstance,
+    RingMessage,
+    RingSchedule,
+    RingTrajectory,
+    ring_bfl,
+    ring_schedule_problems,
+    validate_ring_schedule,
+)
+
+__all__ = [
+    "Topology",
+    "RawResult",
+    "register_topology",
+    "get_topology",
+    "topology_names",
+    "topology_of",
+    "register_solver",
+    "unregister_solver",
+    "solver_for",
+    "dispatch_matrix",
+    "Line",
+    "Ring",
+    "Mesh",
+    "RingMessage",
+    "RingInstance",
+    "RingTrajectory",
+    "BufferedRingTrajectory",
+    "RingSchedule",
+    "ring_schedule_problems",
+    "validate_ring_schedule",
+    "ring_bfl",
+    "MeshMessage",
+    "MeshInstance",
+    "MeshTrajectory",
+    "MeshSchedule",
+    "make_mesh_instance",
+    "xy_schedule",
+    "mesh_schedule_problems",
+    "validate_mesh_schedule",
+]
+
+# ------------------------------------------------------------------ #
+# the dispatch table (registration order == documentation order)
+# ------------------------------------------------------------------ #
+
+_S = "repro.topology.solvers"
+
+register_solver("line", "bufferless", "exact", f"{_S}:line_bufferless_exact")
+register_solver("line", "bufferless", "bfl", f"{_S}:line_bufferless_bfl")
+register_solver("line", "bufferless", "greedy", f"{_S}:line_bufferless_greedy")
+register_solver("line", "buffered", "exact", f"{_S}:line_buffered_exact")
+register_solver("line", "buffered", "bfl", f"{_S}:line_buffered_bfl")
+register_solver("line", "buffered", "greedy", f"{_S}:line_buffered_greedy")
+register_solver("line", "online", "bfl", f"{_S}:line_online_bfl")
+register_solver("line", "online", "dbfl", f"{_S}:line_online_dbfl")
+register_solver("line", "online", "greedy", f"{_S}:line_online_greedy")
+
+register_solver("ring", "bufferless", "exact", f"{_S}:ring_bufferless_exact")
+register_solver("ring", "bufferless", "bfl", f"{_S}:ring_bufferless_bfl")
+register_solver("ring", "buffered", "exact", f"{_S}:ring_buffered_exact")
+register_solver("ring", "buffered", "greedy", f"{_S}:ring_buffered_greedy")
+register_solver("ring", "online", "greedy", f"{_S}:ring_online_greedy")
+
+register_solver("mesh", "bufferless", "exact", f"{_S}:mesh_bufferless_exact")
+register_solver("mesh", "bufferless", "bfl", f"{_S}:mesh_bufferless_bfl")
+register_solver("mesh", "bufferless", "greedy", f"{_S}:mesh_bufferless_greedy")
+register_solver("mesh", "buffered", "greedy", f"{_S}:mesh_buffered_greedy")

@@ -1,0 +1,308 @@
+"""The :class:`Topology` protocol and its registries.
+
+A topology answers every structural question the rest of the library used
+to hard-code per network shape:
+
+* **enumeration** — which nodes exist, which directed links, which nodes
+  own an outgoing link;
+* **routing** — the next hop of a message at a node (``uniform_route``
+  topologies route every message the same way, so the simulator can
+  precompute a successor table);
+* **validation** — instance well-formedness at construction time and full
+  schedule validation (:func:`repro.core.validate.schedule_problems`
+  delegates here for non-line instances);
+* **geometry** — the lattice parameter generalizing the paper's scan
+  lines (``alpha = node - time`` on the line, the helix index
+  ``(node - time) mod n`` on the ring);
+* **decomposition** — the reduction each shape admits: direction
+  split/mirror on the line, cut-reduction on the ring, XY dimension
+  ordering on the mesh;
+* **simulation adapters** — horizon, trajectory/schedule builders, so one
+  step loop (:class:`repro.network.simulator.LinearNetworkSimulator`)
+  serves every shape;
+* **serialization** — the schedule document embedded by
+  :meth:`repro.api.ScheduleResult.to_dict`.
+
+Two registries live here.  :func:`register_topology` keys topologies by
+name; :func:`topology_of` maps any instance object to its topology via
+the instance's ``topology`` attribute.  :func:`register_solver` keys
+solver callables by ``(topology, regime, method)`` — the facade's
+``DISPATCH`` matrix is :func:`dispatch_matrix`, a live view of this
+table.  Solvers may be registered as ``"module:attr"`` strings so heavy
+backends (the scipy MILPs) stay unimported until first dispatched to.
+"""
+
+from __future__ import annotations
+
+import abc
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+__all__ = [
+    "Topology",
+    "RawResult",
+    "register_topology",
+    "get_topology",
+    "topology_names",
+    "topology_of",
+    "register_solver",
+    "solver_for",
+    "dispatch_matrix",
+]
+
+
+class Topology(abc.ABC):
+    """One network shape: structure, routing, validation, geometry."""
+
+    #: Registry key; also the value of instances' ``topology`` attribute.
+    name: str = ""
+
+    #: Whether every message leaving a node uses the same link (line,
+    #: ring).  ``False`` means the simulator must ask :meth:`next_hop`
+    #: per message (mesh XY routing).
+    uniform_route: bool = True
+
+    # ---------------------------------------------------------------- #
+    # structure
+    # ---------------------------------------------------------------- #
+
+    @abc.abstractmethod
+    def nodes(self, instance: Any) -> Sequence[Hashable]:
+        """All nodes, in a stable order."""
+
+    @abc.abstractmethod
+    def links(self, instance: Any) -> Sequence[Hashable]:
+        """All directed link ids, in a stable order."""
+
+    @abc.abstractmethod
+    def out_nodes(self, instance: Any) -> Sequence[Hashable]:
+        """Nodes with at least one outgoing link (selection happens here)."""
+
+    def num_nodes(self, instance: Any) -> int:
+        return len(self.nodes(instance))
+
+    # ---------------------------------------------------------------- #
+    # routing
+    # ---------------------------------------------------------------- #
+
+    @abc.abstractmethod
+    def next_hop(
+        self, instance: Any, node: Hashable, message: Any
+    ) -> tuple[Hashable, Hashable] | None:
+        """``(link, next_node)`` for ``message`` at ``node`` (``None`` if
+        the message is already home).  Uniform topologies may ignore
+        ``message``."""
+
+    def successors(self, instance: Any) -> dict[Hashable, tuple[Hashable, Hashable]]:
+        """For uniform topologies: ``node -> (link, next_node)`` over
+        :meth:`out_nodes`, in selection order."""
+        out: dict[Hashable, tuple[Hashable, Hashable]] = {}
+        for v in self.out_nodes(instance):
+            hop = self.next_hop(instance, v, None)
+            if hop is not None:
+                out[v] = hop
+        return out
+
+    def control_next(self, instance: Any, node: Hashable) -> Hashable | None:
+        """Where a control value emitted at ``node`` lands next step
+        (``None``: no control channel from this node)."""
+        return None
+
+    def route(self, instance: Any, message: Any) -> tuple[Hashable, ...]:
+        """The full node path of ``message``, source to destination."""
+        path = [message.source]
+        node = message.source
+        # span bounds the walk; a malformed topology cannot loop forever
+        for _ in range(int(message.span)):
+            hop = self.next_hop(instance, node, message)
+            if hop is None:
+                break
+            node = hop[1]
+            path.append(node)
+        return tuple(path)
+
+    # ---------------------------------------------------------------- #
+    # validation
+    # ---------------------------------------------------------------- #
+
+    @abc.abstractmethod
+    def validate_instance(self, instance: Any) -> None:
+        """Raise on a structurally invalid instance (construction hook)."""
+
+    @abc.abstractmethod
+    def schedule_problems(self, instance: Any, schedule: Any, **opts: Any) -> list[str]:
+        """Every constraint violation of ``schedule`` (empty == valid)."""
+
+    def validate_schedule(self, instance: Any, schedule: Any, **opts: Any) -> None:
+        problems = self.schedule_problems(instance, schedule, **opts)
+        if problems:
+            from ..core.validate import ScheduleError
+
+            raise ScheduleError("; ".join(problems))
+
+    # ---------------------------------------------------------------- #
+    # lattice geometry
+    # ---------------------------------------------------------------- #
+
+    def alpha_of(self, instance: Any, node: Hashable, time: int) -> int:
+        """The scan-line / helix parameter of the lattice point
+        ``(node, time)``."""
+        raise NotImplementedError(
+            f"topology {self.name!r} has no global lattice parameter"
+        )
+
+    # ---------------------------------------------------------------- #
+    # decomposition
+    # ---------------------------------------------------------------- #
+
+    def mirror(self, instance: Any) -> Any:
+        """The direction-reversed instance (where meaningful)."""
+        raise NotImplementedError(f"topology {self.name!r} has no mirror")
+
+    def decompose(self, instance: Any, **opts: Any) -> tuple[Any, ...]:
+        """Sub-instances whose independent schedules compose into a
+        schedule for ``instance`` (the shape's paper reduction)."""
+        raise NotImplementedError(f"topology {self.name!r} has no decomposition")
+
+    # ---------------------------------------------------------------- #
+    # simulation adapters
+    # ---------------------------------------------------------------- #
+
+    def validate_sim_instance(self, instance: Any) -> None:
+        """Reject instances the step loop cannot run (e.g. mixed-direction
+        line traffic)."""
+
+    def sim_horizon(self, instance: Any) -> int:
+        return max((m.deadline for m in instance), default=0) + 1
+
+    @abc.abstractmethod
+    def sim_trajectory(self, instance: Any, packet: Any) -> Any:
+        """Build the topology's trajectory object from a delivered packet."""
+
+    @abc.abstractmethod
+    def sim_schedule(self, instance: Any, trajectories: Iterable[Any]) -> Any:
+        """Assemble (and, where cheap, validate) the run's schedule."""
+
+    # ---------------------------------------------------------------- #
+    # serialization
+    # ---------------------------------------------------------------- #
+
+    @abc.abstractmethod
+    def schedule_to_dict(self, schedule: Any) -> dict[str, Any]:
+        """The JSON document for ``schedule`` (schema owned per topology)."""
+
+
+@dataclass(frozen=True)
+class RawResult:
+    """What a registered solver returns to the facade.
+
+    ``schedule`` is the topology's schedule object; ``optimal`` follows
+    the facade convention (``True``/``False`` for exact solvers, ``None``
+    for heuristics); ``extra`` lands in ``ScheduleResult.telemetry``;
+    ``ratio``/``upper`` are set by online solvers only.
+    """
+
+    schedule: Any
+    optimal: bool | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+    ratio: float | None = None
+    upper: int | None = None
+
+
+# -------------------------------------------------------------------- #
+# topology registry
+# -------------------------------------------------------------------- #
+
+_TOPOLOGIES: dict[str, Topology] = {}
+
+
+def register_topology(topology: Topology) -> Topology:
+    """Register (or replace) ``topology`` under its ``name``."""
+    if not topology.name:
+        raise ValueError(f"{topology!r} has no name")
+    _TOPOLOGIES[topology.name] = topology
+    return topology
+
+
+def get_topology(name: str) -> Topology:
+    """Look a topology up by name; unknown names list the known ones."""
+    try:
+        return _TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; registered: {topology_names()}"
+        ) from None
+
+
+def topology_names() -> tuple[str, ...]:
+    return tuple(_TOPOLOGIES)
+
+
+def topology_of(instance: Any) -> Topology:
+    """The topology an instance object lives on.
+
+    Every instance type carries a ``topology`` attribute naming its shape
+    (:class:`repro.core.instance.Instance` defaults to ``"line"``;
+    ``RingInstance``/``MeshInstance`` are class-level ``"ring"``/``"mesh"``).
+    """
+    name = getattr(instance, "topology", None)
+    if isinstance(name, Topology):
+        return name
+    if isinstance(name, str):
+        return get_topology(name)
+    raise TypeError(
+        f"{type(instance).__name__} has no 'topology' attribute; expected an "
+        "Instance, RingInstance or MeshInstance (or any object naming a "
+        "registered topology)"
+    )
+
+
+# -------------------------------------------------------------------- #
+# solver registry: (topology, regime, method) -> callable
+# -------------------------------------------------------------------- #
+
+#: A solver takes ``(instance, opts)`` — ``opts`` being the facade's
+#: remaining keyword options, which the solver must fully consume — and
+#: returns a :class:`RawResult`.
+Solver = Callable[[Any, dict[str, Any]], RawResult]
+
+_SOLVERS: dict[tuple[str, str, str], Solver | str] = {}
+
+
+def register_solver(
+    topology: str, regime: str, method: str, solver: Solver | str
+) -> None:
+    """Register a solver for one dispatch cell.
+
+    ``solver`` may be the callable itself or a lazy ``"module:attr"``
+    reference, resolved (and cached) on first dispatch — this keeps the
+    MILP backends unimported until someone actually asks for them.
+    """
+    _SOLVERS[(topology, regime, method)] = solver
+
+
+def unregister_solver(topology: str, regime: str, method: str) -> None:
+    """Remove one dispatch cell (KeyError if absent) — the undo of
+    :func:`register_solver`, mainly for tests and plugin teardown."""
+    del _SOLVERS[(topology, regime, method)]
+
+
+def solver_for(topology: str, regime: str, method: str) -> Solver:
+    """Resolve the solver for one dispatch cell (KeyError if absent)."""
+    entry = _SOLVERS[(topology, regime, method)]
+    if isinstance(entry, str):
+        module_name, _, attr = entry.partition(":")
+        entry = getattr(importlib.import_module(module_name), attr)
+        _SOLVERS[(topology, regime, method)] = entry
+    return entry
+
+
+def dispatch_matrix() -> dict[tuple[str, str], tuple[str, ...]]:
+    """``(topology, regime) -> methods`` over everything registered, in
+    registration order — the facade's ``DISPATCH``."""
+    out: dict[tuple[str, str], tuple[str, ...]] = {}
+    for topo, regime, method in _SOLVERS:
+        key = (topo, regime)
+        out[key] = out.get(key, ()) + (method,)
+    return out

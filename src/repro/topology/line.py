@@ -1,0 +1,116 @@
+"""The :class:`Line` topology — the paper's model, now as a plug-in.
+
+Nodes ``0..n-1``, directed link ``v`` joining ``v -> v+1`` (the
+right-to-left direction is independent and handled by mirroring, exactly
+as everywhere else in the library).  The lattice parameter is the scan
+line ``alpha = node - time``; the decomposition is the paper's
+direction split (Section 1.1): left-to-right and right-to-left traffic
+never contend, so each half schedules independently and the
+right-to-left half is expressed in mirrored coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Sequence
+
+from .base import Topology, register_topology
+
+__all__ = ["Line"]
+
+
+class Line(Topology):
+    name = "line"
+    uniform_route = True
+
+    # ----------------------------------------------------------- #
+
+    def nodes(self, instance: Any) -> Sequence[int]:
+        return range(instance.n)
+
+    def links(self, instance: Any) -> Sequence[int]:
+        return range(instance.n - 1)
+
+    def out_nodes(self, instance: Any) -> Sequence[int]:
+        return range(instance.n - 1)
+
+    def next_hop(
+        self, instance: Any, node: int, message: Any
+    ) -> tuple[int, int] | None:
+        if node >= instance.n - 1:
+            return None
+        return (node, node + 1)
+
+    def control_next(self, instance: Any, node: int) -> int | None:
+        nxt = node + 1
+        return nxt if nxt < instance.n else None
+
+    # ----------------------------------------------------------- #
+
+    def validate_instance(self, instance: Any) -> None:
+        n = instance.n
+        for m in instance.messages:
+            if not (0 <= m.source < n and 0 <= m.dest < n):
+                raise ValueError(
+                    f"message {m.id}: endpoints ({m.source}, {m.dest}) outside 0..{n - 1}"
+                )
+
+    def schedule_problems(self, instance: Any, schedule: Any, **opts: Any) -> list[str]:
+        from ..core.validate import _line_problems
+
+        require_bufferless = opts.pop("require_bufferless", False)
+        buffer_capacity = opts.pop("buffer_capacity", None)
+        if opts:
+            raise TypeError(f"unknown line validation option(s): {sorted(opts)}")
+        return _line_problems(
+            instance,
+            schedule,
+            require_bufferless=require_bufferless,
+            buffer_capacity=buffer_capacity,
+        )
+
+    # ----------------------------------------------------------- #
+
+    def alpha_of(self, instance: Any, node: int, time: int) -> int:
+        return node - time
+
+    def mirror(self, instance: Any) -> Any:
+        return instance.mirrored()
+
+    def decompose(self, instance: Any, **opts: Any) -> tuple[Any, Any]:
+        """``(LR half, mirrored RL half)`` — both purely left-to-right."""
+        if opts:
+            raise TypeError(f"unknown line decomposition option(s): {sorted(opts)}")
+        lr, rl = instance.split_directions()
+        return (lr, rl.mirrored())
+
+    # ----------------------------------------------------------- #
+
+    def validate_sim_instance(self, instance: Any) -> None:
+        from ..core.message import Direction
+
+        for m in instance:
+            if m.direction != Direction.LEFT_TO_RIGHT:
+                raise ValueError(
+                    f"message {m.id} travels right-to-left; split directions first"
+                )
+
+    def sim_trajectory(self, instance: Any, packet: Any) -> Any:
+        return packet.trajectory()
+
+    def sim_schedule(self, instance: Any, trajectories: Iterable[Any]) -> Any:
+        from ..core.schedule import Schedule
+        from ..core.validate import validate_schedule
+
+        schedule = Schedule(tuple(trajectories))
+        validate_schedule(instance, schedule)
+        return schedule
+
+    # ----------------------------------------------------------- #
+
+    def schedule_to_dict(self, schedule: Any) -> dict[str, Any]:
+        from ..io import schedule_to_dict
+
+        return schedule_to_dict(schedule)
+
+
+register_topology(Line())

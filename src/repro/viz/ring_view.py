@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..network.ring import RingInstance, RingSchedule
+from ..topology.ring import RingInstance, RingSchedule
 
 __all__ = ["ring_gantt"]
 

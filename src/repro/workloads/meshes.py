@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..mesh.model import MeshInstance, MeshMessage
+from ..topology.mesh import MeshInstance, MeshMessage
 from ._seeding import seeded
 
 __all__ = ["random_mesh_instance", "transpose_mesh", "mesh_hotspot"]

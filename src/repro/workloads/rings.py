@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..network.ring import RingInstance, RingMessage
+from ..topology.ring import RingInstance, RingMessage
 from ._seeding import seeded
 
 __all__ = ["random_ring_instance", "all_to_all_ring", "ring_hotspot"]

@@ -160,20 +160,34 @@ class TestDispatchMatrix:
     @pytest.mark.parametrize("regime", api.REGIMES)
     @pytest.mark.parametrize("method", api.METHODS)
     def test_pair_solves_or_names_options(self, small, regime, method):
-        if method in api.DISPATCH[regime]:
+        if method in api.DISPATCH[("line", regime)]:
             result = api.solve(small, regime, method)
             assert isinstance(result, api.ScheduleResult)
             assert result.regime == regime and result.method == method
+            assert result.topology == "line"
             assert 0 <= result.delivered <= len(small.messages)
         else:
             with pytest.raises(ValueError) as err:
                 api.solve(small, regime, method)
-            for valid in api.DISPATCH[regime]:
+            for valid in api.DISPATCH[("line", regime)]:
                 assert valid in str(err.value)
 
     def test_matrix_is_total(self):
-        assert set(api.DISPATCH) == set(api.REGIMES)
-        assert set(api.METHODS) == {m for ms in api.DISPATCH.values() for m in ms}
+        # the line topology still covers every regime and every method
+        line_regimes = {r for (t, r) in api.DISPATCH if t == "line"}
+        assert line_regimes == set(api.REGIMES)
+        assert set(api.METHODS) == {
+            m for (t, _), ms in api.DISPATCH.items() if t == "line" for m in ms
+        }
+
+    def test_matrix_covers_all_topologies(self):
+        from repro import topology
+
+        topologies = {t for (t, _) in api.DISPATCH}
+        assert topologies == set(topology.topology_names())
+        # every registered topology can at least solve bufferless
+        for topo in topologies:
+            assert api.DISPATCH[(topo, "bufferless")]
 
 
 class TestResultSerialization:
@@ -195,7 +209,8 @@ class TestResultSerialization:
 
         payload = api.solve(inst, "online", "bfl").to_dict()
         assert payload["format"] == "repro-schedule-result"
-        assert payload["version"] == api.ScheduleResult.SCHEMA_VERSION == 1
+        assert payload["version"] == api.ScheduleResult.SCHEMA_VERSION == 2
+        assert payload["topology"] == "line"
         decoded = json.loads(json.dumps(payload))
         assert decoded["delivered"] == payload["delivered"]
         assert len(decoded["schedule"]["trajectories"]) == payload["delivered"]

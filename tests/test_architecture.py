@@ -1,0 +1,170 @@
+"""Architecture contracts: the import graph and the docs stay honest.
+
+Two machine-checked invariants of the topology refactor:
+
+* **Import contract** — ``repro.core`` and ``repro.network`` are
+  shape-generic: they may reach the ``repro.topology`` *registry*
+  (lazily, inside functions), but never import ``repro.mesh`` or a
+  topology-specific module (``repro.topology.ring``/``.mesh``/…)
+  directly.  The deprecated alias shims are the only exemptions — their
+  entire job is to delegate into the new home.
+* **Doc sync** — the dispatch table in ``docs/api.md`` lists exactly the
+  cells of the live ``api.DISPATCH`` matrix.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import api
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+#: Modules core/network must never import (topology-specific homes).
+FORBIDDEN_PREFIXES = (
+    "repro.mesh",
+    "repro.topology.line",
+    "repro.topology.ring",
+    "repro.topology.ring_exact",
+    "repro.topology.mesh",
+    "repro.topology.mesh_exact",
+    "repro.topology.solvers",
+)
+
+#: Deprecated alias shims whose whole purpose is delegating to the new home.
+SHIM_EXEMPT = {
+    "repro.core.ring_bfl",
+    "repro.network.ring",
+    "repro.network.ring_simulator",
+}
+
+
+def _module_name(path: Path) -> str:
+    rel = path.relative_to(SRC.parent)
+    parts = list(rel.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _resolve(module: str, node: ast.ImportFrom) -> str:
+    """The absolute module an ImportFrom targets."""
+    if node.level == 0:
+        return node.module or ""
+    base = module.split(".")
+    # importing module is a plain module (not a package __init__), so its
+    # package is base[:-1]; each extra level strips one more component
+    package = base[:-1] if not (SRC.parent / Path(*base) / "__init__.py").exists() else base
+    anchor = package[: len(package) - (node.level - 1)]
+    return ".".join(anchor + ([node.module] if node.module else []))
+
+
+def _imported_modules(path: Path) -> list[tuple[str, int]]:
+    """Every module this file imports (absolute names), with line numbers."""
+    module = _module_name(path)
+    tree = ast.parse(path.read_text())
+    out: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            out.extend((alias.name, node.lineno) for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve(module, node)
+            out.append((target, node.lineno))
+            # `from repro import topology` imports the submodule too
+            for alias in node.names:
+                out.append((f"{target}.{alias.name}", node.lineno))
+    return out
+
+
+def _layer_files(layer: str) -> list[Path]:
+    return sorted((SRC / layer).glob("*.py"))
+
+
+class TestImportContract:
+    @pytest.mark.parametrize("layer", ["core", "network"])
+    def test_no_topology_specific_imports(self, layer):
+        violations = []
+        for path in _layer_files(layer):
+            module = _module_name(path)
+            if module in SHIM_EXEMPT:
+                continue
+            for target, lineno in _imported_modules(path):
+                if any(
+                    target == p or target.startswith(p + ".")
+                    for p in FORBIDDEN_PREFIXES
+                ):
+                    violations.append(f"{module}:{lineno} imports {target}")
+        assert not violations, (
+            "core/network must stay shape-generic; reach shapes through the "
+            "repro.topology registry instead:\n" + "\n".join(violations)
+        )
+
+    @pytest.mark.parametrize("layer", ["core", "network"])
+    def test_topology_package_only_imported_lazily(self, layer):
+        """Non-shim core/network modules may use the registry, but only via
+        function-level imports — no module-level dependency cycle."""
+        violations = []
+        for path in _layer_files(layer):
+            module = _module_name(path)
+            if module in SHIM_EXEMPT:
+                continue
+            tree = ast.parse(path.read_text())
+            for node in tree.body:  # module level only
+                if isinstance(node, ast.ImportFrom):
+                    target = _resolve(module, node)
+                    names = {a.name for a in node.names}
+                    if target == "repro.topology" or (
+                        target == "repro" and "topology" in names
+                    ):
+                        violations.append(f"{module}:{node.lineno}")
+                elif isinstance(node, ast.Import):
+                    if any(
+                        a.name.startswith("repro.topology") for a in node.names
+                    ):
+                        violations.append(f"{module}:{node.lineno}")
+        assert not violations, (
+            "repro.topology must be imported lazily (inside functions) from "
+            "core/network:\n" + "\n".join(violations)
+        )
+
+    def test_shims_are_the_only_legacy_homes(self):
+        """The exemption list stays tight: every exempt module still exists
+        and actually warns (is a shim, not live code)."""
+        for name in SHIM_EXEMPT:
+            path = SRC.parent / Path(*name.split(".")).with_suffix(".py")
+            assert path.exists(), name
+            text = path.read_text()
+            assert "topology" in text, f"{name} no longer delegates; unexempt it"
+
+
+DISPATCH_ROW = re.compile(
+    r"^\|\s*`(?P<topology>\w+)`\s*\|\s*`(?P<regime>\w+)`\s*\|\s*`(?P<method>\w+)`\s*\|"
+)
+
+
+class TestDocSync:
+    def _doc_cells(self):
+        cells = set()
+        for line in (DOCS / "api.md").read_text().splitlines():
+            m = DISPATCH_ROW.match(line)
+            if m:
+                cells.add((m["topology"], m["regime"], m["method"]))
+        return cells
+
+    def test_api_md_table_matches_live_dispatch(self):
+        live = {
+            (topo, regime, method)
+            for (topo, regime), methods in api.DISPATCH.items()
+            for method in methods
+        }
+        doc = self._doc_cells()
+        assert doc == live, (
+            f"docs/api.md dispatch table out of sync: "
+            f"missing={sorted(live - doc)} stale={sorted(doc - live)}"
+        )
+
+    def test_doc_table_is_nonempty(self):
+        assert len(self._doc_cells()) >= 18

@@ -55,6 +55,58 @@ class TestLiveAliases:
             run_policy(inst, EDFPolicy())
 
 
+class TestTopologySolverAliases:
+    """The pre-topology-layer solver entrypoints warn and match the new homes."""
+
+    @pytest.fixture
+    def ring_inst(self):
+        from repro.workloads.rings import random_ring_instance
+
+        return random_ring_instance(np.random.default_rng(2), n=8, k=10)
+
+    def test_core_ring_bfl_warns_and_matches(self, ring_inst, warn_mode):
+        from repro.core.ring_bfl import ring_bfl as legacy
+        from repro.topology.ring import ring_bfl as new
+
+        with pytest.warns(ReproDeprecationWarning, match="ring_bfl"):
+            old = legacy(ring_inst)
+        assert old == new(ring_inst)
+
+    def test_exact_ring_warns_and_matches(self, ring_inst, warn_mode):
+        from repro.exact.ring import opt_ring_bufferless as legacy
+        from repro.topology.ring_exact import opt_ring_bufferless as new
+
+        with pytest.warns(ReproDeprecationWarning, match="opt_ring_bufferless"):
+            old = legacy(ring_inst)
+        assert old.schedule == new(ring_inst).schedule
+
+    def test_exact_ring_buffered_warns_and_matches(self, ring_inst, warn_mode):
+        from repro.exact.ring_buffered import opt_ring_buffered as legacy
+        from repro.topology.ring_exact import opt_ring_buffered as new
+
+        with pytest.warns(ReproDeprecationWarning, match="opt_ring_buffered"):
+            old = legacy(ring_inst)
+        assert old.schedule == new(ring_inst).schedule
+
+    def test_exact_mesh_warns_and_matches(self, warn_mode):
+        from repro.exact.mesh import opt_mesh_xy as legacy
+        from repro.topology.mesh_exact import opt_mesh_xy as new
+        from repro.workloads.meshes import random_mesh_instance
+
+        inst = random_mesh_instance(
+            np.random.default_rng(3), rows=4, cols=4, k=8, max_release=6, max_slack=3
+        )
+        with pytest.warns(ReproDeprecationWarning, match="opt_mesh_xy"):
+            old = legacy(inst)
+        assert old.schedule == new(inst).schedule
+
+    def test_aliases_escalate_under_env(self, ring_inst):
+        from repro.core.ring_bfl import ring_bfl as legacy
+
+        with pytest.raises(ReproDeprecationWarning):
+            legacy(ring_inst)
+
+
 class TestRemovedAliases:
     """Names past their removal cycle raise, and the error names the new API."""
 

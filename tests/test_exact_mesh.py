@@ -3,9 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.exact.mesh import opt_mesh_xy
-from repro.mesh import MeshInstance, make_mesh_instance, xy_schedule
-from repro.mesh.validate import validate_mesh_schedule
+from repro.topology.mesh import (
+    MeshInstance,
+    make_mesh_instance,
+    validate_mesh_schedule,
+    xy_schedule,
+)
+from repro.topology.mesh_exact import opt_mesh_xy
 from repro.workloads.meshes import mesh_hotspot, random_mesh_instance
 
 

@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.baselines import edf_bufferless
-from repro.mesh import MeshInstance, MeshMessage, make_mesh_instance, xy_schedule
-from repro.mesh.model import MeshSchedule, MeshTrajectory
-from repro.mesh.validate import mesh_schedule_problems, validate_mesh_schedule
+from repro.topology.mesh import MeshInstance, MeshMessage, make_mesh_instance, xy_schedule
+from repro.topology.mesh import MeshSchedule, MeshTrajectory
+from repro.topology.mesh import mesh_schedule_problems, validate_mesh_schedule
 from repro.workloads.meshes import mesh_hotspot, random_mesh_instance, transpose_mesh
 
 

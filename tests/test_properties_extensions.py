@@ -3,12 +3,12 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.ring_bfl import ring_bfl
+from repro.topology.ring import ring_bfl
 from repro.io import instance_from_dict, instance_to_dict, schedule_from_dict, schedule_to_dict
 from repro.core.bfl import bfl
-from repro.mesh import MeshInstance, MeshMessage, xy_schedule
-from repro.mesh.validate import mesh_schedule_problems
-from repro.network.ring import RingInstance, RingMessage, validate_ring_schedule
+from repro.topology.mesh import MeshInstance, MeshMessage, xy_schedule
+from repro.topology.mesh import mesh_schedule_problems
+from repro.topology.ring import RingInstance, RingMessage, validate_ring_schedule
 
 from .conftest import lr_instances
 

@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.cli import main
-from repro.core.ring_bfl import ring_bfl
+from repro.topology.ring import ring_bfl
 from repro.experiments.report import build_report
-from repro.network.ring import RingInstance, RingMessage
+from repro.topology.ring import RingInstance, RingMessage
 from repro.viz.ring_view import ring_gantt
 from repro.workloads.rings import random_ring_instance
 
@@ -68,7 +68,7 @@ class TestRingGantt:
 
     def test_empty_window_rejected(self):
         inst = RingInstance(4, ())
-        from repro.network.ring import RingSchedule
+        from repro.topology.ring import RingSchedule
 
         with pytest.raises(ValueError, match="empty time window"):
             ring_gantt(inst, RingSchedule(), start=3, end=3)

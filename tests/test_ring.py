@@ -6,9 +6,9 @@ import pytest
 from repro.core.bfl import bfl
 from repro.core.instance import Instance
 from repro.core.message import Message
-from repro.core.ring_bfl import ring_bfl
-from repro.exact.ring import opt_ring_bufferless
-from repro.network.ring import (
+from repro.topology.ring import ring_bfl
+from repro.topology.ring_exact import opt_ring_bufferless
+from repro.topology.ring import (
     RingInstance,
     RingMessage,
     RingSchedule,

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.exact.ring import opt_ring_bufferless
-from repro.exact.ring_buffered import opt_ring_buffered
-from repro.network.ring import RingInstance, RingMessage
+from repro.topology.ring_exact import opt_ring_bufferless
+from repro.topology.ring_exact import opt_ring_buffered
+from repro.topology.ring import RingInstance, RingMessage
 from repro.workloads.rings import random_ring_instance, ring_hotspot
 
 
@@ -62,7 +62,7 @@ class TestBufferingOnRings:
 
     @pytest.mark.parametrize("seed", range(8))
     def test_greedy_within_factor_two_of_bufferless(self, seed):
-        from repro.core.ring_bfl import ring_bfl
+        from repro.topology.ring import ring_bfl
 
         rng = np.random.default_rng(9900 + seed)
         inst = random_ring_instance(rng, n=6, k=6, max_slack=4)

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.ring_bfl import ring_bfl
-from repro.network.ring import validate_ring_schedule
+from repro.topology.ring import ring_bfl
+from repro.topology.ring import validate_ring_schedule
 from repro.workloads.rings import all_to_all_ring, random_ring_instance, ring_hotspot
 
 
