@@ -41,6 +41,7 @@ from .core import (
 )
 from .core.dbfl import dbfl
 from .api import ScheduleResult, solve, solve_bidirectional
+from .backend import BACKENDS, current_backend, resolve_backend, use_backend
 from .budget import SolverBudget
 from .errors import BudgetExceeded, ReproError, SolverBackendError, TaskTimeoutError
 
@@ -68,6 +69,10 @@ __all__ = [
     "ScheduleResult",
     "solve",
     "solve_bidirectional",
+    "BACKENDS",
+    "current_backend",
+    "resolve_backend",
+    "use_backend",
     "SolverBudget",
     "ReproError",
     "BudgetExceeded",

@@ -242,6 +242,16 @@ def solve(
     ``"infeasible"``/``"optimal"`` when the certified bounds close the
     gap), whose schedule is the best incumbent found, and whose
     ``lower``/``upper`` bracket the true optimum.
+
+    ``backend="python"|"numpy"`` selects the execution backend for the
+    kernels underneath the call (the scan-line BFL kernel and the network
+    simulator ship vectorized twins with bit-identical results — see
+    :mod:`repro.backend`).  Omitted, the ambient backend applies
+    (``repro.use_backend(...)`` context, else the ``REPRO_BACKEND``
+    environment variable, else python).  The resolved choice is recorded
+    in ``telemetry["backend"]``; work outside the vectorized envelope
+    falls back to the python path per call, counted under the
+    ``backend.fallbacks`` observability counters.
     """
     topo = _topology.topology_of(instance)
     if regime not in REGIMES:
@@ -270,8 +280,10 @@ def solve(
         raise TypeError(
             f"budget= only applies to method='exact' solves, not method={method!r}"
         )
+    from .backend import resolve_backend, use_backend
     from .errors import BudgetExceeded
 
+    backend = resolve_backend(opts.pop("backend", None))
     fn = _topology.solver_for(topo.name, regime, method)
 
     tr = obs.tracer()
@@ -279,7 +291,8 @@ def solve(
     t0 = time.perf_counter()
     degraded: BudgetExceeded | None = None
     try:
-        raw = fn(instance, opts)
+        with use_backend(backend):
+            raw = fn(instance, opts)
         schedule = raw.schedule
         optimal = raw.optimal
         extra: dict[str, Any] = dict(raw.extra)
@@ -318,7 +331,7 @@ def solve(
         # The offline optimum certifies an upper bound on any online run.
         upper = online_opt
 
-    telemetry: dict[str, Any] = {"seconds": elapsed, **extra}
+    telemetry: dict[str, Any] = {"seconds": elapsed, "backend": backend, **extra}
     if counters_before is not None:
         delta = tr.counters_since(counters_before)
         if delta:

@@ -16,7 +16,9 @@ Commands:
   solver node counts, cache hit rates;
 * ``repro bench`` — time the BFL kernel and the sweep engine, write the
   JSON perf baseline (``repro bench online`` benchmarks the online
-  policies instead, writing ``BENCH_PR4.json``);
+  policies instead, writing ``BENCH_PR4.json``; ``repro bench kernels``
+  compares the python vs numpy execution backends, writing
+  ``BENCH_PR6.json``);
 * ``repro online --method bfl|dbfl|greedy`` — stream a random instance
   through an online policy and report the competitive ratio;
 * ``repro figure 1|2|3`` — print a paper figure as ASCII art;
@@ -24,7 +26,8 @@ Commands:
 
 Environment knobs: ``REPRO_JOBS`` (default worker count when ``--jobs``
 is omitted), ``REPRO_CACHE_DIR`` (persist solver results on disk),
-``REPRO_CACHE=off`` (disable solver memoization).
+``REPRO_CACHE=off`` (disable solver memoization), ``REPRO_BACKEND``
+(default execution backend, ``python`` or ``numpy``).
 """
 
 from __future__ import annotations
@@ -95,12 +98,13 @@ def main(argv: list[str] | None = None) -> int:
     bench_p.add_argument(
         "suite",
         nargs="?",
-        choices=("all", "online", "topology"),
+        choices=("all", "online", "topology", "kernels"),
         default="all",
         help="'all' (default): kernel + sweep + obs -> BENCH_PR1.json; "
         "'online': decisions/sec + competitive ratio -> BENCH_PR4.json; "
         "'topology': unified simulator vs frozen legacy loops -> "
-        "BENCH_PR5.json",
+        "BENCH_PR5.json; "
+        "'kernels': python vs numpy execution backends -> BENCH_PR6.json",
     )
     bench_p.add_argument("--seed", type=int, default=2024)
     bench_p.add_argument("--trials", type=int, default=10, help="sweep cells per size")
@@ -315,7 +319,13 @@ def _obs_report(trace_path: str) -> int:
 
 
 def _bench(suite: str, seed: int, trials: int, jobs: int, out: str | None) -> int:
-    if suite == "topology":
+    if suite == "kernels":
+        from .engine.bench import render_backend_summary, run_backend_benchmarks
+
+        out = "BENCH_PR6.json" if out is None else out
+        payload = run_backend_benchmarks(seed=seed, out=None if out == "-" else out)
+        print(render_backend_summary(payload))
+    elif suite == "topology":
         from .engine.bench import render_topology_summary, run_topology_benchmarks
 
         out = "BENCH_PR5.json" if out is None else out

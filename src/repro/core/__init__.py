@@ -14,6 +14,7 @@ The primary public surface:
 
 from .bfl import bfl
 from .bfl_fast import bfl_fast
+from .bfl_vec import bfl_kernel, bfl_vec, bfl_vec_batch
 from .geometry import Parallelogram, Segment
 from .solve import BidirectionalSchedule
 from .instance import Instance, make_instance
@@ -39,6 +40,9 @@ __all__ = [
     "validate_schedule",
     "bfl",
     "bfl_fast",
+    "bfl_kernel",
+    "bfl_vec",
+    "bfl_vec_batch",
     "BidirectionalSchedule",
 ]
 

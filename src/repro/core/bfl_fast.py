@@ -35,34 +35,22 @@ from .message import Direction
 from .schedule import Schedule
 from .trajectory import bufferless_trajectory
 
-__all__ = ["bfl_fast"]
+__all__ = ["bfl_fast", "assign_lines", "kernel_columns"]
 
 
-def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
-    """Scan-line-kernel Algorithm BFL (paper tie-break only).
+def kernel_columns(
+    instance: Instance, *, clip_slack: bool = False
+) -> tuple[list[int], list[int], list[int], list[int], list[int]]:
+    """The ``(src, dst, mid, amin, amax)`` columns the scan-line consumes.
 
-    See :func:`repro.core.bfl.bfl` for parameter semantics; this fast path
-    supports only the default nearest-destination rule and returns the
-    same schedule, trajectory for trajectory.
+    Infeasible messages are dropped (and slacks optionally clipped)
+    exactly as :func:`bfl_fast` preprocesses its input, so both backends
+    — and the kernel benchmarks — start from identical columns.
     """
-    for m in instance:
-        if m.direction != Direction.LEFT_TO_RIGHT:
-            raise ValueError(
-                f"message {m.id} travels right-to-left; split directions first"
-            )
-    tr = obs.tracer()
-    t0 = time.perf_counter() if tr.enabled else 0.0
     work = instance.drop_infeasible()
     if clip_slack:
         work = work.clipped_slack()
     k = len(work)
-    if k == 0:
-        if tr.enabled:
-            tr.count("bfl.launches")
-            tr.record_span("bfl.fast", t0, n=instance.n, k=0, delivered=0)
-        return Schedule()
-
-    # Plain-int columns: the kernel is pointer-chasing, not vector math.
     src = [0] * k
     dst = [0] * k
     mid = [0] * k
@@ -74,6 +62,31 @@ def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
         mid[j] = m.id
         amin[j] = m.alpha_min
         amax[j] = m.alpha_max
+    return src, dst, mid, amin, amax
+
+
+def assign_lines(
+    src: list[int],
+    dst: list[int],
+    mid: list[int],
+    amin: list[int],
+    amax: list[int],
+) -> tuple[list[tuple[int, int]], int, int]:
+    """The event-driven assignment core: columns in, launches out.
+
+    Returns ``(assignment, lines_swept, segments_scanned)`` where
+    ``assignment`` is the ordered list of ``(j, alpha)`` launch decisions
+    — index into the columns plus the scan line boarded — in the exact
+    order the sweep commits them (line descending, then the per-line
+    greedy's walk order).  This is the part of :func:`bfl_fast` the
+    vectorized backend replaces; keeping it separate lets the kernel
+    benchmarks time the *decision* work without the shared
+    schedule-construction cost.
+    """
+    k = len(src)
+    assignment: list[tuple[int, int]] = []
+    if k == 0:
+        return assignment, 0, 0
 
     # Entry buckets: messages join the sweep at their alpha_max, largest
     # (earliest in time) first.
@@ -87,7 +100,6 @@ def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
     dead = [False] * k
     expiry: list[tuple[int, int]] = []  # max-heap on alpha_min: (-alpha_min, j)
 
-    trajectories = []
     lines_swept = 0
     segments_scanned = 0
     alpha = amax[entry[0]]
@@ -114,7 +126,7 @@ def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
             if dead[j]:
                 continue
             if pos is None or src[j] >= pos:
-                trajectories.append(bufferless_trajectory(instance[mid[j]], alpha))
+                assignment.append((j, alpha))
                 dead[j] = True
                 live_active -= 1
                 pos = dst[j]
@@ -137,6 +149,36 @@ def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
             alpha = amax[entry[ei]]
         else:
             break
+    return assignment, lines_swept, segments_scanned
+
+
+def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
+    """Scan-line-kernel Algorithm BFL (paper tie-break only).
+
+    See :func:`repro.core.bfl.bfl` for parameter semantics; this fast path
+    supports only the default nearest-destination rule and returns the
+    same schedule, trajectory for trajectory.
+    """
+    for m in instance:
+        if m.direction != Direction.LEFT_TO_RIGHT:
+            raise ValueError(
+                f"message {m.id} travels right-to-left; split directions first"
+            )
+    tr = obs.tracer()
+    t0 = time.perf_counter() if tr.enabled else 0.0
+    src, dst, mid, amin, amax = kernel_columns(instance, clip_slack=clip_slack)
+    if not src:
+        if tr.enabled:
+            tr.count("bfl.launches")
+            tr.record_span("bfl.fast", t0, n=instance.n, k=0, delivered=0)
+        return Schedule()
+
+    assignment, lines_swept, segments_scanned = assign_lines(
+        src, dst, mid, amin, amax
+    )
+    trajectories = [
+        bufferless_trajectory(instance[mid[j]], alpha) for j, alpha in assignment
+    ]
 
     if tr.enabled:
         tr.count("bfl.launches")
@@ -144,6 +186,6 @@ def bfl_fast(instance: Instance, *, clip_slack: bool = False) -> Schedule:
         tr.count("bfl.segments_scanned", segments_scanned)
         tr.count("bfl.delivered", len(trajectories))
         tr.record_span(
-            "bfl.fast", t0, n=instance.n, k=k, delivered=len(trajectories)
+            "bfl.fast", t0, n=instance.n, k=len(src), delivered=len(trajectories)
         )
     return Schedule(tuple(trajectories))

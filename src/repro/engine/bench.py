@@ -40,14 +40,18 @@ from .cache import cached_bfl, cached_opt_bufferless
 from .pool import resolve_jobs, run_tasks, spawn_seeds
 
 __all__ = [
+    "bench_backends",
     "bench_kernel",
     "bench_obs",
     "bench_online",
     "bench_sweep",
     "bench_topology",
+    "contended_instance",
+    "render_backend_summary",
     "render_online_summary",
     "render_summary",
     "render_topology_summary",
+    "run_backend_benchmarks",
     "run_benchmarks",
     "run_online_benchmarks",
     "run_topology_benchmarks",
@@ -55,6 +59,9 @@ __all__ = [
 
 KERNEL_SIZES = ((32, 200), (64, 1000), (128, 3000))
 SWEEP_SIZES = ((8, 6), (12, 10), (16, 12))
+BACKEND_SIZES = ((256, 20000), (512, 20000))
+BACKEND_SMOKE_SIZES = ((24, 150),)
+BACKEND_BATCH = (64, 48, 300)  # (instances, n, messages) for the kernel batch
 
 
 def bench_kernel(
@@ -712,6 +719,247 @@ def render_topology_summary(payload: dict[str, Any]) -> str:
             f"({'ok' if c['within_5pct'] else 'OVER BUDGET'})"
         )
     lines.append(f"  overall: {'within budget' if topo['within_5pct'] else 'OVER'}")
+    return "\n".join(lines)
+
+
+def contended_instance(seed: int, n: int, k: int):
+    """A deep-queue workload: short spans, tight releases, generous slack.
+
+    Everything arrives within 32 steps, hops only 1-4 links, and can
+    afford to wait hundreds of steps — so buffers stay full for the whole
+    run.  This is the regime the vectorized simulator exists for: the
+    python loop re-scans every buffered packet at every node each step,
+    while the numpy loop touches each packet O(hops) times total.
+    """
+    from ..core.instance import Instance
+    from ..core.message import Message
+
+    rng = np.random.default_rng(seed)
+    spans = rng.integers(1, 5, size=k)
+    srcs = rng.integers(0, n - spans)
+    rels = rng.integers(0, 33, size=k)
+    slacks = rng.integers(400, 1601, size=k)
+    msgs = tuple(
+        Message(
+            id=i + 1,
+            source=int(srcs[i]),
+            dest=int(srcs[i] + spans[i]),
+            release=int(rels[i]),
+            deadline=int(rels[i] + spans[i] + slacks[i]),
+        )
+        for i in range(k)
+    )
+    return Instance(n=n, messages=msgs)
+
+
+def _sim_parity(a, b, label: str) -> None:
+    if not (
+        a.schedule == b.schedule
+        and a.stats == b.stats
+        and a.drop_events == b.drop_events
+    ):
+        raise AssertionError(f"backend parity violated on {label}")
+
+
+def bench_backends(
+    *,
+    seed: int = 2024,
+    sizes=BACKEND_SIZES,
+    batch=BACKEND_BATCH,
+    repeats: int = 1,
+) -> dict[str, Any]:
+    """Time the python vs numpy execution backends on identical workloads.
+
+    Three sections, each with an output-equality check before any timing
+    (a "speedup" can never come from computing something different):
+
+    * **simulator** — steps/s of :func:`simulate` under EDF on contended
+      instances (PR5's metric, both backends);
+    * **online** — decisions/s of the streamed ``online_greedy`` pipeline
+      on the same instances (PR4's metric, both backends);
+    * **kernel** — a batch of BFL instances through the python scan-line
+      loop vs :func:`~repro.core.bfl_vec.bfl_vec_batch` (column-parallel
+      amortization; informational — the headline speedups live in the
+      simulator, where the asymptotics change, not just the constants).
+    """
+    from ..core.bfl_vec import bfl_vec_batch
+    from ..online.simulated import online_greedy
+
+    sim_cases = []
+    online_cases = []
+    for n, k in sizes:
+        inst = contended_instance(seed, n, k)
+
+        py = simulate(inst, EDFPolicy(), backend="python")
+        vec = simulate(inst, EDFPolicy(), backend="numpy")
+        _sim_parity(py, vec, f"simulate n={n} k={k}")
+        py_s = best_of(
+            lambda: simulate(inst, EDFPolicy(), backend="python"), repeats=repeats
+        )
+        vec_s = best_of(
+            lambda: simulate(inst, EDFPolicy(), backend="numpy"), repeats=repeats
+        )
+        steps = py.stats.steps
+        sim_cases.append(
+            {
+                "n": n,
+                "messages": k,
+                "steps": steps,
+                "delivered": py.stats.delivered,
+                "python_seconds": py_s,
+                "numpy_seconds": vec_s,
+                "python_steps_per_second": steps / py_s if py_s else float("inf"),
+                "numpy_steps_per_second": steps / vec_s if vec_s else float("inf"),
+                "speedup": py_s / vec_s if vec_s else float("inf"),
+            }
+        )
+
+        opy = online_greedy(inst, policy="edf", backend="python")
+        ovec = online_greedy(inst, policy="edf", backend="numpy")
+        if opy != ovec:
+            raise AssertionError(f"online backend parity violated on n={n} k={k}")
+        opy_s = best_of(
+            lambda: online_greedy(inst, policy="edf", backend="python"),
+            repeats=repeats,
+        )
+        ovec_s = best_of(
+            lambda: online_greedy(inst, policy="edf", backend="numpy"),
+            repeats=repeats,
+        )
+        decisions = len(opy.decisions)
+        online_cases.append(
+            {
+                "n": n,
+                "messages": k,
+                "decisions": decisions,
+                "python_seconds": opy_s,
+                "numpy_seconds": ovec_s,
+                "python_decisions_per_second": (
+                    decisions / opy_s if opy_s else float("inf")
+                ),
+                "numpy_decisions_per_second": (
+                    decisions / ovec_s if ovec_s else float("inf")
+                ),
+                "speedup": opy_s / ovec_s if ovec_s else float("inf"),
+            }
+        )
+
+    count, bn, bk = batch
+    rng = np.random.default_rng(seed + 1)
+    instances = [
+        general_instance(rng, n=bn, k=bk, max_release=8, max_slack=4)
+        for _ in range(count)
+    ]
+    loop_schedules = [bfl_fast(inst) for inst in instances]
+    vec_schedules = bfl_vec_batch(instances)
+    for i, (a, b) in enumerate(zip(loop_schedules, vec_schedules)):
+        if a.delivery_lines() != b.delivery_lines():
+            raise AssertionError(f"kernel batch parity violated on instance {i}")
+    loop_s = best_of(
+        lambda: [bfl_fast(inst) for inst in instances], repeats=max(repeats, 3)
+    )
+    batch_s = best_of(lambda: bfl_vec_batch(instances), repeats=max(repeats, 3))
+    kernel = {
+        "instances": count,
+        "n": bn,
+        "messages": bk,
+        "python_seconds": loop_s,
+        "numpy_seconds": batch_s,
+        "speedup": loop_s / batch_s if batch_s else float("inf"),
+    }
+
+    return {
+        "simulator": {
+            "cases": sim_cases,
+            "min_speedup": min(c["speedup"] for c in sim_cases),
+        },
+        "online": {
+            "cases": online_cases,
+            "min_speedup": min(c["speedup"] for c in online_cases),
+        },
+        "kernel_batch": kernel,
+    }
+
+
+def _prior_baselines() -> dict[str, Any]:
+    """Headline rates from earlier PRs' baselines, for side-by-side context."""
+    out: dict[str, Any] = {}
+    try:
+        pr4 = json.loads(Path("BENCH_PR4.json").read_text())
+        out["pr4_online_decisions_per_second"] = {
+            name: row["decisions_per_second"]
+            for name, row in pr4["online"]["policies"].items()
+        }
+    except (OSError, ValueError, KeyError, TypeError):
+        pass
+    try:
+        pr5 = json.loads(Path("BENCH_PR5.json").read_text())
+        out["pr5_unified_steps_per_second"] = {
+            name: c["unified_steps_per_second"]
+            for name, c in pr5["topology"]["cases"].items()
+        }
+    except (OSError, ValueError, KeyError, TypeError):
+        pass
+    return out
+
+
+def run_backend_benchmarks(
+    *,
+    seed: int = 2024,
+    out: str | Path | None = None,
+) -> dict[str, Any]:
+    """The ``repro bench kernels`` suite; writes ``BENCH_PR6.json``.
+
+    The payload embeds the PR4 decisions/s and PR5 steps/s baselines
+    (when their JSON files are present) next to this PR's two-backend
+    numbers, so the ``>= 10x`` acceptance line can be read off one file.
+    """
+    tr = obs.tracer()
+    t0 = time.perf_counter()
+    backends = bench_backends(seed=seed)
+    elapsed = time.perf_counter() - t0
+    tr.record_span("bench.backends", t0, t0 + elapsed)
+    payload = {
+        "benchmark": "repro execution-backend baseline",
+        "cpu_count": os.cpu_count(),
+        "backends": backends,
+        "baselines": _prior_baselines(),
+        "phases": [{"name": "backends", "seconds": elapsed}],
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def render_backend_summary(payload: dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_backend_benchmarks` payload."""
+    b = payload["backends"]
+    lines = ["backend bench (python loop vs numpy vectorized, parity-checked)"]
+    for c in b["simulator"]["cases"]:
+        lines.append(
+            f"  sim    n={c['n']:<4} k={c['messages']:<6} "
+            f"py {c['python_steps_per_second']:10.0f} steps/s   "
+            f"np {c['numpy_steps_per_second']:10.0f} steps/s   "
+            f"speedup {c['speedup']:5.1f}x"
+        )
+    for c in b["online"]["cases"]:
+        lines.append(
+            f"  online n={c['n']:<4} k={c['messages']:<6} "
+            f"py {c['python_decisions_per_second']:10.0f} dec/s     "
+            f"np {c['numpy_decisions_per_second']:10.0f} dec/s     "
+            f"speedup {c['speedup']:5.1f}x"
+        )
+    kb = b["kernel_batch"]
+    lines.append(
+        f"  kernel {kb['instances']} x (n={kb['n']}, k={kb['messages']}) batch: "
+        f"py {kb['python_seconds'] * 1e3:.1f} ms   "
+        f"np {kb['numpy_seconds'] * 1e3:.1f} ms   "
+        f"speedup {kb['speedup']:.2f}x"
+    )
+    lines.append(
+        f"  min speedups: simulator {b['simulator']['min_speedup']:.1f}x, "
+        f"online {b['online']['min_speedup']:.1f}x"
+    )
     return "\n".join(lines)
 
 

@@ -23,12 +23,14 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
 from .. import obs
+from ..backend import resolve_backend, use_backend
 from .cache import CacheStats, default_cache
 
 __all__ = ["Engine", "resolve_jobs", "spawn_seeds", "spawn_rngs", "run_tasks"]
@@ -48,11 +50,18 @@ class Engine:
     timeouts, retries, pool respawns and checkpoint/resume — instead of
     the plain pool.  Results are identical either way; only failure
     handling differs.
+
+    ``backend`` pins the execution backend (:mod:`repro.backend`) every
+    task runs under.  ``None`` resolves the ambient backend *at submit
+    time* and ships it inside each task payload, so pool workers — which
+    do not inherit the parent's context variables — still honour a
+    ``repro.use_backend(...)`` block around the sweep.
     """
 
     jobs: int | None = 1
     chunksize: int | None = None
     resilience: Any = None
+    backend: str | None = None
 
     def map(
         self, fn: Callable[..., Any], argslist: Sequence[tuple] | Iterable[tuple]
@@ -62,9 +71,19 @@ class Engine:
             from .resilience import run_tasks_resilient
 
             return run_tasks_resilient(
-                fn, argslist, jobs=self.jobs, config=self.resilience
+                fn,
+                argslist,
+                jobs=self.jobs,
+                config=self.resilience,
+                backend=self.backend,
             )
-        return run_tasks(fn, argslist, jobs=self.jobs, chunksize=self.chunksize)
+        return run_tasks(
+            fn,
+            argslist,
+            jobs=self.jobs,
+            chunksize=self.chunksize,
+            backend=self.backend,
+        )
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -103,7 +122,7 @@ def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
 
 
 def _invoke(
-    payload: tuple[Callable[..., Any], tuple]
+    payload: tuple[Callable[..., Any], tuple] | tuple[Callable[..., Any], tuple, str]
 ) -> tuple[Any, CacheStats, dict[str, float] | None]:
     """Run one task and capture the cache + observability deltas it produced.
 
@@ -113,21 +132,27 @@ def _invoke(
     counter delta is ``None`` when tracing is disabled; worker tracers
     inherit their enabled flag through the ``REPRO_OBS`` environment
     variable (see :func:`repro.obs.configure`).
+
+    A three-element payload carries the execution backend the task must
+    run under (resolved at submit time — context variables do not cross
+    the process boundary, so it travels in the pickle).
     """
-    fn, args = payload
+    fn, args = payload[0], payload[1]
+    backend = payload[2] if len(payload) > 2 else None
     cache = default_cache()
     before = cache.stats.snapshot()
     tr = obs.tracer()
-    if tr.enabled:
-        counters_before = tr.counters_snapshot()
-        t0 = time.perf_counter()
-        value = fn(*args)
-        tr.count("engine.tasks")
-        tr.count("engine.task_seconds", time.perf_counter() - t0)
-        obs_delta = tr.counters_since(counters_before)
-    else:
-        value = fn(*args)
-        obs_delta = None
+    with use_backend(backend) if backend is not None else nullcontext():
+        if tr.enabled:
+            counters_before = tr.counters_snapshot()
+            t0 = time.perf_counter()
+            value = fn(*args)
+            tr.count("engine.tasks")
+            tr.count("engine.task_seconds", time.perf_counter() - t0)
+            obs_delta = tr.counters_since(counters_before)
+        else:
+            value = fn(*args)
+            obs_delta = None
     return value, cache.stats.since(before), obs_delta
 
 
@@ -137,6 +162,7 @@ def run_tasks(
     *,
     jobs: int | None = 1,
     chunksize: int | None = None,
+    backend: str | None = None,
 ) -> tuple[list[Any], CacheStats]:
     """Run ``fn(*args)`` for every ``args`` in ``argslist``.
 
@@ -150,8 +176,13 @@ def run_tasks(
     ``chunksize`` tunes how many tasks ship to a worker per round trip;
     the default targets ~4 chunks per worker to balance scheduling
     overhead against tail latency.
+
+    ``backend`` (``None`` = the ambient backend at submit time) is
+    resolved once and pickled into every task payload, so serial and
+    pool execution run tasks under the same :mod:`repro.backend` choice.
     """
-    payloads = [(fn, tuple(args)) for args in argslist]
+    eff_backend = resolve_backend(backend)
+    payloads = [(fn, tuple(args), eff_backend) for args in argslist]
     jobs = resolve_jobs(jobs)
     tr = obs.tracer()
     t0 = time.perf_counter() if tr.enabled else 0.0

@@ -154,19 +154,24 @@ def run_tasks_resilient(
     jobs: int | None = 1,
     config: ResilienceConfig | None = None,
     chunksize: int | None = None,  # accepted for signature parity; unused
+    backend: str | None = None,
 ) -> tuple[list[Any], CacheStats]:
     """Run ``fn(*args)`` per task, surviving crashes, hangs and restarts.
 
     Same contract as :func:`repro.engine.pool.run_tasks` — results in
-    input order, identical at any ``jobs`` — plus the recovery semantics
-    of :class:`ResilienceConfig`.  Raises only when recovery is exhausted:
+    input order, identical at any ``jobs``, tasks pinned to the resolved
+    execution ``backend`` — plus the recovery semantics of
+    :class:`ResilienceConfig`.  Raises only when recovery is exhausted:
     a task failing ``max_attempts`` times re-raises its error, a hung task
     raises :class:`~repro.errors.TaskTimeoutError`, and more than
     ``max_respawns`` pool crashes re-raise ``BrokenProcessPool``.
     """
     del chunksize
     config = config or ResilienceConfig()
-    payloads = [(fn, tuple(args)) for args in argslist]
+    from ..backend import resolve_backend as _resolve_backend
+
+    eff_backend = _resolve_backend(backend)
+    payloads = [(fn, tuple(args), eff_backend) for args in argslist]
     jobs = resolve_jobs(jobs)
     n = len(payloads)
     tr = obs.tracer()

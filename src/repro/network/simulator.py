@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from typing import Any, Hashable
 
 from .. import obs
+from ..backend import resolve_backend
 from .faults import FaultPlan
 from .packet import Packet, PacketStatus
 from .policy import NodeView, Policy
@@ -105,6 +106,14 @@ class LinearNetworkSimulator:
     topology:
         Override the topology (a name or :class:`~repro.topology.Topology`
         object); default reads it off the instance.
+    backend:
+        Execution backend for the step loop: ``"python"`` (the reference
+        loop below), ``"numpy"`` (the vectorized loop in
+        :mod:`repro.network.simulator_vec`, bit-identical results), or
+        ``None`` to resolve from the ambient backend
+        (:func:`repro.backend.resolve_backend` — context manager, then
+        ``REPRO_BACKEND``, then the default).  Runs outside the
+        vectorized envelope fall back to python automatically.
     """
 
     def __init__(
@@ -115,6 +124,7 @@ class LinearNetworkSimulator:
         buffer_capacity: int | None = None,
         faults: FaultPlan | None = None,
         topology: Any = None,
+        backend: str | None = None,
     ) -> None:
         from .. import topology as topology_pkg
 
@@ -134,10 +144,20 @@ class LinearNetworkSimulator:
         self.policy = policy
         self.buffer_capacity = buffer_capacity
         self.faults = faults if faults is not None and faults.active else None
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
 
     def run(self) -> SimulationResult:
+        if resolve_backend(self.backend) == "numpy":
+            from . import simulator_vec
+
+            result = simulator_vec.try_run_vec(self)
+            if result is not None:
+                return result
+        return self._run_python()
+
+    def _run_python(self) -> SimulationResult:
         tr = obs.tracer()
         t0 = time.perf_counter() if tr.enabled else 0.0
         inst = self.instance
@@ -163,6 +183,18 @@ class LinearNetworkSimulator:
             [[] for _ in nodes] if int_nodes else {v: [] for v in nodes}
         )
         buffer_values = buffers if int_nodes else buffers.values()
+
+        # Per-packet counters accumulate in locals (and, for contiguous
+        # int node ids, plain lists) and are flushed into ``stats`` once
+        # after the loop — the per-step dict lookups and attribute writes
+        # otherwise dominate the fault-free fast path.  The faulted and
+        # mesh branches still write ``stats`` directly via ``_forward`` /
+        # ``record_buffer``, so the flush merges rather than overwrites.
+        released_n = delivered_n = dropped_n = 0
+        total_latency = total_wait = 0
+        overflow_n = fault_n = 0
+        busy: list[int] | None = [0] * num_nodes if int_nodes else None
+        peaks: list[int] | None = [0] * num_nodes if int_nodes else None
         in_flight: list[Packet] = []
         control_in_flight: list[tuple[Any, Hashable]] = []  # (dest node, value)
         delivered: list[Packet] = []
@@ -219,14 +251,14 @@ class LinearNetworkSimulator:
                     # the crossing happened but the packet was lost on it
                     p.mark_dropped(t, "fault")
                     dropped.append(p)
-                    stats.dropped += 1
-                    stats.fault_drops += 1
+                    dropped_n += 1
+                    fault_n += 1
                     policy.on_drop(p, t)
                     live -= 1
                 elif p.status is PacketStatus.DELIVERED:
                     delivered.append(p)
-                    stats.delivered += 1
-                    stats.total_latency += (p.crossings[-1] + 1) - p.message.release
+                    delivered_n += 1
+                    total_latency += (p.crossings[-1] + 1) - p.message.release
                     policy.on_deliver(p, t)
                     live -= 1
                 elif (
@@ -235,8 +267,8 @@ class LinearNetworkSimulator:
                 ):
                     p.mark_dropped(t, "overflow")
                     dropped.append(p)
-                    stats.dropped += 1
-                    stats.buffer_overflow_drops += 1
+                    dropped_n += 1
+                    overflow_n += 1
                     policy.on_drop(p, t)
                     live -= 1
                 else:
@@ -251,7 +283,7 @@ class LinearNetworkSimulator:
             # 3. releases
             for p in releases.pop(t, ()):
                 p.status = PacketStatus.IN_NETWORK
-                stats.released += 1
+                released_n += 1
                 buffers[p.message.source].append(p)
                 policy.on_release(p, t)
 
@@ -264,11 +296,15 @@ class LinearNetworkSimulator:
                     else:
                         p.mark_dropped(t)
                         dropped.append(p)
-                        stats.dropped += 1
+                        dropped_n += 1
                         policy.on_drop(p, t)
                         live -= 1
                 buffers[v] = keep
-                stats.record_buffer(v, len(keep))
+                if peaks is not None:
+                    if len(keep) > peaks[v]:
+                        peaks[v] = len(keep)
+                else:
+                    stats.record_buffer(v, len(keep))
 
             # 5. selection + control emission
             if uniform:
@@ -290,9 +326,12 @@ class LinearNetworkSimulator:
                             buf.remove(chosen)
                             crossings = chosen.crossings
                             if crossings:
-                                stats.total_wait_steps += t - (crossings[-1] + 1)
+                                total_wait += t - (crossings[-1] + 1)
                             chosen.record_hop(t, nxt)
-                            stats.record_hop(v)
+                            if busy is not None:
+                                busy[v] += 1
+                            else:
+                                stats.record_hop(v)
                             in_flight.append(chosen)
                         value = policy_emit(v, t)
                         if value is not None and ctrl_next is not None:
@@ -355,7 +394,27 @@ class LinearNetworkSimulator:
             if p.status in (PacketStatus.PENDING, PacketStatus.IN_NETWORK):
                 p.mark_dropped(t)
                 dropped.append(p)
-                stats.dropped += 1
+                dropped_n += 1
+
+        # flush the hoisted accumulators (merging with whatever the
+        # faulted/mesh branches recorded directly)
+        stats.released = released_n
+        stats.delivered = delivered_n
+        stats.dropped = dropped_n
+        stats.total_latency = total_latency
+        stats.total_wait_steps += total_wait
+        stats.buffer_overflow_drops = overflow_n
+        stats.fault_drops = fault_n
+        if busy is not None:
+            lbs = stats.link_busy_steps
+            for v, c in enumerate(busy):
+                if c:
+                    lbs[v] = lbs.get(v, 0) + c
+        if peaks is not None:
+            pb = stats.peak_buffer
+            for v, occ in enumerate(peaks):
+                if occ > pb.get(v, 0):
+                    pb[v] = occ
 
         schedule = topo.sim_schedule(
             inst, tuple(topo.sim_trajectory(inst, p) for p in delivered)
@@ -421,6 +480,7 @@ def simulate(
     buffer_capacity: int | None = None,
     faults: FaultPlan | None = None,
     topology: Any = None,
+    backend: str | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build and run a simulator in one call."""
     return LinearNetworkSimulator(
@@ -429,4 +489,5 @@ def simulate(
         buffer_capacity=buffer_capacity,
         faults=faults,
         topology=topology,
+        backend=backend,
     ).run()

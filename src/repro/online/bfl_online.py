@@ -146,8 +146,23 @@ def _plan(
     return assignment
 
 
-def online_bfl(instance: Instance, *, faults: FaultPlan | None = None) -> StreamResult:
-    """Stream ``instance`` through the incremental scan-line admitter."""
+def online_bfl(
+    instance: Instance,
+    *,
+    faults: FaultPlan | None = None,
+    backend: str | None = None,
+) -> StreamResult:
+    """Stream ``instance`` through the incremental scan-line admitter.
+
+    ``backend`` is accepted for facade uniformity; the replan sweep is
+    reservation-aware and has no vectorized twin yet, so a ``"numpy"``
+    request falls back to this python implementation (counted under
+    ``backend.fallbacks``).
+    """
+    from ..backend import fall_back, resolve_backend
+
+    if resolve_backend(backend) == "numpy":
+        fall_back("online_bfl")
     for m in instance:
         if m.direction != Direction.LEFT_TO_RIGHT:
             raise ValueError(

@@ -91,15 +91,26 @@ def online_dbfl(
     *,
     buffer_capacity: int | None = None,
     faults: FaultPlan | None = None,
+    backend: str | None = None,
 ) -> StreamResult:
-    """The paper's distributed online rule, streamed through the simulator."""
+    """The paper's distributed online rule, streamed through the simulator.
+
+    ``backend`` is forwarded to the simulator; D-BFL drives the control
+    channel, which is outside the vectorized envelope, so a ``"numpy"``
+    request currently falls back to the python loop (counted under
+    ``backend.fallbacks``).
+    """
     from ..core.dbfl import DBFLPolicy
 
     return _traced(
         "dbfl",
         instance,
         lambda: simulate(
-            instance, DBFLPolicy(), buffer_capacity=buffer_capacity, faults=faults
+            instance,
+            DBFLPolicy(),
+            buffer_capacity=buffer_capacity,
+            faults=faults,
+            backend=backend,
         ),
     )
 
@@ -110,8 +121,14 @@ def online_greedy(
     policy: str | Policy = "edf",
     buffer_capacity: int | None = None,
     faults: FaultPlan | None = None,
+    backend: str | None = None,
 ) -> StreamResult:
-    """A buffered per-link heuristic, streamed through the simulator."""
+    """A buffered per-link heuristic, streamed through the simulator.
+
+    With ``backend="numpy"`` (explicit or ambient) the named policies run
+    on the vectorized simulator loop — bit-identical results, including
+    the decision log and drop attribution.
+    """
     from .. import baselines
 
     name = policy if isinstance(policy, str) else type(policy).__name__
@@ -134,6 +151,10 @@ def online_greedy(
         f"greedy:{name}",
         instance,
         lambda: simulate(
-            instance, policy, buffer_capacity=buffer_capacity, faults=faults
+            instance,
+            policy,
+            buffer_capacity=buffer_capacity,
+            faults=faults,
+            backend=backend,
         ),
     )
