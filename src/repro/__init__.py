@@ -40,10 +40,18 @@ from .core import (
     validate_schedule,
 )
 from .core.dbfl import dbfl
-from .api import ScheduleResult, solve, solve_bidirectional
+from .api import ScheduleResult, parse_instance, solve, solve_bidirectional
 from .backend import BACKENDS, current_backend, resolve_backend, use_backend
 from .budget import SolverBudget
-from .errors import BudgetExceeded, ReproError, SolverBackendError, TaskTimeoutError
+from .errors import (
+    BudgetExceeded,
+    ConfigError,
+    ReproError,
+    ServerError,
+    ServerOverloaded,
+    SolverBackendError,
+    TaskTimeoutError,
+)
 
 __version__ = "1.0.0"
 
@@ -67,6 +75,7 @@ __all__ = [
     "dbfl",
     "BidirectionalSchedule",
     "ScheduleResult",
+    "parse_instance",
     "solve",
     "solve_bidirectional",
     "BACKENDS",
@@ -76,6 +85,9 @@ __all__ = [
     "SolverBudget",
     "ReproError",
     "BudgetExceeded",
+    "ConfigError",
+    "ServerError",
+    "ServerOverloaded",
     "SolverBackendError",
     "TaskTimeoutError",
     "__version__",

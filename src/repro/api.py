@@ -52,8 +52,10 @@ mesh      bufferless    ``exact`` (two-phase XY MILP,
 mesh      buffered      ``greedy`` (``policy=``, ``buffer_capacity=``)
 ========  ============  =============================================
 
-A missing combination raises a ``ValueError`` naming the registered
-methods and pointing at :func:`repro.topology.register_solver`.  Online
+A missing combination raises a :class:`~repro.errors.ConfigError`
+(also a ``ValueError``/``TypeError`` for compatibility) whose message
+lists the live dispatch matrix and points at
+:func:`repro.topology.register_solver`.  Online
 solves accept ``baseline="exact"`` (default; the offline optimum of the
 matching regime), ``"bfl"`` (the shape's scan-line/helix kernel —
 cheap) or ``"none"`` to control what ``competitive_ratio`` is measured
@@ -70,6 +72,7 @@ which performs the paper's split/mirror reduction.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -78,11 +81,13 @@ from . import obs
 from . import topology as _topology
 from .core.instance import Instance
 from .core.schedule import Schedule
+from .errors import ConfigError
 
 __all__ = [
     "ScheduleResult",
     "solve",
     "solve_bidirectional",
+    "parse_instance",
     "REGIMES",
     "METHODS",
     "DISPATCH",
@@ -133,6 +138,12 @@ class ScheduleResult:
     ``topology`` names the shape the solve ran on; ``schedule`` is the
     matching schedule type (``Schedule``, ``RingSchedule`` or
     ``MeshSchedule`` — all expose ``throughput`` and ``delivered_ids``).
+
+    ``request`` is set only on results that travelled through the serving
+    tier (:mod:`repro.server`): a small telemetry block recording the
+    request id, the server that answered, the execution backend, and the
+    seconds the request waited in the solve queue.  Local solves leave it
+    ``None`` and :meth:`to_dict` omits the key.
     """
 
     schedule: Any
@@ -145,12 +156,14 @@ class ScheduleResult:
     upper: float | None = None
     competitive_ratio: float | None = None
     topology: str = "line"
+    request: dict[str, Any] | None = None
 
     #: Version of the :meth:`to_dict` serialization schema (bump on any
     #: backwards-incompatible change; documented in ``docs/api.md``).
     #: v2 added the ``topology`` field and per-topology ``schedule``
-    #: documents.
-    SCHEMA_VERSION = 2
+    #: documents; v3 added the optional ``request`` telemetry block and
+    #: the lossless :meth:`from_dict` inverse.
+    SCHEMA_VERSION = 3
 
     @property
     def delivered(self) -> int:
@@ -194,9 +207,11 @@ class ScheduleResult:
         at the top level next to the embedded ``schedule`` document
         (delegated to the topology — :func:`repro.io.schedule_to_dict`
         for lines, the ring/mesh documents otherwise) and the
-        JSON-sanitized ``telemetry``.
+        JSON-sanitized ``telemetry``.  The ``request`` block appears only
+        on server-produced results.  :meth:`from_dict` is the lossless
+        inverse.
         """
-        return {
+        out = {
             "format": "repro-schedule-result",
             "version": self.SCHEMA_VERSION,
             **self.summary(),
@@ -205,6 +220,55 @@ class ScheduleResult:
             ),
             "telemetry": _jsonable(self.telemetry),
         }
+        if self.request is not None:
+            out["request"] = _jsonable(self.request)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScheduleResult":
+        """Rebuild a :class:`ScheduleResult` from its :meth:`to_dict` form.
+
+        Accepts every schema version up to :data:`SCHEMA_VERSION` — v1
+        payloads (no ``topology`` field) parse as line results, v2
+        payloads (no ``request`` block) parse with ``request=None`` —
+        so archived results and older servers keep deserializing.  The
+        embedded ``schedule`` document is delegated to the topology's
+        ``schedule_from_dict``, which re-runs the model validators.
+        """
+        if not isinstance(data, dict):
+            raise ValueError("expected a JSON object")
+        fmt = data.get("format")
+        if fmt != "repro-schedule-result":
+            raise ValueError(f"expected format 'repro-schedule-result', got {fmt!r}")
+        version = data.get("version")
+        if not isinstance(version, int) or not 1 <= version <= cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported version {version!r} "
+                f"(supported: 1..{cls.SCHEMA_VERSION})"
+            )
+        topo_name = data.get("topology", "line")
+        try:
+            schedule = _topology.get_topology(topo_name).schedule_from_dict(
+                data["schedule"]
+            )
+            regime = data["regime"]
+            method = data["method"]
+        except KeyError as exc:
+            raise ValueError(f"missing field {exc} in result data") from exc
+        request = data.get("request")
+        return cls(
+            schedule=schedule,
+            regime=regime,
+            method=method,
+            optimal=data.get("optimal"),
+            telemetry=dict(data.get("telemetry") or {}),
+            status=data.get("status", "feasible"),
+            lower=data.get("lower"),
+            upper=data.get("upper"),
+            competitive_ratio=data.get("competitive_ratio"),
+            topology=topo_name,
+            request=dict(request) if request is not None else None,
+        )
 
 
 def _jsonable(value: Any) -> Any:
@@ -216,6 +280,41 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return str(value)
+
+
+def parse_instance(data: dict[str, Any] | str | bytes) -> Any:
+    """Parse one instance document (dict or JSON text) into an instance.
+
+    The single parse entrypoint shared by the CLI (``repro solve``), the
+    server (:mod:`repro.server`) and the client (:mod:`repro.client`) —
+    every path that turns JSON back into an ``Instance`` /
+    ``RingInstance`` / ``MeshInstance`` goes through here.  The
+    document's ``topology`` key (default ``"line"``, so pre-existing
+    line files parse unchanged) selects the topology, whose
+    ``instance_from_dict`` validates the header and re-runs the model
+    validators.  Raises ``ValueError`` on malformed documents.
+    """
+    if isinstance(data, (str, bytes)):
+        try:
+            data = json.loads(data)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"instance document is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"expected a JSON object for the instance, got {type(data).__name__}"
+        )
+    topo_name = data.get("topology", "line")
+    if not isinstance(topo_name, str):
+        raise ValueError(f"instance 'topology' must be a string, got {topo_name!r}")
+    return _topology.get_topology(topo_name).instance_from_dict(data)
+
+
+def _render_matrix(matrix: dict[tuple[str, str], tuple[str, ...]]) -> str:
+    """The live dispatch matrix as one readable line per (topology, regime)."""
+    return "; ".join(
+        f"{topo}/{regime}: {', '.join(methods)}"
+        for (topo, regime), methods in sorted(matrix.items())
+    )
 
 
 def solve(
@@ -254,21 +353,24 @@ def solve(
     ``backend.fallbacks`` observability counters.
     """
     topo = _topology.topology_of(instance)
-    if regime not in REGIMES:
-        raise ValueError(f"unknown regime {regime!r}; choose one of {REGIMES}")
     matrix = _topology.dispatch_matrix()
+    if regime not in REGIMES:
+        raise ConfigError(
+            f"unknown regime {regime!r}; choose one of {REGIMES}. "
+            f"Registered cells: {_render_matrix(matrix)}"
+        )
     methods = matrix.get((topo.name, regime))
     if not methods:
-        regimes = tuple(r for (t, r) in matrix if t == topo.name)
-        raise ValueError(
+        raise ConfigError(
             f"no solver registered for topology {topo.name!r} in regime "
-            f"{regime!r}; regimes with solvers on {topo.name!r}: {regimes} "
-            "(register one with repro.topology.register_solver)"
+            f"{regime!r}. Registered cells: {_render_matrix(matrix)} "
+            "(register new ones with repro.topology.register_solver)"
         )
     if method not in methods:
-        raise ValueError(
+        raise ConfigError(
             f"unknown method {method!r} for topology {topo.name!r}, regime "
-            f"{regime!r}; choose one of {methods} "
+            f"{regime!r}; choose one of {methods}. "
+            f"Registered cells: {_render_matrix(matrix)} "
             "(register new ones with repro.topology.register_solver)"
         )
     on_budget = opts.pop("on_budget", "raise")

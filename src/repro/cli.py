@@ -18,7 +18,12 @@ Commands:
   JSON perf baseline (``repro bench online`` benchmarks the online
   policies instead, writing ``BENCH_PR4.json``; ``repro bench kernels``
   compares the python vs numpy execution backends, writing
-  ``BENCH_PR6.json``);
+  ``BENCH_PR6.json``; ``repro bench serve`` load-tests a loopback
+  scheduling server, writing ``BENCH_PR7.json``);
+* ``repro serve --port 8787`` — run the scheduling service
+  (:mod:`repro.server`): solve + online-stream endpoints over HTTP/JSON;
+* ``repro client solve|health|cells --url http://host:port`` — talk to a
+  running server from the shell;
 * ``repro online --method bfl|dbfl|greedy`` — stream a random instance
   through an online policy and report the competitive ratio;
 * ``repro figure 1|2|3`` — print a paper figure as ASCII art;
@@ -98,13 +103,14 @@ def main(argv: list[str] | None = None) -> int:
     bench_p.add_argument(
         "suite",
         nargs="?",
-        choices=("all", "online", "topology", "kernels"),
+        choices=("all", "online", "topology", "kernels", "serve"),
         default="all",
         help="'all' (default): kernel + sweep + obs -> BENCH_PR1.json; "
         "'online': decisions/sec + competitive ratio -> BENCH_PR4.json; "
         "'topology': unified simulator vs frozen legacy loops -> "
         "BENCH_PR5.json; "
-        "'kernels': python vs numpy execution backends -> BENCH_PR6.json",
+        "'kernels': python vs numpy execution backends -> BENCH_PR6.json; "
+        "'serve': loopback server load test -> BENCH_PR7.json",
     )
     bench_p.add_argument("--seed", type=int, default=2024)
     bench_p.add_argument("--trials", type=int, default=10, help="sweep cells per size")
@@ -170,6 +176,55 @@ def main(argv: list[str] | None = None) -> int:
     solve_p.add_argument("--out", help="write the schedule as JSON here")
     solve_p.add_argument("--gantt", action="store_true", help="print link occupancy")
 
+    serve_p = sub.add_parser(
+        "serve", help="run the scheduling service (HTTP/JSON over asyncio)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8787, help="0 = ephemeral")
+    serve_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="engine workers for the solve queue (1 = in-process; 0 = all cores)",
+    )
+    serve_p.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="requests admitted but unanswered before shedding with 429",
+    )
+    serve_p.add_argument(
+        "--max-batch", type=int, default=8, help="queue entries drained per engine call"
+    )
+    serve_p.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=None,
+        help="per-tenant in-flight request cap (default: no per-tenant limit)",
+    )
+    serve_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="export a JSONL observability trace (per-request spans + run "
+        "manifest) here on shutdown",
+    )
+
+    client_p = sub.add_parser("client", help="talk to a running scheduling server")
+    client_sub = client_p.add_subparsers(dest="client_command", required=True)
+    for name, desc in (
+        ("health", "print the server's liveness document"),
+        ("cells", "print the server's dispatch matrix"),
+        ("solve", "solve an instance JSON file on the server"),
+    ):
+        cp = client_sub.add_parser(name, help=desc)
+        cp.add_argument("--url", default="http://127.0.0.1:8787")
+        if name == "solve":
+            cp.add_argument("instance", help="path to a repro-instance JSON file")
+            cp.add_argument("--regime", default="bufferless")
+            cp.add_argument("--method", default="bfl")
+            cp.add_argument("--out", help="write the result JSON (schema v3) here")
+
     report_p = sub.add_parser("report", help="run experiments, emit a markdown report")
     report_p.add_argument("experiments", nargs="*", help="subset of ids (default: all)")
     report_p.add_argument("--seed", type=int, default=None)
@@ -212,6 +267,10 @@ def main(argv: list[str] | None = None) -> int:
         return _online(args)
     if args.command == "solve":
         return _solve(args.instance, args.algorithm, args.out, args.gantt)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "client":
+        return _client(args)
     if args.command == "dataset":
         return _dataset(args)
     if args.command == "report":
@@ -341,6 +400,12 @@ def _bench(suite: str, seed: int, trials: int, jobs: int, out: str | None) -> in
             seed=seed, trials=trials, out=None if out == "-" else out
         )
         print(render_online_summary(payload))
+    elif suite == "serve":
+        from .engine.bench import render_serve_summary, run_serve_benchmarks
+
+        out = "BENCH_PR7.json" if out is None else out
+        payload = run_serve_benchmarks(seed=seed, out=None if out == "-" else out)
+        print(render_serve_summary(payload))
     else:
         from .engine.bench import render_summary, run_benchmarks
 
@@ -423,15 +488,81 @@ def _demo(seed: int, n: int, k: int) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    from .server import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        tenant_quota=args.tenant_quota,
+        trace=args.trace,
+    )
+
+    def _ready(s: ReproServer) -> None:
+        print(f"serving on {s.url} (Ctrl-C to stop)")
+
+    server.run(ready=_ready)
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def _client(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .client import ReproClient
+    from .errors import ReproError, ServerError
+
+    client = ReproClient(args.url)
+    try:
+        if args.client_command == "health":
+            print(json.dumps(client.health(), indent=2))
+            return 0
+        if args.client_command == "cells":
+            for topo, regime, method in client.cells():
+                print(f"{topo:<6} {regime:<12} {method}")
+            return 0
+        from .api import parse_instance
+
+        inst = parse_instance(Path(args.instance).read_text())
+        result = client.solve(inst, args.regime, args.method)
+        line = (
+            f"{args.regime}/{args.method} via {args.url}: "
+            f"delivered {result.delivered}/{len(inst)} (status {result.status})"
+        )
+        if result.request is not None:
+            line += (
+                f"; request {result.request['id']} waited "
+                f"{result.request['queue_seconds'] * 1e3:.2f} ms in queue"
+            )
+        print(line)
+        if args.out:
+            Path(args.out).write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+            print(f"result written to {args.out}")
+        return 0
+    except (ServerError, ReproError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
 def _solve(instance_path: str, algorithm: str, out: str | None, gantt: bool) -> int:
+    from pathlib import Path
+
     from .analysis import schedule_summary
+    from .api import parse_instance
     from .core.bfl import bfl
     from .core.dbfl import dbfl
     from .baselines import edf_bufferless
     from .exact import opt_bufferless
-    from .io import load_instance, save_schedule
+    from .io import save_schedule
 
-    inst = load_instance(instance_path)
+    inst = parse_instance(Path(instance_path).read_text())
     if algorithm == "bfl":
         schedule = bfl(inst)
     elif algorithm == "dbfl":

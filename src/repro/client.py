@@ -1,0 +1,325 @@
+"""``repro.client`` — the synchronous client for :mod:`repro.server`.
+
+A thin, dependency-free HTTP client (stdlib ``http.client``, keep-alive)
+whose surface mirrors the local facade: :meth:`ReproClient.solve` takes
+the same ``(instance, regime, method, **opts)`` and returns the same
+:class:`~repro.api.ScheduleResult` — byte-identical ``to_dict`` output
+up to the volatile blocks (``telemetry`` wall times and the
+server-stamped ``request`` block).  Structured error payloads come back
+as the same typed exceptions a local call would raise:
+:class:`~repro.errors.ConfigError` for unknown dispatch cells,
+:class:`~repro.errors.BudgetExceeded` for ``on_budget="raise"`` solves
+(bounds preserved; the incumbent schedule does not travel),
+:class:`~repro.errors.ServerOverloaded` for 429 backpressure.
+
+Connection failures (refused, reset, a server restart mid-keep-alive)
+are retried with exponential backoff up to ``retries`` times — solve and
+stream requests are idempotent on the server side until admitted, so a
+reconnect-and-resend is safe.  HTTP-level errors are never retried; they
+are answers.
+
+Usage::
+
+    from repro.client import ReproClient
+
+    with ReproClient("http://127.0.0.1:8787") as client:
+        result = client.solve(instance, regime="bufferless", method="bfl")
+        with client.open_stream(n=16, policy="bfl") as stream:
+            decisions = stream.feed(messages)
+            final = stream.close()
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Iterable
+
+from .api import ScheduleResult
+from .budget import SolverBudget
+from .errors import BudgetExceeded, ConfigError, ServerError, ServerOverloaded
+from .online import StreamResult
+from .online.stream import Decision
+from .topology import topology_of
+
+__all__ = ["ReproClient", "ClientStream"]
+
+#: Exceptions that mean "the connection died", not "the server answered".
+_RETRYABLE = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    socket.gaierror,
+)
+
+
+class ReproClient:
+    """Synchronous client for one scheduling server.
+
+    Parameters
+    ----------
+    url:
+        ``http://host:port`` of the server (https is not supported — the
+        serving tier is plain HTTP behind whatever ingress terminates
+        TLS).
+    tenant:
+        Tenant name sent with every solve (the server's per-tenant
+        quotas key on it).  ``None`` = the server's default tenant.
+    retries:
+        Extra attempts after a connection-level failure.
+    backoff:
+        Base of the exponential back-off sleep: attempt ``k`` waits
+        ``backoff * 2**k`` seconds.
+    timeout:
+        Socket timeout per request, in seconds.
+    """
+
+    def __init__(
+        self,
+        url: str = "http://127.0.0.1:8787",
+        *,
+        tenant: str | None = None,
+        retries: int = 3,
+        backoff: float = 0.05,
+        timeout: float = 60.0,
+    ) -> None:
+        if not url.startswith("http://"):
+            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        hostport = url[len("http://") :].rstrip("/")
+        host, _, port = hostport.partition(":")
+        if not host or not port or not port.isdigit():
+            raise ValueError(f"expected http://host:port, got {url!r}")
+        self.host = host
+        self.port = int(port)
+        self.tenant = tenant
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.timeout = float(timeout)
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------- #
+    # plumbing
+    # ------------------------------------------------------------- #
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _request(
+        self,
+        verb: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, Any], Any]:
+        payload = json.dumps(body).encode() if body is not None else None
+        send_headers = {"Connection": "keep-alive"}
+        if payload is not None:
+            send_headers["Content-Type"] = "application/json"
+        if headers:
+            send_headers.update(headers)
+        last_exc: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff * 2 ** (attempt - 1))
+            try:
+                if self._conn is None:
+                    self._conn = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout
+                    )
+                self._conn.request(verb, path, body=payload, headers=send_headers)
+                response = self._conn.getresponse()
+                raw = response.read()
+                status = response.status
+                data = json.loads(raw) if raw else {}
+                if not isinstance(data, dict):
+                    raise ServerError(
+                        f"server sent a non-object JSON body for {verb} {path}"
+                    )
+                return status, data, response.headers
+            except _RETRYABLE as exc:
+                self.close()
+                last_exc = exc
+        raise ServerError(
+            f"cannot reach {self.host}:{self.port} after "
+            f"{self.retries + 1} attempts: {last_exc}"
+        ) from last_exc
+
+    def _call(
+        self,
+        verb: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> dict[str, Any]:
+        status, data, resp_headers = self._request(verb, path, body, headers)
+        if status < 400:
+            return data
+        raise self._error_for(status, data, resp_headers)
+
+    @staticmethod
+    def _error_for(status: int, data: dict[str, Any], headers: Any) -> Exception:
+        err = data.get("error") or {}
+        etype = err.get("type", "internal")
+        message = err.get("message", f"server returned HTTP {status}")
+        details = err.get("details") or {}
+        if etype == "config":
+            return ConfigError(message)
+        if etype == "bad_request":
+            return ValueError(message)
+        if etype == "overloaded":
+            retry_after = details.get("retry_after")
+            if retry_after is None:
+                header = headers.get("Retry-After") if headers else None
+                retry_after = float(header) if header else None
+            return ServerOverloaded(
+                message, retry_after=retry_after, details=details
+            )
+        if etype == "budget_exceeded":
+            return BudgetExceeded(
+                message,
+                lower=details.get("lower", 0),
+                upper=details.get("upper"),
+                incumbent=None,  # schedules do not travel inside errors
+                spent=details.get("spent"),
+            )
+        return ServerError(message, error_type=etype, details=details)
+
+    # ------------------------------------------------------------- #
+    # endpoints
+    # ------------------------------------------------------------- #
+
+    def health(self) -> dict[str, Any]:
+        """The server's liveness document (versions, queue depth)."""
+        return self._call("GET", "/v1/health")
+
+    def cells(self) -> list[tuple[str, str, str]]:
+        """The server's live dispatch matrix as (topology, regime, method)."""
+        data = self._call("GET", "/v1/cells")
+        return [
+            (c["topology"], c["regime"], c["method"]) for c in data.get("cells", [])
+        ]
+
+    def solve(
+        self,
+        instance: Any,
+        regime: str = "bufferless",
+        method: str = "exact",
+        *,
+        request_id: str | None = None,
+        **opts: Any,
+    ) -> ScheduleResult:
+        """Solve ``instance`` on the server; the remote twin of
+        :func:`repro.api.solve` (same arguments, same result object).
+
+        ``budget=SolverBudget(...)`` serializes onto the wire; the
+        returned result additionally carries the server's ``request``
+        telemetry block.
+        """
+        options = dict(opts)
+        budget = options.get("budget")
+        if isinstance(budget, SolverBudget):
+            options["budget"] = {
+                "wall_time": budget.wall_time,
+                "nodes": budget.nodes,
+            }
+        body: dict[str, Any] = {
+            "instance": topology_of(instance).instance_to_dict(instance),
+            "regime": regime,
+            "method": method,
+            "options": options,
+        }
+        if self.tenant is not None:
+            body["tenant"] = self.tenant
+        headers = {"x-repro-request-id": request_id} if request_id else None
+        return ScheduleResult.from_dict(
+            self._call("POST", "/v1/solve", body, headers)
+        )
+
+    def open_stream(
+        self,
+        *,
+        n: int,
+        topology: str = "line",
+        policy: str = "bfl",
+        **options: Any,
+    ) -> "ClientStream":
+        """Open a server-side online stream session."""
+        data = self._call(
+            "POST",
+            "/v1/streams",
+            {"n": n, "topology": topology, "policy": policy, "options": options},
+        )
+        return ClientStream(self, data["stream"], topology=data["topology"])
+
+
+def _message_row(message: Any) -> dict[str, Any]:
+    if isinstance(message, dict):
+        return message
+    return {
+        "id": message.id,
+        "source": message.source,
+        "dest": message.dest,
+        "release": message.release,
+        "deadline": message.deadline,
+    }
+
+
+class ClientStream:
+    """One open stream session, as seen from the client.
+
+    ``feed`` posts an arrival batch and returns the decisions the server
+    finalized with it; ``close`` ends the run and returns the full
+    :class:`~repro.online.StreamResult` (with any not-yet-delivered
+    decisions folded in — ``result.decisions`` is always the complete
+    log).  ``abandon`` deletes the session without a result.
+    """
+
+    def __init__(self, client: ReproClient, stream_id: str, *, topology: str) -> None:
+        self.client = client
+        self.stream_id = stream_id
+        self.topology = topology
+        self.frontier = 0
+        self.closed = False
+
+    def __enter__(self) -> "ClientStream":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if not self.closed:
+            self.abandon()
+
+    def feed(self, messages: Iterable[Any]) -> list[Decision]:
+        """Feed arrivals (``Message``/``RingMessage`` objects or dicts);
+        returns the newly finalized decisions."""
+        rows = [_message_row(m) for m in messages]
+        data = self.client._call(
+            "POST",
+            f"/v1/streams/{self.stream_id}/arrivals",
+            {"messages": rows},
+        )
+        self.frontier = data["frontier"]
+        return [Decision.from_dict(d) for d in data["decisions"]]
+
+    def close(self) -> StreamResult:
+        """End the stream; returns the completed run."""
+        data = self.client._call("POST", f"/v1/streams/{self.stream_id}/close")
+        self.closed = True
+        return StreamResult.from_dict(data["result"])
+
+    def abandon(self) -> None:
+        """Delete the session server-side without running to completion."""
+        self.client._call("DELETE", f"/v1/streams/{self.stream_id}")
+        self.closed = True

@@ -47,13 +47,16 @@ __all__ = [
     "bench_sweep",
     "bench_topology",
     "contended_instance",
+    "bench_serve",
     "render_backend_summary",
     "render_online_summary",
+    "render_serve_summary",
     "render_summary",
     "render_topology_summary",
     "run_backend_benchmarks",
     "run_benchmarks",
     "run_online_benchmarks",
+    "run_serve_benchmarks",
     "run_topology_benchmarks",
 ]
 
@@ -961,6 +964,155 @@ def render_backend_summary(payload: dict[str, Any]) -> str:
         f"online {b['online']['min_speedup']:.1f}x"
     )
     return "\n".join(lines)
+
+
+def bench_serve(
+    *,
+    seed: int = 2024,
+    requests: int = 400,
+    warmup: int = 20,
+    solve_n: int = 8,
+    solve_k: int = 12,
+    stream_n: int = 32,
+    stream_k: int = 300,
+    stream_batch: int = 25,
+) -> dict[str, Any]:
+    """Loopback load test of the serving tier (PR7's metric).
+
+    One :class:`~repro.server.ReproServer` on an ephemeral port, one
+    keep-alive :class:`~repro.client.ReproClient`, three sections:
+
+    * **solve** — ``requests`` sequential ``POST /v1/solve`` calls on one
+      small fixed instance (``bfl``, the production fast path), reporting
+      sustained req/s and p50/p99 end-to-end latency.  A parity check
+      against the local facade runs first, so the rate can never come
+      from answering a different question;
+    * **stream** — one online session fed in release-ordered batches of
+      ``stream_batch`` arrivals, reporting decisions/s over HTTP (the
+      remote twin of PR4's decisions/s) plus a final-result equality
+      check against the local :func:`~repro.online.run_online`;
+    * **overhead** — the same solve timed through the local facade, so
+      the HTTP+queue tax is one visible number.
+    """
+    from .. import api
+    from ..client import ReproClient
+    from ..online import run_online
+    from ..server import ReproServer
+
+    rng = np.random.default_rng(seed)
+    inst = general_instance(rng, n=solve_n, k=solve_k, max_release=8, max_slack=5)
+    stream_inst = general_instance(
+        rng, n=stream_n, k=stream_k, max_release=stream_n, max_slack=8
+    )
+
+    server = ReproServer(port=0, jobs=1).start_in_thread()
+    try:
+        with ReproClient(server.url) as client:
+            # Parity gate: the remote answer must equal the local one
+            # (modulo the volatile telemetry/request blocks).
+            local = api.solve(inst, "bufferless", "bfl").to_dict()
+            remote = client.solve(inst, "bufferless", "bfl").to_dict()
+            for volatile in ("telemetry", "request"):
+                local.pop(volatile, None)
+                remote.pop(volatile, None)
+            if local != remote:
+                raise AssertionError("loopback solve diverged from the local facade")
+
+            for _ in range(warmup):
+                client.solve(inst, "bufferless", "bfl")
+
+            latencies = []
+            t0 = time.perf_counter()
+            for _ in range(requests):
+                s0 = time.perf_counter()
+                client.solve(inst, "bufferless", "bfl")
+                latencies.append(time.perf_counter() - s0)
+            solve_s = time.perf_counter() - t0
+            lat = np.asarray(latencies)
+
+            local_s = best_of(lambda: api.solve(inst, "bufferless", "bfl"), repeats=3)
+
+            # Online over HTTP: one session, release-ordered batches.
+            arrivals = sorted(stream_inst, key=lambda m: (m.release, m.id))
+            decisions = 0
+            t0 = time.perf_counter()
+            with client.open_stream(n=stream_n, policy="bfl") as stream:
+                for i in range(0, len(arrivals), stream_batch):
+                    decisions += len(stream.feed(arrivals[i : i + stream_batch]))
+                result = stream.close()
+            stream_s = time.perf_counter() - t0
+            direct = run_online(stream_inst, "bfl")
+            if result.decisions != direct.decisions:
+                raise AssertionError("streamed decisions diverged from run_online")
+    finally:
+        server.shutdown()
+
+    return {
+        "solve": {
+            "n": solve_n,
+            "messages": solve_k,
+            "requests": requests,
+            "seconds": solve_s,
+            "requests_per_second": requests / solve_s if solve_s else float("inf"),
+            "p50_latency_ms": float(np.percentile(lat, 50)) * 1e3,
+            "p99_latency_ms": float(np.percentile(lat, 99)) * 1e3,
+            "local_solve_ms": local_s * 1e3,
+            "http_overhead_ms": float(np.percentile(lat, 50)) * 1e3 - local_s * 1e3,
+        },
+        "stream": {
+            "n": stream_n,
+            "messages": stream_k,
+            "batch": stream_batch,
+            "decisions": len(direct.decisions),
+            "seconds": stream_s,
+            "decisions_per_second": (
+                len(direct.decisions) / stream_s if stream_s else float("inf")
+            ),
+        },
+    }
+
+
+def run_serve_benchmarks(
+    *,
+    seed: int = 2024,
+    requests: int = 400,
+    out: str | Path | None = None,
+) -> dict[str, Any]:
+    """The ``repro bench serve`` suite; writes ``BENCH_PR7.json``."""
+    tr = obs.tracer()
+    t0 = time.perf_counter()
+    serve = bench_serve(seed=seed, requests=requests)
+    elapsed = time.perf_counter() - t0
+    tr.record_span("bench.serve", t0, t0 + elapsed)
+    payload = {
+        "benchmark": "repro serving-tier baseline",
+        "cpu_count": os.cpu_count(),
+        "serve": serve,
+        "phases": [{"name": "serve", "seconds": elapsed}],
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def render_serve_summary(payload: dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_serve_benchmarks` payload."""
+    s = payload["serve"]["solve"]
+    st = payload["serve"]["stream"]
+    return "\n".join(
+        [
+            "serve bench (loopback HTTP, keep-alive client, jobs=1)",
+            f"  solve  n={s['n']} k={s['messages']}: "
+            f"{s['requests_per_second']:8.0f} req/s   "
+            f"p50 {s['p50_latency_ms']:.2f} ms   p99 {s['p99_latency_ms']:.2f} ms   "
+            f"(local solve {s['local_solve_ms']:.2f} ms, "
+            f"http tax {s['http_overhead_ms']:.2f} ms)",
+            f"  stream n={st['n']} k={st['messages']} "
+            f"(batches of {st['batch']}): "
+            f"{st['decisions_per_second']:8.0f} decisions/s over HTTP "
+            f"({st['decisions']} decisions in {st['seconds'] * 1e3:.0f} ms)",
+        ]
+    )
 
 
 def run_benchmarks(

@@ -21,8 +21,17 @@ All three subclass both :class:`ReproError` (the package-wide base) and
 keep working.
 
 :class:`ConfigError` is the configuration-side counterpart: a run was
-*described* wrongly (an unknown experiment parameter, a typo'd key).  It
-subclasses :class:`TypeError` for the same compatibility reason.
+*described* wrongly (an unknown experiment parameter, a typo'd key, an
+unregistered dispatch cell).  It subclasses both :class:`TypeError` and
+:class:`ValueError` for the same compatibility reason — historic call
+sites raised one or the other depending on whether the *shape* or the
+*value* of the configuration was wrong.
+
+:class:`ServerError` / :class:`ServerOverloaded` are the serving tier's
+exceptions (:mod:`repro.server`, :mod:`repro.client`): the first wraps
+any structured error payload a server returned that has no richer local
+type, the second is the typed form of an HTTP 429 backpressure response
+and carries the server's ``retry_after`` hint.
 """
 
 from __future__ import annotations
@@ -36,6 +45,8 @@ __all__ = [
     "ReproError",
     "BudgetExceeded",
     "ConfigError",
+    "ServerError",
+    "ServerOverloaded",
     "SolverBackendError",
     "TaskTimeoutError",
 ]
@@ -45,7 +56,7 @@ class ReproError(Exception):
     """Base class for every exception the package raises deliberately."""
 
 
-class ConfigError(ReproError, TypeError):
+class ConfigError(ReproError, TypeError, ValueError):
     """A run configuration names parameters the target does not accept."""
 
 
@@ -92,3 +103,44 @@ class BudgetExceeded(ReproError, RuntimeError):
 
 class TaskTimeoutError(ReproError, RuntimeError):
     """A sweep-engine task exceeded its per-task timeout on every attempt."""
+
+
+class ServerError(ReproError, RuntimeError):
+    """A scheduling server returned a structured error payload.
+
+    Attributes
+    ----------
+    error_type:
+        The wire error type (``"internal"``, ``"not_found"``, ...).
+    details:
+        The payload's machine-readable ``details`` object (may be empty).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        error_type: str = "internal",
+        details: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+        self.details = dict(details) if details else {}
+
+
+class ServerOverloaded(ServerError):
+    """The server shed this request under backpressure (HTTP 429).
+
+    ``retry_after`` is the server's back-off hint in seconds (``None``
+    when the server did not send one).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float | None = None,
+        details: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message, error_type="overloaded", details=details)
+        self.retry_after = retry_after

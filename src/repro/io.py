@@ -16,6 +16,13 @@ Schedules store crossing times per message, which round-trips buffered and
 bufferless trajectories alike.  ``load_*`` functions validate structure and
 re-run the model validators, so a hand-edited file cannot smuggle in an
 inconsistent object.
+
+The dict-level functions here are the *line* documents; ring and mesh
+instances carry a ``"topology"`` discriminator and are handled by their
+topology's ``instance_to_dict`` / ``instance_from_dict``.
+:func:`repro.api.parse_instance` is the one shared parse entrypoint
+(CLI, server, client); :func:`load_instance` routes through it, so files
+of any topology load transparently.
 """
 
 from __future__ import annotations
@@ -112,12 +119,24 @@ def schedule_from_dict(data: dict[str, Any]) -> Schedule:
     return Schedule(trajectories)  # re-validates edge-disjointness
 
 
-def save_instance(instance: Instance, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+def save_instance(instance: Any, path: str | Path) -> None:
+    """Write any topology's instance as self-describing JSON.
+
+    Line instances keep the historic document shape (plus a ``topology``
+    discriminator); ring/mesh instances delegate to their topology's
+    serializer.
+    """
+    from .topology import topology_of
+
+    doc = topology_of(instance).instance_to_dict(instance)
+    Path(path).write_text(json.dumps(doc, indent=2))
 
 
-def load_instance(path: str | Path) -> Instance:
-    return instance_from_dict(json.loads(Path(path).read_text()))
+def load_instance(path: str | Path) -> Any:
+    """Load any topology's instance (via :func:`repro.api.parse_instance`)."""
+    from .api import parse_instance
+
+    return parse_instance(Path(path).read_text())
 
 
 def save_schedule(schedule: Schedule, path: str | Path) -> None:

@@ -76,6 +76,20 @@ class Decision:
             out["reason"] = self.reason
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Decision":
+        """The lossless inverse of :meth:`to_dict` (validators re-run)."""
+        try:
+            return cls(
+                message_id=int(data["message_id"]),
+                kind=str(data["kind"]),
+                time=int(data["time"]),
+                alpha=int(data["alpha"]) if data.get("alpha") is not None else None,
+                reason=data.get("reason"),
+            )
+        except KeyError as exc:
+            raise ValueError(f"missing field {exc} in decision data") from exc
+
 
 @dataclass(frozen=True)
 class StreamResult:
@@ -106,6 +120,64 @@ class StreamResult:
     @property
     def fault_dropped_ids(self) -> frozenset[int]:
         return frozenset(i for i, why in self.dropped.items() if why == "fault")
+
+    #: Version of the :meth:`to_dict` wire schema.
+    SCHEMA_VERSION = 1
+
+    def to_dict(self, *, topology: str = "line") -> dict[str, Any]:
+        """The stable JSON form of one online run.
+
+        ``topology`` names the shape the run happened on (the schedule
+        document is delegated to it, exactly like
+        :meth:`repro.api.ScheduleResult.to_dict`); online runs on rings
+        pass ``topology="ring"``.  :meth:`from_dict` is the lossless
+        inverse.
+        """
+        from ..api import _jsonable
+        from ..topology import get_topology
+
+        return {
+            "format": "repro-stream-result",
+            "version": self.SCHEMA_VERSION,
+            "topology": topology,
+            "policy": self.policy,
+            "throughput": self.throughput,
+            "steps": self.steps,
+            "delivered_ids": sorted(self.delivered_ids),
+            "dropped": {str(i): why for i, why in sorted(self.dropped.items())},
+            "decisions": [d.to_dict() for d in self.decisions],
+            "stats": _jsonable(self.stats),
+            "schedule": get_topology(topology).schedule_to_dict(self.schedule),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "StreamResult":
+        """Rebuild a :class:`StreamResult` from its :meth:`to_dict` form."""
+        from ..topology import get_topology
+
+        if not isinstance(data, dict):
+            raise ValueError("expected a JSON object")
+        fmt = data.get("format")
+        if fmt != "repro-stream-result":
+            raise ValueError(f"expected format 'repro-stream-result', got {fmt!r}")
+        version = data.get("version")
+        if version != cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported version {version!r} (supported: {cls.SCHEMA_VERSION})"
+            )
+        topology = data.get("topology", "line")
+        try:
+            return cls(
+                policy=str(data["policy"]),
+                schedule=get_topology(topology).schedule_from_dict(data["schedule"]),
+                delivered_ids=frozenset(int(i) for i in data["delivered_ids"]),
+                dropped={int(i): str(why) for i, why in data["dropped"].items()},
+                decisions=tuple(Decision.from_dict(d) for d in data["decisions"]),
+                steps=int(data["steps"]),
+                stats=dict(data.get("stats") or {}),
+            )
+        except KeyError as exc:
+            raise ValueError(f"missing field {exc} in stream result data") from exc
 
 
 def arrival_stream(instance: Instance) -> Iterator[tuple[int, tuple[Message, ...]]]:

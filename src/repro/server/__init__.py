@@ -1,0 +1,37 @@
+"""``repro.server`` — scheduling as a long-running HTTP/JSON service.
+
+The serving tier over the facade: every registered
+``(topology, regime, method)`` dispatch cell becomes a network endpoint,
+online runs become session-scoped streams, and the sweep engine becomes
+the server's worker pool.  Pure stdlib ``asyncio`` — no web framework.
+
+Quickstart::
+
+    from repro.server import ReproServer
+
+    server = ReproServer(port=8787, jobs=2).start_in_thread()
+    ...  # point repro.client.ReproClient at server.url
+    server.shutdown()
+
+Or from the shell: ``repro serve --port 8787``.  See
+:mod:`repro.server.protocol` for the endpoint list and the error-payload
+wire schema, :mod:`repro.client` for the matching synchronous client.
+"""
+
+from .app import ReproServer
+from .protocol import ERROR_STATUS, WIRE_VERSION, error_body
+from .queue import SolveQueue
+from .sessions import OnlineSession, StreamSessions
+from .worker import decode_options, solve_cell
+
+__all__ = [
+    "ReproServer",
+    "SolveQueue",
+    "OnlineSession",
+    "StreamSessions",
+    "WIRE_VERSION",
+    "ERROR_STATUS",
+    "error_body",
+    "solve_cell",
+    "decode_options",
+]

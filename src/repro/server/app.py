@@ -1,0 +1,490 @@
+"""The asyncio HTTP/JSON scheduling server.
+
+:class:`ReproServer` is a long-running service over stdlib ``asyncio``
+only — ``asyncio.start_server`` plus hand-rolled HTTP/1.1 framing
+(request line, headers, ``Content-Length`` bodies, keep-alive), no web
+framework dependency.  The moving parts:
+
+* solve requests go through the batched :class:`~repro.server.queue.
+  SolveQueue` into an :class:`repro.engine.Engine` (``jobs`` picks
+  serial vs process-pool execution) — never onto the event loop;
+* stream requests hit the :class:`~repro.server.sessions.StreamSessions`
+  table of incremental online runs;
+* overload raises :class:`~repro.errors.ServerOverloaded` which maps to
+  a 429 + ``Retry-After``; every other failure maps to the structured
+  error payload of :mod:`repro.server.protocol`;
+* with ``trace=``, the server installs its own
+  :class:`~repro.obs.Tracer` process-wide for its lifetime, tags every
+  request with a ``server.request`` span (request id, endpoint, status)
+  on top of the solver's own spans, and exports the JSONL trace — with a
+  :class:`~repro.obs.RunManifest` — on stop, so ``repro obs report``
+  works on production traffic.
+
+Every response carries ``x-repro-request-id`` (echoing the client's
+header or minting one), and every solve result gains the schema-v3
+``request`` block: request id, answering server, execution backend, and
+seconds spent waiting in the queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import secrets
+import threading
+import time
+from typing import Any
+
+from .. import obs
+from ..api import ScheduleResult
+from ..engine import Engine
+from ..errors import ConfigError, ServerOverloaded
+from ..topology import dispatch_matrix
+from .protocol import ERROR_STATUS, REASONS, WIRE_VERSION, error_body
+from .queue import SolveQueue
+from .sessions import StreamSessions
+
+__all__ = ["ReproServer"]
+
+_MAX_BODY = 16 * 1024 * 1024  # refuse absurd payloads before buffering them
+
+
+class _HttpError(Exception):
+    """Internal short-circuit: a ready-to-send error response."""
+
+    def __init__(self, status: int, body: dict[str, Any], headers=()):
+        super().__init__(body.get("error", {}).get("message", ""))
+        self.status = status
+        self.body = body
+        self.headers = tuple(headers)
+
+
+class ReproServer:
+    """One scheduling service instance (see module docstring)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        jobs: int | None = 1,
+        max_pending: int = 256,
+        max_batch: int = 8,
+        tenant_quota: int | None = None,
+        max_sessions: int = 64,
+        trace: str | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port  # 0 = ephemeral; resolved by start()
+        self.engine = Engine(jobs=jobs)
+        self.queue = SolveQueue(
+            self.engine,
+            max_pending=max_pending,
+            max_batch=max_batch,
+            tenant_quota=tenant_quota,
+        )
+        self.sessions = StreamSessions(max_sessions)
+        self._trace_path = trace
+        self._tracer: obs.Tracer | None = None
+        self._manifest: obs.RunManifest | None = None
+        self._obs_swap = None
+        self._server: asyncio.base_events.Server | None = None
+        self._started_at = 0.0
+        self._request_seq = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._stop_event: asyncio.Event | None = None
+
+    # ------------------------------------------------------------- #
+    # lifecycle
+    # ------------------------------------------------------------- #
+
+    async def start(self) -> "ReproServer":
+        """Bind the listener and start the queue drainer."""
+        self._loop = asyncio.get_running_loop()
+        self._started_at = time.perf_counter()
+        if self._trace_path is not None:
+            self._tracer = obs.Tracer(enabled=True)
+            self._obs_swap = obs.use(self._tracer)
+            self._obs_swap.__enter__()
+            self._manifest = obs.RunManifest.collect(
+                "repro serve",
+                config={
+                    "host": self.host,
+                    "jobs": self.engine.jobs,
+                    "max_pending": self.queue.max_pending,
+                    "max_batch": self.queue.max_batch,
+                },
+            )
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        await self.queue.start()
+        return self
+
+    async def stop(self) -> None:
+        """Close the listener, drain the queue, export the trace."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.queue.stop()
+        if self._obs_swap is not None:
+            self._obs_swap.__exit__(None, None, None)
+            self._obs_swap = None
+        if self._tracer is not None and self._trace_path is not None:
+            if self._manifest is not None:
+                self._manifest.finish(time.perf_counter() - self._started_at)
+            obs.to_jsonl(self._tracer, self._trace_path, manifest=self._manifest)
+            self._tracer = None
+
+    def run(self, *, ready=None) -> None:
+        """Serve until interrupted (the blocking ``repro serve`` path)."""
+
+        async def _main() -> None:
+            await self.start()
+            self._stop_event = asyncio.Event()
+            if ready is not None:
+                ready(self)
+            try:
+                await self._stop_event.wait()
+            finally:
+                await self.stop()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+    # -- thread harness (tests, benchmarks, notebooks) ------------- #
+
+    def start_in_thread(self) -> "ReproServer":
+        """Run the server on a dedicated event-loop thread; returns once
+        the port is bound.  Pair with :meth:`shutdown`."""
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def _runner() -> None:
+            async def _main() -> None:
+                try:
+                    await self.start()
+                    self._stop_event = asyncio.Event()
+                except BaseException as exc:  # surface bind errors to caller
+                    failure.append(exc)
+                    started.set()
+                    return
+                started.set()
+                try:
+                    await self._stop_event.wait()
+                finally:
+                    await self.stop()
+
+            asyncio.run(_main())
+
+        self._thread = threading.Thread(
+            target=_runner, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout=30):
+            raise RuntimeError("server did not start within 30s")
+        if failure:
+            raise failure[0]
+        return self
+
+    def shutdown(self) -> None:
+        """Stop a :meth:`start_in_thread` server and join its thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------- #
+    # HTTP framing
+    # ------------------------------------------------------------- #
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    await self._respond(
+                        writer,
+                        400,
+                        error_body("bad_request", "malformed request line"),
+                        keep_alive=False,
+                    )
+                    break
+                verb, target, _version = parts
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = line.decode("latin-1").partition(":")
+                    headers[key.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    length = -1
+                if not 0 <= length <= _MAX_BODY:
+                    await self._respond(
+                        writer,
+                        400,
+                        error_body("bad_request", "bad Content-Length"),
+                        keep_alive=False,
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, payload, extra = await self._dispatch(
+                    verb.upper(), target, body, headers
+                )
+                await self._respond(
+                    writer, status, payload, keep_alive=keep_alive, extra=extra
+                )
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown while a keep-alive connection idles: close it
+            # quietly instead of letting the cancellation escape into the
+            # loop's exception handler.
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        *,
+        keep_alive: bool,
+        extra: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        data = json.dumps(payload).encode()
+        head = [
+            f"HTTP/1.1 {status} {REASONS.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(data)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        head.extend(f"{k}: {v}" for k, v in extra)
+        writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + data)
+        await writer.drain()
+
+    # ------------------------------------------------------------- #
+    # routing
+    # ------------------------------------------------------------- #
+
+    def _request_id(self, headers: dict[str, str]) -> str:
+        supplied = headers.get("x-repro-request-id", "").strip()
+        if supplied:
+            return supplied[:128]
+        self._request_seq += 1
+        return f"req-{self._request_seq:06d}-{secrets.token_hex(4)}"
+
+    async def _dispatch(
+        self, verb: str, target: str, body: bytes, headers: dict[str, str]
+    ) -> tuple[int, dict[str, Any], tuple[tuple[str, str], ...]]:
+        request_id = self._request_id(headers)
+        t0 = time.perf_counter()
+        route = f"{verb} {target}"
+        extra: tuple[tuple[str, str], ...] = (("x-repro-request-id", request_id),)
+        try:
+            status, payload, route = await self._route(
+                verb, target, body, headers, request_id
+            )
+        except _HttpError as exc:
+            status, payload = exc.status, exc.body
+            extra += exc.headers
+        except ServerOverloaded as exc:
+            status = ERROR_STATUS["overloaded"]
+            payload = error_body(
+                "overloaded",
+                str(exc),
+                retry_after=exc.retry_after,
+                **exc.details,
+            )
+            if exc.retry_after is not None:
+                extra += (("Retry-After", f"{exc.retry_after:.3f}"),)
+        except KeyError as exc:
+            status = ERROR_STATUS["not_found"]
+            payload = error_body("not_found", str(exc.args[0]) if exc.args else "")
+        except ConfigError as exc:  # before ValueError: ConfigError is one
+            status = ERROR_STATUS["config"]
+            payload = error_body("config", str(exc))
+        except (ValueError, TypeError) as exc:
+            status = ERROR_STATUS["bad_request"]
+            payload = error_body("bad_request", str(exc))
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            status = ERROR_STATUS["internal"]
+            payload = error_body("internal", f"{type(exc).__name__}: {exc}")
+        if self._tracer is not None:
+            self._tracer.record_span(
+                "server.request",
+                t0,
+                request_id=request_id,
+                endpoint=route,
+                status=status,
+            )
+            self._tracer.count("server.requests")
+            if status >= 400:
+                self._tracer.count(f"server.errors.{status}")
+        return status, payload, extra
+
+    def _json_body(self, body: bytes) -> dict[str, Any]:
+        if not body:
+            return {}
+        try:
+            data = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    async def _route(
+        self,
+        verb: str,
+        target: str,
+        body: bytes,
+        headers: dict[str, str],
+        request_id: str,
+    ) -> tuple[int, dict[str, Any], str]:
+        path = target.split("?", 1)[0].rstrip("/")
+        if path == "/v1/health" and verb == "GET":
+            return 200, self._health(), "GET /v1/health"
+        if path == "/v1/cells" and verb == "GET":
+            return 200, self._cells(), "GET /v1/cells"
+        if path == "/v1/solve" and verb == "POST":
+            data = self._json_body(body)
+            tenant = str(
+                data.get("tenant") or headers.get("x-repro-tenant") or "default"
+            )
+            status, payload = await self._solve(data, tenant, request_id)
+            return status, payload, "POST /v1/solve"
+        if path == "/v1/streams" and verb == "POST":
+            data = self._json_body(body)
+            session = self.sessions.create(
+                n=data.get("n", 0),
+                topology=data.get("topology", "line"),
+                policy=data.get("policy", "bfl"),
+                options=data.get("options"),
+            )
+            if self._tracer is not None:
+                self._tracer.count("server.streams.opened")
+            return 201, {**session.status(), "wire": WIRE_VERSION}, "POST /v1/streams"
+        if path.startswith("/v1/streams/"):
+            rest = path[len("/v1/streams/") :]
+            sid, _, action = rest.partition("/")
+            if not sid:
+                raise KeyError("no such stream: ''")
+            if verb == "GET" and not action:
+                return (
+                    200,
+                    self.sessions.get(sid).status(),
+                    "GET /v1/streams/{sid}",
+                )
+            if verb == "DELETE" and not action:
+                self.sessions.discard(sid)
+                return 200, {"deleted": sid}, "DELETE /v1/streams/{sid}"
+            if verb == "POST" and action == "arrivals":
+                data = self._json_body(body)
+                decisions, frontier = self.sessions.get(sid).feed(
+                    data.get("messages", [])
+                )
+                if self._tracer is not None:
+                    self._tracer.count("server.stream.decisions", len(decisions))
+                return (
+                    200,
+                    {
+                        "stream": sid,
+                        "frontier": frontier,
+                        "decisions": [d.to_dict() for d in decisions],
+                    },
+                    "POST /v1/streams/{sid}/arrivals",
+                )
+            if verb == "POST" and action == "close":
+                session = self.sessions.get(sid)
+                result, remaining = session.close()
+                self.sessions.discard(sid)
+                if self._tracer is not None:
+                    self._tracer.count("server.streams.closed")
+                return (
+                    200,
+                    {
+                        "stream": sid,
+                        "decisions": [d.to_dict() for d in remaining],
+                        "result": result.to_dict(topology=session.topology),
+                    },
+                    "POST /v1/streams/{sid}/close",
+                )
+        raise _HttpError(
+            404, error_body("not_found", f"no route for {verb} {target}")
+        )
+
+    # ------------------------------------------------------------- #
+    # endpoints
+    # ------------------------------------------------------------- #
+
+    def _health(self) -> dict[str, Any]:
+        from .. import __version__
+
+        return {
+            "status": "ok",
+            "wire": WIRE_VERSION,
+            "version": __version__,
+            "result_schema": ScheduleResult.SCHEMA_VERSION,
+            "pending": self.queue.pending,
+            "streams": len(self.sessions),
+        }
+
+    def _cells(self) -> dict[str, Any]:
+        cells = [
+            {"topology": topo, "regime": regime, "method": method}
+            for (topo, regime), methods in dispatch_matrix().items()
+            for method in methods
+        ]
+        return {"wire": WIRE_VERSION, "cells": cells}
+
+    async def _solve(
+        self, data: dict[str, Any], tenant: str, request_id: str
+    ) -> tuple[int, dict[str, Any]]:
+        if "instance" not in data:
+            raise ValueError("solve request needs an 'instance' document")
+        out, queue_seconds = await self.queue.submit(data, tenant=tenant)
+        if out["ok"]:
+            result = out["result"]
+            backend = (result.get("telemetry") or {}).get("backend")
+            result["request"] = {
+                "id": request_id,
+                "server": f"{self.host}:{self.port}",
+                "backend": backend,
+                "queue_seconds": queue_seconds,
+            }
+            if self._tracer is not None:
+                self._tracer.count("server.solves")
+                self._tracer.count("server.queue_seconds", queue_seconds)
+            return 200, result
+        err = out["error"]
+        raise _HttpError(ERROR_STATUS[err["error"]["type"]], err)

@@ -1,0 +1,180 @@
+"""The batched solve queue: admission control in front of the engine pool.
+
+Requests do not run solvers on the event loop.  They are enqueued,
+drained in batches of up to ``max_batch``, and executed through one
+:class:`repro.engine.Engine` — ``jobs=1`` keeps solves in-process (off
+the loop via a worker thread), ``jobs>1`` fans batches across the
+process pool with the engine's usual pickling rules (which is why the
+task is the dict-only :func:`repro.server.worker.solve_cell`).
+
+Backpressure is enforced at *submit* time, never by blocking the event
+loop: a queue already holding ``max_pending`` requests, or a tenant
+already at its :class:`per-tenant quota <SolveQueue>`, gets an immediate
+:class:`~repro.errors.ServerOverloaded` — which the HTTP layer turns
+into a 429 with a ``Retry-After`` hint — instead of unbounded buffering.
+Each completed request reports the seconds it spent waiting for a batch
+slot, which the server surfaces in the result's ``request`` block.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any
+
+from ..errors import ServerOverloaded
+from .worker import solve_cell
+
+__all__ = ["SolveQueue"]
+
+
+class _Item:
+    __slots__ = ("payload", "future", "tenant", "enqueued")
+
+    def __init__(
+        self, payload: dict[str, Any], future: "asyncio.Future", tenant: str
+    ) -> None:
+        self.payload = payload
+        self.future = future
+        self.tenant = tenant
+        self.enqueued = time.perf_counter()
+
+
+class SolveQueue:
+    """Bounded queue + batch drainer in front of an engine.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`repro.engine.Engine` batches run on.
+    max_pending:
+        Hard cap on requests admitted but not yet answered (queued plus
+        in-flight).  ``0`` rejects everything — useful to test shedding.
+    max_batch:
+        How many queued requests one engine call may drain at once.
+    tenant_quota:
+        Per-tenant cap on admitted-but-unanswered requests (``None`` =
+        no per-tenant limit).  A tenant at quota is shed even when the
+        global queue has room, so one chatty tenant cannot starve the
+        rest.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        *,
+        max_pending: int = 256,
+        max_batch: int = 8,
+        tenant_quota: int | None = None,
+    ) -> None:
+        if max_pending < 0:
+            raise ValueError(f"max_pending must be >= 0, got {max_pending}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if tenant_quota is not None and tenant_quota < 0:
+            raise ValueError(f"tenant_quota must be >= 0, got {tenant_quota}")
+        self.engine = engine
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self.tenant_quota = tenant_quota
+        self._pending = 0
+        self._per_tenant: dict[str, int] = {}
+        self._queue: asyncio.Queue[_Item] = asyncio.Queue()
+        self._drainer: asyncio.Task | None = None
+
+    # ------------------------------------------------------------- #
+
+    async def start(self) -> None:
+        if self._drainer is None:
+            self._drainer = asyncio.create_task(self._drain())
+
+    async def stop(self) -> None:
+        if self._drainer is not None:
+            self._drainer.cancel()
+            try:
+                await self._drainer
+            except asyncio.CancelledError:
+                pass
+            self._drainer = None
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if not item.future.done():
+                item.future.set_exception(
+                    ServerOverloaded("server is shutting down", retry_after=None)
+                )
+            self._settle(item)
+
+    # ------------------------------------------------------------- #
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet answered."""
+        return self._pending
+
+    def _settle(self, item: _Item) -> None:
+        self._pending -= 1
+        count = self._per_tenant.get(item.tenant, 1) - 1
+        if count <= 0:
+            self._per_tenant.pop(item.tenant, None)
+        else:
+            self._per_tenant[item.tenant] = count
+
+    async def submit(
+        self, payload: dict[str, Any], *, tenant: str = "default"
+    ) -> tuple[dict[str, Any], float]:
+        """Admit one request; returns ``(solve_cell output, queue seconds)``.
+
+        Raises :class:`~repro.errors.ServerOverloaded` immediately when
+        the queue or the tenant is at capacity.
+        """
+        if self._pending >= self.max_pending:
+            raise ServerOverloaded(
+                f"solve queue is full ({self.max_pending} pending requests)",
+                retry_after=0.05 * max(1, self._pending // self.max_batch),
+                details={"max_pending": self.max_pending},
+            )
+        held = self._per_tenant.get(tenant, 0)
+        if self.tenant_quota is not None and held >= self.tenant_quota:
+            raise ServerOverloaded(
+                f"tenant {tenant!r} is at its quota of {self.tenant_quota} "
+                "in-flight requests",
+                retry_after=0.05,
+                details={"tenant": tenant, "tenant_quota": self.tenant_quota},
+            )
+        self._pending += 1
+        self._per_tenant[tenant] = held + 1
+        item = _Item(payload, asyncio.get_running_loop().create_future(), tenant)
+        await self._queue.put(item)
+        return await item.future
+
+    # ------------------------------------------------------------- #
+
+    async def _drain(self) -> None:
+        while True:
+            batch = [await self._queue.get()]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            started = time.perf_counter()
+            try:
+                results, _stats = await asyncio.to_thread(
+                    self.engine.map, solve_cell, [(item.payload,) for item in batch]
+                )
+            except asyncio.CancelledError:
+                for item in batch:
+                    if not item.future.done():
+                        item.future.cancel()
+                    self._settle(item)
+                raise
+            except Exception as exc:  # engine-level failure hits the whole batch
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                    self._settle(item)
+                continue
+            for item, out in zip(batch, results):
+                if not item.future.done():
+                    item.future.set_result((out, started - item.enqueued))
+                self._settle(item)

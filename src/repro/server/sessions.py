@@ -1,0 +1,220 @@
+"""Session-scoped online stream state for the scheduling service.
+
+One :class:`OnlineSession` is a server-side run of an online policy
+(:mod:`repro.online`) fed incrementally over HTTP: open a stream, POST
+arrival batches, read back the policy's irrevocable
+:class:`~repro.online.Decision` log as it becomes final, close to get
+the full :class:`~repro.online.StreamResult`.
+
+Correctness rests on the online regime's own contract rather than on a
+second implementation of each policy: every policy is a *deterministic
+function of the arrival stream* (the canonical revelation order of
+:func:`repro.online.arrival_stream`), and an arrival released at time
+``r`` cannot influence anything the policy did strictly before ``r`` —
+``online_bfl`` replans only when arrivals land, and the simulator-backed
+policies step forward in time.  So the session simply **replays** the
+policy over everything fed so far and finalizes the decision-log prefix
+with ``time < frontier``, where the frontier is the largest release fed:
+future batches (whose releases must be >= the frontier, enforced at
+:meth:`OnlineSession.feed`) can only extend that prefix, never rewrite
+it.  Each ``feed`` returns exactly the newly finalized decisions;
+``close`` declares the stream over and returns everything.
+
+Replays cost one policy run per batch — the price of zero duplicated
+policy logic.  The policies are near-linear in the fed set, so a stream
+fed in ``B`` batches costs ``O(B)`` runs over prefixes, fine for the
+serving tier's request sizes.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from typing import Any
+
+from ..core.instance import Instance
+from ..core.message import Message
+from ..errors import ConfigError, ServerOverloaded
+from ..online import ONLINE_POLICIES, StreamResult, run_online
+from ..online.stream import Decision
+
+__all__ = ["OnlineSession", "StreamSessions"]
+
+#: Topologies with an online dispatch cell the wire can reach.
+STREAM_TOPOLOGIES = ("line", "ring")
+
+
+def _parse_message(row: Any, *, topology: str, n: int) -> Any:
+    if not isinstance(row, dict):
+        raise ValueError(f"each arrival must be a JSON object, got {row!r}")
+    try:
+        fields = {
+            "id": int(row["id"]),
+            "source": int(row["source"]),
+            "dest": int(row["dest"]),
+            "release": int(row["release"]),
+            "deadline": int(row["deadline"]),
+        }
+    except KeyError as exc:
+        raise ValueError(f"missing field {exc} in arrival") from exc
+    if topology == "ring":
+        from ..topology.ring import RingMessage
+
+        return RingMessage(n=n, **fields)
+    return Message(**fields)
+
+
+class OnlineSession:
+    """One live stream: fed arrivals, the finalized-decision cursor."""
+
+    def __init__(
+        self,
+        session_id: str,
+        *,
+        n: int,
+        topology: str = "line",
+        policy: str = "bfl",
+        options: dict[str, Any] | None = None,
+    ) -> None:
+        if topology not in STREAM_TOPOLOGIES:
+            raise ConfigError(
+                f"streams support topologies {STREAM_TOPOLOGIES}, got {topology!r}"
+            )
+        if policy not in ONLINE_POLICIES:
+            raise ConfigError(
+                f"unknown online policy {policy!r}; choose one of {ONLINE_POLICIES}"
+            )
+        n = int(n)
+        if topology == "ring" and n < 3:
+            raise ValueError("a ring stream needs n >= 3")
+        if topology == "line" and n < 2:
+            raise ValueError("a line stream needs n >= 2")
+        if options is not None and not isinstance(options, dict):
+            raise ValueError("'options' must be a JSON object")
+        self.session_id = session_id
+        self.topology = topology
+        self.policy = policy
+        self.n = n
+        self.options = dict(options or {})
+        self.closed = False
+        self._messages: list[Any] = []
+        self._ids: set[int] = set()
+        self._frontier = 0
+        self._finalized = 0  # decisions already handed to the client
+
+    # ------------------------------------------------------------- #
+
+    @property
+    def frontier(self) -> int:
+        """The largest release fed so far — decisions strictly before it
+        are final."""
+        return self._frontier
+
+    @property
+    def fed(self) -> int:
+        return len(self._messages)
+
+    def _instance(self) -> Any:
+        if self.topology == "ring":
+            from ..topology.ring import RingInstance
+
+            return RingInstance(self.n, tuple(self._messages))
+        return Instance(self.n, tuple(self._messages))
+
+    def _replay(self) -> StreamResult:
+        return run_online(self._instance(), self.policy, **self.options)
+
+    # ------------------------------------------------------------- #
+
+    def feed(self, rows: Any) -> tuple[list[Decision], int]:
+        """Feed one arrival batch; returns ``(new decisions, frontier)``.
+
+        Every arrival's release must be >= the current frontier (the
+        stream is revealed in time order — that monotonicity is exactly
+        what makes the finalized prefix irrevocable).  The returned
+        decisions are the ones that became final with this batch, in
+        decision-log order.
+        """
+        if self.closed:
+            raise ValueError(f"stream {self.session_id} is closed")
+        if not isinstance(rows, list):
+            raise ValueError("'messages' must be a JSON array of arrivals")
+        batch = [_parse_message(r, topology=self.topology, n=self.n) for r in rows]
+        for m in batch:
+            if m.release < self._frontier:
+                raise ValueError(
+                    f"arrival {m.id} released at {m.release}, before the "
+                    f"stream frontier {self._frontier}; feed arrivals in "
+                    "nondecreasing release order"
+                )
+            if m.id in self._ids:
+                raise ValueError(f"duplicate message id {m.id} in stream")
+        self._messages.extend(batch)
+        self._ids.update(m.id for m in batch)
+        if batch:
+            self._frontier = max(m.release for m in batch)
+        result = self._replay()
+        final = [d for d in result.decisions if d.time < self._frontier]
+        new = final[self._finalized :]
+        self._finalized = len(final)
+        return new, self._frontier
+
+    def close(self) -> tuple[StreamResult, list[Decision]]:
+        """End the stream: run to completion, return the result plus the
+        decisions not yet handed out by :meth:`feed`."""
+        if self.closed:
+            raise ValueError(f"stream {self.session_id} is closed")
+        result = self._replay()
+        remaining = list(result.decisions[self._finalized :])
+        self.closed = True
+        return result, remaining
+
+    def status(self) -> dict[str, Any]:
+        return {
+            "stream": self.session_id,
+            "topology": self.topology,
+            "policy": self.policy,
+            "n": self.n,
+            "fed": self.fed,
+            "frontier": self._frontier,
+            "closed": self.closed,
+        }
+
+
+class StreamSessions:
+    """The server's session table (thread-safe, capacity-capped)."""
+
+    def __init__(self, max_sessions: int = 64) -> None:
+        self.max_sessions = max_sessions
+        self._sessions: dict[str, OnlineSession] = {}
+        self._lock = threading.Lock()
+
+    def create(self, **kwargs: Any) -> OnlineSession:
+        with self._lock:
+            if len(self._sessions) >= self.max_sessions:
+                raise ServerOverloaded(
+                    f"stream session table is full ({self.max_sessions} live "
+                    "sessions); close or abandon one first",
+                    retry_after=1.0,
+                    details={"max_sessions": self.max_sessions},
+                )
+            sid = f"st-{secrets.token_hex(8)}"
+            session = OnlineSession(sid, **kwargs)
+            self._sessions[sid] = session
+            return session
+
+    def get(self, session_id: str) -> OnlineSession:
+        with self._lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise KeyError(f"no such stream: {session_id}") from None
+
+    def discard(self, session_id: str) -> None:
+        with self._lock:
+            if self._sessions.pop(session_id, None) is None:
+                raise KeyError(f"no such stream: {session_id}")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

@@ -1,0 +1,96 @@
+"""The solve task the server's batch queue hands to the engine pool.
+
+:func:`solve_cell` is module-level and takes/returns plain dicts only,
+so it pickles into ``ProcessPoolExecutor`` workers when the server runs
+with ``jobs > 1`` (:class:`repro.engine.Engine` semantics).  It never
+raises: every failure is folded into a structured error payload
+(:func:`repro.server.protocol.error_body`), because one bad request in a
+batch must not poison the other requests travelling with it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..api import parse_instance, solve
+from ..budget import SolverBudget
+from ..errors import BudgetExceeded, ConfigError
+from .protocol import error_body
+
+__all__ = ["solve_cell", "decode_options"]
+
+
+def decode_options(options: Any) -> dict[str, Any]:
+    """Decode a request's JSON ``options`` into ``api.solve`` keywords.
+
+    Most options pass through untouched (``solver``, ``tie_break``,
+    ``policy``, ``on_budget``, ...); the one wire-specific shape is
+    ``budget``, which arrives as ``{"wall_time": ..., "nodes": ...}``
+    and becomes a :class:`~repro.budget.SolverBudget`.
+    """
+    if options is None:
+        return {}
+    if not isinstance(options, dict):
+        raise ValueError(
+            f"'options' must be a JSON object, got {type(options).__name__}"
+        )
+    opts = dict(options)
+    budget = opts.get("budget")
+    if budget is not None and not isinstance(budget, SolverBudget):
+        if not isinstance(budget, dict):
+            raise ValueError(
+                "'budget' must be an object like "
+                '{"wall_time": seconds, "nodes": count}'
+            )
+        unknown = set(budget) - {"wall_time", "nodes"}
+        if unknown:
+            raise ValueError(f"unknown budget field(s): {sorted(unknown)}")
+        opts["budget"] = SolverBudget(
+            wall_time=budget.get("wall_time"), nodes=budget.get("nodes")
+        )
+    return opts
+
+
+def solve_cell(payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one solve request; always returns a dict, never raises.
+
+    Success: ``{"ok": True, "result": <ScheduleResult.to_dict()>}``.
+    Failure: ``{"ok": False, "error": <error payload>}`` with the error
+    type picking the HTTP status upstream (``config`` -> 400,
+    ``budget_exceeded`` -> 422, ...).  ``on_budget="degrade"`` solves
+    come back as *successes* with ``status="bounded"`` — the server
+    passes certified degradation through instead of turning it into an
+    error.
+    """
+    try:
+        instance = parse_instance(payload["instance"])
+        regime = payload.get("regime", "bufferless")
+        method = payload.get("method", "exact")
+        opts = decode_options(payload.get("options"))
+        result = solve(instance, regime, method, **opts)
+        return {"ok": True, "result": result.to_dict()}
+    except ConfigError as exc:
+        return {"ok": False, "error": error_body("config", str(exc))}
+    except BudgetExceeded as exc:
+        return {
+            "ok": False,
+            "error": error_body(
+                "budget_exceeded",
+                str(exc),
+                lower=exc.lower,
+                upper=exc.upper,
+                spent=exc.spent,
+            ),
+        }
+    except KeyError as exc:
+        return {
+            "ok": False,
+            "error": error_body("bad_request", f"missing field {exc} in request"),
+        }
+    except (ValueError, TypeError) as exc:
+        return {"ok": False, "error": error_body("bad_request", str(exc))}
+    except Exception as exc:  # pragma: no cover - defensive catch-all
+        return {
+            "ok": False,
+            "error": error_body("internal", f"{type(exc).__name__}: {exc}"),
+        }

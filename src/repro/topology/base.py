@@ -192,6 +192,26 @@ class Topology(abc.ABC):
     def schedule_to_dict(self, schedule: Any) -> dict[str, Any]:
         """The JSON document for ``schedule`` (schema owned per topology)."""
 
+    def schedule_from_dict(self, data: dict[str, Any]) -> Any:
+        """The inverse of :meth:`schedule_to_dict` (validators re-run)."""
+        raise NotImplementedError(
+            f"topology {self.name!r} has no schedule deserializer"
+        )
+
+    def instance_to_dict(self, instance: Any) -> dict[str, Any]:
+        """The JSON document for ``instance`` (``repro-instance`` format,
+        with a ``topology`` discriminator for non-line shapes)."""
+        raise NotImplementedError(
+            f"topology {self.name!r} has no instance serializer"
+        )
+
+    def instance_from_dict(self, data: dict[str, Any]) -> Any:
+        """The inverse of :meth:`instance_to_dict` — the per-topology leg
+        of :func:`repro.api.parse_instance` (validators re-run)."""
+        raise NotImplementedError(
+            f"topology {self.name!r} has no instance deserializer"
+        )
+
 
 @dataclass(frozen=True)
 class RawResult:

@@ -112,5 +112,23 @@ class Line(Topology):
 
         return schedule_to_dict(schedule)
 
+    def schedule_from_dict(self, data: dict[str, Any]) -> Any:
+        from ..io import schedule_from_dict
+
+        return schedule_from_dict(data)
+
+    def instance_to_dict(self, instance: Any) -> dict[str, Any]:
+        # The historic line document carries no topology key; emit one so
+        # wire payloads are self-describing (instance_from_dict tolerates
+        # both forms).
+        from ..io import instance_to_dict
+
+        return {**instance_to_dict(instance), "topology": "line"}
+
+    def instance_from_dict(self, data: dict[str, Any]) -> Any:
+        from ..io import instance_from_dict
+
+        return instance_from_dict(data)
+
 
 register_topology(Line())

@@ -597,5 +597,71 @@ class Mesh(Topology):
             ],
         }
 
+    def schedule_from_dict(self, data: dict[str, Any]) -> MeshSchedule:
+        from ..io import _check_header
+
+        _check_header(data, "repro-mesh-schedule")
+
+        def leg(mid: int, doc: dict[str, Any] | None) -> Trajectory | None:
+            if doc is None:
+                return None
+            return Trajectory(
+                message_id=mid,
+                source=int(doc["source"]),
+                crossings=tuple(int(t) for t in doc["crossings"]),
+            )
+
+        try:
+            trajectories = tuple(
+                MeshTrajectory(
+                    message_id=int(row["message_id"]),
+                    row_leg=leg(int(row["message_id"]), row.get("row_leg")),
+                    col_leg=leg(int(row["message_id"]), row.get("col_leg")),
+                    turn_wait=int(row["turn_wait"]),
+                )
+                for row in data["trajectories"]
+            )
+        except KeyError as exc:
+            raise ValueError(f"missing field {exc} in mesh schedule data") from exc
+        return MeshSchedule(trajectories)
+
+    def instance_to_dict(self, instance: Any) -> dict[str, Any]:
+        return {
+            "format": "repro-instance",
+            "version": 1,
+            "topology": "mesh",
+            "rows": instance.rows,
+            "cols": instance.cols,
+            "messages": [
+                {
+                    "id": m.id,
+                    "source": list(m.source),
+                    "dest": list(m.dest),
+                    "release": m.release,
+                    "deadline": m.deadline,
+                }
+                for m in instance
+            ],
+        }
+
+    def instance_from_dict(self, data: dict[str, Any]) -> MeshInstance:
+        from ..io import _check_header
+
+        _check_header(data, "repro-instance")
+        try:
+            messages = tuple(
+                MeshMessage(
+                    id=int(row["id"]),
+                    source=(int(row["source"][0]), int(row["source"][1])),
+                    dest=(int(row["dest"][0]), int(row["dest"][1])),
+                    release=int(row["release"]),
+                    deadline=int(row["deadline"]),
+                )
+                for row in data["messages"]
+            )
+            return MeshInstance(int(data["rows"]), int(data["cols"]), messages)
+        except KeyError as exc:
+            raise ValueError(f"missing field {exc} in mesh instance data") from exc
+
 
 register_topology(Mesh())

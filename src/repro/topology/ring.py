@@ -412,5 +412,77 @@ class Ring(Topology):
             "trajectories": trajs,
         }
 
+    def schedule_from_dict(self, data: dict[str, Any]) -> RingSchedule:
+        from ..io import _check_header
+
+        _check_header(data, "repro-ring-schedule")
+        n = data.get("n")
+        trajectories: list[RingTrajectory] = []
+        try:
+            for row in data["trajectories"]:
+                if row.get("hop_times") is not None:
+                    trajectories.append(
+                        BufferedRingTrajectory(
+                            message_id=int(row["message_id"]),
+                            source=int(row["source"]),
+                            depart=int(row["depart"]),
+                            span=int(row["span"]),
+                            n=int(n),
+                            hop_times=tuple(int(t) for t in row["hop_times"]),
+                        )
+                    )
+                else:
+                    trajectories.append(
+                        RingTrajectory(
+                            message_id=int(row["message_id"]),
+                            source=int(row["source"]),
+                            depart=int(row["depart"]),
+                            span=int(row["span"]),
+                            n=int(n),
+                        )
+                    )
+        except KeyError as exc:
+            raise ValueError(f"missing field {exc} in ring schedule data") from exc
+        return RingSchedule(tuple(trajectories))  # re-validates slot-disjointness
+
+    def instance_to_dict(self, instance: Any) -> dict[str, Any]:
+        return {
+            "format": "repro-instance",
+            "version": 1,
+            "topology": "ring",
+            "n": instance.n,
+            "messages": [
+                {
+                    "id": m.id,
+                    "source": m.source,
+                    "dest": m.dest,
+                    "release": m.release,
+                    "deadline": m.deadline,
+                }
+                for m in instance
+            ],
+        }
+
+    def instance_from_dict(self, data: dict[str, Any]) -> RingInstance:
+        from ..io import _check_header
+
+        _check_header(data, "repro-instance")
+        try:
+            n = int(data["n"])
+            messages = tuple(
+                RingMessage(
+                    id=int(row["id"]),
+                    source=int(row["source"]),
+                    dest=int(row["dest"]),
+                    release=int(row["release"]),
+                    deadline=int(row["deadline"]),
+                    n=n,
+                )
+                for row in data["messages"]
+            )
+        except KeyError as exc:
+            raise ValueError(f"missing field {exc} in ring instance data") from exc
+        return RingInstance(n, messages)
+
 
 register_topology(Ring())

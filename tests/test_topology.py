@@ -276,6 +276,6 @@ class TestFacadeRingOnline:
         inst = random_ring_instance(rng, n=6, k=6)
         payload = api.solve(inst, "bufferless", "bfl").to_dict()
         assert payload["topology"] == "ring"
-        assert payload["version"] == 2
+        assert payload["version"] == api.ScheduleResult.SCHEMA_VERSION
         decoded = json.loads(json.dumps(payload))
         assert len(decoded["schedule"]["trajectories"]) == payload["delivered"]
