@@ -1,0 +1,64 @@
+"""``repro.chaos`` — deterministic fault injection for the serving tier.
+
+A production scheduler is only as trustworthy as its worst failure mode,
+so this package attacks every seam of :mod:`repro.server` /
+:mod:`repro.client` with *seeded, reproducible* faults and asserts the
+durability invariants hold:
+
+* **no lost finalized decisions** — kill -9 the server mid-stream,
+  restart it on the same journal, and the recovered decision prefix is
+  byte-identical to the pre-crash log;
+* **no duplicate side effects** — idempotency keys and feed sequence
+  numbers make retries after ambiguous failures exactly-once;
+* **every request terminates with a typed outcome** — a deadline-tagged
+  solve under a stalled worker gets a typed 504 before the deadline, a
+  corrupted payload gets a typed 400, never a hang.
+
+The pieces:
+
+* :class:`~repro.chaos.plan.ChaosPlan` — a serializable schedule of
+  server-side faults (queue stalls, worker kills) the server arms via
+  ``ReproServer(chaos=...)`` or the ``REPRO_CHAOS_PLAN`` env var;
+* :mod:`~repro.chaos.injectors` — client-side attackers: truncated and
+  corrupted HTTP payloads, slow-loris sockets;
+* :mod:`~repro.chaos.harness` — :class:`~repro.chaos.harness.
+  ServerProcess` (a real ``repro serve`` subprocess you can ``kill -9``)
+  and :func:`~repro.chaos.harness.run_smoke`, the scripted fault
+  schedule behind ``repro chaos --smoke`` that emits ``BENCH_PR8.json``.
+"""
+
+from .plan import ChaosPlan
+
+__all__ = [
+    "ChaosPlan",
+    "ServerProcess",
+    "run_smoke",
+    "render_smoke_summary",
+    "send_corrupt_frame",
+    "send_garbage",
+    "send_truncated_body",
+    "slow_loris",
+]
+
+# The harness and injectors import the serving tier, which itself imports
+# ``repro.chaos.plan`` (the queue arms ChaosPlans) — so they load lazily
+# to keep ``import repro.server`` acyclic.
+_LAZY = {
+    "ServerProcess": ("harness", "ServerProcess"),
+    "run_smoke": ("harness", "run_smoke"),
+    "render_smoke_summary": ("harness", "render_smoke_summary"),
+    "send_corrupt_frame": ("injectors", "send_corrupt_frame"),
+    "send_garbage": ("injectors", "send_garbage"),
+    "send_truncated_body": ("injectors", "send_truncated_body"),
+    "slow_loris": ("injectors", "slow_loris"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(f".{module_name}", __name__), attr)

@@ -1,0 +1,413 @@
+"""The chaos harness: a real server subprocess under scripted faults.
+
+:class:`ServerProcess` runs ``repro serve`` as an honest-to-goodness
+child process — so ``kill -9`` means SIGKILL, not a polite shutdown —
+with the journal, deadline, and chaos-plan knobs exposed.
+:func:`run_smoke` is the scripted schedule behind ``repro chaos
+--smoke``: it walks the serving tier through every fault family
+(deadline misses under stalled workers, malformed payloads, slow-loris
+sockets, kill -9 mid-stream with journal recovery) and asserts the
+durability invariants, emitting the ``BENCH_PR8.json`` robustness
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .plan import PLAN_ENV, ChaosPlan
+
+__all__ = ["ServerProcess", "run_smoke"]
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _repo_pythonpath() -> str:
+    """A PYTHONPATH under which ``python -m repro.cli`` finds this repro."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    existing = os.environ.get("PYTHONPATH")
+    return f"{src}{os.pathsep}{existing}" if existing else src
+
+
+class ServerProcess:
+    """One ``repro serve`` child process the harness may kill at will.
+
+    Keyword arguments mirror the serve CLI; ``chaos`` ships a
+    :class:`~repro.chaos.plan.ChaosPlan` to the child through the
+    ``REPRO_CHAOS_PLAN`` environment variable (the subprocess seam —
+    a killed-and-restarted server re-arms the same plan).  ``port`` is
+    sticky across :meth:`restart`, which is what lets a client resume
+    against the same URL after a crash.
+    """
+
+    def __init__(
+        self,
+        *,
+        port: int | None = None,
+        jobs: int = 1,
+        max_pending: int = 256,
+        max_batch: int = 8,
+        journal: str | None = None,
+        request_timeout: float | None = None,
+        default_deadline_ms: float | None = None,
+        chaos: ChaosPlan | None = None,
+        env: dict[str, str] | None = None,
+    ) -> None:
+        self.port = port if port is not None else _free_port()
+        self.jobs = jobs
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self.journal = journal
+        self.request_timeout = request_timeout
+        self.default_deadline_ms = default_deadline_ms
+        self.chaos = chaos
+        self.extra_env = dict(env or {})
+        self.proc: subprocess.Popen | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def _argv(self) -> list[str]:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            str(self.port),
+            "--jobs",
+            str(self.jobs),
+            "--max-pending",
+            str(self.max_pending),
+            "--max-batch",
+            str(self.max_batch),
+        ]
+        if self.journal is not None:
+            argv += ["--journal", self.journal]
+        if self.request_timeout is not None:
+            argv += ["--request-timeout", str(self.request_timeout)]
+        if self.default_deadline_ms is not None:
+            argv += ["--default-deadline-ms", str(self.default_deadline_ms)]
+        return argv
+
+    def start(self, *, timeout: float = 30.0) -> "ServerProcess":
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _repo_pythonpath()
+        if self.chaos is not None:
+            env[PLAN_ENV] = self.chaos.to_json()
+        env.update(self.extra_env)
+        self.proc = subprocess.Popen(
+            self._argv(),
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        self.wait_healthy(timeout=timeout)
+        return self
+
+    def wait_healthy(self, *, timeout: float = 30.0) -> dict[str, Any]:
+        """Poll ``/v1/health`` until it answers; the readiness barrier."""
+        from ..client import ReproClient
+
+        deadline = time.monotonic() + timeout
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            if self.proc is not None and self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"server process exited with {self.proc.returncode} "
+                    "before becoming healthy"
+                )
+            try:
+                with ReproClient(self.url, retries=0, timeout=2.0) as client:
+                    return client.health()
+            except Exception as exc:  # noqa: BLE001 - any refusal = not ready
+                last = exc
+                time.sleep(0.05)
+        raise RuntimeError(f"server not healthy after {timeout}s: {last}")
+
+    def kill9(self) -> None:
+        """SIGKILL — no shutdown hooks, no flushes, a real crash."""
+        if self.proc is not None:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait(timeout=30)
+            self.proc = None
+
+    def restart(self, *, timeout: float = 30.0) -> float:
+        """Start again on the same port/journal; returns seconds until
+        healthy (the recovery-time metric)."""
+        t0 = time.monotonic()
+        self.start(timeout=timeout)
+        return time.monotonic() - t0
+
+    def stop(self) -> None:
+        if self.proc is not None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+            self.proc = None
+
+    def __enter__(self) -> "ServerProcess":
+        if self.proc is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------- #
+# the scripted smoke schedule
+# ----------------------------------------------------------------- #
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q)) if samples else 0.0
+
+
+def _stream_messages(seed: int, n: int, k: int) -> list[dict[str, Any]]:
+    """A deterministic arrival stream (release-sorted message rows)."""
+    from ..workloads import general_instance
+
+    rng = np.random.default_rng(seed)
+    inst = general_instance(rng, n=n, k=k, max_release=k // 2, max_slack=6)
+    rows = [
+        {
+            "id": m.id,
+            "source": m.source,
+            "dest": m.dest,
+            "release": m.release,
+            "deadline": m.deadline,
+        }
+        for m in sorted(inst.messages, key=lambda m: (m.release, m.id))
+    ]
+    return rows
+
+
+def run_smoke(
+    *,
+    seed: int = 0,
+    out: str | None = "BENCH_PR8.json",
+    solves: int = 6,
+    deadline_ms: float = 400.0,
+    stall_seconds: float = 1.5,
+) -> dict[str, Any]:
+    """Run the full chaos schedule; returns the robustness baseline.
+
+    Five phases, each against a fresh ``repro serve`` subprocess:
+
+    1. **baseline** — plain solves, latency distribution;
+    2. **deadline** — every drainer batch stalls ``stall_seconds``;
+       deadline-tagged solves must come back as typed 504s with p99
+       well under the stall (the deadline chain, not the stall, bounds
+       latency);
+    3. **malformed** — garbage/corrupt/truncated payloads answered with
+       typed 400s (or a clean close), health untouched;
+    4. **slow-loris** — a dripping socket gets a 408 from the request
+       read-timeout while health stays responsive;
+    5. **kill -9 mid-stream** — journaled stream, SIGKILL between
+       batches, restart on the same port: the recovered finalized
+       prefix must be byte-identical, the resumed stream's final result
+       equal to an uncrashed local control.
+
+    Invariant violations are collected (not raised): the returned
+    payload's ``"ok"`` is the conjunction, and ``repro chaos --smoke``
+    exits non-zero on it.
+    """
+    from ..client import ReproClient
+    from ..errors import DeadlineExceeded
+    from ..online import run_online
+    from .injectors import (
+        send_corrupt_frame,
+        send_garbage,
+        send_truncated_body,
+        slow_loris,
+    )
+
+    rng = np.random.default_rng(seed)
+    inst_seed = int(rng.integers(0, 2**31 - 1))
+    invariants: dict[str, bool] = {}
+    payload: dict[str, Any] = {"suite": "chaos", "seed": seed}
+
+    from ..workloads import general_instance
+
+    solve_inst = general_instance(
+        np.random.default_rng(inst_seed), n=8, k=24, max_release=8, max_slack=6
+    )
+
+    # -- phase 1 + 3: baseline latencies, then malformed payloads ---- #
+    with ServerProcess(jobs=1) as srv:
+        with ReproClient(srv.url) as client:
+            latencies: list[float] = []
+            for _ in range(solves):
+                t0 = time.monotonic()
+                client.solve(solve_inst, "bufferless", "bfl")
+                latencies.append((time.monotonic() - t0) * 1e3)
+            payload["baseline"] = {
+                "requests": solves,
+                "p50_ms": _percentile(latencies, 50),
+                "p99_ms": _percentile(latencies, 99),
+            }
+            garbage = send_garbage("127.0.0.1", srv.port)
+            corrupt = send_corrupt_frame("127.0.0.1", srv.port)
+            truncated = send_truncated_body("127.0.0.1", srv.port, timeout=3.0)
+            health_after = client.health()
+        payload["malformed"] = {
+            "garbage_status": garbage,
+            "corrupt_status": corrupt,
+            "truncated_status": truncated,
+        }
+        invariants["malformed_typed_400"] = garbage == 400 and corrupt == 400
+        # A truncated body may be answered 408 (read timeout) or simply
+        # dropped — anything but a 2xx/5xx.
+        invariants["truncated_not_processed"] = truncated in (None, 400, 408)
+        invariants["health_after_malformed"] = health_after["status"] == "ok"
+
+    # -- phase 2: deadline-tagged solves under a stalled drainer ----- #
+    plan = ChaosPlan(seed=seed, stall_rate=1.0, stall_seconds=stall_seconds)
+    with ServerProcess(jobs=1, chaos=plan) as srv:
+        with ReproClient(srv.url) as client:
+            outcome_ms: list[float] = []
+            typed = 0
+            for _ in range(4):
+                t0 = time.monotonic()
+                try:
+                    client.solve(
+                        solve_inst, "bufferless", "bfl", deadline_ms=deadline_ms
+                    )
+                except DeadlineExceeded:
+                    typed += 1
+                outcome_ms.append((time.monotonic() - t0) * 1e3)
+            health = client.health()
+        p99 = _percentile(outcome_ms, 99)
+        payload["deadline"] = {
+            "requests": 4,
+            "deadline_ms": deadline_ms,
+            "stall_seconds": stall_seconds,
+            "typed_504": typed,
+            "p99_ms": p99,
+            "shed_deadline": health.get("shed_deadline", 0),
+        }
+        invariants["deadline_always_typed"] = typed == 4
+        # The chain, not the stall, must bound latency: p99 well under
+        # the stall and within a scheduling-slop margin of the deadline.
+        invariants["deadline_bounds_p99"] = p99 < stall_seconds * 1e3 and (
+            p99 < deadline_ms + 1000.0
+        )
+
+    # -- phase 4: slow-loris vs the request read-timeout ------------- #
+    with ServerProcess(jobs=1, request_timeout=0.5) as srv:
+        status, held = slow_loris("127.0.0.1", srv.port, duration=4.0)
+        with ReproClient(srv.url) as client:
+            loris_health = client.health()
+        payload["slow_loris"] = {"status": status, "held_seconds": held}
+        invariants["loris_timed_out"] = status == 408 or held < 4.0
+        invariants["health_under_loris"] = loris_health["status"] == "ok"
+
+    # -- phase 5: kill -9 mid-stream, journal recovery, resume ------- #
+    rows = _stream_messages(inst_seed, n=8, k=40)
+    batches = [rows[i : i + 10] for i in range(0, len(rows), 10)]
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-journal-") as journal:
+        srv = ServerProcess(jobs=1, journal=journal).start()
+        try:
+            with ReproClient(srv.url) as client:
+                stream = client.open_stream(n=8, policy="bfl")
+                pre_crash: list[dict[str, Any]] = []
+                for batch in batches[:2]:
+                    pre_crash.extend(
+                        d.to_dict() for d in stream.feed(batch)
+                    )
+                srv.kill9()
+                recovery_seconds = srv.restart()
+                resumed = client.resume_stream(stream.stream_id)
+                recovered = [d.to_dict() for d in resumed.decisions()]
+                prefix_ok = json.dumps(recovered, sort_keys=True) == json.dumps(
+                    pre_crash, sort_keys=True
+                )
+                for batch in batches[2:]:
+                    resumed.feed(batch)
+                final = resumed.close()
+        finally:
+            srv.stop()
+
+    from ..core.instance import Instance
+    from ..core.message import Message
+
+    control_inst = Instance(
+        8, tuple(Message(**row) for row in (r for b in batches for r in b))
+    )
+    control = run_online(control_inst, "bfl")
+    final_ok = [d.to_dict() for d in final.decisions] == [
+        d.to_dict() for d in control.decisions
+    ]
+    payload["recovery"] = {
+        "recovery_seconds": recovery_seconds,
+        "batches_before_kill": 2,
+        "decisions_recovered": len(recovered),
+        "prefix_identical": prefix_ok,
+        "final_matches_control": final_ok,
+    }
+    invariants["no_lost_finalized_decisions"] = prefix_ok
+    invariants["resume_matches_control"] = final_ok
+
+    payload["invariants"] = invariants
+    payload["ok"] = all(invariants.values())
+    if out is not None:
+        with open(out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return payload
+
+
+def render_smoke_summary(payload: dict[str, Any]) -> str:
+    """A terminal summary of a :func:`run_smoke` payload."""
+    lines = [
+        "chaos smoke — serving-tier robustness",
+        f"  baseline     p50 {payload['baseline']['p50_ms']:8.1f} ms   "
+        f"p99 {payload['baseline']['p99_ms']:8.1f} ms",
+        f"  deadline     {payload['deadline']['typed_504']}/"
+        f"{payload['deadline']['requests']} typed 504s, "
+        f"p99 {payload['deadline']['p99_ms']:.1f} ms "
+        f"(deadline {payload['deadline']['deadline_ms']:.0f} ms, "
+        f"stall {payload['deadline']['stall_seconds'] * 1e3:.0f} ms)",
+        f"  malformed    garbage={payload['malformed']['garbage_status']} "
+        f"corrupt={payload['malformed']['corrupt_status']} "
+        f"truncated={payload['malformed']['truncated_status']}",
+        f"  slow-loris   status={payload['slow_loris']['status']} "
+        f"held {payload['slow_loris']['held_seconds']:.2f} s",
+        f"  kill -9      recovered in "
+        f"{payload['recovery']['recovery_seconds']:.2f} s, "
+        f"{payload['recovery']['decisions_recovered']} decisions, "
+        f"prefix identical: {payload['recovery']['prefix_identical']}, "
+        f"control match: {payload['recovery']['final_matches_control']}",
+    ]
+    failed = [k for k, v in payload["invariants"].items() if not v]
+    lines.append(
+        "  invariants   ALL OK"
+        if not failed
+        else f"  invariants   FAILED: {', '.join(failed)}"
+    )
+    return "\n".join(lines)

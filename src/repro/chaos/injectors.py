@@ -1,0 +1,148 @@
+"""Client-side fault injectors: malformed HTTP traffic on raw sockets.
+
+Each injector speaks just enough HTTP/1.1 to poke one specific hole in
+the server's framing — garbage where a request line should be, a body
+shorter than its ``Content-Length``, valid framing around a corrupted
+JSON payload, a slow-loris socket trickling bytes forever — and reports
+what the server did about it.  The invariants under test: every
+malformed request gets a *typed* error response (or a clean connection
+close), never a hang, and the event loop stays responsive to well-formed
+traffic throughout.
+
+All helpers are synchronous and self-contained (stdlib ``socket`` only)
+so tests and the chaos harness can call them against any host:port.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+__all__ = [
+    "send_garbage",
+    "send_truncated_body",
+    "send_corrupt_frame",
+    "slow_loris",
+]
+
+#: Read cap per injector — a response bigger than this is itself a bug.
+_MAX_READ = 1 << 20
+
+
+def _read_response(sock: socket.socket) -> bytes:
+    """Drain whatever the server sends until it closes or goes quiet."""
+    chunks: list[bytes] = []
+    total = 0
+    try:
+        while total < _MAX_READ:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            total += len(chunk)
+    except (TimeoutError, ConnectionResetError, BrokenPipeError):
+        pass
+    return b"".join(chunks)
+
+
+def _status_of(raw: bytes) -> int | None:
+    """The HTTP status code of a raw response, ``None`` if unparsable."""
+    try:
+        head = raw.split(b"\r\n", 1)[0].decode("latin-1")
+        parts = head.split()
+        if len(parts) >= 2 and parts[0].startswith("HTTP/"):
+            return int(parts[1])
+    except (ValueError, IndexError):
+        pass
+    return None
+
+
+def send_garbage(host: str, port: int, *, timeout: float = 5.0) -> int | None:
+    """Bytes that are not HTTP at all; expects a 400 (or a clean close).
+
+    Returns the status code the server answered with, ``None`` if it
+    just closed the connection.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(b"\x00\xffNOT HTTP AT ALL\r\n\r\n")
+        return _status_of(_read_response(sock))
+
+
+def send_truncated_body(
+    host: str, port: int, *, timeout: float = 5.0
+) -> int | None:
+    """A POST whose body stops short of its ``Content-Length``, then a
+    hard close — the torn-write seam.  The server must not process the
+    partial JSON; it may answer 408 (read timeout) or just drop the
+    connection.  Returns the status code, ``None`` on a silent close.
+    """
+    body = json.dumps({"instance": {"n": 8, "messages": []}}).encode()
+    head = (
+        f"POST /v1/solve HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body) + 64}\r\n"  # lie: promise more bytes
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(head + body)  # ...and never send the remainder
+        sock.shutdown(socket.SHUT_WR)
+        return _status_of(_read_response(sock))
+
+
+def send_corrupt_frame(
+    host: str, port: int, *, timeout: float = 5.0
+) -> int | None:
+    """Valid HTTP framing around a corrupted (non-JSON) payload; expects
+    a typed 400.  Returns the status code, ``None`` on a silent close.
+    """
+    body = b'{"instance": \x00\x01\x02 corrupted-json'
+    head = (
+        f"POST /v1/solve HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(head + body)
+        return _status_of(_read_response(sock))
+
+
+def slow_loris(
+    host: str,
+    port: int,
+    *,
+    duration: float = 2.0,
+    drip_interval: float = 0.2,
+    timeout: float = 5.0,
+) -> tuple[int | None, float]:
+    """Trickle one byte of a never-finished request every
+    ``drip_interval`` seconds for up to ``duration`` seconds.
+
+    A server with a request read-timeout answers 408 (or closes) once
+    its patience runs out; one without hangs the connection open for the
+    whole duration.  Returns ``(status, seconds_held)`` — ``status`` is
+    ``None`` if the server never answered before the attacker gave up.
+    """
+    request = f"POST /v1/solve HTTP/1.1\r\nHost: {host}\r\n".encode("latin-1")
+    started = time.monotonic()
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(drip_interval)
+        status: int | None = None
+        for byte in request:
+            if time.monotonic() - started >= duration:
+                break
+            try:
+                sock.sendall(bytes([byte]))
+            except (BrokenPipeError, ConnectionResetError):
+                break  # server hung up on us: mission accomplished
+            try:
+                chunk = sock.recv(65536)
+            except TimeoutError:
+                continue  # no answer yet; keep dripping
+            if chunk:
+                status = _status_of(chunk)
+            break  # server answered or closed
+        return status, time.monotonic() - started

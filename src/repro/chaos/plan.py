@@ -1,0 +1,122 @@
+"""Seeded, serializable server-side fault schedules.
+
+A :class:`ChaosPlan` describes *when* the serving stack misbehaves, as a
+pure function of the fault seed and the event index — never of wall
+clock or arrival order — so a chaos run is exactly reproducible.  The
+server arms a plan either directly (``ReproServer(chaos=plan)``) or
+through the ``REPRO_CHAOS_PLAN`` environment variable (JSON), which is
+how :class:`~repro.chaos.harness.ServerProcess` injects faults into a
+real ``repro serve`` subprocess.
+
+Fault points:
+
+* **queue stalls** — before dispatching batch ``i`` the drainer sleeps
+  ``stall_seconds`` when ``i`` is listed in ``stall_batches`` or its
+  seeded coin comes up under ``stall_rate``.  This simulates a stalled
+  or wedged worker without cooperating code in the solver, and is the
+  load under which the deadline chain must still answer 504s in time.
+* **worker kills** — a solve payload carrying ``{"chaos": {"kill":
+  true}}`` makes :func:`repro.server.worker.solve_cell` hard-exit its
+  *pool worker* process (never the server process itself; the kill is
+  refused outside a multiprocessing worker and without the
+  ``REPRO_CHAOS_ALLOW_KILL`` env gate).  This is the seeded
+  worker-process-crash seam: the batch dies with ``BrokenProcessPool``
+  and every rider must still get a typed outcome.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ChaosPlan", "PLAN_ENV", "KILL_GATE_ENV"]
+
+#: Environment variable a server subprocess reads its plan from (JSON).
+PLAN_ENV = "REPRO_CHAOS_PLAN"
+
+#: Environment gate without which ``{"chaos": {"kill": true}}`` payloads
+#: are ignored — chaos kills must be armed explicitly.
+KILL_GATE_ENV = "REPRO_CHAOS_ALLOW_KILL"
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One deterministic fault schedule (see module docstring).
+
+    ``seed`` drives the per-batch stall coins; ``stall_batches`` forces
+    stalls at explicit batch indices regardless of the coin.
+    """
+
+    seed: int = 0
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.0
+    stall_batches: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.stall_rate <= 1.0:
+            raise ValueError(f"stall_rate must be in [0, 1], got {self.stall_rate}")
+        if self.stall_seconds < 0:
+            raise ValueError(
+                f"stall_seconds must be >= 0, got {self.stall_seconds}"
+            )
+        object.__setattr__(self, "stall_batches", tuple(self.stall_batches))
+
+    def stall_for(self, batch_index: int) -> float:
+        """Seconds batch ``batch_index`` must stall (0.0 = no fault).
+
+        Deterministic per batch index: the coin is drawn from an rng
+        seeded by ``(seed, batch_index)``, so the answer never depends on
+        how many batches ran before or on timing.
+        """
+        if self.stall_seconds <= 0:
+            return 0.0
+        if batch_index in self.stall_batches:
+            return self.stall_seconds
+        if self.stall_rate > 0:
+            coin = np.random.default_rng((self.seed, batch_index)).random()
+            if coin < self.stall_rate:
+                return self.stall_seconds
+        return 0.0
+
+    # ------------------------------------------------------------- #
+    # wire forms
+    # ------------------------------------------------------------- #
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "stall_rate": self.stall_rate,
+                "stall_seconds": self.stall_seconds,
+                "stall_batches": list(self.stall_batches),
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("a chaos plan must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown chaos plan field(s): {sorted(unknown)}")
+        if "stall_batches" in data:
+            data["stall_batches"] = tuple(int(i) for i in data["stall_batches"])
+        return cls(**data)
+
+    @classmethod
+    def from_env(cls, environ: dict[str, str] | None = None) -> "ChaosPlan | None":
+        """The plan armed via :data:`PLAN_ENV`, or ``None``."""
+        raw = (environ if environ is not None else os.environ).get(PLAN_ENV, "")
+        if not raw.strip():
+            return None
+        return cls.from_json(raw)
+
+    def env(self) -> dict[str, Any]:
+        """Env-var form for arming a server subprocess with this plan."""
+        return {PLAN_ENV: self.to_json()}

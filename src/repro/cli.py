@@ -19,9 +19,14 @@ Commands:
   policies instead, writing ``BENCH_PR4.json``; ``repro bench kernels``
   compares the python vs numpy execution backends, writing
   ``BENCH_PR6.json``; ``repro bench serve`` load-tests a loopback
-  scheduling server, writing ``BENCH_PR7.json``);
+  scheduling server, writing ``BENCH_PR7.json``; ``repro bench chaos``
+  runs the fault-injection smoke, writing ``BENCH_PR8.json``);
 * ``repro serve --port 8787`` — run the scheduling service
-  (:mod:`repro.server`): solve + online-stream endpoints over HTTP/JSON;
+  (:mod:`repro.server`): solve + online-stream endpoints over HTTP/JSON
+  (``--journal DIR`` makes stream sessions crash-durable);
+* ``repro chaos --smoke`` — fault-inject a real serving stack (stalled
+  workers, malformed payloads, slow-loris, kill -9 + journal recovery)
+  and assert the durability invariants;
 * ``repro client solve|health|cells --url http://host:port`` — talk to a
   running server from the shell;
 * ``repro online --method bfl|dbfl|greedy`` — stream a random instance
@@ -103,14 +108,15 @@ def main(argv: list[str] | None = None) -> int:
     bench_p.add_argument(
         "suite",
         nargs="?",
-        choices=("all", "online", "topology", "kernels", "serve"),
+        choices=("all", "online", "topology", "kernels", "serve", "chaos"),
         default="all",
         help="'all' (default): kernel + sweep + obs -> BENCH_PR1.json; "
         "'online': decisions/sec + competitive ratio -> BENCH_PR4.json; "
         "'topology': unified simulator vs frozen legacy loops -> "
         "BENCH_PR5.json; "
         "'kernels': python vs numpy execution backends -> BENCH_PR6.json; "
-        "'serve': loopback server load test -> BENCH_PR7.json",
+        "'serve': loopback server load test -> BENCH_PR7.json; "
+        "'chaos': fault-injection robustness smoke -> BENCH_PR8.json",
     )
     bench_p.add_argument("--seed", type=int, default=2024)
     bench_p.add_argument("--trials", type=int, default=10, help="sweep cells per size")
@@ -209,6 +215,43 @@ def main(argv: list[str] | None = None) -> int:
         help="export a JSONL observability trace (per-request spans + run "
         "manifest) here on shutdown",
     )
+    serve_p.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help="durable session journal directory: stream sessions are "
+        "WAL-journaled here and recovered by replay on restart",
+    )
+    serve_p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a connection may take to deliver one full request "
+        "before a 408 (slow-loris guard; <= 0 disables)",
+    )
+    serve_p.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="deadline applied to solves that do not send their own "
+        "x-repro-deadline-ms (default: none)",
+    )
+
+    chaos_p = sub.add_parser(
+        "chaos", help="fault-inject a real serving stack, assert durability"
+    )
+    chaos_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the scripted fault schedule (deadlines under stalls, "
+        "malformed payloads, slow-loris, kill -9 + journal recovery)",
+    )
+    chaos_p.add_argument("--seed", type=int, default=0)
+    chaos_p.add_argument(
+        "--out",
+        default="BENCH_PR8.json",
+        help="robustness baseline JSON ('-' = stdout only)",
+    )
 
     client_p = sub.add_parser("client", help="talk to a running scheduling server")
     client_sub = client_p.add_subparsers(dest="client_command", required=True)
@@ -269,6 +312,8 @@ def main(argv: list[str] | None = None) -> int:
         return _solve(args.instance, args.algorithm, args.out, args.gantt)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "chaos":
+        return _chaos(args)
     if args.command == "client":
         return _client(args)
     if args.command == "dataset":
@@ -406,6 +451,15 @@ def _bench(suite: str, seed: int, trials: int, jobs: int, out: str | None) -> in
         out = "BENCH_PR7.json" if out is None else out
         payload = run_serve_benchmarks(seed=seed, out=None if out == "-" else out)
         print(render_serve_summary(payload))
+    elif suite == "chaos":
+        from .chaos import render_smoke_summary, run_smoke
+
+        out = "BENCH_PR8.json" if out is None else out
+        payload = run_smoke(seed=seed, out=None if out == "-" else out)
+        print(render_smoke_summary(payload))
+        if out != "-":
+            print(f"baseline written to {out}")
+        return 0 if payload["ok"] else 1
     else:
         from .engine.bench import render_summary, run_benchmarks
 
@@ -499,6 +553,9 @@ def _serve(args) -> int:
         max_batch=args.max_batch,
         tenant_quota=args.tenant_quota,
         trace=args.trace,
+        journal=args.journal,
+        request_timeout=args.request_timeout if args.request_timeout > 0 else None,
+        default_deadline_ms=args.default_deadline_ms,
     )
 
     def _ready(s: ReproServer) -> None:
@@ -508,6 +565,20 @@ def _serve(args) -> int:
     if args.trace:
         print(f"trace written to {args.trace}")
     return 0
+
+
+def _chaos(args) -> int:
+    if not args.smoke:
+        print("nothing to do: pass --smoke to run the fault schedule")
+        return 2
+    from .chaos import render_smoke_summary, run_smoke
+
+    out = None if args.out == "-" else args.out
+    payload = run_smoke(seed=args.seed, out=out)
+    print(render_smoke_summary(payload))
+    if out:
+        print(f"baseline written to {out}")
+    return 0 if payload["ok"] else 1
 
 
 def _client(args) -> int:

@@ -64,9 +64,42 @@ class Engine:
     backend: str | None = None
 
     def map(
-        self, fn: Callable[..., Any], argslist: Sequence[tuple] | Iterable[tuple]
+        self,
+        fn: Callable[..., Any],
+        argslist: Sequence[tuple] | Iterable[tuple],
+        *,
+        timeout: float | None = None,
     ) -> tuple[list[Any], CacheStats]:
-        """Run ``fn(*args)`` per task via :func:`run_tasks` with this config."""
+        """Run ``fn(*args)`` per task via :func:`run_tasks` with this config.
+
+        ``timeout`` caps each task's wall time for *this call only* (the
+        serving tier's deadline chain threads a batch's tightest
+        remaining deadline through here).  It routes the call through the
+        resilient runner with a single attempt, so exhaustion raises
+        :class:`~repro.errors.TaskTimeoutError`; like all per-task
+        timeouts it needs the pool path — serial execution cannot
+        interrupt a running task and ignores it.
+        """
+        if timeout is not None and resolve_jobs(self.jobs) > 1:
+            import dataclasses
+
+            from .resilience import ResilienceConfig, run_tasks_resilient
+
+            if self.resilience is not None:
+                base = self.resilience
+                capped = (
+                    timeout
+                    if base.task_timeout is None
+                    else min(base.task_timeout, timeout)
+                )
+                config = dataclasses.replace(base, task_timeout=capped)
+            else:
+                config = ResilienceConfig(
+                    task_timeout=timeout, max_attempts=1, max_respawns=0
+                )
+            return run_tasks_resilient(
+                fn, argslist, jobs=self.jobs, config=config, backend=self.backend
+            )
         if self.resilience is not None:
             from .resilience import run_tasks_resilient
 

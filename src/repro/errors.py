@@ -32,6 +32,21 @@ exceptions (:mod:`repro.server`, :mod:`repro.client`): the first wraps
 any structured error payload a server returned that has no richer local
 type, the second is the typed form of an HTTP 429 backpressure response
 and carries the server's ``retry_after`` hint.
+
+The crash-durability layer adds three more serving-tier types:
+
+* :class:`DeadlineExceeded` — a ``deadline_ms``-tagged request could not
+  finish in time.  Raised server-side (queue shedding, engine timeout,
+  deadline-capped solver budget) and rebuilt client-side from the typed
+  HTTP 504 payload; ``details`` may carry certified partial bounds when
+  the solver got far enough to produce them.
+* :class:`ServerShutdownError` — ``ReproServer.shutdown()`` could not
+  join the server thread within its timeout; carries the drained vs.
+  abandoned request counts so the failure is diagnosable instead of
+  silently swallowed.
+* :class:`CircuitOpenError` — the *client's* circuit breaker is open
+  after consecutive connect failures; the request was never sent.
+  ``retry_after`` says when the breaker will allow a half-open probe.
 """
 
 from __future__ import annotations
@@ -44,9 +59,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ReproError",
     "BudgetExceeded",
+    "CircuitOpenError",
     "ConfigError",
+    "DeadlineExceeded",
     "ServerError",
     "ServerOverloaded",
+    "ServerShutdownError",
     "SolverBackendError",
     "TaskTimeoutError",
 ]
@@ -143,4 +161,68 @@ class ServerOverloaded(ServerError):
         details: dict[str, Any] | None = None,
     ) -> None:
         super().__init__(message, error_type="overloaded", details=details)
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(ServerError):
+    """A ``deadline_ms``-tagged request could not finish in time (HTTP 504).
+
+    Raised at any point of the deadline chain — queue shedding before
+    dispatch, the engine's per-batch timeout, or the deadline-derived
+    solver wall-clock budget.  Attributes:
+
+    ``deadline_ms``
+        The end-to-end budget the request carried.
+    ``shed``
+        ``True`` when the request was dropped *before* any solver work
+        started (pure queue shedding); ``False`` when work began but did
+        not finish.  ``details`` may then carry certified partial bounds
+        (``lower``/``upper``) from the interrupted solver.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline_ms: float | None = None,
+        shed: bool = False,
+        details: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message, error_type="deadline", details=details)
+        self.deadline_ms = deadline_ms
+        self.shed = shed
+
+
+class ServerShutdownError(ReproError, RuntimeError):
+    """The server thread failed to join within the shutdown timeout.
+
+    ``drained`` counts requests fully answered over the server's
+    lifetime, ``abandoned`` counts requests shed at shutdown (queued or
+    in flight when the queue stopped) — surfaced so a wedged shutdown is
+    a diagnosable failure, not a silently leaked thread.
+    """
+
+    def __init__(self, message: str, *, drained: int = 0, abandoned: int = 0) -> None:
+        super().__init__(message)
+        self.drained = drained
+        self.abandoned = abandoned
+
+
+class CircuitOpenError(ServerError):
+    """The client's circuit breaker is open; the request was not sent.
+
+    After ``threshold`` consecutive connect-level failures the breaker
+    opens and fails calls fast for ``cooldown`` seconds, then lets one
+    half-open probe through.  ``retry_after`` is the time until that
+    probe is allowed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float | None = None,
+        details: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message, error_type="circuit_open", details=details)
         self.retry_after = retry_after

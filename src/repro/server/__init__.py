@@ -19,14 +19,17 @@ wire schema, :mod:`repro.client` for the matching synchronous client.
 """
 
 from .app import ReproServer
+from .journal import SessionJournal
 from .protocol import ERROR_STATUS, WIRE_VERSION, error_body
-from .queue import SolveQueue
+from .queue import BackpressurePolicy, SolveQueue
 from .sessions import OnlineSession, StreamSessions
 from .worker import decode_options, solve_cell
 
 __all__ = [
     "ReproServer",
     "SolveQueue",
+    "BackpressurePolicy",
+    "SessionJournal",
     "OnlineSession",
     "StreamSessions",
     "WIRE_VERSION",

@@ -29,8 +29,10 @@ seconds spent waiting in the queue.
 from __future__ import annotations
 
 import asyncio
+import collections
 import contextlib
 import json
+import logging
 import secrets
 import threading
 import time
@@ -38,16 +40,25 @@ from typing import Any
 
 from .. import obs
 from ..api import ScheduleResult
+from ..chaos.plan import ChaosPlan
 from ..engine import Engine
-from ..errors import ConfigError, ServerOverloaded
+from ..errors import (
+    ConfigError,
+    DeadlineExceeded,
+    ServerOverloaded,
+    ServerShutdownError,
+)
 from ..topology import dispatch_matrix
+from .journal import SessionJournal
 from .protocol import ERROR_STATUS, REASONS, WIRE_VERSION, error_body
-from .queue import SolveQueue
+from .queue import BackpressurePolicy, SolveQueue
 from .sessions import StreamSessions
 
 __all__ = ["ReproServer"]
 
 _MAX_BODY = 16 * 1024 * 1024  # refuse absurd payloads before buffering them
+
+_log = logging.getLogger("repro.server")
 
 
 class _HttpError(Exception):
@@ -74,17 +85,46 @@ class ReproServer:
         tenant_quota: int | None = None,
         max_sessions: int = 64,
         trace: str | None = None,
+        journal: str | None = None,
+        journal_fsync: bool = True,
+        backpressure: BackpressurePolicy | None = None,
+        default_deadline_ms: float | None = None,
+        request_timeout: float | None = 30.0,
+        idempotency_capacity: int = 1024,
+        chaos: ChaosPlan | None = None,
     ) -> None:
         self.host = host
         self.port = port  # 0 = ephemeral; resolved by start()
         self.engine = Engine(jobs=jobs)
+        policy = backpressure or BackpressurePolicy()
+        if chaos is None:
+            chaos = ChaosPlan.from_env()
+        self.chaos = chaos
         self.queue = SolveQueue(
             self.engine,
             max_pending=max_pending,
             max_batch=max_batch,
             tenant_quota=tenant_quota,
+            policy=policy,
+            chaos=chaos,
         )
-        self.sessions = StreamSessions(max_sessions)
+        self.journal = (
+            SessionJournal(journal, fsync=journal_fsync)
+            if journal is not None
+            else None
+        )
+        self.sessions = StreamSessions(
+            max_sessions,
+            journal=self.journal,
+            retry_after=policy.session_retry_after(),
+        )
+        self.recovered_sessions = 0
+        self.default_deadline_ms = default_deadline_ms
+        self.request_timeout = request_timeout
+        self._idempotent: collections.OrderedDict[
+            str, tuple[int, dict[str, Any]]
+        ] = collections.OrderedDict()
+        self._idempotency_capacity = idempotency_capacity
         self._trace_path = trace
         self._tracer: obs.Tracer | None = None
         self._manifest: obs.RunManifest | None = None
@@ -92,6 +132,7 @@ class ReproServer:
         self._server: asyncio.base_events.Server | None = None
         self._started_at = 0.0
         self._request_seq = 0
+        self._shutdown_counts: dict[str, int] = {}
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._stop_event: asyncio.Event | None = None
@@ -119,6 +160,20 @@ class ReproServer:
             )
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.journal is not None:
+            # Crash recovery: rebuild every journaled stream session by
+            # deterministic replay before accepting traffic.
+            self.recovered_sessions = self.sessions.recover()
+            if self.recovered_sessions:
+                _log.info(
+                    "recovered %d stream session(s) from journal %s",
+                    self.recovered_sessions,
+                    self.journal.root,
+                )
+                if self._tracer is not None:
+                    self._tracer.count(
+                        "server.sessions.recovered", self.recovered_sessions
+                    )
         await self.queue.start()
         return self
 
@@ -128,7 +183,17 @@ class ReproServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.queue.stop()
+        counts = await self.queue.stop()
+        self._shutdown_counts = counts
+        _log.info(
+            "queue stopped: %d request(s) drained over the lifetime, "
+            "%d abandoned at shutdown",
+            counts["drained"],
+            counts["abandoned"],
+        )
+        if self._tracer is not None:
+            self._tracer.count("server.shutdown.drained", counts["drained"])
+            self._tracer.count("server.shutdown.abandoned", counts["abandoned"])
         if self._obs_swap is not None:
             self._obs_swap.__exit__(None, None, None)
             self._obs_swap = None
@@ -191,14 +256,37 @@ class ReproServer:
             raise failure[0]
         return self
 
-    def shutdown(self) -> None:
-        """Stop a :meth:`start_in_thread` server and join its thread."""
+    def shutdown(self, *, timeout: float = 30.0) -> None:
+        """Stop a :meth:`start_in_thread` server and join its thread.
+
+        A thread that fails to join within ``timeout`` seconds is a
+        *failure*, not a shrug: it raises a typed
+        :class:`~repro.errors.ServerShutdownError` carrying the drained
+        vs. abandoned request counts, instead of silently leaking the
+        thread and whatever requests it still holds.
+        """
         if self._thread is None:
             return
         if self._loop is not None and self._stop_event is not None:
             with contextlib.suppress(RuntimeError):
                 self._loop.call_soon_threadsafe(self._stop_event.set)
-        self._thread.join(timeout=30)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            drained = self._shutdown_counts.get("drained", self.queue.served)
+            abandoned = self._shutdown_counts.get("abandoned", self.queue.pending)
+            _log.error(
+                "server thread failed to join within %.1fs "
+                "(drained=%d, abandoned=%d)",
+                timeout,
+                drained,
+                abandoned,
+            )
+            raise ServerShutdownError(
+                f"server thread did not join within {timeout:.1f}s; "
+                f"{drained} request(s) drained, {abandoned} abandoned",
+                drained=drained,
+                abandoned=abandoned,
+            )
         self._thread = None
 
     @property
@@ -209,44 +297,79 @@ class ReproServer:
     # HTTP framing
     # ------------------------------------------------------------- #
 
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        """Read one full request off the wire; ``None`` on clean EOF.
+
+        Malformed framing raises :class:`_HttpError` — the caller answers
+        it and closes the connection (re-synchronising a broken HTTP/1.1
+        byte stream is not worth the ambiguity).
+        """
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(
+                400, error_body("bad_request", "malformed request line")
+            )
+        verb, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if not 0 <= length <= _MAX_BODY:
+            raise _HttpError(400, error_body("bad_request", "bad Content-Length"))
+        body = await reader.readexactly(length) if length else b""
+        return verb, target, headers, body
+
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
             while True:
-                request_line = await reader.readline()
-                if not request_line:
-                    break
-                parts = request_line.decode("latin-1").strip().split()
-                if len(parts) != 3:
-                    await self._respond(
-                        writer,
-                        400,
-                        error_body("bad_request", "malformed request line"),
-                        keep_alive=False,
-                    )
-                    break
-                verb, target, _version = parts
-                headers: dict[str, str] = {}
-                while True:
-                    line = await reader.readline()
-                    if line in (b"\r\n", b"\n", b""):
-                        break
-                    key, _, value = line.decode("latin-1").partition(":")
-                    headers[key.strip().lower()] = value.strip()
                 try:
-                    length = int(headers.get("content-length", "0"))
-                except ValueError:
-                    length = -1
-                if not 0 <= length <= _MAX_BODY:
+                    if self.request_timeout is not None:
+                        # Slow-loris guard: a peer gets request_timeout
+                        # seconds to deliver one complete request (or send
+                        # the next one on a keep-alive connection) before
+                        # a typed 408 and the door.
+                        request = await asyncio.wait_for(
+                            self._read_request(reader), self.request_timeout
+                        )
+                    else:
+                        request = await self._read_request(reader)
+                except asyncio.TimeoutError:
+                    if self._tracer is not None:
+                        self._tracer.count("server.request_timeouts")
+                    with contextlib.suppress(Exception):
+                        await self._respond(
+                            writer,
+                            ERROR_STATUS["timeout"],
+                            error_body(
+                                "timeout",
+                                "request not received within "
+                                f"{self.request_timeout:g}s",
+                            ),
+                            keep_alive=False,
+                        )
+                    break
+                except _HttpError as exc:
                     await self._respond(
-                        writer,
-                        400,
-                        error_body("bad_request", "bad Content-Length"),
-                        keep_alive=False,
+                        writer, exc.status, exc.body, keep_alive=False
                     )
                     break
-                body = await reader.readexactly(length) if length else b""
+                if request is None:
+                    break
+                verb, target, headers, body = request
                 keep_alive = headers.get("connection", "").lower() != "close"
                 status, payload, extra = await self._dispatch(
                     verb.upper(), target, body, headers
@@ -269,7 +392,10 @@ class ReproServer:
             pass
         finally:
             writer.close()
-            with contextlib.suppress(Exception):
+            # CancelledError included: at loop teardown the close waiter
+            # itself can be cancelled, and this task has already handled
+            # its own cancellation above.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
 
     async def _respond(
@@ -327,6 +453,15 @@ class ReproServer:
             )
             if exc.retry_after is not None:
                 extra += (("Retry-After", f"{exc.retry_after:.3f}"),)
+        except DeadlineExceeded as exc:
+            status = ERROR_STATUS["deadline"]
+            payload = error_body(
+                "deadline",
+                str(exc),
+                deadline_ms=exc.deadline_ms,
+                shed=exc.shed,
+                **exc.details,
+            )
         except KeyError as exc:
             status = ERROR_STATUS["not_found"]
             payload = error_body("not_found", str(exc.args[0]) if exc.args else "")
@@ -381,7 +516,7 @@ class ReproServer:
             tenant = str(
                 data.get("tenant") or headers.get("x-repro-tenant") or "default"
             )
-            status, payload = await self._solve(data, tenant, request_id)
+            status, payload = await self._solve(data, tenant, request_id, headers)
             return status, payload, "POST /v1/solve"
         if path == "/v1/streams" and verb == "POST":
             data = self._json_body(body)
@@ -408,10 +543,26 @@ class ReproServer:
             if verb == "DELETE" and not action:
                 self.sessions.discard(sid)
                 return 200, {"deleted": sid}, "DELETE /v1/streams/{sid}"
+            if verb == "GET" and action == "decisions":
+                # The resume path: everything already finalized (or the
+                # whole log once closed), byte-identical across restarts.
+                session = self.sessions.get(sid)
+                return (
+                    200,
+                    {
+                        "stream": sid,
+                        "decisions": [d.to_dict() for d in session.decisions()],
+                        "frontier": session.frontier,
+                        "seq": session.batches,
+                        "closed": session.closed,
+                    },
+                    "GET /v1/streams/{sid}/decisions",
+                )
             if verb == "POST" and action == "arrivals":
                 data = self._json_body(body)
-                decisions, frontier = self.sessions.get(sid).feed(
-                    data.get("messages", [])
+                session = self.sessions.get(sid)
+                decisions, frontier = session.feed(
+                    data.get("messages", []), seq=data.get("seq")
                 )
                 if self._tracer is not None:
                     self._tracer.count("server.stream.decisions", len(decisions))
@@ -420,15 +571,20 @@ class ReproServer:
                     {
                         "stream": sid,
                         "frontier": frontier,
+                        "seq": session.batches,
                         "decisions": [d.to_dict() for d in decisions],
                     },
                     "POST /v1/streams/{sid}/arrivals",
                 )
             if verb == "POST" and action == "close":
+                # Close is idempotent and does NOT discard the session:
+                # it stays in the table (answering repeated closes and
+                # decision reads with the same payload) until the client
+                # DELETEs it — the exactly-once story for lost responses.
                 session = self.sessions.get(sid)
+                was_closed = session.closed
                 result, remaining = session.close()
-                self.sessions.discard(sid)
-                if self._tracer is not None:
+                if self._tracer is not None and not was_closed:
                     self._tracer.count("server.streams.closed")
                 return (
                     200,
@@ -457,6 +613,10 @@ class ReproServer:
             "result_schema": ScheduleResult.SCHEMA_VERSION,
             "pending": self.queue.pending,
             "streams": len(self.sessions),
+            "served": self.queue.served,
+            "shed_deadline": self.queue.shed_deadline,
+            "journal": str(self.journal.root) if self.journal else None,
+            "recovered_sessions": self.recovered_sessions,
         }
 
     def _cells(self) -> dict[str, Any]:
@@ -467,12 +627,80 @@ class ReproServer:
         ]
         return {"wire": WIRE_VERSION, "cells": cells}
 
+    def _deadline_ms(
+        self, headers: dict[str, str], data: dict[str, Any]
+    ) -> float | None:
+        """Resolve a request's deadline: header, then body, then default."""
+        body_value = data.pop("deadline_ms", None)
+        raw: Any = headers.get("x-repro-deadline-ms", "").strip() or body_value
+        if raw is None or raw == "":
+            return self.default_deadline_ms
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"deadline_ms must be a number of milliseconds, got {raw!r}"
+            ) from None
+        if value <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {value}")
+        return value
+
+    def _remember(self, key: str, status: int, payload: dict[str, Any]) -> None:
+        """Cache a terminal response under its idempotency key (LRU).
+
+        429s are deliberately not cached — overload is transient and a
+        retry should get a fresh admission decision, not a replayed shed.
+        """
+        if not key or status == ERROR_STATUS["overloaded"]:
+            return
+        self._idempotent[key] = (status, payload)
+        self._idempotent.move_to_end(key)
+        while len(self._idempotent) > self._idempotency_capacity:
+            self._idempotent.popitem(last=False)
+
     async def _solve(
-        self, data: dict[str, Any], tenant: str, request_id: str
+        self,
+        data: dict[str, Any],
+        tenant: str,
+        request_id: str,
+        headers: dict[str, str],
     ) -> tuple[int, dict[str, Any]]:
+        idem_key = str(
+            headers.get("x-repro-idempotency-key")
+            or data.pop("idempotency_key", "")
+            or ""
+        ).strip()[:128]
+        if idem_key:
+            cached = self._idempotent.get(idem_key)
+            if cached is not None:
+                # Exactly-once: a retry of an already-answered request
+                # replays the recorded response without re-solving.
+                self._idempotent.move_to_end(idem_key)
+                if self._tracer is not None:
+                    self._tracer.count("server.idempotent_hits")
+                status, payload = cached
+                if status >= 400:
+                    raise _HttpError(status, payload)
+                return status, payload
         if "instance" not in data:
             raise ValueError("solve request needs an 'instance' document")
-        out, queue_seconds = await self.queue.submit(data, tenant=tenant)
+        deadline_ms = self._deadline_ms(headers, data)
+        deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
+        try:
+            out, queue_seconds = await self.queue.submit(
+                data, tenant=tenant, deadline_s=deadline_s
+            )
+        except DeadlineExceeded as exc:
+            status = ERROR_STATUS["deadline"]
+            payload = error_body(
+                "deadline",
+                str(exc),
+                deadline_ms=exc.deadline_ms,
+                shed=exc.shed,
+                **exc.details,
+            )
+            self._remember(idem_key, status, payload)
+            raise _HttpError(status, payload) from exc
         if out["ok"]:
             result = out["result"]
             backend = (result.get("telemetry") or {}).get("backend")
@@ -485,6 +713,9 @@ class ReproServer:
             if self._tracer is not None:
                 self._tracer.count("server.solves")
                 self._tracer.count("server.queue_seconds", queue_seconds)
+            self._remember(idem_key, 200, result)
             return 200, result
         err = out["error"]
-        raise _HttpError(ERROR_STATUS[err["error"]["type"]], err)
+        status = ERROR_STATUS[err["error"]["type"]]
+        self._remember(idem_key, status, err)
+        raise _HttpError(status, err)

@@ -1,0 +1,163 @@
+"""Durable session journal: a per-session append-only WAL.
+
+The online regime's contract (PR 4) is that finalized decisions are
+*irrevocable* — so a server crash that silently discards an open stream
+breaks the model, not just the deployment.  :class:`SessionJournal`
+makes stream sessions crash-durable the cheap way the sessions layer
+already earns: every :class:`~repro.server.sessions.OnlineSession` is a
+**deterministic replay** of its arrival stream, so durability only needs
+the *inputs* — not the decisions — to survive.
+
+One directory holds one ``<sid>.wal`` file per session, JSONL records:
+
+* ``{"op": "open", "v": 1, "sid": ..., "n": ..., "topology": ...,
+  "policy": ..., "options": {...}}`` — the session document;
+* ``{"op": "feed", "seq": k, "rows": [...]}`` — the ``k``-th arrival
+  batch, normalized to the five canonical message fields so a replay
+  parses byte-identically;
+* ``{"op": "close"}`` — the stream was declared over.
+
+Records are flushed **and fsynced before the response is sent**, so any
+batch a client saw acknowledged is on disk; after a ``kill -9`` the
+recovered finalized-decision prefix is byte-identical to the pre-crash
+one (the replay is a pure function of the journaled inputs).  A torn
+tail line — a crash mid-append — invalidates nothing before it: replay
+stops at the first unparsable line, which by construction is a record
+whose batch was never acknowledged.
+
+``fsync=False`` trades that guarantee for speed (tests, benchmarks);
+the journal is then only as durable as the page cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["SessionJournal", "JOURNAL_VERSION"]
+
+#: Version stamped on every ``open`` record; a journal written by a
+#: future incompatible format is skipped rather than misread.
+JOURNAL_VERSION = 1
+
+#: Session ids are server-minted tokens; the journal refuses anything
+#: else so a corrupted id can never escape the journal directory.
+_SID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+class SessionJournal:
+    """Append-only per-session WAL under one directory (see module doc)."""
+
+    def __init__(self, root: str | Path, *, fsync: bool = True) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fsync = bool(fsync)
+
+    # ------------------------------------------------------------- #
+    # writing
+    # ------------------------------------------------------------- #
+
+    def _path(self, sid: str) -> Path:
+        if not _SID_RE.match(sid):
+            raise ValueError(f"invalid session id for journal: {sid!r}")
+        return self.root / f"{sid}.wal"
+
+    def _append(self, sid: str, record: dict[str, Any]) -> None:
+        path = self._path(sid)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+
+    def open_session(
+        self,
+        sid: str,
+        *,
+        n: int,
+        topology: str,
+        policy: str,
+        options: dict[str, Any],
+    ) -> None:
+        """Journal a stream open (must be the session's first record)."""
+        self._append(
+            sid,
+            {
+                "op": "open",
+                "v": JOURNAL_VERSION,
+                "sid": sid,
+                "n": int(n),
+                "topology": topology,
+                "policy": policy,
+                "options": dict(options),
+            },
+        )
+
+    def append_feed(self, sid: str, seq: int, rows: list[dict[str, Any]]) -> None:
+        """Journal one applied arrival batch (before it is acknowledged)."""
+        self._append(sid, {"op": "feed", "seq": int(seq), "rows": rows})
+
+    def append_close(self, sid: str) -> None:
+        """Journal that the stream was closed (idempotent on replay)."""
+        self._append(sid, {"op": "close"})
+
+    def delete(self, sid: str) -> None:
+        """Forget a session (abandon / explicit delete)."""
+        path = self._path(sid)
+        if path.exists():
+            path.unlink()
+
+    # ------------------------------------------------------------- #
+    # reading
+    # ------------------------------------------------------------- #
+
+    def sessions(self) -> list[str]:
+        """Journaled session ids, sorted for deterministic recovery order."""
+        return sorted(p.stem for p in self.root.glob("*.wal"))
+
+    def load(self, sid: str) -> list[dict[str, Any]]:
+        """All intact records of one session, in append order.
+
+        Stops at the first torn or unparsable line — everything before
+        it was acknowledged and stays trusted.  Returns ``[]`` when the
+        file is missing or its header is not a compatible ``open``
+        record.
+        """
+        path = self._path(sid)
+        if not path.exists():
+            return []
+        records: list[dict[str, Any]] = []
+        try:
+            with path.open(encoding="utf-8") as fh:
+                for line in fh:
+                    if not line.endswith("\n"):
+                        break  # torn tail: crash mid-append
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        break
+                    if not isinstance(record, dict) or "op" not in record:
+                        break
+                    records.append(record)
+        except OSError:
+            return []
+        if not records:
+            return []
+        head = records[0]
+        if head.get("op") != "open" or head.get("v") != JOURNAL_VERSION:
+            return []
+        return records
+
+    def replay(self) -> Iterator[tuple[str, list[dict[str, Any]]]]:
+        """Yield ``(sid, records)`` for every recoverable session."""
+        for sid in self.sessions():
+            records = self.load(sid)
+            if records:
+                yield sid, records

@@ -29,8 +29,21 @@ POST   ``/v1/streams``                  open an online stream session
 GET    ``/v1/streams/{sid}``            session status
 POST   ``/v1/streams/{sid}/arrivals``   feed arrivals -> finalized decisions
 POST   ``/v1/streams/{sid}/close``      close -> the full stream result
+GET    ``/v1/streams/{sid}/decisions``  the finalized decision log so far
 DELETE ``/v1/streams/{sid}``            abandon the session
 ====== ================================ =====================================
+
+Durability headers (all optional):
+
+* ``x-repro-deadline-ms`` — end-to-end deadline for a solve; a request
+  that cannot finish in time gets the typed ``deadline`` error on a 504
+  instead of an unbounded wait.
+* ``x-repro-idempotency-key`` — server-side exactly-once for solve
+  retries: a repeated key returns the cached terminal response instead
+  of re-executing.
+* arrival batches may carry a ``seq`` number; re-feeding an
+  already-applied batch returns the decisions it originally finalized
+  (exactly-once feeds across reconnects and server restarts).
 """
 
 from __future__ import annotations
@@ -56,9 +69,11 @@ ERROR_STATUS = {
     "bad_request": 400,
     "config": 400,
     "not_found": 404,
+    "timeout": 408,
     "budget_exceeded": 422,
     "overloaded": 429,
     "internal": 500,
+    "deadline": 504,
 }
 
 #: Reason phrases for the hand-rolled HTTP/1.1 framing.
@@ -67,9 +82,12 @@ REASONS = {
     201: "Created",
     400: "Bad Request",
     404: "Not Found",
+    408: "Request Timeout",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 

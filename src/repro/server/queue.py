@@ -9,35 +9,95 @@ task is the dict-only :func:`repro.server.worker.solve_cell`).
 
 Backpressure is enforced at *submit* time, never by blocking the event
 loop: a queue already holding ``max_pending`` requests, or a tenant
-already at its :class:`per-tenant quota <SolveQueue>`, gets an immediate
+already at its quota, gets an immediate
 :class:`~repro.errors.ServerOverloaded` — which the HTTP layer turns
 into a 429 with a ``Retry-After`` hint — instead of unbounded buffering.
-Each completed request reports the seconds it spent waiting for a batch
-slot, which the server surfaces in the result's ``request`` block.
+The hints come from a configurable :class:`BackpressurePolicy` (the old
+hard-coded heuristics are its defaults).  Each completed request reports
+the seconds it spent waiting for a batch slot, which the server surfaces
+in the result's ``request`` block.
+
+Deadlines (PR 8) ride the same path: a request admitted with
+``deadline_s`` is shed with a typed
+:class:`~repro.errors.DeadlineExceeded` (HTTP 504) the moment it cannot
+make it — expired entries are dropped at drain time *before* any solver
+work starts, the batch's engine call runs under the tightest rider's
+remaining time (``Engine.map(timeout=...)``, pool mode), the worker caps
+the solver's wall budget with what is left, and the submit side stops
+waiting at the deadline even if a stalled worker never answers.  One
+knob bounds end-to-end latency instead of three uncoordinated timeouts.
+
+A :class:`~repro.chaos.ChaosPlan` (tests, ``repro chaos``) injects
+deterministic drainer stalls here — the seam the deadline chain is
+proven against.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+from dataclasses import dataclass
 from typing import Any
 
-from ..errors import ServerOverloaded
+from ..chaos.plan import ChaosPlan
+from ..errors import DeadlineExceeded, ServerOverloaded, TaskTimeoutError
+from ..obs import tracer
 from .worker import solve_cell
 
-__all__ = ["SolveQueue"]
+__all__ = ["BackpressurePolicy", "SolveQueue"]
+
+
+@dataclass(frozen=True)
+class BackpressurePolicy:
+    """Retry-After heuristics for shed requests.
+
+    ``queue_slot_seconds`` scales the hint for a full queue by the
+    estimated number of batch drains ahead of the caller
+    (``queue_slot_seconds * max(1, pending // max_batch)``);
+    ``tenant_retry_seconds`` is the flat hint for a tenant at quota;
+    ``session_retry_seconds`` for a full stream-session table.  The
+    defaults are the serving tier's historical hard-coded values.
+    """
+
+    queue_slot_seconds: float = 0.05
+    tenant_retry_seconds: float = 0.05
+    session_retry_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "queue_slot_seconds",
+            "tenant_retry_seconds",
+            "session_retry_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+
+    def queue_retry_after(self, pending: int, max_batch: int) -> float:
+        """Hint for a full queue, scaled by drains ahead of the caller."""
+        return self.queue_slot_seconds * max(1, pending // max(1, max_batch))
+
+    def tenant_retry_after(self) -> float:
+        return self.tenant_retry_seconds
+
+    def session_retry_after(self) -> float:
+        return self.session_retry_seconds
 
 
 class _Item:
-    __slots__ = ("payload", "future", "tenant", "enqueued")
+    __slots__ = ("payload", "future", "tenant", "enqueued", "deadline")
 
     def __init__(
-        self, payload: dict[str, Any], future: "asyncio.Future", tenant: str
+        self,
+        payload: dict[str, Any],
+        future: "asyncio.Future",
+        tenant: str,
+        deadline: float | None,
     ) -> None:
         self.payload = payload
         self.future = future
         self.tenant = tenant
         self.enqueued = time.perf_counter()
+        self.deadline = deadline  # absolute time.monotonic(), None = unbounded
 
 
 class SolveQueue:
@@ -57,6 +117,11 @@ class SolveQueue:
         no per-tenant limit).  A tenant at quota is shed even when the
         global queue has room, so one chatty tenant cannot starve the
         rest.
+    policy:
+        The :class:`BackpressurePolicy` producing Retry-After hints.
+    chaos:
+        A :class:`~repro.chaos.ChaosPlan` injecting deterministic drainer
+        stalls (``None`` = no faults; production default).
     """
 
     def __init__(
@@ -66,6 +131,8 @@ class SolveQueue:
         max_pending: int = 256,
         max_batch: int = 8,
         tenant_quota: int | None = None,
+        policy: BackpressurePolicy | None = None,
+        chaos: ChaosPlan | None = None,
     ) -> None:
         if max_pending < 0:
             raise ValueError(f"max_pending must be >= 0, got {max_pending}")
@@ -77,7 +144,13 @@ class SolveQueue:
         self.max_pending = max_pending
         self.max_batch = max_batch
         self.tenant_quota = tenant_quota
+        self.policy = policy or BackpressurePolicy()
+        self.chaos = chaos
+        self.served = 0  # requests answered with a result over the lifetime
+        self.shed_deadline = 0  # requests dropped for a missed deadline
+        self._abandoned = 0  # requests shed at shutdown
         self._pending = 0
+        self._batch_seq = 0  # drained batches, for deterministic chaos coins
         self._per_tenant: dict[str, int] = {}
         self._queue: asyncio.Queue[_Item] = asyncio.Queue()
         self._drainer: asyncio.Task | None = None
@@ -88,7 +161,13 @@ class SolveQueue:
         if self._drainer is None:
             self._drainer = asyncio.create_task(self._drain())
 
-    async def stop(self) -> None:
+    async def stop(self) -> dict[str, int]:
+        """Stop draining; returns ``{"drained": ..., "abandoned": ...}``.
+
+        ``drained`` counts requests fully answered over the queue's
+        lifetime; ``abandoned`` counts requests shed *by this shutdown*
+        (still queued, or in flight when the drainer was cancelled).
+        """
         if self._drainer is not None:
             self._drainer.cancel()
             try:
@@ -102,7 +181,12 @@ class SolveQueue:
                 item.future.set_exception(
                     ServerOverloaded("server is shutting down", retry_after=None)
                 )
+            self._abandoned += 1
             self._settle(item)
+        # Anything still counted pending was in the cancelled in-flight
+        # batch: its futures were cancelled by the drainer.
+        self._abandoned += self._pending
+        return {"drained": self.served, "abandoned": self._abandoned}
 
     # ------------------------------------------------------------- #
 
@@ -120,17 +204,34 @@ class SolveQueue:
             self._per_tenant[item.tenant] = count
 
     async def submit(
-        self, payload: dict[str, Any], *, tenant: str = "default"
+        self,
+        payload: dict[str, Any],
+        *,
+        tenant: str = "default",
+        deadline_s: float | None = None,
     ) -> tuple[dict[str, Any], float]:
         """Admit one request; returns ``(solve_cell output, queue seconds)``.
 
         Raises :class:`~repro.errors.ServerOverloaded` immediately when
-        the queue or the tenant is at capacity.
+        the queue or the tenant is at capacity, and
+        :class:`~repro.errors.DeadlineExceeded` when ``deadline_s``
+        elapses before an answer — whether the request was shed before
+        dispatch or a stalled worker simply never finished in time.
         """
+        if deadline_s is not None and deadline_s <= 0:
+            self.shed_deadline += 1
+            raise DeadlineExceeded(
+                f"deadline of {deadline_s * 1e3:.0f} ms already expired at "
+                "admission",
+                deadline_ms=deadline_s * 1e3,
+                shed=True,
+            )
         if self._pending >= self.max_pending:
             raise ServerOverloaded(
                 f"solve queue is full ({self.max_pending} pending requests)",
-                retry_after=0.05 * max(1, self._pending // self.max_batch),
+                retry_after=self.policy.queue_retry_after(
+                    self._pending, self.max_batch
+                ),
                 details={"max_pending": self.max_pending},
             )
         held = self._per_tenant.get(tenant, 0)
@@ -138,16 +239,43 @@ class SolveQueue:
             raise ServerOverloaded(
                 f"tenant {tenant!r} is at its quota of {self.tenant_quota} "
                 "in-flight requests",
-                retry_after=0.05,
+                retry_after=self.policy.tenant_retry_after(),
                 details={"tenant": tenant, "tenant_quota": self.tenant_quota},
             )
         self._pending += 1
         self._per_tenant[tenant] = held + 1
-        item = _Item(payload, asyncio.get_running_loop().create_future(), tenant)
+        deadline = time.monotonic() + deadline_s if deadline_s is not None else None
+        item = _Item(
+            payload, asyncio.get_running_loop().create_future(), tenant, deadline
+        )
         await self._queue.put(item)
-        return await item.future
+        if deadline_s is None:
+            return await item.future
+        try:
+            # The submit side is the last line of the deadline chain: even
+            # if a stalled worker never answers, the caller gets its typed
+            # 504 at the deadline (wait_for cancels the future; the
+            # drainer's completion path tolerates that).
+            return await asyncio.wait_for(item.future, timeout=deadline_s)
+        except asyncio.TimeoutError:
+            self.shed_deadline += 1
+            tracer().count("server.deadline.missed")
+            raise DeadlineExceeded(
+                f"request missed its {deadline_s * 1e3:.0f} ms deadline "
+                "(work may still be running; its result is discarded)",
+                deadline_ms=deadline_s * 1e3,
+                shed=False,
+            ) from None
 
     # ------------------------------------------------------------- #
+
+    def _execute_batch(
+        self, payloads: list[tuple[dict[str, Any]]], stall: float, timeout: float | None
+    ) -> tuple[list[Any], Any]:
+        """Run one batch on the engine (in a worker thread, off the loop)."""
+        if stall > 0:
+            time.sleep(stall)  # injected fault: the "wedged worker" seam
+        return self.engine.map(solve_cell, payloads, timeout=timeout)
 
     async def _drain(self) -> None:
         while True:
@@ -157,17 +285,70 @@ class SolveQueue:
                     batch.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
+            batch_index = self._batch_seq
+            self._batch_seq += 1
+            now = time.monotonic()
+            live: list[_Item] = []
+            for item in batch:
+                if item.deadline is not None and now >= item.deadline:
+                    # Shed before dispatch: no solver work is wasted on a
+                    # request whose caller has already given up.
+                    if not item.future.done():
+                        item.future.set_exception(
+                            DeadlineExceeded(
+                                "deadline expired while queued",
+                                deadline_ms=None,
+                                shed=True,
+                            )
+                        )
+                    self.shed_deadline += 1
+                    tracer().count("server.deadline.shed")
+                    self._settle(item)
+                else:
+                    live.append(item)
+            if not live:
+                continue
+            batch = live
+            # The tightest rider's remaining time bounds the whole engine
+            # call (per-task timeout in pool mode) and caps each rider's
+            # solver wall budget in the worker.
+            timeout: float | None = None
+            for item in batch:
+                if item.deadline is not None:
+                    remaining = max(0.001, item.deadline - now)
+                    item.payload = dict(item.payload)
+                    item.payload["_deadline_s"] = remaining
+                    timeout = remaining if timeout is None else min(timeout, remaining)
+            stall = self.chaos.stall_for(batch_index) if self.chaos else 0.0
+            if stall > 0:
+                tracer().count("server.chaos.stalls")
             started = time.perf_counter()
             try:
                 results, _stats = await asyncio.to_thread(
-                    self.engine.map, solve_cell, [(item.payload,) for item in batch]
+                    self._execute_batch,
+                    [(item.payload,) for item in batch],
+                    stall,
+                    timeout,
                 )
             except asyncio.CancelledError:
                 for item in batch:
                     if not item.future.done():
                         item.future.cancel()
+                        self._abandoned += 1
                     self._settle(item)
                 raise
+            except TaskTimeoutError as exc:
+                # The engine's per-batch timeout fired (pool mode): every
+                # rider gets the typed deadline outcome.
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(
+                            DeadlineExceeded(
+                                f"engine timed out: {exc}", shed=False
+                            )
+                        )
+                    self._settle(item)
+                continue
             except Exception as exc:  # engine-level failure hits the whole batch
                 for item in batch:
                     if not item.future.done():
@@ -177,4 +358,5 @@ class SolveQueue:
             for item, out in zip(batch, results):
                 if not item.future.done():
                     item.future.set_result((out, started - item.enqueued))
+                    self.served += 1
                 self._settle(item)

@@ -24,6 +24,18 @@ Replays cost one policy run per batch — the price of zero duplicated
 policy logic.  The policies are near-linear in the fed set, so a stream
 fed in ``B`` batches costs ``O(B)`` runs over prefixes, fine for the
 serving tier's request sizes.
+
+Durability (PR 8) builds on the same replay determinism: with a
+:class:`~repro.server.journal.SessionJournal` attached, every applied
+arrival batch is journaled (fsynced) *before* it is acknowledged, and
+:meth:`StreamSessions.recover` rebuilds the table after a crash by
+re-feeding the journaled batches — the recovered finalized-decision
+prefix is byte-identical to the pre-crash one because both are the same
+pure function of the same inputs.  Feeds carry an optional ``seq``
+number making retries exactly-once (a re-fed batch returns the decisions
+it originally finalized), and ``close`` is idempotent: the session stays
+in the table, answering repeated closes with the same result, until the
+client deletes it.
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ from ..core.message import Message
 from ..errors import ConfigError, ServerOverloaded
 from ..online import ONLINE_POLICIES, StreamResult, run_online
 from ..online.stream import Decision
+from .journal import SessionJournal
 
 __all__ = ["OnlineSession", "StreamSessions"]
 
@@ -64,6 +77,17 @@ def _parse_message(row: Any, *, topology: str, n: int) -> Any:
     return Message(**fields)
 
 
+def _message_row(message: Any) -> dict[str, Any]:
+    """The canonical journal form of one arrival (five fields, ints)."""
+    return {
+        "id": message.id,
+        "source": message.source,
+        "dest": message.dest,
+        "release": message.release,
+        "deadline": message.deadline,
+    }
+
+
 class OnlineSession:
     """One live stream: fed arrivals, the finalized-decision cursor."""
 
@@ -75,6 +99,7 @@ class OnlineSession:
         topology: str = "line",
         policy: str = "bfl",
         options: dict[str, Any] | None = None,
+        journal: SessionJournal | None = None,
     ) -> None:
         if topology not in STREAM_TOPOLOGIES:
             raise ConfigError(
@@ -97,10 +122,16 @@ class OnlineSession:
         self.n = n
         self.options = dict(options or {})
         self.closed = False
+        self.journal = journal
         self._messages: list[Any] = []
         self._ids: set[int] = set()
         self._frontier = 0
         self._finalized = 0  # decisions already handed to the client
+        # Per-batch finalized-cursor history: _batch_cursors[k] is the
+        # value of _finalized after batch k applied, so a re-fed batch
+        # (a retry after an ambiguous failure) can return exactly the
+        # decisions it originally finalized.
+        self._batch_cursors: list[int] = []
 
     # ------------------------------------------------------------- #
 
@@ -114,6 +145,11 @@ class OnlineSession:
     def fed(self) -> int:
         return len(self._messages)
 
+    @property
+    def batches(self) -> int:
+        """Arrival batches applied so far (the next expected ``seq``)."""
+        return len(self._batch_cursors)
+
     def _instance(self) -> Any:
         if self.topology == "ring":
             from ..topology.ring import RingInstance
@@ -126,7 +162,7 @@ class OnlineSession:
 
     # ------------------------------------------------------------- #
 
-    def feed(self, rows: Any) -> tuple[list[Decision], int]:
+    def feed(self, rows: Any, *, seq: int | None = None) -> tuple[list[Decision], int]:
         """Feed one arrival batch; returns ``(new decisions, frontier)``.
 
         Every arrival's release must be >= the current frontier (the
@@ -134,11 +170,34 @@ class OnlineSession:
         what makes the finalized prefix irrevocable).  The returned
         decisions are the ones that became final with this batch, in
         decision-log order.
+
+        ``seq`` (optional) makes feeds exactly-once: it must equal the
+        number of batches applied so far.  A ``seq`` *behind* the cursor
+        is a retry of an already-applied batch — it is **not** re-applied;
+        the decisions it originally finalized are returned again.  A
+        ``seq`` ahead of the cursor is a gap and is rejected.
         """
         if self.closed:
             raise ValueError(f"stream {self.session_id} is closed")
         if not isinstance(rows, list):
             raise ValueError("'messages' must be a JSON array of arrivals")
+        applied = len(self._batch_cursors)
+        if seq is not None:
+            seq = int(seq)
+            if seq < 0:
+                raise ValueError(f"'seq' must be >= 0, got {seq}")
+            if seq < applied:
+                # Retry of an acknowledged batch: replay the original
+                # answer without touching the stream (exactly-once).
+                start = self._batch_cursors[seq - 1] if seq else 0
+                end = self._batch_cursors[seq]
+                result = self._replay()
+                return list(result.decisions[start:end]), self._frontier
+            if seq > applied:
+                raise ValueError(
+                    f"'seq' {seq} skips ahead: stream has applied "
+                    f"{applied} batch(es); feed them in order"
+                )
         batch = [_parse_message(r, topology=self.topology, n=self.n) for r in rows]
         for m in batch:
             if m.release < self._frontier:
@@ -149,6 +208,12 @@ class OnlineSession:
                 )
             if m.id in self._ids:
                 raise ValueError(f"duplicate message id {m.id} in stream")
+        if self.journal is not None:
+            # WAL contract: the batch is on disk (fsynced) before any
+            # state changes or any acknowledgement leaves the server.
+            self.journal.append_feed(
+                self.session_id, applied, [_message_row(m) for m in batch]
+            )
         self._messages.extend(batch)
         self._ids.update(m.id for m in batch)
         if batch:
@@ -157,17 +222,36 @@ class OnlineSession:
         final = [d for d in result.decisions if d.time < self._frontier]
         new = final[self._finalized :]
         self._finalized = len(final)
+        self._batch_cursors.append(self._finalized)
         return new, self._frontier
 
     def close(self) -> tuple[StreamResult, list[Decision]]:
         """End the stream: run to completion, return the result plus the
-        decisions not yet handed out by :meth:`feed`."""
-        if self.closed:
-            raise ValueError(f"stream {self.session_id} is closed")
+        decisions not yet handed out by :meth:`feed`.
+
+        Idempotent: closing an already-closed session recomputes and
+        returns the same ``(result, remaining)`` — the replay is
+        deterministic — so a client retrying a close whose response was
+        lost gets the original answer.
+        """
+        if not self.closed and self.journal is not None:
+            self.journal.append_close(self.session_id)
         result = self._replay()
         remaining = list(result.decisions[self._finalized :])
         self.closed = True
         return result, remaining
+
+    def decisions(self) -> list[Decision]:
+        """The finalized decision log so far (all decisions once closed).
+
+        The resume path: a client reconnecting after a crash — its own or
+        the server's — reads this to re-sync with the decisions already
+        handed out, byte-identical to what the pre-crash server sent.
+        """
+        result = self._replay()
+        if self.closed:
+            return list(result.decisions)
+        return list(result.decisions[: self._finalized])
 
     def status(self) -> dict[str, Any]:
         return {
@@ -176,16 +260,32 @@ class OnlineSession:
             "policy": self.policy,
             "n": self.n,
             "fed": self.fed,
+            "batches": self.batches,
             "frontier": self._frontier,
+            "finalized": self._finalized,
             "closed": self.closed,
         }
 
 
 class StreamSessions:
-    """The server's session table (thread-safe, capacity-capped)."""
+    """The server's session table (thread-safe, capacity-capped).
 
-    def __init__(self, max_sessions: int = 64) -> None:
+    With ``journal=`` every session is crash-durable: opens and feeds
+    are journaled before acknowledgement, :meth:`recover` rebuilds the
+    table by deterministic replay, and :meth:`discard` forgets the WAL.
+    ``retry_after`` is the backpressure hint sent when the table is full.
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = 64,
+        *,
+        journal: SessionJournal | None = None,
+        retry_after: float = 1.0,
+    ) -> None:
         self.max_sessions = max_sessions
+        self.journal = journal
+        self.retry_after = retry_after
         self._sessions: dict[str, OnlineSession] = {}
         self._lock = threading.Lock()
 
@@ -195,13 +295,59 @@ class StreamSessions:
                 raise ServerOverloaded(
                     f"stream session table is full ({self.max_sessions} live "
                     "sessions); close or abandon one first",
-                    retry_after=1.0,
+                    retry_after=self.retry_after,
                     details={"max_sessions": self.max_sessions},
                 )
             sid = f"st-{secrets.token_hex(8)}"
-            session = OnlineSession(sid, **kwargs)
+            session = OnlineSession(sid, journal=self.journal, **kwargs)
+            if self.journal is not None:
+                self.journal.open_session(
+                    sid,
+                    n=session.n,
+                    topology=session.topology,
+                    policy=session.policy,
+                    options=session.options,
+                )
             self._sessions[sid] = session
             return session
+
+    def recover(self) -> int:
+        """Rebuild sessions from the journal; returns how many came back.
+
+        Each journaled session is replayed batch by batch through the
+        same :meth:`OnlineSession.feed` path a live client would use —
+        with journaling suppressed during the replay — so the recovered
+        frontier, finalized cursor and per-batch history are exactly the
+        pre-crash ones.  A session whose replay fails (e.g. a journal
+        written against a policy that no longer exists) is skipped, not
+        fatal: recovery must never take the server down.
+        """
+        if self.journal is None:
+            return 0
+        recovered = 0
+        for sid, records in self.journal.replay():
+            head = records[0]
+            try:
+                session = OnlineSession(
+                    sid,
+                    n=head["n"],
+                    topology=head.get("topology", "line"),
+                    policy=head.get("policy", "bfl"),
+                    options=head.get("options"),
+                    journal=None,  # replay must not re-journal
+                )
+                for record in records[1:]:
+                    if record.get("op") == "feed":
+                        session.feed(record["rows"], seq=record.get("seq"))
+                    elif record.get("op") == "close":
+                        session.closed = True
+            except Exception:
+                continue
+            session.journal = self.journal
+            with self._lock:
+                self._sessions[sid] = session
+            recovered += 1
+        return recovered
 
     def get(self, session_id: str) -> OnlineSession:
         with self._lock:
@@ -214,6 +360,8 @@ class StreamSessions:
         with self._lock:
             if self._sessions.pop(session_id, None) is None:
                 raise KeyError(f"no such stream: {session_id}")
+        if self.journal is not None:
+            self.journal.delete(session_id)
 
     def __len__(self) -> int:
         with self._lock:

@@ -10,14 +10,37 @@ batch must not poison the other requests travelling with it.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from typing import Any
 
 from ..api import parse_instance, solve
 from ..budget import SolverBudget
+from ..chaos.plan import KILL_GATE_ENV
 from ..errors import BudgetExceeded, ConfigError
 from .protocol import error_body
 
 __all__ = ["solve_cell", "decode_options"]
+
+
+def _maybe_chaos_kill(payload: dict[str, Any]) -> None:
+    """Honour a ``{"chaos": {"kill": true}}`` payload — in a pool worker.
+
+    The chaos harness uses this to crash a worker process mid-batch
+    (``BrokenProcessPool`` upstream).  Two guards keep it from ever
+    touching production or the server process itself: the
+    ``REPRO_CHAOS_ALLOW_KILL`` env gate must be set, and the current
+    process must be a multiprocessing child (``jobs=1`` in-process
+    solves refuse the kill and answer normally).
+    """
+    chaos = payload.get("chaos")
+    if not (isinstance(chaos, dict) and chaos.get("kill")):
+        return
+    if not os.environ.get(KILL_GATE_ENV):
+        return
+    if multiprocessing.current_process().name == "MainProcess":
+        return
+    os._exit(137)  # simulate SIGKILL: no cleanup, no excepthook
 
 
 def decode_options(options: Any) -> dict[str, Any]:
@@ -62,16 +85,50 @@ def solve_cell(payload: dict[str, Any]) -> dict[str, Any]:
     passes certified degradation through instead of turning it into an
     error.
     """
+    deadline_s = None
     try:
+        _maybe_chaos_kill(payload)
+        deadline_s = payload.get("_deadline_s")
         instance = parse_instance(payload["instance"])
         regime = payload.get("regime", "bufferless")
         method = payload.get("method", "exact")
         opts = decode_options(payload.get("options"))
+        if deadline_s is not None and method == "exact":
+            # Deadline chain, last solver-side link: cap the exact
+            # solver's wall budget with the request's remaining time so
+            # the search stops (with certified bounds) instead of
+            # overrunning the deadline.
+            budget = opts.get("budget")
+            if budget is None:
+                opts["budget"] = SolverBudget(wall_time=float(deadline_s))
+            elif budget.wall_time is None or budget.wall_time > deadline_s:
+                opts["budget"] = SolverBudget(
+                    wall_time=float(deadline_s), nodes=budget.nodes
+                )
         result = solve(instance, regime, method, **opts)
         return {"ok": True, "result": result.to_dict()}
     except ConfigError as exc:
         return {"ok": False, "error": error_body("config", str(exc))}
     except BudgetExceeded as exc:
+        if deadline_s is not None and "budget" not in (
+            (payload.get("options") or {}) if isinstance(payload, dict) else {}
+        ):
+            # The budget that tripped was the deadline cap the server
+            # injected, not one the client asked for: the typed outcome
+            # is a deadline miss, with the certified partial bounds the
+            # interrupted search still earned.
+            return {
+                "ok": False,
+                "error": error_body(
+                    "deadline",
+                    f"solve exceeded its {deadline_s * 1e3:.0f} ms deadline: "
+                    f"{exc}",
+                    deadline_ms=deadline_s * 1e3,
+                    lower=exc.lower,
+                    upper=exc.upper,
+                    spent=exc.spent,
+                ),
+            }
         return {
             "ok": False,
             "error": error_body(

@@ -1,0 +1,314 @@
+"""Fault-injection tests for the serving tier (the ``chaos`` marker).
+
+The fast subset runs in tier 1: typed 504s under stalled drainers,
+malformed-payload handling, the slow-loris read-timeout, worker kills in
+the process pool, shutdown accounting, and the kill -9 acceptance test
+(a real ``repro serve`` subprocess SIGKILLed mid-stream and recovered
+from its journal).  ``REPRO_CHAOS_FULL=1`` unlocks the full smoke
+schedule (the one behind ``repro chaos --smoke``).
+"""
+
+import asyncio
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosPlan
+from repro.chaos.plan import KILL_GATE_ENV
+from repro.client import ReproClient
+from repro.engine import Engine
+from repro.errors import DeadlineExceeded, ServerShutdownError
+from repro.online import run_online
+from repro.server import ReproServer, SolveQueue
+from repro.server.worker import solve_cell
+from repro.topology import topology_of
+from repro.workloads import general_instance
+
+pytestmark = pytest.mark.chaos
+
+
+def _line(seed=42, n=8, k=16):
+    return general_instance(
+        np.random.default_rng(seed), n=n, k=k, max_release=8, max_slack=6
+    )
+
+
+def _doc(inst):
+    return topology_of(inst).instance_to_dict(inst)
+
+
+def _stream_rows(seed, n=8, k=30):
+    rng = np.random.default_rng(seed)
+    inst = general_instance(rng, n=n, k=k, max_release=k // 2, max_slack=6)
+    return [
+        {
+            "id": m.id,
+            "source": m.source,
+            "dest": m.dest,
+            "release": m.release,
+            "deadline": m.deadline,
+        }
+        for m in sorted(inst.messages, key=lambda m: (m.release, m.id))
+    ]
+
+
+class TestChaosPlan:
+    def test_stall_coins_are_deterministic(self):
+        plan = ChaosPlan(seed=7, stall_rate=0.5, stall_seconds=1.0)
+        first = [plan.stall_for(i) for i in range(32)]
+        again = [plan.stall_for(i) for i in range(32)]
+        assert first == again
+        assert 0.0 < np.mean([s > 0 for s in first]) < 1.0
+
+    def test_explicit_batches_override_coins(self):
+        plan = ChaosPlan(stall_seconds=2.0, stall_batches=(3,))
+        assert plan.stall_for(3) == 2.0
+        assert plan.stall_for(4) == 0.0
+
+    def test_env_round_trip(self):
+        plan = ChaosPlan(seed=3, stall_rate=1.0, stall_seconds=0.5)
+        assert ChaosPlan.from_json(plan.to_json()) == plan
+        assert ChaosPlan.from_env(plan.env()) == plan
+        assert ChaosPlan.from_env({}) is None
+
+
+class TestDeadlineChain:
+    def test_stalled_drainer_answers_typed_504_before_stall_ends(self):
+        plan = ChaosPlan(seed=0, stall_rate=1.0, stall_seconds=2.0)
+        srv = ReproServer(port=0, jobs=1, chaos=plan).start_in_thread()
+        try:
+            with ReproClient(srv.url) as client:
+                t0 = time.monotonic()
+                with pytest.raises(DeadlineExceeded) as exc_info:
+                    client.solve(
+                        _line(), "bufferless", "bfl", deadline_ms=300.0
+                    )
+                elapsed = time.monotonic() - t0
+                assert elapsed < 2.0  # the deadline, not the stall, bounds it
+                assert exc_info.value.deadline_ms == pytest.approx(300.0)
+                assert client.health()["shed_deadline"] >= 1
+        finally:
+            srv.shutdown()
+
+    def test_default_deadline_applies_server_side(self):
+        plan = ChaosPlan(seed=0, stall_rate=1.0, stall_seconds=2.0)
+        srv = ReproServer(
+            port=0, jobs=1, chaos=plan, default_deadline_ms=250.0
+        ).start_in_thread()
+        try:
+            with ReproClient(srv.url) as client:
+                with pytest.raises(DeadlineExceeded):
+                    client.solve(_line(), "bufferless", "bfl")
+        finally:
+            srv.shutdown()
+
+    def test_deadline_untouched_solves_still_succeed(self):
+        srv = ReproServer(port=0, jobs=1).start_in_thread()
+        try:
+            with ReproClient(srv.url) as client:
+                result = client.solve(
+                    _line(), "bufferless", "bfl", deadline_ms=30_000.0
+                )
+                assert result.delivered >= 0
+        finally:
+            srv.shutdown()
+
+    def test_exact_solver_deadline_returns_bounds(self):
+        # A deadline-capped exact solve that cannot finish comes back as
+        # a typed 504 carrying the certified partial bounds.
+        inst = _line(seed=9, n=16, k=40)
+        payload = {
+            "instance": _doc(inst),
+            "regime": "bufferless",
+            "method": "exact",
+            "_deadline_s": 0.05,
+        }
+        out = solve_cell(payload)
+        if not out["ok"]:  # tiny instances may still finish in time
+            err = out["error"]["error"]
+            assert err["type"] == "deadline"
+            assert "lower" in err["details"]
+
+
+class TestMalformedPayloads:
+    @pytest.fixture()
+    def server(self):
+        srv = ReproServer(port=0, jobs=1, request_timeout=1.0).start_in_thread()
+        yield srv
+        srv.shutdown()
+
+    def test_garbage_gets_typed_400(self, server):
+        from repro.chaos import send_garbage
+
+        assert send_garbage("127.0.0.1", server.port) == 400
+
+    def test_corrupt_frame_gets_typed_400(self, server):
+        from repro.chaos import send_corrupt_frame
+
+        assert send_corrupt_frame("127.0.0.1", server.port) == 400
+
+    def test_truncated_body_is_never_processed(self, server):
+        from repro.chaos import send_truncated_body
+
+        status = send_truncated_body("127.0.0.1", server.port, timeout=3.0)
+        assert status in (None, 400, 408)
+        with ReproClient(server.url) as client:
+            assert client.health()["status"] == "ok"
+
+    def test_slow_loris_is_cut_off_with_408(self, server):
+        from repro.chaos import slow_loris
+
+        status, held = slow_loris(
+            "127.0.0.1", server.port, duration=5.0, drip_interval=0.1
+        )
+        assert status == 408
+        assert held < 5.0
+        with ReproClient(server.url) as client:
+            assert client.health()["status"] == "ok"
+
+
+class TestWorkerKill:
+    def test_kill_refused_without_gate_and_in_main_process(self):
+        inst = _line()
+        payload = {
+            "instance": _doc(inst),
+            "regime": "bufferless",
+            "method": "bfl",
+            "chaos": {"kill": True},
+        }
+        os.environ.pop(KILL_GATE_ENV, None)
+        out = solve_cell(payload)  # no gate: solves normally
+        assert out["ok"]
+        os.environ[KILL_GATE_ENV] = "1"
+        try:
+            out = solve_cell(payload)  # gate set, but MainProcess: refused
+            assert out["ok"]
+        finally:
+            os.environ.pop(KILL_GATE_ENV, None)
+
+    @pytest.mark.timeout(120)
+    def test_pool_worker_kill_yields_typed_outcomes(self, monkeypatch):
+        monkeypatch.setenv(KILL_GATE_ENV, "1")
+        inst = _line()
+        good = {"instance": _doc(inst), "regime": "bufferless", "method": "bfl"}
+        bad = {**good, "chaos": {"kill": True}}
+
+        async def scenario():
+            queue = SolveQueue(Engine(jobs=2), max_pending=8, max_batch=4)
+            await queue.start()
+            riders = [
+                asyncio.create_task(queue.submit(bad, tenant="a")),
+                asyncio.create_task(queue.submit(good, tenant="b")),
+            ]
+            outcomes = await asyncio.gather(*riders, return_exceptions=True)
+            counts = await queue.stop()
+            return outcomes, counts
+
+        outcomes, counts = asyncio.run(scenario())
+        # The killed worker takes the batch down, but every rider gets a
+        # raised typed outcome — nobody hangs, nothing is silently lost.
+        assert len(outcomes) == 2
+        assert all(isinstance(o, Exception) for o in outcomes)
+        assert counts["drained"] == 0
+
+
+class TestShutdownAccounting:
+    def test_unjoinable_thread_raises_typed_error(self):
+        srv = ReproServer(port=0, jobs=1).start_in_thread()
+        real_thread = srv._thread
+
+        class Wedged:
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return True
+
+        srv._thread = Wedged()
+        try:
+            with pytest.raises(ServerShutdownError) as exc_info:
+                srv.shutdown(timeout=0.1)
+            assert exc_info.value.drained >= 0
+            assert exc_info.value.abandoned >= 0
+        finally:
+            srv._thread = real_thread
+            srv.shutdown()
+
+    def test_clean_shutdown_reports_counts(self):
+        srv = ReproServer(port=0, jobs=1).start_in_thread()
+        with ReproClient(srv.url) as client:
+            client.solve(_line(), "bufferless", "bfl")
+        srv.shutdown()
+        assert srv._shutdown_counts == {"drained": 1, "abandoned": 0}
+
+
+class TestKill9Acceptance:
+    """The PR's acceptance test: SIGKILL a journaled server mid-stream,
+    restart it, and the recovered prefix is byte-identical — with the
+    resumed stream finishing exactly like an uncrashed control."""
+
+    @pytest.mark.timeout(180)
+    def test_kill9_midstream_recovers_byte_identical(self, tmp_path):
+        from repro.chaos import ServerProcess
+        from repro.core.instance import Instance
+        from repro.core.message import Message
+
+        rows = _stream_rows(seed=123, n=8, k=30)
+        batches = [rows[i : i + 10] for i in range(0, len(rows), 10)]
+        srv = ServerProcess(jobs=1, journal=str(tmp_path)).start()
+        try:
+            with ReproClient(srv.url) as client:
+                stream = client.open_stream(n=8, policy="bfl")
+                pre_crash = []
+                for batch in batches[:2]:
+                    pre_crash.extend(d.to_dict() for d in stream.feed(batch))
+
+                srv.kill9()
+                recovery_seconds = srv.restart()
+                assert recovery_seconds < 30.0
+
+                resumed = client.resume_stream(stream.stream_id)
+                assert resumed.seq == 2
+                recovered = [d.to_dict() for d in resumed.decisions()]
+                assert json.dumps(recovered, sort_keys=True) == json.dumps(
+                    pre_crash, sort_keys=True
+                )
+
+                for batch in batches[2:]:
+                    resumed.feed(batch)
+                final = resumed.close()
+        finally:
+            srv.stop()
+
+        control = run_online(
+            Instance(8, tuple(Message(**r) for r in rows)), "bfl"
+        )
+        assert [d.to_dict() for d in final.decisions] == [
+            d.to_dict() for d in control.decisions
+        ]
+
+
+class TestChaosCli:
+    def test_chaos_without_smoke_is_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos"]) == 2
+        assert "--smoke" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(600)
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_CHAOS_FULL"),
+    reason="full chaos schedule is gated behind REPRO_CHAOS_FULL=1",
+)
+def test_full_smoke_schedule(tmp_path):
+    from repro.chaos import run_smoke
+
+    payload = run_smoke(seed=0, out=str(tmp_path / "BENCH_PR8.json"))
+    assert payload["ok"], payload["invariants"]
+    assert payload["recovery"]["prefix_identical"]
+    assert payload["deadline"]["typed_504"] == payload["deadline"]["requests"]

@@ -1,0 +1,233 @@
+"""Client hardening: the retry classification table, the circuit
+breaker, and exactly-once retries via idempotency keys.
+
+The retry rule under test: connect-level failures (the request provably
+never left) are always retried; ambiguous mid-request failures only for
+idempotent requests; HTTP responses are answers — only 429 is retried,
+honouring Retry-After.
+"""
+
+import http.client
+import socket
+
+import pytest
+
+from repro.client import CircuitBreaker, ClientStream, ReproClient, classify_failure
+from repro.errors import CircuitOpenError, ServerError, ServerOverloaded
+
+
+class TestClassificationTable:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConnectionRefusedError("refused"),
+            socket.gaierror("no such host"),
+            http.client.CannotSendRequest(),
+        ],
+    )
+    def test_connect_level_always_retriable(self, exc):
+        assert classify_failure(exc, idempotent=False)
+        assert classify_failure(exc, idempotent=True)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            http.client.RemoteDisconnected("gone"),
+            http.client.BadStatusLine("garbage"),
+            ConnectionResetError("reset"),
+            BrokenPipeError("pipe"),
+            TimeoutError("timed out"),
+        ],
+    )
+    def test_ambiguous_retriable_only_if_idempotent(self, exc):
+        assert classify_failure(exc, idempotent=True)
+        assert not classify_failure(exc, idempotent=False)
+
+    def test_everything_else_is_an_answer(self):
+        assert not classify_failure(ValueError("nope"), idempotent=True)
+        assert not classify_failure(KeyError("nope"), idempotent=True)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_cools_down(self):
+        clock = [0.0]
+        br = CircuitBreaker(threshold=3, cooldown=10.0, clock=lambda: clock[0])
+        assert br.state == "closed"
+        for _ in range(2):
+            br.record_failure()
+        br.allow()  # still closed at 2/3
+        br.record_failure()
+        assert br.state == "open"
+        with pytest.raises(CircuitOpenError) as exc_info:
+            br.allow()
+        assert exc_info.value.retry_after == pytest.approx(10.0)
+        clock[0] = 5.0
+        with pytest.raises(CircuitOpenError) as exc_info:
+            br.allow()
+        assert exc_info.value.retry_after == pytest.approx(5.0)
+        clock[0] = 10.0
+        assert br.state == "half-open"
+        br.allow()  # the probe slot
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        clock = [0.0]
+        br = CircuitBreaker(threshold=1, cooldown=10.0, clock=lambda: clock[0])
+        br.record_failure()
+        assert br.state == "open"
+        clock[0] = 10.0
+        br.allow()
+        br.record_failure()  # probe failed: open again, fresh cooldown
+        assert br.state == "open"
+        with pytest.raises(CircuitOpenError):
+            br.allow()
+        clock[0] = 20.0
+        br.allow()
+        br.record_success()  # probe succeeded: closed, counter reset
+        assert br.state == "closed"
+
+    def test_success_resets_failure_streak(self):
+        br = CircuitBreaker(threshold=2, cooldown=1.0)
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        assert br.state == "closed"  # never two consecutive
+
+    def test_breaker_guards_client_calls(self):
+        # Pre-open the breaker: the client must fail fast without even
+        # trying the (dead) address.
+        clock = [0.0]
+        br = CircuitBreaker(threshold=1, cooldown=60.0, clock=lambda: clock[0])
+        br.record_failure()
+        with ReproClient("http://127.0.0.1:1", retries=0, breaker=br) as client:
+            with pytest.raises(CircuitOpenError):
+                client.health()
+
+    def test_consecutive_connect_failures_trip_the_breaker(self):
+        br = CircuitBreaker(threshold=2, cooldown=60.0)
+        with ReproClient(
+            "http://127.0.0.1:1", retries=0, backoff=0.0, breaker=br
+        ) as client:
+            with pytest.raises(ServerError):
+                client.health()
+            with pytest.raises(ServerError):
+                client.health()
+            assert br.state == "open"
+            with pytest.raises(CircuitOpenError):
+                client.health()
+
+
+def _line(seed=42):
+    import numpy as np
+
+    from repro.workloads import general_instance
+
+    return general_instance(
+        np.random.default_rng(seed), n=8, k=16, max_release=8, max_slack=6
+    )
+
+
+class TestAgainstLiveServer:
+    @pytest.fixture()
+    def server(self):
+        from repro.server import ReproServer
+
+        srv = ReproServer(port=0, jobs=1).start_in_thread()
+        yield srv
+        srv.shutdown()
+
+    def test_non_idempotent_ambiguous_failure_is_not_retried(self, server):
+        with ReproClient(server.url, retries=3, backoff=0.0) as client:
+            calls = []
+
+            def _explode(*args, **kwargs):
+                calls.append(1)
+                raise http.client.RemoteDisconnected("mid-request")
+
+            client._once = _explode
+            with pytest.raises(ServerError, match="not idempotent"):
+                client._call("POST", "/v1/streams", {"n": 8}, idempotent=False)
+            assert len(calls) == 1  # one attempt, no retry
+
+    def test_429_is_retried_with_hint_then_typed(self):
+        from repro.server import ReproServer
+
+        srv = ReproServer(port=0, jobs=1, max_pending=0).start_in_thread()
+        try:
+            with ReproClient(srv.url, retries=2, backoff=0.01) as client:
+                attempts = []
+                original = client._once
+
+                def _counting(*args, **kwargs):
+                    out = original(*args, **kwargs)
+                    attempts.append(out[0])
+                    return out
+
+                client._once = _counting
+                with pytest.raises(ServerOverloaded) as exc_info:
+                    client.solve(_line(), "bufferless", "bfl")
+                assert attempts == [429, 429, 429]  # initial + 2 retries
+                assert exc_info.value.retry_after is not None
+        finally:
+            srv.shutdown()
+
+    def test_idempotent_solve_retry_is_exactly_once(self, server):
+        inst = _line()
+        with ReproClient(server.url) as client:
+            first = client.solve(
+                inst, "bufferless", "bfl", idempotency_key="retry-me"
+            )
+            served_before = client.health()["served"]
+            second = client.solve(
+                inst, "bufferless", "bfl", idempotency_key="retry-me"
+            )
+            served_after = client.health()["served"]
+        # The second request replayed the cached response: nothing new
+        # was solved, and the answer (request block included) is
+        # byte-identical.
+        assert served_after == served_before
+        assert first.to_dict() == second.to_dict()
+
+    def test_distinct_keys_solve_independently(self, server):
+        inst = _line()
+        with ReproClient(server.url) as client:
+            client.solve(inst, "bufferless", "bfl", idempotency_key="k1")
+            served_before = client.health()["served"]
+            client.solve(inst, "bufferless", "bfl", idempotency_key="k2")
+            assert client.health()["served"] == served_before + 1
+
+    def test_stream_feed_retry_is_exactly_once(self, server):
+        rows = [
+            {"id": i, "source": 0, "dest": 4, "release": i, "deadline": i + 8}
+            for i in range(6)
+        ]
+        with ReproClient(server.url) as client:
+            stream = client.open_stream(n=8, policy="bfl")
+            first = stream.feed(rows[:3])
+            # Simulate a lost response: re-send the same batch with the
+            # same seq by resetting the client-side cursor.
+            stream.seq = 0
+            again = stream.feed(rows[:3])
+            assert [d.to_dict() for d in again] == [d.to_dict() for d in first]
+            status = client._call("GET", f"/v1/streams/{stream.stream_id}")
+            assert status["batches"] == 1  # not re-applied
+            assert status["fed"] == 3
+            stream.abandon()
+
+    def test_resume_stream_continues_seq(self, server):
+        rows = [
+            {"id": i, "source": 0, "dest": 4, "release": i, "deadline": i + 8}
+            for i in range(6)
+        ]
+        with ReproClient(server.url) as client:
+            stream = client.open_stream(n=8, policy="bfl")
+            fed = stream.feed(rows[:3])
+            resumed = client.resume_stream(stream.stream_id)
+            assert resumed.seq == 1
+            assert resumed.frontier == stream.frontier
+            assert [d.to_dict() for d in resumed.decisions()] == [
+                d.to_dict() for d in fed
+            ]
+            resumed.feed(rows[3:])
+            assert resumed.seq == 2
+            resumed.close()
+            assert isinstance(resumed, ClientStream)

@@ -300,7 +300,8 @@ class TestObservability:
 
         trace = obs.load_trace(trace_path)
         requests = [s for s in trace.spans if s["name"] == "server.request"]
-        assert len(requests) == 4  # 2 solves + stream open + stream close
+        # 2 solves + stream open + close + the purge DELETE close sends
+        assert len(requests) == 5
         ids = {s["attrs"]["request_id"] for s in requests}
         assert "req-traced-1" in ids
         endpoints = {s["attrs"]["endpoint"] for s in requests}
