@@ -13,7 +13,7 @@ Run:  python examples/distributed_control.py
 from repro import bfl, make_instance
 from repro.core.dbfl import DBFLPolicy
 from repro.network import simulate
-from repro.network.trace import TracingPolicy
+from repro.trace.events import TracingPolicy
 from repro.viz.gantt import link_gantt
 
 

@@ -144,6 +144,17 @@ class ScheduleResult:
     request id, the server that answered, the execution backend, and the
     seconds the request waited in the solve queue.  Local solves leave it
     ``None`` and :meth:`to_dict` omits the key.
+
+    ``workload`` is workload provenance — the ``{trace_id, shape, seed}``
+    block a trace replay stamps (``solve(..., workload=...)``, usually via
+    :func:`repro.trace.replay`) so any result can be traced back to the
+    workload that produced it.  Ad-hoc solves leave it ``None`` and
+    :meth:`to_dict` omits the key.
+
+    ``stream`` is set on online solves only: the full
+    :class:`~repro.online.StreamResult` of the run (decision log, drop
+    attribution, stats).  It is a local-process convenience — it does not
+    serialize; :meth:`to_dict` round trips drop it.
     """
 
     schedule: Any
@@ -157,13 +168,16 @@ class ScheduleResult:
     competitive_ratio: float | None = None
     topology: str = "line"
     request: dict[str, Any] | None = None
+    workload: dict[str, Any] | None = None
+    stream: Any = field(default=None, compare=False, repr=False)
 
     #: Version of the :meth:`to_dict` serialization schema (bump on any
     #: backwards-incompatible change; documented in ``docs/api.md``).
     #: v2 added the ``topology`` field and per-topology ``schedule``
     #: documents; v3 added the optional ``request`` telemetry block and
-    #: the lossless :meth:`from_dict` inverse.
-    SCHEMA_VERSION = 3
+    #: the lossless :meth:`from_dict` inverse; v4 added the optional
+    #: ``workload`` provenance block.
+    SCHEMA_VERSION = 4
 
     @property
     def delivered(self) -> int:
@@ -222,6 +236,8 @@ class ScheduleResult:
         }
         if self.request is not None:
             out["request"] = _jsonable(self.request)
+        if self.workload is not None:
+            out["workload"] = _jsonable(self.workload)
         return out
 
     @classmethod
@@ -230,8 +246,9 @@ class ScheduleResult:
 
         Accepts every schema version up to :data:`SCHEMA_VERSION` — v1
         payloads (no ``topology`` field) parse as line results, v2
-        payloads (no ``request`` block) parse with ``request=None`` —
-        so archived results and older servers keep deserializing.  The
+        payloads (no ``request`` block) parse with ``request=None``, v3
+        payloads (no ``workload`` block) with ``workload=None`` — so
+        archived results and older servers keep deserializing.  The
         embedded ``schedule`` document is delegated to the topology's
         ``schedule_from_dict``, which re-runs the model validators.
         """
@@ -256,6 +273,7 @@ class ScheduleResult:
         except KeyError as exc:
             raise ValueError(f"missing field {exc} in result data") from exc
         request = data.get("request")
+        workload = data.get("workload")
         return cls(
             schedule=schedule,
             regime=regime,
@@ -268,6 +286,7 @@ class ScheduleResult:
             competitive_ratio=data.get("competitive_ratio"),
             topology=topo_name,
             request=dict(request) if request is not None else None,
+            workload=dict(workload) if workload is not None else None,
         )
 
 
@@ -378,6 +397,12 @@ def solve(
         raise ValueError(
             f"unknown on_budget {on_budget!r}; choose 'raise' or 'degrade'"
         )
+    workload = opts.pop("workload", None)
+    if workload is not None and not isinstance(workload, dict):
+        raise ValueError(
+            f"workload= must be a provenance dict "
+            f"(e.g. trace.provenance()), got {type(workload).__name__}"
+        )
     if "budget" in opts and method != "exact":
         raise TypeError(
             f"budget= only applies to method='exact' solves, not method={method!r}"
@@ -410,6 +435,15 @@ def solve(
         ratio = None
         online_opt = None
     elapsed = time.perf_counter() - t0
+    # Online adapters tuck the full StreamResult into the extras; it is a
+    # rich local object, not telemetry — lift it out before serialization
+    # and stamp the workload provenance on it so result.stream.to_dict()
+    # matches what a served replay of the same trace returns.
+    stream = extra.pop("__stream__", None)
+    if stream is not None and workload is not None:
+        import dataclasses
+
+        stream = dataclasses.replace(stream, workload=dict(workload))
 
     if degraded is not None:
         lower: float | None = degraded.lower
@@ -458,6 +492,8 @@ def solve(
         upper=upper,
         competitive_ratio=ratio,
         topology=topo.name,
+        workload=dict(workload) if workload is not None else None,
+        stream=stream,
     )
 
 

@@ -20,7 +20,19 @@ Commands:
   compares the python vs numpy execution backends, writing
   ``BENCH_PR6.json``; ``repro bench serve`` load-tests a loopback
   scheduling server, writing ``BENCH_PR7.json``; ``repro bench chaos``
-  runs the fault-injection smoke, writing ``BENCH_PR8.json``);
+  runs the fault-injection smoke, writing ``BENCH_PR8.json``;
+  ``repro bench loadtest`` replays traffic-shape traces against a
+  loopback server, writing ``BENCH_PR9.json``);
+* ``repro trace generate|info|replay`` — workload traces
+  (:mod:`repro.trace`): generate a traffic shape to JSONL (streamed, any
+  size), inspect a trace's header, replay one deterministically through
+  the facade / the online runner / windowed offline solves / a live
+  server (distinct from ``repro run --trace``, which captures an
+  *observability* trace of a run);
+* ``repro loadtest t.jsonl --url http://host:port`` — replay a workload
+  trace against a live server at a target rate, reporting latency
+  percentiles and 429/504 shed counts (``--loopback`` spins up a
+  throwaway in-process server instead);
 * ``repro serve --port 8787`` — run the scheduling service
   (:mod:`repro.server`): solve + online-stream endpoints over HTTP/JSON
   (``--journal DIR`` makes stream sessions crash-durable);
@@ -108,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
     bench_p.add_argument(
         "suite",
         nargs="?",
-        choices=("all", "online", "topology", "kernels", "serve", "chaos"),
+        choices=("all", "online", "topology", "kernels", "serve", "chaos", "loadtest"),
         default="all",
         help="'all' (default): kernel + sweep + obs -> BENCH_PR1.json; "
         "'online': decisions/sec + competitive ratio -> BENCH_PR4.json; "
@@ -116,7 +128,9 @@ def main(argv: list[str] | None = None) -> int:
         "BENCH_PR5.json; "
         "'kernels': python vs numpy execution backends -> BENCH_PR6.json; "
         "'serve': loopback server load test -> BENCH_PR7.json; "
-        "'chaos': fault-injection robustness smoke -> BENCH_PR8.json",
+        "'chaos': fault-injection robustness smoke -> BENCH_PR8.json; "
+        "'loadtest': trace replay against a loopback server -> "
+        "BENCH_PR9.json",
     )
     bench_p.add_argument("--seed", type=int, default=2024)
     bench_p.add_argument("--trials", type=int, default=10, help="sweep cells per size")
@@ -277,6 +291,87 @@ def main(argv: list[str] | None = None) -> int:
     obs_report = obs_sub.add_parser("report", help="summarize a JSONL trace")
     obs_report.add_argument("trace", help="path to a trace written by --trace")
 
+    tr_p = sub.add_parser("trace", help="workload traces: generate, inspect, replay")
+    tr_sub = tr_p.add_subparsers(dest="trace_command", required=True)
+
+    tr_gen = tr_sub.add_parser(
+        "generate", help="stream a seeded traffic shape to a JSONL trace"
+    )
+    tr_gen.add_argument("out", help="trace file to write (JSONL)")
+    tr_gen.add_argument(
+        "--shape",
+        default="bursty",
+        help="traffic shape (uniform, bursty, diurnal, hotspot, adversarial)",
+    )
+    tr_gen.add_argument("--seed", type=int, default=0)
+    tr_gen.add_argument("--n", type=int, default=32)
+    tr_gen.add_argument("--messages", type=int, default=1000)
+    tr_gen.add_argument("--topology", choices=("line", "ring"), default="line")
+
+    tr_info = tr_sub.add_parser("info", help="print a trace's header and extent")
+    tr_info.add_argument("trace", help="path to a workload-trace JSONL file")
+
+    tr_rep = tr_sub.add_parser(
+        "replay", help="deterministically replay a trace (local or served)"
+    )
+    tr_rep.add_argument("trace", help="path to a workload-trace JSONL file")
+    tr_rep.add_argument(
+        "--method",
+        default="bfl",
+        help="online policy (or offline method with --windows)",
+    )
+    tr_rep.add_argument(
+        "--windows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replay through windowed offline solves of N records "
+        "(O(window) memory; for traces too big to materialize)",
+    )
+    tr_rep.add_argument(
+        "--regime",
+        default="bufferless",
+        help="offline regime for --windows (default bufferless)",
+    )
+    tr_rep.add_argument(
+        "--url", default=None, help="replay against this live server instead"
+    )
+    tr_rep.add_argument(
+        "--out", help="write the replayed result as JSON here (to_dict schema)"
+    )
+
+    lt_p = sub.add_parser(
+        "loadtest", help="replay a workload trace against a live server at rate"
+    )
+    lt_p.add_argument("trace", help="path to a workload-trace JSONL file")
+    lt_p.add_argument("--url", default=None, help="server to load-test")
+    lt_p.add_argument(
+        "--loopback",
+        action="store_true",
+        help="spin up a throwaway in-process server instead of --url",
+    )
+    lt_p.add_argument(
+        "--mode",
+        choices=("stream", "solve"),
+        default="stream",
+        help="stream: one online session; solve: windowed /v1/solve requests "
+        "(the mode that exercises 429/504 shedding)",
+    )
+    lt_p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered load in messages/second (open-loop; default: as fast "
+        "as the server answers)",
+    )
+    lt_p.add_argument("--policy", default="bfl", help="stream-mode online policy")
+    lt_p.add_argument("--batch-size", type=int, default=64)
+    lt_p.add_argument("--window", type=int, default=256, help="solve-mode window")
+    lt_p.add_argument(
+        "--deadline-ms", type=float, default=None, help="solve-mode deadline"
+    )
+    lt_p.add_argument("--out", help="write the full report JSON here")
+
     ds_p = sub.add_parser("dataset", help="canonical named instances")
     ds_sub = ds_p.add_subparsers(dest="ds_command", required=True)
     ds_sub.add_parser("list", help="list canonical instances")
@@ -316,6 +411,10 @@ def main(argv: list[str] | None = None) -> int:
         return _chaos(args)
     if args.command == "client":
         return _client(args)
+    if args.command == "trace":
+        return _trace(args)
+    if args.command == "loadtest":
+        return _loadtest(args)
     if args.command == "dataset":
         return _dataset(args)
     if args.command == "report":
@@ -423,7 +522,13 @@ def _obs_report(trace_path: str) -> int:
 
 
 def _bench(suite: str, seed: int, trials: int, jobs: int, out: str | None) -> int:
-    if suite == "kernels":
+    if suite == "loadtest":
+        from .trace.bench import render_loadtest_summary, run_loadtest_benchmarks
+
+        out = "BENCH_PR9.json" if out is None else out
+        payload = run_loadtest_benchmarks(seed=seed, out=None if out == "-" else out)
+        print(render_loadtest_summary(payload))
+    elif suite == "kernels":
         from .engine.bench import render_backend_summary, run_backend_benchmarks
 
         out = "BENCH_PR6.json" if out is None else out
@@ -656,6 +761,176 @@ def _solve(instance_path: str, algorithm: str, out: str | None, gantt: bool) -> 
     if out:
         save_schedule(schedule, out)
         print(f"schedule written to {out}")
+    return 0
+
+
+def _trace(args) -> int:
+    import json
+
+    from .errors import ReproError
+
+    try:
+        if args.trace_command == "generate":
+            from .trace import SHAPES, write_shape_trace
+
+            if args.shape not in SHAPES:
+                print(
+                    f"unknown shape {args.shape!r}; choose one of "
+                    f"{', '.join(SHAPES)}",
+                    file=sys.stderr,
+                )
+                return 2
+            count = write_shape_trace(
+                args.out,
+                args.shape,
+                args.seed,
+                n=args.n,
+                messages=args.messages,
+                topology=args.topology,
+            )
+            print(
+                f"{count} messages ({args.shape}, seed {args.seed}, "
+                f"{args.topology} n={args.n}) written to {args.out}"
+            )
+            return 0
+        if args.trace_command == "info":
+            return _trace_info(args.trace)
+        return _trace_replay(args)
+    except (ReproError, ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _trace_info(path: str) -> int:
+    from .trace import open_trace
+
+    reader = open_trace(path)
+    try:
+        count = 0
+        first = last = None
+        for rec in reader:
+            if first is None:
+                first = rec.release
+            last = rec.release
+            count += 1
+    finally:
+        reader.close()
+    print(f"trace    {reader.trace_id}")
+    print(f"topology {reader.topology} (n={reader.n})")
+    if reader.shape is not None:
+        print(f"shape    {reader.shape}" + (
+            f" (seed {reader.seed})" if reader.seed is not None else ""
+        ))
+    print(f"messages {count}" + (
+        f" (releases {first}..{last})" if count else ""
+    ))
+    if reader.spec:
+        import json
+
+        print(f"spec     {json.dumps(reader.spec, sort_keys=True)}")
+    return 0
+
+
+def _trace_replay(args) -> int:
+    import json
+
+    if args.windows is not None:
+        from .trace import replay_windows
+
+        report = replay_windows(
+            args.trace,
+            window=args.windows,
+            regime=args.regime,
+            method=args.method,
+        )
+        print(
+            f"{report['windows']} windows of {report['window']}: delivered "
+            f"{report['delivered']}/{report['messages']} "
+            f"({report['regime']}/{report['method']}, "
+            f"{report['seconds']:.2f}s) — windows solved independently"
+        )
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+            print(f"report written to {args.out}")
+        return 0
+    if args.url is not None:
+        from .client import ReproClient
+        from .trace import replay_served
+
+        with ReproClient(args.url) as client:
+            result = replay_served(args.trace, client, policy=args.method)
+    else:
+        from .trace import replay_online
+
+        result = replay_online(args.trace, args.method)
+    where = f"via {args.url}" if args.url else "locally"
+    wl = result.workload or {}
+    print(
+        f"replayed {wl.get('trace_id', args.trace)} {where} with "
+        f"{args.method}: delivered {result.throughput} over "
+        f"{len(result.decisions)} decisions"
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"result written to {args.out}")
+    return 0
+
+
+def _loadtest(args) -> int:
+    import json
+
+    from .errors import ReproError
+    from .trace import run_loadtest
+
+    if args.loopback == (args.url is not None):
+        print("pass exactly one of --url or --loopback", file=sys.stderr)
+        return 2
+    server = None
+    try:
+        url = args.url
+        if args.loopback:
+            from .server import ReproServer
+
+            server = ReproServer(port=0, jobs=1).start_in_thread()
+            url = server.url
+        report = run_loadtest(
+            args.trace,
+            url,
+            mode=args.mode,
+            rate=args.rate,
+            policy=args.policy,
+            batch_size=args.batch_size,
+            window=args.window,
+            deadline_ms=args.deadline_ms,
+        )
+    except (ReproError, ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        if server is not None:
+            server.shutdown()
+    lat = report["latency"]
+    shed = report["shed"]
+    print(
+        f"{report['mode']} loadtest: {report['messages']} messages in "
+        f"{report['seconds']:.2f}s ({report['rate_achieved']:.0f} msg/s"
+        + (f", target {report['rate_target']:.0f}" if report["rate_target"] else "")
+        + ")"
+    )
+    print(
+        f"latency p50 {lat['p50_ms']:.2f} ms  p95 {lat['p95_ms']:.2f} ms  "
+        f"p99 {lat['p99_ms']:.2f} ms  max {lat['max_ms']:.2f} ms"
+    )
+    print(f"shed: {shed['429']} x 429 (overload), {shed['504']} x 504 (deadline)")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"report written to {args.out}")
     return 0
 
 

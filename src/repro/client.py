@@ -446,22 +446,38 @@ class ReproClient:
         n: int,
         topology: str = "line",
         policy: str = "bfl",
+        workload: dict[str, Any] | None = None,
+        recorder: Any | None = None,
         **options: Any,
     ) -> "ClientStream":
         """Open a server-side online stream session.
+
+        ``workload`` attaches trace provenance ({trace_id, shape, seed})
+        to the session — the server stamps it onto the close result, so a
+        served replay carries the same ``workload`` block a local
+        :func:`repro.trace.replay` would.  ``recorder`` (a
+        :class:`repro.trace.TraceRecorder`) records every arrival this
+        client feeds, turning any live session into a replayable trace.
 
         Opening is the one non-idempotent POST the client makes: an
         ambiguous connection failure here raises rather than risking a
         second orphaned session.
         """
-        data = self._call(
-            "POST",
-            "/v1/streams",
-            {"n": n, "topology": topology, "policy": policy, "options": options},
-            idempotent=False,
-        )
+        body: dict[str, Any] = {
+            "n": n,
+            "topology": topology,
+            "policy": policy,
+            "options": options,
+        }
+        if workload is not None:
+            body["workload"] = dict(workload)
+        data = self._call("POST", "/v1/streams", body, idempotent=False)
         return ClientStream(
-            self, data["stream"], topology=data["topology"], seq=data.get("batches", 0)
+            self,
+            data["stream"],
+            topology=data["topology"],
+            seq=data.get("batches", 0),
+            recorder=recorder,
         )
 
     def resume_stream(self, stream_id: str) -> "ClientStream":
@@ -521,6 +537,7 @@ class ClientStream:
         *,
         topology: str,
         seq: int = 0,
+        recorder: Any | None = None,
     ) -> None:
         self.client = client
         self.stream_id = stream_id
@@ -528,6 +545,7 @@ class ClientStream:
         self.frontier = 0
         self.seq = seq
         self.closed = False
+        self.recorder = recorder
 
     def __enter__(self) -> "ClientStream":
         return self
@@ -546,6 +564,10 @@ class ClientStream:
             {"messages": rows, "seq": self.seq},
             idempotent=True,  # the seq number makes retries exactly-once
         )
+        if self.recorder is not None:
+            # Record only after the server acknowledged: the trace then
+            # holds exactly the arrivals the session actually applied.
+            self.recorder.add_many(rows)
         self.frontier = data["frontier"]
         self.seq = data.get("seq", self.seq + 1)
         return [Decision.from_dict(d) for d in data["decisions"]]

@@ -1,0 +1,97 @@
+"""Trace-driven workloads for the sweep experiments.
+
+E15 and E16 accept a ``trace=`` parameter: a traffic-shape name (one of
+:data:`repro.trace.SHAPES`), a path to a recorded workload-trace JSONL
+file, or a tuple mixing both.  This module owns the shared plumbing —
+normalizing the config into sources, labelling them for the tables'
+``workload`` column, and drawing one seeded instance per sweep cell —
+so the two experiments stay in lockstep about what ``trace=`` means.
+
+Shape sources draw a *fresh* trace per trial (the shape seed derives
+from the cell's spawned :class:`~numpy.random.SeedSequence`, so tables
+are identical at any job count); a path source is a fixed recorded
+workload — trial randomness then lives in whatever else the cell draws
+(for E15, the fault plan).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["normalize_trace", "trace_label", "draw_instance"]
+
+
+def normalize_trace(trace: Any) -> tuple[tuple[str, str], ...]:
+    """Normalize ``trace=`` config into ``(kind, value)`` sources.
+
+    ``kind`` is ``"shape"`` (value: a shape name) or ``"path"`` (value:
+    a trace file path, which must exist).  Raises
+    :class:`~repro.errors.ConfigError` on anything else.
+    """
+    from ..errors import ConfigError
+    from ..trace.shapes import SHAPES
+
+    items = list(trace) if isinstance(trace, (tuple, list)) else [trace]
+    if not items:
+        raise ConfigError("trace= got an empty sequence; pass shape names or paths")
+    sources: list[tuple[str, str]] = []
+    for item in items:
+        if not isinstance(item, (str, Path)):
+            raise ConfigError(
+                f"trace= entries must be shape names or paths, got "
+                f"{type(item).__name__}"
+            )
+        name = str(item)
+        if name in SHAPES:
+            sources.append(("shape", name))
+            continue
+        if not Path(name).exists():
+            raise ConfigError(
+                f"trace= entry {name!r} is neither a traffic shape "
+                f"({', '.join(SHAPES)}) nor an existing trace file"
+            )
+        sources.append(("path", name))
+    return tuple(sources)
+
+
+def trace_label(source: tuple[str, str]) -> str:
+    """The value of the table's ``workload`` column for one source."""
+    kind, value = source
+    return value if kind == "shape" else Path(value).stem
+
+
+def draw_instance(
+    source: tuple[str, str],
+    seed_seq: np.random.SeedSequence,
+    *,
+    topology: str,
+    n: int,
+    messages: int,
+) -> Any:
+    """One workload draw for a sweep cell.
+
+    Shape sources generate a per-trial trace (seed taken from
+    ``seed_seq`` itself, not from consuming the cell's rng stream, so
+    adding ``trace=`` never perturbs the cell's other draws); path
+    sources load the recorded trace and require its topology to match.
+    """
+    kind, value = source
+    if kind == "shape":
+        from ..trace.shapes import shape_trace
+
+        seed = int(seed_seq.generate_state(1, dtype=np.uint32)[0])
+        trace = shape_trace(value, seed, n=n, messages=messages, topology=topology)
+        return trace.to_instance()
+    from ..errors import ConfigError
+    from ..trace import read_trace
+
+    trace = read_trace(value)
+    if trace.topology != topology:
+        raise ConfigError(
+            f"trace {value!r} records a {trace.topology!r} workload; "
+            f"this run needs topology {topology!r}"
+        )
+    return trace.to_instance()

@@ -22,6 +22,13 @@ unified simulator (fault plans draw links/nodes from the ring's own
 enumeration); D-BFL is line-specific, so the ring table compares the
 buffered per-link policies against their own fault-free reference.
 Unsupported topologies raise :class:`~repro.errors.ConfigError`.
+
+``trace=`` switches the workload from the synthetic saturated draw to
+trace-driven traffic: a traffic-shape name (:data:`repro.trace.SHAPES`),
+a recorded workload-trace path, or a tuple of either.  The table then
+gains a leading ``workload`` column and repeats the drop-rate sweep per
+source; ``trace=None`` (the default) leaves the historical table
+byte-identical.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from ..network import random_fault_plan, simulate
 from ..workloads import saturated_instance
 from ..workloads.rings import random_ring_instance
 
+from ._traced import draw_instance, normalize_trace, trace_label
 from .base import experiment
 
 __all__ = ["run"]
@@ -50,10 +58,8 @@ COLUMNS = ("dbfl_clean", "dbfl", "edf_buffered", "llf_buffered")
 RING_COLUMNS = ("edf_clean", "edf_buffered", "llf_buffered")
 
 
-def _cell(rate: float, seed_seq: np.random.SeedSequence) -> dict[str, float]:
-    """One trial: paired fault-free vs faulted runs on the same instance."""
-    rng = np.random.default_rng(seed_seq)
-    inst = saturated_instance(rng, n=16, load=1.5, horizon=25)
+def _measure(inst, rng: np.random.Generator, rate: float) -> dict[str, float]:
+    """Paired fault-free vs faulted runs of the line policies on ``inst``."""
     plan = random_fault_plan(
         rng, inst, drop_rate=rate, link_failures=2, node_stalls=1
     )
@@ -70,10 +76,8 @@ def _cell(rate: float, seed_seq: np.random.SeedSequence) -> dict[str, float]:
     }
 
 
-def _ring_cell(rate: float, seed_seq: np.random.SeedSequence) -> dict[str, float]:
-    """One ring trial: paired fault-free vs faulted runs on one instance."""
-    rng = np.random.default_rng(seed_seq)
-    inst = random_ring_instance(rng, n=12, k=20)
+def _ring_measure(inst, rng: np.random.Generator, rate: float) -> dict[str, float]:
+    """Paired fault-free vs faulted runs of the ring policies on ``inst``."""
     plan = random_fault_plan(
         rng, inst, drop_rate=rate, link_failures=2, node_stalls=1
     )
@@ -89,6 +93,40 @@ def _ring_cell(rate: float, seed_seq: np.random.SeedSequence) -> dict[str, float
     }
 
 
+def _cell(rate: float, seed_seq: np.random.SeedSequence) -> dict[str, float]:
+    """One trial: paired fault-free vs faulted runs on the same instance."""
+    rng = np.random.default_rng(seed_seq)
+    inst = saturated_instance(rng, n=16, load=1.5, horizon=25)
+    return _measure(inst, rng, rate)
+
+
+def _ring_cell(rate: float, seed_seq: np.random.SeedSequence) -> dict[str, float]:
+    """One ring trial: paired fault-free vs faulted runs on one instance."""
+    rng = np.random.default_rng(seed_seq)
+    inst = random_ring_instance(rng, n=12, k=20)
+    return _ring_measure(inst, rng, rate)
+
+
+def _trace_cell(
+    params: tuple[tuple[str, str], float], seed_seq: np.random.SeedSequence
+) -> dict[str, float]:
+    """One trace-driven line trial: shape/recorded workload under faults."""
+    source, rate = params
+    rng = np.random.default_rng(seed_seq)
+    inst = draw_instance(source, seed_seq, topology="line", n=16, messages=160)
+    return _measure(inst, rng, rate)
+
+
+def _ring_trace_cell(
+    params: tuple[tuple[str, str], float], seed_seq: np.random.SeedSequence
+) -> dict[str, float]:
+    """One trace-driven ring trial: shape/recorded workload under faults."""
+    source, rate = params
+    rng = np.random.default_rng(seed_seq)
+    inst = draw_instance(source, seed_seq, topology="ring", n=12, messages=60)
+    return _ring_measure(inst, rng, rate)
+
+
 def _run(
     *,
     seed: int = 2024,
@@ -96,6 +134,7 @@ def _run(
     jobs: int | None = 1,
     engine: Engine | None = None,
     topology: str = "line",
+    trace: object = None,
 ) -> Table:
     if topology not in TOPOLOGIES:
         from ..errors import ConfigError
@@ -103,27 +142,50 @@ def _run(
         raise ConfigError(
             f"e15_faults supports topology 'line' or 'ring', got {topology!r}"
         )
-    cell = _cell if topology == "line" else _ring_cell
     columns = COLUMNS if topology == "line" else RING_COLUMNS
-    seeds = spawn_seeds(seed, len(DROP_RATES) * trials)
-    tasks = [
-        (rate, seeds[ri * trials + t])
-        for ri, rate in enumerate(DROP_RATES)
-        for t in range(trials)
-    ]
+    if trace is None:
+        cell = _cell if topology == "line" else _ring_cell
+        seeds = spawn_seeds(seed, len(DROP_RATES) * trials)
+        tasks = [
+            (rate, seeds[ri * trials + t])
+            for ri, rate in enumerate(DROP_RATES)
+            for t in range(trials)
+        ]
+    else:
+        sources = normalize_trace(trace)
+        cell = _trace_cell if topology == "line" else _ring_trace_cell
+        seeds = spawn_seeds(seed, len(sources) * len(DROP_RATES) * trials)
+        tasks = [
+            ((source, rate), seeds[(si * len(DROP_RATES) + ri) * trials + t])
+            for si, source in enumerate(sources)
+            for ri, rate in enumerate(DROP_RATES)
+            for t in range(trials)
+        ]
     if engine is not None:
         results, cache_stats = engine.map(cell, tasks)
     else:
         results, cache_stats = run_tasks(cell, tasks, jobs=jobs)
 
-    table = Table(["drop_rate", "messages", *columns])
-    for ri, rate in enumerate(DROP_RATES):
-        cells = results[ri * trials : (ri + 1) * trials]
-        means = {
+    def _means(cells: list[dict[str, float]]) -> dict[str, float]:
+        return {
             key: sum(c[key] for c in cells) / trials
             for key in ("messages", *columns)
         }
-        table.add(drop_rate=rate, **means)
+
+    if trace is None:
+        table = Table(["drop_rate", "messages", *columns])
+        for ri, rate in enumerate(DROP_RATES):
+            cells = results[ri * trials : (ri + 1) * trials]
+            table.add(drop_rate=rate, **_means(cells))
+    else:
+        table = Table(["workload", "drop_rate", "messages", *columns])
+        for si, source in enumerate(sources):
+            for ri, rate in enumerate(DROP_RATES):
+                base = (si * len(DROP_RATES) + ri) * trials
+                cells = results[base : base + trials]
+                table.add(
+                    workload=trace_label(source), drop_rate=rate, **_means(cells)
+                )
     if cache_stats.total:
         table.add_footnote(cache_stats.footnote())
     return table

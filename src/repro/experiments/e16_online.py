@@ -24,6 +24,14 @@ resilient-engine recovery.
 per-link greedy) against the exact bufferless ring optimum on random
 ring workloads.  Unsupported topologies raise
 :class:`~repro.errors.ConfigError`.
+
+``trace=`` switches the workload from the synthetic (load, slack) sweep
+to trace-driven traffic — a traffic-shape name
+(:data:`repro.trace.SHAPES`), a recorded workload-trace path, or a
+tuple of either.  Load and slack are then properties of the traffic,
+not knobs, so the table reports one row per ``workload`` source instead
+of the sweep grid; ``trace=None`` (the default) leaves the historical
+table byte-identical.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ import numpy as np
 from ..analysis.tables import Table
 from ..engine import Engine, run_tasks, spawn_seeds
 
+from ._traced import draw_instance, normalize_trace, trace_label
 from .base import experiment
 
 __all__ = ["run"]
@@ -95,6 +104,36 @@ def _ring_cell(
     return out
 
 
+def _trace_cell(
+    source: tuple[str, str], seed_seq: np.random.SeedSequence
+) -> dict[str, float]:
+    """One trace-driven line trial: the online policies on shaped traffic."""
+    from .. import api
+
+    inst = draw_instance(source, seed_seq, topology="line", n=12, messages=80)
+    opt = api.solve(inst, "bufferless", "exact", solver="auto").delivered
+    out: dict[str, float] = {"messages": float(len(inst))}
+    for policy in POLICIES:
+        r = api.solve(inst, "online", policy, baseline="none")
+        out[policy] = 1.0 if opt == 0 else r.delivered / opt
+    return out
+
+
+def _ring_trace_cell(
+    source: tuple[str, str], seed_seq: np.random.SeedSequence
+) -> dict[str, float]:
+    """One trace-driven ring trial: the online greedy on shaped traffic."""
+    from .. import api
+
+    inst = draw_instance(source, seed_seq, topology="ring", n=10, messages=24)
+    opt = api.solve(inst, "bufferless", "exact").delivered
+    out: dict[str, float] = {"messages": float(len(inst))}
+    for policy in RING_POLICIES:
+        r = api.solve(inst, "online", policy, baseline="none")
+        out[policy] = 1.0 if opt == 0 else r.delivered / opt
+    return out
+
+
 def _run(
     *,
     seed: int = 2024,
@@ -102,6 +141,7 @@ def _run(
     jobs: int | None = 1,
     engine: Engine | None = None,
     topology: str = "line",
+    trace: object = None,
 ) -> Table:
     if topology not in TOPOLOGIES:
         from ..errors import ConfigError
@@ -109,27 +149,45 @@ def _run(
         raise ConfigError(
             f"e16_online supports topology 'line' or 'ring', got {topology!r}"
         )
-    cell = _cell if topology == "line" else _ring_cell
     policies = POLICIES if topology == "line" else RING_POLICIES
-    seeds = spawn_seeds(seed, len(CELLS) * trials)
-    tasks = [
-        (cell_params, seeds[ci * trials + t])
-        for ci, cell_params in enumerate(CELLS)
-        for t in range(trials)
-    ]
+    if trace is None:
+        cell = _cell if topology == "line" else _ring_cell
+        seeds = spawn_seeds(seed, len(CELLS) * trials)
+        tasks = [
+            (cell_params, seeds[ci * trials + t])
+            for ci, cell_params in enumerate(CELLS)
+            for t in range(trials)
+        ]
+    else:
+        sources = normalize_trace(trace)
+        cell = _trace_cell if topology == "line" else _ring_trace_cell
+        seeds = spawn_seeds(seed, len(sources) * trials)
+        tasks = [
+            (source, seeds[si * trials + t])
+            for si, source in enumerate(sources)
+            for t in range(trials)
+        ]
     if engine is not None:
         results, cache_stats = engine.map(cell, tasks)
     else:
         results, cache_stats = run_tasks(cell, tasks, jobs=jobs)
 
-    table = Table(["load", "slack", "messages", *policies])
-    for ci, (load, slack) in enumerate(CELLS):
-        cells = results[ci * trials : (ci + 1) * trials]
-        means = {
+    def _means(cells: list[dict[str, float]]) -> dict[str, float]:
+        return {
             key: sum(c[key] for c in cells) / trials
             for key in ("messages", *policies)
         }
-        table.add(load=load, slack=slack, **means)
+
+    if trace is None:
+        table = Table(["load", "slack", "messages", *policies])
+        for ci, (load, slack) in enumerate(CELLS):
+            cells = results[ci * trials : (ci + 1) * trials]
+            table.add(load=load, slack=slack, **_means(cells))
+    else:
+        table = Table(["workload", "messages", *policies])
+        for si, source in enumerate(sources):
+            cells = results[si * trials : (si + 1) * trials]
+            table.add(workload=trace_label(source), **_means(cells))
     if cache_stats.total:
         table.add_footnote(cache_stats.footnote())
     table.add_footnote(

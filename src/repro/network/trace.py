@@ -1,104 +1,32 @@
-"""Event tracing for simulator runs.
+"""Deprecated home of the simulator event tracer.
 
-:class:`TracingPolicy` wraps any policy and records a chronological event
-log (releases, forwards, idles, deliveries, drops, control traffic)
-without changing the wrapped policy's behaviour — the decorator pattern
-keeps the simulator itself observation-free.  Useful for debugging
-distributed policies and for asserting fine-grained behaviour in tests.
+:class:`TraceEvent` and :class:`TracingPolicy` moved to
+:mod:`repro.trace.events` when the workload-trace subsystem
+(:mod:`repro.trace`) claimed the word "trace" — event traces
+(per-packet lifecycle, this module's tenants) and workload traces
+(replayable arrival streams) now live side by side under one package,
+with the vocabulary table in ``docs/api.md`` telling them apart.
+
+Importing either name from here still works but emits a
+:class:`~repro._deprecation.ReproDeprecationWarning`; new code should
+import from :mod:`repro.trace.events`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Hashable
-
-from .packet import Packet
-from .policy import NodeView, Policy
+from .._deprecation import warn_deprecated
 
 __all__ = ["TraceEvent", "TracingPolicy"]
 
-
-@dataclass(frozen=True, slots=True)
-class TraceEvent:
-    """One simulator event.
-
-    ``kind`` is one of ``release, forward, idle, deliver, drop, control``;
-    ``message_id`` is ``None`` for node-level events (idle, control).
-    """
-
-    time: int
-    kind: str
-    node: int
-    message_id: int | None = None
-    detail: str = ""
+_MOVED = ("TraceEvent", "TracingPolicy")
 
 
-class TracingPolicy(Policy):
-    """Record every observable event while delegating to ``inner``."""
-
-    def __init__(self, inner: Policy) -> None:
-        self.inner = inner
-        self.events: list[TraceEvent] = []
-        # Transparent wrapper: fast-forwarding is safe exactly when it is
-        # safe for the wrapped policy (idle steps produce no events).
-        self.idle_skippable = inner.idle_skippable
-
-    # ------------------------------------------------------------------ #
-
-    def reset(self, n: int) -> None:
-        self.events.clear()
-        self.inner.reset(n)
-
-    def select(self, view: NodeView) -> Packet | None:
-        chosen = self.inner.select(view)
-        if chosen is None:
-            if view.candidates:
-                self.events.append(
-                    TraceEvent(view.time, "idle", view.node, None,
-                               f"{len(view.candidates)} buffered")
-                )
-        else:
-            self.events.append(
-                TraceEvent(view.time, "forward", view.node, chosen.id,
-                           f"-> {view.node + 1}")
-            )
-        return chosen
-
-    def emit_control(self, node: int, time: int) -> Hashable | None:
-        value = self.inner.emit_control(node, time)
-        if value is not None:
-            self.events.append(TraceEvent(time, "control", node, None, repr(value)))
-        return value
-
-    def receive_control(self, node: int, time: int, value: Hashable) -> None:
-        self.inner.receive_control(node, time, value)
-
-    def on_release(self, packet: Packet, time: int) -> None:
-        self.events.append(TraceEvent(time, "release", packet.node, packet.id))
-        self.inner.on_release(packet, time)
-
-    def on_deliver(self, packet: Packet, time: int) -> None:
-        self.events.append(TraceEvent(time, "deliver", packet.node, packet.id))
-        self.inner.on_deliver(packet, time)
-
-    def on_drop(self, packet: Packet, time: int) -> None:
-        self.events.append(TraceEvent(time, "drop", packet.node, packet.id))
-        self.inner.on_drop(packet, time)
-
-    # ------------------------------------------------------------------ #
-
-    def of_kind(self, kind: str) -> list[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
-
-    def for_message(self, message_id: int) -> list[TraceEvent]:
-        return [e for e in self.events if e.message_id == message_id]
-
-    def render(self, *, limit: int | None = None) -> str:
-        """Human-readable chronological log."""
-        rows = self.events if limit is None else self.events[:limit]
-        return "\n".join(
-            f"t={e.time:<4} {e.kind:<8} node {e.node:<3}"
-            + (f" msg {e.message_id}" if e.message_id is not None else "")
-            + (f"  {e.detail}" if e.detail else "")
-            for e in rows
+def __getattr__(name: str):
+    if name in _MOVED:
+        warn_deprecated(
+            f"repro.network.trace.{name}", f"repro.trace.events.{name}"
         )
+        from ..trace import events
+
+        return getattr(events, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

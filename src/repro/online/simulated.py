@@ -32,7 +32,10 @@ GREEDY_POLICIES = ("edf", "fcfs", "laxity", "nearest")
 
 
 def _to_stream_result(
-    name: str, result: SimulationResult, extra_stats: dict | None = None
+    name: str,
+    result: SimulationResult,
+    extra_stats: dict | None = None,
+    topology: str = "line",
 ) -> StreamResult:
     launches = [
         # depart == first link crossing on every topology's trajectory type
@@ -62,13 +65,16 @@ def _to_stream_result(
         decisions=decisions,
         steps=st.steps,
         stats=stats,
+        topology=topology,
     )
 
 
 def _traced(name: str, instance: Instance, run) -> StreamResult:
     tr = obs.tracer()
     t0 = time.perf_counter() if tr.enabled else 0.0
-    out = _to_stream_result(name, run())
+    out = _to_stream_result(
+        name, run(), topology=getattr(instance, "topology", "line")
+    )
     if tr.enabled:
         tr.count("online.runs")
         tr.count("online.launches", out.throughput + len(out.fault_dropped_ids))

@@ -99,6 +99,8 @@ class StreamResult:
     (``"policy"`` or ``"fault"``); ``decisions`` is the full event log in
     simulation-time order; ``stats`` carries policy-specific counters
     (replans, admission waits, blocked launches, simulator steps, ...).
+    ``topology`` names the shape the run happened on, so serialization
+    round-trips losslessly without the caller re-supplying it.
     """
 
     policy: str
@@ -108,6 +110,8 @@ class StreamResult:
     decisions: tuple[Decision, ...]
     steps: int
     stats: dict[str, Any] = field(default_factory=dict)
+    topology: str = "line"
+    workload: dict[str, Any] | None = None
 
     @property
     def throughput(self) -> int:
@@ -121,22 +125,27 @@ class StreamResult:
     def fault_dropped_ids(self) -> frozenset[int]:
         return frozenset(i for i, why in self.dropped.items() if why == "fault")
 
-    #: Version of the :meth:`to_dict` wire schema.
-    SCHEMA_VERSION = 1
+    #: Version of the :meth:`to_dict` wire schema.  v2 added the optional
+    #: ``workload`` provenance block ({trace_id, shape, seed} — stamped by
+    #: trace replay, see :mod:`repro.trace`); v1 payloads parse unchanged.
+    SCHEMA_VERSION = 2
 
-    def to_dict(self, *, topology: str = "line") -> dict[str, Any]:
+    def to_dict(self, *, topology: str | None = None) -> dict[str, Any]:
         """The stable JSON form of one online run.
 
-        ``topology`` names the shape the run happened on (the schedule
-        document is delegated to it, exactly like
-        :meth:`repro.api.ScheduleResult.to_dict`); online runs on rings
-        pass ``topology="ring"``.  :meth:`from_dict` is the lossless
-        inverse.
+        The schedule document is delegated to the run's topology, exactly
+        like :meth:`repro.api.ScheduleResult.to_dict`; passing
+        ``topology=`` overrides the result's own field (legacy callers —
+        results constructed before the field existed defaulted to line).
+        The ``workload`` key appears only on runs carrying trace
+        provenance.  :meth:`from_dict` is the lossless inverse.
         """
         from ..api import _jsonable
         from ..topology import get_topology
 
-        return {
+        if topology is None:
+            topology = self.topology
+        out = {
             "format": "repro-stream-result",
             "version": self.SCHEMA_VERSION,
             "topology": topology,
@@ -149,10 +158,17 @@ class StreamResult:
             "stats": _jsonable(self.stats),
             "schedule": get_topology(topology).schedule_to_dict(self.schedule),
         }
+        if self.workload is not None:
+            out["workload"] = _jsonable(self.workload)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "StreamResult":
-        """Rebuild a :class:`StreamResult` from its :meth:`to_dict` form."""
+        """Rebuild a :class:`StreamResult` from its :meth:`to_dict` form.
+
+        Accepts every schema version up to :data:`SCHEMA_VERSION` — v1
+        payloads (no ``workload`` block) parse with ``workload=None``.
+        """
         from ..topology import get_topology
 
         if not isinstance(data, dict):
@@ -161,11 +177,13 @@ class StreamResult:
         if fmt != "repro-stream-result":
             raise ValueError(f"expected format 'repro-stream-result', got {fmt!r}")
         version = data.get("version")
-        if version != cls.SCHEMA_VERSION:
+        if not isinstance(version, int) or not 1 <= version <= cls.SCHEMA_VERSION:
             raise ValueError(
-                f"unsupported version {version!r} (supported: {cls.SCHEMA_VERSION})"
+                f"unsupported version {version!r} "
+                f"(supported: 1..{cls.SCHEMA_VERSION})"
             )
         topology = data.get("topology", "line")
+        workload = data.get("workload")
         try:
             return cls(
                 policy=str(data["policy"]),
@@ -175,6 +193,8 @@ class StreamResult:
                 decisions=tuple(Decision.from_dict(d) for d in data["decisions"]),
                 steps=int(data["steps"]),
                 stats=dict(data.get("stats") or {}),
+                topology=str(topology),
+                workload=dict(workload) if workload is not None else None,
             )
         except KeyError as exc:
             raise ValueError(f"missing field {exc} in stream result data") from exc

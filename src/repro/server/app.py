@@ -525,6 +525,7 @@ class ReproServer:
                 topology=data.get("topology", "line"),
                 policy=data.get("policy", "bfl"),
                 options=data.get("options"),
+                workload=data.get("workload"),
             )
             if self._tracer is not None:
                 self._tracer.count("server.streams.opened")

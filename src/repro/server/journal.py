@@ -82,20 +82,21 @@ class SessionJournal:
         topology: str,
         policy: str,
         options: dict[str, Any],
+        workload: dict[str, Any] | None = None,
     ) -> None:
         """Journal a stream open (must be the session's first record)."""
-        self._append(
-            sid,
-            {
-                "op": "open",
-                "v": JOURNAL_VERSION,
-                "sid": sid,
-                "n": int(n),
-                "topology": topology,
-                "policy": policy,
-                "options": dict(options),
-            },
-        )
+        head = {
+            "op": "open",
+            "v": JOURNAL_VERSION,
+            "sid": sid,
+            "n": int(n),
+            "topology": topology,
+            "policy": policy,
+            "options": dict(options),
+        }
+        if workload is not None:
+            head["workload"] = dict(workload)
+        self._append(sid, head)
 
     def append_feed(self, sid: str, seq: int, rows: list[dict[str, Any]]) -> None:
         """Journal one applied arrival batch (before it is acknowledged)."""

@@ -99,6 +99,7 @@ class OnlineSession:
         topology: str = "line",
         policy: str = "bfl",
         options: dict[str, Any] | None = None,
+        workload: dict[str, Any] | None = None,
         journal: SessionJournal | None = None,
     ) -> None:
         if topology not in STREAM_TOPOLOGIES:
@@ -116,11 +117,17 @@ class OnlineSession:
             raise ValueError("a line stream needs n >= 2")
         if options is not None and not isinstance(options, dict):
             raise ValueError("'options' must be a JSON object")
+        if workload is not None and not isinstance(workload, dict):
+            raise ValueError("'workload' must be a JSON object")
         self.session_id = session_id
         self.topology = topology
         self.policy = policy
         self.n = n
         self.options = dict(options or {})
+        # Workload provenance ({trace_id, shape, seed}) declared at open;
+        # stamped onto the close result so served replays carry the same
+        # provenance a local trace replay would.
+        self.workload = dict(workload) if workload is not None else None
         self.closed = False
         self.journal = journal
         self._messages: list[Any] = []
@@ -158,7 +165,12 @@ class OnlineSession:
         return Instance(self.n, tuple(self._messages))
 
     def _replay(self) -> StreamResult:
-        return run_online(self._instance(), self.policy, **self.options)
+        result = run_online(self._instance(), self.policy, **self.options)
+        if self.workload is not None:
+            import dataclasses
+
+            result = dataclasses.replace(result, workload=dict(self.workload))
+        return result
 
     # ------------------------------------------------------------- #
 
@@ -254,7 +266,7 @@ class OnlineSession:
         return list(result.decisions[: self._finalized])
 
     def status(self) -> dict[str, Any]:
-        return {
+        out = {
             "stream": self.session_id,
             "topology": self.topology,
             "policy": self.policy,
@@ -265,6 +277,9 @@ class OnlineSession:
             "finalized": self._finalized,
             "closed": self.closed,
         }
+        if self.workload is not None:
+            out["workload"] = dict(self.workload)
+        return out
 
 
 class StreamSessions:
@@ -307,6 +322,7 @@ class StreamSessions:
                     topology=session.topology,
                     policy=session.policy,
                     options=session.options,
+                    workload=session.workload,
                 )
             self._sessions[sid] = session
             return session
@@ -334,6 +350,7 @@ class StreamSessions:
                     topology=head.get("topology", "line"),
                     policy=head.get("policy", "bfl"),
                     options=head.get("options"),
+                    workload=head.get("workload"),
                     journal=None,  # replay must not re-journal
                 )
                 for record in records[1:]:

@@ -216,6 +216,8 @@ def _line_offline_opt(instance: Any, *, bufferless: bool) -> int:
 
 
 def _stream_extra(run: Any) -> dict[str, Any]:
+    # "__stream__" is not telemetry: api.solve pops the full StreamResult
+    # out into ScheduleResult.stream before building the telemetry block.
     return {
         "policy": run.policy,
         "steps": run.steps,
@@ -225,6 +227,7 @@ def _stream_extra(run: Any) -> dict[str, Any]:
             "fault": len(run.fault_dropped_ids),
         },
         **run.stats,
+        "__stream__": run,
     }
 
 

@@ -1,0 +1,80 @@
+"""``repro.trace`` — workload traces: record, generate, replay, loadtest.
+
+A *workload trace* is a replayable arrival stream: a versioned JSONL
+file (or in-memory :class:`WorkloadTrace`) listing every message and
+when it was released, plus provenance (``trace_id``, generating
+``shape``/``seed``) that follows the workload through every consumer.
+The subsystem closes the loop the synthetic-generator experiments left
+open: any run — simulator, online stream, served session — can be
+**recorded** (:mod:`repro.trace.record`), any trace can be **replayed**
+deterministically through ``api.solve``, ``repro.online`` or a live
+server (:mod:`repro.trace.replay`), and production traffic shapes can
+be **generated** at million-message scale with bounded memory
+(:mod:`repro.trace.shapes`).  :func:`run_loadtest` replays a trace
+against a live server at a target rate and reports latency percentiles
+and shed counts.
+
+Three things are called "trace" in this library; this package owns the
+vocabulary (full table in ``docs/api.md``):
+
+=================  ==================================  ====================
+trace              what it records                     home
+=================  ==================================  ====================
+workload trace     arrivals (the replayable *input*)   :mod:`repro.trace`
+event trace        per-packet lifecycle in one run     :mod:`repro.trace.events`
+observability      spans/counters about the *code*     :mod:`repro.obs`
+=================  ==================================  ====================
+
+Quickstart::
+
+    from repro import trace
+
+    t = trace.shape_trace("bursty", seed=7, n=32, messages=500)
+    trace.write_trace("bursty.jsonl", t)
+    result = trace.replay("bursty.jsonl", regime="online", method="bfl")
+    result.workload          # {'trace_id': ..., 'shape': 'bursty', 'seed': 7}
+    result.stream.decisions  # the full decision log
+"""
+
+from .format import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    TraceReader,
+    TraceRecord,
+    TraceWriter,
+    WorkloadTrace,
+    mint_trace_id,
+    open_trace,
+    read_trace,
+    write_trace,
+)
+from .loadtest import latency_summary, run_loadtest
+from .record import TraceRecorder, record_instance, record_online
+from .replay import replay, replay_online, replay_served, replay_windows
+from .shapes import SHAPES, shape_records, shape_trace, write_shape_trace
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TraceRecord",
+    "WorkloadTrace",
+    "TraceWriter",
+    "TraceReader",
+    "TraceRecorder",
+    "mint_trace_id",
+    "write_trace",
+    "read_trace",
+    "open_trace",
+    "record_instance",
+    "record_online",
+    "replay",
+    "replay_online",
+    "replay_served",
+    "replay_windows",
+    "SHAPES",
+    "shape_records",
+    "shape_trace",
+    "write_shape_trace",
+    "run_loadtest",
+    "latency_summary",
+]

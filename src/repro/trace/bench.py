@@ -1,0 +1,166 @@
+"""``repro bench loadtest`` — the trace-replay serving baseline (PR9).
+
+Spins one loopback :class:`~repro.server.ReproServer` (ephemeral port,
+``jobs=1``) and replays seeded traffic-shape traces against it with
+:func:`~repro.trace.run_loadtest`:
+
+* **stream** — one closed-loop (unpaced) stream replay per shape,
+  reporting sustained messages/s, per-request latency percentiles, and
+  the served decision count.  A parity gate runs first: the served
+  decision log must equal the local :func:`~repro.trace.replay_online`
+  on the same trace, so the rates can never come from answering a
+  different question;
+* **solve** — the bursty trace cut into windows and pushed through the
+  solve queue faster than it drains, with a tight ``deadline_ms`` — the
+  section that makes the 429/504 shed counters move.
+
+The payload embeds the ``serve`` section of ``BENCH_PR7.json`` (when
+that baseline exists next to ``out``) as ``baseline_pr7``, so the
+trace-replay numbers sit beside the fixed-instance serving numbers they
+extend.  Output goes to ``BENCH_PR9.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "run_loadtest_benchmarks",
+    "render_loadtest_summary",
+]
+
+#: Shapes replayed in the stream section, in report order.
+STREAM_SHAPES = ("uniform", "bursty", "diurnal", "hotspot")
+
+
+def _stream_section(
+    client: Any, shape: str, *, seed: int, n: int, messages: int
+) -> dict[str, Any]:
+    from .loadtest import run_loadtest
+    from .replay import replay_online
+    from .shapes import shape_trace
+
+    trace = shape_trace(shape, seed, n=n, messages=messages)
+    report = run_loadtest(trace, client=client, mode="stream", policy="bfl")
+    local = replay_online(trace, "bfl")
+    if report["decisions"] != len(local.decisions) or (
+        report["throughput"] != local.throughput
+    ):
+        raise AssertionError(
+            f"served replay of shape {shape!r} diverged from replay_online"
+        )
+    report["shape"] = shape
+    return report
+
+
+def _solve_section(
+    url: str, *, seed: int, n: int, messages: int
+) -> dict[str, Any]:
+    from .loadtest import run_loadtest
+    from .shapes import shape_trace
+
+    trace = shape_trace("bursty", seed, n=n, messages=messages)
+    # Offered load far above what jobs=1 drains, plus a tight deadline:
+    # this section exists to exercise the 429/504 shedding path.
+    return run_loadtest(
+        trace,
+        url,
+        mode="solve",
+        window=64,
+        rate=50_000.0,
+        deadline_ms=2_000.0,
+    )
+
+
+def run_loadtest_benchmarks(
+    *,
+    seed: int = 2024,
+    messages: int = 2000,
+    n: int = 32,
+    out: str | Path | None = None,
+) -> dict[str, Any]:
+    """The ``repro bench loadtest`` suite; writes ``BENCH_PR9.json``."""
+    from ..client import ReproClient
+    from ..server import ReproServer
+
+    t0 = time.perf_counter()
+    server = ReproServer(port=0, jobs=1).start_in_thread()
+    try:
+        streams = []
+        with ReproClient(server.url, retries=0) as client:
+            for shape in STREAM_SHAPES:
+                streams.append(
+                    _stream_section(
+                        client, shape, seed=seed, n=n, messages=messages
+                    )
+                )
+        solve = _solve_section(server.url, seed=seed, n=n, messages=messages)
+    finally:
+        server.shutdown()
+    payload: dict[str, Any] = {
+        "benchmark": "repro trace-replay loadtest baseline",
+        "cpu_count": os.cpu_count(),
+        "seed": seed,
+        "messages": messages,
+        "n": n,
+        "stream": streams,
+        "solve": solve,
+        "seconds": time.perf_counter() - t0,
+    }
+    baseline = _pr7_baseline(out)
+    if baseline is not None:
+        payload["baseline_pr7"] = baseline
+    if out is not None:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _pr7_baseline(out: str | Path | None) -> dict[str, Any] | None:
+    """The ``serve`` section of BENCH_PR7.json next to ``out``, if any."""
+    root = Path(out).resolve().parent if out is not None else Path.cwd()
+    path = root / "BENCH_PR7.json"
+    if not path.exists():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    serve = doc.get("serve")
+    if not isinstance(serve, dict):
+        return None
+    return {"source": path.name, "serve": serve}
+
+
+def render_loadtest_summary(payload: dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_loadtest_benchmarks` payload."""
+    lines = [
+        f"loadtest bench (loopback HTTP, {payload['messages']} msgs/shape, "
+        f"n={payload['n']}, zero-retry client)"
+    ]
+    for s in payload["stream"]:
+        lat = s["latency"]
+        lines.append(
+            f"  stream {s['shape']:<11} {s['rate_achieved']:8.0f} msg/s   "
+            f"p50 {lat['p50_ms']:6.2f} ms   p95 {lat['p95_ms']:6.2f} ms   "
+            f"p99 {lat['p99_ms']:6.2f} ms   "
+            f"({s['decisions']} decisions, "
+            f"shed {s['shed']['429']}/{s['shed']['504']})"
+        )
+    sv = payload["solve"]
+    lines.append(
+        f"  solve  bursty x{sv['requests']} windows: {sv['solved']} solved, "
+        f"shed 429={sv['shed']['429']} 504={sv['shed']['504']}   "
+        f"p50 {sv['latency']['p50_ms']:.2f} ms"
+    )
+    base = payload.get("baseline_pr7")
+    if base is not None:
+        b = base["serve"]["stream"]
+        lines.append(
+            f"  [baseline {base['source']}: "
+            f"{b['decisions_per_second']:.0f} decisions/s fixed-instance stream]"
+        )
+    return "\n".join(lines)

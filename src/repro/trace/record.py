@@ -1,0 +1,188 @@
+"""Recording: turn any run's arrivals into a replayable workload trace.
+
+Three entry points, one per place a workload lives:
+
+* :func:`record_instance` — an in-memory instance (any topology) becomes
+  a :class:`~repro.trace.WorkloadTrace` in canonical revelation order;
+* :class:`TraceRecorder` — an incremental sink for arrivals as they
+  happen: attach one to a served session
+  (``client.open_stream(recorder=...)``) or feed it manually alongside
+  any online run.  In-memory by default; give it a ``path`` and it
+  streams through a :class:`~repro.trace.TraceWriter` with bounded
+  memory instead;
+* :func:`record_online` — run an online policy on an instance and return
+  ``(trace, result)`` with the trace's provenance already stamped on the
+  result, the one-call version of record-then-replay.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable
+
+from .format import TraceRecord, TraceWriter, WorkloadTrace, mint_trace_id
+
+__all__ = ["TraceRecorder", "record_instance", "record_online"]
+
+
+def record_instance(
+    instance: Any,
+    *,
+    trace_id: str | None = None,
+    shape: str | None = None,
+    seed: int | None = None,
+    spec: dict[str, Any] | None = None,
+    meta: dict[str, Any] | None = None,
+) -> WorkloadTrace:
+    """Record an instance's arrival stream as a workload trace.
+
+    Provenance (``shape``/``seed``/``spec``) is whatever the caller knows
+    about where the instance came from; replaying the trace reproduces
+    the instance exactly (same messages, canonical release-then-id
+    order).
+    """
+    return WorkloadTrace.from_instance(
+        instance, trace_id=trace_id, shape=shape, seed=seed, spec=spec, meta=meta
+    )
+
+
+class TraceRecorder:
+    """An incremental arrival sink that finalizes into a trace.
+
+    In-memory mode (default) accumulates records and hands back a
+    :class:`WorkloadTrace` from :meth:`trace`.  Disk mode (``path=``)
+    streams every arrival through a :class:`TraceWriter` instead — O(1)
+    memory, for sessions of unbounded length; ``n`` is required there
+    because the header is written up front.
+
+    Arrivals may be message objects, :class:`TraceRecord` s, or plain
+    dicts (the client's wire rows), and must arrive in nondecreasing
+    release order — the same contract every stream consumer enforces.
+    """
+
+    def __init__(
+        self,
+        *,
+        n: int | tuple[int, int] | None = None,
+        topology: str = "line",
+        trace_id: str | None = None,
+        shape: str | None = None,
+        seed: int | None = None,
+        spec: dict[str, Any] | None = None,
+        meta: dict[str, Any] | None = None,
+        path: str | Path | None = None,
+    ) -> None:
+        self.n = n
+        self.topology = topology
+        self.trace_id = trace_id or mint_trace_id()
+        self.shape = shape
+        self.seed = seed
+        self.spec = spec
+        self.meta = dict(meta or {})
+        self._records: list[TraceRecord] | None = None
+        self._writer: TraceWriter | None = None
+        self._last_release: int | None = None
+        if path is not None:
+            if n is None:
+                raise ValueError("a disk-backed TraceRecorder needs n=")
+            self._writer = TraceWriter(
+                path,
+                n=n,
+                topology=topology,
+                trace_id=self.trace_id,
+                shape=shape,
+                seed=seed,
+                spec=spec,
+                meta=self.meta,
+            )
+        else:
+            self._records = []
+
+    @property
+    def count(self) -> int:
+        if self._writer is not None:
+            return self._writer.count
+        return len(self._records or ())
+
+    def provenance(self) -> dict[str, Any]:
+        """The ``workload`` block for results produced from this trace."""
+        return {"trace_id": self.trace_id, "shape": self.shape, "seed": self.seed}
+
+    def add(self, message: Any) -> None:
+        rec = TraceRecord.from_message(message)
+        if self._writer is not None:
+            self._writer.add(rec)
+            return
+        if self._last_release is not None and rec.release < self._last_release:
+            raise ValueError(
+                f"arrival {rec.id} released at {rec.release}, before the "
+                f"previously recorded release {self._last_release}"
+            )
+        self._last_release = rec.release
+        self._records.append(rec)  # type: ignore[union-attr]
+
+    def add_many(self, messages: Iterable[Any]) -> int:
+        before = self.count
+        for m in messages:
+            self.add(m)
+        return self.count - before
+
+    def trace(self, *, n: int | tuple[int, int] | None = None) -> WorkloadTrace:
+        """Finalize the in-memory recording as a :class:`WorkloadTrace`."""
+        if self._records is None:
+            raise ValueError(
+                "a disk-backed TraceRecorder has no in-memory trace; "
+                "close() it and read the file back with read_trace/open_trace"
+            )
+        size = n if n is not None else self.n
+        if size is None:
+            raise ValueError("trace() needs n= (not given at construction)")
+        return WorkloadTrace(
+            trace_id=self.trace_id,
+            n=size,
+            records=tuple(self._records),
+            topology=self.topology,
+            shape=self.shape,
+            seed=self.seed,
+            spec=self.spec,
+            meta=self.meta,
+        )
+
+    def close(self) -> int:
+        """Finalize (flushes and headers the file in disk mode); returns
+        the record count."""
+        if self._writer is not None:
+            self._writer.close()
+        return self.count
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> None:
+        if self._writer is not None:
+            self._writer.__exit__(exc_type, *exc_info)
+
+
+def record_online(
+    instance: Any,
+    policy: str = "bfl",
+    *,
+    shape: str | None = None,
+    seed: int | None = None,
+    spec: dict[str, Any] | None = None,
+    **opts: Any,
+) -> tuple[WorkloadTrace, Any]:
+    """Record ``instance`` as a trace, run ``policy`` on it, return both.
+
+    The returned :class:`~repro.online.StreamResult` carries the trace's
+    provenance in its ``workload`` block, so ``result.to_dict()`` is
+    byte-identical to replaying the trace later (local or served).
+    """
+    import dataclasses
+
+    from ..online import run_online
+
+    trace = record_instance(instance, shape=shape, seed=seed, spec=spec)
+    result = run_online(instance, policy, **opts)
+    result = dataclasses.replace(result, workload=trace.provenance())
+    return trace, result

@@ -1,0 +1,255 @@
+"""Replay: run a recorded workload trace back through every solve path.
+
+Replay is deterministic because every consumer is: the offline solvers
+are pure functions of the instance, the online policies are pure
+functions of the canonical arrival stream, and the server's stream
+sessions replay the same policies over the same fed set.  Recording a
+run and replaying its trace therefore reproduces the identical decision
+log — locally through :func:`repro.api.solve` / :func:`replay_online`,
+or over HTTP through :func:`replay_served` — and every replayed result
+carries the trace's ``workload`` provenance block so the numbers stay
+attributable.
+
+Four paths:
+
+* :func:`replay` — the facade path: materialize the trace and
+  ``api.solve`` it (any regime/method the topology dispatches);
+* :func:`replay_online` — the implementation-layer path:
+  ``run_online`` on the materialized trace, returning the
+  :class:`~repro.online.StreamResult` directly;
+* :func:`replay_served` — the HTTP path: open a stream session on a
+  live server, feed the trace in batches, close, return the server's
+  ``StreamResult``;
+* :func:`replay_windows` — the streaming fast path for traces too big
+  to materialize: read records from disk in fixed-size windows and
+  solve each window offline, O(window) memory, returning aggregate
+  throughput — the sharded number a horizontally scaled deployment
+  would report.  Windows are solved independently, so cross-window
+  link conflicts are ignored: the total approximates (and can exceed)
+  the whole-trace figure rather than bounding it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from .format import TraceReader, TraceRecord, WorkloadTrace, open_trace, read_trace
+
+__all__ = [
+    "replay",
+    "replay_online",
+    "replay_served",
+    "replay_windows",
+]
+
+
+def _as_trace(source: Any) -> WorkloadTrace:
+    """Materialize any trace source (trace, reader, or path)."""
+    if isinstance(source, WorkloadTrace):
+        return source
+    if isinstance(source, TraceReader):
+        records = tuple(source)
+        return WorkloadTrace(
+            trace_id=source.trace_id,
+            n=source.n,
+            records=records,
+            topology=source.topology,
+            shape=source.shape,
+            seed=source.seed,
+            spec=source.spec,
+            meta=source.meta,
+        )
+    if isinstance(source, (str, Path)):
+        return read_trace(source)
+    raise TypeError(
+        f"expected a WorkloadTrace, TraceReader or path, got {type(source).__name__}"
+    )
+
+
+def replay(
+    source: Any,
+    regime: str = "online",
+    method: str = "bfl",
+    **opts: Any,
+) -> Any:
+    """Replay a trace through :func:`repro.api.solve`.
+
+    The result's ``workload`` block is the trace's provenance; online
+    replays additionally expose the full decision log as
+    ``result.stream``.  Accepts everything ``api.solve`` does.
+    """
+    from ..api import solve
+
+    trace = _as_trace(source)
+    return solve(
+        trace.to_instance(),
+        regime,
+        method,
+        workload=trace.provenance(),
+        **opts,
+    )
+
+
+def replay_online(source: Any, policy: str = "bfl", **opts: Any) -> Any:
+    """Replay a trace through :func:`repro.online.run_online` directly.
+
+    Returns the :class:`~repro.online.StreamResult` with the trace's
+    provenance stamped — byte-identical ``to_dict`` to closing a served
+    session fed the same trace (:func:`replay_served`).
+    """
+    import dataclasses
+
+    from ..online import run_online
+
+    trace = _as_trace(source)
+    result = run_online(trace.to_instance(), policy, **opts)
+    return dataclasses.replace(result, workload=trace.provenance())
+
+
+def _batches(
+    records: Iterable[TraceRecord], size: int
+) -> Iterator[list[TraceRecord]]:
+    """Chunk an already release-sorted record stream, never splitting a
+    release instant across batches (the stream frontier contract)."""
+    batch: list[TraceRecord] = []
+    for rec in records:
+        if len(batch) >= size and rec.release != batch[-1].release:
+            yield batch
+            batch = []
+        batch.append(rec)
+    if batch:
+        yield batch
+
+
+def replay_served(
+    source: Any,
+    client: Any,
+    *,
+    policy: str = "bfl",
+    batch_size: int = 64,
+    **options: Any,
+) -> Any:
+    """Replay a trace against a live server's stream endpoints.
+
+    ``client`` is a :class:`repro.client.ReproClient` (or anything with
+    its ``open_stream`` surface).  The trace is fed in release-ordered
+    batches of ~``batch_size`` arrivals; the session is opened with the
+    trace's provenance, so the returned
+    :class:`~repro.online.StreamResult` — decision log included — is
+    byte-identical to :func:`replay_online` on the same trace.  Line and
+    ring traces only (the shapes with an online dispatch cell).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    trace = _as_trace(source)
+    if trace.topology not in ("line", "ring"):
+        raise ValueError(
+            f"served replay needs an online-capable topology, got {trace.topology!r}"
+        )
+    stream = client.open_stream(
+        n=trace.n,
+        topology=trace.topology,
+        policy=policy,
+        workload=trace.provenance(),
+        **options,
+    )
+    try:
+        for batch in _batches(trace.records, batch_size):
+            stream.feed([r.to_dict() for r in batch])
+        return stream.close()
+    except BaseException:
+        if not stream.closed:
+            import contextlib
+
+            with contextlib.suppress(Exception):
+                stream.abandon()
+        raise
+
+
+def _window_document(
+    topology: str, n: Any, records: list[TraceRecord]
+) -> dict[str, Any]:
+    doc: dict[str, Any] = {
+        "format": "repro-instance",
+        "version": 1,
+        "topology": topology,
+        "messages": [r.to_dict() for r in records],
+    }
+    if topology == "mesh":
+        doc["rows"], doc["cols"] = n
+    else:
+        doc["n"] = n
+    return doc
+
+
+def replay_windows(
+    source: Any,
+    *,
+    window: int = 20_000,
+    regime: str = "bufferless",
+    method: str = "bfl",
+    **opts: Any,
+) -> dict[str, Any]:
+    """Replay a trace of any size through offline solves, window by window.
+
+    Reads the trace streaming (``source`` may be a path,
+    :class:`TraceReader` or :class:`WorkloadTrace`) and solves
+    consecutive windows of ``window`` records independently — memory is
+    O(window) regardless of trace length, which is what lets a
+    million-message trace replay on a laptop.  Messages are never split
+    mid-release-instant, so each window is a valid sub-instance.
+
+    Returns an aggregate summary (messages, delivered, windows, seconds,
+    workload provenance).  ``delivered`` sums per-window results solved
+    independently — a message in flight across a window boundary is not
+    charged against the next window's links, so the total approximates
+    the whole-trace figure (it is exact only when windows never overlap
+    in time).
+    """
+    import time
+
+    from ..api import parse_instance, solve
+
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if isinstance(source, (str, Path)):
+        reader: Any = open_trace(source)
+        owns = True
+    elif isinstance(source, (TraceReader, WorkloadTrace)):
+        reader = source
+        owns = False
+    else:
+        raise TypeError(
+            f"expected a WorkloadTrace, TraceReader or path, got "
+            f"{type(source).__name__}"
+        )
+    if isinstance(reader, WorkloadTrace):
+        provenance = reader.provenance()
+        topology, n, records = reader.topology, reader.n, iter(reader.records)
+    else:
+        provenance = reader.provenance()
+        topology, n, records = reader.topology, reader.n, iter(reader)
+    messages = delivered = windows = 0
+    t0 = time.perf_counter()
+    try:
+        for batch in _batches(records, window):
+            instance = parse_instance(_window_document(topology, n, batch))
+            result = solve(instance, regime, method, workload=provenance, **opts)
+            messages += len(batch)
+            delivered += result.delivered
+            windows += 1
+    finally:
+        if owns:
+            reader.close()
+    return {
+        "workload": provenance,
+        "topology": topology,
+        "regime": regime,
+        "method": method,
+        "window": window,
+        "windows": windows,
+        "messages": messages,
+        "delivered": delivered,
+        "seconds": time.perf_counter() - t0,
+    }

@@ -1,0 +1,411 @@
+"""Seeded traffic-shape generators that produce *traces*, not instances.
+
+The legacy workload generators (:mod:`repro.workloads`) materialize an
+``Instance`` in memory.  The shapes here model production traffic and
+**stream**: each is a generator function yielding
+:class:`~repro.trace.TraceRecord` objects one at a time in nondecreasing
+release order, drawing randomness in fixed-size vectorized chunks so a
+million-message trace generates fast with O(chunk) memory.  Determinism:
+the record stream is a pure function of ``(shape, seed, parameters)`` —
+independent of how it is consumed (materialized, written to disk, or fed
+to a server) — which is what makes record/replay and the disk/in-memory
+parity tests possible.
+
+Shapes
+------
+``uniform``
+    The streaming twin of ``workloads.general_instance``: Poisson
+    arrivals at a constant rate, uniform endpoints and slacks.  The
+    workhorse for million-message scale runs.
+``bursty``
+    Idle gaps punctuated by bursts: a whole session's worth of messages
+    lands in one step (think request fan-out or a cache stampede), then
+    silence drawn from a geometric gap.  Stresses admission: the
+    scan-line kernel sees deep contention at burst instants.
+``diurnal``
+    A sinusoidal load curve — the classic day/night cycle scaled down to
+    ``period`` steps; per-step arrival counts are Poisson with the
+    time-varying rate.  Exercises schedulers across load regimes inside
+    one run.
+``hotspot``
+    Destination skew: destinations cluster around one node (width
+    ``width``), sources are uniform — the links feeding the hotspot
+    saturate first, the adversarial shape for bufferless scheduling.
+``adversarial``
+    Single-link contention: every message crosses one designated link
+    inside a tight deadline window, so bufferless throughput is capped
+    by that link's capacity and every admission choice matters.  The
+    online/bounded-buffer literature evaluates exactly this family.
+
+Each shape works on ``topology="line"`` and (except ``adversarial``'s
+link pinning, which wraps) ``"ring"``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..workloads._seeding import coerce_rng
+from .format import TraceRecord, TraceWriter, WorkloadTrace, mint_trace_id
+
+__all__ = ["SHAPES", "shape_records", "shape_trace", "write_shape_trace"]
+
+#: Messages drawn per vectorized chunk.  A fixed constant (never adapted
+#: to trace length) so the stream is identical however far it is read.
+_CHUNK = 8192
+
+
+def _spans(rng: np.random.Generator, n: int, size: int, topology: str) -> np.ndarray:
+    """Uniform spans: 1..n-1 hops (both topologies)."""
+    return rng.integers(1, n, size=size)
+
+
+def _sources(
+    rng: np.random.Generator, n: int, spans: np.ndarray, topology: str
+) -> np.ndarray:
+    if topology == "ring":
+        return rng.integers(0, n, size=len(spans))
+    return rng.integers(0, n - spans)
+
+
+def _dests(n: int, sources: np.ndarray, spans: np.ndarray, topology: str) -> np.ndarray:
+    if topology == "ring":
+        return (sources + spans) % n
+    return sources + spans
+
+
+def _emit(
+    start_id: int,
+    sources: np.ndarray,
+    dests: np.ndarray,
+    releases: np.ndarray,
+    deadlines: np.ndarray,
+) -> Iterator[TraceRecord]:
+    for i in range(len(sources)):
+        yield TraceRecord(
+            id=start_id + i,
+            source=int(sources[i]),
+            dest=int(dests[i]),
+            release=int(releases[i]),
+            deadline=int(deadlines[i]),
+        )
+
+
+def _rate_stream(
+    rng: np.random.Generator,
+    n: int,
+    messages: int,
+    topology: str,
+    max_slack: int,
+    rate_at: Callable[[np.ndarray], np.ndarray],
+) -> Iterator[TraceRecord]:
+    """Common engine: Poisson per-step arrival counts with a (possibly
+    time-varying) rate, endpoints uniform, slack uniform."""
+    emitted = 0
+    t = 0
+    while emitted < messages:
+        steps = np.arange(t, t + _CHUNK, dtype=np.int64)
+        counts = rng.poisson(np.clip(rate_at(steps), 0.0, None))
+        total = int(counts.sum())
+        if total == 0:
+            t += _CHUNK
+            continue
+        releases = np.repeat(steps, counts)
+        spans = _spans(rng, n, total, topology)
+        sources = _sources(rng, n, spans, topology)
+        slacks = rng.integers(0, max_slack + 1, size=total)
+        take = min(total, messages - emitted)
+        yield from _emit(
+            emitted,
+            sources[:take],
+            _dests(n, sources, spans, topology)[:take],
+            releases[:take],
+            (releases + spans + slacks)[:take],
+        )
+        emitted += take
+        t += _CHUNK
+
+
+def _uniform(
+    rng: np.random.Generator,
+    *,
+    n: int,
+    messages: int,
+    topology: str,
+    rate: float = 4.0,
+    max_slack: int = 8,
+) -> Iterator[TraceRecord]:
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    return _rate_stream(
+        rng, n, messages, topology, max_slack, lambda t: np.full(len(t), rate)
+    )
+
+
+def _diurnal(
+    rng: np.random.Generator,
+    *,
+    n: int,
+    messages: int,
+    topology: str,
+    period: int = 256,
+    peak: float = 8.0,
+    trough: float = 0.5,
+    max_slack: int = 8,
+) -> Iterator[TraceRecord]:
+    if period < 2:
+        raise ValueError(f"period must be >= 2, got {period}")
+    if not 0 <= trough <= peak:
+        raise ValueError(f"need 0 <= trough <= peak, got {trough} > {peak}")
+
+    def rate_at(t: np.ndarray) -> np.ndarray:
+        phase = np.sin(2.0 * math.pi * t / period)
+        return trough + (peak - trough) * (1.0 + phase) / 2.0
+
+    return _rate_stream(rng, n, messages, topology, max_slack, rate_at)
+
+
+def _bursty(
+    rng: np.random.Generator,
+    *,
+    n: int,
+    messages: int,
+    topology: str,
+    burst: int = 12,
+    gap: float = 6.0,
+    max_slack: int = 6,
+) -> Iterator[TraceRecord]:
+    """Bursts of ~``burst`` messages separated by geometric idle gaps."""
+    if burst < 1:
+        raise ValueError(f"burst must be >= 1, got {burst}")
+    if gap < 1:
+        raise ValueError(f"gap must be >= 1, got {gap}")
+    emitted = 0
+    t = 0
+    while emitted < messages:
+        sizes = rng.poisson(burst, size=256) + 1
+        gaps = rng.geometric(1.0 / gap, size=256)
+        for size, idle in zip(sizes, gaps):
+            size = int(min(size, messages - emitted))
+            if size <= 0:
+                break
+            spans = _spans(rng, n, size, topology)
+            sources = _sources(rng, n, spans, topology)
+            slacks = rng.integers(0, max_slack + 1, size=size)
+            releases = np.full(size, t, dtype=np.int64)
+            yield from _emit(
+                emitted,
+                sources,
+                _dests(n, sources, spans, topology),
+                releases,
+                releases + spans + slacks,
+            )
+            emitted += size
+            t += int(idle)
+        # sizes/gaps chunk exhausted; loop draws the next chunk
+
+
+def _hotspot(
+    rng: np.random.Generator,
+    *,
+    n: int,
+    messages: int,
+    topology: str,
+    hotspot: int | None = None,
+    width: int = 2,
+    rate: float = 4.0,
+    max_slack: int = 6,
+) -> Iterator[TraceRecord]:
+    """Destination skew onto one node; sources uniform."""
+    if hotspot is None:
+        hotspot = 3 * n // 4 if topology == "line" else 0
+    if topology == "line" and not (1 <= hotspot <= n - 1):
+        raise ValueError("hotspot must be an interior node")
+    if topology == "ring" and not (0 <= hotspot < n):
+        raise ValueError("hotspot must be a ring node")
+    emitted = 0
+    t = 0
+    while emitted < messages:
+        steps = np.arange(t, t + _CHUNK, dtype=np.int64)
+        counts = rng.poisson(rate, size=_CHUNK)
+        total = int(counts.sum())
+        if total == 0:
+            t += _CHUNK
+            continue
+        releases = np.repeat(steps, counts)
+        offsets = rng.integers(-width, width + 1, size=total)
+        if topology == "ring":
+            dests = (hotspot + offsets) % n
+            spans = rng.integers(1, n, size=total)
+            sources = (dests - spans) % n
+        else:
+            dests = np.clip(hotspot + offsets, 1, n - 1)
+            sources = (rng.random(total) * dests).astype(np.int64)
+            spans = dests - sources
+        slacks = rng.integers(0, max_slack + 1, size=total)
+        take = min(total, messages - emitted)
+        yield from _emit(
+            emitted,
+            sources[:take],
+            dests[:take],
+            releases[:take],
+            (releases + spans + slacks)[:take],
+        )
+        emitted += take
+        t += _CHUNK
+
+
+def _adversarial(
+    rng: np.random.Generator,
+    *,
+    n: int,
+    messages: int,
+    topology: str,
+    link: int | None = None,
+    window: int = 4,
+    max_slack: int = 1,
+) -> Iterator[TraceRecord]:
+    """Single-link contention: every message crosses link ``(link,
+    link+1)`` within ``window`` steps of release, with near-zero slack —
+    so the link admits at most ``window + max_slack`` of each cohort and
+    every admission decision is consequential."""
+    if link is None:
+        link = n // 2
+    if topology == "line" and not (0 <= link <= n - 2):
+        raise ValueError(f"link must be 0..{n - 2}, got {link}")
+    if topology == "ring" and not (0 <= link <= n - 1):
+        raise ValueError(f"link must be 0..{n - 1}, got {link}")
+    emitted = 0
+    t = 0
+    while emitted < messages:
+        cohort = int(rng.integers(window, 3 * window + 1))
+        cohort = min(cohort, messages - emitted)
+        if topology == "ring":
+            back = rng.integers(0, n - 1, size=cohort)
+            sources = (link - back) % n
+            fwd = rng.integers(1, np.maximum(n - back, 2))
+            dests = (link + fwd) % n
+            spans = (dests - sources) % n
+        else:
+            sources = rng.integers(0, link + 1, size=cohort)
+            dests = rng.integers(link + 1, n, size=cohort)
+            spans = dests - sources
+        slacks = rng.integers(0, max_slack + 1, size=cohort)
+        releases = np.full(cohort, t, dtype=np.int64)
+        yield from _emit(emitted, sources, dests, releases, releases + spans + slacks)
+        emitted += cohort
+        t += int(rng.integers(1, window + 1))
+
+
+#: shape name -> streaming generator (rng, *, n, messages, topology, **params)
+SHAPES: dict[str, Callable[..., Iterator[TraceRecord]]] = {
+    "uniform": _uniform,
+    "bursty": _bursty,
+    "diurnal": _diurnal,
+    "hotspot": _hotspot,
+    "adversarial": _adversarial,
+}
+
+
+def shape_records(
+    shape: str,
+    rng: Any,
+    *,
+    n: int = 32,
+    messages: int = 1000,
+    topology: str = "line",
+    **params: Any,
+) -> Iterator[TraceRecord]:
+    """The streaming record iterator for one shape (O(chunk) memory).
+
+    ``rng`` follows the workloads seeding convention: a numpy
+    ``Generator``, ``SeedSequence`` or plain int seed.
+    """
+    if shape not in SHAPES:
+        raise ValueError(f"unknown traffic shape {shape!r}; choose one of {tuple(SHAPES)}")
+    if topology not in ("line", "ring"):
+        raise ValueError(f"traffic shapes support line and ring, got {topology!r}")
+    if messages < 0:
+        raise ValueError(f"messages must be >= 0, got {messages}")
+    if n < 2 or (topology == "ring" and n < 3):
+        raise ValueError(f"network too small for a {topology} shape: n={n}")
+    return SHAPES[shape](
+        coerce_rng(rng), n=n, messages=messages, topology=topology, **params
+    )
+
+
+def shape_trace(
+    shape: str,
+    seed: int,
+    *,
+    n: int = 32,
+    messages: int = 1000,
+    topology: str = "line",
+    trace_id: str | None = None,
+    **params: Any,
+) -> WorkloadTrace:
+    """Materialize one shape as an in-memory :class:`WorkloadTrace`
+    (byte-identical to writing :func:`shape_records` to disk and reading
+    it back — the parity the streaming tests assert)."""
+    spec = {
+        "shape": shape,
+        "seed": seed,
+        "n": n,
+        "messages": messages,
+        "topology": topology,
+        **params,
+    }
+    return WorkloadTrace(
+        trace_id=trace_id or mint_trace_id(),
+        n=n,
+        records=tuple(
+            shape_records(
+                shape, seed, n=n, messages=messages, topology=topology, **params
+            )
+        ),
+        topology=topology,
+        shape=shape,
+        seed=seed,
+        spec=spec,
+    )
+
+
+def write_shape_trace(
+    path: Any,
+    shape: str,
+    seed: int,
+    *,
+    n: int = 32,
+    messages: int = 1000,
+    topology: str = "line",
+    trace_id: str | None = None,
+    **params: Any,
+) -> int:
+    """Generate a shape straight to disk with bounded memory; returns the
+    record count.  The million-message path: nothing here ever holds more
+    than one vectorized chunk."""
+    spec = {
+        "shape": shape,
+        "seed": seed,
+        "n": n,
+        "messages": messages,
+        "topology": topology,
+        **params,
+    }
+    with TraceWriter(
+        path,
+        n=n,
+        topology=topology,
+        trace_id=trace_id,
+        shape=shape,
+        seed=seed,
+        spec=spec,
+    ) as writer:
+        for record in shape_records(
+            shape, seed, n=n, messages=messages, topology=topology, **params
+        ):
+            writer.add(record)
+        return writer.count

@@ -12,6 +12,12 @@ are exactly reproducible.  Families:
 * :mod:`repro.workloads.multimedia` — the intro's motivating mix: audio /
   video / bulk traffic classes with distinct deadline behaviour, plus a
   hotspot pattern.
+
+All families are also reachable through the unified entrypoint
+:func:`generate` with a :class:`WorkloadSpec` (:mod:`repro.workloads.spec`)
+— one serializable dataclass covering family/topology/size/count/slack/
+seed, with identical seeded output to the per-family calls.  The trace
+subsystem (:mod:`repro.trace`) records specs as workload provenance.
 """
 
 from .meshes import mesh_hotspot, random_mesh_instance, transpose_mesh
@@ -20,8 +26,12 @@ from .rings import all_to_all_ring, random_ring_instance, ring_hotspot
 from .sessions import session_instance
 from .special import static_instance, uniform_slack_instance, uniform_span_instance
 from .multimedia import hotspot_instance, multimedia_instance
+from .spec import FAMILIES, WorkloadSpec, generate
 
 __all__ = [
+    "WorkloadSpec",
+    "generate",
+    "FAMILIES",
     "general_instance",
     "saturated_instance",
     "uniform_slack_instance",

@@ -22,7 +22,10 @@ def random_mesh_instance(
     conversion_delay: int = 0,
 ) -> MeshInstance:
     """Uniform random endpoints; every message individually feasible
-    (deadline covers XY distance + the conversion, if it turns)."""
+    (deadline covers XY distance + the conversion, if it turns).
+
+    Spec family ``"mesh_random"`` (see :func:`repro.workloads.generate`).
+    """
     msgs = []
     for i in range(k):
         while True:
@@ -48,7 +51,10 @@ def transpose_mesh(
 ) -> MeshInstance:
     """The classic matrix-transpose permutation: ``(r, c) -> (c, r)`` for
     every off-diagonal node — a worst-ish case for XY routing because all
-    traffic turns and the turning nodes cluster on the diagonal."""
+    traffic turns and the turning nodes cluster on the diagonal.
+
+    Spec family ``"mesh_transpose"`` (see :func:`repro.workloads.generate`).
+    """
     msgs = []
     for r in range(n):
         for c in range(n):
@@ -72,7 +78,10 @@ def mesh_hotspot(
     max_slack: int = 5,
 ) -> MeshInstance:
     """All messages destined for one node — the column into the hotspot is
-    the bottleneck, so phase-2 scheduling dominates throughput."""
+    the bottleneck, so phase-2 scheduling dominates throughput.
+
+    Spec family ``"mesh_hotspot"`` (see :func:`repro.workloads.generate`).
+    """
     if hotspot is None:
         hotspot = (rows // 2, cols // 2)
     if not (0 <= hotspot[0] < rows and 0 <= hotspot[1] < cols):

@@ -42,6 +42,8 @@ def multimedia_instance(
     class's range.  The class map lets experiments report per-class
     delivery ratios (audio packets being droppable but urgent, bulk being
     patient).
+
+    Spec family ``"multimedia"`` (see :func:`repro.workloads.generate`).
     """
     classes = classes or TRAFFIC_CLASSES
     names = list(classes)
@@ -79,6 +81,8 @@ def hotspot_instance(
     This concentrates contention on the links just left of the hotspot —
     the adversarial shape for bufferless scheduling, since every message
     fights for the same few (edge, step) slots.
+
+    Spec family ``"hotspot"`` (see :func:`repro.workloads.generate`).
     """
     if hotspot is None:
         hotspot = 3 * n // 4

@@ -33,6 +33,8 @@ def general_instance(
 
     Sources, spans, release times and slacks are drawn uniformly (subject to
     fitting in the network); every message is individually feasible.
+
+    Spec family ``"general"`` (see :func:`repro.workloads.generate`).
     """
     if max_span is None:
         max_span = n - 1
@@ -61,6 +63,8 @@ def saturated_instance(
     reaches ``load * (n - 1) * horizon`` — well past what the network can
     carry when ``load > 1``, which is the regime where scheduling policy
     differences show (experiment E9).
+
+    Spec family ``"saturated"`` (see :func:`repro.workloads.generate`).
     """
     if load <= 0:
         raise ValueError("load must be positive")

@@ -19,7 +19,10 @@ def random_ring_instance(
     max_release: int = 10,
     max_slack: int = 6,
 ) -> RingInstance:
-    """``k`` clockwise messages with uniform endpoints, releases and slacks."""
+    """``k`` clockwise messages with uniform endpoints, releases and slacks.
+
+    Spec family ``"ring_random"`` (see :func:`repro.workloads.generate`).
+    """
     msgs = []
     for i in range(k):
         s = int(rng.integers(0, n))
@@ -39,7 +42,10 @@ def all_to_all_ring(
     max_release: int = 8,
 ) -> RingInstance:
     """One clockwise message per ordered node pair (all-to-all personalized
-    communication — the classic collective on a ring)."""
+    communication — the classic collective on a ring).
+
+    Spec family ``"ring_all_to_all"`` (see :func:`repro.workloads.generate`).
+    """
     msgs = []
     for s in range(n):
         for span in range(1, n):
@@ -61,7 +67,10 @@ def ring_hotspot(
     max_slack: int = 5,
 ) -> RingInstance:
     """All messages destined for one node — maximal contention on the links
-    feeding it (and, on a ring, plenty of wraparound)."""
+    feeding it (and, on a ring, plenty of wraparound).
+
+    Spec family ``"ring_hotspot"`` (see :func:`repro.workloads.generate`).
+    """
     if not (0 <= hotspot < n):
         raise ValueError("hotspot must be a ring node")
     msgs = []

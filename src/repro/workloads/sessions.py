@@ -57,6 +57,8 @@ def session_instance(
     Either pass explicit ``sessions`` (then only ``n``/``horizon`` apply)
     or a ``rng`` — a Generator, SeedSequence or int seed — to draw
     ``num_sessions`` random ones.
+
+    Spec family ``"session"`` (see :func:`repro.workloads.generate`).
     """
     if seed is not None:
         raise TypeError(

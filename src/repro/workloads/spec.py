@@ -1,0 +1,252 @@
+"""One seeded entrypoint over every workload generator.
+
+The per-family generators (:mod:`repro.workloads` line families,
+:mod:`~repro.workloads.rings`, :mod:`~repro.workloads.meshes`, and the
+streaming traffic shapes of :mod:`repro.trace.shapes`) each grew their
+own signature.  :class:`WorkloadSpec` is the one dataclass that names a
+workload — family, topology, size, count, slack, seed, family-specific
+parameters — and :func:`generate` dispatches it to the existing
+generator with **identical seeded output** (the legacy entrypoints stay
+the implementation; ``generate(WorkloadSpec("general", seed=7, n=16))``
+and ``general_instance(7, n=16)`` return the same instance).
+
+Because a spec is a plain serializable document
+(:meth:`WorkloadSpec.to_dict`), it is also the provenance unit the trace
+subsystem records: :meth:`WorkloadSpec.trace` produces a
+:class:`~repro.trace.WorkloadTrace` whose header carries the spec, so a
+trace can always be regenerated from scratch.
+
+Families
+--------
+Line: ``general``, ``saturated``, ``uniform_slack``, ``uniform_span``,
+``static``, ``session``, ``multimedia``, ``hotspot``.
+Ring: ``ring_random``, ``ring_all_to_all``, ``ring_hotspot``.
+Mesh: ``mesh_random``, ``mesh_transpose``, ``mesh_hotspot``.
+Streaming traffic shapes (line/ring, see :data:`repro.trace.SHAPES`):
+``bursty``, ``diurnal``, and the shared names ``uniform``/``hotspot``
+prefixed as ``shape:uniform`` etc. to stay unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from . import (
+    all_to_all_ring,
+    general_instance,
+    hotspot_instance,
+    mesh_hotspot,
+    multimedia_instance,
+    random_mesh_instance,
+    random_ring_instance,
+    ring_hotspot,
+    saturated_instance,
+    session_instance,
+    static_instance,
+    transpose_mesh,
+    uniform_slack_instance,
+    uniform_span_instance,
+)
+
+__all__ = ["WorkloadSpec", "generate", "FAMILIES"]
+
+#: family name -> (generator, topology).  The generators ARE the legacy
+#: entrypoints — dispatching through a spec changes nothing about the
+#: draws, so seeded output is identical by construction.
+FAMILIES: dict[str, tuple[Callable[..., Any], str]] = {
+    "general": (general_instance, "line"),
+    "saturated": (saturated_instance, "line"),
+    "uniform_slack": (uniform_slack_instance, "line"),
+    "uniform_span": (uniform_span_instance, "line"),
+    "static": (static_instance, "line"),
+    "session": (session_instance, "line"),
+    "multimedia": (multimedia_instance, "line"),
+    "hotspot": (hotspot_instance, "line"),
+    "ring_random": (random_ring_instance, "ring"),
+    "ring_all_to_all": (all_to_all_ring, "ring"),
+    "ring_hotspot": (ring_hotspot, "ring"),
+    "mesh_random": (random_mesh_instance, "mesh"),
+    "mesh_transpose": (transpose_mesh, "mesh"),
+    "mesh_hotspot": (mesh_hotspot, "mesh"),
+}
+
+#: Families drawing counts per generator: which keyword carries "count".
+_COUNT_KEY = {
+    "general": "k",
+    "uniform_slack": "k",
+    "uniform_span": "k",
+    "static": "k",
+    "multimedia": "k",
+    "hotspot": "k",
+    "ring_random": "k",
+    "ring_hotspot": "k",
+    "mesh_random": "k",
+    "session": "num_sessions",
+}
+
+#: Streaming traffic-shape families (see repro.trace.shapes), addressed
+#: with a "shape:" prefix so "hotspot" stays the line-instance family.
+_SHAPE_PREFIX = "shape:"
+
+
+def _shape_name(family: str) -> str | None:
+    from ..trace.shapes import SHAPES
+
+    if family.startswith(_SHAPE_PREFIX):
+        name = family[len(_SHAPE_PREFIX) :]
+        if name not in SHAPES:
+            raise ValueError(
+                f"unknown traffic shape {name!r}; choose one of {tuple(SHAPES)}"
+            )
+        return name
+    if family in SHAPES and family not in FAMILIES:
+        return family  # bursty/diurnal/adversarial are unambiguous
+    return None
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A serializable description of one workload.
+
+    ``n`` is the network size (rows=cols=n for mesh families unless
+    ``params`` overrides), ``k`` the message/session count, ``max_slack``
+    the slack cap — each left ``None`` keeps the family's own default.
+    ``params`` carries family-specific extras verbatim (``load=``,
+    ``period=``, ``hotspot=``, ...).  ``topology`` is derived from the
+    family and needs no spelling out.
+    """
+
+    family: str = "general"
+    seed: int | None = None
+    n: int | None = None
+    k: int | None = None
+    max_slack: int | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES and _shape_name(self.family) is None:
+            raise ValueError(
+                f"unknown workload family {self.family!r}; choose one of "
+                f"{tuple(FAMILIES)} or a traffic shape "
+                f"('shape:bursty', 'shape:diurnal', ...)"
+            )
+
+    @property
+    def topology(self) -> str:
+        if self.family in FAMILIES:
+            return FAMILIES[self.family][1]
+        return self.params.get("topology", "line")
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"family": self.family}
+        for name in ("seed", "n", "k", "max_slack"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WorkloadSpec":
+        if not isinstance(data, dict):
+            raise ValueError("expected a JSON object for the workload spec")
+        return cls(
+            family=data.get("family", "general"),
+            seed=data.get("seed"),
+            n=data.get("n"),
+            k=data.get("k"),
+            max_slack=data.get("max_slack"),
+            params=dict(data.get("params") or {}),
+        )
+
+    # ------------------------------------------------------------- #
+
+    def _kwargs(self) -> dict[str, Any]:
+        kwargs = dict(self.params)
+        kwargs.pop("topology", None)
+        if self.n is not None:
+            if self.family in ("mesh_random", "mesh_hotspot"):
+                kwargs.setdefault("rows", self.n)
+                kwargs.setdefault("cols", self.n)
+            else:
+                kwargs["n"] = self.n  # mesh_transpose is square: n is n
+        if self.k is not None:
+            key = _COUNT_KEY.get(self.family)
+            if key is None:
+                raise ValueError(
+                    f"family {self.family!r} has no free message count; drop k="
+                )
+            kwargs[key] = self.k
+        if self.max_slack is not None:
+            kwargs["max_slack"] = self.max_slack
+        return kwargs
+
+    def generate(self, *, rng: Any = None) -> Any:
+        """Build the workload (same object the legacy generator returns).
+
+        ``rng`` overrides the spec's ``seed`` (Generator/SeedSequence/int,
+        the :func:`~repro.workloads._seeding.seeded` convention); one of
+        the two must be given for the random families.
+        """
+        seed_like = rng if rng is not None else self.seed
+        shape = _shape_name(self.family)
+        if shape is not None:
+            if not isinstance(seed_like, int):
+                raise ValueError(
+                    f"traffic-shape family {self.family!r} needs an int seed "
+                    "(the shape stream is addressed by seed, not rng state)"
+                )
+            return self.trace(rng=seed_like).to_instance()
+        fn, _ = FAMILIES[self.family]
+        return fn(seed_like, **self._kwargs())
+
+    def trace(self, *, rng: Any = None) -> Any:
+        """The workload as a :class:`~repro.trace.WorkloadTrace` (spec in
+        the header, ready to write/replay).  Shape families stream; the
+        instance families generate then record."""
+        from ..trace import record_instance
+        from ..trace.shapes import shape_trace
+
+        shape = _shape_name(self.family)
+        if shape is not None:
+            seed_like = rng if rng is not None else self.seed
+            if not isinstance(seed_like, int):
+                raise ValueError(
+                    f"traffic-shape family {self.family!r} needs an int seed"
+                )
+            kwargs = dict(self.params)
+            topology = kwargs.pop("topology", "line")
+            if self.n is not None:
+                kwargs["n"] = self.n
+            if self.k is not None:
+                kwargs["messages"] = self.k
+            if self.max_slack is not None:
+                kwargs["max_slack"] = self.max_slack
+            return shape_trace(shape, seed_like, topology=topology, **kwargs)
+        out = self.generate(rng=rng)
+        instance = out[0] if isinstance(out, tuple) else out
+        return record_instance(
+            instance,
+            shape=self.family,
+            seed=self.seed if isinstance(self.seed, int) else None,
+            spec=self.to_dict(),
+        )
+
+
+def generate(spec: WorkloadSpec | dict[str, Any], *, rng: Any = None) -> Any:
+    """Generate the workload a spec describes — the unified entrypoint.
+
+    Accepts a :class:`WorkloadSpec` or its ``to_dict`` document.  Output
+    is identical to calling the family's legacy generator with the same
+    seed: ``generate(WorkloadSpec("general", seed=7, n=16))`` ==
+    ``general_instance(7, n=16)``.
+    """
+    if isinstance(spec, dict):
+        spec = WorkloadSpec.from_dict(spec)
+    if not isinstance(spec, WorkloadSpec):
+        raise TypeError(
+            f"expected a WorkloadSpec or spec dict, got {type(spec).__name__}"
+        )
+    return spec.generate(rng=rng)

@@ -20,7 +20,10 @@ def uniform_slack_instance(
     slack: int = 3,
     max_release: int = 20,
 ) -> Instance:
-    """Every message has exactly the given slack (Theorem 4.1's premise)."""
+    """Every message has exactly the given slack (Theorem 4.1's premise).
+
+    Spec family ``"uniform_slack"`` (see :func:`repro.workloads.generate`).
+    """
     if slack < 0:
         raise ValueError("slack must be non-negative")
     msgs = []
@@ -42,7 +45,10 @@ def uniform_span_instance(
     max_release: int = 20,
     max_slack: int = 6,
 ) -> Instance:
-    """Every message travels exactly ``span`` hops (Theorem 4.2's premise)."""
+    """Every message travels exactly ``span`` hops (Theorem 4.2's premise).
+
+    Spec family ``"uniform_span"`` (see :func:`repro.workloads.generate`).
+    """
     if not (1 <= span <= n - 1):
         raise ValueError(f"span {span} does not fit an {n}-node line")
     msgs = []
@@ -62,7 +68,10 @@ def static_instance(
     k: int = 20,
     max_slack: int = 6,
 ) -> Instance:
-    """Every message is released at time zero (Theorem 4.3's premise)."""
+    """Every message is released at time zero (Theorem 4.3's premise).
+
+    Spec family ``"static"`` (see :func:`repro.workloads.generate`).
+    """
     msgs = []
     for i in range(k):
         span = int(rng.integers(1, n))

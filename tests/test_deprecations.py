@@ -107,6 +107,31 @@ class TestTopologySolverAliases:
             legacy(ring_inst)
 
 
+class TestNetworkTraceShim:
+    """repro.network.trace moved to repro.trace.events (PR9 naming split)."""
+
+    def test_old_home_warns_and_matches(self, warn_mode):
+        import repro.network.trace as legacy
+        from repro.trace import events
+
+        with pytest.warns(ReproDeprecationWarning, match="repro.trace.events"):
+            assert legacy.TraceEvent is events.TraceEvent
+        with pytest.warns(ReproDeprecationWarning):
+            assert legacy.TracingPolicy is events.TracingPolicy
+
+    def test_old_home_escalates_under_env(self):
+        import repro.network.trace as legacy
+
+        with pytest.raises(ReproDeprecationWarning):
+            legacy.TraceEvent
+
+    def test_unrelated_attribute_still_missing_normally(self):
+        import repro.network.trace as legacy
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            legacy.not_a_trace_thing
+
+
 class TestRemovedAliases:
     """Names past their removal cycle raise, and the error names the new API."""
 

@@ -27,7 +27,7 @@ from repro.io import (
     save_schedule,
     load_instance,
 )
-from repro.network.trace import TracingPolicy
+from repro.trace.events import TracingPolicy
 from repro.viz.gantt import link_gantt
 from repro.viz.lattice import render_schedule
 from repro.workloads import general_instance, multimedia_instance

@@ -245,7 +245,7 @@ class TestIdleFastForward:
 
     def test_tracing_policy_inherits_flag(self):
         from repro.core.dbfl import DBFLPolicy
-        from repro.network.trace import TracingPolicy
+        from repro.trace.events import TracingPolicy
 
         assert TracingPolicy(GreedyFIFO()).idle_skippable is True
         assert TracingPolicy(DBFLPolicy()).idle_skippable is False

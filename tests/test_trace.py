@@ -4,7 +4,7 @@ from repro.baselines import EDFPolicy
 from repro.core.dbfl import DBFLPolicy
 from repro.core.instance import make_instance
 from repro.network import simulate
-from repro.network.trace import TraceEvent, TracingPolicy
+from repro.trace.events import TraceEvent, TracingPolicy
 
 
 class TestTracingPolicy:
