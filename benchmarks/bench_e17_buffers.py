@@ -1,0 +1,22 @@
+"""E17 — bounded buffers: ``method="ca"`` vs exact OPT_B."""
+
+from conftest import single_round
+
+from repro.experiments import e17_buffers
+
+
+def test_e17_buffers(benchmark, show):
+    table = single_round(benchmark, lambda: e17_buffers.run(trials=4))
+    show('E17: method="ca" throughput ratio vs exact OPT_B', table)
+    for row in table.rows:
+        # the reservation pass never schedules past the exact optimum,
+        # and the ratio tightens as capacity grows
+        assert 0.0 <= row["min_ratio"] <= row["mean_ratio"] <= 1.0
+    by_n = {}
+    for row in table.rows:
+        by_n.setdefault(row["n"], []).append(row)
+    for rows in by_n.values():
+        # greedy admission is not provably monotone in capacity, so only
+        # the endpoints are compared: unbounded never trails bufferless
+        assert rows[0]["capacity"] == 0 and rows[-1]["capacity"] == "inf"
+        assert rows[-1]["mean_ratio"] >= rows[0]["mean_ratio"]

@@ -17,8 +17,9 @@ selects the machine model; ``method`` the algorithm family.  Three
 regimes exist:
 
 * ``"bufferless"`` — offline, no waiting after departure;
-* ``"buffered"`` — offline, store-and-forward with (by default
-  unbounded) per-node buffers;
+* ``"buffered"`` — offline, store-and-forward with per-node buffers
+  (unbounded by default; ``Instance.buffer_capacity`` bounds them, with
+  the admission policies of :mod:`repro.buffers`);
 * ``"online"`` — messages are revealed at their release times, every
   admit/launch/drop decision is irrevocable, and the result carries an
   empirical ``competitive_ratio`` against the offline optimum on the
@@ -35,21 +36,28 @@ line      bufferless    ``exact`` (``solver="milp"|"bnb"|"auto"``),
                         ``bfl`` (``tie_break=``, ``clip_slack=``),
                         ``greedy`` (``order=``, ``rng=``)
 line      buffered      ``exact`` (``solver="milp"|"bruteforce"``),
-                        ``bfl`` (D-BFL; ``buffer_capacity=``),
-                        ``greedy`` (``policy=``, ``buffer_capacity=``)
+                        ``bfl`` (D-BFL; ``buffer_capacity=``,
+                        ``admission=``),
+                        ``ca`` (Even–Medina–Rosén constant
+                        approximation; ``buffer_capacity=``),
+                        ``greedy`` (``policy=``, ``buffer_capacity=``,
+                        ``admission=``)
 line      online        ``bfl``, ``dbfl``, ``greedy`` (``baseline=``,
-                        ``faults=``, ``buffer_capacity=``, ``policy=``)
+                        ``faults=``, ``buffer_capacity=``,
+                        ``admission=``, ``policy=``)
 ring      bufferless    ``exact`` (candidate-departure MILP,
                         ``time_limit=``), ``bfl`` (helix JISP greedy)
 ring      buffered      ``exact`` (time-indexed MILP, ``time_limit=``),
-                        ``greedy`` (``policy=``, ``buffer_capacity=``)
+                        ``greedy`` (``policy=``, ``buffer_capacity=``,
+                        ``admission=``)
 ring      online        ``greedy`` (``baseline=``, ``faults=``,
                         ``buffer_capacity=``, ``policy=``)
 mesh      bufferless    ``exact`` (two-phase XY MILP,
                         ``conversion_delay=``, ``time_limit=``),
                         ``bfl`` (XY + BFL per row/column),
                         ``greedy`` (``order="edf"|"arrival"``)
-mesh      buffered      ``greedy`` (``policy=``, ``buffer_capacity=``)
+mesh      buffered      ``greedy`` (``policy=``, ``buffer_capacity=``,
+                        ``admission=``)
 ========  ============  =============================================
 
 A missing combination raises a :class:`~repro.errors.ConfigError`
@@ -101,7 +109,7 @@ REGIMES = ("bufferless", "buffered", "online")
 #: not change.
 DISPATCH = _topology.dispatch_matrix()
 #: Union of all method names across regimes.
-METHODS = ("exact", "bfl", "dbfl", "greedy")
+METHODS = ("exact", "bfl", "ca", "dbfl", "greedy")
 
 
 @dataclass(frozen=True)
@@ -151,6 +159,14 @@ class ScheduleResult:
     workload that produced it.  Ad-hoc solves leave it ``None`` and
     :meth:`to_dict` omits the key.
 
+    ``buffers`` is the bounded-buffer provenance block —
+    ``{"capacity": int | None, "admission": str}`` — stamped whenever
+    the solve ran against a finite buffer capacity (from the instance's
+    ``buffer_capacity`` or a ``buffer_capacity=`` option) or a
+    non-default admission policy.  Unbounded solves leave it ``None``
+    and :meth:`to_dict` omits the key, keeping v4-era payloads
+    byte-identical.
+
     ``stream`` is set on online solves only: the full
     :class:`~repro.online.StreamResult` of the run (decision log, drop
     attribution, stats).  It is a local-process convenience — it does not
@@ -169,6 +185,7 @@ class ScheduleResult:
     topology: str = "line"
     request: dict[str, Any] | None = None
     workload: dict[str, Any] | None = None
+    buffers: dict[str, Any] | None = None
     stream: Any = field(default=None, compare=False, repr=False)
 
     #: Version of the :meth:`to_dict` serialization schema (bump on any
@@ -176,8 +193,9 @@ class ScheduleResult:
     #: v2 added the ``topology`` field and per-topology ``schedule``
     #: documents; v3 added the optional ``request`` telemetry block and
     #: the lossless :meth:`from_dict` inverse; v4 added the optional
-    #: ``workload`` provenance block.
-    SCHEMA_VERSION = 4
+    #: ``workload`` provenance block; v5 added the optional ``buffers``
+    #: provenance block (bounded buffer capacity + admission policy).
+    SCHEMA_VERSION = 5
 
     @property
     def delivered(self) -> int:
@@ -238,6 +256,8 @@ class ScheduleResult:
             out["request"] = _jsonable(self.request)
         if self.workload is not None:
             out["workload"] = _jsonable(self.workload)
+        if self.buffers is not None:
+            out["buffers"] = _jsonable(self.buffers)
         return out
 
     @classmethod
@@ -247,7 +267,8 @@ class ScheduleResult:
         Accepts every schema version up to :data:`SCHEMA_VERSION` — v1
         payloads (no ``topology`` field) parse as line results, v2
         payloads (no ``request`` block) parse with ``request=None``, v3
-        payloads (no ``workload`` block) with ``workload=None`` — so
+        payloads (no ``workload`` block) with ``workload=None``, v4
+        payloads (no ``buffers`` block) with ``buffers=None`` — so
         archived results and older servers keep deserializing.  The
         embedded ``schedule`` document is delegated to the topology's
         ``schedule_from_dict``, which re-runs the model validators.
@@ -274,6 +295,7 @@ class ScheduleResult:
             raise ValueError(f"missing field {exc} in result data") from exc
         request = data.get("request")
         workload = data.get("workload")
+        buffers = data.get("buffers")
         return cls(
             schedule=schedule,
             regime=regime,
@@ -287,6 +309,7 @@ class ScheduleResult:
             topology=topo_name,
             request=dict(request) if request is not None else None,
             workload=dict(workload) if workload is not None else None,
+            buffers=dict(buffers) if buffers is not None else None,
         )
 
 
@@ -408,7 +431,19 @@ def solve(
             f"budget= only applies to method='exact' solves, not method={method!r}"
         )
     from .backend import resolve_backend, use_backend
+    from .buffers import DEFAULT_ADMISSION
     from .errors import BudgetExceeded
+
+    # Bounded-buffer provenance: the effective capacity is the option if
+    # given, else the instance's own; captured here because the adapter
+    # consumes the opts dict.
+    eff_capacity = opts.get("buffer_capacity")
+    if eff_capacity is None:
+        eff_capacity = getattr(instance, "buffer_capacity", None)
+    eff_admission = opts.get("admission", DEFAULT_ADMISSION)
+    buffers_block: dict[str, Any] | None = None
+    if eff_capacity is not None or eff_admission != DEFAULT_ADMISSION:
+        buffers_block = {"capacity": eff_capacity, "admission": eff_admission}
 
     backend = resolve_backend(opts.pop("backend", None))
     fn = _topology.solver_for(topo.name, regime, method)
@@ -493,6 +528,7 @@ def solve(
         competitive_ratio=ratio,
         topology=topo.name,
         workload=dict(workload) if workload is not None else None,
+        buffers=buffers_block,
         stream=stream,
     )
 

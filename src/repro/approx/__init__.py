@@ -1,0 +1,14 @@
+"""Constant-approximation solvers from the post-paper literature.
+
+The paper's Algorithm BFL guarantees an ``Omega(1/log Lambda)`` fraction
+of the optimal throughput; Even, Medina and Rosén (*A Constant
+Approximation Algorithm for Scheduling Packets on Line Networks*,
+PAPERS.md) later closed the gap to a constant factor, and their
+guarantee survives *bounded* per-node buffers.  This package hosts that
+solver family, exposed through the facade as ``method="ca"`` in the
+``(topology, regime, method)`` dispatch table.
+"""
+
+from .ca import CAResult, ca_schedule
+
+__all__ = ["CAResult", "ca_schedule"]

@@ -29,6 +29,9 @@ class EDFPolicy(Policy):
             return None
         return min(view.candidates, key=lambda p: (p.deadline, p.id))
 
+    def eviction_key(self, packet: Packet) -> tuple:
+        return (packet.deadline, packet.id)
+
 
 class MinLaxityPolicy(Policy):
     """Least laxity first: forward the packet that can least afford to wait."""
@@ -38,6 +41,18 @@ class MinLaxityPolicy(Policy):
             return None
         return min(view.candidates, key=lambda p: (p.laxity(view.time), p.deadline, p.id))
 
+    def eviction_key(self, packet: Packet) -> tuple:
+        # laxity(t) = deadline - t - hops_remaining; the -t term is shared
+        # by every contestant at one node and step, so (deadline -
+        # hops_remaining) preserves the select order without needing the
+        # clock.  hops_remaining = span - hops_done for a buffered packet.
+        hops_done = len(packet.crossings)
+        return (
+            packet.deadline - packet.message.span + hops_done,
+            packet.deadline,
+            packet.id,
+        )
+
 
 class FCFSPolicy(Policy):
     """Oldest release first (first-come-first-served)."""
@@ -46,6 +61,9 @@ class FCFSPolicy(Policy):
         if not view.candidates:
             return None
         return min(view.candidates, key=lambda p: (p.message.release, p.id))
+
+    def eviction_key(self, packet: Packet) -> tuple:
+        return (packet.message.release, packet.id)
 
 
 class NearestDestPolicy(Policy):
@@ -61,6 +79,9 @@ class NearestDestPolicy(Policy):
         return min(
             view.candidates, key=lambda p: (p.dest, -p.message.source, p.id)
         )
+
+    def eviction_key(self, packet: Packet) -> tuple:
+        return (packet.dest, -packet.message.source, packet.id)
 
 
 def run_policy(

@@ -120,7 +120,16 @@ def main(argv: list[str] | None = None) -> int:
     bench_p.add_argument(
         "suite",
         nargs="?",
-        choices=("all", "online", "topology", "kernels", "serve", "chaos", "loadtest"),
+        choices=(
+            "all",
+            "online",
+            "topology",
+            "kernels",
+            "serve",
+            "chaos",
+            "loadtest",
+            "buffers",
+        ),
         default="all",
         help="'all' (default): kernel + sweep + obs -> BENCH_PR1.json; "
         "'online': decisions/sec + competitive ratio -> BENCH_PR4.json; "
@@ -130,7 +139,9 @@ def main(argv: list[str] | None = None) -> int:
         "'serve': loopback server load test -> BENCH_PR7.json; "
         "'chaos': fault-injection robustness smoke -> BENCH_PR8.json; "
         "'loadtest': trace replay against a loopback server -> "
-        "BENCH_PR9.json",
+        "BENCH_PR9.json; "
+        "'buffers': bounded-buffer model (ca ratio, backend parity) -> "
+        "BENCH_PR10.json",
     )
     bench_p.add_argument("--seed", type=int, default=2024)
     bench_p.add_argument("--trials", type=int, default=10, help="sweep cells per size")
@@ -528,6 +539,17 @@ def _bench(suite: str, seed: int, trials: int, jobs: int, out: str | None) -> in
         out = "BENCH_PR9.json" if out is None else out
         payload = run_loadtest_benchmarks(seed=seed, out=None if out == "-" else out)
         print(render_loadtest_summary(payload))
+    elif suite == "buffers":
+        from .engine.bench_buffers import (
+            render_buffers_summary,
+            run_buffers_benchmarks,
+        )
+
+        out = "BENCH_PR10.json" if out is None else out
+        payload = run_buffers_benchmarks(
+            seed=seed, trials=trials, out=None if out == "-" else out
+        )
+        print(render_buffers_summary(payload))
     elif suite == "kernels":
         from .engine.bench import render_backend_summary, run_backend_benchmarks
 

@@ -83,21 +83,37 @@ class DBFLPolicy(Policy):
         self._l_in[node] = int(value)  # type: ignore[arg-type]
 
 
+_UNSET = object()
+
+
 def dbfl(
     instance: Instance,
     *,
-    buffer_capacity: int | None = None,
+    buffer_capacity=_UNSET,
     faults=None,
 ) -> SimulationResult:
     """Run D-BFL on ``instance`` and return the simulation result.
 
     With unbounded buffers (the paper's setting) the delivered set equals
     ``bfl(instance)``'s, message for message and delivery-line for
-    delivery-line (Theorem 5.2).  ``buffer_capacity`` exists for the
-    finite-buffer ablation and ``faults`` (a
-    :class:`~repro.network.faults.FaultPlan`) for the fault-injection
-    experiments; both void that guarantee.
+    delivery-line (Theorem 5.2).  Bounded buffers and ``faults`` (a
+    :class:`~repro.network.faults.FaultPlan`) void that guarantee.
+
+    Buffer capacity is a model dimension now: set it on the instance
+    (``Instance.buffer_capacity`` /
+    :meth:`~repro.core.instance.Instance.with_buffer_capacity`) and the
+    simulator picks it up.  The historical ``buffer_capacity=`` kwarg
+    still works but warns :class:`~repro._deprecation.ReproDeprecationWarning`.
     """
+    if buffer_capacity is _UNSET:
+        buffer_capacity = None  # defer to the instance's own capacity
+    else:
+        from .._deprecation import warn_deprecated
+
+        warn_deprecated(
+            "repro.core.dbfl.dbfl(buffer_capacity=...)",
+            "Instance.buffer_capacity (e.g. instance.with_buffer_capacity(cap))",
+        )
     return simulate(
         instance, DBFLPolicy(), buffer_capacity=buffer_capacity, faults=faults
     )

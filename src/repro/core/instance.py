@@ -43,15 +43,27 @@ class Instance:
         ``"ring"``/``"mesh"`` instead.  Kept out of
         :meth:`canonical_form` for the default so existing cache keys,
         pickles and JSON documents are unchanged.
+    buffer_capacity:
+        Max packets buffered per intermediate node; ``None`` (the
+        default — the paper's setting) means unbounded.  A first-class
+        model dimension: simulators enforce it, ``validate`` checks
+        schedules against it, and serializers/wire formats carry it.
+        Like ``topology``, the default stays out of
+        :meth:`canonical_form`, so unbounded instances keep their
+        historic cache keys, pickles and JSON documents byte for byte.
     """
 
     n: int
     messages: tuple[Message, ...] = field(default_factory=tuple)
     topology: str = "line"
+    buffer_capacity: int | None = None
 
     def __post_init__(self) -> None:
         if self.n < 2:
             raise ValueError(f"a linear network needs at least 2 nodes, got n={self.n}")
+        from ..buffers import check_capacity
+
+        check_capacity(self.buffer_capacity)
         seen: set[int] = set()
         for m in self.messages:
             if m.id in seen:
@@ -161,12 +173,18 @@ class Instance:
         """
         lr = tuple(m for m in self.messages if m.direction == Direction.LEFT_TO_RIGHT)
         rl = tuple(m for m in self.messages if m.direction == Direction.RIGHT_TO_LEFT)
-        return Instance(self.n, lr, self.topology), Instance(self.n, rl, self.topology)
+        return (
+            Instance(self.n, lr, self.topology, self.buffer_capacity),
+            Instance(self.n, rl, self.topology, self.buffer_capacity),
+        )
 
     def mirrored(self) -> "Instance":
         """Reflect every message across the network's centre (RL <-> LR)."""
         return Instance(
-            self.n, tuple(m.mirrored(self.n) for m in self.messages), self.topology
+            self.n,
+            tuple(m.mirrored(self.n) for m in self.messages),
+            self.topology,
+            self.buffer_capacity,
         )
 
     # ------------------------------------------------------------------ #
@@ -177,13 +195,19 @@ class Instance:
         """Keep only the messages whose id is in ``ids``."""
         keep = set(ids)
         return Instance(
-            self.n, tuple(m for m in self.messages if m.id in keep), self.topology
+            self.n,
+            tuple(m for m in self.messages if m.id in keep),
+            self.topology,
+            self.buffer_capacity,
         )
 
     def filter(self, predicate: Callable[[Message], bool]) -> "Instance":
         """Keep only the messages satisfying ``predicate``."""
         return Instance(
-            self.n, tuple(m for m in self.messages if predicate(m)), self.topology
+            self.n,
+            tuple(m for m in self.messages if predicate(m)),
+            self.topology,
+            self.buffer_capacity,
         )
 
     def drop_infeasible(self) -> "Instance":
@@ -204,6 +228,7 @@ class Instance:
             self.n,
             tuple(m.clipped_slack(max_slack) for m in self.messages),
             self.topology,
+            self.buffer_capacity,
         )
 
     def translated(self, dnode: int = 0, dtime: int = 0, *, n: int | None = None) -> "Instance":
@@ -212,7 +237,15 @@ class Instance:
             n if n is not None else self.n,
             tuple(m.translated(dnode, dtime) for m in self.messages),
             self.topology,
+            self.buffer_capacity,
         )
+
+    def with_buffer_capacity(self, capacity: int | None) -> "Instance":
+        """Same messages, on nodes that buffer at most ``capacity`` packets.
+
+        ``None`` restores the paper's unbounded setting.
+        """
+        return Instance(self.n, self.messages, self.topology, capacity)
 
     def merged_with(self, other: "Instance", *, n: int | None = None) -> "Instance":
         """Disjoint union, renumbering ``other``'s ids after ours."""
@@ -222,6 +255,7 @@ class Instance:
             n if n is not None else max(self.n, other.n),
             self.messages + renumbered,
             self.topology,
+            self.buffer_capacity,
         )
 
     # ------------------------------------------------------------------ #
@@ -235,7 +269,9 @@ class Instance:
         equal canonical forms regardless of tuple order, so a cache keyed
         on the form never conflates distinct workloads and never misses a
         genuine repeat.  The topology tag joins the form only when it is
-        not the default ``"line"``, keeping historic cache keys stable.
+        not the default ``"line"``, and the buffer capacity only when it
+        is not the default ``None`` (as a tagged ``("buffer_capacity",
+        cap)`` pair), keeping historic cache keys stable.
         """
         form = (
             self.n,
@@ -246,6 +282,8 @@ class Instance:
         )
         if self.topology != "line":
             form += (self.topology,)
+        if self.buffer_capacity is not None:
+            form += (("buffer_capacity", self.buffer_capacity),)
         return form
 
     @property
@@ -260,8 +298,11 @@ class Instance:
         if cached is None:
             n, rows, *rest = self.canonical_form()
             payload = f"n={n};" + ";".join(",".join(map(str, row)) for row in rows)
-            if rest:
-                payload += f";topology={rest[0]}"
+            for extra in rest:
+                if isinstance(extra, str):
+                    payload += f";topology={extra}"
+                else:  # tagged (name, value) pair, e.g. ("buffer_capacity", 2)
+                    payload += f";{extra[0]}={extra[1]}"
             cached = hashlib.sha256(payload.encode("ascii")).hexdigest()
             object.__setattr__(self, "_content_hash_cache", cached)
         return cached

@@ -55,13 +55,20 @@ def schedule_problems(
         regime).
     buffer_capacity:
         If given, flag nodes whose peak simultaneous buffer occupancy
-        exceeds this many messages (the paper's algorithms assume unbounded
-        buffers; the simulator ablation A2 uses finite ones).
+        exceeds this many messages.  Defaults to the instance's own
+        ``buffer_capacity`` (``None`` — the paper's unbounded setting —
+        unless the workload sets it), so bounded instances are checked
+        against their capacity automatically.  Occupancy counts transit
+        buffering only (:meth:`Schedule.max_buffer_occupancy` excludes
+        source-side waiting), matching the simulator's unbounded source
+        buffers.
 
     Non-line instances (``instance.topology != "line"``) delegate to the
     registered topology, which accepts the same keyword options where they
     make sense for the shape.
     """
+    if buffer_capacity is None:
+        buffer_capacity = getattr(instance, "buffer_capacity", None)
     if getattr(instance, "topology", "line") != "line":
         from .. import topology as topology_pkg
 

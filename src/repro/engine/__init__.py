@@ -26,6 +26,7 @@ from .cache import (
     CacheStats,
     ResultCache,
     cached_bfl,
+    cached_ca,
     cached_call,
     cached_opt_buffered,
     cached_opt_bufferless,
@@ -42,6 +43,7 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "cached_bfl",
+    "cached_ca",
     "cached_call",
     "cached_opt_buffered",
     "cached_opt_bufferless",

@@ -1,0 +1,181 @@
+"""The ``repro bench buffers`` suite: bounded-buffer model baseline.
+
+Three sections, all on fixed seeds so runs are comparable across commits:
+
+* **ratio** — the E17 sweep (``method="ca"`` greedy reservation vs the
+  exact buffered optimum) across per-node capacities; ``min_ratio`` per
+  row is the empirical approximation quality the constant-approximation
+  family actually achieves;
+* **parity** — the bounded simulator (capacity enforcement + admission
+  policies) on python vs numpy backends, equality-checked before timing,
+  so the vectorized bounded path can never be fast by being wrong;
+* **overhead** — bounded vs unbounded simulation of the same workload on
+  both backends: what capacity enforcement costs per step.
+
+``repro bench buffers`` runs :func:`run_buffers_benchmarks` and writes
+``BENCH_PR10.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from .. import obs
+from ..baselines import EDFPolicy
+from ..buffers import ADMISSION_POLICIES
+from ..network.simulator import simulate
+from ..perf import best_of
+from .bench import _sim_parity, contended_instance
+
+__all__ = [
+    "bench_buffers",
+    "render_buffers_summary",
+    "run_buffers_benchmarks",
+]
+
+BUFFER_SIZES = ((64, 1500), (128, 4000))
+BUFFER_CAPACITIES = (1, 2)
+
+
+def bench_buffers(
+    *,
+    seed: int = 2024,
+    sizes=BUFFER_SIZES,
+    capacities=BUFFER_CAPACITIES,
+    ratio_trials: int = 8,
+    repeats: int = 3,
+) -> dict[str, Any]:
+    """Measure the bounded-buffer dimension; see the module docstring."""
+    from ..experiments.e17_buffers import _run as e17_run
+
+    ratio_table = e17_run(seed=seed, trials=ratio_trials, jobs=1)
+    ratio = {
+        "cases": list(ratio_table.rows),
+        "min_ratio": min(r["min_ratio"] for r in ratio_table.rows),
+    }
+
+    parity_cases = []
+    overhead_cases = []
+    for n, k in sizes:
+        inst = contended_instance(seed, n, k)
+        for cap in capacities:
+            capped = inst.with_buffer_capacity(cap)
+            for admission in ADMISSION_POLICIES:
+                py = simulate(capped, EDFPolicy(), admission=admission, backend="python")
+                vec = simulate(capped, EDFPolicy(), admission=admission, backend="numpy")
+                _sim_parity(py, vec, f"bounded n={n} cap={cap} {admission}")
+                py_s = best_of(
+                    lambda: simulate(
+                        capped, EDFPolicy(), admission=admission, backend="python"
+                    ),
+                    repeats=repeats,
+                )
+                vec_s = best_of(
+                    lambda: simulate(
+                        capped, EDFPolicy(), admission=admission, backend="numpy"
+                    ),
+                    repeats=repeats,
+                )
+                steps = py.stats.steps
+                parity_cases.append(
+                    {
+                        "n": n,
+                        "messages": k,
+                        "capacity": cap,
+                        "admission": admission,
+                        "steps": steps,
+                        "delivered": py.stats.delivered,
+                        "overflow_drops": py.stats.buffer_overflow_drops,
+                        "python_seconds": py_s,
+                        "numpy_seconds": vec_s,
+                        "speedup": py_s / vec_s if vec_s else float("inf"),
+                    }
+                )
+
+        for backend in ("python", "numpy"):
+            free_s = best_of(
+                lambda: simulate(inst, EDFPolicy(), backend=backend), repeats=repeats
+            )
+            bound_s = best_of(
+                lambda: simulate(
+                    inst.with_buffer_capacity(capacities[0]),
+                    EDFPolicy(),
+                    backend=backend,
+                ),
+                repeats=repeats,
+            )
+            overhead_cases.append(
+                {
+                    "n": n,
+                    "messages": k,
+                    "backend": backend,
+                    "capacity": capacities[0],
+                    "unbounded_seconds": free_s,
+                    "bounded_seconds": bound_s,
+                    "overhead": bound_s / free_s if free_s else float("inf"),
+                }
+            )
+
+    return {
+        "ratio": ratio,
+        "parity": {
+            "cases": parity_cases,
+            "min_speedup": min(c["speedup"] for c in parity_cases),
+        },
+        "overhead": {"cases": overhead_cases},
+    }
+
+
+def run_buffers_benchmarks(
+    *,
+    seed: int = 2024,
+    trials: int = 8,
+    out: str | Path | None = None,
+) -> dict[str, Any]:
+    """The ``repro bench buffers`` suite; writes ``BENCH_PR10.json``."""
+    tr = obs.tracer()
+    t0 = time.perf_counter()
+    buffers = bench_buffers(seed=seed, ratio_trials=trials)
+    elapsed = time.perf_counter() - t0
+    tr.record_span("bench.buffers", t0, t0 + elapsed)
+    payload = {
+        "benchmark": "repro bounded-buffer baseline",
+        "cpu_count": os.cpu_count(),
+        "buffers": buffers,
+        "phases": [{"name": "buffers", "seconds": elapsed}],
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def render_buffers_summary(payload: dict[str, Any]) -> str:
+    """Human-readable digest of a :func:`run_buffers_benchmarks` payload."""
+    b = payload["buffers"]
+    lines = ["buffers bench (bounded model: ca ratio, backend parity, overhead)"]
+    for c in b["ratio"]["cases"]:
+        lines.append(
+            f"  ratio  n={c['n']:<3} cap={c['capacity']:<4} "
+            f"ca {c['ca']:6.2f} / opt_b {c['opt_b']:6.2f}   "
+            f"min {c['min_ratio']:.3f}  mean {c['mean_ratio']:.3f}"
+        )
+    for c in b["parity"]["cases"]:
+        lines.append(
+            f"  parity n={c['n']:<4} cap={c['capacity']} "
+            f"{c['admission']:<22} overflow {c['overflow_drops']:<6} "
+            f"speedup {c['speedup']:5.1f}x"
+        )
+    for c in b["overhead"]["cases"]:
+        lines.append(
+            f"  ovhd   n={c['n']:<4} {c['backend']:<7} "
+            f"bounded/unbounded {c['overhead']:.2f}x"
+        )
+    lines.append(
+        f"  min ca ratio {b['ratio']['min_ratio']:.3f}, "
+        f"min bounded speedup {b['parity']['min_speedup']:.1f}x"
+    )
+    return "\n".join(lines)

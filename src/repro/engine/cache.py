@@ -40,6 +40,7 @@ __all__ = [
     "configure",
     "cached_call",
     "cached_bfl",
+    "cached_ca",
     "cached_opt_bufferless",
     "cached_opt_buffered",
 ]
@@ -112,6 +113,12 @@ class ResultCache:
         though the backends are bit-identical by contract, a cross-hit
         would silently mask a parity regression.  Backend-oblivious
         callers keep their historical keys.
+
+        Model dimensions that live *on the instance* — including
+        ``buffer_capacity`` — are already part of ``content_hash``, so
+        bounded and unbounded workloads never alias; per-call model
+        options (``buffer_capacity=`` overrides, ``admission=``) must be
+        passed through ``params`` to reach the key.
         """
         spec = "" if not params else repr(sorted(params.items()))
         base = f"{solver}:{instance.content_hash}:{spec}"
@@ -257,6 +264,20 @@ def cached_bfl(instance: Instance, *, clip_slack: bool = False, backend: str | N
     return default_cache().call(
         "bfl", run, instance, backend=resolved, clip_slack=clip_slack
     )
+
+
+def cached_ca(instance: Instance, **params: Any):
+    """Memoized constant-approximation reservation pass (``method="ca"``).
+
+    The instance's own ``buffer_capacity`` is part of its
+    ``content_hash`` (see ``Instance.canonical_form``), so bounded and
+    unbounded variants of the same message set never alias; an explicit
+    ``buffer_capacity=`` override travels through ``params`` and
+    segregates the key the same way.
+    """
+    from ..approx import ca_schedule
+
+    return cached_call("ca", ca_schedule, instance, **params)
 
 
 def cached_opt_bufferless(instance: Instance, **params: Any):

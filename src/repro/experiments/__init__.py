@@ -22,6 +22,7 @@ E13    delivery ratio vs slack budget (deadline-tightness curve)
 E14    mesh extension — dimension-order routing over line schedulers
 E15    fault injection — delivery under drops, dead links, stalls
 E16    online regime — empirical competitive ratio vs load and slack
+E17    bounded buffers — method="ca" ratio vs exact OPT_B
 A1     ablation — tie-breaking rules
 A2     ablation — finite buffer capacities
 =====  ============================================================
@@ -44,6 +45,7 @@ from . import (
     e14_mesh,
     e15_faults,
     e16_online,
+    e17_buffers,
     a1_tiebreak,
     a2_buffers,
 )
@@ -65,6 +67,7 @@ ALL = {
     "e14": e14_mesh,
     "e15": e15_faults,
     "e16": e16_online,
+    "e17": e17_buffers,
     "a1": a1_tiebreak,
     "a2": a2_buffers,
 }

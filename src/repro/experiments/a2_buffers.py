@@ -38,8 +38,9 @@ def _run(*, seed: int = 2024, trials: int = 10) -> Table:
         for cap in CAPACITIES:
             dbfl_sum = edf_sum = overflow = 0
             for inst in instances:
-                d = dbfl(inst, buffer_capacity=cap)
-                e = simulate(inst, EDFPolicy(), buffer_capacity=cap)
+                capped = inst if cap is None else inst.with_buffer_capacity(cap)
+                d = dbfl(capped)
+                e = simulate(capped, EDFPolicy())
                 dbfl_sum += d.throughput
                 edf_sum += e.throughput
                 overflow += d.stats.buffer_overflow_drops + e.stats.buffer_overflow_drops

@@ -53,7 +53,7 @@ _VERSION = 1
 
 
 def instance_to_dict(instance: Instance) -> dict[str, Any]:
-    return {
+    out = {
         "format": _INSTANCE_FORMAT,
         "version": _VERSION,
         "n": instance.n,
@@ -68,6 +68,11 @@ def instance_to_dict(instance: Instance) -> dict[str, Any]:
             for m in instance
         ],
     }
+    # Emitted only when set so unbounded documents stay byte-identical
+    # to the historic format.
+    if instance.buffer_capacity is not None:
+        out["buffer_capacity"] = instance.buffer_capacity
+    return out
 
 
 def instance_from_dict(data: dict[str, Any]) -> Instance:
@@ -83,7 +88,10 @@ def instance_from_dict(data: dict[str, Any]) -> Instance:
             )
             for row in data["messages"]
         )
-        return Instance(int(data["n"]), messages)
+        cap = data.get("buffer_capacity")
+        return Instance(
+            int(data["n"]), messages, buffer_capacity=None if cap is None else int(cap)
+        )
     except KeyError as exc:
         raise ValueError(f"missing field {exc} in instance data") from exc
 

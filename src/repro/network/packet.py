@@ -94,7 +94,7 @@ class Packet:
 
     def mark_dropped(self, time: int, reason: str = "deadline") -> None:
         """Drop the packet; ``reason`` is ``"deadline"`` (hopeless or past
-        the horizon), ``"overflow"`` (finite buffer full) or ``"fault"``
+        the horizon), ``"buffer_full"`` (finite buffer full) or ``"fault"``
         (lost to the fault plan)."""
         self.status = PacketStatus.DROPPED
         self.dropped_at = time

@@ -64,6 +64,20 @@ class Policy:
         """
         raise NotImplementedError
 
+    def eviction_key(self, packet: Packet) -> tuple:
+        """Priority key for bounded-buffer admission contests.
+
+        When a packet arrives at a full buffer under the
+        ``"evict-lowest-priority"`` admission policy
+        (:mod:`repro.buffers`), the packet with the *maximum* eviction
+        key loses its slot — so this must be the same order
+        :meth:`select` minimises, and subclasses that override
+        :meth:`select` with a different priority should override this to
+        match.  The default is EDF order, mirroring the base deadline
+        contest.
+        """
+        return (packet.deadline, packet.id)
+
     # ------------------------------------------------------------------ #
     # Control channel (one value per node per step, moving one hop right)
     # ------------------------------------------------------------------ #

@@ -5,7 +5,10 @@ One step of the synchronous network, at time ``t``:
 1. **Arrivals** — packets that crossed a link during ``[t-1, t]`` join the
    downstream node's buffer (or are delivered if that node is their
    destination).  With a finite ``buffer_capacity``, a packet arriving at a
-   full intermediate buffer is dropped (ablation A2).
+   full intermediate buffer triggers the admission contest of
+   :mod:`repro.buffers` — under the default ``"drop-new"`` policy the
+   arrival itself is dropped (``drop_reason="buffer_full"``); the
+   eviction policies may instead displace a buffered transit packet.
 2. **Control delivery** — control values emitted at ``t-1`` reach the next
    node (policy hook).
 3. **Releases** — messages with ``release == t`` materialise at their
@@ -47,6 +50,7 @@ from typing import Any, Hashable
 
 from .. import obs
 from ..backend import resolve_backend
+from ..buffers import DEFAULT_ADMISSION, admission_victim, check_admission, check_capacity
 from .faults import FaultPlan
 from .packet import Packet, PacketStatus
 from .policy import NodeView, Policy
@@ -63,8 +67,9 @@ class SimulationResult:
     ``RingSchedule`` on rings, ``MeshSchedule`` on meshes).
     ``drop_events`` attributes every drop: ``(message_id, time, reason)``
     with reason ``"deadline"`` (hopeless / past the horizon),
-    ``"overflow"`` (finite buffer full) or ``"fault"`` (lost to the
-    fault plan), in drop order.
+    ``"buffer_full"`` (finite buffer full — rejected or evicted by the
+    admission contest) or ``"fault"`` (lost to the fault plan), in drop
+    order.
     """
 
     schedule: Any
@@ -91,9 +96,16 @@ class LinearNetworkSimulator:
     policy:
         The forwarding policy (see :mod:`repro.network.policy`).
     buffer_capacity:
-        Max packets buffered per *intermediate* node; ``None`` (the paper's
-        setting) means unbounded.  Source buffers are always unbounded — a
-        node can hold its own outgoing traffic.
+        Max packets buffered per *intermediate* node; ``None`` defers to
+        the instance's own ``buffer_capacity`` (itself ``None`` — the
+        paper's unbounded setting — unless the workload sets it).  Source
+        buffers are always unbounded — a node can hold its own outgoing
+        traffic — but source-resident packets do count toward the
+        occupancy an arriving transit packet sees.
+    admission:
+        What happens when a packet arrives at a full buffer — one of
+        :data:`repro.buffers.ADMISSION_POLICIES` (default
+        ``"drop-new"``, the historical behaviour).
     faults:
         Optional :class:`~repro.network.faults.FaultPlan`.  During a link
         failure window the link carries nothing — no packet is selected at
@@ -122,6 +134,7 @@ class LinearNetworkSimulator:
         policy: Policy,
         *,
         buffer_capacity: int | None = None,
+        admission: str = DEFAULT_ADMISSION,
         faults: FaultPlan | None = None,
         topology: Any = None,
         backend: str | None = None,
@@ -135,14 +148,17 @@ class LinearNetworkSimulator:
         else:
             topo = topology
         topo.validate_sim_instance(instance)
-        if buffer_capacity is not None and buffer_capacity < 0:
-            raise ValueError("buffer_capacity must be non-negative or None")
+        if buffer_capacity is None:
+            buffer_capacity = getattr(instance, "buffer_capacity", None)
+        check_capacity(buffer_capacity)
+        check_admission(admission)
         if faults is not None and not isinstance(faults, FaultPlan):
             raise TypeError(f"faults must be a FaultPlan or None, got {faults!r}")
         self.instance = instance
         self.topology = topo
         self.policy = policy
         self.buffer_capacity = buffer_capacity
+        self.admission = admission
         self.faults = faults if faults is not None and faults.active else None
         self.backend = backend
 
@@ -219,6 +235,7 @@ class LinearNetworkSimulator:
                 (v, topo.control_next(inst, v)) for v in topo.out_nodes(inst)
             ]
         buffer_capacity = self.buffer_capacity
+        admission = self.admission
         policy_select = policy.select
         policy_emit = policy.emit_control
 
@@ -265,11 +282,17 @@ class LinearNetworkSimulator:
                     buffer_capacity is not None
                     and len(buffers[p.node]) >= buffer_capacity
                 ):
-                    p.mark_dropped(t, "overflow")
-                    dropped.append(p)
+                    victim = admission_victim(
+                        buffers[p.node], p, admission, policy.eviction_key
+                    )
+                    if victim is not p:
+                        buffers[p.node].remove(victim)
+                        buffers[p.node].append(p)
+                    victim.mark_dropped(t, "buffer_full")
+                    dropped.append(victim)
                     dropped_n += 1
                     overflow_n += 1
-                    policy.on_drop(p, t)
+                    policy.on_drop(victim, t)
                     live -= 1
                 else:
                     buffers[p.node].append(p)
@@ -478,6 +501,7 @@ def simulate(
     policy: Policy,
     *,
     buffer_capacity: int | None = None,
+    admission: str = DEFAULT_ADMISSION,
     faults: FaultPlan | None = None,
     topology: Any = None,
     backend: str | None = None,
@@ -487,6 +511,7 @@ def simulate(
         instance,
         policy,
         buffer_capacity=buffer_capacity,
+        admission=admission,
         faults=faults,
         topology=topology,
         backend=backend,

@@ -32,10 +32,13 @@ for its per-line greedy.  A global entry-sequence number per buffered
 stint reproduces the reference's buffer *insertion* order, which fixes
 the order of same-step deadline drops.
 
-Everything outside this envelope — D-BFL and other control-channel
-policies, custom ``Policy`` subclasses, the mesh topology, packets whose
-priority keys would overflow ``int64`` — falls back to the pure-python
-loop via :func:`repro.backend.fall_back`, which counts the event under
+Bounded buffers are inside the envelope: every admission policy of
+:mod:`repro.buffers` (drop-new, drop-farthest-deadline,
+evict-lowest-priority) is reproduced bit-identically, the eviction
+contests reusing the same integer priority encodings.  Everything outside
+the envelope — D-BFL and other control-channel policies, custom
+``Policy`` subclasses, the mesh topology, packets whose priority keys
+would overflow ``int64`` — falls back to the pure-python loop via :func:`repro.backend.fall_back`, which counts the event under
 ``backend.fallbacks`` so a benchmark can tell a fast run from a silently
 degraded one.
 """
@@ -60,7 +63,7 @@ _I64_MAX = 2**62  # headroom under int64 for composite sort keys
 
 # drop_events reason codes used internally (arrays beat string lists)
 _FAULT, _OVERFLOW, _DEADLINE = 0, 1, 2
-_REASONS = ("fault", "overflow", "deadline")
+_REASONS = ("fault", "buffer_full", "deadline")
 
 
 def _policy_classes() -> dict[type, str]:
@@ -234,6 +237,18 @@ def _run_vec(sim: "LinearNetworkSimulator") -> "SimulationResult":
 
     faults = sim.faults
     capacity = sim.buffer_capacity
+    admission = sim.admission
+    if admission == "drop-farthest-deadline":
+        # the (deadline, id) contest as one injective integer, mirroring
+        # the priority encodings of _priorities
+        idn_c = mid - int(mid.min()) if mid.size else mid
+        idm_c = int(idn_c.max()) + 1 if idn_c.size else 1
+        contest_prio = dl * idm_c + idn_c
+        contest_of = lambda s_: contest_prio[s_]  # noqa: E731
+    else:
+        # evict-lowest-priority: the policy's own order (Policy.eviction_key
+        # == the select order == prio_of, including laxity's hops term)
+        contest_of = lambda s_: prio_of(s_, hops)  # noqa: E731
     drop_rate = faults.drop_rate if faults is not None else 0.0
     drop_rng = faults.drop_rng() if faults is not None and drop_rate > 0 else None
     lf_windows = faults.link_failures if faults is not None else ()
@@ -295,6 +310,7 @@ def _run_vec(sim: "LinearNetworkSimulator") -> "SimulationResult":
                 delivered_n += dels.size
                 total_latency += int((t - rel[dels]).sum())
             tobuf = fly[landing]
+            drop_src = None
             if capacity is not None and tobuf.size:
                 nd = node[tobuf]  # ascending: fly is ordered by tail node
                 occ = np.bincount(
@@ -309,12 +325,53 @@ def _run_vec(sim: "LinearNetworkSimulator") -> "SimulationResult":
                 if ovf.any():
                     if codes is None:
                         codes = np.full(fly.size, -1, dtype=np.int8)
-                    codes[np.flatnonzero(landing)[ovf]] = _OVERFLOW
+                    fpos = np.flatnonzero(landing)[ovf]
                     overflow_n += int(ovf.sum())
-                    tobuf = tobuf[~ovf]
+                    if admission == "drop-new":
+                        codes[fpos] = _OVERFLOW
+                        tobuf = tobuf[~ovf]
+                    else:
+                        # Admission contests (repro.buffers semantics).  On
+                        # line/ring at most one packet arrives per node per
+                        # step, so each contest is independent and rare —
+                        # a per-conflict loop, not an array pass.  The
+                        # dropped packet replaces the arrival at its fly
+                        # position so drop_events keep the reference order.
+                        codes[fpos] = _OVERFLOW
+                        drop_src = fly.copy()
+                        admit = np.ones(tobuf.size, dtype=bool)
+                        dead_act: list[int] = []
+                        for k, fp in zip(
+                            np.flatnonzero(ovf).tolist(), fpos.tolist()
+                        ):
+                            inc = int(tobuf[k])
+                            ndk = int(nd[k])
+                            lo = int(np.searchsorted(act_key, ndk * priom))
+                            hi = int(
+                                np.searchsorted(act_key, (ndk + 1) * priom)
+                            )
+                            pos = np.arange(lo, hi)
+                            # only transit packets are evictable
+                            pos = pos[hops[act_idx[pos]] > 0]
+                            cand = np.append(act_idx[pos], inc)
+                            w = int(np.argmax(contest_of(cand)))
+                            if w == cand.size - 1:  # the arrival loses
+                                admit[k] = False
+                            else:
+                                drop_src[fp] = int(cand[w])
+                                dead_act.append(int(pos[w]))
+                        if dead_act:
+                            keepm = np.ones(act_key.size, dtype=bool)
+                            keepm[dead_act] = False
+                            act_key = act_key[keepm]
+                            act_idx = act_idx[keepm]
+                            act_seq = act_seq[keepm]
+                            act_meet = act_meet[keepm]
+                        tobuf = tobuf[admit]
             if codes is not None:
                 dm = codes >= 0
-                drop_chunks.append((t, fly[dm], codes[dm]))
+                dsrc = fly if drop_src is None else drop_src
+                drop_chunks.append((t, dsrc[dm], codes[dm]))
                 live -= int(dm.sum())
             live -= dels.size
             fly = _EMPTY

@@ -11,7 +11,7 @@ log (launch = first link crossing; drop attribution from the simulator's
 
 Drop attribution: the simulator's ``"fault"`` drops are *fault* drops;
 ``"deadline"`` (starved until hopeless, or past the horizon) and
-``"overflow"`` (finite buffer full — a consequence of the policy's
+``"buffer_full"`` (finite buffer full — a consequence of the policy's
 forwarding choices) are *policy* drops.
 """
 
@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 
 from .. import obs
+from ..buffers import DEFAULT_ADMISSION
 from ..core.instance import Instance
 from ..network.faults import FaultPlan
 from ..network.policy import Policy
@@ -96,6 +97,7 @@ def online_dbfl(
     instance: Instance,
     *,
     buffer_capacity: int | None = None,
+    admission: str = DEFAULT_ADMISSION,
     faults: FaultPlan | None = None,
     backend: str | None = None,
 ) -> StreamResult:
@@ -115,6 +117,7 @@ def online_dbfl(
             instance,
             DBFLPolicy(),
             buffer_capacity=buffer_capacity,
+            admission=admission,
             faults=faults,
             backend=backend,
         ),
@@ -126,6 +129,7 @@ def online_greedy(
     *,
     policy: str | Policy = "edf",
     buffer_capacity: int | None = None,
+    admission: str = DEFAULT_ADMISSION,
     faults: FaultPlan | None = None,
     backend: str | None = None,
 ) -> StreamResult:
@@ -160,6 +164,7 @@ def online_greedy(
             instance,
             policy,
             buffer_capacity=buffer_capacity,
+            admission=admission,
             faults=faults,
             backend=backend,
         ),

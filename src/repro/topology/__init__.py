@@ -93,6 +93,7 @@ register_solver("line", "bufferless", "bfl", f"{_S}:line_bufferless_bfl")
 register_solver("line", "bufferless", "greedy", f"{_S}:line_bufferless_greedy")
 register_solver("line", "buffered", "exact", f"{_S}:line_buffered_exact")
 register_solver("line", "buffered", "bfl", f"{_S}:line_buffered_bfl")
+register_solver("line", "buffered", "ca", f"{_S}:line_buffered_ca")
 register_solver("line", "buffered", "greedy", f"{_S}:line_buffered_greedy")
 register_solver("line", "online", "bfl", f"{_S}:line_online_bfl")
 register_solver("line", "online", "dbfl", f"{_S}:line_online_dbfl")

@@ -85,7 +85,11 @@ class MeshMessage:
 
 @dataclass(frozen=True)
 class MeshInstance:
-    """A set of messages on one ``rows x cols`` mesh."""
+    """A set of messages on one ``rows x cols`` mesh.
+
+    ``buffer_capacity`` mirrors :class:`repro.core.instance.Instance`:
+    ``None`` (the default) is the unbounded setting.
+    """
 
     #: Registry key picked up by :func:`repro.topology.topology_of`.
     topology = "mesh"
@@ -93,8 +97,12 @@ class MeshInstance:
     rows: int
     cols: int
     messages: tuple[MeshMessage, ...] = field(default_factory=tuple)
+    buffer_capacity: int | None = None
 
     def __post_init__(self) -> None:
+        from ..buffers import check_capacity
+
+        check_capacity(self.buffer_capacity)
         if self.rows < 1 or self.cols < 1 or self.rows * self.cols < 2:
             raise ValueError("mesh needs at least two nodes")
         seen: set[int] = set()
@@ -626,7 +634,7 @@ class Mesh(Topology):
         return MeshSchedule(trajectories)
 
     def instance_to_dict(self, instance: Any) -> dict[str, Any]:
-        return {
+        out = {
             "format": "repro-instance",
             "version": 1,
             "topology": "mesh",
@@ -643,6 +651,10 @@ class Mesh(Topology):
                 for m in instance
             ],
         }
+        cap = getattr(instance, "buffer_capacity", None)
+        if cap is not None:
+            out["buffer_capacity"] = cap
+        return out
 
     def instance_from_dict(self, data: dict[str, Any]) -> MeshInstance:
         from ..io import _check_header
@@ -659,7 +671,13 @@ class Mesh(Topology):
                 )
                 for row in data["messages"]
             )
-            return MeshInstance(int(data["rows"]), int(data["cols"]), messages)
+            cap = data.get("buffer_capacity")
+            return MeshInstance(
+                int(data["rows"]),
+                int(data["cols"]),
+                messages,
+                None if cap is None else int(cap),
+            )
         except KeyError as exc:
             raise ValueError(f"missing field {exc} in mesh instance data") from exc
 

@@ -87,15 +87,23 @@ class RingMessage:
 
 @dataclass(frozen=True)
 class RingInstance:
-    """A set of clockwise messages on one ring."""
+    """A set of clockwise messages on one ring.
+
+    ``buffer_capacity`` mirrors :class:`repro.core.instance.Instance`:
+    ``None`` (the default) is the unbounded setting.
+    """
 
     n: int
     messages: tuple[RingMessage, ...] = field(default_factory=tuple)
+    buffer_capacity: int | None = None
 
     #: Registry key consumed by :func:`repro.topology.topology_of`.
     topology = "ring"
 
     def __post_init__(self) -> None:
+        from ..buffers import check_capacity
+
+        check_capacity(self.buffer_capacity)
         seen: set[int] = set()
         for m in self.messages:
             if m.n != self.n:
@@ -446,7 +454,7 @@ class Ring(Topology):
         return RingSchedule(tuple(trajectories))  # re-validates slot-disjointness
 
     def instance_to_dict(self, instance: Any) -> dict[str, Any]:
-        return {
+        out = {
             "format": "repro-instance",
             "version": 1,
             "topology": "ring",
@@ -462,6 +470,10 @@ class Ring(Topology):
                 for m in instance
             ],
         }
+        cap = getattr(instance, "buffer_capacity", None)
+        if cap is not None:
+            out["buffer_capacity"] = cap
+        return out
 
     def instance_from_dict(self, data: dict[str, Any]) -> RingInstance:
         from ..io import _check_header
@@ -482,7 +494,8 @@ class Ring(Topology):
             )
         except KeyError as exc:
             raise ValueError(f"missing field {exc} in ring instance data") from exc
-        return RingInstance(n, messages)
+        cap = data.get("buffer_capacity")
+        return RingInstance(n, messages, None if cap is None else int(cap))
 
 
 register_topology(Ring())

@@ -175,20 +175,57 @@ def line_buffered_exact(instance: Any, opts: dict[str, Any]) -> RawResult:
 def line_buffered_bfl(instance: Any, opts: dict[str, Any]) -> RawResult:
     from ..core.dbfl import dbfl
 
+    from ..buffers import DEFAULT_ADMISSION
+    from ..network.simulator import simulate
+
     buffer_capacity = _take(opts, "buffer_capacity", None)
+    admission = _take(opts, "admission", DEFAULT_ADMISSION)
     _reject_unknown(opts, "buffered", "bfl")
-    result = dbfl(instance, buffer_capacity=buffer_capacity)
+    if buffer_capacity is not None:
+        instance = instance.with_buffer_capacity(buffer_capacity)
+    if admission != DEFAULT_ADMISSION:
+        from ..core.dbfl import DBFLPolicy
+
+        result = simulate(instance, DBFLPolicy(), admission=admission)
+    else:
+        result = dbfl(instance)
     extra = {"steps": result.stats.steps, "dropped": len(result.dropped_ids)}
+    return RawResult(result.schedule, None, extra)
+
+
+def line_buffered_ca(instance: Any, opts: dict[str, Any]) -> RawResult:
+    """``method="ca"``: the Even–Medina–Rosén constant-approximation family
+    (greedy reservation core, :mod:`repro.approx.ca`).
+
+    Memoized through the content-addressed cache: the instance's own
+    ``buffer_capacity`` is in its ``content_hash``, and an explicit
+    override travels through the cache params.
+    """
+    from ..engine.cache import cached_ca
+
+    buffer_capacity = _take(opts, "buffer_capacity", None)
+    _reject_unknown(opts, "buffered", "ca")
+    if buffer_capacity is None:
+        result = cached_ca(instance)
+    else:
+        result = cached_ca(instance, buffer_capacity=buffer_capacity)
+    extra = dict(result.extra)
+    extra["buffer_capacity"] = result.buffer_capacity
     return RawResult(result.schedule, None, extra)
 
 
 def line_buffered_greedy(instance: Any, opts: dict[str, Any]) -> RawResult:
     from ..network.simulator import simulate
 
+    from ..buffers import DEFAULT_ADMISSION
+
     policy = _named_policy(_take(opts, "policy", "edf"))
     buffer_capacity = _take(opts, "buffer_capacity", None)
+    admission = _take(opts, "admission", DEFAULT_ADMISSION)
     _reject_unknown(opts, "buffered", "greedy")
-    result = simulate(instance, policy, buffer_capacity=buffer_capacity)
+    result = simulate(
+        instance, policy, buffer_capacity=buffer_capacity, admission=admission
+    )
     extra = {"steps": result.stats.steps, "dropped": len(result.dropped_ids)}
     return RawResult(result.schedule, None, extra)
 
@@ -243,14 +280,20 @@ def _line_online(instance: Any, method: str, opts: dict[str, Any]) -> RawResult:
         run = online_bfl(instance, faults=faults)
     elif method == "dbfl":
         buffer_capacity = _take(opts, "buffer_capacity", None)
+        admission = _take(opts, "admission", None)
         _reject_unknown(opts, "online", "dbfl")
-        run = online_dbfl(instance, buffer_capacity=buffer_capacity, faults=faults)
+        kw = {} if admission is None else {"admission": admission}
+        run = online_dbfl(
+            instance, buffer_capacity=buffer_capacity, faults=faults, **kw
+        )
     else:
         buffer_capacity = _take(opts, "buffer_capacity", None)
+        admission = _take(opts, "admission", None)
         policy = _take(opts, "policy", "edf")
         _reject_unknown(opts, "online", "greedy")
+        kw = {} if admission is None else {"admission": admission}
         run = online_greedy(
-            instance, policy=policy, buffer_capacity=buffer_capacity, faults=faults
+            instance, policy=policy, buffer_capacity=buffer_capacity, faults=faults, **kw
         )
 
     opt_value: int | None = None
@@ -318,10 +361,15 @@ def ring_buffered_exact(instance: Any, opts: dict[str, Any]) -> RawResult:
 def ring_buffered_greedy(instance: Any, opts: dict[str, Any]) -> RawResult:
     from ..network.simulator import simulate
 
+    from ..buffers import DEFAULT_ADMISSION
+
     policy = _named_policy(_take(opts, "policy", "edf"))
     buffer_capacity = _take(opts, "buffer_capacity", None)
+    admission = _take(opts, "admission", DEFAULT_ADMISSION)
     _reject_unknown(opts, "buffered", "greedy")
-    result = simulate(instance, policy, buffer_capacity=buffer_capacity)
+    result = simulate(
+        instance, policy, buffer_capacity=buffer_capacity, admission=admission
+    )
     extra = {"steps": result.stats.steps, "dropped": len(result.dropped_ids)}
     return RawResult(result.schedule, None, extra)
 
@@ -334,10 +382,12 @@ def ring_online_greedy(instance: Any, opts: dict[str, Any]) -> RawResult:
         raise ValueError(f"unknown baseline {baseline!r}; choose one of {BASELINES}")
     faults = _take(opts, "faults", None)
     buffer_capacity = _take(opts, "buffer_capacity", None)
+    admission = _take(opts, "admission", None)
     policy = _take(opts, "policy", "edf")
     _reject_unknown(opts, "online", "greedy")
+    kw = {} if admission is None else {"admission": admission}
     run = online_greedy(
-        instance, policy=policy, buffer_capacity=buffer_capacity, faults=faults
+        instance, policy=policy, buffer_capacity=buffer_capacity, faults=faults, **kw
     )
 
     opt_value: int | None = None
@@ -405,9 +455,14 @@ def mesh_bufferless_greedy(instance: Any, opts: dict[str, Any]) -> RawResult:
 def mesh_buffered_greedy(instance: Any, opts: dict[str, Any]) -> RawResult:
     from ..network.simulator import simulate
 
+    from ..buffers import DEFAULT_ADMISSION
+
     policy = _named_policy(_take(opts, "policy", "edf"))
     buffer_capacity = _take(opts, "buffer_capacity", None)
+    admission = _take(opts, "admission", DEFAULT_ADMISSION)
     _reject_unknown(opts, "buffered", "greedy")
-    result = simulate(instance, policy, buffer_capacity=buffer_capacity)
+    result = simulate(
+        instance, policy, buffer_capacity=buffer_capacity, admission=admission
+    )
     extra = {"steps": result.stats.steps, "dropped": len(result.dropped_ids)}
     return RawResult(result.schedule, None, extra)

@@ -130,6 +130,7 @@ def _header_dict(
     spec: dict[str, Any] | None,
     count: int | None,
     meta: dict[str, Any] | None,
+    buffer_capacity: int | None = None,
 ) -> dict[str, Any]:
     if topology not in TRACE_TOPOLOGIES:
         raise ValueError(
@@ -148,6 +149,8 @@ def _header_dict(
         out["seed"] = int(seed)
     if spec is not None:
         out["spec"] = dict(spec)
+    if buffer_capacity is not None:
+        out["buffer_capacity"] = int(buffer_capacity)
     if count is not None:
         out["count"] = int(count)
     if meta:
@@ -179,6 +182,7 @@ def _parse_header(data: dict[str, Any]) -> dict[str, Any]:
         n = int(n)
     else:
         raise ValueError("trace header needs an 'n' field")
+    cap = data.get("buffer_capacity")
     return {
         "trace_id": str(data.get("trace_id") or ""),
         "topology": topology,
@@ -188,6 +192,7 @@ def _parse_header(data: dict[str, Any]) -> dict[str, Any]:
         "spec": data.get("spec"),
         "count": data.get("count"),
         "meta": dict(data.get("meta") or {}),
+        "buffer_capacity": None if cap is None else int(cap),
     }
 
 
@@ -210,6 +215,10 @@ class WorkloadTrace:
     seed: int | None = None
     spec: dict[str, Any] | None = None
     meta: dict[str, Any] = field(default_factory=dict)
+    #: Bounded per-node buffers of the recorded model (``None`` =
+    #: unbounded, and the header key is omitted — legacy traces are
+    #: byte-identical).
+    buffer_capacity: int | None = None
 
     def __post_init__(self) -> None:
         last = None
@@ -237,6 +246,7 @@ class WorkloadTrace:
             spec=self.spec,
             count=len(self.records),
             meta=self.meta,
+            buffer_capacity=self.buffer_capacity,
         )
 
     def provenance(self) -> dict[str, Any]:
@@ -269,6 +279,8 @@ class WorkloadTrace:
             doc["rows"], doc["cols"] = rows, cols
         else:
             doc["n"] = self.n
+        if self.buffer_capacity is not None:
+            doc["buffer_capacity"] = self.buffer_capacity
         return doc
 
     def to_instance(self) -> Any:
@@ -315,6 +327,7 @@ class WorkloadTrace:
             seed=seed,
             spec=spec,
             meta=dict(meta or {}),
+            buffer_capacity=getattr(instance, "buffer_capacity", None),
         )
 
 
@@ -347,6 +360,7 @@ class TraceWriter:
         seed: int | None = None,
         spec: dict[str, Any] | None = None,
         meta: dict[str, Any] | None = None,
+        buffer_capacity: int | None = None,
     ) -> None:
         self.path = Path(path)
         self.trace_id = trace_id or mint_trace_id()
@@ -356,6 +370,7 @@ class TraceWriter:
         self.seed = seed
         self.spec = spec
         self.meta = dict(meta or {})
+        self.buffer_capacity = buffer_capacity
         self.count = 0
         self._last_release: int | None = None
         self._fh = self.path.open("w", encoding="utf-8")
@@ -371,6 +386,7 @@ class TraceWriter:
             spec=self.spec,
             count=count,
             meta=self.meta,
+            buffer_capacity=self.buffer_capacity,
         )
         self._fh.write(json.dumps(header, separators=(",", ":")) + "\n")
 
@@ -416,6 +432,7 @@ class TraceWriter:
             spec=self.spec,
             count=self.count,
             meta=self.meta,
+            buffer_capacity=self.buffer_capacity,
         )
         new_line = (json.dumps(header, separators=(",", ":")) + "\n").encode()
         with self.path.open("rb") as fh:
@@ -476,6 +493,7 @@ class TraceReader:
         self.spec = head["spec"]
         self.count = head["count"]  # None when the writer crashed pre-close
         self.meta: dict[str, Any] = head["meta"]
+        self.buffer_capacity: int | None = head["buffer_capacity"]
         self._last_release: int | None = None
         self._read = 0
 
@@ -523,6 +541,7 @@ def write_trace(
     seed: int | None = None,
     spec: dict[str, Any] | None = None,
     meta: dict[str, Any] | None = None,
+    buffer_capacity: int | None = None,
 ) -> int:
     """Stream ``records`` (messages, records, or dicts) to ``path``;
     returns how many were written.  Accepts a :class:`WorkloadTrace`
@@ -538,6 +557,11 @@ def write_trace(
             seed=seed if seed is not None else trace.seed,
             spec=spec or trace.spec,
             meta=meta or trace.meta,
+            buffer_capacity=(
+                buffer_capacity
+                if buffer_capacity is not None
+                else trace.buffer_capacity
+            ),
         ) as writer:
             writer.add_many(trace.records)
             return writer.count
@@ -552,6 +576,7 @@ def write_trace(
         seed=seed,
         spec=spec,
         meta=meta,
+        buffer_capacity=buffer_capacity,
     ) as writer:
         writer.add_many(records)
         return writer.count
@@ -576,4 +601,5 @@ def read_trace(path: str | Path) -> WorkloadTrace:
             seed=reader.seed,
             spec=reader.spec,
             meta=reader.meta,
+            buffer_capacity=reader.buffer_capacity,
         )

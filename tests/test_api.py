@@ -209,7 +209,7 @@ class TestResultSerialization:
 
         payload = api.solve(inst, "online", "bfl").to_dict()
         assert payload["format"] == "repro-schedule-result"
-        assert payload["version"] == api.ScheduleResult.SCHEMA_VERSION == 4
+        assert payload["version"] == api.ScheduleResult.SCHEMA_VERSION == 5
         assert payload["topology"] == "line"
         decoded = json.loads(json.dumps(payload))
         assert decoded["delivered"] == payload["delivered"]

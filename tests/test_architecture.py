@@ -168,3 +168,13 @@ class TestDocSync:
 
     def test_doc_table_is_nonempty(self):
         assert len(self._doc_cells()) >= 18
+
+    def test_doc_table_lists_the_ca_family(self):
+        """The constant-approximation family is documented, not just
+        registered: the dispatch table must carry its cell and the model
+        docs must explain the bounded-buffer dimension it targets."""
+        assert ("line", "buffered", "ca") in self._doc_cells()
+        api_md = (DOCS / "api.md").read_text()
+        assert "buffer_capacity" in api_md and "admission" in api_md
+        arch = (DOCS / "architecture.md").read_text()
+        assert "## Bounded buffers" in arch

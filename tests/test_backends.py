@@ -21,6 +21,7 @@ from repro.backend import (
     resolve_backend,
     use_backend,
 )
+from repro.buffers import ADMISSION_POLICIES
 from repro.baselines.buffered_greedy import (
     EDFPolicy,
     FCFSPolicy,
@@ -196,9 +197,16 @@ class TestKernelParity:
 # --------------------------------------------------------------------- #
 
 
-def _assert_sim_parity(inst, policy_cls, faults, cap, tag: str) -> None:
-    a = simulate(inst, policy_cls(), faults=faults, buffer_capacity=cap, backend="python")
-    b = simulate(inst, policy_cls(), faults=faults, buffer_capacity=cap, backend="numpy")
+def _assert_sim_parity(
+    inst, policy_cls, faults, cap, tag: str, admission: str | None = None
+) -> None:
+    kw = {} if admission is None else {"admission": admission}
+    a = simulate(
+        inst, policy_cls(), faults=faults, buffer_capacity=cap, backend="python", **kw
+    )
+    b = simulate(
+        inst, policy_cls(), faults=faults, buffer_capacity=cap, backend="numpy", **kw
+    )
     assert a.schedule == b.schedule, f"schedule diverged: {tag}"
     assert a.delivered_ids == b.delivered_ids, f"delivered diverged: {tag}"
     assert a.drop_events == b.drop_events, f"drop events diverged: {tag}"
@@ -227,6 +235,67 @@ class TestSimulatorParity:
                             f"seed={seed} {shape} {pol.__name__} "
                             f"faults={fmode} cap={cap}",
                         )
+
+    @pytest.mark.parametrize("admission", ADMISSION_POLICIES)
+    def test_admission_sweep(self, admission):
+        # fast tier-1 subset of the bounded-buffer envelope: every
+        # admission policy, line + ring, finite capacities, alternating
+        # fault plans — the REPRO_BENCH_FULL sweep below scales this up
+        for seed in range(12):
+            rng = random.Random(7000 + seed)
+            for maker, shape in ((rand_line, "line"), (rand_ring, "ring")):
+                inst = maker(rng)
+                pol = POLICIES[seed % 4]
+                faults = rand_faults(rng, inst.n) if seed % 2 else None
+                cap = rng.randint(0, 2)
+                _assert_sim_parity(
+                    inst,
+                    pol,
+                    faults,
+                    cap,
+                    f"seed={seed} {shape} {pol.__name__} {admission} cap={cap}",
+                    admission=admission,
+                )
+
+    def test_instance_carried_capacity_matches_kwarg(self):
+        # `Instance.buffer_capacity` and the simulate(buffer_capacity=)
+        # kwarg must be the same model, on both backends
+        rng = random.Random(31)
+        inst = rand_line(rng)
+        for backend in ("python", "numpy"):
+            a = simulate(inst.with_buffer_capacity(1), EDFPolicy(), backend=backend)
+            b = simulate(inst, EDFPolicy(), buffer_capacity=1, backend=backend)
+            assert (a.schedule, a.delivered_ids, a.drop_events, a.stats) == (
+                b.schedule,
+                b.delivered_ids,
+                b.drop_events,
+                b.stats,
+            )
+
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_BENCH_FULL"),
+        reason="long bounded-buffer parity sweep (set REPRO_BENCH_FULL=1)",
+    )
+    def test_admission_sweep_full(self):
+        # 100 seeds x 3 admissions x line/ring x faults on/off x caps 0-3
+        for admission in ADMISSION_POLICIES:
+            for seed in range(100):
+                rng = random.Random(90000 + seed)
+                for maker, shape in ((rand_line, "line"), (rand_ring, "ring")):
+                    inst = maker(rng)
+                    pol = POLICIES[seed % 4]
+                    for fmode in ("none", "plan"):
+                        faults = rand_faults(rng, inst.n) if fmode == "plan" else None
+                        for cap in (0, rng.randint(1, 3)):
+                            _assert_sim_parity(
+                                inst,
+                                pol,
+                                faults,
+                                cap,
+                                f"seed={seed} {shape} {pol.__name__} "
+                                f"{admission} faults={fmode} cap={cap}",
+                                admission=admission,
+                            )
 
     def test_unsupported_policy_falls_back(self):
         class CustomEDF(EDFPolicy):
@@ -306,6 +375,43 @@ class TestCacheKeys:
             assert (cache.stats.hits, cache.stats.misses) == (0, 2)
             assert a == b
             cached_bfl(inst, backend="numpy")
+            assert (cache.stats.hits, cache.stats.misses) == (1, 2)
+        finally:
+            cache_mod._default = previous
+
+    def test_capacity_segregates_key(self):
+        # buffer_capacity lives on the instance and flows into
+        # content_hash, so bounded/unbounded variants of the same message
+        # set occupy distinct cache slots; the unbounded key is the
+        # legacy key (byte-identical hash)
+        inst = rand_line(random.Random(24))
+        base = ResultCache.key(inst, "ca")
+        same = ResultCache.key(inst.with_buffer_capacity(None), "ca")
+        capped = ResultCache.key(inst.with_buffer_capacity(2), "ca")
+        other = ResultCache.key(inst.with_buffer_capacity(3), "ca")
+        assert base == same
+        assert len({base, capped, other}) == 3
+
+    def test_admission_segregates_key(self):
+        inst = rand_line(random.Random(25))
+        default = ResultCache.key(inst, "sim", {"admission": "drop-new"})
+        evict = ResultCache.key(
+            inst, "sim", {"admission": "evict-lowest-priority"}
+        )
+        assert default != evict
+
+    def test_no_cross_capacity_hit(self):
+        inst = rand_line(random.Random(26))
+        previous = cache_mod._default
+        try:
+            cache = cache_mod.configure(enabled=True)
+            from repro.engine.cache import cached_ca
+
+            cached_ca(inst)
+            assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+            cached_ca(inst.with_buffer_capacity(1))
+            assert (cache.stats.hits, cache.stats.misses) == (0, 2)
+            cached_ca(inst)
             assert (cache.stats.hits, cache.stats.misses) == (1, 2)
         finally:
             cache_mod._default = previous

@@ -24,7 +24,7 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         assert set(ALL) == {
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-            "e11", "e12", "e13", "e14", "e15", "e16", "a1", "a2",
+            "e11", "e12", "e13", "e14", "e15", "e16", "e17", "a1", "a2",
         }
 
     def test_every_module_has_description_and_run(self):
@@ -122,6 +122,17 @@ class TestE14:
             assert 0.0 <= row["bfl"] <= 1.0 + 1e-9
             # ...while the buffered policies may exceed 1 but stay finite.
             assert row["dbfl"] >= 0.0 and row["greedy"] >= 0.0
+
+
+    def test_e17_ratios_bounded_by_one(self):
+        from repro.experiments import e17_buffers
+
+        table = e17_buffers.run(seed=2, trials=2)
+        assert table.rows, "e17 produced no cells"
+        for row in table.rows:
+            # the reservation pass never schedules past the exact optimum
+            assert 0.0 <= row["min_ratio"] <= row["mean_ratio"] <= 1.0
+            assert row["ca"] <= row["opt_b"] + 1e-9
 
 
 class TestAblations:

@@ -20,7 +20,7 @@ class TestCapacityInvariant:
     def test_occupancy_never_exceeds_capacity(self, inst: Instance, cap: int):
         """The resulting schedule's intermediate-buffer peaks respect the
         simulated capacity (source buffering excluded, as in the model)."""
-        result = dbfl(inst, buffer_capacity=cap)
+        result = dbfl(inst.with_buffer_capacity(cap))
         peaks = result.schedule.max_buffer_occupancy()
         sources = {m.source for m in inst}
         for node, peak in peaks.items():
@@ -33,8 +33,8 @@ class TestCapacityInvariant:
     @given(lr_instances(n=10, max_messages=10))
     def test_capacity_monotone(self, inst: Instance):
         """Throughput is monotone in buffer capacity (0 <= 2 <= inf)."""
-        t0 = dbfl(inst, buffer_capacity=0).throughput
-        t2 = dbfl(inst, buffer_capacity=2).throughput
+        t0 = dbfl(inst.with_buffer_capacity(0)).throughput
+        t2 = dbfl(inst.with_buffer_capacity(2)).throughput
         tinf = dbfl(inst).throughput
         assert t0 <= t2 + 2  # near-monotone: drops at cap 0 can reshuffle...
         assert t2 <= tinf + 2
@@ -43,7 +43,7 @@ class TestCapacityInvariant:
         rng = np.random.default_rng(0)
         for _ in range(10):
             inst = saturated_instance(rng, n=12, load=1.5, horizon=20)
-            big = dbfl(inst, buffer_capacity=len(inst)).throughput
+            big = dbfl(inst.with_buffer_capacity(len(inst))).throughput
             unbounded = dbfl(inst).throughput
             assert big == unbounded
 

@@ -329,7 +329,7 @@ class TestProvenanceSchema:
     def test_solve_stamps_workload(self, line_trace):
         result = replay(line_trace, "online", "bfl")
         payload = result.to_dict()
-        assert payload["version"] == 4
+        assert payload["version"] == 5
         assert payload["workload"] == line_trace.provenance()
         back = api.ScheduleResult.from_dict(payload)
         assert back.workload == result.workload
